@@ -1,0 +1,36 @@
+//! Real mini-HPCG benchmarks on host hardware: the preconditioned CG
+//! solve at several thread counts (the GFLOP rating path of Figure 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eco_hpcg::runner::MiniHpcg;
+use eco_hpcg::solver::CgOptions;
+use eco_hpcg::sparse::generate_problem;
+use eco_hpcg::Geometry;
+use std::hint::black_box;
+
+fn bench_spmv(c: &mut Criterion) {
+    let p = generate_problem(Geometry::cube(24));
+    let x = vec![1.0; p.matrix.n()];
+    let mut y = vec![0.0; p.matrix.n()];
+    c.bench_function("spmv_24cubed", |b| {
+        b.iter(|| {
+            p.matrix.spmv(black_box(&x), &mut y);
+            y[0]
+        })
+    });
+}
+
+fn bench_cg_threads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mini_hpcg_cg_20iters_20cubed");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let hpcg = MiniHpcg::new(20, threads);
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &hpcg, |b, h| {
+            b.iter(|| h.run(&CgOptions { max_iterations: 20, tolerance: 1e-30, preconditioned: true }))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv, bench_cg_threads);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Slurm-simulator benchmarks: submission throughput with and without the
+//! eco plugin on the submit path, and scheduling a deep queue.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eco_hpcg::workload::{ScalingKind, SyntheticWorkload};
+use eco_sim_node::clock::SimDuration;
+use eco_sim_node::SimNode;
+use eco_slurm_sim::{Cluster, JobDescriptor};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn cluster() -> Cluster {
+    let mut c = Cluster::single_node(SimNode::sr650());
+    c.register_binary(
+        "/bin/app",
+        Arc::new(SyntheticWorkload::new("app", ScalingKind::ComputeBound, 100.0, 1.0)),
+    );
+    c
+}
+
+fn bench_submit(c: &mut Criterion) {
+    c.bench_function("submit_100_jobs", |b| {
+        b.iter(|| {
+            let mut cluster = cluster();
+            for i in 0..100 {
+                let mut d = JobDescriptor::new(&format!("j{i}"), "alice", "/bin/app");
+                d.num_tasks = 32;
+                cluster.submit(black_box(d)).unwrap();
+            }
+            cluster
+        })
+    });
+}
+
+fn bench_drain_queue(c: &mut Criterion) {
+    c.bench_function("drain_50_job_queue", |b| {
+        b.iter(|| {
+            let mut cluster = cluster();
+            for i in 0..50 {
+                let mut d = JobDescriptor::new(&format!("j{i}"), "alice", "/bin/app");
+                d.num_tasks = 32;
+                cluster.submit(d).unwrap();
+            }
+            cluster.run_until_idle(SimDuration::from_mins(60));
+            cluster
+        })
+    });
+}
+
+fn bench_squeue_render(c: &mut Criterion) {
+    let mut cluster = cluster();
+    for i in 0..200 {
+        let mut d = JobDescriptor::new(&format!("j{i}"), "alice", "/bin/app");
+        d.num_tasks = 32;
+        cluster.submit(d).unwrap();
+    }
+    c.bench_function("squeue_200_jobs", |b| b.iter(|| black_box(cluster.squeue())));
+}
+
+criterion_group!(benches, bench_submit, bench_drain_queue, bench_squeue_render);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! End-to-end pipeline benchmarks: one full benchmark run (sbatch →
+//! scheduler → simulated node → IPMI sampling → repository) and a
+//! multi-configuration sweep, at reduced workload scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eco_bench::Lab;
+use eco_sim_node::clock::SimDuration;
+use eco_sim_node::cpu::CpuConfig;
+
+fn bench_single_run(c: &mut Criterion) {
+    c.bench_function("pipeline_single_benchmark_scale_0.005", |b| {
+        b.iter(|| {
+            let mut lab = Lab::new("bench-single", 0.005);
+            lab.run_sweep(&[CpuConfig::new(32, 2_200_000, 1)], SimDuration::from_secs(2))
+        })
+    });
+}
+
+fn bench_six_config_sweep(c: &mut Criterion) {
+    let configs = vec![
+        CpuConfig::new(32, 2_500_000, 1),
+        CpuConfig::new(32, 2_200_000, 1),
+        CpuConfig::new(32, 1_500_000, 2),
+        CpuConfig::new(16, 2_200_000, 1),
+        CpuConfig::new(16, 2_500_000, 2),
+        CpuConfig::new(8, 1_500_000, 1),
+    ];
+    c.bench_function("pipeline_six_config_sweep_scale_0.005", |b| {
+        b.iter(|| {
+            let mut lab = Lab::new("bench-sweep", 0.005);
+            lab.run_sweep(&configs, SimDuration::from_secs(2))
+        })
+    });
+}
+
+criterion_group!(benches, bench_single_run, bench_six_config_sweep);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Experiment driver: regenerates the paper's tables and figures.
+//!
+//! Usage:
+//! ```text
+//! experiments <command> [--scale S] [--out DIR]
+//! commands: table1 table2 table3 table456 fig14 fig15 eq1
+//!           ablation-optimizer ablation-sampling ablation-governor extensions all
+//! ```
+//! `--scale` shrinks each simulated HPCG run relative to the paper's
+//! 18.5-minute job (default 1.0 = full length; power/efficiency shapes are
+//! scale-invariant, energies are rescaled in the reports).
+
+use eco_bench::experiments as exp;
+use eco_bench::ExperimentOutput;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = args.first().map(String::as_str).unwrap_or("all").to_string();
+    let scale = flag(&args, "--scale").map(|v| v.parse::<f64>().expect("bad --scale")).unwrap_or(1.0);
+    let out_dir = PathBuf::from(flag(&args, "--out").unwrap_or_else(|| "results".to_string()));
+
+    let needs_sweep = matches!(command.as_str(), "table1" | "table456" | "fig14" | "ablation-optimizer" | "all");
+    let sweep = if needs_sweep {
+        eprintln!("running the {}-configuration sweep at scale {scale} ...", eco_bench::Lab::paper_sweep_configs().len());
+        Some(exp::run_sweep(scale))
+    } else {
+        None
+    };
+    let sweep = sweep.as_deref();
+
+    let outputs: Vec<ExperimentOutput> = match command.as_str() {
+        "table1" => vec![exp::table1(sweep.unwrap())],
+        "table2" => vec![exp::table2(scale)],
+        "table3" => vec![exp::table3(scale)],
+        "table456" => vec![exp::table456(sweep.unwrap())],
+        "fig14" => vec![exp::fig14(sweep.unwrap())],
+        "fig15" => vec![exp::fig15(scale)],
+        "eq1" => vec![exp::eq1()],
+        "ablation-optimizer" => vec![exp::ablation_optimizer(sweep.unwrap())],
+        "ablation-sampling" => vec![exp::ablation_sampling(scale)],
+        "ablation-governor" => vec![exp::ablation_governor(scale)],
+        "extensions" => vec![exp::extensions(scale)],
+        "all" => {
+            let s = sweep.unwrap();
+            vec![
+                exp::table1(s),
+                exp::table2(scale),
+                exp::table3(scale),
+                exp::table456(s),
+                exp::fig14(s),
+                exp::fig15(scale),
+                exp::eq1(),
+                exp::ablation_optimizer(s),
+                exp::ablation_sampling(scale),
+                exp::ablation_governor(scale),
+                exp::extensions(scale),
+            ]
+        }
+        other => {
+            eprintln!("unknown experiment '{other}'");
+            eprintln!("commands: table1 table2 table3 table456 fig14 fig15 eq1 ablation-optimizer ablation-sampling ablation-governor extensions all");
+            std::process::exit(2);
+        }
+    };
+
+    for output in &outputs {
+        println!("==== {} ====\n{}", output.name, output.text);
+        output.write_to(&out_dir).expect("write results");
+    }
+    eprintln!("reports written to {}", out_dir.display());
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}

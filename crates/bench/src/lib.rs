@@ -1,0 +1,20 @@
+//! # eco-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation from the
+//! full simulated pipeline, plus the ablations in DESIGN.md §6. Use the
+//! `experiments` binary:
+//!
+//! ```text
+//! cargo run --release -p eco-bench --bin experiments -- all --scale 1.0 --out results/
+//! ```
+//!
+//! or individual generators: `table1`, `table2`, `table3`, `table456`,
+//! `fig14`, `fig15`, `eq1`, `ablation-optimizer`, `ablation-sampling`.
+//! Criterion micro-benchmarks live in `benches/`.
+
+pub mod experiments;
+pub mod lab;
+pub mod report;
+
+pub use lab::Lab;
+pub use report::ExperimentOutput;

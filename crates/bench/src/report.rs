@@ -1,0 +1,67 @@
+//! Experiment output container and formatting helpers.
+
+use std::path::Path;
+
+/// The result of one experiment generator: a human-readable report plus
+/// any CSV series that regenerate the paper's figures.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Experiment id (e.g. `table1`, `fig15`).
+    pub name: String,
+    /// The printable report.
+    pub text: String,
+    /// `(file name, csv content)` pairs.
+    pub csv: Vec<(String, String)>,
+}
+
+impl ExperimentOutput {
+    /// A report with no CSV attachments.
+    pub fn new(name: &str, text: String) -> Self {
+        ExperimentOutput { name: name.to_string(), text, csv: Vec::new() }
+    }
+
+    /// Attaches a CSV series.
+    pub fn with_csv(mut self, file: &str, content: String) -> Self {
+        self.csv.push((file.to_string(), content));
+        self
+    }
+
+    /// Writes the report (`<name>.txt`) and its CSVs into `dir`.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        std::fs::write(dir.join(format!("{}.txt", self.name)), &self.text)?;
+        for (file, content) in &self.csv {
+            std::fs::write(dir.join(file), content)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats seconds as `H:MM:SS` (the paper's Table 2 runtime format).
+pub fn fmt_hms(seconds: f64) -> String {
+    let s = seconds.round() as u64;
+    format!("{}:{:02}:{:02}", s / 3600, (s / 60) % 60, s % 60)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_hms_matches_paper() {
+        assert_eq!(fmt_hms(18.0 * 60.0 + 29.0 + 18.0 * 60.0 * 59.0), fmt_hms(1109.0 + 63720.0)); // sanity
+        assert_eq!(fmt_hms(1109.0), "0:18:29");
+        assert_eq!(fmt_hms(1127.0), "0:18:47");
+        assert_eq!(fmt_hms(3661.0), "1:01:01");
+    }
+
+    #[test]
+    fn write_to_creates_files() {
+        let dir = std::env::temp_dir().join(format!("eco-report-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = ExperimentOutput::new("demo", "hello\n".into()).with_csv("demo.csv", "a,b\n1,2\n".into());
+        out.write_to(&dir).unwrap();
+        assert_eq!(std::fs::read_to_string(dir.join("demo.txt")).unwrap(), "hello\n");
+        assert_eq!(std::fs::read_to_string(dir.join("demo.csv")).unwrap(), "a,b\n1,2\n");
+    }
+}

@@ -1,0 +1,77 @@
+//! The `chronus` command-line interface, runnable against the simulated
+//! SR650 testbed (the paper's §3.3 CLI, end to end).
+//!
+//! State (database, blob storage, settings, staged models) persists in
+//! `$CHRONUS_HOME` (default `./chronus-home`), so the paper's workflow
+//! works across invocations:
+//!
+//! ```text
+//! chronus benchmark /opt/hpcg/bin/xhpcg --configurations configs.json
+//! chronus init-model --model random-tree --system 1
+//! chronus load-model --model 1
+//! chronus slurm-config <SYSTEM_HASH> <BINARY_HASH>
+//! chronus set state active
+//! ```
+//!
+//! The benchmark command drives a freshly booted simulated cluster; the
+//! simulated HPCG run length can be scaled with `$CHRONUS_SCALE`
+//! (default 0.02 of the paper's 18.5-minute run, for a snappy CLI).
+
+use chronus::application::Chronus;
+use chronus::cli::{run_command, CliContext};
+use chronus::integrations::hpcg_runner::HpcgRunner;
+use chronus::integrations::monitoring::{IpmiService, LscpuInfo};
+use chronus::integrations::record_store::RecordStore;
+use chronus::integrations::storage::{EtcStorage, LocalBlobStore};
+use chronus::interfaces::{ApplicationRunner, SystemInfoProvider};
+use eco_hpcg::perf_model::PerfModel;
+use eco_hpcg::workload::{HpcgWorkload, PAPER_STANDARD_RUNTIME_S};
+use eco_slurm_sim::Cluster;
+use eco_sim_node::SimNode;
+use std::sync::Arc;
+
+fn main() {
+    let home = std::env::var("CHRONUS_HOME").unwrap_or_else(|_| "./chronus-home".to_string());
+    let scale: f64 = std::env::var("CHRONUS_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.02);
+    std::fs::create_dir_all(&home).expect("create CHRONUS_HOME");
+
+    let mut cluster = Cluster::single_node(SimNode::sr650());
+    let perf = Arc::new(PerfModel::sr650());
+    let work = perf.gflops(&perf.standard_config()) * PAPER_STANDARD_RUNTIME_S * scale;
+    let workload = Arc::new(HpcgWorkload::with_work(perf, work, 104));
+    let runner = HpcgRunner::install(&mut cluster, "/opt/hpcg/bin/xhpcg", workload);
+
+    let mut app = Chronus::new(
+        Box::new(RecordStore::open(format!("{home}/database/data.db")).expect("open database")),
+        Box::new(LocalBlobStore::new(format!("{home}/optimizers")).expect("open blob storage")),
+        Box::new(EtcStorage::new(&home)),
+    );
+    let mut sampler = IpmiService::new(0, 0xc11);
+    let info = LscpuInfo::new(0);
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+
+    // convenience: `chronus hashes` prints the identifiers the plugin uses
+    if argv.first() == Some(&"hashes") {
+        println!("system hash: {}", info.system_hash(&cluster));
+        println!("binary hash: {}", runner.binary_hash());
+        return;
+    }
+
+    let mut ctx = CliContext {
+        app: &mut app,
+        cluster: &mut cluster,
+        runner: &runner,
+        sampler: &mut sampler,
+        info: &info,
+        now_ms: 0,
+    };
+    match run_command(&mut ctx, &argv) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("chronus: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! The Chronus command-line interface: the five commands of §3.3 —
+//! `benchmark`, `init-model`, `load-model`, `slurm-config`, `set` — parsed
+//! from argv-style tokens and executed against a [`CliContext`].
+
+use crate::application::{Chronus, DEFAULT_SAMPLE_INTERVAL};
+use crate::domain::PluginState;
+use crate::error::{ChronusError, Result};
+use crate::interfaces::{ApplicationRunner, SystemInfoProvider, SystemService};
+use crate::presenter;
+use eco_slurm_sim::Cluster;
+
+/// Everything a CLI invocation may touch. The cluster, runner and sampler
+/// are only exercised by `benchmark`; the other commands are pure storage
+/// operations, mirroring how the real Chronus talks to Slurm only when
+/// benchmarking.
+pub struct CliContext<'a> {
+    /// The application container.
+    pub app: &'a mut Chronus,
+    /// The cluster benchmarks run on.
+    pub cluster: &'a mut Cluster,
+    /// The application runner (HPCG).
+    pub runner: &'a dyn ApplicationRunner,
+    /// The monitoring service (IPMI).
+    pub sampler: &'a mut dyn SystemService,
+    /// The system-identity provider (lscpu).
+    pub info: &'a dyn SystemInfoProvider,
+    /// "Now" for model timestamps, milliseconds.
+    pub now_ms: u64,
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "Usage: chronus COMMAND [ARGS]\n\
+Commands:\n\
+  benchmark [HPCG_PATH] [--configurations FILE]  Runs benchmarks on different configurations.\n\
+  init-model --model TYPE [--system ID]          Initializes the prediction model.\n\
+  load-model [--model ID]                        Loads a pre-trained model.\n\
+  slurm-config SYSTEM_HASH BINARY_HASH           Executes the main functionality.\n\
+  set {database|blob-storage|state} VALUE        Changes the configuration of the plugin.\n";
+
+/// Executes one CLI invocation; returns the text the command prints.
+pub fn run_command(ctx: &mut CliContext<'_>, args: &[&str]) -> Result<String> {
+    match args.first().copied() {
+        Some("benchmark") => cmd_benchmark(ctx, &args[1..]),
+        Some("init-model") => cmd_init_model(ctx, &args[1..]),
+        Some("load-model") => cmd_load_model(ctx, &args[1..]),
+        Some("slurm-config") => cmd_slurm_config(ctx, &args[1..]),
+        Some("set") => cmd_set(ctx, &args[1..]),
+        Some("--help") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(ChronusError::InvalidInput(format!("unknown command '{other}'\n{USAGE}"))),
+    }
+}
+
+fn flag_value<'a>(args: &[&'a str], flag: &str) -> Option<&'a str> {
+    args.iter().position(|&a| a == flag).and_then(|i| args.get(i + 1).copied())
+}
+
+fn cmd_benchmark(ctx: &mut CliContext<'_>, args: &[&str]) -> Result<String> {
+    if let Some(path) = args.first().filter(|a| !a.starts_with("--")) {
+        if *path != ctx.runner.binary_path() {
+            return Err(ChronusError::InvalidInput(format!(
+                "no application runner installed for '{path}' (have '{}')",
+                ctx.runner.binary_path()
+            )));
+        }
+    }
+    let configs = match flag_value(args, "--configurations") {
+        Some(file) => {
+            let content = std::fs::read_to_string(file)
+                .map_err(|e| ChronusError::InvalidInput(format!("cannot read {file}: {e}")))?;
+            Some(presenter::configs_from_json(&content)?)
+        }
+        None => None,
+    };
+    let benches = ctx.app.benchmark(
+        ctx.cluster,
+        ctx.runner,
+        ctx.sampler,
+        ctx.info,
+        configs.as_deref(),
+        DEFAULT_SAMPLE_INTERVAL,
+    )?;
+    let mut out = presenter::benchmarks_table(&benches);
+    out.push_str(&format!("\n{} benchmark(s) complete. Run data has been saved to the database.\n", benches.len()));
+    Ok(out)
+}
+
+fn cmd_init_model(ctx: &mut CliContext<'_>, args: &[&str]) -> Result<String> {
+    let model_type = flag_value(args, "--model").unwrap_or("linear-regression");
+    let system: i64 = match flag_value(args, "--system") {
+        Some(s) => s.parse().map_err(|_| ChronusError::InvalidInput(format!("bad system id '{s}'")))?,
+        None => -1,
+    };
+    if system < 0 {
+        // the paper's Figure 8 behaviour: present the available systems
+        return Ok(presenter::systems_table(&ctx.app.repository().systems()?));
+    }
+    // resolve the binary hash from the system's benchmarks
+    let hashes: Vec<u64> = {
+        let mut h: Vec<u64> = ctx
+            .app
+            .repository()
+            .all_benchmarks()?
+            .into_iter()
+            .filter(|b| b.system_id == system)
+            .map(|b| b.binary_hash)
+            .collect();
+        h.sort_unstable();
+        h.dedup();
+        h
+    };
+    let binary_hash = match hashes.as_slice() {
+        [] => return Err(ChronusError::NotFound(format!("benchmarks for system {system}"))),
+        [one] => *one,
+        many => {
+            return Err(ChronusError::InvalidInput(format!(
+                "system {system} has benchmarks for {} binaries; not yet disambiguated",
+                many.len()
+            )))
+        }
+    };
+    let meta = ctx.app.init_model(model_type, system, binary_hash, ctx.now_ms)?;
+    Ok(format!(
+        "Initializing model of type {}\ntraining model... done\nModel {} saved to {} (fit R2 {:.4}, {} rows)\n",
+        meta.model_type, meta.id, meta.blob_path, meta.fit_r2, meta.train_rows
+    ))
+}
+
+fn cmd_load_model(ctx: &mut CliContext<'_>, args: &[&str]) -> Result<String> {
+    let id: i64 = match flag_value(args, "--model") {
+        Some(s) => s.parse().map_err(|_| ChronusError::InvalidInput(format!("bad model id '{s}'")))?,
+        None => {
+            // the paper's Figure 9 behaviour: present the available models
+            return Ok(presenter::models_table(&ctx.app.repository().models()?));
+        }
+    };
+    let loaded = ctx.app.load_model(id)?;
+    Ok(format!("Model {} ({}) downloaded to {}\n", loaded.model_id, loaded.model_type, loaded.local_path))
+}
+
+fn cmd_slurm_config(ctx: &mut CliContext<'_>, args: &[&str]) -> Result<String> {
+    let (sys, bin) = match args {
+        [s, b, ..] => (parse_hash(s)?, parse_hash(b)?),
+        _ => {
+            return Err(ChronusError::InvalidInput(
+                "usage: chronus slurm-config SYSTEM_HASH BINARY_HASH".into(),
+            ))
+        }
+    };
+    let config = ctx.app.slurm_config(sys, bin)?;
+    Ok(presenter::config_json(&config))
+}
+
+fn parse_hash(s: &str) -> Result<u64> {
+    let parsed = if let Some(hex) = s.strip_prefix("0x") { u64::from_str_radix(hex, 16) } else { s.parse() };
+    parsed.map_err(|_| ChronusError::InvalidInput(format!("bad hash '{s}'")))
+}
+
+fn cmd_set(ctx: &mut CliContext<'_>, args: &[&str]) -> Result<String> {
+    match args {
+        ["database", path] => {
+            ctx.app.set_database(path)?;
+            Ok(format!("database = {path}\n"))
+        }
+        ["blob-storage", path] => {
+            ctx.app.set_blob_storage(path)?;
+            Ok(format!("blob-storage = {path}\n"))
+        }
+        ["state", value] => {
+            let state = match *value {
+                "active" => PluginState::Active,
+                "user" => PluginState::User,
+                "deactivated" => PluginState::Deactivated,
+                other => {
+                    return Err(ChronusError::InvalidInput(format!(
+                        "unknown state '{other}' (active|user|deactivated)"
+                    )))
+                }
+            };
+            ctx.app.set_state(state)?;
+            Ok(format!("state = {value}\n"))
+        }
+        ["--help"] | [] => Ok("Commands:\n  blob-storage  The path to the blob storage.\n  database      The path to the database.\n  state         activates, sets it to user or deactivates the plugin.\n".to_string()),
+        other => Err(ChronusError::InvalidInput(format!("unknown set command {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrations::hpcg_runner::HpcgRunner;
+    use crate::integrations::monitoring::{IpmiService, LscpuInfo};
+    use crate::integrations::record_store::RecordStore;
+    use crate::integrations::storage::{EtcStorage, LocalBlobStore};
+    use eco_hpcg::perf_model::PerfModel;
+    use eco_hpcg::workload::HpcgWorkload;
+    use eco_sim_node::SimNode;
+    use std::path::PathBuf;
+    use std::sync::Arc;
+
+    struct Fixture {
+        app: Chronus,
+        cluster: Cluster,
+        runner: HpcgRunner,
+        sampler: IpmiService,
+        info: LscpuInfo,
+        root: PathBuf,
+    }
+
+    fn fixture(tag: &str) -> Fixture {
+        let root = std::env::temp_dir().join(format!("eco-cli-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(&root).unwrap();
+        let mut cluster = Cluster::single_node(SimNode::sr650());
+        let perf = Arc::new(PerfModel::sr650());
+        let work = perf.gflops(&perf.standard_config()) * 20.0;
+        let workload = Arc::new(HpcgWorkload::with_work(perf, work, 104));
+        let runner = HpcgRunner::install(&mut cluster, "/opt/hpcg/bin/xhpcg", workload);
+        let app = Chronus::new(
+            Box::new(RecordStore::open(root.join("db/data.db")).unwrap()),
+            Box::new(LocalBlobStore::new(root.join("blobs")).unwrap()),
+            Box::new(EtcStorage::new(&root)),
+        );
+        Fixture { app, cluster, runner, sampler: IpmiService::new(0, 9), info: LscpuInfo::new(0), root }
+    }
+
+    fn run(f: &mut Fixture, args: &[&str]) -> Result<String> {
+        let mut ctx = CliContext {
+            app: &mut f.app,
+            cluster: &mut f.cluster,
+            runner: &f.runner,
+            sampler: &mut f.sampler,
+            info: &f.info,
+            now_ms: 12345,
+        };
+        run_command(&mut ctx, args)
+    }
+
+    #[test]
+    fn help_and_unknown_command() {
+        let mut f = fixture("help");
+        assert!(run(&mut f, &["--help"]).unwrap().contains("benchmark"));
+        assert!(run(&mut f, &[]).unwrap().contains("Usage"));
+        assert!(run(&mut f, &["frobnicate"]).is_err());
+    }
+
+    #[test]
+    fn benchmark_with_configurations_file() {
+        let mut f = fixture("benchfile");
+        let cfg_file = f.root.join("configurations.json");
+        std::fs::write(
+            &cfg_file,
+            r#"[{"cores": 32, "threads_per_core": 1, "frequency": 2200000},
+                {"cores": 32, "threads_per_core": 1, "frequency": 2500000}]"#,
+        )
+        .unwrap();
+        let out = run(
+            &mut f,
+            &["benchmark", "/opt/hpcg/bin/xhpcg", "--configurations", cfg_file.to_str().unwrap()],
+        )
+        .unwrap();
+        assert!(out.contains("2 benchmark(s) complete"), "{out}");
+        assert!(out.contains("Cores"), "{out}");
+    }
+
+    #[test]
+    fn benchmark_wrong_binary_path_errors() {
+        let mut f = fixture("wrongbin");
+        assert!(run(&mut f, &["benchmark", "/bin/other"]).is_err());
+    }
+
+    #[test]
+    fn full_cli_pipeline() {
+        let mut f = fixture("pipeline");
+        let cfg_file = f.root.join("c.json");
+        std::fs::write(
+            &cfg_file,
+            r#"[{"cores": 32, "threads_per_core": 1, "frequency": 2200000},
+                {"cores": 32, "threads_per_core": 1, "frequency": 2500000},
+                {"cores": 16, "threads_per_core": 2, "frequency": 1500000}]"#,
+        )
+        .unwrap();
+        run(&mut f, &["benchmark", "--configurations", cfg_file.to_str().unwrap()]).unwrap();
+
+        // init-model without --system lists systems (Figure 8)
+        let listing = run(&mut f, &["init-model", "--model", "brute-force"]).unwrap();
+        assert!(listing.contains("Available Systems"), "{listing}");
+        assert!(listing.contains("EPYC"), "{listing}");
+
+        let out = run(&mut f, &["init-model", "--model", "brute-force", "--system", "1"]).unwrap();
+        assert!(out.contains("Model 1 saved"), "{out}");
+
+        // load-model without --model lists models (Figure 9)
+        let listing = run(&mut f, &["load-model"]).unwrap();
+        assert!(listing.contains("Available Models"), "{listing}");
+        assert!(listing.contains("brute-force"), "{listing}");
+
+        let out = run(&mut f, &["load-model", "--model", "1"]).unwrap();
+        assert!(out.contains("downloaded to"), "{out}");
+
+        // slurm-config returns the JSON the plugin consumes
+        let sys_hash = f.info.system_hash(&f.cluster);
+        let bin_hash = f.runner.binary_hash();
+        let sys = format!("{sys_hash}");
+        let bin = format!("{bin_hash}");
+        let json = run(&mut f, &["slurm-config", &sys, &bin]).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["cores"], 32);
+        assert_eq!(v["frequency"], 2_200_000);
+    }
+
+    #[test]
+    fn slurm_config_accepts_hex_hashes() {
+        let mut f = fixture("hex");
+        // no model loaded: errors, but the hash parsing path is exercised
+        let err = run(&mut f, &["slurm-config", "0xff", "0x10"]).unwrap_err();
+        assert!(err.to_string().contains("load-model"), "{err}");
+        assert!(run(&mut f, &["slurm-config", "zzz", "1"]).is_err());
+        assert!(run(&mut f, &["slurm-config", "1"]).is_err());
+    }
+
+    #[test]
+    fn set_commands() {
+        let mut f = fixture("set");
+        assert!(run(&mut f, &["set", "database", "/tmp/x.db"]).unwrap().contains("/tmp/x.db"));
+        assert!(run(&mut f, &["set", "blob-storage", "/tmp/blobs"]).unwrap().contains("/tmp/blobs"));
+        assert!(run(&mut f, &["set", "state", "active"]).unwrap().contains("active"));
+        assert!(run(&mut f, &["set", "state", "sideways"]).is_err());
+        assert!(run(&mut f, &["set", "--help"]).unwrap().contains("blob-storage"));
+        assert!(run(&mut f, &["set", "bogus"]).is_err());
+        let s = f.app.settings().unwrap();
+        assert_eq!(s.database, "/tmp/x.db");
+        assert_eq!(s.state, crate::domain::PluginState::Active);
+    }
+
+    #[test]
+    fn init_model_bad_args() {
+        let mut f = fixture("badargs");
+        assert!(run(&mut f, &["init-model", "--system", "abc"]).is_err());
+        assert!(run(&mut f, &["init-model", "--model", "bogus", "--system", "1"]).is_err());
+        assert!(run(&mut f, &["load-model", "--model", "nan"]).is_err());
+    }
+}

@@ -1,0 +1,84 @@
+//! Chronus error type.
+
+/// Errors surfaced by Chronus services and integrations.
+#[derive(Debug)]
+pub enum ChronusError {
+    /// An I/O failure in a storage integration.
+    Io(std::io::Error),
+    /// A (de)serialisation failure.
+    Serde(serde_json::Error),
+    /// The repository has no such entity.
+    NotFound(String),
+    /// An optimizer was asked to predict before being fitted, or fitting
+    /// failed.
+    Model(String),
+    /// A benchmark run failed inside the workload manager.
+    Slurm(eco_slurm_sim::SlurmError),
+    /// Invalid input from the CLI or a configuration file.
+    InvalidInput(String),
+}
+
+impl std::fmt::Display for ChronusError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChronusError::Io(e) => write!(f, "io error: {e}"),
+            ChronusError::Serde(e) => write!(f, "serialisation error: {e}"),
+            ChronusError::NotFound(what) => write!(f, "not found: {what}"),
+            ChronusError::Model(m) => write!(f, "model error: {m}"),
+            ChronusError::Slurm(e) => write!(f, "slurm error: {e}"),
+            ChronusError::InvalidInput(m) => write!(f, "invalid input: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ChronusError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ChronusError::Io(e) => Some(e),
+            ChronusError::Serde(e) => Some(e),
+            ChronusError::Slurm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ChronusError {
+    fn from(e: std::io::Error) -> Self {
+        ChronusError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ChronusError {
+    fn from(e: serde_json::Error) -> Self {
+        ChronusError::Serde(e)
+    }
+}
+
+impl From<eco_slurm_sim::SlurmError> for ChronusError {
+    fn from(e: eco_slurm_sim::SlurmError) -> Self {
+        ChronusError::Slurm(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ChronusError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(ChronusError::NotFound("model 3".into()).to_string().contains("model 3"));
+        assert!(ChronusError::Model("unfitted".into()).to_string().contains("unfitted"));
+        assert!(ChronusError::InvalidInput("x".into()).to_string().contains("invalid input"));
+    }
+
+    #[test]
+    fn conversions() {
+        let io: ChronusError = std::io::Error::new(std::io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(io, ChronusError::Io(_)));
+        let slurm: ChronusError = eco_slurm_sim::SlurmError::InvalidScript("bad".into()).into();
+        assert!(matches!(slurm, ChronusError::Slurm(_)));
+    }
+}

@@ -1,0 +1,84 @@
+//! Identity hashing, exactly as the paper's plugin does it (§4.2.1).
+//!
+//! The C plugin concatenates `/proc/cpuinfo` with the `MemTotal` line of
+//! `/proc/meminfo` and feeds the string through the `simple_hash` function
+//! of Listing 3 (djb2 with the paper's seed 53871). The binary hash runs
+//! the same function over the executable's contents.
+
+use eco_sim_node::cpu::CpuSpec;
+use eco_sim_node::sysinfo::{proc_cpuinfo, proc_meminfo};
+
+/// The paper's Listing 3 `simple_hash`: djb2 (`hash * 33 + c`) seeded with
+/// 53871 instead of the canonical 5381.
+pub fn simple_hash(input: &str) -> u64 {
+    let mut hash: u64 = 53871;
+    for &byte in input.as_bytes() {
+        hash = hash.wrapping_mul(33).wrapping_add(byte as u64);
+    }
+    hash
+}
+
+/// The system hash: `simple_hash` over the concatenation of the node's
+/// `/proc/cpuinfo` and its RAM size line, as the plugin reads them.
+pub fn system_hash(spec: &CpuSpec, ram_gb: u32) -> u64 {
+    let mut s = proc_cpuinfo(spec);
+    s.push_str(&proc_meminfo(ram_gb));
+    simple_hash(&s)
+}
+
+/// The binary hash: `simple_hash` over the executable's contents. The
+/// simulation stands in the workload's `binary_id` for the file bytes.
+pub fn binary_hash(binary_contents: &str) -> u64 {
+    simple_hash(binary_contents)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_djb2_recurrence() {
+        // hash("a") = 53871 * 33 + 'a'
+        assert_eq!(simple_hash("a"), 53871 * 33 + 97);
+        // hash("ab") = (hash("a")) * 33 + 'b'
+        assert_eq!(simple_hash("ab"), (53871u64 * 33 + 97) * 33 + 98);
+    }
+
+    #[test]
+    fn empty_string_is_seed() {
+        assert_eq!(simple_hash(""), 53871);
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        assert_eq!(simple_hash("hpcg"), simple_hash("hpcg"));
+        assert_ne!(simple_hash("hpcg"), simple_hash("hpcl"));
+        assert_ne!(simple_hash("ab"), simple_hash("ba"));
+    }
+
+    #[test]
+    fn system_hash_stable_for_same_machine() {
+        let spec = CpuSpec::epyc_7502p();
+        assert_eq!(system_hash(&spec, 256), system_hash(&spec, 256));
+    }
+
+    #[test]
+    fn system_hash_distinguishes_ram_and_cpu() {
+        let spec = CpuSpec::epyc_7502p();
+        assert_ne!(system_hash(&spec, 256), system_hash(&spec, 128));
+        let mut other = spec.clone();
+        other.name = "AMD EPYC 7302P 16-Core Processor".into();
+        assert_ne!(system_hash(&spec, 256), system_hash(&other, 256));
+    }
+
+    #[test]
+    fn binary_hash_distinguishes_problem_sizes() {
+        assert_ne!(binary_hash("xhpcg-3.1-nx104-ny104-nz104"), binary_hash("xhpcg-3.1-nx64-ny64-nz64"));
+    }
+
+    #[test]
+    fn no_overflow_panic_on_long_input() {
+        let long = "x".repeat(100_000);
+        let _ = simple_hash(&long); // wrapping arithmetic, must not panic
+    }
+}

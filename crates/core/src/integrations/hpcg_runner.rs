@@ -1,0 +1,136 @@
+//! The HPCG implementation of the Application Runner interface.
+//!
+//! Mirrors the paper's Listing 5/6 flow: generate a Slurm batch file with
+//! the configuration's `--ntasks`, `--cpu-freq` and `--ntasks-per-core`,
+//! submit it with `sbatch`, and read the GFLOP rating back when the job
+//! completes.
+
+use crate::error::Result;
+use crate::hash::binary_hash;
+use crate::interfaces::ApplicationRunner;
+use eco_hpcg::workload::Workload;
+use eco_sim_node::cpu::CpuConfig;
+use eco_slurm_sim::script::generate_hpcg_script;
+use eco_slurm_sim::{Cluster, JobId, JobRecord};
+use std::sync::Arc;
+
+/// Runs HPCG benchmark jobs through the cluster.
+pub struct HpcgRunner {
+    binary_path: String,
+    workload: Arc<dyn Workload>,
+    user: String,
+}
+
+impl HpcgRunner {
+    /// Creates the runner and installs the HPCG binary into the cluster's
+    /// executable registry at `binary_path`.
+    pub fn install(cluster: &mut Cluster, binary_path: &str, workload: Arc<dyn Workload>) -> Self {
+        cluster.register_binary(binary_path, workload.clone());
+        HpcgRunner { binary_path: binary_path.to_string(), workload, user: "chronus".to_string() }
+    }
+
+    /// The workload behind the binary.
+    pub fn workload(&self) -> &Arc<dyn Workload> {
+        &self.workload
+    }
+}
+
+impl ApplicationRunner for HpcgRunner {
+    fn name(&self) -> &str {
+        "hpcg"
+    }
+
+    fn binary_path(&self) -> &str {
+        &self.binary_path
+    }
+
+    fn binary_hash(&self) -> u64 {
+        binary_hash(self.workload.binary_id())
+    }
+
+    fn submit(&self, cluster: &mut Cluster, config: &CpuConfig) -> Result<JobId> {
+        let script =
+            generate_hpcg_script(config.cores, config.frequency_khz, config.threads_per_core, &self.binary_path);
+        Ok(cluster.sbatch(&script, &self.user)?)
+    }
+
+    fn gflops_from_record(&self, record: &JobRecord) -> f64 {
+        let (Some(start), Some(end)) = (record.start_time, record.end_time) else { return 0.0 };
+        let secs = (end - start).as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.workload.total_gflop() / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_hpcg::perf_model::PerfModel;
+    use eco_hpcg::workload::HpcgWorkload;
+    use eco_sim_node::clock::SimDuration;
+    use eco_sim_node::SimNode;
+    use eco_slurm_sim::JobState;
+
+    fn setup() -> (Cluster, HpcgRunner) {
+        let mut cluster = Cluster::single_node(SimNode::sr650());
+        let perf = Arc::new(PerfModel::sr650());
+        // a light workload (1/50 of the paper's) to keep tests fast
+        let work = perf.gflops(&perf.standard_config()) * 22.0;
+        let workload = Arc::new(HpcgWorkload::with_work(perf, work, 104));
+        let runner = HpcgRunner::install(&mut cluster, "/opt/hpcg/bin/xhpcg", workload);
+        (cluster, runner)
+    }
+
+    #[test]
+    fn submit_generates_listing_6_job() {
+        let (mut cluster, runner) = setup();
+        let cfg = CpuConfig::new(32, 2_200_000, 2);
+        let id = runner.submit(&mut cluster, &cfg).unwrap();
+        let job = cluster.job(id).unwrap();
+        assert_eq!(job.descriptor.num_tasks, 32);
+        assert_eq!(job.descriptor.threads_per_cpu, 2);
+        assert_eq!(job.descriptor.max_frequency_khz, Some(2_200_000));
+        assert_eq!(job.descriptor.user, "chronus");
+        assert_eq!(job.state, JobState::Running);
+    }
+
+    #[test]
+    fn gflops_recovered_from_runtime() {
+        let (mut cluster, runner) = setup();
+        let cfg = CpuConfig::new(32, 2_500_000, 1);
+        let id = runner.submit(&mut cluster, &cfg).unwrap();
+        cluster.run_until_idle(SimDuration::from_mins(5));
+        let record = cluster.accounting().get(id).unwrap();
+        let gflops = runner.gflops_from_record(record);
+        // the standard configuration delivers ~9.35 GFLOP/s
+        assert!((gflops - 9.35).abs() < 0.2, "gflops {gflops}");
+    }
+
+    #[test]
+    fn binary_hash_stable_and_content_derived() {
+        let (_c, runner) = setup();
+        assert_eq!(runner.binary_hash(), binary_hash("xhpcg-3.1-nx104-ny104-nz104"));
+        assert_eq!(runner.name(), "hpcg");
+        assert_eq!(runner.binary_path(), "/opt/hpcg/bin/xhpcg");
+    }
+
+    #[test]
+    fn gflops_of_unstarted_record_is_zero() {
+        let record = JobRecord {
+            id: eco_slurm_sim::JobId(1),
+            name: "x".into(),
+            user: "u".into(),
+            state: JobState::Cancelled,
+            config: None,
+            submit_time: eco_sim_node::clock::SimTime::ZERO,
+            start_time: None,
+            end_time: None,
+            system_energy_j: 0.0,
+            cpu_energy_j: 0.0,
+        };
+        let (_c, runner) = setup();
+        assert_eq!(runner.gflops_from_record(&record), 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! The System Service (IPMI) and System Info (`lscpu`) integrations —
+//! Chronus's window onto the node's sensors and identity.
+
+use crate::domain::EnergySample;
+use crate::hash::system_hash;
+use crate::interfaces::{SystemInfoProvider, SystemService};
+use eco_sim_node::clock::SimTime;
+use eco_sim_node::ipmi::Bmc;
+use eco_sim_node::sysinfo::SystemFacts;
+use eco_slurm_sim::Cluster;
+
+/// The IPMI implementation of the System Service interface: polls the
+/// BMC of one cluster node (the paper's §3.1.2 step 2 sampler).
+pub struct IpmiService {
+    bmc: Bmc,
+    node_idx: usize,
+    t0: Option<SimTime>,
+}
+
+impl IpmiService {
+    /// Monitors node `node_idx` through a BMC seeded for deterministic
+    /// sensor noise.
+    pub fn new(node_idx: usize, seed: u64) -> Self {
+        IpmiService { bmc: Bmc::new(seed), node_idx, t0: None }
+    }
+
+    /// Resets the sample-relative time origin (call at job start).
+    pub fn start_window(&mut self, at: SimTime) {
+        self.t0 = Some(at);
+    }
+}
+
+impl SystemService for IpmiService {
+    fn sample(&mut self, cluster: &Cluster) -> EnergySample {
+        let node = cluster.node(self.node_idx);
+        let reading = self.bmc.read(node);
+        let t0 = *self.t0.get_or_insert(reading.time);
+        EnergySample {
+            t_s: (reading.time - t0).as_secs_f64(),
+            system_w: reading.total_power_w as f64,
+            cpu_w: reading.cpu_power_w as f64,
+            cpu_temp_c: reading.cpu_temp_c as f64,
+        }
+    }
+}
+
+/// The multi-node implementation of the System Service interface — the
+/// paper's §3.2 contrast case: "in a multi-node configuration, obtaining
+/// power data necessitates an API measuring power consumption across
+/// multiple nodes. … That is two different implementations for the same
+/// integration interface." One BMC per node, readings summed cluster-wide
+/// (temperature reported as the hottest package, the operational metric).
+pub struct ClusterPowerApi {
+    bmcs: Vec<Bmc>,
+    t0: Option<SimTime>,
+}
+
+impl ClusterPowerApi {
+    /// Monitors `node_count` nodes, one deterministic BMC each.
+    pub fn new(node_count: usize, seed: u64) -> Self {
+        assert!(node_count >= 1, "need at least one node");
+        ClusterPowerApi {
+            bmcs: (0..node_count).map(|i| Bmc::new(seed.wrapping_add(i as u64))).collect(),
+            t0: None,
+        }
+    }
+
+    /// Resets the sample-relative time origin.
+    pub fn start_window(&mut self, at: SimTime) {
+        self.t0 = Some(at);
+    }
+}
+
+impl SystemService for ClusterPowerApi {
+    fn sample(&mut self, cluster: &Cluster) -> EnergySample {
+        assert_eq!(self.bmcs.len(), cluster.node_count(), "one BMC per node");
+        let mut system_w = 0.0;
+        let mut cpu_w = 0.0;
+        let mut max_temp: f64 = 0.0;
+        let mut time = SimTime::ZERO;
+        for (idx, bmc) in self.bmcs.iter_mut().enumerate() {
+            let r = bmc.read(cluster.node(idx));
+            system_w += r.total_power_w as f64;
+            cpu_w += r.cpu_power_w as f64;
+            max_temp = max_temp.max(r.cpu_temp_c as f64);
+            time = r.time;
+        }
+        let t0 = *self.t0.get_or_insert(time);
+        EnergySample { t_s: (time - t0).as_secs_f64(), system_w, cpu_w, cpu_temp_c: max_temp }
+    }
+}
+
+/// The `lscpu` implementation of the System Info interface.
+pub struct LscpuInfo {
+    node_idx: usize,
+}
+
+impl LscpuInfo {
+    /// Reads identity from node `node_idx`.
+    pub fn new(node_idx: usize) -> Self {
+        LscpuInfo { node_idx }
+    }
+}
+
+impl SystemInfoProvider for LscpuInfo {
+    fn facts(&self, cluster: &Cluster) -> SystemFacts {
+        SystemFacts::from_node(cluster.node(self.node_idx))
+    }
+
+    fn system_hash(&self, cluster: &Cluster) -> u64 {
+        let node = cluster.node(self.node_idx);
+        system_hash(node.spec(), node.ram_gb())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_sim_node::clock::SimDuration;
+    use eco_sim_node::SimNode;
+
+    fn cluster() -> Cluster {
+        Cluster::single_node(SimNode::sr650())
+    }
+
+    #[test]
+    fn sample_times_are_window_relative() {
+        let mut c = cluster();
+        c.advance(SimDuration::from_secs(100));
+        let mut svc = IpmiService::new(0, 1);
+        svc.start_window(c.now());
+        let s0 = svc.sample(&c);
+        assert_eq!(s0.t_s, 0.0);
+        c.advance(SimDuration::from_secs(2));
+        let s1 = svc.sample(&c);
+        assert_eq!(s1.t_s, 2.0);
+    }
+
+    #[test]
+    fn sample_without_window_anchors_to_first_read() {
+        let mut c = cluster();
+        c.advance(SimDuration::from_secs(50));
+        let mut svc = IpmiService::new(0, 1);
+        assert_eq!(svc.sample(&c).t_s, 0.0);
+    }
+
+    #[test]
+    fn idle_sample_values_are_plausible() {
+        let c = cluster();
+        let mut svc = IpmiService::new(0, 1);
+        let s = svc.sample(&c);
+        assert!(s.system_w > 100.0 && s.system_w < 160.0, "idle sys {}", s.system_w);
+        assert!(s.cpu_w > 30.0 && s.cpu_w < 60.0, "idle cpu {}", s.cpu_w);
+        assert!(s.cpu_temp_c > 20.0 && s.cpu_temp_c < 35.0, "idle temp {}", s.cpu_temp_c);
+    }
+
+    #[test]
+    fn cluster_power_api_sums_nodes() {
+        let mut c = Cluster::new(vec![SimNode::sr650(), SimNode::sr650()]);
+        let mut single = IpmiService::new(0, 1);
+        let mut multi = ClusterPowerApi::new(2, 1);
+        c.advance(SimDuration::from_secs(5));
+        let one = single.sample(&c);
+        let all = multi.sample(&c);
+        // two idle nodes draw roughly twice one idle node
+        assert!((all.system_w / one.system_w - 2.0).abs() < 0.1, "{} vs {}", all.system_w, one.system_w);
+        assert!(all.cpu_w > one.cpu_w * 1.8);
+    }
+
+    #[test]
+    fn cluster_power_api_reports_hottest_package() {
+        use eco_hpcg::workload::{ScalingKind, SyntheticWorkload};
+        use eco_slurm_sim::JobDescriptor;
+        use std::sync::Arc;
+        let mut c = Cluster::new(vec![SimNode::sr650(), SimNode::sr650()]);
+        c.register_binary(
+            "/bin/app",
+            Arc::new(SyntheticWorkload::new("app", ScalingKind::ComputeBound, 10_000.0, 1.0)),
+        );
+        // load only node 0
+        let mut d = JobDescriptor::new("hot", "u", "/bin/app");
+        d.num_tasks = 32;
+        c.submit(d).unwrap();
+        c.advance(SimDuration::from_mins(5));
+        let mut multi = ClusterPowerApi::new(2, 7);
+        let s = multi.sample(&c);
+        let hot = c.node(0).telemetry().cpu_temp_c;
+        assert!((s.cpu_temp_c - hot).abs() < 2.0, "reported {} vs hottest {}", s.cpu_temp_c, hot);
+    }
+
+    #[test]
+    #[should_panic(expected = "one BMC per node")]
+    fn cluster_power_api_checks_node_count() {
+        let c = Cluster::single_node(SimNode::sr650());
+        let mut multi = ClusterPowerApi::new(3, 0);
+        let _ = multi.sample(&c);
+    }
+
+    #[test]
+    fn lscpu_facts_and_hash() {
+        let c = cluster();
+        let info = LscpuInfo::new(0);
+        let facts = info.facts(&c);
+        assert_eq!(facts.cores, 32);
+        assert_eq!(facts.ram_gb, 256);
+        // hash is stable and derived from the node identity
+        assert_eq!(info.system_hash(&c), info.system_hash(&c));
+        assert_eq!(info.system_hash(&c), system_hash(c.node(0).spec(), 256));
+    }
+}

@@ -1,0 +1,162 @@
+//! Chronus logging — the paper's Figure 1/6 output: timestamped INFO lines
+//! mirrored to the terminal buffer and to a log file
+//! (`/var/log/chronus.log` in the paper's §3.3).
+//!
+//! Timestamps come from simulated time so experiment logs are
+//! deterministic and match the run they describe.
+
+use eco_sim_node::clock::SimTime;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Severity of a log line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Informational (the paper's logs are all INFO).
+    Info,
+    /// Something degraded but the run continues.
+    Warn,
+    /// An operation failed.
+    Error,
+}
+
+impl Level {
+    fn tag(self) -> &'static str {
+        match self {
+            Level::Info => "INFO",
+            Level::Warn => "WARN",
+            Level::Error => "ERROR",
+        }
+    }
+}
+
+/// One captured log entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEntry {
+    /// Simulated instant.
+    pub time: SimTime,
+    /// Severity.
+    pub level: Level,
+    /// Message text.
+    pub message: String,
+    /// Source tag (the paper shows `hpcg.py:118`-style origins).
+    pub origin: &'static str,
+}
+
+impl LogEntry {
+    /// Renders the paper's log-line shape:
+    /// `[0:14:53] INFO GFLOP/s rating found: 9.34829    hpcg.rs:118`.
+    pub fn render(&self) -> String {
+        format!("[{}] {} {}    {}", self.time, self.level.tag(), self.message, self.origin)
+    }
+}
+
+/// The Chronus logger: keeps an in-memory buffer (the "terminal") and
+/// optionally appends to a log file.
+#[derive(Debug, Default)]
+pub struct ChronusLog {
+    entries: Vec<LogEntry>,
+    file: Option<PathBuf>,
+}
+
+impl ChronusLog {
+    /// A memory-only logger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Also appends every line to `path` (the paper's
+    /// `/var/log/chronus.log`).
+    pub fn with_file(path: impl AsRef<Path>) -> Self {
+        ChronusLog { entries: Vec::new(), file: Some(path.as_ref().to_path_buf()) }
+    }
+
+    /// Logs one line.
+    pub fn log(&mut self, time: SimTime, level: Level, origin: &'static str, message: impl Into<String>) {
+        let entry = LogEntry { time, level, message: message.into(), origin };
+        if let Some(path) = &self.file {
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+                let _ = writeln!(f, "{}", entry.render());
+            }
+        }
+        self.entries.push(entry);
+    }
+
+    /// Convenience: INFO.
+    pub fn info(&mut self, time: SimTime, origin: &'static str, message: impl Into<String>) {
+        self.log(time, Level::Info, origin, message);
+    }
+
+    /// Convenience: WARN.
+    pub fn warn(&mut self, time: SimTime, origin: &'static str, message: impl Into<String>) {
+        self.log(time, Level::Warn, origin, message);
+    }
+
+    /// The captured entries, in order.
+    pub fn entries(&self) -> &[LogEntry] {
+        &self.entries
+    }
+
+    /// Renders the whole buffer (what the terminal showed).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&e.render());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_matches_paper_shape() {
+        let e = LogEntry {
+            time: SimTime::from_secs(14 * 3600 + 16 * 60 + 53),
+            level: Level::Info,
+            message: "GFLOP/s rating found: 9.34829".into(),
+            origin: "hpcg.rs:118",
+        };
+        assert_eq!(e.render(), "[14:16:53] INFO GFLOP/s rating found: 9.34829    hpcg.rs:118");
+    }
+
+    #[test]
+    fn buffer_captures_in_order() {
+        let mut log = ChronusLog::new();
+        log.info(SimTime::from_secs(1), "a.rs:1", "first");
+        log.warn(SimTime::from_secs(2), "b.rs:2", "second");
+        assert_eq!(log.entries().len(), 2);
+        assert_eq!(log.entries()[0].message, "first");
+        assert_eq!(log.entries()[1].level, Level::Warn);
+        let text = log.render();
+        assert!(text.contains("INFO first"));
+        assert!(text.contains("WARN second"));
+    }
+
+    #[test]
+    fn file_sink_appends() {
+        let dir = std::env::temp_dir().join(format!("eco-log-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("var/log/chronus.log");
+        let mut log = ChronusLog::with_file(&path);
+        log.info(SimTime::from_secs(5), "x.rs:1", "hello");
+        log.info(SimTime::from_secs(6), "x.rs:2", "world");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content.lines().count(), 2);
+        assert!(content.contains("hello"));
+        assert!(content.contains("world"));
+    }
+
+    #[test]
+    fn level_tags() {
+        assert_eq!(Level::Info.tag(), "INFO");
+        assert_eq!(Level::Warn.tag(), "WARN");
+        assert_eq!(Level::Error.tag(), "ERROR");
+    }
+}

@@ -1,0 +1,163 @@
+//! The presenter layer — maps application data to what the CLI prints and
+//! what `job_submit_eco` consumes (the paper's green ring in Figure 11).
+
+use crate::domain::{Benchmark, ModelMetadata, SystemEntry};
+use eco_sim_node::cpu::CpuConfig;
+use serde_json::json;
+
+/// Renders a configuration as the JSON `slurm-config` returns to the eco
+/// plugin — exactly the paper's §3.3 shape:
+/// `{"cores": 32, "threads_per_core": 2, "frequency": 2200000}`.
+pub fn config_json(config: &CpuConfig) -> String {
+    json!({
+        "cores": config.cores,
+        "threads_per_core": config.threads_per_core,
+        "frequency": config.frequency_khz,
+    })
+    .to_string()
+}
+
+/// Parses a configuration from the plugin-protocol JSON.
+pub fn config_from_json(s: &str) -> Result<CpuConfig, serde_json::Error> {
+    serde_json::from_str(s)
+}
+
+/// Parses the `--configurations` file: a JSON array of configurations
+/// (the paper's §3.3 example).
+pub fn configs_from_json(s: &str) -> Result<Vec<CpuConfig>, serde_json::Error> {
+    serde_json::from_str(s)
+}
+
+/// Renders the "Available Systems" listing `init-model` shows when no
+/// system id is given (paper Figure 8).
+pub fn systems_table(systems: &[SystemEntry]) -> String {
+    let mut out = String::from("Available Systems\nID   CPU                                      Cores  Threads/core  RAM\n");
+    for s in systems {
+        out.push_str(&format!(
+            "{:<4} {:<40} {:<6} {:<13} {} GB\n",
+            s.id, s.facts.cpu_name, s.facts.cores, s.facts.threads_per_core, s.facts.ram_gb
+        ));
+    }
+    out.push_str("Specify the system id with --system <id>\n");
+    out
+}
+
+/// Renders the "Available Models" listing `load-model` shows when no
+/// model id is given (paper Figure 9).
+pub fn models_table(models: &[ModelMetadata]) -> String {
+    let mut out = String::from("Available Models\nID   Type               System  Rows  R2      Blob\n");
+    for m in models {
+        out.push_str(&format!(
+            "{:<4} {:<18} {:<7} {:<5} {:<7.4} {}\n",
+            m.id, m.model_type, m.system_id, m.train_rows, m.fit_r2, m.blob_path
+        ));
+    }
+    out.push_str("Specify the model id with --model <id>\n");
+    out
+}
+
+/// Renders a benchmark sweep as a GFLOPS/W table in the paper's
+/// Tables 4–6 format.
+pub fn benchmarks_table(benchmarks: &[Benchmark]) -> String {
+    let mut rows: Vec<&Benchmark> = benchmarks.iter().collect();
+    rows.sort_by(|a, b| b.gflops_per_watt().partial_cmp(&a.gflops_per_watt()).expect("finite gpw"));
+    let mut out = String::from("Cores  GHz  GFLOPS p/ watt  Hyper-thread\n");
+    for b in rows {
+        out.push_str(&format!(
+            "{:<6} {:<4.1} {:<15.6} {}\n",
+            b.config.cores,
+            b.config.ghz(),
+            b.gflops_per_watt(),
+            if b.config.hyper_threading() { "True" } else { "False" }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_sim_node::sysinfo::SystemFacts;
+
+    #[test]
+    fn config_json_matches_paper_shape() {
+        let c = CpuConfig::new(32, 2_200_000, 2);
+        let json = config_json(&c);
+        let v: serde_json::Value = serde_json::from_str(&json).unwrap();
+        assert_eq!(v["cores"], 32);
+        assert_eq!(v["threads_per_core"], 2);
+        assert_eq!(v["frequency"], 2_200_000);
+    }
+
+    #[test]
+    fn config_json_roundtrip() {
+        let c = CpuConfig::new(16, 1_500_000, 1);
+        assert_eq!(config_from_json(&config_json(&c)).unwrap(), c);
+    }
+
+    #[test]
+    fn configs_from_json_parses_paper_example() {
+        // the paper's §3.3 configuration file
+        let s = r#"[
+            {"cores": 32, "threads_per_core": 2, "frequency": 2200000}
+        ]"#;
+        let v = configs_from_json(s).unwrap();
+        assert_eq!(v, vec![CpuConfig::new(32, 2_200_000, 2)]);
+        assert!(configs_from_json("not json").is_err());
+    }
+
+    #[test]
+    fn tables_render() {
+        let systems = vec![SystemEntry {
+            id: 1,
+            facts: SystemFacts {
+                cpu_name: "AMD EPYC 7502P 32-Core Processor".into(),
+                cores: 32,
+                threads_per_core: 2,
+                frequencies_khz: vec![1_500_000],
+                ram_gb: 256,
+            },
+            system_hash: 5,
+        }];
+        let t = systems_table(&systems);
+        assert!(t.contains("Available Systems"));
+        assert!(t.contains("EPYC 7502P"));
+        assert!(t.contains("--system <id>"));
+
+        let models = vec![ModelMetadata {
+            id: 3,
+            model_type: "random-tree".into(),
+            system_id: 1,
+            binary_hash: 9,
+            blob_path: "models/x.json".into(),
+            created_at_ms: 0,
+            train_rows: 138,
+            fit_r2: 0.98,
+        }];
+        let t = models_table(&models);
+        assert!(t.contains("Available Models"));
+        assert!(t.contains("random-tree"));
+        assert!(t.contains("--model <id>"));
+    }
+
+    #[test]
+    fn benchmarks_table_sorted_descending() {
+        let mk = |cores: u32, gflops: f64| Benchmark {
+            id: -1,
+            system_id: 1,
+            binary_hash: 1,
+            config: CpuConfig::new(cores, 2_200_000, 1),
+            gflops,
+            runtime_s: 10.0,
+            avg_system_w: 100.0,
+            avg_cpu_w: 50.0,
+            avg_cpu_temp_c: 50.0,
+            system_energy_j: 1000.0,
+            cpu_energy_j: 500.0,
+            sample_count: 5,
+        };
+        let t = benchmarks_table(&[mk(8, 2.0), mk(32, 9.0)]);
+        let first_data_line = t.lines().nth(1).unwrap();
+        assert!(first_data_line.starts_with("32"), "{t}");
+    }
+}

@@ -1,0 +1,62 @@
+//! Process-level test of the `chronus` binary: the paper's §3.3 workflow
+//! run as a real CLI across separate invocations, with state persisting in
+//! `$CHRONUS_HOME`.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn chronus(home: &PathBuf, args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_chronus"))
+        .args(args)
+        .env("CHRONUS_HOME", home)
+        .env("CHRONUS_SCALE", "0.005")
+        .output()
+        .expect("spawn chronus");
+    let text = format!("{}{}", String::from_utf8_lossy(&out.stdout), String::from_utf8_lossy(&out.stderr));
+    (out.status.success(), text)
+}
+
+#[test]
+fn workflow_across_separate_processes() {
+    let home = std::env::temp_dir().join(format!("eco-clibin-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&home);
+    std::fs::create_dir_all(&home).unwrap();
+
+    // benchmark three configurations
+    let cfg = home.join("configurations.json");
+    std::fs::write(
+        &cfg,
+        r#"[{"cores": 32, "threads_per_core": 1, "frequency": 2500000},
+            {"cores": 32, "threads_per_core": 1, "frequency": 2200000},
+            {"cores": 16, "threads_per_core": 2, "frequency": 1500000}]"#,
+    )
+    .unwrap();
+    let (ok, out) = chronus(&home, &["benchmark", "/opt/hpcg/bin/xhpcg", "--configurations", cfg.to_str().unwrap()]);
+    assert!(ok, "{out}");
+    assert!(out.contains("3 benchmark(s) complete"), "{out}");
+
+    // a separate process sees the persisted benchmarks and trains
+    let (ok, out) = chronus(&home, &["init-model", "--model", "brute-force", "--system", "1"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("Model 1 saved"), "{out}");
+
+    // stage the model
+    let (ok, out) = chronus(&home, &["load-model", "--model", "1"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("downloaded to"), "{out}");
+
+    // grab the hashes, then predict from yet another process
+    let (ok, hashes) = chronus(&home, &["hashes"]);
+    assert!(ok, "{hashes}");
+    let sys = hashes.lines().next().unwrap().rsplit(' ').next().unwrap().to_string();
+    let bin = hashes.lines().nth(1).unwrap().rsplit(' ').next().unwrap().to_string();
+    let (ok, json) = chronus(&home, &["slurm-config", &sys, &bin]);
+    assert!(ok, "{json}");
+    let v: serde_json::Value = serde_json::from_str(json.trim()).expect("plugin-protocol JSON");
+    assert_eq!(v["cores"], 32, "{json}");
+    assert_eq!(v["frequency"], 2_200_000, "{json}");
+
+    // a bad command exits non-zero
+    let (ok, _) = chronus(&home, &["frobnicate"]);
+    assert!(!ok);
+}

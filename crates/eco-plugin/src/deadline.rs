@@ -1,0 +1,154 @@
+//! Deadline-aware configuration selection — the paper's §6.2.1 future
+//! work: "giving a deadline as an input in sbatch, and the model finds the
+//! best configuration that still finishes before the deadline".
+//!
+//! The selector works over measured benchmarks: among configurations whose
+//! measured runtime (scaled to the job's expected work) meets the
+//! deadline, it picks the best GFLOPS/W. Opt-in via
+//! `--comment "chronus deadline=<seconds>"`.
+
+use chronus::domain::Benchmark;
+use eco_sim_node::cpu::CpuConfig;
+
+/// Selects energy-efficient configurations under a runtime constraint.
+#[derive(Debug, Clone)]
+pub struct DeadlineSelector {
+    /// `(config, gflops_per_watt, runtime_s)` triples from benchmarks.
+    rows: Vec<(CpuConfig, f64, f64)>,
+}
+
+impl DeadlineSelector {
+    /// Builds the selector from benchmark measurements.
+    pub fn from_benchmarks(benchmarks: &[Benchmark]) -> Self {
+        DeadlineSelector {
+            rows: benchmarks.iter().map(|b| (b.config, b.gflops_per_watt(), b.runtime_s)).collect(),
+        }
+    }
+
+    /// Number of candidate configurations.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no candidates exist.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The most efficient configuration whose (scaled) runtime fits within
+    /// `deadline_s`. `work_scale` scales the benchmarked runtime to the
+    /// actual job (1.0 = same problem size as the benchmark). Returns
+    /// `None` if no configuration can meet the deadline.
+    pub fn best_within(&self, deadline_s: f64, work_scale: f64) -> Option<CpuConfig> {
+        assert!(work_scale > 0.0, "work scale must be positive");
+        self.rows
+            .iter()
+            .filter(|(_, _, runtime)| runtime * work_scale <= deadline_s)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite gpw"))
+            .map(|&(c, _, _)| c)
+    }
+
+    /// The fastest configuration regardless of efficiency (the fallback a
+    /// site might choose when nothing meets the deadline).
+    pub fn fastest(&self) -> Option<CpuConfig> {
+        self.rows
+            .iter()
+            .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite runtime"))
+            .map(|&(c, _, _)| c)
+    }
+}
+
+/// Parses `deadline=<seconds>` out of a job comment; `None` when absent or
+/// malformed.
+pub fn parse_deadline(comment: &str) -> Option<f64> {
+    comment
+        .split_whitespace()
+        .find_map(|w| w.strip_prefix("deadline="))
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|d| *d > 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench(cores: u32, khz: u64, gpw: f64, runtime_s: f64) -> Benchmark {
+        Benchmark {
+            id: -1,
+            system_id: 1,
+            binary_hash: 0,
+            config: CpuConfig::new(cores, khz, 1),
+            gflops: gpw * 200.0,
+            runtime_s,
+            avg_system_w: 200.0,
+            avg_cpu_w: 100.0,
+            avg_cpu_temp_c: 50.0,
+            system_energy_j: 200.0 * runtime_s,
+            cpu_energy_j: 100.0 * runtime_s,
+            sample_count: 10,
+        }
+    }
+
+    fn selector() -> DeadlineSelector {
+        DeadlineSelector::from_benchmarks(&[
+            bench(32, 2_500_000, 0.0432, 1109.0), // fastest, least efficient
+            bench(32, 2_200_000, 0.0488, 1127.0), // best efficiency, slightly slower
+            bench(32, 1_500_000, 0.0480, 1232.0), // slowest
+        ])
+    }
+
+    #[test]
+    fn loose_deadline_picks_most_efficient() {
+        let s = selector();
+        assert_eq!(s.best_within(2000.0, 1.0), Some(CpuConfig::new(32, 2_200_000, 1)));
+    }
+
+    #[test]
+    fn tight_deadline_forces_faster_config() {
+        let s = selector();
+        // only the 2.5 GHz run fits under 1110 s
+        assert_eq!(s.best_within(1110.0, 1.0), Some(CpuConfig::new(32, 2_500_000, 1)));
+    }
+
+    #[test]
+    fn intermediate_deadline_excludes_slowest_only() {
+        let s = selector();
+        // 1130 s: 2.5 (1109) and 2.2 (1127) fit; 1.5 (1232) does not
+        assert_eq!(s.best_within(1130.0, 1.0), Some(CpuConfig::new(32, 2_200_000, 1)));
+    }
+
+    #[test]
+    fn impossible_deadline_yields_none() {
+        let s = selector();
+        assert_eq!(s.best_within(100.0, 1.0), None);
+        assert_eq!(s.fastest(), Some(CpuConfig::new(32, 2_500_000, 1)));
+    }
+
+    #[test]
+    fn work_scale_shifts_feasibility() {
+        let s = selector();
+        // half the work: everything finishes in half the time
+        assert_eq!(s.best_within(620.0, 0.5), Some(CpuConfig::new(32, 2_200_000, 1)));
+        // double the work under the same deadline: nothing fits
+        assert_eq!(s.best_within(1300.0, 2.0), None);
+    }
+
+    #[test]
+    fn empty_selector() {
+        let s = DeadlineSelector::from_benchmarks(&[]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.best_within(1e9, 1.0), None);
+        assert_eq!(s.fastest(), None);
+    }
+
+    #[test]
+    fn parse_deadline_forms() {
+        assert_eq!(parse_deadline("chronus deadline=3600"), Some(3600.0));
+        assert_eq!(parse_deadline("deadline=1.5"), Some(1.5));
+        assert_eq!(parse_deadline("chronus"), None);
+        assert_eq!(parse_deadline("deadline=abc"), None);
+        assert_eq!(parse_deadline("deadline=-5"), None);
+        assert_eq!(parse_deadline("deadline=0"), None);
+    }
+}

@@ -1,0 +1,387 @@
+//! # eco-plugin — `job_submit_eco`
+//!
+//! The Slurm side of the paper's eco plugin: a job-submit plugin that asks
+//! Chronus for the most energy-efficient configuration of the submitted
+//! binary on this system and rewrites the job description accordingly
+//! (§4.2: `num_tasks`, `threads_per_cpu`, `min/max_frequency`).
+//!
+//! Activation mirrors §3.3: in the default `user` state only jobs that opt
+//! in with `#SBATCH --comment "chronus"` are touched; `active` rewrites
+//! every job; `deactivated` rewrites none. Prediction errors never break a
+//! submission — the job simply runs unmodified, as a production plugin
+//! must behave.
+//!
+//! [`deadline`], [`market`] and [`gpu_tuning`] implement the paper's
+//! §6.2.1, §6.2.4 and §6.2.2 future-work extensions (deadline-constrained
+//! configuration choice, green-energy window scheduling, and GPU clock
+//! tuning).
+
+pub mod deadline;
+pub mod gpu_tuning;
+pub mod market;
+
+use chronus::application::predict_from_settings;
+use chronus::domain::PluginState;
+use chronus::hash::{binary_hash, system_hash};
+use chronus::interfaces::LocalStorage;
+use eco_sim_node::cpu::CpuSpec;
+use eco_slurm_sim::plugin::{JobSubmitPlugin, PluginRejection};
+use eco_slurm_sim::JobDescriptor;
+pub use deadline::DeadlineSelector;
+pub use gpu_tuning::GpuFrequencyTuner;
+pub use market::{EnergyMarket, GreenWindowPlugin};
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Counters the plugin keeps for observability (exposed for tests and the
+/// experiment harness).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PluginStats {
+    /// Jobs whose descriptor was rewritten.
+    pub applied: usize,
+    /// Jobs skipped because they did not opt in / plugin deactivated.
+    pub skipped: usize,
+    /// Jobs left unmodified because prediction failed.
+    pub errors: usize,
+}
+
+/// The `job_submit_eco` plugin.
+pub struct JobSubmitEco {
+    storage: Arc<dyn LocalStorage + Send + Sync>,
+    system_hash: u64,
+    binaries: HashMap<String, u64>,
+    stats: PluginStats,
+    strict: bool,
+}
+
+impl JobSubmitEco {
+    /// Creates the plugin for the head node of a cluster whose nodes match
+    /// `spec`/`ram_gb`. `storage` locates `settings.json` and the
+    /// pre-loaded model, like the real plugin shelling out to
+    /// `chronus slurm-config`.
+    pub fn new(storage: Arc<dyn LocalStorage + Send + Sync>, spec: &CpuSpec, ram_gb: u32) -> Self {
+        JobSubmitEco {
+            storage,
+            system_hash: system_hash(spec, ram_gb),
+            binaries: HashMap::new(),
+            stats: PluginStats::default(),
+            strict: false,
+        }
+    }
+
+    /// Registers an executable's contents so the plugin can hash it
+    /// (stands in for reading the file at `path`). Unregistered paths
+    /// fall back to hashing the path string — the paper's §6.1.2
+    /// "constant string" limitation, kept as the fallback.
+    pub fn register_binary(&mut self, path: &str, contents: &str) {
+        self.binaries.insert(path.to_string(), binary_hash(contents));
+    }
+
+    /// In strict mode prediction failures reject the job instead of
+    /// passing it through (useful in tests).
+    pub fn set_strict(&mut self, strict: bool) {
+        self.strict = strict;
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> PluginStats {
+        self.stats
+    }
+
+    /// The system hash the plugin computed at load time.
+    pub fn system_hash(&self) -> u64 {
+        self.system_hash
+    }
+
+    fn binary_hash_for(&self, path: &str) -> u64 {
+        self.binaries.get(path).copied().unwrap_or_else(|| binary_hash(path))
+    }
+
+    fn opted_in(comment: &str) -> bool {
+        comment.split_whitespace().any(|w| w == "chronus")
+    }
+}
+
+impl JobSubmitPlugin for JobSubmitEco {
+    fn name(&self) -> &'static str {
+        "eco"
+    }
+
+    fn job_submit(&mut self, job: &mut JobDescriptor, _submit_uid: u32) -> Result<(), PluginRejection> {
+        let settings = match self.storage.load_settings() {
+            Ok(s) => s,
+            Err(e) => {
+                self.stats.errors += 1;
+                return if self.strict {
+                    Err(PluginRejection { reason: format!("cannot read chronus settings: {e}") })
+                } else {
+                    Ok(())
+                };
+            }
+        };
+
+        let enabled = match settings.state {
+            PluginState::Deactivated => false,
+            PluginState::Active => true,
+            PluginState::User => Self::opted_in(&job.comment),
+        };
+        if !enabled {
+            self.stats.skipped += 1;
+            return Ok(());
+        }
+
+        let bin_hash = self.binary_hash_for(&job.binary_path);
+
+        // §6.2.1 extension: `--comment "chronus deadline=<seconds>"` bounds
+        // the choice to configurations whose measured runtime fits.
+        if let Some(deadline_s) = deadline::parse_deadline(&job.comment) {
+            match self.deadline_config(&settings, self.system_hash, bin_hash, deadline_s) {
+                Ok(config) => {
+                    job.apply_config(&config);
+                    self.stats.applied += 1;
+                    return Ok(());
+                }
+                Err(e) => {
+                    self.stats.errors += 1;
+                    return if self.strict {
+                        Err(PluginRejection { reason: format!("deadline selection failed: {e}") })
+                    } else {
+                        Ok(())
+                    };
+                }
+            }
+        }
+
+        match predict_from_settings(&settings, self.system_hash, bin_hash) {
+            Ok(config) => {
+                job.apply_config(&config);
+                self.stats.applied += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.errors += 1;
+                if self.strict {
+                    Err(PluginRejection { reason: format!("chronus slurm-config failed: {e}") })
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+impl JobSubmitEco {
+    /// Resolves the deadline-constrained configuration from the staged
+    /// benchmark rows: the most efficient configuration that finishes in
+    /// time, or the fastest measured one when nothing fits (finishing as
+    /// soon as possible is the best remaining service for a deadline job).
+    fn deadline_config(
+        &self,
+        settings: &chronus::domain::Settings,
+        system_hash_v: u64,
+        bin_hash: u64,
+        deadline_s: f64,
+    ) -> Result<eco_sim_node::cpu::CpuConfig, String> {
+        let loaded = settings.loaded_model.as_ref().ok_or("no model pre-loaded")?;
+        if loaded.system_hash != system_hash_v || loaded.binary_hash != bin_hash {
+            return Err("staged model does not match this (system, binary)".into());
+        }
+        let path = loaded.benchmarks_path.as_ref().ok_or("no benchmark rows staged; re-run load-model")?;
+        let bytes = std::fs::read(path).map_err(|e| format!("cannot read staged benchmarks: {e}"))?;
+        let benchmarks: Vec<chronus::Benchmark> =
+            serde_json::from_slice(&bytes).map_err(|e| format!("corrupt staged benchmarks: {e}"))?;
+        let selector = deadline::DeadlineSelector::from_benchmarks(&benchmarks);
+        selector
+            .best_within(deadline_s, 1.0)
+            .or_else(|| selector.fastest())
+            .ok_or_else(|| "no benchmarks available for deadline selection".into())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronus::domain::{LoadedModel, Settings};
+    use chronus::integrations::storage::EtcStorage;
+    use chronus::interfaces::Optimizer;
+    use chronus::optimizers::BruteForceOptimizer;
+    use chronus::Benchmark;
+    use eco_sim_node::cpu::CpuConfig;
+    use eco_sim_node::sysinfo::SystemFacts;
+    use std::path::PathBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("eco-plugin-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn facts() -> SystemFacts {
+        SystemFacts {
+            cpu_name: "AMD EPYC 7502P 32-Core Processor".into(),
+            cores: 32,
+            threads_per_core: 2,
+            frequencies_khz: vec![1_500_000, 2_200_000, 2_500_000],
+            ram_gb: 256,
+        }
+    }
+
+    fn bench(config: CpuConfig, gpw: f64) -> Benchmark {
+        Benchmark {
+            id: -1,
+            system_id: 1,
+            binary_hash: 0,
+            config,
+            gflops: gpw * 200.0,
+            runtime_s: 100.0,
+            avg_system_w: 200.0,
+            avg_cpu_w: 100.0,
+            avg_cpu_temp_c: 55.0,
+            system_energy_j: 20_000.0,
+            cpu_energy_j: 10_000.0,
+            sample_count: 50,
+        }
+    }
+
+    /// Stages a fitted brute-force model + settings on disk, returning
+    /// the storage root and binary contents string.
+    fn stage(root: &PathBuf, state: PluginState) -> (Arc<EtcStorage>, &'static str) {
+        let spec = CpuSpec::epyc_7502p();
+        let contents = "xhpcg-3.1-nx104-ny104-nz104";
+        let mut opt = BruteForceOptimizer::new();
+        opt.fit(&[
+            bench(CpuConfig::new(32, 2_500_000, 1), 0.0432),
+            bench(CpuConfig::new(32, 2_200_000, 1), 0.0488),
+            bench(CpuConfig::new(16, 1_500_000, 2), 0.0280),
+        ])
+        .unwrap();
+        let model_path = root.join("opt/chronus/optimizers/model-1.json");
+        std::fs::create_dir_all(model_path.parent().unwrap()).unwrap();
+        std::fs::write(&model_path, opt.to_bytes().unwrap()).unwrap();
+
+        let storage = Arc::new(EtcStorage::new(root));
+        let settings = Settings {
+            state,
+            loaded_model: Some(LoadedModel {
+                model_id: 1,
+                model_type: "brute-force".into(),
+                local_path: model_path.to_string_lossy().into_owned(),
+                system_hash: system_hash(&spec, 256),
+                binary_hash: binary_hash(contents),
+                facts: facts(),
+                benchmarks_path: None,
+            }),
+            ..Settings::default()
+        };
+        storage.save_settings(&settings).unwrap();
+        (storage, contents)
+    }
+
+    fn job(comment: &str) -> JobDescriptor {
+        let mut d = JobDescriptor::new("hpcg-job", "alice", "/opt/hpcg/bin/xhpcg");
+        d.comment = comment.to_string();
+        d.num_tasks = 32; // user asked for everything
+        d
+    }
+
+    fn plugin(storage: Arc<EtcStorage>, contents: &str) -> JobSubmitEco {
+        let mut p = JobSubmitEco::new(storage, &CpuSpec::epyc_7502p(), 256);
+        p.register_binary("/opt/hpcg/bin/xhpcg", contents);
+        p
+    }
+
+    #[test]
+    fn user_state_requires_opt_in() {
+        let root = tmpdir("optin");
+        let (storage, contents) = stage(&root, PluginState::User);
+        let mut p = plugin(storage, contents);
+
+        let mut plain = job("");
+        p.job_submit(&mut plain, 1000).unwrap();
+        assert_eq!(plain.max_frequency_khz, None, "no opt-in, no rewrite");
+
+        let mut opted = job("chronus");
+        p.job_submit(&mut opted, 1000).unwrap();
+        assert_eq!(opted.max_frequency_khz, Some(2_200_000), "opted-in job rewritten to the best config");
+        assert_eq!(opted.num_tasks, 32);
+        assert_eq!(opted.threads_per_cpu, 1);
+        assert_eq!(p.stats(), PluginStats { applied: 1, skipped: 1, errors: 0 });
+    }
+
+    #[test]
+    fn comment_matching_is_word_based() {
+        assert!(JobSubmitEco::opted_in("chronus"));
+        assert!(JobSubmitEco::opted_in("please chronus now"));
+        assert!(!JobSubmitEco::opted_in("chronused"));
+        assert!(!JobSubmitEco::opted_in(""));
+    }
+
+    #[test]
+    fn active_state_rewrites_everything() {
+        let root = tmpdir("active");
+        let (storage, contents) = stage(&root, PluginState::Active);
+        let mut p = plugin(storage, contents);
+        let mut plain = job("");
+        p.job_submit(&mut plain, 1000).unwrap();
+        assert_eq!(plain.max_frequency_khz, Some(2_200_000));
+    }
+
+    #[test]
+    fn deactivated_state_touches_nothing() {
+        let root = tmpdir("deactivated");
+        let (storage, contents) = stage(&root, PluginState::Deactivated);
+        let mut p = plugin(storage, contents);
+        let mut opted = job("chronus");
+        p.job_submit(&mut opted, 1000).unwrap();
+        assert_eq!(opted.max_frequency_khz, None);
+        assert_eq!(p.stats().skipped, 1);
+    }
+
+    #[test]
+    fn unknown_binary_falls_back_to_path_hash_and_errors_soft() {
+        let root = tmpdir("unknownbin");
+        let (storage, contents) = stage(&root, PluginState::User);
+        let mut p = plugin(storage, contents);
+        let mut other = JobDescriptor::new("j", "u", "/bin/other-app");
+        other.comment = "chronus".into();
+        // hash mismatch -> prediction error -> job passes through unmodified
+        p.job_submit(&mut other, 1000).unwrap();
+        assert_eq!(other.max_frequency_khz, None);
+        assert_eq!(p.stats().errors, 1);
+    }
+
+    #[test]
+    fn strict_mode_rejects_on_error() {
+        let root = tmpdir("strict");
+        let (storage, contents) = stage(&root, PluginState::User);
+        let mut p = plugin(storage, contents);
+        p.set_strict(true);
+        let mut other = JobDescriptor::new("j", "u", "/bin/other-app");
+        other.comment = "chronus".into();
+        let err = p.job_submit(&mut other, 1000).unwrap_err();
+        assert!(err.reason.contains("chronus"), "{}", err.reason);
+    }
+
+    #[test]
+    fn no_loaded_model_passes_job_through() {
+        let root = tmpdir("nomodel");
+        let storage = Arc::new(EtcStorage::new(&root));
+        storage.save_settings(&Settings { state: PluginState::Active, ..Settings::default() }).unwrap();
+        let mut p = JobSubmitEco::new(storage, &CpuSpec::epyc_7502p(), 256);
+        let mut j = job("chronus");
+        p.job_submit(&mut j, 1000).unwrap();
+        assert_eq!(j.max_frequency_khz, None);
+        assert_eq!(p.stats().errors, 1);
+    }
+
+    #[test]
+    fn plugin_name_is_eco() {
+        let root = tmpdir("name");
+        let (storage, contents) = stage(&root, PluginState::User);
+        let p = plugin(storage, contents);
+        assert_eq!(p.name(), "eco");
+        assert!(p.system_hash() != 0);
+    }
+}

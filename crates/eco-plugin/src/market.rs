@@ -1,0 +1,333 @@
+//! Energy-market time scheduling — the paper's §6.2.4 future work:
+//! "schedule a job at a specific time … to get a better price for the
+//! energy or … only use renewable energy, based on the energy market",
+//! the strategy the paper attributes to Vestas and Lancium.
+//!
+//! [`EnergyMarket`] is a step-function price/carbon curve over simulated
+//! time; [`cheapest_start`] finds the start instant in a horizon that
+//! minimises the job's energy cost, which a submit plugin then writes
+//! into the job's `begin_time` (`--begin`).
+
+use eco_sim_node::clock::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One pricing window.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PricePoint {
+    /// Window start.
+    pub from: SimTime,
+    /// Price in currency per kWh (or gCO₂ per kWh when optimising for
+    /// carbon).
+    pub price: f64,
+}
+
+/// A step-function energy price curve. The last window extends forever.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyMarket {
+    points: Vec<PricePoint>,
+}
+
+impl EnergyMarket {
+    /// Builds a market from `(start, price)` windows; starts must be
+    /// strictly ascending and the first must be at time zero.
+    pub fn new(points: Vec<PricePoint>) -> Self {
+        assert!(!points.is_empty(), "market needs at least one window");
+        assert_eq!(points[0].from, SimTime::ZERO, "first window must start at t=0");
+        assert!(points.windows(2).all(|w| w[0].from < w[1].from), "windows must ascend");
+        assert!(points.iter().all(|p| p.price >= 0.0), "prices must be non-negative");
+        EnergyMarket { points }
+    }
+
+    /// A flat market (useful as a control).
+    pub fn flat(price: f64) -> Self {
+        EnergyMarket::new(vec![PricePoint { from: SimTime::ZERO, price }])
+    }
+
+    /// A stylised day-night pattern: cheap (renewable-rich) nights, costly
+    /// daytime peaks, repeating daily for `days`.
+    pub fn day_night(days: u64, night_price: f64, day_price: f64) -> Self {
+        let mut points = Vec::new();
+        for d in 0..days {
+            let day0 = d * 86_400;
+            points.push(PricePoint { from: SimTime::from_secs(day0), price: night_price });
+            points.push(PricePoint { from: SimTime::from_secs(day0 + 6 * 3600), price: day_price });
+            points.push(PricePoint { from: SimTime::from_secs(day0 + 22 * 3600), price: night_price });
+        }
+        EnergyMarket::new(points)
+    }
+
+    /// The price at an instant.
+    pub fn price_at(&self, t: SimTime) -> f64 {
+        self.points
+            .iter()
+            .rev()
+            .find(|p| p.from <= t)
+            .map(|p| p.price)
+            .unwrap_or(self.points[0].price)
+    }
+
+    /// Cost (price × energy) of drawing `watts` from `start` for
+    /// `duration`, integrating across window boundaries. Returned in
+    /// price-units × kWh.
+    pub fn cost(&self, start: SimTime, duration: SimDuration, watts: f64) -> f64 {
+        assert!(watts >= 0.0);
+        let end = start + duration;
+        let mut total = 0.0;
+        let mut t = start;
+        while t < end {
+            let price = self.price_at(t);
+            // next boundary after t
+            let next = self
+                .points
+                .iter()
+                .map(|p| p.from)
+                .filter(|&b| b > t)
+                .min()
+                .filter(|&b| b < end)
+                .unwrap_or(end);
+            let hours = (next - t).as_secs_f64() / 3600.0;
+            total += price * (watts / 1000.0) * hours;
+            t = next;
+        }
+        total
+    }
+}
+
+/// The start time within `[now, now + horizon]` minimising the cost of a
+/// run of `duration` at `watts`, scanned at `step` resolution. Ties break
+/// toward the earliest start.
+pub fn cheapest_start(
+    market: &EnergyMarket,
+    now: SimTime,
+    horizon: SimDuration,
+    step: SimDuration,
+    duration: SimDuration,
+    watts: f64,
+) -> SimTime {
+    assert!(!step.is_zero(), "scan step must be positive");
+    let mut best = (now, market.cost(now, duration, watts));
+    let mut t = now + step;
+    let limit = now + horizon;
+    while t <= limit {
+        let c = market.cost(t, duration, watts);
+        if c < best.1 - 1e-12 {
+            best = (t, c);
+        }
+        t += step;
+    }
+    best.0
+}
+
+
+/// A job-submit plugin that defers opted-in jobs (`--comment` containing
+/// the word `green`) into the cheapest energy window — the §6.2.4
+/// behaviour wired into the submit path. Composes with [`crate::JobSubmitEco`]
+/// in the same plugin chain: eco picks *how* to run, this picks *when*.
+pub struct GreenWindowPlugin {
+    market: EnergyMarket,
+    /// How far ahead the plugin may defer a job.
+    horizon: SimDuration,
+    /// Scan resolution for the start search.
+    step: SimDuration,
+    /// Assumed duration of a deferred job (sites would estimate per job;
+    /// we take a fleet-typical figure).
+    assumed_duration: SimDuration,
+    /// Assumed node power draw of the job.
+    assumed_watts: f64,
+    /// The simulated "now" the plugin reads at each submission (in the
+    /// real system this is the wall clock; tests advance it).
+    now: std::sync::Arc<std::sync::atomic::AtomicU64>,
+}
+
+impl GreenWindowPlugin {
+    /// Builds the plugin over a market curve.
+    pub fn new(market: EnergyMarket, horizon: SimDuration, assumed_duration: SimDuration, assumed_watts: f64) -> Self {
+        assert!(assumed_watts > 0.0);
+        GreenWindowPlugin {
+            market,
+            horizon,
+            step: SimDuration::from_mins(15),
+            assumed_duration,
+            assumed_watts,
+            now: std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0)),
+        }
+    }
+
+    /// A shared handle for driving the plugin's clock from the simulation.
+    pub fn clock_handle(&self) -> std::sync::Arc<std::sync::atomic::AtomicU64> {
+        self.now.clone()
+    }
+
+    fn opted_in(comment: &str) -> bool {
+        comment.split_whitespace().any(|w| w == "green")
+    }
+}
+
+impl eco_slurm_sim::plugin::JobSubmitPlugin for GreenWindowPlugin {
+    fn name(&self) -> &'static str {
+        "green_window"
+    }
+
+    fn job_submit(
+        &mut self,
+        job: &mut eco_slurm_sim::JobDescriptor,
+        _submit_uid: u32,
+    ) -> Result<(), eco_slurm_sim::plugin::PluginRejection> {
+        if !Self::opted_in(&job.comment) {
+            return Ok(());
+        }
+        let now = SimTime(self.now.load(std::sync::atomic::Ordering::Relaxed));
+        let start = cheapest_start(&self.market, now, self.horizon, self.step, self.assumed_duration, self.assumed_watts);
+        if start > now {
+            job.begin_time = Some(start);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod plugin_tests {
+    use super::*;
+    use eco_slurm_sim::plugin::JobSubmitPlugin;
+    use eco_slurm_sim::JobDescriptor;
+    use std::sync::atomic::Ordering;
+
+    fn plugin() -> GreenWindowPlugin {
+        GreenWindowPlugin::new(
+            EnergyMarket::day_night(2, 10.0, 60.0),
+            SimDuration::from_secs(24 * 3600),
+            SimDuration::from_secs(2 * 3600),
+            200.0,
+        )
+    }
+
+    #[test]
+    fn green_jobs_deferred_to_night() {
+        let mut p = plugin();
+        p.clock_handle().store(SimTime::from_secs(9 * 3600).0, Ordering::Relaxed); // 09:00
+        let mut job = JobDescriptor::new("j", "u", "/bin/app");
+        job.comment = "chronus green".into();
+        p.job_submit(&mut job, 0).unwrap();
+        assert_eq!(job.begin_time, Some(SimTime::from_secs(22 * 3600)), "deferred to the 22:00 window");
+    }
+
+    #[test]
+    fn non_green_jobs_untouched() {
+        let mut p = plugin();
+        p.clock_handle().store(SimTime::from_secs(9 * 3600).0, Ordering::Relaxed);
+        let mut job = JobDescriptor::new("j", "u", "/bin/app");
+        job.comment = "chronus".into();
+        p.job_submit(&mut job, 0).unwrap();
+        assert_eq!(job.begin_time, None);
+        // "greenhouse" does not opt in either (word match)
+        job.comment = "greenhouse".into();
+        p.job_submit(&mut job, 0).unwrap();
+        assert_eq!(job.begin_time, None);
+    }
+
+    #[test]
+    fn already_cheap_jobs_run_now() {
+        let mut p = plugin();
+        p.clock_handle().store(SimTime::from_secs(2 * 3600).0, Ordering::Relaxed); // 02:00, night
+        let mut job = JobDescriptor::new("j", "u", "/bin/app");
+        job.comment = "green".into();
+        p.job_submit(&mut job, 0).unwrap();
+        assert_eq!(job.begin_time, None, "no deferral when the window is already open");
+    }
+
+    #[test]
+    fn composes_with_eco_plugin_in_one_chain() {
+        use eco_slurm_sim::plugin::PluginHost;
+        let mut host = PluginHost::new();
+        let green = plugin();
+        green.clock_handle().store(SimTime::from_secs(9 * 3600).0, Ordering::Relaxed);
+        host.register(Box::new(green));
+        let mut job = JobDescriptor::new("j", "u", "/bin/app");
+        job.comment = "chronus green".into();
+        host.run(&mut job, 1000).unwrap();
+        assert!(job.begin_time.is_some());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hours(h: u64) -> SimDuration {
+        SimDuration::from_secs(h * 3600)
+    }
+
+    #[test]
+    fn price_at_steps() {
+        let m = EnergyMarket::new(vec![
+            PricePoint { from: SimTime::ZERO, price: 10.0 },
+            PricePoint { from: SimTime::from_secs(100), price: 50.0 },
+        ]);
+        assert_eq!(m.price_at(SimTime::ZERO), 10.0);
+        assert_eq!(m.price_at(SimTime::from_secs(99)), 10.0);
+        assert_eq!(m.price_at(SimTime::from_secs(100)), 50.0);
+        assert_eq!(m.price_at(SimTime::from_secs(1_000_000)), 50.0);
+    }
+
+    #[test]
+    fn flat_market_cost_formula() {
+        // 1 kW for 2 h at price 30/kWh = 60
+        let m = EnergyMarket::flat(30.0);
+        let c = m.cost(SimTime::ZERO, hours(2), 1000.0);
+        assert!((c - 60.0).abs() < 1e-9, "cost {c}");
+    }
+
+    #[test]
+    fn cost_integrates_across_boundaries() {
+        let m = EnergyMarket::new(vec![
+            PricePoint { from: SimTime::ZERO, price: 10.0 },
+            PricePoint { from: SimTime::from_secs(3600), price: 30.0 },
+        ]);
+        // 1 kW for 2 h straddling the boundary: 10 + 30 = 40
+        let c = m.cost(SimTime::ZERO, hours(2), 1000.0);
+        assert!((c - 40.0).abs() < 1e-9, "cost {c}");
+    }
+
+    #[test]
+    fn day_night_pattern() {
+        let m = EnergyMarket::day_night(2, 10.0, 60.0);
+        assert_eq!(m.price_at(SimTime::from_secs(3 * 3600)), 10.0); // 03:00 night
+        assert_eq!(m.price_at(SimTime::from_secs(12 * 3600)), 60.0); // noon
+        assert_eq!(m.price_at(SimTime::from_secs(23 * 3600)), 10.0); // 23:00 night
+        assert_eq!(m.price_at(SimTime::from_secs(86_400 + 12 * 3600)), 60.0); // noon day 2
+    }
+
+    #[test]
+    fn cheapest_start_defers_into_the_night() {
+        let m = EnergyMarket::day_night(2, 10.0, 60.0);
+        // submit at 08:00 with a 2 h job, 24 h horizon: best start is 22:00
+        let now = SimTime::from_secs(8 * 3600);
+        let start = cheapest_start(&m, now, hours(24), SimDuration::from_mins(30), hours(2), 200.0);
+        assert_eq!(start, SimTime::from_secs(22 * 3600), "start {start}");
+    }
+
+    #[test]
+    fn cheapest_start_runs_now_when_already_cheap() {
+        let m = EnergyMarket::day_night(1, 10.0, 60.0);
+        let now = SimTime::from_secs(2 * 3600); // 02:00, already night
+        let start = cheapest_start(&m, now, hours(12), SimDuration::from_mins(30), hours(2), 200.0);
+        assert_eq!(start, now);
+    }
+
+    #[test]
+    fn flat_market_never_defers() {
+        let m = EnergyMarket::flat(25.0);
+        let now = SimTime::from_secs(1000);
+        let start = cheapest_start(&m, now, hours(48), hours(1), hours(4), 200.0);
+        assert_eq!(start, now, "ties break to the earliest start");
+    }
+
+    #[test]
+    #[should_panic(expected = "ascend")]
+    fn unordered_windows_rejected() {
+        EnergyMarket::new(vec![
+            PricePoint { from: SimTime::ZERO, price: 1.0 },
+            PricePoint { from: SimTime::ZERO, price: 2.0 },
+        ]);
+    }
+}

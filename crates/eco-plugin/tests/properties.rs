@@ -1,0 +1,132 @@
+//! Property-based tests for the eco plugin's extension modules.
+
+use eco_plugin::deadline::{parse_deadline, DeadlineSelector};
+use eco_plugin::market::{cheapest_start, EnergyMarket, PricePoint};
+use eco_sim_node::clock::{SimDuration, SimTime};
+use eco_sim_node::cpu::CpuConfig;
+use proptest::prelude::*;
+
+fn arb_benchmarks() -> impl Strategy<Value = Vec<chronus::Benchmark>> {
+    prop::collection::vec(
+        (1u32..=32, prop::sample::select(vec![1_500_000u64, 2_200_000, 2_500_000]), 0.005f64..0.06, 100.0f64..2000.0),
+        1..12,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|(cores, freq, gpw, runtime_s)| chronus::Benchmark {
+                id: -1,
+                system_id: 1,
+                binary_hash: 0,
+                config: CpuConfig::new(cores, freq, 1),
+                gflops: gpw * 200.0,
+                runtime_s,
+                avg_system_w: 200.0,
+                avg_cpu_w: 100.0,
+                avg_cpu_temp_c: 50.0,
+                system_energy_j: 200.0 * runtime_s,
+                cpu_energy_j: 100.0 * runtime_s,
+                sample_count: 10,
+            })
+            .collect()
+    })
+}
+
+fn arb_market() -> impl Strategy<Value = EnergyMarket> {
+    prop::collection::vec((1u64..48, 1.0f64..100.0), 0..6).prop_map(|mut windows| {
+        windows.sort_by_key(|w| w.0);
+        windows.dedup_by_key(|w| w.0);
+        let mut points = vec![PricePoint { from: SimTime::ZERO, price: 25.0 }];
+        points.extend(
+            windows.into_iter().map(|(h, price)| PricePoint { from: SimTime::from_secs(h * 3600), price }),
+        );
+        EnergyMarket::new(points)
+    })
+}
+
+proptest! {
+    /// The deadline selector's choice always satisfies its constraint, and
+    /// tightening the deadline never improves efficiency.
+    #[test]
+    fn deadline_choice_feasible_and_monotone(benches in arb_benchmarks(), scale in 0.2f64..3.0) {
+        let s = DeadlineSelector::from_benchmarks(&benches);
+        let runtimes: Vec<f64> = benches.iter().map(|b| b.runtime_s * scale).collect();
+        let max_rt = runtimes.iter().cloned().fold(0.0, f64::max);
+
+        for deadline in [max_rt * 2.0, max_rt, max_rt * 0.7, max_rt * 0.4] {
+            // ground-truth optimum over feasible rows (configs may repeat
+            // in the generated data; any feasible row qualifies a config)
+            let optimum = benches
+                .iter()
+                .filter(|b| b.runtime_s * scale <= deadline)
+                .map(|b| b.gflops_per_watt())
+                .fold(f64::NEG_INFINITY, f64::max);
+            match s.best_within(deadline, scale) {
+                Some(chosen) => {
+                    prop_assert!(optimum.is_finite(), "selector chose with no feasible row");
+                    // feasibility: some measured row of that config fits
+                    prop_assert!(
+                        benches.iter().any(|b| b.config == chosen && b.runtime_s * scale <= deadline + 1e-9),
+                        "chosen {chosen} infeasible at deadline {deadline}"
+                    );
+                    // optimality: the chosen config achieves the optimum
+                    let chosen_best = benches
+                        .iter()
+                        .filter(|b| b.config == chosen && b.runtime_s * scale <= deadline + 1e-9)
+                        .map(|b| b.gflops_per_watt())
+                        .fold(f64::NEG_INFINITY, f64::max);
+                    prop_assert!(chosen_best >= optimum - 1e-12, "{chosen_best} < {optimum}");
+                }
+                None => {
+                    prop_assert!(!optimum.is_finite(), "feasible rows existed but selector refused");
+                    // once infeasible, tighter deadlines stay infeasible
+                    prop_assert!(s.best_within(deadline * 0.5, scale).is_none());
+                }
+            }
+        }
+    }
+
+    /// parse_deadline accepts exactly the values that format-and-reparse
+    /// to something positive.
+    #[test]
+    fn parse_deadline_robust(v in prop::num::f64::ANY) {
+        let comment = format!("chronus deadline={v}");
+        let parsed = parse_deadline(&comment);
+        let expected: Option<f64> = format!("{v}").parse::<f64>().ok().filter(|d| *d > 0.0);
+        prop_assert_eq!(parsed, expected);
+    }
+
+    /// cheapest_start never returns a worse cost than starting now, and
+    /// never leaves the horizon.
+    #[test]
+    fn cheapest_start_dominates_now(market in arb_market(),
+                                    now_h in 0u64..24,
+                                    dur_h in 1u64..8,
+                                    watts in 50.0f64..400.0) {
+        let now = SimTime::from_secs(now_h * 3600);
+        let duration = SimDuration::from_secs(dur_h * 3600);
+        let horizon = SimDuration::from_secs(24 * 3600);
+        let start = cheapest_start(&market, now, horizon, SimDuration::from_mins(30), duration, watts);
+        prop_assert!(start >= now);
+        prop_assert!(start <= now + horizon);
+        let cost_now = market.cost(now, duration, watts);
+        let cost_chosen = market.cost(start, duration, watts);
+        prop_assert!(cost_chosen <= cost_now + 1e-9, "{cost_chosen} > {cost_now}");
+    }
+
+    /// Market cost is additive over time splits and linear in watts.
+    #[test]
+    fn market_cost_additive_and_linear(market in arb_market(),
+                                       start_h in 0u64..24,
+                                       a_h in 1u64..6,
+                                       b_h in 1u64..6,
+                                       watts in 10.0f64..500.0) {
+        let start = SimTime::from_secs(start_h * 3600);
+        let a = SimDuration::from_secs(a_h * 3600);
+        let b = SimDuration::from_secs(b_h * 3600);
+        let whole = market.cost(start, a + b, watts);
+        let split = market.cost(start, a, watts) + market.cost(start + a, b, watts);
+        prop_assert!((whole - split).abs() < 1e-9, "additivity: {whole} vs {split}");
+        let double = market.cost(start, a, watts * 2.0);
+        prop_assert!((double - 2.0 * market.cost(start, a, watts)).abs() < 1e-9, "linearity");
+    }
+}

@@ -1,0 +1,157 @@
+//! Problem geometry for the miniature HPCG: a regular 3-D grid with a
+//! 27-point stencil, exactly the structure the real HPCG benchmark
+//! assembles (symmetric Gauss–Seidel preconditioned CG on a 27-point
+//! operator — Dongarra et al., SAND2013-8752).
+
+use serde::{Deserialize, Serialize};
+
+/// A regular `nx × ny × nz` grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Geometry {
+    /// Points in x.
+    pub nx: usize,
+    /// Points in y.
+    pub ny: usize,
+    /// Points in z.
+    pub nz: usize,
+}
+
+impl Geometry {
+    /// Creates a grid; all dimensions must be positive.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(nx > 0 && ny > 0 && nz > 0, "grid dimensions must be positive");
+        Geometry { nx, ny, nz }
+    }
+
+    /// A cube grid of side `n`. The paper runs HPCG's default
+    /// `x = y = z = 104`.
+    pub fn cube(n: usize) -> Self {
+        Geometry::new(n, n, n)
+    }
+
+    /// Total number of grid points (matrix rows).
+    pub fn n_rows(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// Linear row index of grid point `(ix, iy, iz)`.
+    #[inline]
+    pub fn index(&self, ix: usize, iy: usize, iz: usize) -> usize {
+        (iz * self.ny + iy) * self.nx + ix
+    }
+
+    /// Inverse of [`Geometry::index`].
+    #[inline]
+    pub fn coords(&self, row: usize) -> (usize, usize, usize) {
+        let ix = row % self.nx;
+        let iy = (row / self.nx) % self.ny;
+        let iz = row / (self.nx * self.ny);
+        (ix, iy, iz)
+    }
+
+    /// Visits the (up to 27) stencil neighbours of a point, including the
+    /// point itself, in row-index order.
+    pub fn for_each_neighbor(&self, ix: usize, iy: usize, iz: usize, mut f: impl FnMut(usize)) {
+        for dz in -1i64..=1 {
+            let z = iz as i64 + dz;
+            if z < 0 || z >= self.nz as i64 {
+                continue;
+            }
+            for dy in -1i64..=1 {
+                let y = iy as i64 + dy;
+                if y < 0 || y >= self.ny as i64 {
+                    continue;
+                }
+                for dx in -1i64..=1 {
+                    let x = ix as i64 + dx;
+                    if x < 0 || x >= self.nx as i64 {
+                        continue;
+                    }
+                    f(self.index(x as usize, y as usize, z as usize));
+                }
+            }
+        }
+    }
+
+    /// Number of stencil neighbours of a point, including itself
+    /// (27 interior, fewer at faces/edges/corners).
+    pub fn neighbor_count(&self, ix: usize, iy: usize, iz: usize) -> usize {
+        let span = |i: usize, n: usize| -> usize {
+            let lo = if i == 0 { 0 } else { 1 };
+            let hi = if i + 1 == n { 0 } else { 1 };
+            1 + lo + hi
+        };
+        span(ix, self.nx) * span(iy, self.ny) * span(iz, self.nz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_count() {
+        assert_eq!(Geometry::new(2, 3, 4).n_rows(), 24);
+        assert_eq!(Geometry::cube(104).n_rows(), 104 * 104 * 104);
+    }
+
+    #[test]
+    fn index_coords_roundtrip() {
+        let g = Geometry::new(3, 4, 5);
+        for row in 0..g.n_rows() {
+            let (x, y, z) = g.coords(row);
+            assert_eq!(g.index(x, y, z), row);
+        }
+    }
+
+    #[test]
+    fn interior_point_has_27_neighbors() {
+        let g = Geometry::cube(5);
+        assert_eq!(g.neighbor_count(2, 2, 2), 27);
+        let mut count = 0;
+        g.for_each_neighbor(2, 2, 2, |_| count += 1);
+        assert_eq!(count, 27);
+    }
+
+    #[test]
+    fn corner_point_has_8_neighbors() {
+        let g = Geometry::cube(5);
+        assert_eq!(g.neighbor_count(0, 0, 0), 8);
+        assert_eq!(g.neighbor_count(4, 4, 4), 8);
+    }
+
+    #[test]
+    fn face_and_edge_counts() {
+        let g = Geometry::cube(5);
+        assert_eq!(g.neighbor_count(2, 2, 0), 18); // face
+        assert_eq!(g.neighbor_count(2, 0, 0), 12); // edge
+    }
+
+    #[test]
+    fn neighbors_are_sorted_and_unique() {
+        let g = Geometry::cube(4);
+        let mut seen = Vec::new();
+        g.for_each_neighbor(1, 2, 3, |j| seen.push(j));
+        let mut sorted = seen.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(seen, sorted, "neighbour visit order must be ascending and unique");
+    }
+
+    #[test]
+    fn neighbor_count_matches_enumeration_everywhere() {
+        let g = Geometry::new(3, 4, 2);
+        for row in 0..g.n_rows() {
+            let (x, y, z) = g.coords(row);
+            let mut count = 0;
+            g.for_each_neighbor(x, y, z, |_| count += 1);
+            assert_eq!(count, g.neighbor_count(x, y, z));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dimension_rejected() {
+        Geometry::new(0, 1, 1);
+    }
+}

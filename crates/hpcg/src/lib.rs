@@ -1,0 +1,37 @@
+//! # eco-hpcg — the HPCG workload substrate
+//!
+//! The paper benchmarks the High Performance Conjugate Gradients (HPCG)
+//! suite on its evaluation node. This crate provides HPCG twice over:
+//!
+//! 1. **A real miniature HPCG** ([`runner::MiniHpcg`]): 27-point stencil
+//!    assembly ([`geometry`], [`sparse`]), a symmetric Gauss–Seidel
+//!    preconditioned CG solver with HPCG's official FLOP accounting
+//!    ([`solver`]), the reference benchmark's geometric-multigrid V-cycle
+//!    preconditioner ([`mg`]), and a crossbeam-parallel timed runner. This
+//!    executes on the host and proves the application-runner code path end
+//!    to end.
+//! 2. **A calibrated performance model** ([`perf_model::PerfModel`]):
+//!    GFLOP/s over (cores, frequency, hyper-threading) on the paper's
+//!    SR650/EPYC 7502P node, anchored to the paper's published sweep
+//!    ([`paper_data`]) and its Figure 1 GFLOP rating. The Slurm simulator
+//!    uses this to run "HPCG jobs" in simulated time.
+//!
+//! [`workload`] ties the two together behind the [`workload::Workload`]
+//! trait the scheduler executes.
+
+pub mod geometry;
+pub mod mg;
+pub mod paper_data;
+pub mod perf_model;
+pub mod runner;
+pub mod solver;
+pub mod sparse;
+pub mod workload;
+
+pub use geometry::Geometry;
+pub use mg::{cg_with_mg, Multigrid};
+pub use perf_model::PerfModel;
+pub use runner::{MiniHpcg, RunResult};
+pub use solver::{cg_solve, CgOptions, CgResult};
+pub use sparse::{generate_problem, CsrMatrix, Problem};
+pub use workload::{HpcgWorkload, ScalingKind, SyntheticWorkload, Workload};

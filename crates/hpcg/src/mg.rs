@@ -1,0 +1,312 @@
+//! Geometric multigrid preconditioner — the structure reference HPCG
+//! actually uses: a V-cycle over (up to) 4 grid levels with symmetric
+//! Gauss–Seidel smoothing, injection restriction and piecewise-constant
+//! prolongation on 2× coarsened grids.
+
+use crate::geometry::Geometry;
+use crate::solver::{symgs, FlopCounter};
+use crate::sparse::{generate_problem, CsrMatrix};
+
+/// One level of the multigrid hierarchy.
+struct Level {
+    matrix: CsrMatrix,
+    /// Fine-row index for each coarse row (injection points).
+    coarse_to_fine: Vec<usize>,
+}
+
+/// The multigrid hierarchy for an HPCG problem.
+pub struct Multigrid {
+    /// Level 0 is the finest; deeper levels are 2× coarser per dimension.
+    levels: Vec<Level>,
+}
+
+/// HPCG's default depth: the fine grid plus 3 coarse levels.
+pub const DEFAULT_LEVELS: usize = 4;
+
+impl Multigrid {
+    /// Builds the hierarchy for a fine grid. Coarsening halves each
+    /// dimension; it stops early when a dimension would fall below 2 or
+    /// `max_levels` is reached.
+    pub fn new(fine: Geometry, max_levels: usize) -> Self {
+        assert!(max_levels >= 1, "need at least the fine level");
+        let mut levels = Vec::new();
+        let mut geometry = fine;
+        for _ in 0..max_levels {
+            let problem = generate_problem(geometry);
+            let coarse_to_fine = coarse_injection(&geometry);
+            levels.push(Level { matrix: problem.matrix, coarse_to_fine });
+            if geometry.nx < 4 || geometry.ny < 4 || geometry.nz < 4 {
+                break;
+            }
+            geometry = Geometry::new(geometry.nx / 2, geometry.ny / 2, geometry.nz / 2);
+        }
+        Multigrid { levels }
+    }
+
+    /// Number of levels actually built.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// The fine-level operator.
+    pub fn fine_matrix(&self) -> &CsrMatrix {
+        &self.levels[0].matrix
+    }
+
+    /// Applies one V-cycle as a preconditioner: `z ← M⁻¹ r` on the fine
+    /// level, starting from zero. Mirrors HPCG's `ComputeMG`.
+    pub fn apply(&self, r: &[f64], z: &mut [f64], flops: &mut FlopCounter) {
+        self.cycle(0, r, z, flops);
+    }
+
+    fn cycle(&self, level: usize, r: &[f64], z: &mut [f64], flops: &mut FlopCounter) {
+        let lv = &self.levels[level];
+        debug_assert_eq!(r.len(), lv.matrix.n());
+
+        if level + 1 == self.levels.len() {
+            // coarsest level: smooth only (HPCG runs SymGS here too)
+            symgs(&lv.matrix, r, z, flops);
+            return;
+        }
+
+        // pre-smooth
+        symgs(&lv.matrix, r, z, flops);
+
+        // fine residual: rf = r - A z
+        let n = lv.matrix.n();
+        let mut az = vec![0.0; n];
+        lv.matrix.spmv(z, &mut az);
+        flops.flops += 2 * lv.matrix.nnz() as u64;
+        let mut rf = vec![0.0; n];
+        for i in 0..n {
+            rf[i] = r[i] - az[i];
+        }
+        flops.flops += n as u64;
+
+        // restrict by injection to the coarse grid
+        let coarse = &self.levels[level + 1];
+        let nc = coarse.matrix.n();
+        let mut rc = vec![0.0; nc];
+        for (c, &f) in lv.coarse_to_fine.iter().enumerate() {
+            rc[c] = rf[f];
+        }
+
+        // coarse-grid correction
+        let mut zc = vec![0.0; nc];
+        self.cycle(level + 1, &rc, &mut zc, flops);
+
+        // prolong (piecewise constant over each coarse point's fine octant)
+        for (c, &f) in lv.coarse_to_fine.iter().enumerate() {
+            z[f] += zc[c];
+        }
+        flops.flops += nc as u64;
+
+        // post-smooth: one more SymGS pass on the corrected iterate.
+        // symgs starts from zero, so smooth the updated residual and add.
+        lv.matrix.spmv(z, &mut az);
+        flops.flops += 2 * lv.matrix.nnz() as u64;
+        for i in 0..n {
+            rf[i] = r[i] - az[i];
+        }
+        flops.flops += n as u64;
+        let mut dz = vec![0.0; n];
+        symgs(&lv.matrix, &rf, &mut dz, flops);
+        for i in 0..n {
+            z[i] += dz[i];
+        }
+        flops.flops += n as u64;
+    }
+}
+
+/// Maps each coarse grid point to the fine grid point at twice its
+/// coordinates (HPCG's injection operator).
+fn coarse_injection(fine: &Geometry) -> Vec<usize> {
+    let cx = (fine.nx / 2).max(1);
+    let cy = (fine.ny / 2).max(1);
+    let cz = (fine.nz / 2).max(1);
+    let coarse = Geometry::new(cx, cy, cz);
+    let mut map = Vec::with_capacity(coarse.n_rows());
+    for row in 0..coarse.n_rows() {
+        let (x, y, z) = coarse.coords(row);
+        map.push(fine.index(x * 2, y * 2, z * 2));
+    }
+    map
+}
+
+/// Preconditioned CG with the multigrid V-cycle (the full HPCG solver
+/// shape). Returns `(iterations, relative residual, converged, flops)`.
+pub fn cg_with_mg(
+    mg: &Multigrid,
+    b: &[f64],
+    x: &mut [f64],
+    max_iterations: usize,
+    tolerance: f64,
+) -> (usize, f64, bool, u64) {
+    let a = mg.fine_matrix();
+    let n = a.n();
+    let mut flops = FlopCounter::default();
+    let mut r = vec![0.0; n];
+    let mut z = vec![0.0; n];
+    let mut p = vec![0.0; n];
+    let mut ap = vec![0.0; n];
+
+    a.spmv(x, &mut ap);
+    flops.flops += 2 * a.nnz() as u64;
+    for i in 0..n {
+        r[i] = b[i] - ap[i];
+    }
+    let normb = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(f64::MIN_POSITIVE);
+    let mut normr = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+    if normr / normb <= tolerance {
+        return (0, normr / normb, true, flops.flops);
+    }
+
+    mg.apply(&r, &mut z, &mut flops);
+    p.copy_from_slice(&z);
+    let mut rtz: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+
+    for k in 1..=max_iterations {
+        a.spmv(&p, &mut ap);
+        flops.flops += 2 * a.nnz() as u64;
+        let pap: f64 = p.iter().zip(&ap).map(|(a, b)| a * b).sum();
+        let alpha = rtz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        flops.flops += (8 * n) as u64;
+        normr = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if normr / normb <= tolerance {
+            return (k, normr / normb, true, flops.flops);
+        }
+        mg.apply(&r, &mut z, &mut flops);
+        let rtz_new: f64 = r.iter().zip(&z).map(|(a, b)| a * b).sum();
+        let beta = rtz_new / rtz;
+        rtz = rtz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+        flops.flops += (4 * n) as u64;
+    }
+    (max_iterations, normr / normb, false, flops.flops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::{cg_solve, CgOptions};
+
+    #[test]
+    fn hierarchy_depth_and_sizes() {
+        let mg = Multigrid::new(Geometry::cube(16), DEFAULT_LEVELS);
+        assert_eq!(mg.depth(), 4);
+        // 16^3 -> 8^3 -> 4^3 -> 2^3
+        assert_eq!(mg.fine_matrix().n(), 16 * 16 * 16);
+    }
+
+    #[test]
+    fn coarsening_stops_at_small_grids() {
+        let mg = Multigrid::new(Geometry::cube(4), DEFAULT_LEVELS);
+        assert_eq!(mg.depth(), 2, "4^3 -> 2^3 and stop");
+        let mg = Multigrid::new(Geometry::cube(3), DEFAULT_LEVELS);
+        assert_eq!(mg.depth(), 1, "3^3 cannot coarsen");
+    }
+
+    #[test]
+    fn injection_maps_to_even_coordinates() {
+        let fine = Geometry::cube(8);
+        let map = coarse_injection(&fine);
+        assert_eq!(map.len(), 4 * 4 * 4);
+        assert_eq!(map[0], 0);
+        // coarse (1,0,0) -> fine (2,0,0)
+        assert_eq!(map[1], 2);
+        // all targets are valid fine rows with even coordinates
+        for &f in &map {
+            let (x, y, z) = fine.coords(f);
+            assert!(x % 2 == 0 && y % 2 == 0 && z % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn v_cycle_reduces_residual_more_than_symgs() {
+        let geom = Geometry::cube(16);
+        let problem = generate_problem(geom);
+        let mg = Multigrid::new(geom, DEFAULT_LEVELS);
+        let n = problem.matrix.n();
+
+        let residual_after = |z: &[f64]| -> f64 {
+            let mut az = vec![0.0; n];
+            problem.matrix.spmv(z, &mut az);
+            problem.rhs.iter().zip(&az).map(|(b, a)| (b - a) * (b - a)).sum::<f64>().sqrt()
+        };
+
+        let mut flops = FlopCounter::default();
+        let mut z_mg = vec![0.0; n];
+        mg.apply(&problem.rhs, &mut z_mg, &mut flops);
+        let mut z_gs = vec![0.0; n];
+        symgs(&problem.matrix, &problem.rhs, &mut z_gs, &mut flops);
+
+        assert!(
+            residual_after(&z_mg) < residual_after(&z_gs),
+            "MG {} vs SymGS {}",
+            residual_after(&z_mg),
+            residual_after(&z_gs)
+        );
+    }
+
+    #[test]
+    fn mg_cg_converges_to_exact_solution() {
+        let geom = Geometry::cube(12);
+        let problem = generate_problem(geom);
+        let mg = Multigrid::new(geom, DEFAULT_LEVELS);
+        let mut x = vec![0.0; problem.matrix.n()];
+        let (iters, res, converged, flops) = cg_with_mg(&mg, &problem.rhs, &mut x, 100, 1e-9);
+        assert!(converged, "residual {res}");
+        assert!(flops > 0);
+        for &v in &x {
+            assert!((v - 1.0).abs() < 1e-6);
+        }
+        assert!(iters < 30, "MG-CG should converge quickly, took {iters}");
+    }
+
+    #[test]
+    fn mg_cg_needs_fewer_iterations_than_symgs_cg() {
+        let geom = Geometry::cube(16);
+        let problem = generate_problem(geom);
+        let mg = Multigrid::new(geom, DEFAULT_LEVELS);
+
+        let mut x1 = vec![0.0; problem.matrix.n()];
+        let (mg_iters, _, mg_conv, _) = cg_with_mg(&mg, &problem.rhs, &mut x1, 200, 1e-9);
+
+        let mut x2 = vec![0.0; problem.matrix.n()];
+        let gs = cg_solve(&problem.matrix, &problem.rhs, &mut x2, &CgOptions { max_iterations: 200, tolerance: 1e-9, preconditioned: true });
+
+        assert!(mg_conv && gs.converged);
+        assert!(mg_iters <= gs.iterations, "MG {mg_iters} vs SymGS {}", gs.iterations);
+    }
+
+    #[test]
+    fn v_cycle_is_linear() {
+        // M^-1 (a r1 + b r2) == a M^-1 r1 + b M^-1 r2 — the preconditioner
+        // must be a fixed linear operator for CG to be valid
+        let geom = Geometry::cube(8);
+        let mg = Multigrid::new(geom, 3);
+        let n = mg.fine_matrix().n();
+        let r1: Vec<f64> = (0..n).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+        let r2: Vec<f64> = (0..n).map(|i| ((i * 5) % 11) as f64 - 5.0).collect();
+        let (a, b) = (2.0, -0.5);
+        let combined: Vec<f64> = r1.iter().zip(&r2).map(|(x, y)| a * x + b * y).collect();
+
+        let mut f = FlopCounter::default();
+        let mut z1 = vec![0.0; n];
+        let mut z2 = vec![0.0; n];
+        let mut zc = vec![0.0; n];
+        mg.apply(&r1, &mut z1, &mut f);
+        mg.apply(&r2, &mut z2, &mut f);
+        mg.apply(&combined, &mut zc, &mut f);
+        for i in 0..n {
+            let expected = a * z1[i] + b * z2[i];
+            assert!((zc[i] - expected).abs() < 1e-9, "nonlinear at {i}: {} vs {expected}", zc[i]);
+        }
+    }
+}

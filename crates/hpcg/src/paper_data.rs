@@ -1,0 +1,363 @@
+//! The paper's published measurements, embedded as ground truth.
+//!
+//! * [`GFLOPS_PER_WATT`] — the full 138-row sweep from Appendix A
+//!   (Tables 4, 5 and 6): GFLOPS/W for every measured
+//!   (cores, GHz, hyper-threading) configuration on the SR650/EPYC 7502P.
+//! * [`TABLE1`] — the top-13 rows with the paper's relative columns.
+//! * [`TABLE2_STANDARD`] / [`TABLE2_BEST`] — the standard-vs-best summary (powers, energies,
+//!   temperature, runtime).
+//! * [`TABLE3_ECO`] — the comparison against Silva et al. \[21\].
+//!
+//! The performance model calibrates against this data, and the experiment
+//! harness reports paper-vs-measured columns from it.
+
+/// One sweep measurement: `(cores, GHz, GFLOPS per watt, hyper_threading)`.
+pub type SweepRow = (u32, f64, f64, bool);
+
+/// Tables 4–6: the complete GFLOPS/W sweep, in the paper's descending
+/// GFLOPS/W order.
+pub const GFLOPS_PER_WATT: &[SweepRow] = &[
+    // ---- Table 4 (part 1) ----
+    (32, 2.2, 0.048767, false),
+    (32, 2.2, 0.048286, true),
+    (32, 1.5, 0.047978, false),
+    (32, 1.5, 0.046933, true),
+    (30, 2.2, 0.045618, true),
+    (30, 2.2, 0.045603, false),
+    (30, 1.5, 0.044614, true),
+    (28, 2.2, 0.044392, false),
+    (30, 1.5, 0.044127, false),
+    (28, 2.2, 0.043690, true),
+    (32, 2.5, 0.043168, false),
+    (32, 2.5, 0.043122, true),
+    (28, 1.5, 0.042526, true),
+    (27, 2.2, 0.042289, true),
+    (27, 2.2, 0.042171, false),
+    (28, 1.5, 0.041438, false),
+    (27, 1.5, 0.041218, true),
+    (30, 2.5, 0.040994, false),
+    (27, 1.5, 0.040803, false),
+    (25, 2.2, 0.040196, false),
+    (25, 2.2, 0.039824, true),
+    (30, 2.5, 0.039537, true),
+    (28, 2.5, 0.038596, true),
+    (25, 1.5, 0.038480, false),
+    (28, 2.5, 0.038408, false),
+    (24, 2.2, 0.038154, false),
+    (24, 2.2, 0.037978, true),
+    (25, 1.5, 0.037609, true),
+    (27, 2.5, 0.037581, true),
+    (27, 2.5, 0.037275, false),
+    (24, 1.5, 0.037072, false),
+    (24, 1.5, 0.036513, true),
+    (25, 2.5, 0.035153, true),
+    (25, 2.5, 0.034758, false),
+    (21, 2.2, 0.034490, false),
+    (21, 2.2, 0.034477, true),
+    (24, 2.5, 0.034234, false),
+    (20, 2.2, 0.033840, false),
+    (21, 1.5, 0.033378, false),
+    (20, 2.2, 0.033332, true),
+    (21, 1.5, 0.033251, true),
+    (24, 2.5, 0.032800, true),
+    (20, 1.5, 0.032278, false),
+    (21, 2.5, 0.031940, false),
+    (21, 2.5, 0.031821, true),
+    (20, 1.5, 0.031744, true),
+    (20, 2.5, 0.031623, true),
+    (20, 2.5, 0.031473, false),
+    (18, 2.2, 0.031221, false),
+    (18, 2.2, 0.031209, true),
+    (18, 1.5, 0.030226, false),
+    // ---- Table 5 (part 2) ----
+    (18, 1.5, 0.030030, true),
+    (8, 2.5, 0.030025, false),
+    (16, 2.2, 0.029694, false),
+    (18, 2.5, 0.029675, false),
+    (16, 2.2, 0.029481, true),
+    (8, 2.2, 0.029461, true),
+    (18, 2.5, 0.029385, true),
+    (9, 2.2, 0.029378, false),
+    (8, 2.2, 0.029355, false),
+    (8, 2.5, 0.029334, true),
+    (10, 2.2, 0.029024, false),
+    (10, 2.5, 0.028914, false),
+    (10, 2.2, 0.028787, true),
+    (9, 2.2, 0.028717, true),
+    (6, 2.5, 0.028709, true),
+    (9, 2.5, 0.028601, true),
+    (12, 2.2, 0.028460, false),
+    (9, 2.5, 0.028423, false),
+    (16, 2.5, 0.028402, false),
+    (12, 2.5, 0.028379, true),
+    (12, 2.5, 0.028355, false),
+    (16, 2.5, 0.028317, true),
+    (10, 2.5, 0.028312, true),
+    (15, 2.2, 0.028312, true),
+    (12, 2.2, 0.028258, true),
+    (14, 2.2, 0.028235, true),
+    (16, 1.5, 0.028144, false),
+    (14, 2.2, 0.028097, false),
+    (6, 2.5, 0.027928, false),
+    (15, 2.2, 0.027785, false),
+    (7, 2.5, 0.027625, false),
+    (7, 2.5, 0.027594, true),
+    (14, 1.5, 0.027554, false),
+    (16, 1.5, 0.027520, true),
+    (15, 2.5, 0.027500, false),
+    (15, 2.5, 0.027353, true),
+    (7, 2.2, 0.027228, true),
+    (14, 1.5, 0.027054, true),
+    (7, 2.2, 0.027033, false),
+    (14, 2.5, 0.027008, false),
+    (12, 1.5, 0.026994, false),
+    (15, 1.5, 0.026925, true),
+    (15, 1.5, 0.026879, false),
+    (14, 2.5, 0.026860, true),
+    (6, 2.2, 0.026797, true),
+    (10, 1.5, 0.026599, false),
+    (8, 1.5, 0.026577, true),
+    (10, 1.5, 0.026549, true),
+    (6, 2.2, 0.026512, false),
+    (8, 1.5, 0.026397, false),
+    (9, 1.5, 0.026236, false),
+    (12, 1.5, 0.026219, true),
+    (9, 1.5, 0.026151, true),
+    (5, 2.5, 0.026056, true),
+    (5, 2.5, 0.026028, false),
+    // ---- Table 6 (part 3) ----
+    (4, 2.5, 0.025157, true),
+    (4, 2.5, 0.024648, false),
+    (5, 2.2, 0.023307, false),
+    (7, 1.5, 0.022859, true),
+    (5, 2.2, 0.022752, true),
+    (7, 1.5, 0.022643, false),
+    (4, 2.2, 0.022313, false),
+    (6, 1.5, 0.021718, true),
+    (6, 1.5, 0.021681, false),
+    (4, 2.2, 0.021294, true),
+    (3, 2.5, 0.020024, false),
+    (3, 2.5, 0.019348, true),
+    (5, 1.5, 0.018599, true),
+    (5, 1.5, 0.018445, false),
+    (4, 1.5, 0.016654, false),
+    (4, 1.5, 0.016160, true),
+    (2, 2.5, 0.016094, false),
+    (2, 2.5, 0.015917, true),
+    (3, 2.2, 0.015503, true),
+    (1, 2.5, 0.014558, false),
+    (1, 2.5, 0.014548, true),
+    (3, 2.2, 0.014462, false),
+    (2, 2.2, 0.011852, false),
+    (3, 1.5, 0.011503, true),
+    (2, 2.2, 0.011355, true),
+    (3, 1.5, 0.011177, false),
+    (1, 2.2, 0.010560, true),
+    (1, 2.2, 0.010462, false),
+    (1, 1.5, 0.007571, true),
+    (1, 1.5, 0.007569, false),
+    (2, 1.5, 0.007236, false),
+    (2, 1.5, 0.007150, true),
+];
+
+/// Core counts that appear in the paper's sweep (not all 1..=32 were run).
+pub const SWEPT_CORE_COUNTS: &[u32] =
+    &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 14, 15, 16, 18, 20, 21, 24, 25, 27, 28, 30, 32];
+
+/// Frequencies (GHz) in the paper's sweep.
+pub const SWEPT_GHZ: &[f64] = &[1.5, 2.2, 2.5];
+
+/// One Table 1 row: `(cores, GHz, ht, gflops_per_watt, gpw_relative,
+/// performance_relative)`.
+pub type Table1Row = (u32, f64, bool, f64, f64, f64);
+
+/// Table 1: the best 13 configurations with relative GFLOPS/W and relative
+/// performance versus the standard configuration (32 cores @ 2.5 GHz).
+pub const TABLE1: &[Table1Row] = &[
+    (32, 2.2, false, 0.0488, 1.13, 0.98),
+    (32, 2.2, true, 0.0483, 1.12, 0.98),
+    (32, 1.5, false, 0.0480, 1.11, 0.90),
+    (32, 1.5, true, 0.0469, 1.09, 0.90),
+    (30, 2.2, true, 0.0456, 1.06, 0.93),
+    (30, 2.2, false, 0.0456, 1.06, 0.93),
+    (30, 1.5, true, 0.0446, 1.03, 0.86),
+    (28, 2.2, false, 0.0444, 1.03, 0.88),
+    (30, 1.5, false, 0.0441, 1.02, 0.86),
+    (28, 2.2, true, 0.0437, 1.01, 0.88),
+    (32, 2.5, false, 0.0432, 1.00, 1.00),
+    (32, 2.5, true, 0.0431, 1.00, 1.00),
+    (28, 1.5, true, 0.0425, 0.99, 0.81),
+];
+
+/// One Table 2 run summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Row {
+    /// Average system power (W).
+    pub avg_sys_w: f64,
+    /// Average CPU power (W).
+    pub avg_cpu_w: f64,
+    /// Total system energy (kJ).
+    pub sys_kj: f64,
+    /// Total CPU energy (kJ).
+    pub cpu_kj: f64,
+    /// Average CPU temperature (°C).
+    pub avg_temp_c: f64,
+    /// Runtime in seconds.
+    pub runtime_s: u64,
+}
+
+/// Table 2 "Standard": Slurm's default (32 cores @ 2.5 GHz, performance
+/// governor).
+pub const TABLE2_STANDARD: Table2Row = Table2Row {
+    avg_sys_w: 216.6,
+    avg_cpu_w: 120.4,
+    sys_kj: 240.2,
+    cpu_kj: 133.5,
+    avg_temp_c: 62.8,
+    runtime_s: 18 * 60 + 29,
+};
+
+/// Table 2 "Best": the eco plugin's pick (32 cores @ 2.2 GHz, no HT).
+pub const TABLE2_BEST: Table2Row = Table2Row {
+    avg_sys_w: 190.1,
+    avg_cpu_w: 97.4,
+    sys_kj: 214.4,
+    cpu_kj: 109.8,
+    avg_temp_c: 53.8,
+    runtime_s: 18 * 60 + 47,
+};
+
+/// Table 3: `(plugin, cpu_reduction_pct, system_reduction_pct)`; the
+/// related-work CPU reduction is unavailable (`None`).
+pub const TABLE3_ECO: (f64, f64) = (18.0, 11.0);
+/// Table 3, Silva et al. \[21\] recalculated via Equation 2.
+pub const TABLE3_RELATED_SYSTEM_REDUCTION: f64 = 5.66;
+
+/// HPCG GFLOP/s of the standard configuration, from the paper's Figure 1
+/// log (`GFLOP/s rating found: 9.34829`).
+pub const STANDARD_GFLOPS: f64 = 9.34829;
+
+/// The paper's Equation 1 measurement: IPMI 258 W vs wattmeter 273.4 W.
+pub const EQ1_IPMI_W: f64 = 258.0;
+/// Wattmeter total of the Equation 1 measurement (129.7 + 143.7).
+pub const EQ1_METER_W: f64 = 273.4;
+
+/// Looks up the paper's GFLOPS/W for a configuration, if it was measured.
+pub fn paper_gpw(cores: u32, ghz: f64, ht: bool) -> Option<f64> {
+    GFLOPS_PER_WATT
+        .iter()
+        .find(|&&(c, g, _, h)| c == cores && (g - ghz).abs() < 1e-9 && h == ht)
+        .map(|&(_, _, gpw, _)| gpw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn sweep_is_complete_and_unique() {
+        // every (core count, frequency, HT) combination appears exactly once
+        let mut seen = HashSet::new();
+        for &(c, g, _, h) in GFLOPS_PER_WATT {
+            assert!(SWEPT_CORE_COUNTS.contains(&c), "unexpected core count {c}");
+            assert!(SWEPT_GHZ.iter().any(|&x| (x - g).abs() < 1e-9), "unexpected GHz {g}");
+            assert!(seen.insert((c, (g * 10.0) as u32, h)), "duplicate row ({c}, {g}, {h})");
+        }
+        assert_eq!(GFLOPS_PER_WATT.len(), SWEPT_CORE_COUNTS.len() * SWEPT_GHZ.len() * 2);
+        assert_eq!(GFLOPS_PER_WATT.len(), 138);
+    }
+
+    #[test]
+    fn sweep_is_sorted_descending() {
+        for w in GFLOPS_PER_WATT.windows(2) {
+            assert!(w[0].2 >= w[1].2, "rows out of order: {:?} then {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn best_configuration_is_32c_22ghz_no_ht() {
+        let best = GFLOPS_PER_WATT[0];
+        assert_eq!((best.0, best.1, best.3), (32, 2.2, false));
+        assert!((best.2 - 0.048767).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_matches_sweep_rounding() {
+        // Table 1's 4-decimal values are the sweep values rounded
+        for &(c, g, h, gpw, _, _) in TABLE1 {
+            let full = paper_gpw(c, g, h).expect("table1 row in sweep");
+            assert!((full - gpw).abs() < 5e-5, "({c},{g},{h}): {full} vs {gpw}");
+        }
+    }
+
+    #[test]
+    fn table1_relative_column_consistent() {
+        let std_gpw = paper_gpw(32, 2.5, false).unwrap();
+        for &(c, g, h, _, rel, _) in TABLE1 {
+            let full = paper_gpw(c, g, h).unwrap();
+            assert!((full / std_gpw - rel).abs() < 0.012, "({c},{g},{h}) rel {} vs {rel}", full / std_gpw);
+        }
+    }
+
+    #[test]
+    fn headline_efficiency_gain_is_13_percent() {
+        let best = paper_gpw(32, 2.2, false).unwrap();
+        let std = paper_gpw(32, 2.5, false).unwrap();
+        let gain = best / std - 1.0;
+        assert!((gain - 0.13).abs() < 0.005, "gain {gain}");
+    }
+
+    #[test]
+    fn table2_energy_consistent_with_power_and_runtime() {
+        // avg power × runtime ≈ reported energy (the paper's own numbers)
+        for row in [TABLE2_STANDARD, TABLE2_BEST] {
+            let sys_kj = row.avg_sys_w * row.runtime_s as f64 / 1000.0;
+            let cpu_kj = row.avg_cpu_w * row.runtime_s as f64 / 1000.0;
+            assert!((sys_kj - row.sys_kj).abs() / row.sys_kj < 0.01, "sys {sys_kj} vs {}", row.sys_kj);
+            assert!((cpu_kj - row.cpu_kj).abs() / row.cpu_kj < 0.02, "cpu {cpu_kj} vs {}", row.cpu_kj);
+        }
+    }
+
+    #[test]
+    fn table2_reductions_match_abstract() {
+        let sys_red = 1.0 - TABLE2_BEST.sys_kj / TABLE2_STANDARD.sys_kj;
+        let cpu_red = 1.0 - TABLE2_BEST.cpu_kj / TABLE2_STANDARD.cpu_kj;
+        assert!((sys_red - 0.11).abs() < 0.005, "system reduction {sys_red}");
+        assert!((cpu_red - 0.18).abs() < 0.005, "cpu reduction {cpu_red}");
+    }
+
+    #[test]
+    fn equation_1_reproduces() {
+        let d = (EQ1_IPMI_W - EQ1_METER_W).abs() / EQ1_IPMI_W * 100.0;
+        assert!((d - 5.96).abs() < 0.02, "Equation 1 gives {d}");
+    }
+
+    #[test]
+    fn equation_2_reproduces_table3() {
+        // 106% better efficiency -> 100 - 100/1.06 = 5.66% reduction
+        let reduction = 100.0 - 100.0 / 1.06;
+        assert!((reduction - TABLE3_RELATED_SYSTEM_REDUCTION).abs() < 0.01);
+        assert!(TABLE3_ECO.1 > TABLE3_RELATED_SYSTEM_REDUCTION, "eco wins in Table 3");
+    }
+
+    #[test]
+    fn paper_gpw_lookup() {
+        assert_eq!(paper_gpw(32, 2.5, false), Some(0.043168));
+        assert_eq!(paper_gpw(32, 2.5, true), Some(0.043122));
+        assert_eq!(paper_gpw(11, 2.5, false), None, "11 cores was not swept");
+        assert_eq!(paper_gpw(32, 2.0, false), None);
+    }
+
+    #[test]
+    fn ht_helps_at_seven_cores_hurts_at_32() {
+        // paper §5.2.1 observation (3): at low core counts (esp. 7) HT wins
+        let ht7 = paper_gpw(7, 2.2, true).unwrap();
+        let no7 = paper_gpw(7, 2.2, false).unwrap();
+        assert!(ht7 > no7);
+        // observation (2): at 32 cores non-HT beats HT
+        let ht32 = paper_gpw(32, 2.2, true).unwrap();
+        let no32 = paper_gpw(32, 2.2, false).unwrap();
+        assert!(no32 > ht32);
+    }
+}

@@ -1,0 +1,284 @@
+//! The preconditioned conjugate-gradient solver with exact FLOP accounting.
+//!
+//! Mirrors the reference HPCG kernels: `ddot` (2n flops), `waxpby` (3n),
+//! `spmv` (2·nnz), and a symmetric Gauss–Seidel preconditioner (one forward
+//! plus one backward sweep, 4·nnz). The FLOP counts follow HPCG's official
+//! accounting so the reported GFLOP/s is comparable.
+
+use crate::sparse::CsrMatrix;
+
+/// Running FLOP counter for one solve.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlopCounter {
+    /// Total floating-point operations.
+    pub flops: u64,
+}
+
+impl FlopCounter {
+    fn add(&mut self, n: u64) {
+        self.flops += n;
+    }
+}
+
+/// Dot product with FLOP accounting.
+pub fn ddot(a: &[f64], b: &[f64], flops: &mut FlopCounter) -> f64 {
+    assert_eq!(a.len(), b.len());
+    flops.add(2 * a.len() as u64);
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `w = alpha·x + beta·y` with FLOP accounting.
+pub fn waxpby(alpha: f64, x: &[f64], beta: f64, y: &[f64], w: &mut [f64], flops: &mut FlopCounter) {
+    assert_eq!(x.len(), y.len());
+    assert_eq!(x.len(), w.len());
+    flops.add(3 * x.len() as u64);
+    for ((w, &x), &y) in w.iter_mut().zip(x).zip(y) {
+        *w = alpha * x + beta * y;
+    }
+}
+
+/// One symmetric Gauss–Seidel application: forward sweep then backward
+/// sweep of `A z = r`, starting from `z = 0`. This is HPCG's `ComputeSYMGS`.
+pub fn symgs(a: &CsrMatrix, r: &[f64], z: &mut [f64], flops: &mut FlopCounter) {
+    let n = a.n();
+    assert_eq!(r.len(), n);
+    assert_eq!(z.len(), n);
+    z.fill(0.0);
+    // forward sweep
+    for i in 0..n {
+        let (cols, vals) = a.row(i);
+        let mut sum = r[i];
+        for (&j, &v) in cols.iter().zip(vals) {
+            sum -= v * z[j as usize];
+        }
+        sum += a.diag(i) * z[i]; // undo the diagonal term removed above
+        z[i] = sum / a.diag(i);
+    }
+    // backward sweep
+    for i in (0..n).rev() {
+        let (cols, vals) = a.row(i);
+        let mut sum = r[i];
+        for (&j, &v) in cols.iter().zip(vals) {
+            sum -= v * z[j as usize];
+        }
+        sum += a.diag(i) * z[i];
+        z[i] = sum / a.diag(i);
+    }
+    flops.add(4 * a.nnz() as u64);
+}
+
+/// Outcome of a CG solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CgResult {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final residual 2-norm.
+    pub residual_norm: f64,
+    /// Whether the tolerance was reached within the iteration budget.
+    pub converged: bool,
+    /// Total FLOPs executed (HPCG accounting).
+    pub flops: u64,
+}
+
+/// Options for [`cg_solve`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CgOptions {
+    /// Iteration budget.
+    pub max_iterations: usize,
+    /// Relative residual tolerance (‖r‖/‖b‖).
+    pub tolerance: f64,
+    /// Apply the symmetric Gauss–Seidel preconditioner.
+    pub preconditioned: bool,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions { max_iterations: 50, tolerance: 1e-9, preconditioned: true }
+    }
+}
+
+/// Preconditioned conjugate gradients on `A x = b`, starting from `x`.
+/// `A` must be symmetric positive definite (the HPCG operator is).
+pub fn cg_solve(a: &CsrMatrix, b: &[f64], x: &mut [f64], opts: &CgOptions) -> CgResult {
+    let n = a.n();
+    assert_eq!(b.len(), n);
+    assert_eq!(x.len(), n);
+    let mut flops = FlopCounter::default();
+
+    let mut r = vec![0.0; n]; // residual
+    let mut z = vec![0.0; n]; // preconditioned residual
+    let mut p = vec![0.0; n]; // search direction
+    let mut ap = vec![0.0; n];
+
+    // r = b - A x
+    a.spmv(x, &mut ap);
+    flops.add(2 * a.nnz() as u64);
+    waxpby(1.0, b, -1.0, &ap, &mut r, &mut flops);
+
+    let normb = ddot(b, b, &mut flops).sqrt();
+    let normb = if normb == 0.0 { 1.0 } else { normb };
+    let mut normr = ddot(&r, &r, &mut flops).sqrt();
+
+    if normr / normb <= opts.tolerance {
+        return CgResult { iterations: 0, residual_norm: normr, converged: true, flops: flops.flops };
+    }
+
+    if opts.preconditioned {
+        symgs(a, &r, &mut z, &mut flops);
+    } else {
+        z.copy_from_slice(&r);
+    }
+    p.copy_from_slice(&z);
+    let mut rtz = ddot(&r, &z, &mut flops);
+
+    let mut iterations = 0;
+    for _ in 0..opts.max_iterations {
+        iterations += 1;
+        a.spmv(&p, &mut ap);
+        flops.add(2 * a.nnz() as u64);
+        let alpha = rtz / ddot(&p, &ap, &mut flops);
+        // x += alpha p ; r -= alpha Ap
+        let xc = x.to_vec();
+        waxpby(1.0, &xc, alpha, &p, x, &mut flops);
+        let rc = r.clone();
+        waxpby(1.0, &rc, -alpha, &ap, &mut r, &mut flops);
+        normr = ddot(&r, &r, &mut flops).sqrt();
+        if normr / normb <= opts.tolerance {
+            return CgResult { iterations, residual_norm: normr, converged: true, flops: flops.flops };
+        }
+        if opts.preconditioned {
+            symgs(a, &r, &mut z, &mut flops);
+        } else {
+            z.copy_from_slice(&r);
+        }
+        let rtz_new = ddot(&r, &z, &mut flops);
+        let beta = rtz_new / rtz;
+        rtz = rtz_new;
+        let pc = p.clone();
+        waxpby(1.0, &z, beta, &pc, &mut p, &mut flops);
+    }
+
+    CgResult { iterations, residual_norm: normr, converged: false, flops: flops.flops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Geometry;
+    use crate::sparse::generate_problem;
+
+    #[test]
+    fn ddot_and_flops() {
+        let mut f = FlopCounter::default();
+        let d = ddot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0], &mut f);
+        assert_eq!(d, 32.0);
+        assert_eq!(f.flops, 6);
+    }
+
+    #[test]
+    fn waxpby_known_result() {
+        let mut f = FlopCounter::default();
+        let mut w = [0.0; 3];
+        waxpby(2.0, &[1.0, 2.0, 3.0], -1.0, &[1.0, 1.0, 1.0], &mut w, &mut f);
+        assert_eq!(w, [1.0, 3.0, 5.0]);
+        assert_eq!(f.flops, 9);
+    }
+
+    #[test]
+    fn symgs_reduces_residual() {
+        let p = generate_problem(Geometry::cube(4));
+        let mut z = vec![0.0; p.matrix.n()];
+        let mut f = FlopCounter::default();
+        symgs(&p.matrix, &p.rhs, &mut z, &mut f);
+        // after one SymGS sweep, ||b - A z|| should be well below ||b||
+        let mut az = vec![0.0; p.matrix.n()];
+        p.matrix.spmv(&z, &mut az);
+        let res: f64 = p.rhs.iter().zip(&az).map(|(b, a)| (b - a) * (b - a)).sum::<f64>().sqrt();
+        let normb: f64 = p.rhs.iter().map(|b| b * b).sum::<f64>().sqrt();
+        assert!(res < normb * 0.5, "res {res} normb {normb}");
+        assert_eq!(f.flops, 4 * p.matrix.nnz() as u64);
+    }
+
+    #[test]
+    fn cg_solves_hpcg_problem_to_exact_solution() {
+        let p = generate_problem(Geometry::cube(6));
+        let mut x = vec![0.0; p.matrix.n()];
+        let result = cg_solve(&p.matrix, &p.rhs, &mut x, &CgOptions::default());
+        assert!(result.converged, "residual {}", result.residual_norm);
+        for &v in &x {
+            assert!((v - 1.0).abs() < 1e-6, "solution component {v}");
+        }
+    }
+
+    #[test]
+    fn preconditioning_reduces_iterations() {
+        let p = generate_problem(Geometry::cube(8));
+        let mut x1 = vec![0.0; p.matrix.n()];
+        let mut x2 = vec![0.0; p.matrix.n()];
+        let with = cg_solve(&p.matrix, &p.rhs, &mut x1, &CgOptions { max_iterations: 500, ..Default::default() });
+        let without = cg_solve(
+            &p.matrix,
+            &p.rhs,
+            &mut x2,
+            &CgOptions { max_iterations: 500, preconditioned: false, ..Default::default() },
+        );
+        assert!(with.converged && without.converged);
+        assert!(
+            with.iterations < without.iterations,
+            "precond {} vs plain {}",
+            with.iterations,
+            without.iterations
+        );
+    }
+
+    #[test]
+    fn cg_zero_rhs_converges_immediately() {
+        let p = generate_problem(Geometry::cube(3));
+        let mut x = vec![0.0; p.matrix.n()];
+        let r = cg_solve(&p.matrix, &vec![0.0; p.matrix.n()], &mut x, &CgOptions::default());
+        assert!(r.converged);
+        assert_eq!(r.iterations, 0);
+    }
+
+    #[test]
+    fn cg_respects_iteration_budget() {
+        let p = generate_problem(Geometry::cube(8));
+        let mut x = vec![0.0; p.matrix.n()];
+        let r = cg_solve(
+            &p.matrix,
+            &p.rhs,
+            &mut x,
+            &CgOptions { max_iterations: 2, tolerance: 1e-30, preconditioned: false },
+        );
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 2);
+    }
+
+    #[test]
+    fn flop_count_grows_linearly_with_iterations() {
+        let p = generate_problem(Geometry::cube(5));
+        let run = |iters| {
+            let mut x = vec![0.0; p.matrix.n()];
+            cg_solve(&p.matrix, &p.rhs, &mut x, &CgOptions { max_iterations: iters, tolerance: 1e-30, preconditioned: true })
+                .flops
+        };
+        let f2 = run(2);
+        let f4 = run(4);
+        let f6 = run(6);
+        assert_eq!(f6 - f4, f4 - f2, "constant flops per iteration");
+        assert!(f4 > f2);
+    }
+
+    #[test]
+    fn residual_monotone_progress() {
+        // over a few preconditioned iterations the residual norm shrinks
+        let p = generate_problem(Geometry::cube(6));
+        let mut last = f64::INFINITY;
+        for iters in 1..=4 {
+            let mut x = vec![0.0; p.matrix.n()];
+            let r = cg_solve(&p.matrix, &p.rhs, &mut x, &CgOptions { max_iterations: iters, tolerance: 1e-30, preconditioned: true });
+            assert!(r.residual_norm < last, "iter {iters}: {} !< {last}", r.residual_norm);
+            last = r.residual_norm;
+        }
+    }
+}

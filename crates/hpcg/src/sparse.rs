@@ -1,0 +1,257 @@
+//! Compressed sparse row matrix and the HPCG problem generator.
+//!
+//! HPCG's operator has 26 on the diagonal and −1 for every stencil
+//! neighbour; the exact solution is the all-ones vector, so the right-hand
+//! side is `26 − (neighbour count − 1)` per row. Matching the reference
+//! generator lets the tests verify both the assembly and the solvers
+//! against known closed forms.
+
+use crate::geometry::Geometry;
+
+/// A CSR matrix with a cached diagonal index per row (the Gauss–Seidel
+/// sweeps need the diagonal constantly).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    n: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<u32>,
+    values: Vec<f64>,
+    diag_idx: Vec<usize>,
+}
+
+impl CsrMatrix {
+    /// Assembles a CSR matrix from per-row `(column, value)` lists.
+    /// Columns within a row must be strictly ascending and each row must
+    /// contain its diagonal.
+    pub fn from_rows(rows: &[Vec<(usize, f64)>]) -> Self {
+        let n = rows.len();
+        let nnz: usize = rows.iter().map(Vec::len).sum();
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::with_capacity(nnz);
+        let mut values = Vec::with_capacity(nnz);
+        let mut diag_idx = Vec::with_capacity(n);
+        row_ptr.push(0);
+        for (i, row) in rows.iter().enumerate() {
+            let mut diag = None;
+            let mut last: Option<usize> = None;
+            for &(j, v) in row {
+                assert!(j < n, "column {j} out of bounds for n={n}");
+                if let Some(l) = last {
+                    assert!(j > l, "columns must be strictly ascending in row {i}");
+                }
+                if j == i {
+                    diag = Some(col_idx.len());
+                }
+                col_idx.push(j as u32);
+                values.push(v);
+                last = Some(j);
+            }
+            diag_idx.push(diag.unwrap_or_else(|| panic!("row {i} is missing its diagonal")));
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix { n, row_ptr, col_idx, values, diag_idx }
+    }
+
+    /// Number of rows (= columns).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The `(columns, values)` slices of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> (&[u32], &[f64]) {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        (&self.col_idx[lo..hi], &self.values[lo..hi])
+    }
+
+    /// The diagonal value of row `i`.
+    #[inline]
+    pub fn diag(&self, i: usize) -> f64 {
+        self.values[self.diag_idx[i]]
+    }
+
+    /// Sequential sparse matrix–vector product `y = A·x`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        for (i, yi) in y.iter_mut().enumerate() {
+            let (cols, vals) = self.row(i);
+            let mut sum = 0.0;
+            for (&j, &v) in cols.iter().zip(vals) {
+                sum += v * x[j as usize];
+            }
+            *yi = sum;
+        }
+    }
+
+    /// Computes `y = A·x` for the rows in `lo..hi` only (the parallel SpMV
+    /// partitions rows across threads with this).
+    pub fn spmv_range(&self, x: &[f64], y: &mut [f64], lo: usize, hi: usize) {
+        debug_assert!(hi <= self.n && y.len() == hi - lo);
+        for (yi, i) in y.iter_mut().zip(lo..hi) {
+            let (cols, vals) = self.row(i);
+            let mut sum = 0.0;
+            for (&j, &v) in cols.iter().zip(vals) {
+                sum += v * x[j as usize];
+            }
+            *yi = sum;
+        }
+    }
+
+    /// Checks structural symmetry and value symmetry (A = Aᵀ) — an
+    /// invariant of the HPCG operator that the property tests exercise.
+    pub fn is_symmetric(&self) -> bool {
+        for i in 0..self.n {
+            let (cols, vals) = self.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                let j = j as usize;
+                let (jcols, jvals) = self.row(j);
+                match jcols.binary_search(&(i as u32)) {
+                    Ok(pos) => {
+                        if (jvals[pos] - v).abs() > 1e-12 {
+                            return false;
+                        }
+                    }
+                    Err(_) => return false,
+                }
+            }
+        }
+        true
+    }
+}
+
+/// The assembled HPCG problem: operator, right-hand side, exact solution.
+#[derive(Debug, Clone)]
+pub struct Problem {
+    /// The 27-point operator.
+    pub matrix: CsrMatrix,
+    /// Right-hand side `b = A · 1`.
+    pub rhs: Vec<f64>,
+    /// The exact solution (all ones).
+    pub exact: Vec<f64>,
+    /// The geometry the problem was generated from.
+    pub geometry: Geometry,
+}
+
+/// Generates the HPCG problem on a grid: diagonal 26, off-diagonals −1.
+pub fn generate_problem(geometry: Geometry) -> Problem {
+    let n = geometry.n_rows();
+    let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(n);
+    let mut rhs = Vec::with_capacity(n);
+    for row in 0..n {
+        let (x, y, z) = geometry.coords(row);
+        let mut entries = Vec::with_capacity(27);
+        geometry.for_each_neighbor(x, y, z, |j| {
+            entries.push((j, if j == row { 26.0 } else { -1.0 }));
+        });
+        // b = A·1 = 26 - (neighbours excluding self)
+        let neighbours = entries.len() - 1;
+        rhs.push(26.0 - neighbours as f64);
+        rows.push(entries);
+    }
+    Problem { matrix: CsrMatrix::from_rows(&rows), rhs, exact: vec![1.0; n], geometry }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_matrix_shape() {
+        let p = generate_problem(Geometry::cube(4));
+        assert_eq!(p.matrix.n(), 64);
+        // interior 2^3=8 points have 27 entries; total nnz for 4^3 grid:
+        // sum over points of neighbor_count
+        let g = p.geometry;
+        let expected: usize = (0..64)
+            .map(|r| {
+                let (x, y, z) = g.coords(r);
+                g.neighbor_count(x, y, z)
+            })
+            .sum();
+        assert_eq!(p.matrix.nnz(), expected);
+    }
+
+    #[test]
+    fn diagonal_is_26_offdiag_minus_one() {
+        let p = generate_problem(Geometry::cube(3));
+        for i in 0..p.matrix.n() {
+            assert_eq!(p.matrix.diag(i), 26.0);
+            let (cols, vals) = p.matrix.row(i);
+            for (&j, &v) in cols.iter().zip(vals) {
+                if j as usize != i {
+                    assert_eq!(v, -1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        assert!(generate_problem(Geometry::new(3, 4, 2)).matrix.is_symmetric());
+    }
+
+    #[test]
+    fn rhs_equals_a_times_ones() {
+        let p = generate_problem(Geometry::cube(4));
+        let mut y = vec![0.0; p.matrix.n()];
+        p.matrix.spmv(&p.exact, &mut y);
+        for (a, b) in y.iter().zip(&p.rhs) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn interior_rhs_is_zero() {
+        // interior point: 26 - 26 neighbours = 0
+        let g = Geometry::cube(5);
+        let p = generate_problem(g);
+        let mid = g.index(2, 2, 2);
+        assert_eq!(p.rhs[mid], 0.0);
+        // corner: 26 - 7 = 19
+        assert_eq!(p.rhs[g.index(0, 0, 0)], 19.0);
+    }
+
+    #[test]
+    fn spmv_range_matches_full_spmv() {
+        let p = generate_problem(Geometry::new(4, 3, 2));
+        let n = p.matrix.n();
+        let x: Vec<f64> = (0..n).map(|i| (i % 7) as f64 - 3.0).collect();
+        let mut full = vec![0.0; n];
+        p.matrix.spmv(&x, &mut full);
+        let mut part = vec![0.0; 10];
+        p.matrix.spmv_range(&x, &mut part, 5, 15);
+        assert_eq!(&full[5..15], &part[..]);
+    }
+
+    #[test]
+    fn from_rows_validates_diagonal() {
+        let rows = vec![vec![(1, 1.0)]]; // row 0 missing diagonal... but col 1 out of bounds for n=1
+        let result = std::panic::catch_unwind(|| CsrMatrix::from_rows(&rows));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn from_rows_rejects_unsorted_columns() {
+        CsrMatrix::from_rows(&[vec![(1, 1.0), (0, 2.0)], vec![(1, 3.0)]]);
+    }
+
+    #[test]
+    fn spd_property_diagonally_dominant() {
+        // 26 >= sum |off-diag| (max 26 neighbours of -1) with strict
+        // dominance at the boundary — the matrix is SPD, so CG converges.
+        let p = generate_problem(Geometry::cube(3));
+        for i in 0..p.matrix.n() {
+            let (cols, vals) = p.matrix.row(i);
+            let off: f64 = cols.iter().zip(vals).filter(|(&j, _)| j as usize != i).map(|(_, &v)| v.abs()).sum();
+            assert!(p.matrix.diag(i) >= off);
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Workload abstraction used by the Slurm simulator.
+//!
+//! A [`Workload`] is what a job executes: it has an identity (the binary the
+//! eco plugin hashes), a fixed amount of work, and configuration-dependent
+//! throughput and activity profiles. [`HpcgWorkload`] is the paper's
+//! benchmark; [`SyntheticWorkload`] provides compute-bound and
+//! memory-bound contrasts for the extension experiments.
+
+use crate::perf_model::PerfModel;
+use eco_sim_node::clock::SimDuration;
+use eco_sim_node::CpuConfig;
+use std::sync::Arc;
+
+/// Something a job can run on a simulated node.
+pub trait Workload: Send + Sync {
+    /// Human-readable name.
+    fn name(&self) -> &str;
+
+    /// A stand-in for the executable's content; the eco plugin hashes this
+    /// to identify the application (§4.2.1 "binary hash").
+    fn binary_id(&self) -> &str;
+
+    /// Total work to execute, in GFLOP.
+    fn total_gflop(&self) -> f64;
+
+    /// Sustained throughput at a configuration, GFLOP/s.
+    fn gflops(&self, config: &CpuConfig) -> f64;
+
+    /// Activity level at elapsed time `t_secs` (mean 1.0; drives the power
+    /// model's transient behaviour).
+    fn utilization(&self, config: &CpuConfig, t_secs: f64) -> f64;
+
+    /// Wall time to complete at a configuration.
+    fn duration(&self, config: &CpuConfig) -> SimDuration {
+        SimDuration::from_secs_f64(self.total_gflop() / self.gflops(config))
+    }
+}
+
+/// The HPCG benchmark as the paper runs it: default problem size
+/// 104×104×104, fixed work sized so the standard configuration takes the
+/// paper's measured 18:29.
+#[derive(Clone)]
+pub struct HpcgWorkload {
+    perf: Arc<PerfModel>,
+    total_gflop: f64,
+    binary_id: String,
+}
+
+/// The paper's Table 2 standard-configuration runtime (18:29).
+pub const PAPER_STANDARD_RUNTIME_S: f64 = (18 * 60 + 29) as f64;
+
+impl HpcgWorkload {
+    /// The paper's run: total work chosen so the standard configuration
+    /// finishes in exactly the paper's measured runtime.
+    pub fn paper_default(perf: Arc<PerfModel>) -> Self {
+        let std_gflops = perf.gflops(&perf.standard_config());
+        HpcgWorkload {
+            total_gflop: std_gflops * PAPER_STANDARD_RUNTIME_S,
+            perf,
+            binary_id: "xhpcg-3.1-nx104-ny104-nz104".to_string(),
+        }
+    }
+
+    /// A custom amount of work (GFLOP) with a problem-size-tagged identity.
+    pub fn with_work(perf: Arc<PerfModel>, total_gflop: f64, nx: usize) -> Self {
+        assert!(total_gflop > 0.0);
+        HpcgWorkload {
+            total_gflop,
+            perf,
+            binary_id: format!("xhpcg-3.1-nx{nx}-ny{nx}-nz{nx}"),
+        }
+    }
+
+    /// The performance model backing this workload.
+    pub fn perf(&self) -> &PerfModel {
+        &self.perf
+    }
+}
+
+impl Workload for HpcgWorkload {
+    fn name(&self) -> &str {
+        "hpcg"
+    }
+
+    fn binary_id(&self) -> &str {
+        &self.binary_id
+    }
+
+    fn total_gflop(&self) -> f64 {
+        self.total_gflop
+    }
+
+    fn gflops(&self, config: &CpuConfig) -> f64 {
+        self.perf.gflops(config)
+    }
+
+    fn utilization(&self, config: &CpuConfig, t_secs: f64) -> f64 {
+        self.perf.utilization(config, t_secs)
+    }
+}
+
+/// How a synthetic workload's throughput scales.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScalingKind {
+    /// Throughput ∝ cores × frequency (perfect compute scaling).
+    ComputeBound,
+    /// Throughput saturates with cores and barely depends on frequency.
+    MemoryBound,
+}
+
+/// A parameterised synthetic workload for tests and extension experiments.
+#[derive(Debug, Clone)]
+pub struct SyntheticWorkload {
+    name: String,
+    binary_id: String,
+    total_gflop: f64,
+    kind: ScalingKind,
+    /// GFLOP/s of one core at 1 GHz.
+    base_rate: f64,
+}
+
+impl SyntheticWorkload {
+    /// Builds a synthetic workload.
+    pub fn new(name: &str, kind: ScalingKind, total_gflop: f64, base_rate: f64) -> Self {
+        assert!(total_gflop > 0.0 && base_rate > 0.0);
+        SyntheticWorkload {
+            name: name.to_string(),
+            binary_id: format!("synthetic-{name}"),
+            total_gflop,
+            kind,
+            base_rate,
+        }
+    }
+}
+
+impl Workload for SyntheticWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn binary_id(&self) -> &str {
+        &self.binary_id
+    }
+
+    fn total_gflop(&self) -> f64 {
+        self.total_gflop
+    }
+
+    fn gflops(&self, config: &CpuConfig) -> f64 {
+        let c = config.cores as f64;
+        let f = config.ghz();
+        let smt = if config.hyper_threading() { 1.15 } else { 1.0 };
+        match self.kind {
+            ScalingKind::ComputeBound => self.base_rate * c * f * smt,
+            ScalingKind::MemoryBound => {
+                // saturating in cores, weak in frequency
+                self.base_rate * 8.0 * (c / (c + 6.0)) * f.powf(0.2) * smt.min(1.02)
+            }
+        }
+    }
+
+    fn utilization(&self, _config: &CpuConfig, _t_secs: f64) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_sim_node::cpu::ghz_to_khz;
+
+    fn cfg(cores: u32, ghz: f64, ht: bool) -> CpuConfig {
+        CpuConfig::new(cores, ghz_to_khz(ghz), if ht { 2 } else { 1 })
+    }
+
+    #[test]
+    fn paper_default_matches_standard_runtime() {
+        let perf = Arc::new(PerfModel::sr650());
+        let w = HpcgWorkload::paper_default(perf.clone());
+        let d = w.duration(&perf.standard_config());
+        assert!((d.as_secs_f64() - PAPER_STANDARD_RUNTIME_S).abs() < 0.5, "duration {d}");
+    }
+
+    #[test]
+    fn best_config_runtime_near_paper_18_47() {
+        let perf = Arc::new(PerfModel::sr650());
+        let w = HpcgWorkload::paper_default(perf);
+        let d = w.duration(&cfg(32, 2.2, false)).as_secs_f64();
+        let paper = (18 * 60 + 47) as f64;
+        assert!((d - paper).abs() / paper < 0.02, "duration {d} vs paper {paper}");
+    }
+
+    #[test]
+    fn binary_id_encodes_problem_size() {
+        let perf = Arc::new(PerfModel::sr650());
+        assert_eq!(HpcgWorkload::paper_default(perf.clone()).binary_id(), "xhpcg-3.1-nx104-ny104-nz104");
+        assert_eq!(HpcgWorkload::with_work(perf, 100.0, 64).binary_id(), "xhpcg-3.1-nx64-ny64-nz64");
+    }
+
+    #[test]
+    fn compute_bound_scales_linearly() {
+        let w = SyntheticWorkload::new("dgemm", ScalingKind::ComputeBound, 1000.0, 1.0);
+        let g1 = w.gflops(&cfg(8, 2.0, false));
+        let g2 = w.gflops(&cfg(16, 2.0, false));
+        assert!((g2 / g1 - 2.0).abs() < 1e-9);
+        let g3 = w.gflops(&cfg(8, 1.0, false));
+        assert!((g1 / g3 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_bound_saturates_with_cores() {
+        let w = SyntheticWorkload::new("stream", ScalingKind::MemoryBound, 1000.0, 1.0);
+        let g8 = w.gflops(&cfg(8, 2.5, false));
+        let g32 = w.gflops(&cfg(32, 2.5, false));
+        assert!(g32 / g8 < 2.0, "saturation: {}", g32 / g8);
+        // weak frequency dependence
+        let lo = w.gflops(&cfg(32, 1.5, false));
+        let hi = w.gflops(&cfg(32, 2.5, false));
+        assert!(hi / lo < 1.15, "freq dependence {}", hi / lo);
+    }
+
+    #[test]
+    fn duration_shrinks_with_throughput() {
+        let w = SyntheticWorkload::new("x", ScalingKind::ComputeBound, 1000.0, 0.5);
+        assert!(w.duration(&cfg(32, 2.5, false)) < w.duration(&cfg(4, 1.5, false)));
+    }
+
+    #[test]
+    fn hpcg_workload_is_object_safe() {
+        let perf = Arc::new(PerfModel::sr650());
+        let w: Arc<dyn Workload> = Arc::new(HpcgWorkload::paper_default(perf));
+        assert_eq!(w.name(), "hpcg");
+        assert!(w.total_gflop() > 0.0);
+    }
+}

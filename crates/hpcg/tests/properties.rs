@@ -1,0 +1,109 @@
+//! Property-based tests for the HPCG substrate.
+
+use eco_hpcg::geometry::Geometry;
+use eco_hpcg::perf_model::PerfModel;
+use eco_hpcg::solver::{cg_solve, CgOptions};
+use eco_hpcg::sparse::generate_problem;
+use eco_hpcg::workload::{HpcgWorkload, Workload};
+use eco_sim_node::cpu::{ghz_to_khz, CpuConfig};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The generated operator is symmetric with b = A·1 on any geometry.
+    #[test]
+    fn problem_invariants(nx in 2usize..6, ny in 2usize..6, nz in 2usize..6) {
+        let p = generate_problem(Geometry::new(nx, ny, nz));
+        prop_assert!(p.matrix.is_symmetric());
+        let mut y = vec![0.0; p.matrix.n()];
+        p.matrix.spmv(&p.exact, &mut y);
+        for (a, b) in y.iter().zip(&p.rhs) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+        // diagonal dominance (SPD sufficient condition here)
+        for i in 0..p.matrix.n() {
+            let (cols, vals) = p.matrix.row(i);
+            let off: f64 = cols.iter().zip(vals).filter(|(&j, _)| j as usize != i).map(|(_, v)| v.abs()).sum();
+            prop_assert!(p.matrix.diag(i) >= off);
+        }
+    }
+
+    /// CG converges to the exact all-ones solution on every geometry.
+    #[test]
+    fn cg_always_converges(nx in 2usize..6, ny in 2usize..6, nz in 2usize..5) {
+        let p = generate_problem(Geometry::new(nx, ny, nz));
+        let mut x = vec![0.0; p.matrix.n()];
+        let r = cg_solve(&p.matrix, &p.rhs, &mut x, &CgOptions { max_iterations: 200, ..Default::default() });
+        prop_assert!(r.converged, "residual {}", r.residual_norm);
+        for &v in &x {
+            prop_assert!((v - 1.0).abs() < 1e-5);
+        }
+    }
+
+    /// GFLOPS interpolation along the cores axis stays within the
+    /// bracketing knots' values.
+    #[test]
+    fn interpolation_bracketed(cores in 1u32..=32,
+                               ghz in prop::sample::select(vec![1.5f64, 2.2, 2.5]),
+                               ht in any::<bool>()) {
+        let m = PerfModel::sr650();
+        let tpc = if ht { 2 } else { 1 };
+        let g = m.gflops(&CpuConfig::new(cores, ghz_to_khz(ghz), tpc));
+        prop_assert!(g.is_finite() && g > 0.0);
+        // bounded by the global extremes of the surface for that (ghz, ht)
+        let knots = eco_hpcg::paper_data::SWEPT_CORE_COUNTS;
+        let vals: Vec<f64> = knots.iter().map(|&c| m.gflops(&CpuConfig::new(c, ghz_to_khz(ghz), tpc))).collect();
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(g >= lo - 1e-9 && g <= hi + 1e-9, "{g} outside [{lo}, {hi}]");
+    }
+
+    /// Workload durations are positive and exactly inverse to throughput.
+    #[test]
+    fn duration_inverse_throughput(cores in 1u32..=32,
+                                   ghz in prop::sample::select(vec![1.5f64, 2.2, 2.5]),
+                                   ht in any::<bool>(),
+                                   work_s in 1.0f64..1000.0) {
+        let perf = Arc::new(PerfModel::sr650());
+        let std_rate = perf.gflops(&perf.standard_config());
+        let w = HpcgWorkload::with_work(perf.clone(), std_rate * work_s, 104);
+        let config = CpuConfig::new(cores, ghz_to_khz(ghz), if ht { 2 } else { 1 });
+        let d = w.duration(&config).as_secs_f64();
+        prop_assert!(d > 0.0);
+        let recovered = w.total_gflop() / d;
+        let rate = w.gflops(&config);
+        prop_assert!((recovered - rate).abs() / rate < 1e-3, "{recovered} vs {rate}");
+    }
+
+    /// Utilization profile: mean ~1 over long windows for every config.
+    #[test]
+    fn utilization_mean_near_one(cores in 1u32..=32,
+                                 ghz in prop::sample::select(vec![1.5f64, 2.2, 2.5]),
+                                 ht in any::<bool>()) {
+        let m = PerfModel::sr650();
+        let config = CpuConfig::new(cores, ghz_to_khz(ghz), if ht { 2 } else { 1 });
+        let n = 3000;
+        let mean: f64 = (0..n).map(|k| m.utilization(&config, k as f64)).sum::<f64>() / n as f64;
+        prop_assert!((mean - 1.0).abs() < 0.02, "mean {mean}");
+        // and the profile never goes negative or above the clamp
+        for k in 0..200 {
+            let u = m.utilization(&config, k as f64 * 1.7);
+            prop_assert!(u > 0.5 && u < 1.3, "u {u}");
+        }
+    }
+
+    /// GFLOPS/W equals GFLOPS divided by steady system power, for every
+    /// configuration (internal consistency of the model).
+    #[test]
+    fn gpw_consistency(cores in 1u32..=32,
+                       ghz in prop::sample::select(vec![1.5f64, 2.2, 2.5]),
+                       ht in any::<bool>()) {
+        let m = PerfModel::sr650();
+        let config = CpuConfig::new(cores, ghz_to_khz(ghz), if ht { 2 } else { 1 });
+        let direct = m.gflops_per_watt(&config);
+        let manual = m.gflops(&config) / m.steady_system_power(&config);
+        prop_assert!((direct - manual).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,242 @@
+//! Tabular dataset handling for the regression models.
+//!
+//! A [`Dataset`] is a feature matrix plus a target vector, with optional
+//! feature names, supporting train/test splitting and bootstrap resampling —
+//! the two operations the optimizers and the random forest need.
+
+use rand::Rng;
+
+/// A supervised-learning dataset: `n` rows of `d` features with one target each.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    features: Vec<Vec<f64>>,
+    targets: Vec<f64>,
+    names: Vec<String>,
+}
+
+/// Errors raised when constructing or manipulating datasets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// Feature rows and targets have different lengths.
+    LengthMismatch { features: usize, targets: usize },
+    /// Rows have inconsistent widths.
+    RaggedRows { expected: usize, got: usize },
+    /// Operation requires a non-empty dataset.
+    Empty,
+}
+
+impl std::fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DatasetError::LengthMismatch { features, targets } => {
+                write!(f, "{features} feature rows but {targets} targets")
+            }
+            DatasetError::RaggedRows { expected, got } => {
+                write!(f, "ragged rows: expected width {expected}, got {got}")
+            }
+            DatasetError::Empty => write!(f, "dataset is empty"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+impl Dataset {
+    /// Builds a dataset from feature rows and targets.
+    pub fn new(features: Vec<Vec<f64>>, targets: Vec<f64>) -> Result<Self, DatasetError> {
+        if features.len() != targets.len() {
+            return Err(DatasetError::LengthMismatch { features: features.len(), targets: targets.len() });
+        }
+        if features.is_empty() {
+            return Err(DatasetError::Empty);
+        }
+        let width = features[0].len();
+        for row in &features {
+            if row.len() != width {
+                return Err(DatasetError::RaggedRows { expected: width, got: row.len() });
+            }
+        }
+        let names = (0..width).map(|i| format!("x{i}")).collect();
+        Ok(Dataset { features, targets, names })
+    }
+
+    /// Replaces the auto-generated feature names.
+    pub fn with_names(mut self, names: &[&str]) -> Self {
+        assert_eq!(names.len(), self.width(), "one name per feature");
+        self.names = names.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.features.len()
+    }
+
+    /// True when the dataset holds no rows (unreachable via `new`, but kept
+    /// for subset views).
+    pub fn is_empty(&self) -> bool {
+        self.features.is_empty()
+    }
+
+    /// Number of features per row.
+    pub fn width(&self) -> usize {
+        self.features.first().map_or(0, Vec::len)
+    }
+
+    /// Feature names.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Borrows feature row `i`.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.features[i]
+    }
+
+    /// Borrows target `i`.
+    pub fn target(&self, i: usize) -> f64 {
+        self.targets[i]
+    }
+
+    /// All feature rows.
+    pub fn features(&self) -> &[Vec<f64>] {
+        &self.features
+    }
+
+    /// All targets.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    /// Mean of the targets.
+    pub fn target_mean(&self) -> f64 {
+        self.targets.iter().sum::<f64>() / self.targets.len() as f64
+    }
+
+    /// Splits into `(train, test)` with `test_fraction` of rows in the test
+    /// set, shuffled with the supplied RNG. The test set gets at least one
+    /// row (and so does the train set) whenever there are two or more rows.
+    pub fn split<R: Rng>(&self, test_fraction: f64, rng: &mut R) -> (Dataset, Dataset) {
+        assert!((0.0..1.0).contains(&test_fraction), "test_fraction must be in [0, 1)");
+        let n = self.len();
+        let mut idx: Vec<usize> = (0..n).collect();
+        // Fisher-Yates shuffle
+        for i in (1..n).rev() {
+            let j = rng.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        let mut n_test = ((n as f64) * test_fraction).round() as usize;
+        if n >= 2 {
+            n_test = n_test.clamp(1, n - 1);
+        } else {
+            n_test = 0;
+        }
+        let (test_idx, train_idx) = idx.split_at(n_test);
+        (self.subset(train_idx), self.subset(test_idx))
+    }
+
+    /// Bootstrap sample of the same size as the dataset (sampling with
+    /// replacement), as used by bagging in the random forest.
+    pub fn bootstrap<R: Rng>(&self, rng: &mut R) -> Dataset {
+        let n = self.len();
+        let idx: Vec<usize> = (0..n).map(|_| rng.gen_range(0..n)).collect();
+        self.subset(&idx)
+    }
+
+    /// Builds a new dataset from the given row indices (indices may repeat).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            features: indices.iter().map(|&i| self.features[i].clone()).collect(),
+            targets: indices.iter().map(|&i| self.targets[i]).collect(),
+            names: self.names.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> Dataset {
+        let features = (0..10).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let targets = (0..10).map(|i| 2.0 * i as f64).collect();
+        Dataset::new(features, targets).unwrap()
+    }
+
+    #[test]
+    fn new_validates_lengths() {
+        let err = Dataset::new(vec![vec![1.0]], vec![1.0, 2.0]).unwrap_err();
+        assert_eq!(err, DatasetError::LengthMismatch { features: 1, targets: 2 });
+    }
+
+    #[test]
+    fn new_validates_ragged() {
+        let err = Dataset::new(vec![vec![1.0], vec![1.0, 2.0]], vec![1.0, 2.0]).unwrap_err();
+        assert_eq!(err, DatasetError::RaggedRows { expected: 1, got: 2 });
+    }
+
+    #[test]
+    fn new_rejects_empty() {
+        assert_eq!(Dataset::new(vec![], vec![]).unwrap_err(), DatasetError::Empty);
+    }
+
+    #[test]
+    fn accessors() {
+        let d = sample().with_names(&["a", "b"]);
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.width(), 2);
+        assert_eq!(d.row(3), &[3.0, 9.0]);
+        assert_eq!(d.target(3), 6.0);
+        assert_eq!(d.names(), &["a".to_string(), "b".to_string()]);
+        assert!((d.target_mean() - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_partitions_all_rows() {
+        let d = sample();
+        let mut rng = StdRng::seed_from_u64(7);
+        let (train, test) = d.split(0.3, &mut rng);
+        assert_eq!(train.len() + test.len(), d.len());
+        assert_eq!(test.len(), 3);
+        // every original target count preserved across the union
+        let mut all: Vec<f64> = train.targets().to_vec();
+        all.extend_from_slice(test.targets());
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut expected: Vec<f64> = d.targets().to_vec();
+        expected.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn split_never_empties_either_side() {
+        let d = Dataset::new(vec![vec![1.0], vec![2.0]], vec![1.0, 2.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (train, test) = d.split(0.01, &mut rng);
+        assert_eq!(train.len(), 1);
+        assert_eq!(test.len(), 1);
+    }
+
+    #[test]
+    fn bootstrap_same_size_and_rows_from_original() {
+        let d = sample();
+        let mut rng = StdRng::seed_from_u64(42);
+        let b = d.bootstrap(&mut rng);
+        assert_eq!(b.len(), d.len());
+        for i in 0..b.len() {
+            let row = b.row(i);
+            assert!(d.features().iter().any(|r| r.as_slice() == row));
+        }
+    }
+
+    #[test]
+    fn subset_preserves_order_and_allows_repeats() {
+        let d = sample();
+        let s = d.subset(&[3, 3, 0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.target(0), 6.0);
+        assert_eq!(s.target(1), 6.0);
+        assert_eq!(s.target(2), 0.0);
+    }
+}

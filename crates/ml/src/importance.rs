@@ -1,0 +1,117 @@
+//! Permutation feature importance: how much a model's R² drops when one
+//! feature's values are shuffled. Used by the experiment harness to
+//! quantify which configuration knob (cores, frequency, hyper-threading)
+//! actually drives the GFLOPS/W surface.
+
+use crate::dataset::Dataset;
+use crate::metrics::r2;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Importance of one feature.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureImportance {
+    /// The feature's name (from the dataset).
+    pub name: String,
+    /// Mean R² drop across repeats when this feature is permuted.
+    /// Larger = more important; ≈0 = the model ignores it.
+    pub r2_drop: f64,
+}
+
+/// Computes permutation importance of every feature for a fitted
+/// predictor, averaged over `repeats` shuffles.
+pub fn permutation_importance<P>(
+    data: &Dataset,
+    predict: P,
+    repeats: usize,
+    seed: u64,
+) -> Vec<FeatureImportance>
+where
+    P: Fn(&[f64]) -> f64,
+{
+    assert!(repeats >= 1, "need at least one repeat");
+    let baseline_preds: Vec<f64> = data.features().iter().map(|r| predict(r)).collect();
+    let baseline = r2(&baseline_preds, data.targets());
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut out = Vec::with_capacity(data.width());
+    for feature in 0..data.width() {
+        let mut total_drop = 0.0;
+        for _ in 0..repeats {
+            // shuffle column `feature` across rows
+            let mut perm: Vec<usize> = (0..data.len()).collect();
+            for i in (1..perm.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                perm.swap(i, j);
+            }
+            let preds: Vec<f64> = data
+                .features()
+                .iter()
+                .enumerate()
+                .map(|(i, row)| {
+                    let mut shuffled = row.clone();
+                    shuffled[feature] = data.row(perm[i])[feature];
+                    predict(&shuffled)
+                })
+                .collect();
+            total_drop += baseline - r2(&preds, data.targets());
+        }
+        out.push(FeatureImportance {
+            name: data.names()[feature].clone(),
+            r2_drop: total_drop / repeats as f64,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::{ForestParams, RandomForest};
+    use crate::linreg::{Degree, LinearRegression};
+
+    /// y depends strongly on x0, weakly on x1, not at all on x2.
+    fn data() -> Dataset {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut features = Vec::new();
+        let mut targets = Vec::new();
+        for _ in 0..120 {
+            let a: f64 = rng.gen_range(-5.0..5.0);
+            let b: f64 = rng.gen_range(-5.0..5.0);
+            let c: f64 = rng.gen_range(-5.0..5.0);
+            features.push(vec![a, b, c]);
+            targets.push(10.0 * a + 0.5 * b);
+        }
+        Dataset::new(features, targets).unwrap().with_names(&["strong", "weak", "none"])
+    }
+
+    #[test]
+    fn linear_model_importance_ordering() {
+        let d = data();
+        let model = LinearRegression::fit(&d, Degree::Linear, 0.0).unwrap();
+        let imp = permutation_importance(&d, |row| model.predict(row).unwrap(), 5, 1);
+        assert_eq!(imp.len(), 3);
+        assert!(imp[0].r2_drop > imp[1].r2_drop, "{imp:?}");
+        assert!(imp[1].r2_drop > imp[2].r2_drop, "{imp:?}");
+        assert!(imp[2].r2_drop.abs() < 0.02, "irrelevant feature ~0: {imp:?}");
+        assert_eq!(imp[0].name, "strong");
+    }
+
+    #[test]
+    fn forest_importance_finds_the_signal() {
+        let d = data();
+        let forest = RandomForest::fit(&d, &ForestParams { n_trees: 32, ..Default::default() });
+        let imp = permutation_importance(&d, |row| forest.predict(row), 3, 2);
+        assert!(imp[0].r2_drop > 0.5, "{imp:?}");
+        assert!(imp[0].r2_drop > 5.0 * imp[2].r2_drop.max(0.01), "{imp:?}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = data();
+        let model = LinearRegression::fit(&d, Degree::Linear, 0.0).unwrap();
+        let a = permutation_importance(&d, |row| model.predict(row).unwrap(), 3, 7);
+        let b = permutation_importance(&d, |row| model.predict(row).unwrap(), 3, 7);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,35 @@
+//! # eco-ml — from-scratch ML substrate for the eco plugin reproduction
+//!
+//! The paper's Chronus application ships three interchangeable "Optimizer"
+//! backends (brute force, linear regression, random forest regressor),
+//! implemented in Python on top of scikit-learn. This crate provides the
+//! learning machinery those optimizers need, written from scratch in Rust:
+//!
+//! * [`linalg`] — dense matrices, Gaussian elimination, Cholesky;
+//! * [`dataset`] — tabular data, train/test splits, bootstrap resampling;
+//! * [`linreg`] — (polynomial) linear regression via normal equations;
+//! * [`tree`] / [`forest`] — CART regression trees and bagged random forests;
+//! * [`metrics`] — R², RMSE, MAE, Pearson and Spearman correlation;
+//! * [`validation`] — k-fold cross-validation;
+//! * [`importance`] — permutation feature importance.
+//!
+//! Everything is deterministic given a seed, which the reproduction relies
+//! on for byte-stable experiment outputs.
+
+pub mod dataset;
+pub mod forest;
+pub mod importance;
+pub mod linalg;
+pub mod linreg;
+pub mod metrics;
+pub mod tree;
+pub mod validation;
+
+pub use dataset::{Dataset, DatasetError};
+pub use forest::{ForestParams, RandomForest};
+pub use importance::{permutation_importance, FeatureImportance};
+pub use linalg::{LinalgError, Matrix};
+pub use linreg::{Degree, LinearRegression, RegressionError};
+pub use metrics::{mae, mse, pearson, r2, rmse, spearman};
+pub use tree::{RegressionTree, TreeParams};
+pub use validation::{cross_val_r2, fold_assignments};

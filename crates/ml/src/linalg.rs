@@ -1,0 +1,419 @@
+//! Minimal dense linear algebra used by the regression models.
+//!
+//! Only the operations the optimizers need are implemented: row-major dense
+//! matrices, matrix products, transposes, and two linear solvers (Gaussian
+//! elimination with partial pivoting, and Cholesky for symmetric positive
+//! definite systems arising from normal equations).
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense, row-major `rows x cols` matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+/// Errors produced by linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    ShapeMismatch { expected: (usize, usize), got: (usize, usize) },
+    /// The system matrix is singular (or numerically so) and cannot be solved.
+    Singular,
+    /// The matrix is not positive definite (Cholesky only).
+    NotPositiveDefinite,
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {}x{}, got {}x{}", expected.0, expected.1, got.0, got.1)
+            }
+            LinalgError::Singular => write!(f, "matrix is singular to working precision"),
+            LinalgError::NotPositiveDefinite => write!(f, "matrix is not positive definite"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+impl Matrix {
+    /// Creates a matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a slice of rows. All rows must have equal length.
+    ///
+    /// # Panics
+    /// Panics if rows are ragged or empty.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        assert!(!rows.is_empty(), "matrix needs at least one row");
+        let cols = rows[0].len();
+        assert!(cols > 0, "matrix needs at least one column");
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows");
+            data.extend_from_slice(r);
+        }
+        Matrix { rows: rows.len(), cols, data }
+    }
+
+    /// Builds a column vector from a slice.
+    pub fn column(v: &[f64]) -> Self {
+        Matrix { rows: v.len(), cols: 1, data: v.to_vec() }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the underlying row-major data slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Borrows row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
+        if self.cols != rhs.rows {
+            return Err(LinalgError::ShapeMismatch {
+                expected: (self.cols, rhs.cols),
+                got: (rhs.rows, rhs.cols),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // ikj loop order: streams over rhs rows, cache-friendlier than ijk.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                let rrow = rhs.row(k);
+                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in orow.iter_mut().zip(rrow.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Computes `self^T * self` (the Gram matrix) without materialising the transpose.
+    pub fn gram(&self) -> Matrix {
+        let n = self.cols;
+        let mut g = Matrix::zeros(n, n);
+        for r in 0..self.rows {
+            let row = self.row(r);
+            for i in 0..n {
+                let xi = row[i];
+                if xi == 0.0 {
+                    continue;
+                }
+                for j in i..n {
+                    g[(i, j)] += xi * row[j];
+                }
+            }
+        }
+        // mirror the upper triangle
+        for i in 0..n {
+            for j in 0..i {
+                g[(i, j)] = g[(j, i)];
+            }
+        }
+        g
+    }
+
+    /// Computes `self^T * y` for a vector `y` with `self.rows()` entries.
+    pub fn t_vec(&self, y: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if y.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch { expected: (self.rows, 1), got: (y.len(), 1) });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (r, &w) in y.iter().enumerate() {
+            let row = self.row(r);
+            for (o, &x) in out.iter_mut().zip(row.iter()) {
+                *o += w * x;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Solves `self * x = b` by Gaussian elimination with partial pivoting.
+    ///
+    /// `self` must be square; `b.len()` must equal `self.rows()`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::ShapeMismatch { expected: (self.rows, self.rows), got: (self.rows, self.cols) });
+        }
+        if b.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch { expected: (self.rows, 1), got: (b.len(), 1) });
+        }
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // partial pivot
+            let mut pivot = col;
+            let mut best = a[col * n + col].abs();
+            for r in (col + 1)..n {
+                let v = a[r * n + col].abs();
+                if v > best {
+                    best = v;
+                    pivot = r;
+                }
+            }
+            if best < 1e-12 {
+                return Err(LinalgError::Singular);
+            }
+            if pivot != col {
+                for c in 0..n {
+                    a.swap(col * n + c, pivot * n + c);
+                }
+                x.swap(col, pivot);
+            }
+            let d = a[col * n + col];
+            for r in (col + 1)..n {
+                let factor = a[r * n + col] / d;
+                if factor == 0.0 {
+                    continue;
+                }
+                a[r * n + col] = 0.0;
+                for c in (col + 1)..n {
+                    a[r * n + c] -= factor * a[col * n + c];
+                }
+                x[r] -= factor * x[col];
+            }
+        }
+        // back substitution
+        for col in (0..n).rev() {
+            let mut s = x[col];
+            for c in (col + 1)..n {
+                s -= a[col * n + c] * x[c];
+            }
+            x[col] = s / a[col * n + col];
+        }
+        Ok(x)
+    }
+
+    /// Solves the SPD system `self * x = b` via Cholesky factorisation.
+    ///
+    /// Intended for normal-equation systems `(X^T X + λI) β = X^T y`.
+    pub fn solve_cholesky(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
+        if self.rows != self.cols {
+            return Err(LinalgError::ShapeMismatch { expected: (self.rows, self.rows), got: (self.rows, self.cols) });
+        }
+        if b.len() != self.rows {
+            return Err(LinalgError::ShapeMismatch { expected: (self.rows, 1), got: (b.len(), 1) });
+        }
+        let n = self.rows;
+        // lower-triangular factor L with self = L L^T
+        let mut l = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = self[(i, j)];
+                for k in 0..j {
+                    s -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if s <= 0.0 {
+                        return Err(LinalgError::NotPositiveDefinite);
+                    }
+                    l[i * n + i] = s.sqrt();
+                } else {
+                    l[i * n + j] = s / l[j * n + j];
+                }
+            }
+        }
+        // forward solve L z = b
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= l[i * n + k] * z[k];
+            }
+            z[i] = s / l[i * n + i];
+        }
+        // back solve L^T x = z
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = z[i];
+            for k in (i + 1)..n {
+                s -= l[k * n + i] * x[k];
+            }
+            x[i] = s / l[i * n + i];
+        }
+        Ok(x)
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn identity_matmul_is_noop() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let b = Matrix::from_rows(&[vec![7.0, 8.0], vec![9.0, 10.0], vec![11.0, 12.0]]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.rows(), 2);
+        assert_eq!(c.cols(), 2);
+        assert!(approx(c[(0, 0)], 58.0));
+        assert!(approx(c[(0, 1)], 64.0));
+        assert!(approx(c[(1, 0)], 139.0));
+        assert!(approx(c[(1, 1)], 154.0));
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        assert!(matches!(a.matmul(&b), Err(LinalgError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert!(approx(a.transpose()[(2, 1)], 6.0));
+    }
+
+    #[test]
+    fn gram_matches_explicit_product() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let g = x.gram();
+        let explicit = x.transpose().matmul(&x).unwrap();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(approx(g[(i, j)], explicit[(i, j)]));
+            }
+        }
+    }
+
+    #[test]
+    fn t_vec_matches_explicit_product() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let y = [1.0, 0.5, -1.0];
+        let v = x.t_vec(&y).unwrap();
+        assert!(approx(v[0], 1.0 + 1.5 - 5.0));
+        assert!(approx(v[1], 2.0 + 2.0 - 6.0));
+    }
+
+    #[test]
+    fn solve_gaussian_known_system() {
+        // 2x + y = 5 ; x + 3y = 10  => x = 1, y = 3
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!(approx(x[0], 1.0));
+        assert!(approx(x[1], 3.0));
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // leading zero pivot forces a row swap
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!(approx(x[0], 3.0));
+        assert!(approx(x[1], 2.0));
+    }
+
+    #[test]
+    fn solve_singular_errors() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert_eq!(a.solve(&[1.0, 2.0]), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn cholesky_solves_spd_system() {
+        let a = Matrix::from_rows(&[vec![4.0, 2.0], vec![2.0, 3.0]]);
+        let x = a.solve_cholesky(&[8.0, 7.0]).unwrap();
+        // verify residual rather than hand-computed solution
+        let ax0 = 4.0 * x[0] + 2.0 * x[1];
+        let ax1 = 2.0 * x[0] + 3.0 * x[1];
+        assert!(approx(ax0, 8.0));
+        assert!(approx(ax1, 7.0));
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert_eq!(a.solve_cholesky(&[1.0, 1.0]), Err(LinalgError::NotPositiveDefinite));
+    }
+
+    #[test]
+    fn cholesky_and_gaussian_agree() {
+        let a = Matrix::from_rows(&[
+            vec![6.0, 2.0, 1.0],
+            vec![2.0, 5.0, 2.0],
+            vec![1.0, 2.0, 4.0],
+        ]);
+        let b = [1.0, -2.0, 3.0];
+        let x1 = a.solve(&b).unwrap();
+        let x2 = a.solve_cholesky(&b).unwrap();
+        for (u, v) in x1.iter().zip(x2.iter()) {
+            assert!((u - v).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Linear regression with optional polynomial feature expansion and ridge
+//! regularisation, fitted via the normal equations (Cholesky).
+//!
+//! This is the `LinearRegression` optimizer backend from the paper's
+//! Optimizer integration interface (§3.2), reimplemented from scratch.
+
+use crate::dataset::Dataset;
+use crate::linalg::{LinalgError, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Polynomial feature expansion degree.
+///
+/// Degree 1 keeps raw features; degree 2 adds squares and pairwise products,
+/// which is enough to capture the concave GFLOPS/W surface over
+/// (cores, frequency).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Degree {
+    /// Raw features plus intercept.
+    Linear,
+    /// Raw features, squares and pairwise interaction terms, plus intercept.
+    Quadratic,
+}
+
+/// A fitted linear-regression model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LinearRegression {
+    degree: Degree,
+    ridge: f64,
+    /// Learned coefficients; index 0 is the intercept.
+    coefficients: Vec<f64>,
+    /// Per-feature mean used for standardisation.
+    feature_means: Vec<f64>,
+    /// Per-feature standard deviation used for standardisation.
+    feature_stds: Vec<f64>,
+    /// Number of raw (pre-expansion) features this model expects.
+    input_width: usize,
+}
+
+/// Errors raised while fitting or predicting.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegressionError {
+    /// The normal-equation system could not be solved.
+    Linalg(LinalgError),
+    /// A prediction input had the wrong number of features.
+    WidthMismatch { expected: usize, got: usize },
+    /// Fewer rows than expanded features; the fit would be underdetermined
+    /// (with zero ridge).
+    Underdetermined { rows: usize, features: usize },
+}
+
+impl std::fmt::Display for RegressionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegressionError::Linalg(e) => write!(f, "linear algebra failure: {e}"),
+            RegressionError::WidthMismatch { expected, got } => {
+                write!(f, "expected {expected} features, got {got}")
+            }
+            RegressionError::Underdetermined { rows, features } => {
+                write!(f, "{rows} rows cannot determine {features} coefficients without ridge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegressionError {}
+
+impl From<LinalgError> for RegressionError {
+    fn from(e: LinalgError) -> Self {
+        RegressionError::Linalg(e)
+    }
+}
+
+impl LinearRegression {
+    /// Fits ordinary least squares (optionally ridge-regularised) on the
+    /// dataset, after standardising features to zero mean / unit variance.
+    pub fn fit(data: &Dataset, degree: Degree, ridge: f64) -> Result<Self, RegressionError> {
+        assert!(ridge >= 0.0, "ridge must be non-negative");
+        let input_width = data.width();
+        let (means, stds) = standardisation_params(data);
+
+        let expanded: Vec<Vec<f64>> = data
+            .features()
+            .iter()
+            .map(|row| expand(&standardise(row, &means, &stds), degree))
+            .collect();
+        let n_features = expanded[0].len();
+        if ridge == 0.0 && data.len() < n_features {
+            return Err(RegressionError::Underdetermined { rows: data.len(), features: n_features });
+        }
+
+        let x = Matrix::from_rows(&expanded);
+        let mut gram = x.gram();
+        // Regularise everything except the intercept; a tiny jitter keeps
+        // Cholesky stable even with ridge = 0 on near-collinear designs.
+        let jitter = 1e-10;
+        for i in 0..gram.rows() {
+            gram[(i, i)] += jitter + if i == 0 { 0.0 } else { ridge };
+        }
+        let xty = x.t_vec(data.targets())?;
+        let coefficients = gram.solve_cholesky(&xty)?;
+
+        Ok(LinearRegression {
+            degree,
+            ridge,
+            coefficients,
+            feature_means: means,
+            feature_stds: stds,
+            input_width,
+        })
+    }
+
+    /// Predicts the target for one raw feature row.
+    pub fn predict(&self, features: &[f64]) -> Result<f64, RegressionError> {
+        if features.len() != self.input_width {
+            return Err(RegressionError::WidthMismatch { expected: self.input_width, got: features.len() });
+        }
+        let z = expand(&standardise(features, &self.feature_means, &self.feature_stds), self.degree);
+        Ok(z.iter().zip(&self.coefficients).map(|(a, b)| a * b).sum())
+    }
+
+    /// Predicts over many rows.
+    pub fn predict_batch(&self, rows: &[Vec<f64>]) -> Result<Vec<f64>, RegressionError> {
+        rows.iter().map(|r| self.predict(r)).collect()
+    }
+
+    /// The fitted coefficient vector (intercept first, in expanded space).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coefficients
+    }
+
+    /// The expansion degree the model was fitted with.
+    pub fn degree(&self) -> Degree {
+        self.degree
+    }
+
+    /// The ridge strength the model was fitted with.
+    pub fn ridge(&self) -> f64 {
+        self.ridge
+    }
+}
+
+fn standardisation_params(data: &Dataset) -> (Vec<f64>, Vec<f64>) {
+    let n = data.len() as f64;
+    let w = data.width();
+    let mut means = vec![0.0; w];
+    for row in data.features() {
+        for (m, &v) in means.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n;
+    }
+    let mut vars = vec![0.0; w];
+    for row in data.features() {
+        for ((s, &v), &m) in vars.iter_mut().zip(row).zip(&means) {
+            *s += (v - m) * (v - m);
+        }
+    }
+    let stds = vars
+        .into_iter()
+        .map(|v| {
+            let s = (v / n).sqrt();
+            if s < 1e-12 {
+                1.0 // constant feature: leave centred at zero
+            } else {
+                s
+            }
+        })
+        .collect();
+    (means, stds)
+}
+
+fn standardise(row: &[f64], means: &[f64], stds: &[f64]) -> Vec<f64> {
+    row.iter().zip(means).zip(stds).map(|((&v, &m), &s)| (v - m) / s).collect()
+}
+
+/// Expands a standardised feature row: `[1, x..]` for linear, plus squares
+/// and pairwise products for quadratic.
+fn expand(row: &[f64], degree: Degree) -> Vec<f64> {
+    let mut out = Vec::with_capacity(1 + row.len() * (row.len() + 3) / 2);
+    out.push(1.0);
+    out.extend_from_slice(row);
+    if degree == Degree::Quadratic {
+        for i in 0..row.len() {
+            for j in i..row.len() {
+                out.push(row[i] * row[j]);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_data() -> Dataset {
+        // y = 3 + 2a - b
+        let mut features = Vec::new();
+        let mut targets = Vec::new();
+        for a in 0..6 {
+            for b in 0..6 {
+                features.push(vec![a as f64, b as f64]);
+                targets.push(3.0 + 2.0 * a as f64 - b as f64);
+            }
+        }
+        Dataset::new(features, targets).unwrap()
+    }
+
+    #[test]
+    fn recovers_linear_relationship() {
+        let model = LinearRegression::fit(&line_data(), Degree::Linear, 0.0).unwrap();
+        for (a, b) in [(0.5, 1.5), (4.0, 0.0), (2.0, 5.0)] {
+            let p = model.predict(&[a, b]).unwrap();
+            assert!((p - (3.0 + 2.0 * a - b)).abs() < 1e-6, "pred {p} for ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn quadratic_recovers_parabola() {
+        let features: Vec<Vec<f64>> = (-5..=5).map(|x| vec![x as f64]).collect();
+        let targets: Vec<f64> = (-5..=5).map(|x| 1.0 + (x * x) as f64).collect();
+        let data = Dataset::new(features, targets).unwrap();
+        let model = LinearRegression::fit(&data, Degree::Quadratic, 0.0).unwrap();
+        let p = model.predict(&[3.5]).unwrap();
+        assert!((p - (1.0 + 3.5 * 3.5)).abs() < 1e-6, "pred {p}");
+    }
+
+    #[test]
+    fn linear_underfits_parabola_quadratic_fits() {
+        let features: Vec<Vec<f64>> = (-5..=5).map(|x| vec![x as f64]).collect();
+        let targets: Vec<f64> = (-5..=5).map(|x| (x * x) as f64).collect();
+        let data = Dataset::new(features.clone(), targets.clone()).unwrap();
+        let lin = LinearRegression::fit(&data, Degree::Linear, 0.0).unwrap();
+        let quad = LinearRegression::fit(&data, Degree::Quadratic, 0.0).unwrap();
+        let lin_pred = lin.predict_batch(&features).unwrap();
+        let quad_pred = quad.predict_batch(&features).unwrap();
+        let lin_r2 = crate::metrics::r2(&lin_pred, &targets);
+        let quad_r2 = crate::metrics::r2(&quad_pred, &targets);
+        assert!(quad_r2 > 0.999, "quadratic r2 {quad_r2}");
+        assert!(lin_r2 < 0.1, "linear r2 {lin_r2}");
+    }
+
+    #[test]
+    fn ridge_shrinks_coefficients() {
+        let data = line_data();
+        let ols = LinearRegression::fit(&data, Degree::Linear, 0.0).unwrap();
+        let ridge = LinearRegression::fit(&data, Degree::Linear, 100.0).unwrap();
+        let ols_norm: f64 = ols.coefficients()[1..].iter().map(|c| c * c).sum();
+        let ridge_norm: f64 = ridge.coefficients()[1..].iter().map(|c| c * c).sum();
+        assert!(ridge_norm < ols_norm);
+    }
+
+    #[test]
+    fn underdetermined_without_ridge_errors() {
+        let data = Dataset::new(vec![vec![1.0, 2.0, 3.0]], vec![1.0]).unwrap();
+        let err = LinearRegression::fit(&data, Degree::Linear, 0.0).unwrap_err();
+        assert!(matches!(err, RegressionError::Underdetermined { .. }));
+    }
+
+    #[test]
+    fn underdetermined_with_ridge_fits() {
+        let data = Dataset::new(vec![vec![1.0, 2.0, 3.0], vec![2.0, 1.0, 0.5]], vec![1.0, 2.0]).unwrap();
+        let model = LinearRegression::fit(&data, Degree::Quadratic, 1.0).unwrap();
+        assert!(model.predict(&[1.0, 1.0, 1.0]).unwrap().is_finite());
+    }
+
+    #[test]
+    fn predict_rejects_wrong_width() {
+        let model = LinearRegression::fit(&line_data(), Degree::Linear, 0.0).unwrap();
+        let err = model.predict(&[1.0]).unwrap_err();
+        assert_eq!(err, RegressionError::WidthMismatch { expected: 2, got: 1 });
+    }
+
+    #[test]
+    fn constant_feature_does_not_blow_up() {
+        let features = vec![vec![1.0, 5.0], vec![2.0, 5.0], vec![3.0, 5.0]];
+        let targets = vec![2.0, 4.0, 6.0];
+        let data = Dataset::new(features, targets).unwrap();
+        let model = LinearRegression::fit(&data, Degree::Linear, 0.0).unwrap();
+        let p = model.predict(&[4.0, 5.0]).unwrap();
+        assert!((p - 8.0).abs() < 1e-6, "pred {p}");
+    }
+
+    #[test]
+    fn fit_is_deterministic() {
+        let a = LinearRegression::fit(&line_data(), Degree::Quadratic, 0.1).unwrap();
+        let b = LinearRegression::fit(&line_data(), Degree::Quadratic, 0.1).unwrap();
+        assert_eq!(a.coefficients(), b.coefficients());
+        assert_eq!(a.degree(), Degree::Quadratic);
+        assert_eq!(a.ridge(), 0.1);
+    }
+}

@@ -1,0 +1,167 @@
+//! Regression quality metrics: R², RMSE, MAE, and Spearman rank correlation.
+//!
+//! Spearman correlation is used by the reproduction tests to compare the
+//! calibrated performance model's configuration *ranking* against the
+//! ranking published in the paper's Tables 4–6.
+
+/// Mean squared error between predictions and truth.
+///
+/// # Panics
+/// Panics if the slices differ in length or are empty.
+pub fn mse(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/truth length mismatch");
+    assert!(!pred.is_empty(), "metrics need at least one sample");
+    pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / pred.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(pred: &[f64], truth: &[f64]) -> f64 {
+    mse(pred, truth).sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/truth length mismatch");
+    assert!(!pred.is_empty(), "metrics need at least one sample");
+    pred.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+}
+
+/// Coefficient of determination R². 1.0 is a perfect fit; 0.0 is no better
+/// than predicting the mean; negative values are worse than the mean.
+/// Returns 1.0 when the truth is constant and perfectly predicted, 0.0 when
+/// the truth is constant and not perfectly predicted.
+pub fn r2(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "prediction/truth length mismatch");
+    assert!(!pred.is_empty(), "metrics need at least one sample");
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_res: f64 = pred.iter().zip(truth).map(|(p, t)| (t - p) * (t - p)).sum();
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean) * (t - mean)).sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Spearman rank correlation coefficient between two samples.
+///
+/// Ties receive the average of the ranks they span (fractional ranking),
+/// then Pearson correlation is computed on the ranks.
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "sample length mismatch");
+    assert!(a.len() >= 2, "spearman needs at least two samples");
+    let ra = fractional_ranks(a);
+    let rb = fractional_ranks(b);
+    pearson(&ra, &rb)
+}
+
+/// Pearson correlation coefficient. Returns 0.0 if either side has zero
+/// variance.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "sample length mismatch");
+    let n = a.len() as f64;
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Assigns fractional (average-of-ties) ranks, 1-based.
+fn fractional_ranks(v: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..v.len()).collect();
+    idx.sort_by(|&i, &j| v[i].partial_cmp(&v[j]).expect("NaN in rank input"));
+    let mut ranks = vec![0.0; v.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && v[idx[j + 1]] == v[idx[i]] {
+            j += 1;
+        }
+        // ranks i+1 ..= j+1 averaged
+        let avg = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_metrics() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(mse(&y, &y), 0.0);
+        assert_eq!(rmse(&y, &y), 0.0);
+        assert_eq!(mae(&y, &y), 0.0);
+        assert_eq!(r2(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        assert!((mse(&[0.0, 0.0], &[1.0, 3.0]) - 5.0).abs() < 1e-12);
+        assert!((rmse(&[0.0, 0.0], &[3.0, 4.0]) - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mae_known_value() {
+        assert!((mae(&[0.0, 0.0], &[1.0, -3.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_mean_predictor_is_zero() {
+        let truth = [1.0, 2.0, 3.0, 4.0];
+        let pred = [2.5; 4];
+        assert!(r2(&pred, &truth).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_constant_truth() {
+        assert_eq!(r2(&[5.0, 5.0], &[5.0, 5.0]), 1.0);
+        assert_eq!(r2(&[4.0, 5.0], &[5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn spearman_monotone_is_one() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 100.0, 1000.0, 10000.0]; // nonlinear but monotone
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_reversed_is_minus_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [9.0, 5.0, 1.0];
+        assert!((spearman(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = [1.0, 1.0, 2.0, 3.0];
+        let b = [1.0, 1.0, 2.0, 3.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_zero_variance_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn fractional_ranks_average_ties() {
+        let r = fractional_ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+}

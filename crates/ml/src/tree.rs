@@ -1,0 +1,298 @@
+//! CART regression trees: greedy variance-reduction splitting with
+//! configurable depth, minimum leaf size, and per-split feature subsampling
+//! (the latter is what the random forest uses).
+
+use crate::dataset::Dataset;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Hyperparameters controlling tree growth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeParams {
+    /// Maximum depth of the tree (root is depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples a leaf may hold.
+    pub min_leaf: usize,
+    /// Number of features considered at each split; `None` means all.
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        TreeParams { max_depth: 12, min_leaf: 2, max_features: None }
+    }
+}
+
+/// A node in the fitted tree. Stored as a flat arena to keep the
+/// serialised form simple and traversal allocation-free.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// Internal split: rows with `features[feature] <= threshold` go left.
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    /// Terminal node predicting the mean target of its training rows.
+    Leaf { value: f64, n_samples: usize },
+}
+
+/// A fitted CART regression tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RegressionTree {
+    nodes: Vec<Node>,
+    input_width: usize,
+}
+
+impl RegressionTree {
+    /// Fits a tree on the dataset. Deterministic when `max_features` is
+    /// `None`; otherwise the RNG drives feature subsampling.
+    pub fn fit<R: Rng>(data: &Dataset, params: &TreeParams, rng: &mut R) -> Self {
+        assert!(params.min_leaf >= 1, "min_leaf must be at least 1");
+        let mut nodes = Vec::new();
+        let indices: Vec<usize> = (0..data.len()).collect();
+        build(data, &indices, params, 0, &mut nodes, rng);
+        RegressionTree { nodes, input_width: data.width() }
+    }
+
+    /// Predicts the target for one feature row.
+    ///
+    /// # Panics
+    /// Panics if the row width differs from the training width.
+    pub fn predict(&self, features: &[f64]) -> f64 {
+        assert_eq!(features.len(), self.input_width, "feature width mismatch");
+        let mut i = 0;
+        loop {
+            match &self.nodes[i] {
+                Node::Leaf { value, .. } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    i = if features[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth of the tree (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn d(nodes: &[Node], i: usize) -> usize {
+            match &nodes[i] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => 1 + d(nodes, *left).max(d(nodes, *right)),
+            }
+        }
+        d(&self.nodes, 0)
+    }
+
+    /// Borrow the node arena (root at index 0).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+}
+
+/// Recursively builds the subtree for `indices`, returning its arena index.
+fn build<R: Rng>(
+    data: &Dataset,
+    indices: &[usize],
+    params: &TreeParams,
+    depth: usize,
+    nodes: &mut Vec<Node>,
+    rng: &mut R,
+) -> usize {
+    let mean: f64 = indices.iter().map(|&i| data.target(i)).sum::<f64>() / indices.len() as f64;
+    let make_leaf = |nodes: &mut Vec<Node>| {
+        nodes.push(Node::Leaf { value: mean, n_samples: indices.len() });
+        nodes.len() - 1
+    };
+
+    if depth >= params.max_depth || indices.len() < 2 * params.min_leaf {
+        return make_leaf(nodes);
+    }
+    let Some((feature, threshold)) = best_split(data, indices, params, rng) else {
+        return make_leaf(nodes);
+    };
+
+    let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
+        indices.iter().partition(|&&i| data.row(i)[feature] <= threshold);
+    if left_idx.len() < params.min_leaf || right_idx.len() < params.min_leaf {
+        return make_leaf(nodes);
+    }
+
+    // reserve our slot before children so the root stays at index 0
+    let me = nodes.len();
+    nodes.push(Node::Leaf { value: mean, n_samples: indices.len() }); // placeholder
+    let left = build(data, &left_idx, params, depth + 1, nodes, rng);
+    let right = build(data, &right_idx, params, depth + 1, nodes, rng);
+    nodes[me] = Node::Split { feature, threshold, left, right };
+    me
+}
+
+/// Finds the (feature, threshold) minimising the weighted child variance.
+/// Returns `None` when no split reduces impurity (e.g. constant targets).
+fn best_split<R: Rng>(
+    data: &Dataset,
+    indices: &[usize],
+    params: &TreeParams,
+    rng: &mut R,
+) -> Option<(usize, f64)> {
+    let width = data.width();
+    let candidates: Vec<usize> = match params.max_features {
+        None => (0..width).collect(),
+        Some(k) => sample_without_replacement(width, k.min(width).max(1), rng),
+    };
+
+    let n = indices.len() as f64;
+    let sum: f64 = indices.iter().map(|&i| data.target(i)).sum();
+    let sum_sq: f64 = indices.iter().map(|&i| data.target(i) * data.target(i)).sum();
+    let parent_sse = sum_sq - sum * sum / n;
+
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, sse)
+    let mut sorted: Vec<(f64, f64)> = Vec::with_capacity(indices.len());
+
+    for &f in &candidates {
+        sorted.clear();
+        sorted.extend(indices.iter().map(|&i| (data.row(i)[f], data.target(i))));
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("NaN feature"));
+
+        // prefix scan: evaluate split after each distinct feature value
+        let mut left_sum = 0.0;
+        let mut left_sq = 0.0;
+        for k in 0..sorted.len() - 1 {
+            left_sum += sorted[k].1;
+            left_sq += sorted[k].1 * sorted[k].1;
+            if sorted[k].0 == sorted[k + 1].0 {
+                continue; // can't split between equal values
+            }
+            let nl = (k + 1) as f64;
+            let nr = n - nl;
+            if (nl as usize) < params.min_leaf || (nr as usize) < params.min_leaf {
+                continue;
+            }
+            let right_sum = sum - left_sum;
+            let right_sq = sum_sq - left_sq;
+            let sse = (left_sq - left_sum * left_sum / nl) + (right_sq - right_sum * right_sum / nr);
+            if best.as_ref().is_none_or(|&(_, _, b)| sse < b) {
+                let threshold = (sorted[k].0 + sorted[k + 1].0) / 2.0;
+                best = Some((f, threshold, sse));
+            }
+        }
+    }
+
+    best.and_then(|(f, t, sse)| if sse < parent_sse - 1e-12 { Some((f, t)) } else { None })
+}
+
+/// Samples `k` distinct values from `0..n` (partial Fisher-Yates).
+fn sample_without_replacement<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    let mut pool: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    fn step_data() -> Dataset {
+        // y = 10 if x < 5 else 20
+        let features: Vec<Vec<f64>> = (0..10).map(|x| vec![x as f64]).collect();
+        let targets: Vec<f64> = (0..10).map(|x| if x < 5 { 10.0 } else { 20.0 }).collect();
+        Dataset::new(features, targets).unwrap()
+    }
+
+    #[test]
+    fn learns_step_function_exactly() {
+        let tree = RegressionTree::fit(&step_data(), &TreeParams::default(), &mut rng());
+        assert_eq!(tree.predict(&[2.0]), 10.0);
+        assert_eq!(tree.predict(&[7.0]), 20.0);
+        // boundary: split threshold is midway at 4.5
+        assert_eq!(tree.predict(&[4.4]), 10.0);
+        assert_eq!(tree.predict(&[4.6]), 20.0);
+    }
+
+    #[test]
+    fn constant_targets_give_single_leaf() {
+        let data = Dataset::new(vec![vec![1.0], vec![2.0], vec![3.0]], vec![5.0, 5.0, 5.0]).unwrap();
+        let tree = RegressionTree::fit(&data, &TreeParams::default(), &mut rng());
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[9.0]), 5.0);
+    }
+
+    #[test]
+    fn max_depth_zero_is_mean_predictor() {
+        let data = step_data();
+        let params = TreeParams { max_depth: 0, ..Default::default() };
+        let tree = RegressionTree::fit(&data, &params, &mut rng());
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict(&[0.0]), 15.0);
+    }
+
+    #[test]
+    fn min_leaf_respected() {
+        let data = step_data();
+        let params = TreeParams { min_leaf: 5, ..Default::default() };
+        let tree = RegressionTree::fit(&data, &params, &mut rng());
+        for node in tree.nodes() {
+            if let Node::Leaf { n_samples, .. } = node {
+                assert!(*n_samples >= 5, "leaf with {n_samples} samples");
+            }
+        }
+    }
+
+    #[test]
+    fn deeper_tree_fits_finer_structure() {
+        // y = floor(x / 4) — an 8-level staircase needs depth >= 3 to separate
+        let features: Vec<Vec<f64>> = (0..32).map(|x| vec![x as f64]).collect();
+        let targets: Vec<f64> = (0..32).map(|x| (x / 4) as f64).collect();
+        let data = Dataset::new(features.clone(), targets.clone()).unwrap();
+        let shallow = RegressionTree::fit(&data, &TreeParams { max_depth: 1, min_leaf: 1, max_features: None }, &mut rng());
+        let deep = RegressionTree::fit(&data, &TreeParams { max_depth: 10, min_leaf: 1, max_features: None }, &mut rng());
+        let err_shallow: f64 = features.iter().zip(&targets).map(|(f, t)| (shallow.predict(f) - t).abs()).sum();
+        let err_deep: f64 = features.iter().zip(&targets).map(|(f, t)| (deep.predict(f) - t).abs()).sum();
+        assert!(err_deep < err_shallow);
+        assert_eq!(err_deep, 0.0);
+    }
+
+    #[test]
+    fn two_feature_split_uses_informative_feature() {
+        // feature 0 is noise-free signal, feature 1 is constant
+        let features: Vec<Vec<f64>> = (0..20).map(|x| vec![x as f64, 1.0]).collect();
+        let targets: Vec<f64> = (0..20).map(|x| if x < 10 { 0.0 } else { 1.0 }).collect();
+        let data = Dataset::new(features, targets).unwrap();
+        let tree = RegressionTree::fit(&data, &TreeParams::default(), &mut rng());
+        match &tree.nodes()[0] {
+            Node::Split { feature, .. } => assert_eq!(*feature, 0),
+            Node::Leaf { .. } => panic!("expected a split at the root"),
+        }
+    }
+
+    #[test]
+    fn depth_reported_consistently() {
+        let tree = RegressionTree::fit(&step_data(), &TreeParams::default(), &mut rng());
+        assert!(tree.depth() >= 1);
+        assert!(tree.depth() <= 12);
+    }
+
+    #[test]
+    fn sample_without_replacement_distinct() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = sample_without_replacement(10, 4, &mut r);
+            assert_eq!(s.len(), 4);
+            let mut t = s.clone();
+            t.sort_unstable();
+            t.dedup();
+            assert_eq!(t.len(), 4, "duplicates in {s:?}");
+            assert!(s.iter().all(|&v| v < 10));
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! K-fold cross-validation, used by Chronus's `auto` model selection to
+//! pick an optimizer family by held-out prediction quality.
+
+use crate::dataset::Dataset;
+use crate::metrics::r2;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministically assigns each of `n` rows to one of `k` folds,
+/// shuffled by `seed`, with fold sizes differing by at most one.
+pub fn fold_assignments(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    assert!(k >= 2, "need at least two folds");
+    assert!(n >= k, "need at least one row per fold");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    let mut folds = vec![0usize; n];
+    for (pos, &row) in idx.iter().enumerate() {
+        folds[row] = pos % k;
+    }
+    folds
+}
+
+/// Runs k-fold cross-validation: for each fold, `fit` is called on the
+/// training subset and must return a predictor; the predictor's R² on the
+/// held-out fold is averaged over folds.
+///
+/// Returns the mean held-out R².
+pub fn cross_val_r2<F, P>(data: &Dataset, k: usize, seed: u64, mut fit: F) -> f64
+where
+    F: FnMut(&Dataset) -> P,
+    P: Fn(&[f64]) -> f64,
+{
+    let folds = fold_assignments(data.len(), k, seed);
+    let mut total = 0.0;
+    for fold in 0..k {
+        let train_idx: Vec<usize> = (0..data.len()).filter(|&i| folds[i] != fold).collect();
+        let test_idx: Vec<usize> = (0..data.len()).filter(|&i| folds[i] == fold).collect();
+        let train = data.subset(&train_idx);
+        let test = data.subset(&test_idx);
+        let predictor = fit(&train);
+        let preds: Vec<f64> = test.features().iter().map(|row| predictor(row)).collect();
+        total += r2(&preds, test.targets());
+    }
+    total / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linreg::{Degree, LinearRegression};
+
+    fn line_data(n: usize) -> Dataset {
+        let features: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = (0..n).map(|i| 3.0 + 2.0 * i as f64).collect();
+        Dataset::new(features, targets).unwrap()
+    }
+
+    #[test]
+    fn folds_partition_evenly() {
+        let folds = fold_assignments(10, 3, 42);
+        assert_eq!(folds.len(), 10);
+        let counts: Vec<usize> = (0..3).map(|f| folds.iter().filter(|&&x| x == f).count()).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 10);
+        assert!(counts.iter().max().unwrap() - counts.iter().min().unwrap() <= 1, "{counts:?}");
+    }
+
+    #[test]
+    fn folds_deterministic_per_seed() {
+        assert_eq!(fold_assignments(20, 4, 7), fold_assignments(20, 4, 7));
+        assert_ne!(fold_assignments(20, 4, 7), fold_assignments(20, 4, 8));
+    }
+
+    #[test]
+    fn cv_scores_perfect_model_near_one() {
+        let data = line_data(30);
+        let score = cross_val_r2(&data, 5, 1, |train| {
+            let model = LinearRegression::fit(train, Degree::Linear, 0.0).unwrap();
+            move |row: &[f64]| model.predict(row).unwrap()
+        });
+        assert!(score > 0.999, "cv r2 {score}");
+    }
+
+    #[test]
+    fn cv_scores_mean_predictor_poorly() {
+        let data = line_data(30);
+        let score = cross_val_r2(&data, 5, 1, |train| {
+            let mean = train.target_mean();
+            move |_row: &[f64]| mean
+        });
+        assert!(score < 0.1, "cv r2 {score}");
+    }
+
+    #[test]
+    #[should_panic(expected = "two folds")]
+    fn rejects_single_fold() {
+        fold_assignments(10, 1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one row per fold")]
+    fn rejects_more_folds_than_rows() {
+        fold_assignments(3, 5, 0);
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests for the ML substrate.
+
+use eco_ml::{Dataset, Degree, ForestParams, LinearRegression, Matrix, RandomForest, RegressionTree, TreeParams};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn finite_f64(lo: f64, hi: f64) -> impl Strategy<Value = f64> {
+    prop::num::f64::NORMAL.prop_map(move |v| lo + (v.abs() % (hi - lo)))
+}
+
+proptest! {
+    /// Gaussian elimination solves every well-conditioned random system:
+    /// verify A·x = b by residual.
+    #[test]
+    fn solve_satisfies_residual(
+        seed in 0u64..1000,
+        n in 2usize..8,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        // diagonally dominant => nonsingular and well conditioned
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let mut row: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                row[i] = n as f64 + rng.gen_range(0.0..1.0);
+                row
+            })
+            .collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-10.0..10.0)).collect();
+        let a = Matrix::from_rows(&rows);
+        let x = a.solve(&b).unwrap();
+        for i in 0..n {
+            let ax: f64 = (0..n).map(|j| rows[i][j] * x[j]).sum();
+            prop_assert!((ax - b[i]).abs() < 1e-8, "row {i}: {ax} vs {}", b[i]);
+        }
+    }
+
+    /// Cholesky agrees with Gaussian elimination on random SPD systems.
+    #[test]
+    fn cholesky_matches_gaussian(seed in 0u64..500, n in 2usize..7) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        // A = M^T M + n I is SPD
+        let m: Vec<Vec<f64>> = (0..n).map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let mut a = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i][j] = (0..n).map(|k| m[k][i] * m[k][j]).sum::<f64>() + if i == j { n as f64 } else { 0.0 };
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let mat = Matrix::from_rows(&a);
+        let x1 = mat.solve(&b).unwrap();
+        let x2 = mat.solve_cholesky(&b).unwrap();
+        for (u, v) in x1.iter().zip(&x2) {
+            prop_assert!((u - v).abs() < 1e-7);
+        }
+    }
+
+    /// Linear regression recovers arbitrary affine functions exactly.
+    #[test]
+    fn linreg_recovers_affine(
+        a in finite_f64(-5.0, 5.0),
+        b in finite_f64(-5.0, 5.0),
+        c in finite_f64(-5.0, 5.0),
+    ) {
+        let mut features = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..5 {
+            for j in 0..5 {
+                features.push(vec![i as f64, j as f64]);
+                targets.push(c + a * i as f64 + b * j as f64);
+            }
+        }
+        let data = Dataset::new(features, targets).unwrap();
+        let model = LinearRegression::fit(&data, Degree::Linear, 0.0).unwrap();
+        let p = model.predict(&[2.5, 3.5]).unwrap();
+        let truth = c + 2.5 * a + 3.5 * b;
+        prop_assert!((p - truth).abs() < 1e-5 * (1.0 + truth.abs()), "{p} vs {truth}");
+    }
+
+    /// Tree predictions never leave the training-target range.
+    #[test]
+    fn tree_prediction_bounded(seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let features: Vec<Vec<f64>> = (0..30).map(|_| vec![rng.gen_range(-10.0..10.0)]).collect();
+        let targets: Vec<f64> = (0..30).map(|_| rng.gen_range(-100.0..100.0)).collect();
+        let lo = targets.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = targets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let data = Dataset::new(features, targets).unwrap();
+        let tree = RegressionTree::fit(&data, &TreeParams::default(), &mut rng);
+        for q in [-20.0, -1.0, 0.0, 3.7, 25.0] {
+            let p = tree.predict(&[q]);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Forest predictions are convex combinations of tree predictions, so
+    /// they stay within the training-target range too.
+    #[test]
+    fn forest_prediction_bounded(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let features: Vec<Vec<f64>> = (0..25).map(|_| vec![rng.gen_range(0.0..32.0), rng.gen_range(1.5..2.5)]).collect();
+        let targets: Vec<f64> = (0..25).map(|_| rng.gen_range(0.005..0.05)).collect();
+        let lo = targets.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = targets.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let data = Dataset::new(features, targets).unwrap();
+        let forest = RandomForest::fit(&data, &ForestParams { n_trees: 8, seed, ..Default::default() });
+        let p = forest.predict(&[16.0, 2.0]);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+    }
+
+    /// Dataset split always partitions the rows exactly.
+    #[test]
+    fn split_partitions(seed in 0u64..500, n in 2usize..50, frac in 0.05f64..0.95) {
+        let features: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let data = Dataset::new(features, targets).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (train, test) = data.split(frac, &mut rng);
+        prop_assert_eq!(train.len() + test.len(), n);
+        prop_assert!(!train.is_empty());
+        prop_assert!(!test.is_empty());
+        let mut all: Vec<f64> = train.targets().to_vec();
+        all.extend_from_slice(test.targets());
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expected: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        prop_assert_eq!(all, expected);
+    }
+
+    /// Metrics invariants: R² ≤ 1 always; Spearman within [-1, 1].
+    #[test]
+    fn metric_ranges(seed in 0u64..500, n in 2usize..40) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let a: Vec<f64> = (0..n).map(|_| rng.gen_range(-100.0..100.0)).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-100.0..100.0)).collect();
+        prop_assert!(eco_ml::r2(&a, &b) <= 1.0 + 1e-12);
+        let rho = eco_ml::spearman(&a, &b);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&rho), "rho {rho}");
+        prop_assert!(eco_ml::rmse(&a, &b) >= eco_ml::mae(&a, &b) - 1e-12, "rmse >= mae");
+    }
+
+    /// Transpose is an involution and preserves the Frobenius norm.
+    #[test]
+    fn transpose_involution(seed in 0u64..500, r in 1usize..6, c in 1usize..6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let rows: Vec<Vec<f64>> = (0..r).map(|_| (0..c).map(|_| rng.gen_range(-9.0..9.0)).collect()).collect();
+        let m = Matrix::from_rows(&rows);
+        prop_assert_eq!(m.transpose().transpose(), m.clone());
+        let norm = |x: &Matrix| x.as_slice().iter().map(|v| v * v).sum::<f64>();
+        prop_assert!((norm(&m) - norm(&m.transpose())).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,211 @@
+//! Simulation time: a millisecond-resolution monotonic clock.
+//!
+//! All substrates share this representation so discrete-event scheduling in
+//! `eco-slurm-sim`, power integration in [`crate::node`], and IPMI sampling
+//! stay exactly reproducible (no floating-point time accumulation).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant in simulated time, in milliseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Builds an instant from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimTime(s * 1000)
+    }
+
+    /// Builds an instant from fractional seconds (rounded to the millisecond).
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s >= 0.0 && s.is_finite(), "time must be non-negative and finite");
+        SimTime((s * 1000.0).round() as u64)
+    }
+
+    /// This instant as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Milliseconds since epoch.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// Duration since an earlier instant; saturates at zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Builds a duration from whole seconds.
+    pub fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1000)
+    }
+
+    /// Builds a duration from fractional seconds (rounded to the millisecond).
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(s >= 0.0 && s.is_finite(), "duration must be non-negative and finite");
+        SimDuration((s * 1000.0).round() as u64)
+    }
+
+    /// Builds a duration from minutes.
+    pub fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60_000)
+    }
+
+    /// The duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Milliseconds.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// True when the duration is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    /// Formats as `H:MM:SS`, matching the paper's Table 2 runtime column.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total_s = self.0 / 1000;
+        write!(f, "{}:{:02}:{:02}", total_s / 3600, (total_s / 60) % 60, total_s % 60)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        SimTime(self.0).fmt(f)
+    }
+}
+
+/// A monotonic simulation clock.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    now: SimTime,
+}
+
+impl SimClock {
+    /// A clock at the epoch.
+    pub fn new() -> Self {
+        SimClock { now: SimTime::ZERO }
+    }
+
+    /// Current simulated instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the clock by `dt`.
+    pub fn advance(&mut self, dt: SimDuration) {
+        self.now += dt;
+    }
+
+    /// Jumps the clock forward to `t`.
+    ///
+    /// # Panics
+    /// Panics if `t` is in the past — simulated time never rewinds.
+    pub fn advance_to(&mut self, t: SimTime) {
+        assert!(t >= self.now, "clock cannot go backwards: now={:?}, target={:?}", self.now, t);
+        self.now = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(SimTime::from_secs(5).as_millis(), 5000);
+        assert_eq!(SimTime::from_secs_f64(1.2345).as_millis(), 1235); // rounded
+        assert_eq!(SimDuration::from_mins(2).as_millis(), 120_000);
+        assert!((SimDuration::from_secs_f64(0.5).as_secs_f64() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10) + SimDuration::from_secs(5);
+        assert_eq!(t, SimTime::from_secs(15));
+        assert_eq!(t - SimTime::from_secs(12), SimDuration::from_secs(3));
+        // saturating subtraction
+        assert_eq!(SimTime::from_secs(1).since(SimTime::from_secs(5)), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs(1) + SimDuration::from_secs(2), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn display_matches_paper_format() {
+        // paper Table 2 reports 0:18:29 and 0:18:47
+        assert_eq!(SimTime::from_secs(18 * 60 + 29).to_string(), "0:18:29");
+        assert_eq!(SimTime::from_secs(3600 + 125).to_string(), "1:02:05");
+        assert_eq!(SimDuration::from_secs(59).to_string(), "0:00:59");
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut c = SimClock::new();
+        c.advance(SimDuration::from_secs(3));
+        assert_eq!(c.now(), SimTime::from_secs(3));
+        c.advance_to(SimTime::from_secs(10));
+        assert_eq!(c.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "clock cannot go backwards")]
+    fn clock_rejects_rewind() {
+        let mut c = SimClock::new();
+        c.advance_to(SimTime::from_secs(10));
+        c.advance_to(SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+        assert!(SimDuration::from_secs(1) < SimDuration::from_mins(1));
+    }
+}

@@ -1,0 +1,283 @@
+//! CPU specification and per-job CPU configuration.
+//!
+//! The canonical frequency unit is **kHz**, matching Linux's
+//! `/sys/devices/system/cpu/cpu0/cpufreq/scaling_available_frequencies`
+//! which the paper's Chronus reads (and matching the paper's JSON
+//! configuration example: `"frequency": 2200000`).
+
+use serde::{Deserialize, Serialize};
+
+/// Frequency in kHz (cpufreq convention).
+pub type FreqKhz = u64;
+
+/// Converts kHz to GHz.
+pub fn khz_to_ghz(f: FreqKhz) -> f64 {
+    f as f64 / 1_000_000.0
+}
+
+/// Converts GHz to kHz.
+pub fn ghz_to_khz(g: f64) -> FreqKhz {
+    (g * 1_000_000.0).round() as FreqKhz
+}
+
+/// Static description of a CPU, as `lscpu` would report it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    /// Model name string, e.g. `"AMD EPYC 7502P 32-Core Processor"`.
+    pub name: String,
+    /// Physical core count.
+    pub cores: u32,
+    /// Hardware threads per core (2 = SMT/hyper-threading available).
+    pub threads_per_core: u32,
+    /// Available DVFS frequency steps, ascending, in kHz.
+    pub frequencies_khz: Vec<FreqKhz>,
+}
+
+impl CpuSpec {
+    /// The evaluation CPU from the paper: AMD EPYC 7502P, 32 cores, SMT-2,
+    /// scaling frequencies {1.5, 2.2, 2.5} GHz.
+    pub fn epyc_7502p() -> Self {
+        CpuSpec {
+            name: "AMD EPYC 7502P 32-Core Processor".to_string(),
+            cores: 32,
+            threads_per_core: 2,
+            frequencies_khz: vec![1_500_000, 2_200_000, 2_500_000],
+        }
+    }
+
+    /// Highest available frequency (what the `performance` governor pins).
+    pub fn max_frequency(&self) -> FreqKhz {
+        *self.frequencies_khz.last().expect("spec has at least one frequency")
+    }
+
+    /// Lowest available frequency.
+    pub fn min_frequency(&self) -> FreqKhz {
+        *self.frequencies_khz.first().expect("spec has at least one frequency")
+    }
+
+    /// Total hardware threads.
+    pub fn logical_cpus(&self) -> u32 {
+        self.cores * self.threads_per_core
+    }
+
+    /// Snaps an arbitrary requested frequency to the nearest available step.
+    pub fn snap_frequency(&self, requested: FreqKhz) -> FreqKhz {
+        *self
+            .frequencies_khz
+            .iter()
+            .min_by_key(|&&f| f.abs_diff(requested))
+            .expect("spec has at least one frequency")
+    }
+
+    /// Validates a job CPU configuration against this spec.
+    pub fn validate(&self, config: &CpuConfig) -> Result<(), ConfigError> {
+        if config.cores == 0 || config.cores > self.cores {
+            return Err(ConfigError::BadCoreCount { requested: config.cores, available: self.cores });
+        }
+        if config.threads_per_core == 0 || config.threads_per_core > self.threads_per_core {
+            return Err(ConfigError::BadThreadsPerCore {
+                requested: config.threads_per_core,
+                available: self.threads_per_core,
+            });
+        }
+        if !self.frequencies_khz.contains(&config.frequency_khz) {
+            return Err(ConfigError::BadFrequency {
+                requested: config.frequency_khz,
+                available: self.frequencies_khz.clone(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Enumerates every valid configuration: each core count 1..=cores,
+    /// each frequency step, each threads-per-core setting. This is the
+    /// "all configurations based on the system CPU" default sweep that
+    /// `chronus benchmark` runs when given no configuration file.
+    pub fn all_configurations(&self) -> Vec<CpuConfig> {
+        let mut out = Vec::new();
+        for cores in 1..=self.cores {
+            for &frequency_khz in &self.frequencies_khz {
+                for threads_per_core in 1..=self.threads_per_core {
+                    out.push(CpuConfig { cores, frequency_khz, threads_per_core });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A job's CPU configuration — the three knobs the eco plugin tunes
+/// (paper §3: "CPU frequencies, number of scheduled cores, and threads
+/// per core").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct CpuConfig {
+    /// Number of physical cores allocated.
+    pub cores: u32,
+    /// DVFS frequency in kHz.
+    #[serde(rename = "frequency")]
+    pub frequency_khz: FreqKhz,
+    /// 1 = no hyper-threading, 2 = hyper-threading.
+    pub threads_per_core: u32,
+}
+
+impl CpuConfig {
+    /// Convenience constructor.
+    pub fn new(cores: u32, frequency_khz: FreqKhz, threads_per_core: u32) -> Self {
+        CpuConfig { cores, frequency_khz, threads_per_core }
+    }
+
+    /// Whether hyper-threading is enabled.
+    pub fn hyper_threading(&self) -> bool {
+        self.threads_per_core > 1
+    }
+
+    /// The frequency in GHz.
+    pub fn ghz(&self) -> f64 {
+        khz_to_ghz(self.frequency_khz)
+    }
+
+    /// The Slurm default for a spec: every core at maximum frequency without
+    /// explicit SMT control (paper: "the standard configuration Slurm runs
+    /// without the plugin" — DVFS in Performance mode).
+    pub fn slurm_default(spec: &CpuSpec) -> Self {
+        CpuConfig { cores: spec.cores, frequency_khz: spec.max_frequency(), threads_per_core: 1 }
+    }
+}
+
+impl std::fmt::Display for CpuConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} cores @ {:.1} GHz, {}",
+            self.cores,
+            self.ghz(),
+            if self.hyper_threading() { "HT" } else { "no-HT" }
+        )
+    }
+}
+
+/// Errors from validating a [`CpuConfig`] against a [`CpuSpec`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Core count out of range.
+    BadCoreCount { requested: u32, available: u32 },
+    /// Threads-per-core out of range.
+    BadThreadsPerCore { requested: u32, available: u32 },
+    /// Frequency not an available DVFS step.
+    BadFrequency { requested: FreqKhz, available: Vec<FreqKhz> },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::BadCoreCount { requested, available } => {
+                write!(f, "requested {requested} cores, node has {available}")
+            }
+            ConfigError::BadThreadsPerCore { requested, available } => {
+                write!(f, "requested {requested} threads/core, node supports {available}")
+            }
+            ConfigError::BadFrequency { requested, available } => {
+                write!(f, "frequency {requested} kHz not in available steps {available:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epyc_spec_matches_paper() {
+        let spec = CpuSpec::epyc_7502p();
+        assert_eq!(spec.cores, 32);
+        assert_eq!(spec.threads_per_core, 2);
+        assert_eq!(spec.logical_cpus(), 64);
+        assert_eq!(spec.frequencies_khz, vec![1_500_000, 2_200_000, 2_500_000]);
+        assert_eq!(spec.max_frequency(), 2_500_000);
+        assert_eq!(spec.min_frequency(), 1_500_000);
+    }
+
+    #[test]
+    fn khz_ghz_conversions() {
+        assert!((khz_to_ghz(2_200_000) - 2.2).abs() < 1e-12);
+        assert_eq!(ghz_to_khz(2.5), 2_500_000);
+        assert_eq!(ghz_to_khz(khz_to_ghz(1_500_000)), 1_500_000);
+    }
+
+    #[test]
+    fn snap_frequency_picks_nearest() {
+        let spec = CpuSpec::epyc_7502p();
+        assert_eq!(spec.snap_frequency(1_600_000), 1_500_000);
+        assert_eq!(spec.snap_frequency(2_000_000), 2_200_000);
+        assert_eq!(spec.snap_frequency(9_999_999), 2_500_000);
+    }
+
+    #[test]
+    fn validate_accepts_good_config() {
+        let spec = CpuSpec::epyc_7502p();
+        assert!(spec.validate(&CpuConfig::new(32, 2_200_000, 1)).is_ok());
+        assert!(spec.validate(&CpuConfig::new(1, 1_500_000, 2)).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_configs() {
+        let spec = CpuSpec::epyc_7502p();
+        assert!(matches!(
+            spec.validate(&CpuConfig::new(0, 2_200_000, 1)),
+            Err(ConfigError::BadCoreCount { .. })
+        ));
+        assert!(matches!(
+            spec.validate(&CpuConfig::new(33, 2_200_000, 1)),
+            Err(ConfigError::BadCoreCount { .. })
+        ));
+        assert!(matches!(
+            spec.validate(&CpuConfig::new(4, 2_200_000, 3)),
+            Err(ConfigError::BadThreadsPerCore { .. })
+        ));
+        assert!(matches!(
+            spec.validate(&CpuConfig::new(4, 2_000_000, 1)),
+            Err(ConfigError::BadFrequency { .. })
+        ));
+    }
+
+    #[test]
+    fn all_configurations_count() {
+        // 32 core counts x 3 frequencies x 2 SMT settings = 192 configs
+        let spec = CpuSpec::epyc_7502p();
+        let all = spec.all_configurations();
+        assert_eq!(all.len(), 192);
+        // every one validates
+        for c in &all {
+            spec.validate(c).unwrap();
+        }
+        // no duplicates
+        let mut set = std::collections::HashSet::new();
+        assert!(all.iter().all(|c| set.insert(*c)));
+    }
+
+    #[test]
+    fn slurm_default_is_all_cores_max_freq() {
+        let spec = CpuSpec::epyc_7502p();
+        let d = CpuConfig::slurm_default(&spec);
+        assert_eq!(d.cores, 32);
+        assert_eq!(d.frequency_khz, 2_500_000);
+        assert!(!d.hyper_threading());
+    }
+
+    #[test]
+    fn config_display() {
+        let c = CpuConfig::new(32, 2_200_000, 2);
+        assert_eq!(c.to_string(), "32 cores @ 2.2 GHz, HT");
+    }
+
+    #[test]
+    fn config_serde_uses_paper_field_names() {
+        // the paper's JSON config: {"cores": 32, "threads_per_core": 2, "frequency": 2200000}
+        let c = CpuConfig::new(32, 2_200_000, 2);
+        let spec = CpuSpec::epyc_7502p();
+        spec.validate(&c).unwrap();
+    }
+}

@@ -1,0 +1,120 @@
+//! DVFS governors.
+//!
+//! The paper compares against "Slurm's standard configuration, which is
+//! DVFS in Performance mode" (§5.2.3), while the related work \[21\] compares
+//! against Linux's `ondemand` governor. Modelling the governors lets the
+//! benchmarks reproduce that distinction: `performance` pins the maximum
+//! frequency, `powersave` pins the minimum, `ondemand` tracks utilization,
+//! and `userspace` honours the frequency the eco plugin requested.
+
+use crate::cpu::{CpuSpec, FreqKhz};
+use serde::{Deserialize, Serialize};
+
+/// A cpufreq governor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Governor {
+    /// Always the highest available frequency (Slurm's default environment).
+    Performance,
+    /// Always the lowest available frequency.
+    Powersave,
+    /// Steps with load: picks the lowest frequency whose relative speed
+    /// covers current utilization plus head-room (a simplified kernel
+    /// `ondemand` policy).
+    OnDemand,
+    /// A fixed, user-requested frequency (what `--cpu-freq` / the eco
+    /// plugin ultimately uses), snapped to an available step.
+    Userspace(FreqKhz),
+}
+
+impl Governor {
+    /// The frequency this governor selects for the given utilization.
+    pub fn frequency(&self, spec: &CpuSpec, utilization: f64) -> FreqKhz {
+        match *self {
+            Governor::Performance => spec.max_frequency(),
+            Governor::Powersave => spec.min_frequency(),
+            Governor::Userspace(f) => spec.snap_frequency(f),
+            Governor::OnDemand => {
+                let u = utilization.clamp(0.0, 1.0);
+                let max = spec.max_frequency() as f64;
+                // kernel ondemand jumps to max above ~80 % load, otherwise
+                // scales proportionally with head-room
+                if u >= 0.8 {
+                    return spec.max_frequency();
+                }
+                let wanted = (u * 1.25 * max) as FreqKhz;
+                // lowest available step >= wanted
+                *spec
+                    .frequencies_khz
+                    .iter()
+                    .find(|&&f| f >= wanted)
+                    .unwrap_or(&spec.max_frequency())
+            }
+        }
+    }
+
+    /// The governor's cpufreq sysfs name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Governor::Performance => "performance",
+            Governor::Powersave => "powersave",
+            Governor::OnDemand => "ondemand",
+            Governor::Userspace(_) => "userspace",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CpuSpec {
+        CpuSpec::epyc_7502p()
+    }
+
+    #[test]
+    fn performance_pins_max() {
+        assert_eq!(Governor::Performance.frequency(&spec(), 0.0), 2_500_000);
+        assert_eq!(Governor::Performance.frequency(&spec(), 1.0), 2_500_000);
+    }
+
+    #[test]
+    fn powersave_pins_min() {
+        assert_eq!(Governor::Powersave.frequency(&spec(), 1.0), 1_500_000);
+    }
+
+    #[test]
+    fn userspace_snaps_to_available_step() {
+        assert_eq!(Governor::Userspace(2_200_000).frequency(&spec(), 0.5), 2_200_000);
+        assert_eq!(Governor::Userspace(2_100_000).frequency(&spec(), 0.5), 2_200_000);
+        assert_eq!(Governor::Userspace(1_000_000).frequency(&spec(), 0.5), 1_500_000);
+    }
+
+    #[test]
+    fn ondemand_scales_with_load() {
+        let g = Governor::OnDemand;
+        assert_eq!(g.frequency(&spec(), 0.0), 1_500_000);
+        assert_eq!(g.frequency(&spec(), 0.3), 1_500_000); // 0.3*1.25*2.5 = 0.94 GHz -> 1.5 step
+        assert_eq!(g.frequency(&spec(), 0.6), 2_200_000); // 1.875 GHz -> 2.2 step
+        assert_eq!(g.frequency(&spec(), 0.9), 2_500_000); // above threshold -> max
+        assert_eq!(g.frequency(&spec(), 1.0), 2_500_000);
+    }
+
+    #[test]
+    fn ondemand_monotone_in_load() {
+        let g = Governor::OnDemand;
+        let mut last = 0;
+        for i in 0..=10 {
+            let f = g.frequency(&spec(), i as f64 / 10.0);
+            assert!(f >= last, "ondemand regressed at load {}", i as f64 / 10.0);
+            last = f;
+        }
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Governor::Performance.name(), "performance");
+        assert_eq!(Governor::OnDemand.name(), "ondemand");
+        assert_eq!(Governor::Powersave.name(), "powersave");
+        assert_eq!(Governor::Userspace(1).name(), "userspace");
+    }
+}

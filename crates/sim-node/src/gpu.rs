@@ -1,0 +1,235 @@
+//! GPU power/performance model — substrate for the paper's §6.2.2 future
+//! work: "tune the clock rate and memory frequency to get better energy
+//! efficiency on GPU. Research has found that this can save 28% energy for
+//! 1% performance loss" (Abe et al. \[1\]).
+//!
+//! The model mirrors the CPU side's structure: separate core-clock and
+//! memory-clock domains with quadratic-voltage dynamic power, and a
+//! roofline throughput that saturates in whichever domain binds the
+//! workload. It is calibrated so a memory-bound workload reproduces the
+//! cited 28 %-for-1 % operating point, and exposes the telemetry NVML/DCGM
+//! would (the paper cites NVIDIA's tooling for this integration).
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of a GPU's tunable clock domains.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Model name.
+    pub name: String,
+    /// Available SM/core clocks, MHz, ascending.
+    pub core_clocks_mhz: Vec<u32>,
+    /// Available memory clocks, MHz, ascending.
+    pub memory_clocks_mhz: Vec<u32>,
+}
+
+impl GpuSpec {
+    /// A Tesla-class part with the clock grids NVML typically exposes.
+    pub fn tesla_class() -> Self {
+        GpuSpec {
+            name: "Tesla-class accelerator".to_string(),
+            core_clocks_mhz: vec![585, 735, 885, 1035, 1185, 1328, 1480],
+            memory_clocks_mhz: vec![405, 810, 2505, 5005],
+        }
+    }
+
+    /// Every (core, memory) clock pair.
+    pub fn all_settings(&self) -> Vec<GpuClocks> {
+        let mut out = Vec::new();
+        for &core_mhz in &self.core_clocks_mhz {
+            for &memory_mhz in &self.memory_clocks_mhz {
+                out.push(GpuClocks { core_mhz, memory_mhz });
+            }
+        }
+        out
+    }
+
+    /// The default (maximum) clocks — what an untuned job runs at.
+    pub fn max_clocks(&self) -> GpuClocks {
+        GpuClocks {
+            core_mhz: *self.core_clocks_mhz.last().expect("core clocks"),
+            memory_mhz: *self.memory_clocks_mhz.last().expect("memory clocks"),
+        }
+    }
+}
+
+/// One clock setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GpuClocks {
+    /// SM/core clock, MHz.
+    pub core_mhz: u32,
+    /// Memory clock, MHz.
+    pub memory_mhz: u32,
+}
+
+impl std::fmt::Display for GpuClocks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "core {} MHz / mem {} MHz", self.core_mhz, self.memory_mhz)
+    }
+}
+
+/// How a GPU kernel's throughput scales with the two clock domains.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuWorkloadProfile {
+    /// Fraction of runtime bound by the core clock (0 = fully
+    /// memory-bound, 1 = fully compute-bound).
+    pub compute_fraction: f64,
+}
+
+impl GpuWorkloadProfile {
+    /// A deeply memory-bound kernel (stencils, SpMV — the HPCG-like case,
+    /// and the regime where Abe et al. report the 28 % saving: the SM
+    /// clock can drop ~40 % before it costs 1 % of throughput).
+    pub fn memory_bound() -> Self {
+        GpuWorkloadProfile { compute_fraction: 0.015 }
+    }
+
+    /// A compute-bound kernel (dense GEMM).
+    pub fn compute_bound() -> Self {
+        GpuWorkloadProfile { compute_fraction: 0.90 }
+    }
+}
+
+/// The GPU board power model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuPowerModel {
+    /// Board power that does not scale with clocks (fans, VRM, idle SMs).
+    pub base_w: f64,
+    /// Dynamic coefficient of the core domain (W at max clock, full load).
+    pub core_dyn_w: f64,
+    /// Dynamic coefficient of the memory domain (W at max clock).
+    pub mem_dyn_w: f64,
+    spec: GpuSpec,
+}
+
+impl GpuPowerModel {
+    /// A 250 W-class board on the given spec.
+    pub fn new(spec: GpuSpec) -> Self {
+        GpuPowerModel { base_w: 45.0, core_dyn_w: 155.0, mem_dyn_w: 50.0, spec }
+    }
+
+    /// The clock spec.
+    pub fn spec(&self) -> &GpuSpec {
+        &self.spec
+    }
+
+    /// Relative throughput of a workload at the given clocks (1.0 at max
+    /// clocks). Amdahl-style: the compute fraction scales with the core
+    /// clock, the rest with the memory clock.
+    pub fn relative_performance(&self, clocks: &GpuClocks, profile: &GpuWorkloadProfile) -> f64 {
+        let max = self.spec.max_clocks();
+        let core_ratio = clocks.core_mhz as f64 / max.core_mhz as f64;
+        let mem_ratio = clocks.memory_mhz as f64 / max.memory_mhz as f64;
+        let f = profile.compute_fraction.clamp(0.0, 1.0);
+        1.0 / (f / core_ratio + (1.0 - f) / mem_ratio)
+    }
+
+    /// Board power at the given clocks under full load. Voltage scales
+    /// with the core clock (quadratic in the dynamic term); the memory
+    /// domain is treated as fixed-voltage.
+    pub fn power_w(&self, clocks: &GpuClocks, profile: &GpuWorkloadProfile) -> f64 {
+        let max = self.spec.max_clocks();
+        let core_ratio = clocks.core_mhz as f64 / max.core_mhz as f64;
+        let mem_ratio = clocks.memory_mhz as f64 / max.memory_mhz as f64;
+        // utilization of each domain under this workload
+        let f = profile.compute_fraction.clamp(0.0, 1.0);
+        let core_util = 0.4 + 0.6 * f;
+        let mem_util = 0.4 + 0.6 * (1.0 - f);
+        self.base_w
+            + self.core_dyn_w * core_util * core_ratio.powi(3) // V ∝ f ⇒ P ∝ f³
+            + self.mem_dyn_w * mem_util * mem_ratio
+    }
+
+    /// Energy to complete a fixed amount of work, relative to max clocks.
+    pub fn relative_energy(&self, clocks: &GpuClocks, profile: &GpuWorkloadProfile) -> f64 {
+        let max = self.spec.max_clocks();
+        let p = self.power_w(clocks, profile) / self.power_w(&max, profile);
+        let perf = self.relative_performance(clocks, profile);
+        p / perf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> GpuPowerModel {
+        GpuPowerModel::new(GpuSpec::tesla_class())
+    }
+
+    #[test]
+    fn max_clocks_are_reference_point() {
+        let m = model();
+        let max = m.spec().max_clocks();
+        for profile in [GpuWorkloadProfile::memory_bound(), GpuWorkloadProfile::compute_bound()] {
+            assert!((m.relative_performance(&max, &profile) - 1.0).abs() < 1e-12);
+            assert!((m.relative_energy(&max, &profile) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn power_monotone_in_both_clocks() {
+        let m = model();
+        let p = GpuWorkloadProfile::memory_bound();
+        let mut last = 0.0;
+        for &c in &m.spec().core_clocks_mhz.clone() {
+            let w = m.power_w(&GpuClocks { core_mhz: c, memory_mhz: 5005 }, &p);
+            assert!(w > last);
+            last = w;
+        }
+        let mut last = 0.0;
+        for &mc in &m.spec().memory_clocks_mhz.clone() {
+            let w = m.power_w(&GpuClocks { core_mhz: 1480, memory_mhz: mc }, &p);
+            assert!(w > last);
+            last = w;
+        }
+    }
+
+    #[test]
+    fn memory_bound_kernel_insensitive_to_core_clock() {
+        let m = model();
+        let p = GpuWorkloadProfile::memory_bound();
+        let fast = m.relative_performance(&GpuClocks { core_mhz: 1480, memory_mhz: 5005 }, &p);
+        let slow = m.relative_performance(&GpuClocks { core_mhz: 885, memory_mhz: 5005 }, &p);
+        assert!(fast / slow < 1.10, "memory-bound perf barely moves: {}", fast / slow);
+    }
+
+    #[test]
+    fn compute_bound_kernel_tracks_core_clock() {
+        let m = model();
+        let p = GpuWorkloadProfile::compute_bound();
+        let fast = m.relative_performance(&GpuClocks { core_mhz: 1480, memory_mhz: 5005 }, &p);
+        let slow = m.relative_performance(&GpuClocks { core_mhz: 740, memory_mhz: 5005 }, &p);
+        assert!(fast / slow > 1.6, "compute-bound perf follows the clock: {}", fast / slow);
+    }
+
+    #[test]
+    fn abe_operating_point_exists_for_memory_bound() {
+        // The §6.2.2 citation: ≥25 % energy saving within 2 % performance
+        // loss must exist somewhere in the clock grid for a memory-bound
+        // kernel.
+        let m = model();
+        let p = GpuWorkloadProfile::memory_bound();
+        let best = m
+            .spec()
+            .all_settings()
+            .into_iter()
+            .filter(|c| m.relative_performance(c, &p) >= 0.98)
+            .map(|c| m.relative_energy(&c, &p))
+            .fold(f64::INFINITY, f64::min);
+        assert!(best <= 0.75, "best relative energy within 2% perf: {best}");
+    }
+
+    #[test]
+    fn all_settings_enumerates_grid() {
+        let spec = GpuSpec::tesla_class();
+        assert_eq!(spec.all_settings().len(), 7 * 4);
+        assert_eq!(spec.max_clocks(), GpuClocks { core_mhz: 1480, memory_mhz: 5005 });
+    }
+
+    #[test]
+    fn display_format() {
+        let c = GpuClocks { core_mhz: 885, memory_mhz: 2505 };
+        assert_eq!(c.to_string(), "core 885 MHz / mem 2505 MHz");
+    }
+}

@@ -1,0 +1,47 @@
+//! # eco-sim-node — simulated single-node HPC hardware
+//!
+//! The paper's evaluation hardware (a Lenovo ThinkSystem SR650 with an AMD
+//! EPYC 7502P and BMC/IPMI power sensors) is not available to this
+//! reproduction, so this crate models it: a DVFS-aware power model, a
+//! first-order thermal model, an IPMI/BMC sensor simulator, a wall
+//! wattmeter, and `lscpu`/`/proc` system-information views — everything
+//! the Chronus pipeline observes of a real node.
+//!
+//! The models are *calibrated to the paper's published operating points*
+//! (Table 2, Equation 1), so experiments built on top reproduce the paper's
+//! shapes: which configuration wins, by roughly what factor, and where the
+//! crossovers fall. See `DESIGN.md` §2 and §4 at the repository root.
+//!
+//! ## Layout
+//! * [`clock`] — millisecond-resolution simulated time;
+//! * [`cpu`] — CPU specs ([`cpu::CpuSpec::epyc_7502p`]) and job
+//!   configurations ([`cpu::CpuConfig`]: cores × frequency × threads/core);
+//! * [`dvfs`] — cpufreq governors (`performance`, `ondemand`, …);
+//! * [`gpu`] — GPU clock-domain power/perf model (§6.2.2 substrate);
+//! * [`power`] — the calibrated node power model;
+//! * [`thermal`] — package temperature dynamics;
+//! * [`node`] — [`node::SimNode`], the integrating node simulation;
+//! * [`ipmi`] — BMC sensors and the fixed-interval [`ipmi::PowerSampler`];
+//! * [`wattmeter`] — AC-side ground truth (Equation 1 validation);
+//! * [`sysinfo`] — `lscpu`, `/proc/cpuinfo`, `/proc/meminfo` views.
+
+pub mod clock;
+pub mod cpu;
+pub mod dvfs;
+pub mod gpu;
+pub mod ipmi;
+pub mod node;
+pub mod power;
+pub mod sysinfo;
+pub mod thermal;
+pub mod wattmeter;
+
+pub use clock::{SimClock, SimDuration, SimTime};
+pub use cpu::{CpuConfig, CpuSpec, FreqKhz};
+pub use dvfs::Governor;
+pub use gpu::{GpuClocks, GpuPowerModel, GpuSpec, GpuWorkloadProfile};
+pub use ipmi::{Bmc, IpmiReading, PowerSampler};
+pub use node::{EnergyTotals, SimNode, Telemetry};
+pub use power::{CpuLoad, PowerModel, PowerModelParams};
+pub use thermal::{ThermalModel, ThermalParams};
+pub use wattmeter::{Wattmeter, WattmeterReading};

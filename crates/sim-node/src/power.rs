@@ -1,0 +1,289 @@
+//! DVFS-aware node power model.
+//!
+//! The model is physical in structure (dynamic CMOS power `∝ C·V²·f` per
+//! active core, plus per-core static power, uncore/IO-die power, platform
+//! power and a temperature-driven fan term) and is *calibrated* so the
+//! Lenovo SR650 / EPYC 7502P evaluation node of the paper reproduces the
+//! paper's Table 2 operating points:
+//!
+//! | configuration              | CPU power | system power |
+//! |----------------------------|-----------|--------------|
+//! | 32 cores @ 2.5 GHz (std)   | 120.4 W   | 216.6 W      |
+//! | 32 cores @ 2.2 GHz (best)  |  97.4 W   | 190.1 W      |
+//!
+//! The voltage/frequency curve and coefficients below solve those two
+//! equations exactly (given the thermal model's steady-state temperatures)
+//! and interpolate plausibly everywhere else.
+
+use crate::cpu::{khz_to_ghz, CpuConfig, CpuSpec, FreqKhz};
+use serde::{Deserialize, Serialize};
+
+/// Instantaneous electrical load on the node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuLoad {
+    /// The CPU configuration in effect.
+    pub config: CpuConfig,
+    /// Activity level of the configured cores *relative to the sustained
+    /// HPCG calibration workload* (0.0 = idle, 1.0 = calibration mean).
+    /// Transient compute-burst phases may exceed 1.0 slightly; the model
+    /// clamps at 1.25.
+    pub utilization: f64,
+}
+
+impl CpuLoad {
+    /// A fully idle node (configuration is irrelevant at utilization 0).
+    pub fn idle(spec: &CpuSpec) -> Self {
+        CpuLoad { config: CpuConfig::slurm_default(spec), utilization: 0.0 }
+    }
+
+    /// A fully busy node at the given configuration.
+    pub fn busy(config: CpuConfig) -> Self {
+        CpuLoad { config, utilization: 1.0 }
+    }
+}
+
+/// Parameters of the node power model. All powers in watts, frequencies in
+/// GHz inside the formulas.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModelParams {
+    /// Uncore / IO-die power, drawn whenever the package is on.
+    pub uncore_w: f64,
+    /// Dynamic-power coefficient: watts per (V² · GHz) per active core.
+    pub dyn_coeff: f64,
+    /// Static (leakage) power per active core.
+    pub core_static_w: f64,
+    /// Power of a core parked in a deep C-state.
+    pub core_idle_w: f64,
+    /// Dynamic-power multiplier when SMT (2 threads/core) is enabled.
+    pub smt_power_factor: f64,
+    /// Platform power: RAM, disks, NIC, BMC, VRM losses — everything on the
+    /// DC side that is not the CPU package or the fans.
+    pub platform_w: f64,
+    /// Fan power per °C of CPU temperature above `fan_knee_c`.
+    pub fan_w_per_c: f64,
+    /// CPU temperature below which fans idle.
+    pub fan_knee_c: f64,
+    /// AC→DC conversion efficiency of the PSUs (used by the wattmeter).
+    pub psu_efficiency: f64,
+    /// Voltage/frequency operating points (GHz → volts), ascending in GHz.
+    pub vf_curve: Vec<(f64, f64)>,
+}
+
+impl Default for PowerModelParams {
+    fn default() -> Self {
+        Self::sr650_epyc7502p()
+    }
+}
+
+impl PowerModelParams {
+    /// Calibration for the paper's Lenovo ThinkSystem SR650 with an AMD
+    /// EPYC 7502P (see module docs for the calibration targets).
+    pub fn sr650_epyc7502p() -> Self {
+        PowerModelParams {
+            uncore_w: 40.0,
+            dyn_coeff: 0.6915,
+            core_static_w: 0.4206,
+            core_idle_w: 0.15,
+            smt_power_factor: 1.03,
+            platform_w: 88.0,
+            fan_w_per_c: 0.5,
+            fan_knee_c: 45.0,
+            // IPMI reads DC-side power; the wall wattmeter reads AC. The
+            // paper measured 258 W (IPMI) vs 273.4 W (meter) => 94.37 %.
+            psu_efficiency: 258.0 / 273.4,
+            vf_curve: vec![(1.5, 0.78), (2.2, 0.95), (2.5, 1.10)],
+        }
+    }
+}
+
+/// The node power model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerModel {
+    params: PowerModelParams,
+    total_cores: u32,
+}
+
+impl PowerModel {
+    /// Builds a model for a CPU spec with the given parameters.
+    pub fn new(spec: &CpuSpec, params: PowerModelParams) -> Self {
+        assert!(!params.vf_curve.is_empty(), "V/f curve needs at least one point");
+        assert!(params.psu_efficiency > 0.0 && params.psu_efficiency <= 1.0);
+        PowerModel { params, total_cores: spec.cores }
+    }
+
+    /// Model parameters.
+    pub fn params(&self) -> &PowerModelParams {
+        &self.params
+    }
+
+    /// Core voltage at a frequency, linearly interpolated on the V/f curve
+    /// and clamped at the ends.
+    pub fn voltage(&self, freq_khz: FreqKhz) -> f64 {
+        let g = khz_to_ghz(freq_khz);
+        let curve = &self.params.vf_curve;
+        if g <= curve[0].0 {
+            return curve[0].1;
+        }
+        for w in curve.windows(2) {
+            let (g0, v0) = w[0];
+            let (g1, v1) = w[1];
+            if g <= g1 {
+                return v0 + (v1 - v0) * (g - g0) / (g1 - g0);
+            }
+        }
+        curve.last().expect("non-empty curve").1
+    }
+
+    /// CPU package power (W) under a load — what the IPMI `CPU_Power`
+    /// sensor reports.
+    pub fn cpu_power(&self, load: &CpuLoad) -> f64 {
+        let cfg = &load.config;
+        let active = cfg.cores.min(self.total_cores) as f64;
+        let idle = (self.total_cores - cfg.cores.min(self.total_cores)) as f64;
+        let v = self.voltage(cfg.frequency_khz);
+        let g = khz_to_ghz(cfg.frequency_khz);
+        let smt = if cfg.hyper_threading() { self.params.smt_power_factor } else { 1.0 };
+        let dyn_per_core = self.params.dyn_coeff * v * v * g * load.utilization.clamp(0.0, 1.25) * smt;
+        // An "active" (allocated) core burns static power even while stalled;
+        // unallocated cores sit in a deep C-state.
+        let active_static = if load.utilization > 0.0 { self.params.core_static_w } else { self.params.core_idle_w };
+        self.params.uncore_w + active * (dyn_per_core + active_static) + idle * self.params.core_idle_w
+    }
+
+    /// Fan power (W) at a CPU temperature.
+    pub fn fan_power(&self, cpu_temp_c: f64) -> f64 {
+        self.params.fan_w_per_c * (cpu_temp_c - self.params.fan_knee_c).max(0.0)
+    }
+
+    /// Total DC-side system power — what the IPMI `Total_Power` sensor
+    /// reports.
+    pub fn system_power(&self, load: &CpuLoad, cpu_temp_c: f64) -> f64 {
+        self.cpu_power(load) + self.params.platform_w + self.fan_power(cpu_temp_c)
+    }
+
+    /// AC-side power at the wall — what an external wattmeter reports.
+    pub fn wall_power(&self, load: &CpuLoad, cpu_temp_c: f64) -> f64 {
+        self.system_power(load, cpu_temp_c) / self.params.psu_efficiency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PowerModel {
+        PowerModel::new(&CpuSpec::epyc_7502p(), PowerModelParams::sr650_epyc7502p())
+    }
+
+    fn busy(cores: u32, khz: FreqKhz, tpc: u32) -> CpuLoad {
+        CpuLoad::busy(CpuConfig::new(cores, khz, tpc))
+    }
+
+    #[test]
+    fn voltage_interpolation() {
+        let m = model();
+        assert!((m.voltage(1_500_000) - 0.78).abs() < 1e-12);
+        assert!((m.voltage(2_200_000) - 0.95).abs() < 1e-12);
+        assert!((m.voltage(2_500_000) - 1.10).abs() < 1e-12);
+        // midpoint between 2.2 and 2.5 GHz
+        let v = m.voltage(2_350_000);
+        assert!(v > 0.95 && v < 1.10);
+        // clamped outside the curve
+        assert_eq!(m.voltage(500_000), 0.78);
+        assert_eq!(m.voltage(9_000_000), 1.10);
+    }
+
+    #[test]
+    fn calibration_standard_config_cpu_power() {
+        // paper Table 2: standard config (32c @ 2.5 GHz) averages 120.4 W CPU
+        let m = model();
+        let p = m.cpu_power(&busy(32, 2_500_000, 1));
+        assert!((p - 120.4).abs() < 1.5, "cpu power {p}");
+    }
+
+    #[test]
+    fn calibration_best_config_cpu_power() {
+        // paper Table 2: best config (32c @ 2.2 GHz) averages 97.4 W CPU
+        let m = model();
+        let p = m.cpu_power(&busy(32, 2_200_000, 1));
+        assert!((p - 97.4).abs() < 1.5, "cpu power {p}");
+    }
+
+    #[test]
+    fn calibration_system_power_at_steady_temps() {
+        // paper Table 2 system powers, at the paper's reported temperatures
+        let m = model();
+        let std_sys = m.system_power(&busy(32, 2_500_000, 1), 62.8);
+        let best_sys = m.system_power(&busy(32, 2_200_000, 1), 53.8);
+        assert!((std_sys - 216.6).abs() < 3.0, "std sys {std_sys}");
+        assert!((best_sys - 190.1).abs() < 3.0, "best sys {best_sys}");
+    }
+
+    #[test]
+    fn power_monotone_in_cores() {
+        let m = model();
+        let mut last = 0.0;
+        for c in 1..=32 {
+            let p = m.cpu_power(&busy(c, 2_200_000, 1));
+            assert!(p > last, "power not monotone at {c} cores");
+            last = p;
+        }
+    }
+
+    #[test]
+    fn power_monotone_in_frequency() {
+        let m = model();
+        let p15 = m.cpu_power(&busy(32, 1_500_000, 1));
+        let p22 = m.cpu_power(&busy(32, 2_200_000, 1));
+        let p25 = m.cpu_power(&busy(32, 2_500_000, 1));
+        assert!(p15 < p22 && p22 < p25);
+    }
+
+    #[test]
+    fn smt_increases_power_slightly() {
+        let m = model();
+        let no_ht = m.cpu_power(&busy(32, 2_200_000, 1));
+        let ht = m.cpu_power(&busy(32, 2_200_000, 2));
+        assert!(ht > no_ht);
+        assert!(ht / no_ht < 1.05, "SMT should cost only a few percent");
+    }
+
+    #[test]
+    fn idle_power_is_low_but_nonzero() {
+        let m = model();
+        let spec = CpuSpec::epyc_7502p();
+        let p = m.cpu_power(&CpuLoad::idle(&spec));
+        assert!(p > 40.0, "uncore stays on: {p}");
+        assert!(p < 50.0, "idle package should be well under load power: {p}");
+    }
+
+    #[test]
+    fn fan_power_zero_below_knee() {
+        let m = model();
+        assert_eq!(m.fan_power(40.0), 0.0);
+        assert_eq!(m.fan_power(45.0), 0.0);
+        assert!((m.fan_power(62.8) - 8.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wall_power_exceeds_dc_power_by_psu_loss() {
+        // Equation 1 of the paper: IPMI (DC) vs wattmeter (AC) differ ~5.96 %
+        let m = model();
+        let load = busy(32, 2_500_000, 1);
+        let dc = m.system_power(&load, 62.8);
+        let ac = m.wall_power(&load, 62.8);
+        let diff_pct = (ac - dc).abs() / dc * 100.0;
+        assert!((diff_pct - 5.96).abs() < 0.15, "psu gap {diff_pct}%");
+    }
+
+    #[test]
+    fn utilization_scales_dynamic_power() {
+        let m = model();
+        let full = m.cpu_power(&CpuLoad { config: CpuConfig::new(32, 2_500_000, 1), utilization: 1.0 });
+        let half = m.cpu_power(&CpuLoad { config: CpuConfig::new(32, 2_500_000, 1), utilization: 0.5 });
+        let floor = m.cpu_power(&CpuLoad { config: CpuConfig::new(32, 2_500_000, 1), utilization: 0.001 });
+        assert!(half < full);
+        assert!(floor < half);
+        assert!(half > (full + floor) / 2.0 - 1.0, "roughly linear in utilization");
+    }
+}

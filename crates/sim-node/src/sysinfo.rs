@@ -1,0 +1,157 @@
+//! System information providers: simulated `lscpu`, `/proc/cpuinfo` and
+//! `/proc/meminfo` views of a node.
+//!
+//! Chronus identifies a system by these facts (the paper's `SystemInfo`
+//! entity and the plugin's system hash, which concatenates `/proc/cpuinfo`
+//! and the MemTotal line before hashing — §4.2.1).
+
+use crate::cpu::CpuSpec;
+use crate::node::SimNode;
+use serde::{Deserialize, Serialize};
+
+/// The facts Chronus records about a system — mirrors the paper's
+/// `SystemInfo(cpu_name=…, cores=…, threads_per_core=…, frequencies=…)`
+/// log line in Figure 1.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemFacts {
+    /// CPU model name.
+    pub cpu_name: String,
+    /// Physical cores.
+    pub cores: u32,
+    /// Hardware threads per core.
+    pub threads_per_core: u32,
+    /// Available scaling frequencies (kHz).
+    pub frequencies_khz: Vec<u64>,
+    /// Installed RAM in GB.
+    pub ram_gb: u32,
+}
+
+impl SystemFacts {
+    /// Gathers the facts from a simulated node (the `lscpu` integration).
+    pub fn from_node(node: &SimNode) -> Self {
+        let spec = node.spec();
+        SystemFacts {
+            cpu_name: spec.name.clone(),
+            cores: spec.cores,
+            threads_per_core: spec.threads_per_core,
+            frequencies_khz: spec.frequencies_khz.clone(),
+            ram_gb: node.ram_gb(),
+        }
+    }
+
+    /// Renders the one-line form Chronus logs (paper Figure 1).
+    pub fn summary(&self) -> String {
+        let freqs: Vec<String> = self.frequencies_khz.iter().map(|f| format!("{:.1}", *f as f64)).collect();
+        format!(
+            "SystemInfo(cpu_name='{}', cores={}, threads_per_core={}, frequencies=[{}])",
+            self.cpu_name,
+            self.cores,
+            self.threads_per_core,
+            freqs.join(", ")
+        )
+    }
+}
+
+/// Renders a minimal `lscpu`-style report for a spec.
+pub fn lscpu(spec: &CpuSpec, ram_gb: u32) -> String {
+    let mut out = String::new();
+    out.push_str("Architecture:        x86_64\n");
+    out.push_str(&format!("CPU(s):              {}\n", spec.logical_cpus()));
+    out.push_str(&format!("Thread(s) per core:  {}\n", spec.threads_per_core));
+    out.push_str(&format!("Core(s) per socket:  {}\n", spec.cores));
+    out.push_str("Socket(s):           1\n");
+    out.push_str(&format!("Model name:          {}\n", spec.name));
+    out.push_str(&format!("CPU max MHz:         {:.4}\n", spec.max_frequency() as f64 / 1000.0));
+    out.push_str(&format!("CPU min MHz:         {:.4}\n", spec.min_frequency() as f64 / 1000.0));
+    out.push_str(&format!("Mem:                 {} GB\n", ram_gb));
+    out
+}
+
+/// Renders a `/proc/cpuinfo`-style block per logical CPU (abbreviated to
+/// the fields the plugin's system hash consumes).
+pub fn proc_cpuinfo(spec: &CpuSpec) -> String {
+    let mut out = String::new();
+    for cpu in 0..spec.logical_cpus() {
+        out.push_str(&format!("processor\t: {cpu}\n"));
+        out.push_str("vendor_id\t: AuthenticAMD\n");
+        out.push_str(&format!("model name\t: {}\n", spec.name));
+        out.push_str(&format!("cpu MHz\t\t: {:.3}\n", spec.max_frequency() as f64 / 1000.0));
+        out.push_str(&format!("cpu cores\t: {}\n", spec.cores));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the `/proc/meminfo` `MemTotal` line for a RAM size.
+pub fn proc_meminfo(ram_gb: u32) -> String {
+    format!("MemTotal:       {} kB\n", ram_gb as u64 * 1024 * 1024)
+}
+
+/// Renders the cpufreq sysfs `scaling_available_frequencies` file content.
+pub fn scaling_available_frequencies(spec: &CpuSpec) -> String {
+    let freqs: Vec<String> = spec.frequencies_khz.iter().map(|f| f.to_string()).collect();
+    format!("{}\n", freqs.join(" "))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facts_from_node_match_spec() {
+        let node = SimNode::sr650();
+        let facts = SystemFacts::from_node(&node);
+        assert_eq!(facts.cpu_name, "AMD EPYC 7502P 32-Core Processor");
+        assert_eq!(facts.cores, 32);
+        assert_eq!(facts.threads_per_core, 2);
+        assert_eq!(facts.ram_gb, 256);
+        assert_eq!(facts.frequencies_khz, vec![1_500_000, 2_200_000, 2_500_000]);
+    }
+
+    #[test]
+    fn summary_matches_paper_log_shape() {
+        let facts = SystemFacts::from_node(&SimNode::sr650());
+        let s = facts.summary();
+        assert!(s.starts_with("SystemInfo(cpu_name='AMD EPYC 7502P 32-Core Processor'"));
+        assert!(s.contains("cores=32"));
+        assert!(s.contains("threads_per_core=2"));
+        assert!(s.contains("1500000.0, 2200000.0, 2500000.0"));
+    }
+
+    #[test]
+    fn lscpu_contains_key_fields() {
+        let spec = CpuSpec::epyc_7502p();
+        let text = lscpu(&spec, 256);
+        assert!(text.contains("CPU(s):              64"));
+        assert!(text.contains("Thread(s) per core:  2"));
+        assert!(text.contains("Model name:          AMD EPYC 7502P 32-Core Processor"));
+        assert!(text.contains("CPU max MHz:         2500.0000"));
+    }
+
+    #[test]
+    fn proc_cpuinfo_one_block_per_logical_cpu() {
+        let spec = CpuSpec::epyc_7502p();
+        let text = proc_cpuinfo(&spec);
+        assert_eq!(text.matches("processor\t:").count(), 64);
+        assert!(text.contains("model name\t: AMD EPYC 7502P 32-Core Processor"));
+    }
+
+    #[test]
+    fn meminfo_converts_gb_to_kb() {
+        assert_eq!(proc_meminfo(256), "MemTotal:       268435456 kB\n");
+    }
+
+    #[test]
+    fn scaling_frequencies_render_khz() {
+        let spec = CpuSpec::epyc_7502p();
+        assert_eq!(scaling_available_frequencies(&spec), "1500000 2200000 2500000\n");
+    }
+
+    #[test]
+    fn facts_determine_identity() {
+        // equal nodes produce equal facts — the basis of the system hash
+        let a = SystemFacts::from_node(&SimNode::sr650());
+        let b = SystemFacts::from_node(&SimNode::sr650());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,159 @@
+//! First-order thermal model of the CPU package.
+//!
+//! The package temperature relaxes exponentially toward a steady state that
+//! is affine in CPU power. The affine coefficients are calibrated from the
+//! paper's Table 2: 120.4 W → 62.8 °C (standard config) and
+//! 97.4 W → 53.8 °C (best config), which solve to
+//! `T_ss = 15.7 + 0.3913 · P_cpu` (the fan curve's effect is folded in).
+
+use crate::clock::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Thermal model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalParams {
+    /// Steady-state intercept (°C at zero CPU power; below ambient because
+    /// the fan term is folded into the affine fit).
+    pub t_offset_c: f64,
+    /// Steady-state slope (°C per watt of CPU power).
+    pub c_per_watt: f64,
+    /// Thermal time constant (seconds).
+    pub tau_s: f64,
+    /// Ambient temperature — the floor the package never cools below.
+    pub ambient_c: f64,
+}
+
+impl Default for ThermalParams {
+    fn default() -> Self {
+        Self::sr650()
+    }
+}
+
+impl ThermalParams {
+    /// Calibration for the paper's SR650 node (see module docs).
+    pub fn sr650() -> Self {
+        ThermalParams { t_offset_c: 15.7, c_per_watt: 0.3913, tau_s: 60.0, ambient_c: 25.0 }
+    }
+}
+
+/// Mutable thermal state of the package.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    params: ThermalParams,
+    temp_c: f64,
+}
+
+impl ThermalModel {
+    /// Starts at ambient temperature.
+    pub fn new(params: ThermalParams) -> Self {
+        ThermalModel { params, temp_c: params.ambient_c }
+    }
+
+    /// Current package temperature (°C).
+    pub fn temperature(&self) -> f64 {
+        self.temp_c
+    }
+
+    /// The steady-state temperature this power level relaxes toward.
+    pub fn steady_state(&self, cpu_power_w: f64) -> f64 {
+        (self.params.t_offset_c + self.params.c_per_watt * cpu_power_w).max(self.params.ambient_c)
+    }
+
+    /// Advances the model by `dt` at constant CPU power, using the exact
+    /// exponential solution of the first-order ODE (stable for any step).
+    pub fn step(&mut self, dt: SimDuration, cpu_power_w: f64) {
+        let target = self.steady_state(cpu_power_w);
+        let alpha = (-dt.as_secs_f64() / self.params.tau_s).exp();
+        self.temp_c = target + (self.temp_c - target) * alpha;
+    }
+
+    /// Jumps straight to the steady state for a power level (used when a
+    /// simulation fast-forwards across a long constant-load segment).
+    pub fn settle(&mut self, cpu_power_w: f64) {
+        self.temp_c = self.steady_state(cpu_power_w);
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &ThermalParams {
+        &self.params
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> ThermalModel {
+        ThermalModel::new(ThermalParams::sr650())
+    }
+
+    #[test]
+    fn starts_at_ambient() {
+        assert_eq!(model().temperature(), 25.0);
+    }
+
+    #[test]
+    fn steady_state_matches_paper_operating_points() {
+        let m = model();
+        // Table 2: 120.4 W -> 62.8 C ; 97.4 W -> 53.8 C
+        assert!((m.steady_state(120.4) - 62.8).abs() < 0.3);
+        assert!((m.steady_state(97.4) - 53.8).abs() < 0.3);
+    }
+
+    #[test]
+    fn steady_state_floors_at_ambient() {
+        let m = model();
+        assert_eq!(m.steady_state(0.0), 25.0);
+        assert_eq!(m.steady_state(10.0), 25.0); // 15.7 + 3.9 < ambient
+    }
+
+    #[test]
+    fn warms_toward_steady_state_monotonically() {
+        let mut m = model();
+        let mut last = m.temperature();
+        for _ in 0..20 {
+            m.step(SimDuration::from_secs(30), 120.4);
+            assert!(m.temperature() >= last);
+            last = m.temperature();
+        }
+        assert!((m.temperature() - 62.8).abs() < 0.5, "converged to {}", m.temperature());
+    }
+
+    #[test]
+    fn cools_when_power_drops() {
+        let mut m = model();
+        m.settle(120.4);
+        let hot = m.temperature();
+        m.step(SimDuration::from_secs(120), 0.0);
+        assert!(m.temperature() < hot);
+        // long enough and we reach ambient
+        for _ in 0..50 {
+            m.step(SimDuration::from_secs(60), 0.0);
+        }
+        assert!((m.temperature() - 25.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn one_tau_covers_63_percent_of_the_gap() {
+        let mut m = model();
+        let target = m.steady_state(120.4);
+        let start = m.temperature();
+        m.step(SimDuration::from_secs(60), 120.4); // tau = 60 s
+        let progress = (m.temperature() - start) / (target - start);
+        assert!((progress - 0.632).abs() < 0.01, "progress {progress}");
+    }
+
+    #[test]
+    fn step_is_stable_for_huge_dt() {
+        let mut m = model();
+        m.step(SimDuration::from_secs(1_000_000), 120.4);
+        assert!((m.temperature() - m.steady_state(120.4)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn settle_jumps_to_steady_state() {
+        let mut m = model();
+        m.settle(97.4);
+        assert!((m.temperature() - 53.8).abs() < 0.3);
+    }
+}

@@ -1,0 +1,77 @@
+//! Property-based tests for the GPU clock-domain model.
+
+use eco_sim_node::gpu::{GpuClocks, GpuPowerModel, GpuSpec, GpuWorkloadProfile};
+use proptest::prelude::*;
+
+fn arb_clocks() -> impl Strategy<Value = GpuClocks> {
+    let spec = GpuSpec::tesla_class();
+    (
+        prop::sample::select(spec.core_clocks_mhz.clone()),
+        prop::sample::select(spec.memory_clocks_mhz.clone()),
+    )
+        .prop_map(|(core_mhz, memory_mhz)| GpuClocks { core_mhz, memory_mhz })
+}
+
+fn arb_profile() -> impl Strategy<Value = GpuWorkloadProfile> {
+    (0.0f64..=1.0).prop_map(|compute_fraction| GpuWorkloadProfile { compute_fraction })
+}
+
+proptest! {
+    /// Performance never exceeds the max-clock reference and is positive.
+    #[test]
+    fn relative_performance_bounded(clocks in arb_clocks(), profile in arb_profile()) {
+        let m = GpuPowerModel::new(GpuSpec::tesla_class());
+        let p = m.relative_performance(&clocks, &profile);
+        prop_assert!(p > 0.0);
+        prop_assert!(p <= 1.0 + 1e-12, "perf {p} above reference");
+    }
+
+    /// Power is positive, bounded by the max-clock draw, and at least the
+    /// base draw.
+    #[test]
+    fn power_bounded(clocks in arb_clocks(), profile in arb_profile()) {
+        let m = GpuPowerModel::new(GpuSpec::tesla_class());
+        let w = m.power_w(&clocks, &profile);
+        let max_w = m.power_w(&m.spec().max_clocks(), &profile);
+        prop_assert!(w >= m.base_w);
+        prop_assert!(w <= max_w + 1e-9);
+    }
+
+    /// Energy-to-solution is consistent: energy == power ratio / perf.
+    #[test]
+    fn energy_consistency(clocks in arb_clocks(), profile in arb_profile()) {
+        let m = GpuPowerModel::new(GpuSpec::tesla_class());
+        let e = m.relative_energy(&clocks, &profile);
+        let manual = (m.power_w(&clocks, &profile) / m.power_w(&m.spec().max_clocks(), &profile))
+            / m.relative_performance(&clocks, &profile);
+        prop_assert!((e - manual).abs() < 1e-12);
+        prop_assert!(e > 0.0);
+    }
+
+    /// Tuning within any loss budget never does worse than the max-clock
+    /// default (which always qualifies), and widening the budget never
+    /// hurts.
+    #[test]
+    fn tuning_never_loses(profile in arb_profile(), budget in 0.0f64..0.5, widen in 0.0f64..0.4) {
+        use eco_plugin_free::best_energy_within;
+        let tight = best_energy_within(&profile, budget);
+        let loose = best_energy_within(&profile, budget + widen);
+        prop_assert!(tight <= 1.0 + 1e-12, "never worse than max clocks: {tight}");
+        prop_assert!(loose <= tight + 1e-12, "wider budget never hurts: {loose} vs {tight}");
+    }
+}
+
+/// Minimal local helper (keeps this crate free of an eco-plugin dev-dep).
+mod eco_plugin_free {
+    use super::*;
+
+    pub fn best_energy_within(profile: &GpuWorkloadProfile, max_loss: f64) -> f64 {
+        let m = GpuPowerModel::new(GpuSpec::tesla_class());
+        m.spec()
+            .all_settings()
+            .into_iter()
+            .filter(|c| m.relative_performance(c, profile) >= 1.0 - max_loss)
+            .map(|c| m.relative_energy(&c, profile))
+            .fold(f64::INFINITY, f64::min)
+    }
+}

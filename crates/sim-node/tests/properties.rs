@@ -1,0 +1,142 @@
+//! Property-based tests for the hardware simulation.
+
+use eco_sim_node::clock::{SimDuration, SimTime};
+use eco_sim_node::cpu::{CpuConfig, CpuSpec};
+use eco_sim_node::power::{CpuLoad, PowerModel, PowerModelParams};
+use eco_sim_node::thermal::{ThermalModel, ThermalParams};
+use eco_sim_node::{Bmc, SimNode};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = CpuConfig> {
+    (1u32..=32, prop::sample::select(vec![1_500_000u64, 2_200_000, 2_500_000]), 1u32..=2)
+        .prop_map(|(cores, f, tpc)| CpuConfig::new(cores, f, tpc))
+}
+
+proptest! {
+    /// More active cores never draw less CPU power (same freq/SMT/util).
+    #[test]
+    fn power_monotone_in_cores(config in arb_config()) {
+        prop_assume!(config.cores < 32);
+        let model = PowerModel::new(&CpuSpec::epyc_7502p(), PowerModelParams::sr650_epyc7502p());
+        let mut bigger = config;
+        bigger.cores += 1;
+        let p1 = model.cpu_power(&CpuLoad::busy(config));
+        let p2 = model.cpu_power(&CpuLoad::busy(bigger));
+        prop_assert!(p2 > p1, "{p2} !> {p1} at {config}");
+    }
+
+    /// Higher frequency never draws less power.
+    #[test]
+    fn power_monotone_in_frequency(cores in 1u32..=32, tpc in 1u32..=2) {
+        let model = PowerModel::new(&CpuSpec::epyc_7502p(), PowerModelParams::sr650_epyc7502p());
+        let mut last = 0.0;
+        for f in [1_500_000u64, 2_200_000, 2_500_000] {
+            let p = model.cpu_power(&CpuLoad::busy(CpuConfig::new(cores, f, tpc)));
+            prop_assert!(p > last);
+            last = p;
+        }
+    }
+
+    /// Utilization scales power between the idle-core floor and full load.
+    #[test]
+    fn power_monotone_in_utilization(config in arb_config(), u in 0.0f64..1.25) {
+        let model = PowerModel::new(&CpuSpec::epyc_7502p(), PowerModelParams::sr650_epyc7502p());
+        let low = model.cpu_power(&CpuLoad { config, utilization: 0.001 });
+        let mid = model.cpu_power(&CpuLoad { config, utilization: u.max(0.001) });
+        let high = model.cpu_power(&CpuLoad { config, utilization: 1.25 });
+        prop_assert!(low <= mid + 1e-9 && mid <= high + 1e-9);
+    }
+
+    /// System power always exceeds CPU power (the platform is never free),
+    /// and wall power always exceeds system power (PSUs are lossy).
+    #[test]
+    fn power_ordering(config in arb_config(), temp in 25.0f64..80.0) {
+        let model = PowerModel::new(&CpuSpec::epyc_7502p(), PowerModelParams::sr650_epyc7502p());
+        let load = CpuLoad::busy(config);
+        let cpu = model.cpu_power(&load);
+        let sys = model.system_power(&load, temp);
+        let wall = model.wall_power(&load, temp);
+        prop_assert!(cpu < sys);
+        prop_assert!(sys < wall);
+    }
+
+    /// Thermal state converges to its steady state from any start and
+    /// never overshoots past it.
+    #[test]
+    fn thermal_converges_without_overshoot(power in 0.0f64..200.0, steps in 1usize..100) {
+        let mut m = ThermalModel::new(ThermalParams::sr650());
+        let target = m.steady_state(power);
+        let start = m.temperature();
+        for _ in 0..steps {
+            m.step(SimDuration::from_secs(30), power);
+            let t = m.temperature();
+            prop_assert!(t >= start.min(target) - 1e-9 && t <= start.max(target) + 1e-9,
+                "t {t} left [{start}, {target}]");
+        }
+        // long enough and we're at the target
+        for _ in 0..50 {
+            m.step(SimDuration::from_secs(60), power);
+        }
+        prop_assert!((m.temperature() - target).abs() < 0.01);
+    }
+
+    /// Node energy accumulates consistently: advancing in one chunk equals
+    /// advancing in many smaller chunks (constant load).
+    #[test]
+    fn energy_additive_over_substeps(config in arb_config(), chunks in 1u64..10) {
+        let total = SimDuration::from_secs(60);
+        let mut a = SimNode::sr650();
+        a.set_load(CpuLoad::busy(config));
+        a.settle_thermals();
+        a.advance(total);
+
+        let mut b = SimNode::sr650();
+        b.set_load(CpuLoad::busy(config));
+        b.settle_thermals();
+        let per = SimDuration(total.as_millis() / chunks);
+        let rem = SimDuration(total.as_millis() - per.as_millis() * chunks);
+        for _ in 0..chunks {
+            b.advance(per);
+        }
+        b.advance(rem);
+        prop_assert_eq!(a.now(), b.now());
+        prop_assert!((a.energy().system_j - b.energy().system_j).abs() < 1e-6);
+        prop_assert!((a.energy().cpu_j - b.energy().cpu_j).abs() < 1e-6);
+    }
+
+    /// IPMI readings stay within noise + quantisation of ground truth.
+    #[test]
+    fn ipmi_reading_tracks_truth(config in arb_config(), seed in 0u64..100) {
+        let mut node = SimNode::sr650();
+        node.set_load(CpuLoad::busy(config));
+        node.settle_thermals();
+        let truth = node.telemetry();
+        let mut bmc = Bmc::new(seed);
+        for _ in 0..5 {
+            let r = bmc.read(&node);
+            prop_assert!((r.total_power_w as f64 - truth.system_power_w).abs() <= 2.1);
+            prop_assert!((r.cpu_power_w as f64 - truth.cpu_power_w).abs() <= 1.6);
+            prop_assert!((r.cpu_temp_c as f64 - truth.cpu_temp_c).abs() <= 1.1);
+        }
+    }
+
+    /// Clock arithmetic: (t + d) - t == d and display is stable.
+    #[test]
+    fn clock_arithmetic(t in 0u64..1_000_000u64, d in 0u64..1_000_000u64) {
+        let t0 = SimTime(t);
+        let dur = SimDuration(d);
+        prop_assert_eq!((t0 + dur) - t0, dur);
+        prop_assert_eq!(t0.since(t0 + dur), SimDuration::ZERO);
+    }
+
+    /// Config validation accepts exactly the spec's configuration space.
+    #[test]
+    fn validation_matches_enumeration(cores in 0u32..40, tpc in 0u32..4,
+                                      f in prop::sample::select(vec![1_000_000u64, 1_500_000, 2_200_000, 2_500_000, 3_000_000])) {
+        let spec = CpuSpec::epyc_7502p();
+        let config = CpuConfig::new(cores, f, tpc);
+        let valid = spec.validate(&config).is_ok();
+        let enumerated = spec.all_configurations().contains(&config);
+        prop_assert_eq!(valid, enumerated);
+    }
+}

@@ -1,0 +1,104 @@
+//! `slurmdbd` — the accounting daemon. Stores one [`JobRecord`] per
+//! finished job and answers the aggregate queries the experiments and the
+//! fair-share factor need.
+
+use crate::job::{JobId, JobRecord, JobState};
+
+/// In-memory accounting storage (the real daemon fronts MySQL; the
+/// interface is what matters to the reproduction).
+#[derive(Debug, Clone, Default)]
+pub struct AccountingDb {
+    records: Vec<JobRecord>,
+}
+
+impl AccountingDb {
+    /// An empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores a finished job's record.
+    pub fn insert(&mut self, record: JobRecord) {
+        debug_assert!(record.state.is_terminal(), "only terminal jobs are accounted");
+        self.records.push(record);
+    }
+
+    /// All records, in completion order.
+    pub fn records(&self) -> &[JobRecord] {
+        &self.records
+    }
+
+    /// Looks up a record by job id.
+    pub fn get(&self, id: JobId) -> Option<&JobRecord> {
+        self.records.iter().find(|r| r.id == id)
+    }
+
+    /// Records for one user.
+    pub fn by_user<'a>(&'a self, user: &'a str) -> impl Iterator<Item = &'a JobRecord> {
+        self.records.iter().filter(move |r| r.user == user)
+    }
+
+    /// Total DC-side energy billed to a user (J).
+    pub fn user_energy_j(&self, user: &str) -> f64 {
+        self.by_user(user).map(|r| r.system_energy_j).sum()
+    }
+
+    /// Count of records in a state.
+    pub fn count_state(&self, state: JobState) -> usize {
+        self.records.iter().filter(|r| r.state == state).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_sim_node::clock::SimTime;
+    use eco_sim_node::CpuConfig;
+
+    fn record(id: u64, user: &str, state: JobState, energy: f64) -> JobRecord {
+        JobRecord {
+            id: JobId(id),
+            name: "j".into(),
+            user: user.into(),
+            state,
+            config: Some(CpuConfig::new(4, 2_200_000, 1)),
+            submit_time: SimTime::ZERO,
+            start_time: Some(SimTime::from_secs(1)),
+            end_time: Some(SimTime::from_secs(2)),
+            system_energy_j: energy,
+            cpu_energy_j: energy / 2.0,
+        }
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut db = AccountingDb::new();
+        db.insert(record(1, "a", JobState::Completed, 100.0));
+        db.insert(record(2, "b", JobState::Timeout, 50.0));
+        assert_eq!(db.records().len(), 2);
+        assert_eq!(db.get(JobId(2)).unwrap().user, "b");
+        assert!(db.get(JobId(3)).is_none());
+    }
+
+    #[test]
+    fn per_user_aggregation() {
+        let mut db = AccountingDb::new();
+        db.insert(record(1, "a", JobState::Completed, 100.0));
+        db.insert(record(2, "a", JobState::Completed, 150.0));
+        db.insert(record(3, "b", JobState::Completed, 10.0));
+        assert_eq!(db.by_user("a").count(), 2);
+        assert!((db.user_energy_j("a") - 250.0).abs() < 1e-12);
+        assert_eq!(db.user_energy_j("nobody"), 0.0);
+    }
+
+    #[test]
+    fn state_counts() {
+        let mut db = AccountingDb::new();
+        db.insert(record(1, "a", JobState::Completed, 1.0));
+        db.insert(record(2, "a", JobState::Completed, 1.0));
+        db.insert(record(3, "a", JobState::Cancelled, 0.0));
+        assert_eq!(db.count_state(JobState::Completed), 2);
+        assert_eq!(db.count_state(JobState::Cancelled), 1);
+        assert_eq!(db.count_state(JobState::Timeout), 0);
+    }
+}

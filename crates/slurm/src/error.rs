@@ -1,0 +1,58 @@
+//! Error types for the Slurm simulator.
+
+use crate::job::JobId;
+
+/// Errors surfaced by the workload manager.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlurmError {
+    /// The sbatch script could not be parsed.
+    InvalidScript(String),
+    /// A job-submit plugin rejected the job.
+    PluginRejected { plugin: &'static str, reason: String },
+    /// A job-submit plugin exceeded the submit-path time budget — the
+    /// condition the paper says "raises an error if a plugin takes too
+    /// long" (§3.1.2).
+    PluginTimeout { plugin: &'static str, elapsed_ms: u64, budget_ms: u64 },
+    /// The requested resources can never be satisfied by this cluster.
+    Unsatisfiable(String),
+    /// No binary is registered at the given path.
+    UnknownBinary(String),
+    /// The referenced job does not exist.
+    NoSuchJob(JobId),
+    /// The operation does not apply to the job's current state.
+    InvalidState { job: JobId, reason: String },
+}
+
+impl std::fmt::Display for SlurmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SlurmError::InvalidScript(m) => write!(f, "invalid batch script: {m}"),
+            SlurmError::PluginRejected { plugin, reason } => {
+                write!(f, "job_submit plugin '{plugin}' rejected the job: {reason}")
+            }
+            SlurmError::PluginTimeout { plugin, elapsed_ms, budget_ms } => {
+                write!(f, "job_submit plugin '{plugin}' took {elapsed_ms} ms (budget {budget_ms} ms)")
+            }
+            SlurmError::Unsatisfiable(m) => write!(f, "unsatisfiable request: {m}"),
+            SlurmError::UnknownBinary(p) => write!(f, "no such executable: {p}"),
+            SlurmError::NoSuchJob(id) => write!(f, "no such job: {id}"),
+            SlurmError::InvalidState { job, reason } => write!(f, "job {job}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SlurmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(SlurmError::InvalidScript("x".into()).to_string().contains("invalid batch script"));
+        assert!(SlurmError::NoSuchJob(JobId(7)).to_string().contains('7'));
+        let t = SlurmError::PluginTimeout { plugin: "eco", elapsed_ms: 250, budget_ms: 100 };
+        assert!(t.to_string().contains("250 ms"));
+        assert!(t.to_string().contains("budget 100 ms"));
+    }
+}

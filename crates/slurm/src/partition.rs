@@ -1,0 +1,163 @@
+//! Partitions: Slurm's named node groups with their own time limits and
+//! priority weights (the knobs the Niagara deployment in the paper's §2.1
+//! tunes per queue).
+
+use eco_sim_node::clock::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A partition definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Partition {
+    /// Partition name (`--partition=`).
+    pub name: String,
+    /// Node indices belonging to this partition.
+    pub nodes: Vec<usize>,
+    /// Maximum wall time for jobs in this partition (`MaxTime`); caps any
+    /// job-level `--time`.
+    pub max_time: Option<SimDuration>,
+    /// Additive priority bonus for jobs submitted here
+    /// (`PriorityJobFactor`-style).
+    pub priority_bonus: f64,
+    /// Whether jobs without `--partition` land here.
+    pub is_default: bool,
+}
+
+impl Partition {
+    /// A default partition spanning the given nodes.
+    pub fn default_over(node_count: usize) -> Self {
+        Partition {
+            name: "batch".to_string(),
+            nodes: (0..node_count).collect(),
+            max_time: None,
+            priority_bonus: 0.0,
+            is_default: true,
+        }
+    }
+
+    /// The effective time limit for a job limit request: the stricter of
+    /// the job's `--time` and the partition's `MaxTime`.
+    pub fn effective_time_limit(&self, requested: Option<SimDuration>) -> Option<SimDuration> {
+        match (requested, self.max_time) {
+            (Some(r), Some(m)) => Some(r.min(m)),
+            (Some(r), None) => Some(r),
+            (None, m) => m,
+        }
+    }
+
+    /// Whether this partition contains a node index.
+    pub fn contains(&self, node: usize) -> bool {
+        self.nodes.contains(&node)
+    }
+}
+
+/// The set of partitions configured on a cluster.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PartitionTable {
+    partitions: Vec<Partition>,
+}
+
+impl PartitionTable {
+    /// A table with one default partition over all nodes.
+    pub fn with_default(node_count: usize) -> Self {
+        PartitionTable { partitions: vec![Partition::default_over(node_count)] }
+    }
+
+    /// Adds (or replaces, by name) a partition.
+    pub fn upsert(&mut self, partition: Partition) {
+        assert!(!partition.nodes.is_empty(), "partition needs at least one node");
+        if partition.is_default {
+            for p in &mut self.partitions {
+                p.is_default = false;
+            }
+        }
+        if let Some(existing) = self.partitions.iter_mut().find(|p| p.name == partition.name) {
+            *existing = partition;
+        } else {
+            self.partitions.push(partition);
+        }
+    }
+
+    /// Resolves a job's partition request: a name, or the default.
+    pub fn resolve(&self, requested: Option<&str>) -> Option<&Partition> {
+        match requested {
+            Some(name) => self.partitions.iter().find(|p| p.name == name),
+            None => self.partitions.iter().find(|p| p.is_default).or(self.partitions.first()),
+        }
+    }
+
+    /// All partitions.
+    pub fn all(&self) -> &[Partition] {
+        &self.partitions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_partition_spans_all_nodes() {
+        let t = PartitionTable::with_default(3);
+        let p = t.resolve(None).unwrap();
+        assert_eq!(p.name, "batch");
+        assert_eq!(p.nodes, vec![0, 1, 2]);
+        assert!(p.is_default);
+    }
+
+    #[test]
+    fn resolve_by_name_and_missing() {
+        let mut t = PartitionTable::with_default(2);
+        t.upsert(Partition {
+            name: "debug".into(),
+            nodes: vec![1],
+            max_time: Some(SimDuration::from_mins(30)),
+            priority_bonus: 500.0,
+            is_default: false,
+        });
+        assert_eq!(t.resolve(Some("debug")).unwrap().nodes, vec![1]);
+        assert!(t.resolve(Some("gpu")).is_none());
+        assert_eq!(t.resolve(None).unwrap().name, "batch");
+        assert_eq!(t.all().len(), 2);
+    }
+
+    #[test]
+    fn upsert_replaces_by_name() {
+        let mut t = PartitionTable::with_default(2);
+        t.upsert(Partition { name: "batch".into(), nodes: vec![0], max_time: None, priority_bonus: 0.0, is_default: true });
+        assert_eq!(t.all().len(), 1);
+        assert_eq!(t.resolve(None).unwrap().nodes, vec![0]);
+    }
+
+    #[test]
+    fn new_default_demotes_old_default() {
+        let mut t = PartitionTable::with_default(2);
+        t.upsert(Partition { name: "main".into(), nodes: vec![0, 1], max_time: None, priority_bonus: 0.0, is_default: true });
+        assert_eq!(t.resolve(None).unwrap().name, "main");
+        let defaults = t.all().iter().filter(|p| p.is_default).count();
+        assert_eq!(defaults, 1);
+    }
+
+    #[test]
+    fn effective_time_limit_takes_the_stricter() {
+        let p = Partition {
+            name: "debug".into(),
+            nodes: vec![0],
+            max_time: Some(SimDuration::from_mins(30)),
+            priority_bonus: 0.0,
+            is_default: false,
+        };
+        assert_eq!(p.effective_time_limit(None), Some(SimDuration::from_mins(30)));
+        assert_eq!(p.effective_time_limit(Some(SimDuration::from_mins(10))), Some(SimDuration::from_mins(10)));
+        assert_eq!(p.effective_time_limit(Some(SimDuration::from_mins(60))), Some(SimDuration::from_mins(30)));
+        let open = Partition { max_time: None, ..p };
+        assert_eq!(open.effective_time_limit(None), None);
+        assert_eq!(open.effective_time_limit(Some(SimDuration::from_mins(5))), Some(SimDuration::from_mins(5)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_partition_rejected() {
+        let mut t = PartitionTable::with_default(1);
+        t.upsert(Partition { name: "empty".into(), nodes: vec![], max_time: None, priority_bonus: 0.0, is_default: false });
+    }
+}

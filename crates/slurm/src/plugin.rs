@@ -1,0 +1,194 @@
+//! The job-submit plugin interface — the simulator's equivalent of Slurm's
+//! `job_submit` plugin type (the paper's §3.1.1: "This type of plugin is
+//! called when a job is submitted to the scheduler. The plugin can then
+//! modify the job before it is added to the queue").
+//!
+//! Slurm gives submit plugins a very short time budget (the reason Chronus
+//! pre-loads models to local disk, §3.1.2). [`PluginHost`] enforces that
+//! budget with a wall-clock measurement around each call.
+
+use crate::error::SlurmError;
+use crate::job::JobDescriptor;
+use std::time::Instant;
+
+/// Why a plugin refused a job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PluginRejection {
+    /// Human-readable reason returned to the submitter.
+    pub reason: String,
+}
+
+/// A job-submit plugin. Implementations may rewrite the descriptor (the
+/// eco plugin sets `num_tasks`, `threads_per_cpu`, `min/max_frequency`) or
+/// reject the job outright.
+pub trait JobSubmitPlugin: Send {
+    /// The plugin's name, as it would appear in `JobSubmitPlugins=`.
+    fn name(&self) -> &'static str;
+
+    /// Called once per submission, before the job enters the queue.
+    fn job_submit(&mut self, job: &mut JobDescriptor, submit_uid: u32) -> Result<(), PluginRejection>;
+}
+
+/// Hosts the configured plugin chain and enforces the submit-path budget.
+pub struct PluginHost {
+    plugins: Vec<Box<dyn JobSubmitPlugin>>,
+    budget_ms: u64,
+}
+
+/// Slurm aborts submit plugins that stall the controller; we default to a
+/// 100 ms wall-clock budget per plugin call.
+pub const DEFAULT_PLUGIN_BUDGET_MS: u64 = 100;
+
+impl PluginHost {
+    /// An empty chain with the default budget.
+    pub fn new() -> Self {
+        PluginHost { plugins: Vec::new(), budget_ms: DEFAULT_PLUGIN_BUDGET_MS }
+    }
+
+    /// Overrides the per-call budget (milliseconds).
+    pub fn with_budget_ms(mut self, budget_ms: u64) -> Self {
+        assert!(budget_ms > 0);
+        self.budget_ms = budget_ms;
+        self
+    }
+
+    /// Appends a plugin to the chain (`JobSubmitPlugins=a,b,...` order).
+    pub fn register(&mut self, plugin: Box<dyn JobSubmitPlugin>) {
+        self.plugins.push(plugin);
+    }
+
+    /// Number of registered plugins.
+    pub fn len(&self) -> usize {
+        self.plugins.len()
+    }
+
+    /// True when no plugins are registered.
+    pub fn is_empty(&self) -> bool {
+        self.plugins.is_empty()
+    }
+
+    /// The per-call budget in milliseconds.
+    pub fn budget_ms(&self) -> u64 {
+        self.budget_ms
+    }
+
+    /// Runs every plugin over the descriptor, in order, measuring each
+    /// call. The first rejection or budget overrun aborts the submission.
+    pub fn run(&mut self, job: &mut JobDescriptor, submit_uid: u32) -> Result<(), SlurmError> {
+        for plugin in &mut self.plugins {
+            let started = Instant::now();
+            let outcome = plugin.job_submit(job, submit_uid);
+            let elapsed_ms = started.elapsed().as_millis() as u64;
+            if elapsed_ms > self.budget_ms {
+                return Err(SlurmError::PluginTimeout {
+                    plugin: plugin.name(),
+                    elapsed_ms,
+                    budget_ms: self.budget_ms,
+                });
+            }
+            if let Err(rejection) = outcome {
+                return Err(SlurmError::PluginRejected { plugin: plugin.name(), reason: rejection.reason });
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for PluginHost {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct SetTasks(u32);
+    impl JobSubmitPlugin for SetTasks {
+        fn name(&self) -> &'static str {
+            "set_tasks"
+        }
+        fn job_submit(&mut self, job: &mut JobDescriptor, _uid: u32) -> Result<(), PluginRejection> {
+            job.num_tasks = self.0;
+            Ok(())
+        }
+    }
+
+    struct RejectAll;
+    impl JobSubmitPlugin for RejectAll {
+        fn name(&self) -> &'static str {
+            "reject_all"
+        }
+        fn job_submit(&mut self, _job: &mut JobDescriptor, _uid: u32) -> Result<(), PluginRejection> {
+            Err(PluginRejection { reason: "nope".into() })
+        }
+    }
+
+    struct Slow;
+    impl JobSubmitPlugin for Slow {
+        fn name(&self) -> &'static str {
+            "slow"
+        }
+        fn job_submit(&mut self, _job: &mut JobDescriptor, _uid: u32) -> Result<(), PluginRejection> {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            Ok(())
+        }
+    }
+
+    fn desc() -> JobDescriptor {
+        JobDescriptor::new("j", "u", "/bin/app")
+    }
+
+    #[test]
+    fn empty_chain_is_noop() {
+        let mut host = PluginHost::new();
+        let mut d = desc();
+        assert!(host.run(&mut d, 1000).is_ok());
+        assert!(host.is_empty());
+    }
+
+    #[test]
+    fn plugins_run_in_order_and_mutate() {
+        let mut host = PluginHost::new();
+        host.register(Box::new(SetTasks(8)));
+        host.register(Box::new(SetTasks(16))); // later plugin wins
+        let mut d = desc();
+        host.run(&mut d, 1000).unwrap();
+        assert_eq!(d.num_tasks, 16);
+        assert_eq!(host.len(), 2);
+    }
+
+    #[test]
+    fn rejection_propagates_with_plugin_name() {
+        let mut host = PluginHost::new();
+        host.register(Box::new(RejectAll));
+        let err = host.run(&mut desc(), 0).unwrap_err();
+        assert_eq!(err, SlurmError::PluginRejected { plugin: "reject_all", reason: "nope".into() });
+    }
+
+    #[test]
+    fn rejection_stops_the_chain() {
+        let mut host = PluginHost::new();
+        host.register(Box::new(RejectAll));
+        host.register(Box::new(SetTasks(5)));
+        let mut d = desc();
+        let _ = host.run(&mut d, 0);
+        assert_eq!(d.num_tasks, 1, "later plugin must not run");
+    }
+
+    #[test]
+    fn slow_plugin_trips_the_budget() {
+        let mut host = PluginHost::new().with_budget_ms(5);
+        host.register(Box::new(Slow));
+        let err = host.run(&mut desc(), 0).unwrap_err();
+        assert!(matches!(err, SlurmError::PluginTimeout { plugin: "slow", .. }), "{err:?}");
+    }
+
+    #[test]
+    fn fast_plugin_within_budget() {
+        let mut host = PluginHost::new().with_budget_ms(1000);
+        host.register(Box::new(Slow));
+        assert!(host.run(&mut desc(), 0).is_ok());
+    }
+}

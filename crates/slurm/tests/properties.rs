@@ -1,0 +1,186 @@
+//! Property-based tests for the Slurm simulator: scheduler safety and
+//! liveness invariants under random job mixes, and script round-trips.
+
+use eco_hpcg::workload::{ScalingKind, SyntheticWorkload};
+use eco_sim_node::clock::SimDuration;
+use eco_sim_node::SimNode;
+use eco_slurm_sim::script::{generate_hpcg_script, parse_script};
+use eco_slurm_sim::{Cluster, JobDescriptor, JobState, Qos};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A random single- or multi-node job request.
+#[derive(Debug, Clone)]
+struct JobReq {
+    tasks: u32,
+    nodes: u32,
+    tpc: u32,
+    freq: Option<u64>,
+    qos: Qos,
+    gflop: f64,
+    limit_s: Option<u64>,
+}
+
+fn arb_job(max_nodes: u32) -> impl Strategy<Value = JobReq> {
+    (
+        1u32..=32,
+        1u32..=max_nodes,
+        1u32..=2,
+        prop::option::of(prop::sample::select(vec![1_500_000u64, 2_200_000, 2_500_000])),
+        prop::sample::select(vec![Qos::Low, Qos::Normal, Qos::High]),
+        10.0f64..2000.0,
+        prop::option::of(1u64..60),
+    )
+        .prop_map(|(tasks, nodes, tpc, freq, qos, gflop, limit_s)| JobReq {
+            tasks,
+            nodes,
+            tpc,
+            freq,
+            qos,
+            gflop,
+            limit_s,
+        })
+}
+
+fn build_cluster(nodes: usize) -> Cluster {
+    let mut c = Cluster::new((0..nodes).map(|_| SimNode::sr650()).collect());
+    c.register_binary(
+        "/bin/app",
+        Arc::new(SyntheticWorkload::new("app", ScalingKind::ComputeBound, 1.0, 1.0)),
+    );
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Liveness + safety: every submitted job reaches a terminal state,
+    /// every completion has an accounting record with consistent times,
+    /// and no node ever runs two jobs at once (enforced structurally, but
+    /// verified through sinfo counts).
+    #[test]
+    fn random_job_mixes_drain(jobs in prop::collection::vec(arb_job(3), 1..12), nodes in 1usize..4) {
+        let mut cluster = build_cluster(nodes);
+        let mut ids = Vec::new();
+        for (i, j) in jobs.iter().enumerate() {
+            let mut d = JobDescriptor::new(&format!("j{i}"), if i % 2 == 0 { "alice" } else { "bob" }, "/bin/app");
+            d.num_tasks = j.tasks;
+            d.num_nodes = j.nodes.min(nodes as u32);
+            d.threads_per_cpu = j.tpc;
+            d.max_frequency_khz = j.freq;
+            d.qos = j.qos;
+            d.time_limit = j.limit_s.map(SimDuration::from_secs);
+            // rescale work so every job finishes within minutes
+            let _ = j.gflop;
+            ids.push(cluster.submit(d).unwrap());
+        }
+        // allocated nodes never exceed node count while draining
+        for _ in 0..200 {
+            if cluster.is_idle() {
+                break;
+            }
+            cluster.advance(SimDuration::from_secs(5));
+            let alloc = cluster.sinfo().matches("alloc").count();
+            prop_assert!(alloc <= nodes, "{alloc} allocations on {nodes} nodes");
+        }
+        prop_assert!(cluster.run_until_idle(SimDuration::from_secs(3600)), "cluster failed to drain");
+        for id in ids {
+            let job = cluster.job(id).unwrap();
+            prop_assert!(job.state.is_terminal(), "job {id} in {:?}", job.state);
+            let rec = cluster.accounting().get(id).unwrap();
+            prop_assert_eq!(rec.state, job.state);
+            if let (Some(s), Some(e)) = (rec.start_time, rec.end_time) {
+                prop_assert!(s <= e);
+                prop_assert!(rec.submit_time <= s);
+                prop_assert!(rec.system_energy_j >= 0.0);
+                prop_assert!(rec.cpu_energy_j <= rec.system_energy_j);
+            }
+            // timeout only if a limit existed
+            if rec.state == JobState::Timeout {
+                prop_assert!(job.descriptor.time_limit.is_some());
+            }
+        }
+        // exactly one record per job
+        prop_assert_eq!(cluster.accounting().records().len(), jobs.len());
+    }
+
+    /// The Chronus-generated sbatch script round-trips every configuration.
+    #[test]
+    fn script_roundtrip(cores in 1u32..=32,
+                        freq in prop::sample::select(vec![1_500_000u64, 2_200_000, 2_500_000]),
+                        tpc in 1u32..=2) {
+        let script = generate_hpcg_script(cores, freq, tpc, "/opt/hpcg/bin/xhpcg");
+        let d = parse_script(&script, "user").unwrap();
+        prop_assert_eq!(d.num_tasks, cores);
+        prop_assert_eq!(d.min_frequency_khz, Some(freq));
+        prop_assert_eq!(d.max_frequency_khz, Some(freq));
+        prop_assert_eq!(d.threads_per_cpu, tpc);
+        prop_assert_eq!(d.num_nodes, 1);
+        prop_assert_eq!(d.binary_path.as_str(), "/opt/hpcg/bin/xhpcg");
+    }
+
+    /// Resolve + apply round-trip: applying a config to a descriptor makes
+    /// it resolve to exactly that config.
+    #[test]
+    fn apply_resolve_roundtrip(cores in 1u32..=32,
+                               freq in prop::sample::select(vec![1_500_000u64, 2_200_000, 2_500_000]),
+                               tpc in 1u32..=2) {
+        use eco_sim_node::cpu::{CpuConfig, CpuSpec};
+        let config = CpuConfig::new(cores, freq, tpc);
+        let mut d = JobDescriptor::new("j", "u", "/bin/app");
+        d.apply_config(&config);
+        prop_assert_eq!(d.resolve_config(&CpuSpec::epyc_7502p()), config);
+    }
+
+    /// Power-cap admission invariant: right after any scheduling decision,
+    /// the estimated aggregate draw respects the cap (with slack for the
+    /// fan-power drift that accrues after admission).
+    #[test]
+    fn power_cap_respected_at_admission(jobs in prop::collection::vec(arb_job(1), 1..10),
+                                        nodes in 1usize..4,
+                                        headroom_w in 100.0f64..700.0) {
+        let mut cluster = build_cluster(nodes);
+        // idle nodes draw power regardless; the cap constrains admissions
+        // above that floor, so express it as idle + head-room (a cap below
+        // idle would rightly starve everything)
+        let idle_floor = cluster.estimated_power_w();
+        let cap_w = idle_floor + headroom_w;
+        cluster.set_power_cap(Some(cap_w));
+        let limit = cap_w + 30.0; // slack for fan drift after admission
+        for (i, j) in jobs.iter().enumerate() {
+            let mut d = JobDescriptor::new(&format!("j{i}"), "u", "/bin/app");
+            d.num_tasks = j.tasks;
+            d.threads_per_cpu = j.tpc;
+            d.max_frequency_khz = j.freq;
+            let _ = cluster.submit(d);
+            prop_assert!(cluster.estimated_power_w() <= limit,
+                "estimate {} over limit {limit}", cluster.estimated_power_w());
+        }
+        // the head-room admits at least one job at a time, so the cap
+        // delays but never deadlocks and the cluster drains
+        prop_assert!(cluster.run_until_idle(SimDuration::from_secs(7200)));
+    }
+
+    /// Cancelling a random subset still leaves the cluster consistent.
+    #[test]
+    fn cancel_subset_consistent(n in 2usize..8, cancel_mask in 0u32..256) {
+        let mut cluster = build_cluster(1);
+        let mut ids = Vec::new();
+        for i in 0..n {
+            let mut d = JobDescriptor::new(&format!("j{i}"), "u", "/bin/app");
+            d.num_tasks = 32;
+            ids.push(cluster.submit(d).unwrap());
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            if cancel_mask & (1 << i) != 0 {
+                // job may already have completed; both outcomes are legal
+                let _ = cluster.cancel(id);
+            }
+        }
+        prop_assert!(cluster.run_until_idle(SimDuration::from_secs(3600)));
+        for &id in &ids {
+            prop_assert!(cluster.job(id).unwrap().state.is_terminal());
+        }
+        prop_assert_eq!(cluster.accounting().records().len(), n);
+    }
+}

@@ -1,0 +1,78 @@
+//! Deadline-aware configuration selection — the paper's §6.2.1 future
+//! work ("if Vestas needed a simulation to be done by Monday morning").
+//!
+//! Benchmarks three frequencies, then shows how the chosen configuration
+//! shifts as the deadline tightens: loose deadlines take the most
+//! efficient configuration, tight ones fall back toward the fastest.
+//!
+//! Run with: `cargo run --release --example deadline_scheduling`
+
+use eco_hpc::chronus::application::{Chronus, DEFAULT_SAMPLE_INTERVAL};
+use eco_hpc::chronus::integrations::hpcg_runner::HpcgRunner;
+use eco_hpc::chronus::integrations::monitoring::{IpmiService, LscpuInfo};
+use eco_hpc::chronus::integrations::record_store::RecordStore;
+use eco_hpc::chronus::integrations::storage::{EtcStorage, LocalBlobStore};
+use eco_hpc::eco_plugin::deadline::{parse_deadline, DeadlineSelector};
+use eco_hpc::hpcg::perf_model::PerfModel;
+use eco_hpc::hpcg::workload::HpcgWorkload;
+use eco_hpc::node::cpu::CpuConfig;
+use eco_hpc::node::SimNode;
+use eco_hpc::slurm::Cluster;
+use std::sync::Arc;
+
+fn main() {
+    let root = std::env::temp_dir().join(format!("eco-deadline-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let mut cluster = Cluster::single_node(SimNode::sr650());
+    let perf = Arc::new(PerfModel::sr650());
+    let work = perf.gflops(&perf.standard_config()) * 60.0; // ~1 simulated minute at standard
+    let workload = Arc::new(HpcgWorkload::with_work(perf, work, 104));
+    let runner = HpcgRunner::install(&mut cluster, "/opt/hpcg/bin/xhpcg", workload);
+    let mut app = Chronus::new(
+        Box::new(RecordStore::open(root.join("db/data.db")).expect("db")),
+        Box::new(LocalBlobStore::new(root.join("blobs")).expect("blobs")),
+        Box::new(EtcStorage::new(&root)),
+    );
+    let mut sampler = IpmiService::new(0, 5);
+    let info = LscpuInfo::new(0);
+
+    let configs = vec![
+        CpuConfig::new(32, 2_500_000, 1),
+        CpuConfig::new(32, 2_200_000, 1),
+        CpuConfig::new(32, 1_500_000, 1),
+        CpuConfig::new(24, 2_200_000, 1),
+    ];
+    println!("benchmarking {} configurations ...", configs.len());
+    let benches = app
+        .benchmark(&mut cluster, &runner, &mut sampler, &info, Some(&configs), DEFAULT_SAMPLE_INTERVAL)
+        .expect("sweep");
+    for b in &benches {
+        println!(
+            "  {:<28} runtime {:6.1} s   {:.4} GFLOPS/W",
+            b.config.to_string(),
+            b.runtime_s,
+            b.gflops_per_watt()
+        );
+    }
+
+    let selector = DeadlineSelector::from_benchmarks(&benches);
+    println!("\nper-deadline choice (work scale 1.0):");
+    for deadline_s in [1000.0, 80.0, 66.0, 62.0, 50.0] {
+        match selector.best_within(deadline_s, 1.0) {
+            Some(c) => println!("  deadline {deadline_s:>6.0} s -> {c}"),
+            None => println!(
+                "  deadline {deadline_s:>6.0} s -> infeasible (fastest available: {})",
+                selector.fastest().expect("benchmarked")
+            ),
+        }
+    }
+
+    // The sbatch-comment form a user would write:
+    let comment = "chronus deadline=66";
+    let parsed = parse_deadline(comment).expect("parse");
+    println!(
+        "\n--comment \"{comment}\" parses to {parsed} s -> {}",
+        selector.best_within(parsed, 1.0).expect("feasible")
+    );
+}

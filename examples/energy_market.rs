@@ -1,0 +1,77 @@
+//! Green-window time scheduling — the paper's §6.2.4 future work: defer
+//! jobs into cheap/renewable energy windows ("a practice already in use
+//! in companies utilizing HPC", Vestas/Lancium in the paper's framing).
+//!
+//! Builds a day/night price curve, finds the cheapest start for an HPCG
+//! job, submits it with `--begin`, and compares the energy bill against
+//! running immediately.
+//!
+//! Run with: `cargo run --release --example energy_market`
+
+use eco_hpc::eco_plugin::market::{cheapest_start, EnergyMarket, GreenWindowPlugin};
+use eco_hpc::slurm::plugin::JobSubmitPlugin;
+use eco_hpc::hpcg::perf_model::PerfModel;
+use eco_hpc::hpcg::workload::{HpcgWorkload, Workload};
+use eco_hpc::node::clock::{SimDuration, SimTime};
+use eco_hpc::node::SimNode;
+use eco_hpc::slurm::{Cluster, JobDescriptor};
+use std::sync::Arc;
+
+fn main() {
+    // Cheap nights (10 /kWh, wind-rich) vs expensive days (60 /kWh).
+    let market = EnergyMarket::day_night(2, 10.0, 60.0);
+
+    let mut cluster = Cluster::single_node(SimNode::sr650());
+    let perf = Arc::new(PerfModel::sr650());
+    let work = perf.gflops(&perf.standard_config()) * 2.0 * 3600.0; // a 2-hour job
+    let workload = Arc::new(HpcgWorkload::with_work(perf.clone(), work, 104));
+    cluster.register_binary("/opt/hpcg/bin/xhpcg", workload.clone());
+
+    // It is 09:00; the job draws ~190 W at the eco configuration.
+    cluster.advance(SimDuration::from_secs(9 * 3600));
+    let now = cluster.now();
+    let config = eco_hpc::node::cpu::CpuConfig::new(32, 2_200_000, 1);
+    let duration = workload.duration(&config);
+    let watts = perf.steady_system_power(&config);
+    println!("submitted at t={now}; job runs {duration} at {watts:.0} W");
+
+    let cost_now = market.cost(now, duration, watts);
+    let start = cheapest_start(&market, now, SimDuration::from_secs(24 * 3600), SimDuration::from_mins(15), duration, watts);
+    let cost_deferred = market.cost(start, duration, watts);
+    println!("run immediately: cost {cost_now:.2}");
+    println!("cheapest start:  t={start} -> cost {cost_deferred:.2} ({:.0}% cheaper)", (1.0 - cost_deferred / cost_now) * 100.0);
+
+    // The GreenWindowPlugin does the same deferral on the submit path for
+    // any job whose comment contains "green".
+    let green = GreenWindowPlugin::new(market.clone(), SimDuration::from_secs(24 * 3600), duration, watts);
+    green.clock_handle().store(now.0, std::sync::atomic::Ordering::Relaxed);
+    let mut desc = JobDescriptor::new("hpcg-green", "alice", "/opt/hpcg/bin/xhpcg");
+    desc.num_tasks = config.cores;
+    desc.max_frequency_khz = Some(config.frequency_khz);
+    desc.min_frequency_khz = Some(config.frequency_khz);
+    desc.comment = "chronus green".into();
+    {
+        // show the plugin acting on the descriptor (normally slurmctld
+        // runs the chain; we call it directly to print the decision)
+        let mut plugin = green;
+        plugin.job_submit(&mut desc, 1000).expect("plugin");
+    }
+    assert_eq!(desc.begin_time, Some(start), "the plugin picked the same window");
+    let job = cluster.submit(desc).expect("submit");
+    println!("\nqueued:\n{}", cluster.squeue());
+
+    // Fast-forward: the job waits for its window, then runs.
+    cluster.run_until_idle(SimDuration::from_secs(40 * 3600));
+    let record = cluster.accounting().get(job).expect("record");
+    let started = record.start_time.expect("started");
+    println!(
+        "job started at t={} (window opened {}), used {:.0} kJ",
+        started,
+        start,
+        record.system_energy_j / 1000.0
+    );
+    assert!(started >= start, "scheduler honoured --begin");
+    let realised = market.cost(started, duration, watts);
+    println!("realised energy cost {realised:.2} vs naive {cost_now:.2}");
+    assert_eq!(SimTime::from_secs(22 * 3600), start, "the 22:00 night window wins for this curve");
+}

@@ -1,0 +1,73 @@
+//! Reproduces the paper's full 138-configuration HPCG sweep (Tables 4–6)
+//! through the complete pipeline and prints the GFLOPS/W table next to the
+//! paper's published values.
+//!
+//! Run with: `cargo run --release --example full_sweep -- [scale]`
+//! (`scale` shrinks each simulated run relative to the paper's 18.5-minute
+//! job; default 0.05).
+
+use eco_hpc::chronus::application::{Chronus, DEFAULT_SAMPLE_INTERVAL};
+use eco_hpc::chronus::integrations::hpcg_runner::HpcgRunner;
+use eco_hpc::chronus::integrations::monitoring::{IpmiService, LscpuInfo};
+use eco_hpc::chronus::integrations::record_store::RecordStore;
+use eco_hpc::chronus::integrations::storage::{EtcStorage, LocalBlobStore};
+use eco_hpc::hpcg::paper_data;
+use eco_hpc::hpcg::perf_model::PerfModel;
+use eco_hpc::hpcg::workload::{HpcgWorkload, PAPER_STANDARD_RUNTIME_S};
+use eco_hpc::ml::spearman;
+use eco_hpc::node::cpu::{ghz_to_khz, CpuConfig};
+use eco_hpc::node::SimNode;
+use eco_hpc::slurm::Cluster;
+use std::sync::Arc;
+
+fn main() {
+    let scale: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0.05);
+    let root = std::env::temp_dir().join(format!("eco-fullsweep-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let mut cluster = Cluster::single_node(SimNode::sr650());
+    let perf = Arc::new(PerfModel::sr650());
+    let work = perf.gflops(&perf.standard_config()) * PAPER_STANDARD_RUNTIME_S * scale;
+    let workload = Arc::new(HpcgWorkload::with_work(perf, work, 104));
+    let runner = HpcgRunner::install(&mut cluster, "/opt/hpcg/bin/xhpcg", workload);
+    let mut app = Chronus::new(
+        Box::new(RecordStore::open(root.join("database/data.db")).expect("db")),
+        Box::new(LocalBlobStore::new(root.join("blobs")).expect("blobs")),
+        Box::new(EtcStorage::new(&root)),
+    );
+    let mut sampler = IpmiService::new(0, 7);
+    let info = LscpuInfo::new(0);
+
+    let configs: Vec<CpuConfig> = paper_data::GFLOPS_PER_WATT
+        .iter()
+        .map(|&(c, g, _, ht)| CpuConfig::new(c, ghz_to_khz(g), if ht { 2 } else { 1 }))
+        .collect();
+    eprintln!("sweeping {} configurations at scale {scale} ...", configs.len());
+    let mut benches = app
+        .benchmark(&mut cluster, &runner, &mut sampler, &info, Some(&configs), DEFAULT_SAMPLE_INTERVAL)
+        .expect("sweep");
+    benches.sort_by(|a, b| b.gflops_per_watt().partial_cmp(&a.gflops_per_watt()).expect("finite"));
+
+    println!("Cores GHz  GFLOPS p/ watt  Hyper-thread | paper");
+    let mut ours = Vec::new();
+    let mut paper = Vec::new();
+    for b in &benches {
+        let p = paper_data::paper_gpw(b.config.cores, b.config.ghz(), b.config.hyper_threading())
+            .expect("swept config");
+        ours.push(b.gflops_per_watt());
+        paper.push(p);
+        println!(
+            "{:<5} {:<4.1} {:<15.6} {:<12} | {:.6}",
+            b.config.cores,
+            b.config.ghz(),
+            b.gflops_per_watt(),
+            if b.config.hyper_threading() { "True" } else { "False" },
+            p
+        );
+    }
+    println!("\nSpearman rank correlation vs paper: {:.4}", spearman(&ours, &paper));
+    println!(
+        "winner: {} (paper winner: 32 cores @ 2.2 GHz, no-HT)",
+        benches[0].config
+    );
+}

@@ -1,0 +1,66 @@
+//! Multi-node scheduling — the paper's §6.2.3 future work ("extend the
+//! main part of the system to handle … multi-node systems").
+//!
+//! Runs a four-node cluster with a mixed queue: a 2-node MPI job, several
+//! single-node jobs from different users, and a short job that EASY
+//! backfill slips in front of the blocked multi-node head job. Per-node
+//! power aggregates into a cluster-level energy account.
+//!
+//! Run with: `cargo run --release --example multi_node`
+
+use eco_hpc::hpcg::perf_model::PerfModel;
+use eco_hpc::hpcg::workload::{HpcgWorkload, ScalingKind, SyntheticWorkload};
+use eco_hpc::node::clock::SimDuration;
+use eco_hpc::node::SimNode;
+use eco_hpc::slurm::{Cluster, JobDescriptor, JobState, Qos};
+use std::sync::Arc;
+
+fn main() {
+    let mut cluster = Cluster::new(vec![SimNode::sr650(), SimNode::sr650(), SimNode::sr650(), SimNode::sr650()]);
+    let perf = Arc::new(PerfModel::sr650());
+    let hpcg = Arc::new(HpcgWorkload::with_work(perf.clone(), perf.gflops(&perf.standard_config()) * 120.0, 104));
+    cluster.register_binary("/opt/hpcg/bin/xhpcg", hpcg);
+    cluster.register_binary(
+        "/opt/apps/short",
+        Arc::new(SyntheticWorkload::new("short", ScalingKind::ComputeBound, 400.0, 1.0)),
+    );
+
+    // Long single-node jobs from two users.
+    for (i, user) in ["alice", "bob", "carol"].iter().enumerate() {
+        let mut d = JobDescriptor::new(&format!("hpcg-{i}"), user, "/opt/hpcg/bin/xhpcg");
+        d.num_tasks = 32;
+        d.max_frequency_khz = Some(2_200_000);
+        cluster.submit(d).expect("submit");
+    }
+    // A 2-node MPI job that must wait for two free nodes.
+    let mut mpi = JobDescriptor::new("mpi-2node", "dave", "/opt/hpcg/bin/xhpcg");
+    mpi.num_nodes = 2;
+    mpi.num_tasks = 32;
+    mpi.qos = Qos::High;
+    let mpi = cluster.submit(mpi).expect("submit mpi");
+    // A short job: backfill should start it on the remaining free node.
+    let mut short = JobDescriptor::new("short", "erin", "/opt/apps/short");
+    short.num_tasks = 32;
+    let short = cluster.submit(short).expect("submit short");
+
+    println!("t={} initial state:\n{}\n{}", cluster.now(), cluster.sinfo(), cluster.squeue());
+    assert_eq!(cluster.job(short).expect("short").state, JobState::Running, "backfilled");
+    assert_eq!(cluster.job(mpi).expect("mpi").state, JobState::Pending, "waiting for 2 nodes");
+
+    cluster.run_until_idle(SimDuration::from_mins(60));
+    println!("t={} all jobs drained; accounting:", cluster.now());
+    let mut total_kj = 0.0;
+    for r in cluster.accounting().records() {
+        total_kj += r.system_energy_j / 1000.0;
+        println!(
+            "  job {:<3} {:<10} {:<7} {:?}  {:7.1} kJ",
+            r.id,
+            r.name,
+            r.user,
+            r.state,
+            r.system_energy_j / 1000.0
+        );
+    }
+    println!("cluster-level energy: {total_kj:.1} kJ across {} nodes", cluster.node_count());
+    assert_eq!(cluster.accounting().records().len(), 5);
+}

@@ -1,0 +1,116 @@
+//! Quickstart: the complete eco-plugin story in one file.
+//!
+//! 1. Boot a simulated SR650 node under the Slurm simulator and install
+//!    HPCG.
+//! 2. Benchmark a handful of configurations with Chronus (IPMI-sampled).
+//! 3. Build and pre-load a prediction model.
+//! 4. Enable `job_submit_eco` and submit a job that opts in with
+//!    `#SBATCH --comment "chronus"`.
+//! 5. Watch the plugin rewrite the job to the energy-efficient
+//!    configuration, and compare the energy bill against the default.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use eco_hpc::chronus::application::{Chronus, DEFAULT_SAMPLE_INTERVAL};
+use eco_hpc::chronus::integrations::hpcg_runner::HpcgRunner;
+use eco_hpc::chronus::integrations::monitoring::{IpmiService, LscpuInfo};
+use eco_hpc::chronus::integrations::record_store::RecordStore;
+use eco_hpc::chronus::integrations::storage::{EtcStorage, LocalBlobStore};
+use eco_hpc::chronus::interfaces::{ApplicationRunner, SystemInfoProvider};
+use eco_hpc::eco_plugin::JobSubmitEco;
+use eco_hpc::hpcg::perf_model::PerfModel;
+use eco_hpc::hpcg::workload::{HpcgWorkload, Workload};
+use eco_hpc::node::clock::SimDuration;
+use eco_hpc::node::cpu::CpuConfig;
+use eco_hpc::node::SimNode;
+use eco_hpc::slurm::Cluster;
+use std::sync::Arc;
+
+fn main() {
+    let root = std::env::temp_dir().join(format!("eco-quickstart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).expect("workspace dir");
+
+    // 1. A single-node cluster: Lenovo SR650 with an AMD EPYC 7502P.
+    let mut cluster = Cluster::single_node(SimNode::sr650());
+    let perf = Arc::new(PerfModel::sr650());
+    // 2% of the paper's 18.5-minute HPCG run keeps the demo snappy.
+    let work = perf.gflops(&perf.standard_config()) * 22.0;
+    let workload = Arc::new(HpcgWorkload::with_work(perf, work, 104));
+    let runner = HpcgRunner::install(&mut cluster, "/opt/hpcg/bin/xhpcg", workload.clone());
+    println!("cluster up:\n{}", cluster.sinfo());
+
+    // 2. Chronus benchmarks six configurations.
+    let mut app = Chronus::new(
+        Box::new(RecordStore::open(root.join("database/data.db")).expect("db")),
+        Box::new(LocalBlobStore::new(root.join("blobs")).expect("blobs")),
+        Box::new(EtcStorage::new(&root)),
+    );
+    let mut sampler = IpmiService::new(0, 42);
+    let info = LscpuInfo::new(0);
+    let configs = vec![
+        CpuConfig::new(32, 2_500_000, 1), // Slurm's default
+        CpuConfig::new(32, 2_200_000, 1),
+        CpuConfig::new(32, 1_500_000, 1),
+        CpuConfig::new(16, 2_200_000, 2),
+        CpuConfig::new(16, 2_500_000, 1),
+        CpuConfig::new(8, 2_200_000, 2),
+    ];
+    println!("benchmarking {} configurations ...", configs.len());
+    let benches = app
+        .benchmark(&mut cluster, &runner, &mut sampler, &info, Some(&configs), DEFAULT_SAMPLE_INTERVAL)
+        .expect("benchmark sweep");
+    for b in &benches {
+        println!(
+            "  {:<28} {:6.2} GFLOP/s  {:6.1} W  {:.4} GFLOPS/W",
+            b.config.to_string(),
+            b.gflops,
+            b.avg_system_w,
+            b.gflops_per_watt()
+        );
+    }
+
+    // 3. Build a model and pre-load it onto the head node's local disk.
+    let meta = app.init_model("brute-force", 1, runner.binary_hash(), 0).expect("init-model");
+    println!("\nmodel {} ({}) trained on {} rows", meta.id, meta.model_type, meta.train_rows);
+    let loaded = app.load_model(meta.id).expect("load-model");
+    println!("pre-loaded to {}", loaded.local_path);
+
+    // 4. Enable job_submit_eco and submit an opted-in job.
+    let mut plugin = JobSubmitEco::new(
+        Arc::new(EtcStorage::new(&root)),
+        cluster.node(0).spec(),
+        cluster.node(0).ram_gb(),
+    );
+    plugin.register_binary("/opt/hpcg/bin/xhpcg", workload.binary_id());
+    cluster.register_plugin(Box::new(plugin));
+
+    let script = "#!/bin/bash\n\
+                  #SBATCH --nodes=1\n\
+                  #SBATCH --ntasks=32\n\
+                  #SBATCH --comment \"chronus\"\n\
+                  \n\
+                  srun --mpi=pmix_v4 --ntasks-per-core=1 /opt/hpcg/bin/xhpcg\n";
+    let job = cluster.sbatch(script, "alice").expect("sbatch");
+
+    // 5. The plugin rewrote the job before it hit the queue.
+    println!("\n{}", cluster.scontrol_show_job(job).expect("scontrol"));
+    cluster.run_until_idle(SimDuration::from_mins(30));
+    let eco_record = cluster.accounting().get(job).expect("record").clone();
+
+    // Compare with the same job NOT opting in.
+    let plain = cluster
+        .sbatch(&script.replace("#SBATCH --comment \"chronus\"\n", ""), "alice")
+        .expect("sbatch plain");
+    cluster.run_until_idle(SimDuration::from_mins(30));
+    let plain_record = cluster.accounting().get(plain).expect("record").clone();
+
+    let saving = 1.0 - eco_record.system_energy_j / plain_record.system_energy_j;
+    println!(
+        "energy bill: default {:.1} kJ, eco {:.1} kJ  ->  {:.1}% saved (paper: 11%)",
+        plain_record.system_energy_j / 1000.0,
+        eco_record.system_energy_j / 1000.0,
+        saving * 100.0
+    );
+    let _ = info.system_hash(&cluster);
+}

@@ -1,0 +1,20 @@
+//! # eco-hpc — umbrella crate
+//!
+//! Re-exports every workspace crate under one roof so examples and
+//! integration tests can exercise the full public API with a single
+//! dependency. See the individual crates for detailed docs:
+//!
+//! * [`chronus`] — the paper's primary contribution (benchmark / model /
+//!   predict pipeline);
+//! * [`eco_plugin`] — the `job_submit_eco` Slurm plugin;
+//! * [`slurm`] (`eco-slurm-sim`) — discrete-event Slurm-like scheduler;
+//! * [`node`] (`eco-sim-node`) — simulated node hardware (power, thermal, IPMI);
+//! * [`hpcg`] (`eco-hpcg`) — HPCG workload model and real mini-solver;
+//! * [`ml`] (`eco-ml`) — regression models behind the optimizers.
+
+pub use chronus;
+pub use eco_hpcg as hpcg;
+pub use eco_ml as ml;
+pub use eco_plugin;
+pub use eco_sim_node as node;
+pub use eco_slurm_sim as slurm;

@@ -1,0 +1,58 @@
+//! E12 end-to-end: the §6.2.4 green-window plugin on a live cluster —
+//! opted-in jobs get deferred into the cheap-energy window by the submit
+//! chain and actually start there.
+
+use eco_hpc::eco_plugin::market::{EnergyMarket, GreenWindowPlugin};
+use eco_hpc::hpcg::perf_model::PerfModel;
+use eco_hpc::hpcg::workload::HpcgWorkload;
+use eco_hpc::node::clock::{SimDuration, SimTime};
+use eco_hpc::node::SimNode;
+use eco_hpc::slurm::{Cluster, JobDescriptor, JobState};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+#[test]
+fn green_jobs_wait_for_the_window_plain_jobs_run_now() {
+    let mut cluster = Cluster::new(vec![SimNode::sr650(), SimNode::sr650()]);
+    let perf = Arc::new(PerfModel::sr650());
+    let work = perf.gflops(&perf.standard_config()) * 1800.0; // ~30 min job
+    cluster.register_binary("/opt/hpcg/bin/xhpcg", Arc::new(HpcgWorkload::with_work(perf, work, 104)));
+
+    let market = EnergyMarket::day_night(2, 10.0, 60.0);
+    let plugin = GreenWindowPlugin::new(
+        market,
+        SimDuration::from_secs(24 * 3600),
+        SimDuration::from_secs(1800),
+        190.0,
+    );
+    let clock = plugin.clock_handle();
+    cluster.register_plugin(Box::new(plugin));
+
+    // it is 09:00 (daytime peak)
+    cluster.advance(SimDuration::from_secs(9 * 3600));
+    clock.store(cluster.now().0, Ordering::Relaxed);
+
+    let mut green = JobDescriptor::new("green-job", "alice", "/opt/hpcg/bin/xhpcg");
+    green.num_tasks = 32;
+    green.comment = "chronus green".into();
+    let green = cluster.submit(green).unwrap();
+
+    let mut plain = JobDescriptor::new("plain-job", "bob", "/opt/hpcg/bin/xhpcg");
+    plain.num_tasks = 32;
+    let plain = cluster.submit(plain).unwrap();
+
+    assert_eq!(cluster.job(plain).unwrap().state, JobState::Running, "plain job starts immediately");
+    assert_eq!(cluster.job(green).unwrap().state, JobState::Pending, "green job defers");
+    assert_eq!(
+        cluster.job(green).unwrap().descriptor.begin_time,
+        Some(SimTime::from_secs(22 * 3600)),
+        "deferred into the 22:00 night window"
+    );
+
+    // fast-forward past the window: the green job ran inside it
+    assert!(cluster.run_until_idle(SimDuration::from_secs(15 * 3600)));
+    let rec = cluster.accounting().get(green).unwrap();
+    let started = rec.start_time.unwrap();
+    assert!(started >= SimTime::from_secs(22 * 3600), "started at {started}");
+    assert_eq!(rec.state, JobState::Completed);
+}
