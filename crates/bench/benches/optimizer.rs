@@ -100,9 +100,7 @@ fn bench_submit_path(c: &mut Criterion) {
             ..Settings::default()
         };
         group.bench_with_input(BenchmarkId::from_parameter(model_type), &settings, |b, s| {
-            b.iter(|| {
-                predict_from_settings(black_box(s), system_hash(&spec, 256), binary_hash("xhpcg")).unwrap()
-            })
+            b.iter(|| predict_from_settings(black_box(s), system_hash(&spec, 256), binary_hash("xhpcg")).unwrap())
         });
     }
     group.finish();

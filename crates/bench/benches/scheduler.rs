@@ -11,10 +11,7 @@ use std::sync::Arc;
 
 fn cluster() -> Cluster {
     let mut c = Cluster::single_node(SimNode::sr650());
-    c.register_binary(
-        "/bin/app",
-        Arc::new(SyntheticWorkload::new("app", ScalingKind::ComputeBound, 100.0, 1.0)),
-    );
+    c.register_binary("/bin/app", Arc::new(SyntheticWorkload::new("app", ScalingKind::ComputeBound, 100.0, 1.0)));
     c
 }
 

@@ -22,7 +22,10 @@ fn main() {
 
     let needs_sweep = matches!(command.as_str(), "table1" | "table456" | "fig14" | "ablation-optimizer" | "all");
     let sweep = if needs_sweep {
-        eprintln!("running the {}-configuration sweep at scale {scale} ...", eco_bench::Lab::paper_sweep_configs().len());
+        eprintln!(
+            "running the {}-configuration sweep at scale {scale} ...",
+            eco_bench::Lab::paper_sweep_configs().len()
+        );
         Some(exp::run_sweep(scale))
     } else {
         None

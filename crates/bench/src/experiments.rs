@@ -29,10 +29,8 @@ pub fn run_sweep(scale: f64) -> Vec<Benchmark> {
 /// Table 1: the best 13 configurations by measured GFLOPS/W, with the
 /// paper's columns (GFLOPS/W, relative GFLOPS/W, relative performance).
 pub fn table1(sweep: &[Benchmark]) -> ExperimentOutput {
-    let standard = sweep
-        .iter()
-        .find(|b| b.config == CpuConfig::new(32, 2_500_000, 1))
-        .expect("standard config in sweep");
+    let standard =
+        sweep.iter().find(|b| b.config == CpuConfig::new(32, 2_500_000, 1)).expect("standard config in sweep");
     let std_gpw = standard.gflops_per_watt();
     let std_gflops = standard.gflops;
 
@@ -205,7 +203,8 @@ pub fn table456(sweep: &[Benchmark]) -> ExperimentOutput {
     let mut rows: Vec<&Benchmark> = sweep.iter().collect();
     rows.sort_by(|a, b| b.gflops_per_watt().partial_cmp(&a.gflops_per_watt()).expect("finite"));
 
-    let mut text = String::from("Tables 4-6 — GFLOPS per watt, full sweep\nCores GHz  GFLOPS p/ watt  Hyper-thread | paper\n");
+    let mut text =
+        String::from("Tables 4-6 — GFLOPS per watt, full sweep\nCores GHz  GFLOPS p/ watt  Hyper-thread | paper\n");
     let mut csv = String::from("cores,ghz,ht,measured_gpw,paper_gpw\n");
     let mut measured = Vec::with_capacity(rows.len());
     let mut paper = Vec::with_capacity(rows.len());
@@ -382,7 +381,8 @@ pub fn eq1() -> ExperimentOutput {
 /// the Slurm plugin budget.
 pub fn ablation_optimizer(sweep: &[Benchmark]) -> ExperimentOutput {
     // held-out split: every 4th row is test
-    let train: Vec<Benchmark> = sweep.iter().enumerate().filter(|(i, _)| i % 4 != 0).map(|(_, b)| b.clone()).collect();
+    let train: Vec<Benchmark> =
+        sweep.iter().enumerate().filter(|(i, _)| i % 4 != 0).map(|(_, b)| b.clone()).collect();
     let test: Vec<&Benchmark> = sweep.iter().enumerate().filter(|(i, _)| i % 4 == 0).map(|(_, b)| b).collect();
     let candidates = Lab::paper_sweep_configs();
     let spec = CpuSpec::epyc_7502p();
@@ -406,10 +406,7 @@ pub fn ablation_optimizer(sweep: &[Benchmark]) -> ExperimentOutput {
             let _ = opt.best_config(&all_configs).expect("best");
         }
         let per_call_us = started.elapsed().as_micros() as f64 / reps as f64;
-        text.push_str(&format!(
-            "{model_type:<18} {r2:<8.4} {:<31} {per_call_us:>8.0} us\n",
-            best.to_string()
-        ));
+        text.push_str(&format!("{model_type:<18} {r2:<8.4} {:<31} {per_call_us:>8.0} us\n", best.to_string()));
     }
     text.push_str(
         "\nSlurm submit-path budget: 100 ms per plugin call — all optimizers fit comfortably,\n\
@@ -424,10 +421,8 @@ pub fn ablation_optimizer(sweep: &[Benchmark]) -> ExperimentOutput {
         .collect();
     let targets: Vec<f64> = sweep.iter().map(|b| b.gflops_per_watt()).collect();
     let data = eco_ml::Dataset::new(rows, targets).expect("sweep dataset").with_names(&["cores", "ghz", "ht"]);
-    let forest = eco_ml::RandomForest::fit(
-        &data,
-        &eco_ml::ForestParams { n_trees: 64, seed: 0xfea, ..Default::default() },
-    );
+    let forest =
+        eco_ml::RandomForest::fit(&data, &eco_ml::ForestParams { n_trees: 64, seed: 0xfea, ..Default::default() });
     let importance = eco_ml::permutation_importance(&data, |row| forest.predict(row), 5, 0xfea);
     text.push_str("\npermutation importance of the configuration knobs (R2 drop when shuffled):\n");
     for imp in &importance {
@@ -473,7 +468,12 @@ pub fn ablation_sampling(scale: f64) -> ExperimentOutput {
             sampled_j / 1000.0,
             true_j / 1000.0
         ));
-        csv.push_str(&format!("{interval_s},{},{:.1},{:.1},{err:.3}\n", samples.len(), sampled_j / 1000.0, true_j / 1000.0));
+        csv.push_str(&format!(
+            "{interval_s},{},{:.1},{:.1},{err:.3}\n",
+            samples.len(),
+            sampled_j / 1000.0,
+            true_j / 1000.0
+        ));
     }
     text.push_str("\npaper: 2 s interval (§3.1.2) / 3 s (§5.2) — both keep the integral error under ~2%\n");
     ExperimentOutput::new("ablation-sampling", text).with_csv("ablation_sampling.csv", csv)
@@ -492,9 +492,7 @@ pub fn ablation_governor(scale: f64) -> ExperimentOutput {
     // HPCG keeps utilization ~1.0, which is what the governors see
     let cases: Vec<(String, CpuConfig)> = [Governor::Performance, Governor::OnDemand, Governor::Powersave]
         .iter()
-        .map(|g| {
-            (format!("governor:{}", g.name()), CpuConfig::new(spec.cores, g.frequency(&spec, 1.0), 1))
-        })
+        .map(|g| (format!("governor:{}", g.name()), CpuConfig::new(spec.cores, g.frequency(&spec, 1.0), 1)))
         .chain(std::iter::once(("eco-plugin".to_string(), Lab::best_config())))
         .collect();
 
@@ -544,11 +542,8 @@ pub fn extensions(scale: f64) -> ExperimentOutput {
     // E11 deadline (§6.2.1): measure three frequencies, sweep deadlines
     let mut lab = Lab::new("ext-deadline", scale);
     lab.warm_up();
-    let configs = [
-        CpuConfig::new(32, 2_500_000, 1),
-        CpuConfig::new(32, 2_200_000, 1),
-        CpuConfig::new(32, 1_500_000, 1),
-    ];
+    let configs =
+        [CpuConfig::new(32, 2_500_000, 1), CpuConfig::new(32, 2_200_000, 1), CpuConfig::new(32, 1_500_000, 1)];
     let benches = lab.run_sweep(&configs, SimDuration::from_secs(2));
     let selector = DeadlineSelector::from_benchmarks(&benches);
     let fast_rt = benches[0].runtime_s;
@@ -582,10 +577,9 @@ pub fn extensions(scale: f64) -> ExperimentOutput {
 
     // E15 GPU clock tuning (§6.2.2)
     text.push_str("\nE15 GPU clock tuning (§6.2.2), <=1% performance loss budget:\n");
-    for (label, profile) in [
-        ("memory-bound", GpuWorkloadProfile::memory_bound()),
-        ("compute-bound", GpuWorkloadProfile::compute_bound()),
-    ] {
+    for (label, profile) in
+        [("memory-bound", GpuWorkloadProfile::memory_bound()), ("compute-bound", GpuWorkloadProfile::compute_bound())]
+    {
         let tuner = GpuFrequencyTuner::new(GpuPowerModel::new(GpuSpec::tesla_class()), profile);
         let row = tuner.best_within_loss(0.01).expect("max clocks qualify");
         text.push_str(&format!(

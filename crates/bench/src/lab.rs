@@ -63,15 +63,7 @@ impl Lab {
             Box::new(LocalBlobStore::new(root.join("blobs")).expect("open blob store")),
             Box::new(EtcStorage::new(&root)),
         );
-        Lab {
-            app,
-            cluster,
-            runner,
-            sampler: IpmiService::new(0, 0xeca),
-            info: LscpuInfo::new(0),
-            perf,
-            root,
-        }
+        Lab { app, cluster, runner, sampler: IpmiService::new(0, 0xeca), info: LscpuInfo::new(0), perf, root }
     }
 
     /// The paper's 138 swept configurations, in Tables 4–6 order.

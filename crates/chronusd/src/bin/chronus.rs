@@ -1,0 +1,159 @@
+//! The `chronus` command-line interface, runnable against the simulated
+//! SR650 testbed (the paper's §3.3 CLI, end to end).
+//!
+//! State (database, blob storage, settings, staged models) persists in
+//! `$CHRONUS_HOME` (default `./chronus-home`), so the paper's workflow
+//! works across invocations:
+//!
+//! ```text
+//! chronus benchmark /opt/hpcg/bin/xhpcg --configurations configs.json
+//! chronus init-model --model random-tree --system 1
+//! chronus load-model --model 1
+//! chronus slurm-config <SYSTEM_HASH> <BINARY_HASH>
+//! chronus set state active
+//! ```
+//!
+//! Two daemon-era commands extend the workflow:
+//!
+//! ```text
+//! chronus serve --addr 127.0.0.1:4517 --workers 4 --cache-cap 64
+//! chronus slurm-config --remote 127.0.0.1:4517 <SYSTEM_HASH> <BINARY_HASH>
+//! ```
+//!
+//! `serve` runs chronusd over this `$CHRONUS_HOME`'s staged model;
+//! `--remote` answers the prediction from a running daemon instead of
+//! reading the staged model in-process.
+//!
+//! The benchmark command drives a freshly booted simulated cluster; the
+//! simulated HPCG run length can be scaled with `$CHRONUS_SCALE`
+//! (default 0.02 of the paper's 18.5-minute run, for a snappy CLI).
+
+use chronus::application::Chronus;
+use chronus::cli::{run_command, CliContext};
+use chronus::integrations::hpcg_runner::HpcgRunner;
+use chronus::integrations::monitoring::{IpmiService, LscpuInfo};
+use chronus::integrations::record_store::RecordStore;
+use chronus::integrations::storage::{EtcStorage, LocalBlobStore};
+use chronus::interfaces::{ApplicationRunner, SystemInfoProvider};
+use chronus::presenter;
+use chronus::remote::PredictClient;
+use chronusd::{PredictServer, ServerConfig, StorageBackend};
+use eco_hpcg::perf_model::PerfModel;
+use eco_hpcg::workload::{HpcgWorkload, PAPER_STANDARD_RUNTIME_S};
+use eco_sim_node::SimNode;
+use eco_slurm_sim::Cluster;
+use std::sync::Arc;
+
+fn flag_value<'a>(argv: &[&'a str], flag: &str) -> Option<&'a str> {
+    argv.iter().position(|a| *a == flag).and_then(|i| argv.get(i + 1).copied())
+}
+
+fn parse_hash(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// `chronus serve`: run chronusd over this home's staged model until
+/// killed.
+fn cmd_serve(home: &str, argv: &[&str]) -> ! {
+    let cfg = ServerConfig {
+        addr: flag_value(argv, "--addr").unwrap_or("127.0.0.1:4517").to_string(),
+        workers: flag_value(argv, "--workers").and_then(|v| v.parse().ok()).unwrap_or(4),
+        cache_cap: flag_value(argv, "--cache-cap").and_then(|v| v.parse().ok()).unwrap_or(64),
+        ..ServerConfig::default()
+    };
+    let backend = Arc::new(StorageBackend::new(Box::new(EtcStorage::new(home))));
+    let server = match PredictServer::start(cfg.clone(), backend) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("chronus serve: cannot bind {}: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    println!("chronusd listening on {} ({} workers, cache {})", server.addr(), cfg.workers, cfg.cache_cap);
+    loop {
+        std::thread::park();
+    }
+}
+
+/// `chronus slurm-config --remote ADDR SYS BIN`: predict via a daemon.
+fn cmd_remote_config(addr: &str, argv: &[&str]) -> ! {
+    let hashes: Vec<u64> = argv.iter().filter_map(|a| parse_hash(a)).collect();
+    let [system_hash, binary_hash] = hashes[..] else {
+        eprintln!("chronus: usage: chronus slurm-config --remote ADDR SYSTEM_HASH BINARY_HASH");
+        std::process::exit(1);
+    };
+    let mut client = PredictClient::new(addr);
+    match client.predict(system_hash, binary_hash) {
+        Ok(config) => {
+            print!("{}", presenter::config_json(&config));
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("chronus: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn main() {
+    let home = std::env::var("CHRONUS_HOME").unwrap_or_else(|_| "./chronus-home".to_string());
+    let scale: f64 = std::env::var("CHRONUS_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.02);
+    std::fs::create_dir_all(&home).expect("create CHRONUS_HOME");
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+
+    // daemon-era commands short-circuit before the simulated testbed
+    // boots: `serve` needs only the staged model, and `--remote`
+    // delegates prediction to a daemon that already has it.
+    if argv.first() == Some(&"serve") {
+        cmd_serve(&home, &argv[1..]);
+    }
+    if argv.first() == Some(&"slurm-config") {
+        if let Some(addr) = flag_value(&argv, "--remote") {
+            let rest: Vec<&str> = argv[1..].iter().copied().filter(|a| *a != "--remote" && *a != addr).collect();
+            cmd_remote_config(addr, &rest);
+        }
+    }
+
+    let mut cluster = Cluster::single_node(SimNode::sr650());
+    let perf = Arc::new(PerfModel::sr650());
+    let work = perf.gflops(&perf.standard_config()) * PAPER_STANDARD_RUNTIME_S * scale;
+    let workload = Arc::new(HpcgWorkload::with_work(perf, work, 104));
+    let runner = HpcgRunner::install(&mut cluster, "/opt/hpcg/bin/xhpcg", workload);
+
+    let mut app = Chronus::new(
+        Box::new(RecordStore::open(format!("{home}/database/data.db")).expect("open database")),
+        Box::new(LocalBlobStore::new(format!("{home}/optimizers")).expect("open blob storage")),
+        Box::new(EtcStorage::new(&home)),
+    );
+    let mut sampler = IpmiService::new(0, 0xc11);
+    let info = LscpuInfo::new(0);
+
+    // convenience: `chronus hashes` prints the identifiers the plugin uses
+    if argv.first() == Some(&"hashes") {
+        println!("system hash: {}", info.system_hash(&cluster));
+        println!("binary hash: {}", runner.binary_hash());
+        return;
+    }
+
+    let mut ctx = CliContext {
+        app: &mut app,
+        cluster: &mut cluster,
+        runner: &runner,
+        sampler: &mut sampler,
+        info: &info,
+        now_ms: 0,
+    };
+    match run_command(&mut ctx, &argv) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("chronus: {e}");
+            std::process::exit(1);
+        }
+    }
+}

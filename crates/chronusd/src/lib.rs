@@ -1,0 +1,46 @@
+//! # chronusd — the Chronus prediction daemon
+//!
+//! The paper's eco plugin shells out to `chronus slurm-config` on
+//! every opted-in submission. That works on a single head node, but it
+//! re-reads the staged model from disk on every query and serializes
+//! submissions behind one process. `chronusd` moves prediction behind
+//! a small TCP service so the answer is computed once (at preload, or
+//! on first miss) and then served from memory by a worker pool:
+//!
+//! ```text
+//!  sbatch ──► job_submit_eco ──► PredictClient ──► chronusd
+//!                 (plugin)        length-prefixed     accept thread
+//!                    │            JSON over TCP          │ bounded queue
+//!                    │                                   ▼ (Busy when full)
+//!                    │                               worker pool
+//!                    │                                   │
+//!                    ▼                                   ▼
+//!             rewritten job              sharded LRU model registry
+//!         (cores, freq, threads)        (system_hash, binary_hash) →
+//!                                        pre-computed best CpuConfig
+//! ```
+//!
+//! Failure behaviour is the design's centre: the daemon answers
+//! `Busy`/`Miss`/`DeadlineExceeded` explicitly, the client times out
+//! and retries with bounded backoff, and the plugin treats every
+//! failure as "leave the job untouched" — a dead daemon degrades to
+//! vanilla Slurm, never to a stuck scheduler.
+//!
+//! * [`server`] — accept loop, worker pool, per-request deadlines;
+//! * [`registry`] — sharded LRU map of pre-computed answers;
+//! * [`backend`] — where models come from (staged disk layout, or a
+//!   static set for tests);
+//! * [`stats`] — counters and latency histogram behind the `stats` RPC.
+//!
+//! The wire protocol and the client live in [`chronus::remote`] so the
+//! plugin does not depend on this crate.
+
+pub mod backend;
+pub mod registry;
+pub mod server;
+pub mod stats;
+
+pub use backend::{ModelBackend, PreparedModel, StaticBackend, StorageBackend};
+pub use registry::{ModelKey, ModelRegistry, ResidentModel};
+pub use server::{PredictServer, ServerConfig};
+pub use stats::ServerStats;

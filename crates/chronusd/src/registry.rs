@@ -1,0 +1,184 @@
+//! The daemon's model registry: a sharded, LRU-bounded map from
+//! `(system_hash, binary_hash)` to the pre-computed most
+//! energy-efficient configuration.
+//!
+//! Predictions are read-mostly and latency-critical (they sit on the
+//! scheduler's submit path), so the registry stores the *answer* — the
+//! optimizer's argmax over the system's configuration space, computed
+//! once at preload — rather than the optimizer itself. Lookups take a
+//! shard read lock and touch one atomic for LRU bookkeeping; only
+//! preloads and evictions take a write lock, and only on one shard.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use eco_sim_node::cpu::CpuConfig;
+use parking_lot::RwLock;
+
+/// Registry key: the plugin's identity pair (§4.2.1).
+pub type ModelKey = (u64, u64);
+
+/// One resident model.
+#[derive(Debug)]
+pub struct ResidentModel {
+    /// The repository id of the model this answer came from.
+    pub model_id: i64,
+    /// The optimizer type string.
+    pub model_type: String,
+    /// The pre-computed best configuration.
+    pub config: CpuConfig,
+    /// Logical timestamp of the last lookup (LRU).
+    last_used: AtomicU64,
+}
+
+struct Shard {
+    entries: HashMap<ModelKey, ResidentModel>,
+}
+
+/// Sharded LRU registry. Capacity is budgeted per shard
+/// (`max(1, capacity / shards)`), so eviction never needs a global
+/// lock.
+pub struct ModelRegistry {
+    shards: Vec<RwLock<Shard>>,
+    per_shard_cap: usize,
+    clock: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ModelRegistry {
+    /// A registry with `shards` shards and room for roughly `capacity`
+    /// models in total. Both are clamped to at least 1.
+    pub fn new(shards: usize, capacity: usize) -> ModelRegistry {
+        let shards = shards.max(1);
+        let per_shard_cap = capacity.max(1).div_ceil(shards);
+        ModelRegistry {
+            shards: (0..shards).map(|_| RwLock::new(Shard { entries: HashMap::new() })).collect(),
+            per_shard_cap,
+            clock: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_for(&self, key: &ModelKey) -> &RwLock<Shard> {
+        // cheap mix of both hashes; the shard count is small
+        let mixed = key.0 ^ key.1.rotate_left(17);
+        &self.shards[(mixed % self.shards.len() as u64) as usize]
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Looks up the best configuration for a key, refreshing its LRU
+    /// stamp. Read-lock only.
+    pub fn get(&self, key: &ModelKey) -> Option<CpuConfig> {
+        let shard = self.shard_for(key).read();
+        shard.entries.get(key).map(|m| {
+            m.last_used.store(self.tick(), Ordering::Relaxed);
+            m.config
+        })
+    }
+
+    /// Like [`Self::get`] but also reports which model answered.
+    pub fn get_full(&self, key: &ModelKey) -> Option<(i64, String, CpuConfig)> {
+        let shard = self.shard_for(key).read();
+        shard.entries.get(key).map(|m| {
+            m.last_used.store(self.tick(), Ordering::Relaxed);
+            (m.model_id, m.model_type.clone(), m.config)
+        })
+    }
+
+    /// Inserts (or replaces) a model, evicting the least recently used
+    /// entry of the key's shard if it is full.
+    pub fn insert(&self, key: ModelKey, model_id: i64, model_type: String, config: CpuConfig) {
+        let stamp = self.tick();
+        let mut shard = self.shard_for(&key).write();
+        if !shard.entries.contains_key(&key) && shard.entries.len() >= self.per_shard_cap {
+            if let Some(victim) =
+                shard.entries.iter().min_by_key(|(_, m)| m.last_used.load(Ordering::Relaxed)).map(|(k, _)| *k)
+            {
+                shard.entries.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.entries.insert(key, ResidentModel { model_id, model_type, config, last_used: AtomicU64::new(stamp) });
+    }
+
+    /// Models resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().entries.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// LRU evictions since start.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(cores: u32) -> CpuConfig {
+        CpuConfig::new(cores, 2_200_000, 1)
+    }
+
+    #[test]
+    fn get_returns_what_insert_stored() {
+        let reg = ModelRegistry::new(4, 8);
+        assert!(reg.get(&(1, 2)).is_none());
+        reg.insert((1, 2), 7, "brute-force".into(), cfg(32));
+        assert_eq!(reg.get(&(1, 2)), Some(cfg(32)));
+        let (id, ty, c) = reg.get_full(&(1, 2)).unwrap();
+        assert_eq!((id, ty.as_str(), c), (7, "brute-force", cfg(32)));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn replacing_a_key_does_not_evict() {
+        let reg = ModelRegistry::new(1, 1);
+        reg.insert((1, 1), 1, "a".into(), cfg(8));
+        reg.insert((1, 1), 2, "b".into(), cfg(16));
+        assert_eq!(reg.evictions(), 0);
+        assert_eq!(reg.get_full(&(1, 1)).unwrap().0, 2);
+    }
+
+    #[test]
+    fn lru_eviction_picks_the_coldest_entry() {
+        // single shard so all keys compete for the same slots
+        let reg = ModelRegistry::new(1, 2);
+        reg.insert((1, 0), 1, "a".into(), cfg(1));
+        reg.insert((2, 0), 2, "a".into(), cfg(2));
+        // touch (1,0) so (2,0) becomes the LRU victim
+        assert!(reg.get(&(1, 0)).is_some());
+        reg.insert((3, 0), 3, "a".into(), cfg(3));
+        assert_eq!(reg.evictions(), 1);
+        assert!(reg.get(&(1, 0)).is_some(), "recently used entry survives");
+        assert!(reg.get(&(2, 0)).is_none(), "cold entry was evicted");
+        assert!(reg.get(&(3, 0)).is_some());
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_do_not_lose_entries() {
+        let reg = std::sync::Arc::new(ModelRegistry::new(8, 1024));
+        crossbeam::scope(|s| {
+            for t in 0..4u64 {
+                let reg = std::sync::Arc::clone(&reg);
+                s.spawn(move |_| {
+                    for i in 0..100u64 {
+                        let key = (t, i);
+                        reg.insert(key, (t * 100 + i) as i64, "bf".into(), cfg(32));
+                        assert!(reg.get(&key).is_some());
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(reg.len(), 400);
+        assert_eq!(reg.evictions(), 0);
+    }
+}

@@ -1,0 +1,336 @@
+//! The daemon's network engine: one accept thread feeding a fixed
+//! worker pool through a bounded connection queue.
+//!
+//! Back-pressure is explicit: when the queue is full the accept thread
+//! answers `Busy { retry_after_ms }` on the new connection and closes
+//! it, instead of letting latency pile up invisibly. Workers own a
+//! connection for its lifetime and answer any number of pipelined
+//! requests on it; each request may carry a deadline budget that turns
+//! a too-slow answer into `DeadlineExceeded` — the client's cue to
+//! fall back rather than stall the scheduler's submit path.
+
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::BytesMut;
+use chronus::error::ChronusError;
+use chronus::remote::{take_frame, write_frame, Request, RequestFrame, Response, StatsSnapshot};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+
+use crate::backend::ModelBackend;
+use crate::registry::ModelRegistry;
+use crate::stats::ServerStats;
+
+/// Server knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads (each owns one connection at a time).
+    pub workers: usize,
+    /// Connections that may wait between accept and a worker.
+    pub queue_cap: usize,
+    /// Registry capacity (resident models across all shards).
+    pub cache_cap: usize,
+    /// Registry shards.
+    pub cache_shards: usize,
+    /// The hint sent with `Busy` rejections.
+    pub retry_after_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:4517".to_string(),
+            workers: 4,
+            queue_cap: 64,
+            cache_cap: 64,
+            cache_shards: 8,
+            retry_after_ms: 20,
+        }
+    }
+}
+
+/// How long a burn request may hold a worker (keeps the diagnostics
+/// verb from being a denial-of-service tool).
+const MAX_BURN_MS: u64 = 10_000;
+
+/// Idle tick on worker connections: how often a blocked read wakes up
+/// to check for shutdown.
+const READ_TICK: Duration = Duration::from_millis(25);
+
+struct Ctx {
+    registry: ModelRegistry,
+    stats: ServerStats,
+    backend: Arc<dyn ModelBackend>,
+    shutdown: AtomicBool,
+    queue_cap: usize,
+    workers: usize,
+}
+
+impl Ctx {
+    fn snapshot(&self, queue_depth: usize) -> StatsSnapshot {
+        self.stats.snapshot(
+            queue_depth as u64,
+            self.queue_cap as u64,
+            self.workers as u64,
+            self.registry.len() as u64,
+            self.registry.evictions(),
+        )
+    }
+}
+
+/// A running chronusd instance. Dropping it shuts the daemon down and
+/// joins every thread.
+pub struct PredictServer {
+    addr: SocketAddr,
+    ctx: Arc<Ctx>,
+    tx: Option<Sender<TcpStream>>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl PredictServer {
+    /// Binds, spawns the worker pool and the accept thread, and
+    /// returns immediately.
+    pub fn start(cfg: ServerConfig, backend: Arc<dyn ModelBackend>) -> std::io::Result<PredictServer> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let workers_n = cfg.workers.max(1);
+        let ctx = Arc::new(Ctx {
+            registry: ModelRegistry::new(cfg.cache_shards, cfg.cache_cap),
+            stats: ServerStats::new(),
+            backend,
+            shutdown: AtomicBool::new(false),
+            queue_cap: cfg.queue_cap.max(1),
+            workers: workers_n,
+        });
+        let (tx, rx) = bounded::<TcpStream>(cfg.queue_cap.max(1));
+
+        let mut workers = Vec::with_capacity(workers_n);
+        for i in 0..workers_n {
+            let rx = rx.clone();
+            let ctx = Arc::clone(&ctx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("chronusd-worker-{i}"))
+                    .spawn(move || worker_loop(rx, ctx))?,
+            );
+        }
+        drop(rx);
+
+        let accept = {
+            let tx = tx.clone();
+            let ctx = Arc::clone(&ctx);
+            let retry_after_ms = cfg.retry_after_ms;
+            std::thread::Builder::new()
+                .name("chronusd-accept".to_string())
+                .spawn(move || accept_loop(listener, tx, ctx, retry_after_ms))?
+        };
+
+        Ok(PredictServer { addr, ctx, tx: Some(tx), accept: Some(accept), workers })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A counters snapshot taken in-process (no RPC round trip).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let depth = self.tx.as_ref().map(|t| t.len()).unwrap_or(0);
+        self.ctx.snapshot(depth)
+    }
+
+    /// Direct registry access for tests and the CLI's preload-at-boot.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.ctx.registry
+    }
+
+    fn shutdown_impl(&mut self) {
+        self.ctx.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the accept loop with a throwaway connection; it
+        // checks the flag before doing anything with it.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        // With the accept loop gone, dropping our sender disconnects
+        // the channel and the workers drain out.
+        self.tx = None;
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Stops the daemon and joins all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+}
+
+impl Drop for PredictServer {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, ctx: Arc<Ctx>, retry_after_ms: u64) {
+    for conn in listener.incoming() {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        match tx.try_send(stream) {
+            Ok(()) => {}
+            Err(TrySendError::Full(mut stream)) => {
+                ctx.stats.busy_rejection();
+                let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
+                let _ = write_frame(&mut stream, &Response::Busy { retry_after_ms });
+                // dropping the stream closes the bounced connection
+            }
+            Err(TrySendError::Disconnected(_)) => break,
+        }
+    }
+}
+
+fn worker_loop(rx: Receiver<TcpStream>, ctx: Arc<Ctx>) {
+    while let Ok(stream) = rx.recv() {
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        serve_connection(stream, &ctx, &rx);
+    }
+}
+
+/// Serves every request on one connection until the peer hangs up, a
+/// protocol violation occurs, or the daemon shuts down.
+fn serve_connection(mut stream: TcpStream, ctx: &Ctx, rx: &Receiver<TcpStream>) {
+    if stream.set_read_timeout(Some(READ_TICK)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut buf = BytesMut::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    loop {
+        loop {
+            match take_frame(&mut buf) {
+                Ok(Some(payload)) => {
+                    if !answer(&payload, &mut stream, ctx, rx) {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                // oversized length prefix: unrecoverable framing state
+                Err(_) => return,
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return,
+            Ok(n) => buf.put_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) => {
+                if ctx.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handles one frame; returns false when the connection should close.
+fn answer(payload: &[u8], stream: &mut TcpStream, ctx: &Ctx, rx: &Receiver<TcpStream>) -> bool {
+    let started = Instant::now();
+    ctx.stats.request();
+    let response = match serde_json::from_slice::<RequestFrame>(payload) {
+        Ok(frame) => {
+            let response = handle_request(frame.body, ctx, rx);
+            match frame.deadline_ms {
+                Some(budget) if started.elapsed() > Duration::from_millis(budget) => {
+                    ctx.stats.deadline_exceeded();
+                    Response::DeadlineExceeded
+                }
+                _ => response,
+            }
+        }
+        Err(e) => {
+            ctx.stats.error();
+            Response::Error { message: format!("malformed request: {e}") }
+        }
+    };
+    ctx.stats.record_latency_us(started.elapsed().as_micros() as u64);
+    write_frame(stream, &response).is_ok()
+}
+
+fn handle_request(request: Request, ctx: &Ctx, rx: &Receiver<TcpStream>) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::Predict { system_hash, binary_hash } => {
+            ctx.stats.prediction();
+            if let Some(config) = ctx.registry.get(&(system_hash, binary_hash)) {
+                ctx.stats.cache_hit();
+                return Response::Config(config);
+            }
+            ctx.stats.cache_miss();
+            match ctx.backend.lookup(system_hash, binary_hash) {
+                Ok(model) => {
+                    let config = model.config;
+                    ctx.registry.insert(
+                        (model.system_hash, model.binary_hash),
+                        model.model_id,
+                        model.model_type,
+                        config,
+                    );
+                    Response::Config(config)
+                }
+                // "no answer for this key" is a protocol-level miss …
+                Err(ChronusError::NotFound(_)) | Err(ChronusError::Model(_)) => {
+                    Response::Miss { system_hash, binary_hash }
+                }
+                // … anything else is the daemon's own problem
+                Err(e) => {
+                    ctx.stats.error();
+                    Response::Error { message: e.to_string() }
+                }
+            }
+        }
+        Request::Preload { model_id } => match ctx.backend.load(model_id) {
+            Ok(model) => {
+                let response = Response::Preloaded {
+                    model_id: model.model_id,
+                    model_type: model.model_type.clone(),
+                    system_hash: model.system_hash,
+                    binary_hash: model.binary_hash,
+                };
+                ctx.registry.insert(
+                    (model.system_hash, model.binary_hash),
+                    model.model_id,
+                    model.model_type,
+                    model.config,
+                );
+                response
+            }
+            Err(e) => {
+                ctx.stats.error();
+                Response::Error { message: e.to_string() }
+            }
+        },
+        Request::Stats => Response::Stats(ctx.snapshot(rx.len())),
+        Request::Burn { ms } => {
+            let budget = Duration::from_millis(ms.min(MAX_BURN_MS));
+            let started = Instant::now();
+            while started.elapsed() < budget && !ctx.shutdown.load(Ordering::SeqCst) {
+                std::thread::sleep(READ_TICK.min(budget - started.elapsed().min(budget)));
+            }
+            Response::Burned
+        }
+    }
+}

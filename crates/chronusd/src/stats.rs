@@ -1,0 +1,200 @@
+//! Lock-free operational counters for the daemon: per-verb request
+//! counts, registry hit/miss rates, back-pressure rejections, and a
+//! power-of-two latency histogram from which the `stats` RPC derives
+//! p50/p99.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use chronus::remote::StatsSnapshot;
+
+/// Histogram buckets: bucket `i` counts latencies in `(2^(i-1), 2^i]`
+/// microseconds (bucket 0 is `<= 1 µs`). 2^39 µs is ~6 days — more
+/// than any request will ever take.
+const BUCKETS: usize = 40;
+
+/// The daemon's counters. Every field is an atomic so the hot path
+/// never takes a lock for bookkeeping.
+pub struct ServerStats {
+    requests_total: AtomicU64,
+    predictions: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    busy_rejections: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    errors: AtomicU64,
+    latency_max_us: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats::new()
+    }
+}
+
+impl ServerStats {
+    pub fn new() -> ServerStats {
+        ServerStats {
+            requests_total: AtomicU64::new(0),
+            predictions: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            busy_rejections: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latency_max_us: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    pub fn request(&self) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn prediction(&self) {
+        self.predictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn busy_rejection(&self) {
+        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one request's handling latency.
+    pub fn record_latency_us(&self, us: u64) {
+        self.latency_max_us.fetch_max(us, Ordering::Relaxed);
+        self.buckets[Self::bucket_for(us)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn bucket_for(us: u64) -> usize {
+        if us <= 1 {
+            return 0;
+        }
+        // ceil(log2(us)), clamped to the last bucket
+        ((64 - (us - 1).leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+
+    /// The upper bound (µs) of the first bucket at or above percentile
+    /// `p` (0.0..=1.0) of the recorded population; 0 when empty.
+    fn percentile_us(counts: &[u64; BUCKETS], p: f64) -> u64 {
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((total as f64) * p).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+
+    /// A consistent-enough copy for the `stats` RPC. The gauge-style
+    /// fields (queue depth, resident models, …) are sampled by the
+    /// caller because they live outside this struct.
+    pub fn snapshot(
+        &self,
+        queue_depth: u64,
+        queue_capacity: u64,
+        workers: u64,
+        models_resident: u64,
+        evictions: u64,
+    ) -> StatsSnapshot {
+        let counts: [u64; BUCKETS] = std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
+        StatsSnapshot {
+            requests_total: self.requests_total.load(Ordering::Relaxed),
+            predictions: self.predictions.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
+            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            queue_depth,
+            queue_capacity,
+            workers,
+            models_resident,
+            evictions,
+            latency_p50_us: Self::percentile_us(&counts, 0.50),
+            latency_p99_us: Self::percentile_us(&counts, 0.99),
+            latency_max_us: self.latency_max_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(ServerStats::bucket_for(0), 0);
+        assert_eq!(ServerStats::bucket_for(1), 0);
+        assert_eq!(ServerStats::bucket_for(2), 1);
+        assert_eq!(ServerStats::bucket_for(3), 2);
+        assert_eq!(ServerStats::bucket_for(4), 2);
+        assert_eq!(ServerStats::bucket_for(5), 3);
+        assert_eq!(ServerStats::bucket_for(1024), 10);
+        assert_eq!(ServerStats::bucket_for(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_walk_the_histogram() {
+        let stats = ServerStats::new();
+        for _ in 0..99 {
+            stats.record_latency_us(3); // bucket 2, upper bound 4
+        }
+        stats.record_latency_us(100_000); // bucket 17, upper bound 131072
+        let snap = stats.snapshot(0, 0, 0, 0, 0);
+        assert_eq!(snap.latency_p50_us, 4);
+        assert_eq!(snap.latency_p99_us, 4, "99th of 100 samples is still the fast bucket");
+        assert_eq!(snap.latency_max_us, 100_000);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zero() {
+        let snap = ServerStats::new().snapshot(1, 2, 3, 4, 5);
+        assert_eq!(snap.latency_p50_us, 0);
+        assert_eq!(snap.latency_p99_us, 0);
+        assert_eq!((snap.queue_depth, snap.queue_capacity, snap.workers), (1, 2, 3));
+        assert_eq!((snap.models_resident, snap.evictions), (4, 5));
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let stats = ServerStats::new();
+        stats.request();
+        stats.request();
+        stats.prediction();
+        stats.cache_hit();
+        stats.cache_miss();
+        stats.busy_rejection();
+        stats.deadline_exceeded();
+        stats.error();
+        let snap = stats.snapshot(0, 0, 0, 0, 0);
+        assert_eq!(snap.requests_total, 2);
+        assert_eq!(snap.predictions, 1);
+        assert_eq!(snap.cache_hits, 1);
+        assert_eq!(snap.cache_misses, 1);
+        assert_eq!(snap.busy_rejections, 1);
+        assert_eq!(snap.deadline_exceeded, 1);
+        assert_eq!(snap.errors, 1);
+    }
+}

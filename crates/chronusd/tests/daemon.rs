@@ -1,0 +1,242 @@
+//! Integration tests of the daemon over real TCP: the RPC surface,
+//! explicit back-pressure (`Busy`), per-request deadlines, protocol
+//! errors, LRU pressure, and concurrent clients.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use chronus::remote::{
+    read_frame, write_frame, ClientConfig, PredictClient, RemoteError, Request, RequestFrame, Response,
+};
+use chronusd::{PredictServer, PreparedModel, ServerConfig, StaticBackend};
+use eco_sim_node::cpu::CpuConfig;
+
+fn model(id: i64, sys: u64, bin: u64, cores: u32) -> PreparedModel {
+    PreparedModel {
+        model_id: id,
+        model_type: "brute-force".into(),
+        system_hash: sys,
+        binary_hash: bin,
+        config: CpuConfig::new(cores, 2_200_000, 1),
+    }
+}
+
+fn ephemeral(cfg: ServerConfig, backend: StaticBackend) -> PredictServer {
+    let cfg = ServerConfig { addr: "127.0.0.1:0".to_string(), ..cfg };
+    PredictServer::start(cfg, Arc::new(backend)).expect("bind ephemeral port")
+}
+
+fn client(server: &PredictServer) -> PredictClient {
+    PredictClient::new(server.addr().to_string())
+}
+
+#[test]
+fn ping_predict_and_stats_round_trip() {
+    let server = ephemeral(ServerConfig::default(), StaticBackend::new(vec![model(1, 10, 20, 32)]));
+    let mut c = client(&server);
+
+    assert!(c.ping().unwrap() < Duration::from_secs(1));
+
+    // first predict resolves through the backend, second hits the cache
+    assert_eq!(c.predict(10, 20).unwrap(), CpuConfig::new(32, 2_200_000, 1));
+    assert_eq!(c.predict(10, 20).unwrap(), CpuConfig::new(32, 2_200_000, 1));
+
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.predictions, 2);
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 1);
+    assert_eq!(stats.models_resident, 1);
+    assert_eq!(stats.workers, 4);
+    assert_eq!(stats.queue_capacity, 64);
+    assert!(stats.requests_total >= 4, "{stats:?}");
+    assert!(stats.latency_p50_us > 0, "latency histogram must be populated");
+    assert!(stats.latency_p99_us >= stats.latency_p50_us);
+}
+
+#[test]
+fn preload_stages_the_answer_ahead_of_submissions() {
+    let server = ephemeral(ServerConfig::default(), StaticBackend::new(vec![model(7, 11, 22, 16)]));
+    let mut c = client(&server);
+
+    let (model_type, sys, bin) = c.preload(7).unwrap();
+    assert_eq!(model_type, "brute-force");
+    assert_eq!((sys, bin), (11, 22));
+
+    assert_eq!(c.predict(11, 22).unwrap(), CpuConfig::new(16, 2_200_000, 1));
+    let stats = c.stats().unwrap();
+    assert_eq!(stats.cache_hits, 1, "preloaded model answers without a backend trip");
+    assert_eq!(stats.cache_misses, 0);
+
+    // preloading an unknown model is a server-side error, not a hang
+    assert!(matches!(c.preload(99).unwrap_err(), RemoteError::Server(_)));
+}
+
+#[test]
+fn unknown_key_is_an_explicit_miss() {
+    let server = ephemeral(ServerConfig::default(), StaticBackend::new(vec![model(1, 10, 20, 32)]));
+    let mut c = client(&server);
+    match c.predict(123, 456).unwrap_err() {
+        RemoteError::Miss { system_hash, binary_hash } => assert_eq!((system_hash, binary_hash), (123, 456)),
+        other => panic!("expected Miss, got {other}"),
+    }
+}
+
+#[test]
+fn saturated_daemon_answers_busy_with_a_retry_hint() {
+    let cfg = ServerConfig { workers: 1, queue_cap: 1, retry_after_ms: 7, ..ServerConfig::default() };
+    let server = ephemeral(cfg, StaticBackend::new(vec![model(1, 10, 20, 32)]));
+    let addr = server.addr();
+
+    // occupy the single worker with a long burn …
+    let mut burning = TcpStream::connect(addr).unwrap();
+    burning.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+    write_frame(&mut burning, &RequestFrame::new(Request::Burn { ms: 600 })).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // … fill the one queue slot …
+    let queued = TcpStream::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // … and the next connection must bounce with Busy.
+    let cfg = ClientConfig { max_retries: 0, ..ClientConfig::default() };
+    let mut bounced = PredictClient::with_config(addr.to_string(), cfg);
+    match bounced.ping().unwrap_err() {
+        RemoteError::Busy { retry_after_ms, attempts } => {
+            assert_eq!(retry_after_ms, 7, "the server's configured hint travels back");
+            assert_eq!(attempts, 1);
+        }
+        other => panic!("expected Busy, got {other}"),
+    }
+
+    let burned: Response = read_frame(&mut burning).unwrap();
+    assert_eq!(burned, Response::Burned);
+    drop(burning);
+    drop(queued);
+
+    // a client WITH retries rides out the burst: once the burn is done
+    // and the held connections are gone, a retry gets through.
+    let patient_cfg = ClientConfig { max_retries: 20, ..ClientConfig::default() };
+    let mut patient = PredictClient::with_config(addr.to_string(), patient_cfg);
+    assert_eq!(patient.predict(10, 20).unwrap(), CpuConfig::new(32, 2_200_000, 1));
+
+    assert!(server.snapshot().busy_rejections >= 1);
+}
+
+#[test]
+fn deadline_overrun_is_reported_not_hidden() {
+    let server = ephemeral(ServerConfig::default(), StaticBackend::new(vec![]));
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    write_frame(&mut stream, &RequestFrame::with_deadline(Request::Burn { ms: 120 }, 10)).unwrap();
+    let resp: Response = read_frame(&mut stream).unwrap();
+    assert_eq!(resp, Response::DeadlineExceeded);
+
+    // a comfortable deadline leaves the result intact
+    write_frame(&mut stream, &RequestFrame::with_deadline(Request::Burn { ms: 5 }, 5_000)).unwrap();
+    let resp: Response = read_frame(&mut stream).unwrap();
+    assert_eq!(resp, Response::Burned);
+
+    assert_eq!(server.snapshot().deadline_exceeded, 1);
+}
+
+#[test]
+fn malformed_request_gets_an_error_and_the_connection_survives() {
+    let server = ephemeral(ServerConfig::default(), StaticBackend::new(vec![]));
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    let garbage = br#"{"neither": "request", "nor": "frame"}"#;
+    let mut framed = Vec::new();
+    framed.extend_from_slice(&(garbage.len() as u32).to_be_bytes());
+    framed.extend_from_slice(garbage);
+    use std::io::Write;
+    stream.write_all(&framed).unwrap();
+
+    let resp: Response = read_frame(&mut stream).unwrap();
+    assert!(matches!(resp, Response::Error { .. }), "{resp:?}");
+
+    // same connection, valid request: still served
+    write_frame(&mut stream, &RequestFrame::new(Request::Ping)).unwrap();
+    let resp: Response = read_frame(&mut stream).unwrap();
+    assert_eq!(resp, Response::Pong);
+}
+
+#[test]
+fn pipelined_requests_answer_in_order() {
+    let server = ephemeral(ServerConfig::default(), StaticBackend::new(vec![model(1, 10, 20, 32)]));
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+
+    write_frame(&mut stream, &RequestFrame::new(Request::Ping)).unwrap();
+    write_frame(&mut stream, &RequestFrame::new(Request::Predict { system_hash: 10, binary_hash: 20 })).unwrap();
+    write_frame(&mut stream, &RequestFrame::new(Request::Ping)).unwrap();
+
+    assert_eq!(read_frame::<Response>(&mut stream).unwrap(), Response::Pong);
+    assert_eq!(read_frame::<Response>(&mut stream).unwrap(), Response::Config(CpuConfig::new(32, 2_200_000, 1)));
+    assert_eq!(read_frame::<Response>(&mut stream).unwrap(), Response::Pong);
+}
+
+#[test]
+fn registry_pressure_evicts_but_keeps_answering() {
+    let cfg = ServerConfig { cache_cap: 2, cache_shards: 1, ..ServerConfig::default() };
+    let models: Vec<PreparedModel> = (0..4).map(|i| model(i, 100 + i as u64, 200, 32)).collect();
+    let server = ephemeral(cfg, StaticBackend::new(models));
+    let mut c = client(&server);
+
+    for i in 0..4u64 {
+        assert_eq!(c.predict(100 + i, 200).unwrap(), CpuConfig::new(32, 2_200_000, 1));
+    }
+    let stats = c.stats().unwrap();
+    assert!(stats.evictions >= 2, "{stats:?}");
+    assert!(stats.models_resident <= 2, "{stats:?}");
+    // evicted keys still answer (via the backend) rather than missing
+    assert_eq!(c.predict(100, 200).unwrap(), CpuConfig::new(32, 2_200_000, 1));
+}
+
+#[test]
+fn concurrent_clients_all_get_correct_answers() {
+    let server = ephemeral(
+        ServerConfig { workers: 4, queue_cap: 32, ..ServerConfig::default() },
+        StaticBackend::new(vec![model(1, 10, 20, 32), model(2, 30, 40, 16)]),
+    );
+    let addr = server.addr().to_string();
+
+    crossbeam::scope(|s| {
+        for t in 0..8usize {
+            let addr = addr.clone();
+            s.spawn(move |_| {
+                let mut c = PredictClient::new(addr);
+                for i in 0..50usize {
+                    let (sys, bin, cores) = if (t + i) % 2 == 0 { (10, 20, 32) } else { (30, 40, 16) };
+                    let cfg = c.predict(sys, bin).expect("concurrent predict");
+                    assert_eq!(cfg.cores, cores);
+                }
+            });
+        }
+    })
+    .unwrap();
+
+    let stats = server.snapshot();
+    assert_eq!(stats.predictions, 400);
+    assert!(stats.cache_hits >= 398, "warm cache after the first two misses: {stats:?}");
+}
+
+#[test]
+fn warm_cache_throughput_smoke() {
+    let server = ephemeral(ServerConfig::default(), StaticBackend::new(vec![model(1, 10, 20, 32)]));
+    let mut c = client(&server);
+    c.predict(10, 20).unwrap(); // warm the registry
+
+    let n = 2_000u32;
+    let started = Instant::now();
+    for _ in 0..n {
+        c.predict(10, 20).unwrap();
+    }
+    let elapsed = started.elapsed();
+    let rate = f64::from(n) / elapsed.as_secs_f64();
+    // soft floor: debug builds on a loaded CI box still clear this
+    // easily; the criterion bench measures the real number.
+    assert!(rate > 500.0, "warm-cache predict rate {rate:.0} req/s is implausibly slow");
+}

@@ -10,8 +10,10 @@
 
 use crate::domain::{Benchmark, EnergySample, LoadedModel, ModelMetadata, PluginState, Settings, SystemEntry};
 use crate::error::{ChronusError, Result};
+use crate::interfaces::{
+    ApplicationRunner, FileRepository, LocalStorage, Repository, SystemInfoProvider, SystemService,
+};
 use crate::logging::ChronusLog;
-use crate::interfaces::{ApplicationRunner, FileRepository, LocalStorage, Repository, SystemInfoProvider, SystemService};
 use crate::optimizers::ModelFactory;
 use eco_sim_node::clock::SimDuration;
 use eco_sim_node::cpu::{CpuConfig, CpuSpec};
@@ -79,7 +81,8 @@ impl Chronus {
         assert!(!sample_interval.is_zero(), "sampling interval must be positive");
         let facts = system_info.facts(cluster);
         let hash = system_info.system_hash(cluster);
-        let system_id = self.repository.save_system(&SystemEntry { id: -1, facts: facts.clone(), system_hash: hash })?;
+        let system_id =
+            self.repository.save_system(&SystemEntry { id: -1, facts: facts.clone(), system_hash: hash })?;
 
         let spec = cluster.node(0).spec().clone();
         let sweep: Vec<CpuConfig> = match configs {
@@ -151,11 +154,7 @@ impl Chronus {
             cpu_energy_j: trapezoid(&samples, |s| s.cpu_w),
             sample_count: samples.len(),
         };
-        self.log.info(
-            cluster.now(),
-            "hpcg.rs:rating",
-            format!("GFLOP/s rating found: {gflops:.5}"),
-        );
+        self.log.info(cluster.now(), "hpcg.rs:rating", format!("GFLOP/s rating found: {gflops:.5}"));
         let id = self.repository.save_benchmark(&benchmark)?;
         self.log.info(cluster.now(), "sqlite_repository.rs:save", "Run data has been saved to the database.");
         Ok(Benchmark { id, ..benchmark })
@@ -176,14 +175,9 @@ impl Chronus {
     ) -> Result<Vec<Benchmark>> {
         let facts = system_info.facts(cluster);
         let hash = system_info.system_hash(cluster);
-        let system_id =
-            self.repository.save_system(&SystemEntry { id: -1, facts, system_hash: hash })?;
-        let done: std::collections::HashSet<CpuConfig> = self
-            .repository
-            .benchmarks(system_id, runner.binary_hash())?
-            .into_iter()
-            .map(|b| b.config)
-            .collect();
+        let system_id = self.repository.save_system(&SystemEntry { id: -1, facts, system_hash: hash })?;
+        let done: std::collections::HashSet<CpuConfig> =
+            self.repository.benchmarks(system_id, runner.binary_hash())?.into_iter().map(|b| b.config).collect();
         let spec = cluster.node(0).spec().clone();
         let sweep: Vec<CpuConfig> = match configs {
             Some(c) => c.to_vec(),
@@ -214,9 +208,7 @@ impl Chronus {
     ) -> Result<ModelMetadata> {
         let benchmarks = self.repository.benchmarks(system_id, binary_hash)?;
         if benchmarks.is_empty() {
-            return Err(ChronusError::NotFound(format!(
-                "benchmarks for system {system_id} / binary {binary_hash}"
-            )));
+            return Err(ChronusError::NotFound(format!("benchmarks for system {system_id} / binary {binary_hash}")));
         }
         // `auto` cross-validates the families and picks the best
         let model_type: &str = if model_type == crate::optimizers::AUTO {
@@ -249,10 +241,8 @@ impl Chronus {
     /// `/opt/chronus/optimizer`) and records it in the settings, so the
     /// submit-time prediction never touches the database or blob storage.
     pub fn load_model(&mut self, model_id: i64) -> Result<LoadedModel> {
-        let meta = self
-            .repository
-            .model(model_id)?
-            .ok_or_else(|| ChronusError::NotFound(format!("model {model_id}")))?;
+        let meta =
+            self.repository.model(model_id)?.ok_or_else(|| ChronusError::NotFound(format!("model {model_id}")))?;
         let system = self
             .repository
             .systems()?
@@ -545,15 +535,8 @@ mod tests {
     fn benchmark_run_logs_figure_1_lines() {
         let root = tmpdir("logs");
         let (mut app, mut cluster, runner, mut sampler, info) = setup(&root);
-        app.benchmark(
-            &mut cluster,
-            &runner,
-            &mut sampler,
-            &info,
-            Some(&small_sweep()[..1]),
-            DEFAULT_SAMPLE_INTERVAL,
-        )
-        .unwrap();
+        app.benchmark(&mut cluster, &runner, &mut sampler, &info, Some(&small_sweep()[..1]), DEFAULT_SAMPLE_INTERVAL)
+            .unwrap();
         let text = app.log().render();
         assert!(text.contains("Job started with id:"), "{text}");
         assert!(text.contains("GFLOP/s rating found:"), "{text}");
@@ -566,15 +549,8 @@ mod tests {
         let log_path = root.join("var/log/chronus.log");
         let (app, mut cluster, runner, mut sampler, info) = setup(&root);
         let mut app = app.with_log_file(&log_path);
-        app.benchmark(
-            &mut cluster,
-            &runner,
-            &mut sampler,
-            &info,
-            Some(&small_sweep()[..1]),
-            DEFAULT_SAMPLE_INTERVAL,
-        )
-        .unwrap();
+        app.benchmark(&mut cluster, &runner, &mut sampler, &info, Some(&small_sweep()[..1]), DEFAULT_SAMPLE_INTERVAL)
+            .unwrap();
         let content = std::fs::read_to_string(&log_path).unwrap();
         assert!(content.contains("GFLOP/s rating found:"), "{content}");
     }

@@ -140,11 +140,7 @@ fn cmd_load_model(ctx: &mut CliContext<'_>, args: &[&str]) -> Result<String> {
 fn cmd_slurm_config(ctx: &mut CliContext<'_>, args: &[&str]) -> Result<String> {
     let (sys, bin) = match args {
         [s, b, ..] => (parse_hash(s)?, parse_hash(b)?),
-        _ => {
-            return Err(ChronusError::InvalidInput(
-                "usage: chronus slurm-config SYSTEM_HASH BINARY_HASH".into(),
-            ))
-        }
+        _ => return Err(ChronusError::InvalidInput("usage: chronus slurm-config SYSTEM_HASH BINARY_HASH".into())),
     };
     let config = ctx.app.slurm_config(sys, bin)?;
     Ok(presenter::config_json(&config))
@@ -179,7 +175,7 @@ fn cmd_set(ctx: &mut CliContext<'_>, args: &[&str]) -> Result<String> {
             ctx.app.set_state(state)?;
             Ok(format!("state = {value}\n"))
         }
-        ["--help"] | [] => Ok("Commands:\n  blob-storage  The path to the blob storage.\n  database      The path to the database.\n  state         activates, sets it to user or deactivates the plugin.\n".to_string()),
+        ["--help"] | [] => Ok("Usage: chronus set <SETTING> <VALUE>\n\nSettings:\n  blob-storage <path>   Path of the blob storage root.\n  database <path>       Path of the repository database.\n  state <value>         Plugin activation state: 'active' rewrites every job,\n                        'user' only jobs opting in with --comment \"chronus\",\n                        'deactivated' none.\n".to_string()),
         other => Err(ChronusError::InvalidInput(format!("unknown set command {other:?}"))),
     }
 }
@@ -253,11 +249,8 @@ mod tests {
                 {"cores": 32, "threads_per_core": 1, "frequency": 2500000}]"#,
         )
         .unwrap();
-        let out = run(
-            &mut f,
-            &["benchmark", "/opt/hpcg/bin/xhpcg", "--configurations", cfg_file.to_str().unwrap()],
-        )
-        .unwrap();
+        let out = run(&mut f, &["benchmark", "/opt/hpcg/bin/xhpcg", "--configurations", cfg_file.to_str().unwrap()])
+            .unwrap();
         assert!(out.contains("2 benchmark(s) complete"), "{out}");
         assert!(out.contains("Cores"), "{out}");
     }

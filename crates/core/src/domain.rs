@@ -202,21 +202,24 @@ mod tests {
 
     #[test]
     fn settings_json_roundtrip() {
-        let s = Settings { loaded_model: Some(LoadedModel {
-            model_id: 3,
-            model_type: "linear-regression".into(),
-            local_path: "/opt/chronus/optimizer".into(),
-            system_hash: 7,
-            binary_hash: 9,
-            facts: SystemFacts {
-                cpu_name: "AMD EPYC 7502P 32-Core Processor".into(),
-                cores: 32,
-                threads_per_core: 2,
-                frequencies_khz: vec![1_500_000, 2_200_000, 2_500_000],
-                ram_gb: 256,
-            },
-            benchmarks_path: None,
-        }), ..Settings::default() };
+        let s = Settings {
+            loaded_model: Some(LoadedModel {
+                model_id: 3,
+                model_type: "linear-regression".into(),
+                local_path: "/opt/chronus/optimizer".into(),
+                system_hash: 7,
+                binary_hash: 9,
+                facts: SystemFacts {
+                    cpu_name: "AMD EPYC 7502P 32-Core Processor".into(),
+                    cores: 32,
+                    threads_per_core: 2,
+                    frequencies_khz: vec![1_500_000, 2_200_000, 2_500_000],
+                    ram_gb: 256,
+                },
+                benchmarks_path: None,
+            }),
+            ..Settings::default()
+        };
         let json = serde_json::to_string_pretty(&s).unwrap();
         let back: Settings = serde_json::from_str(&json).unwrap();
         assert_eq!(s, back);

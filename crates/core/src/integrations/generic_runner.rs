@@ -108,11 +108,14 @@ mod tests {
         assert_eq!(benches.len(), 3);
         // …and for this compute-bound kernel 32c@2.5 is also the most
         // efficient (unlike HPCG): performance scales faster than power
-        let best = benches
-            .iter()
-            .max_by(|a, b| a.gflops_per_watt().partial_cmp(&b.gflops_per_watt()).unwrap())
-            .unwrap();
-        assert_eq!(best.config, CpuConfig::new(32, 2_500_000, 1), "{:?}", benches.iter().map(|b| (b.config, b.gflops_per_watt())).collect::<Vec<_>>());
+        let best =
+            benches.iter().max_by(|a, b| a.gflops_per_watt().partial_cmp(&b.gflops_per_watt()).unwrap()).unwrap();
+        assert_eq!(
+            best.config,
+            CpuConfig::new(32, 2_500_000, 1),
+            "{:?}",
+            benches.iter().map(|b| (b.config, b.gflops_per_watt())).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -59,10 +59,7 @@ impl ClusterPowerApi {
     /// Monitors `node_count` nodes, one deterministic BMC each.
     pub fn new(node_count: usize, seed: u64) -> Self {
         assert!(node_count >= 1, "need at least one node");
-        ClusterPowerApi {
-            bmcs: (0..node_count).map(|i| Bmc::new(seed.wrapping_add(i as u64))).collect(),
-            t0: None,
-        }
+        ClusterPowerApi { bmcs: (0..node_count).map(|i| Bmc::new(seed.wrapping_add(i as u64))).collect(), t0: None }
     }
 
     /// Resets the sample-relative time origin.

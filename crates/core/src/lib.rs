@@ -31,11 +31,19 @@ pub mod interfaces;
 pub mod logging;
 pub mod optimizers;
 pub mod presenter;
+pub mod remote;
 
 pub use application::{predict_from_settings, Chronus, DEFAULT_SAMPLE_INTERVAL};
 pub use domain::{Benchmark, EnergySample, LoadedModel, ModelMetadata, PluginState, Settings, SystemEntry};
 pub use error::{ChronusError, Result};
 pub use hash::{binary_hash, simple_hash, system_hash};
+pub use interfaces::{
+    ApplicationRunner, FileRepository, FitReport, LocalStorage, Optimizer, Repository, SystemInfoProvider,
+    SystemService,
+};
 pub use logging::{ChronusLog, LogEntry};
-pub use interfaces::{ApplicationRunner, FileRepository, FitReport, LocalStorage, Optimizer, Repository, SystemInfoProvider, SystemService};
 pub use optimizers::{BruteForceOptimizer, LinearRegressionOptimizer, ModelFactory, RandomTreeOptimizer};
+pub use remote::{
+    ClientConfig, LocalPrediction, PredictClient, PredictionSource, RemoteError, RemotePrediction, Request,
+    RequestFrame, Response, StatsSnapshot,
+};

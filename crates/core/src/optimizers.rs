@@ -83,9 +83,7 @@ impl Optimizer for BruteForceOptimizer {
         self.table
             .iter()
             .min_by(|a, b| {
-                Self::distance(&a.0, config)
-                    .partial_cmp(&Self::distance(&b.0, config))
-                    .expect("distances are finite")
+                Self::distance(&a.0, config).partial_cmp(&Self::distance(&b.0, config)).expect("distances are finite")
             })
             .map(|&(_, gpw)| gpw)
             .ok_or_else(|| ChronusError::Model("brute-force optimizer is not fitted".into()))
@@ -98,10 +96,11 @@ impl Optimizer for BruteForceOptimizer {
         if self.table.is_empty() {
             return Err(ChronusError::Model("brute-force optimizer is not fitted".into()));
         }
-        let measured_in_candidates =
-            self.table.iter().filter(|(c, _)| candidates.contains(c)).max_by(|a, b| {
-                a.1.partial_cmp(&b.1).expect("finite gpw")
-            });
+        let measured_in_candidates = self
+            .table
+            .iter()
+            .filter(|(c, _)| candidates.contains(c))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite gpw"));
         match measured_in_candidates {
             Some(&(c, _)) => Ok(c),
             // none of the candidates were measured: fall back to the
@@ -142,8 +141,8 @@ impl Optimizer for LinearRegressionOptimizer {
 
     fn fit(&mut self, benchmarks: &[Benchmark]) -> Result<FitReport> {
         let data = dataset(benchmarks)?;
-        let model = LinearRegression::fit(&data, Degree::Quadratic, 1e-6)
-            .map_err(|e| ChronusError::Model(e.to_string()))?;
+        let model =
+            LinearRegression::fit(&data, Degree::Quadratic, 1e-6).map_err(|e| ChronusError::Model(e.to_string()))?;
         let r2 = training_r2(|row| model.predict(row).unwrap_or(f64::NAN), &data);
         self.model = Some(model);
         Ok(FitReport { train_rows: data.len(), r2 })
@@ -239,12 +238,8 @@ pub fn select_model_type(benchmarks: &[Benchmark], folds: usize, seed: u64) -> R
     for model_type in ModelFactory::model_types() {
         let score = eco_ml::cross_val_r2(&data, folds, seed, |train| {
             // rebuild a Benchmark view of the fold to reuse Optimizer::fit
-            let rows: Vec<Benchmark> = train
-                .features()
-                .iter()
-                .zip(train.targets())
-                .map(|(f, &gpw)| synth_benchmark(f, gpw))
-                .collect();
+            let rows: Vec<Benchmark> =
+                train.features().iter().zip(train.targets()).map(|(f, &gpw)| synth_benchmark(f, gpw)).collect();
             let mut opt = ModelFactory::create(model_type).expect("known type");
             opt.fit(&rows).expect("fold fit");
             move |row: &[f64]| {

@@ -31,7 +31,8 @@ pub fn configs_from_json(s: &str) -> Result<Vec<CpuConfig>, serde_json::Error> {
 /// Renders the "Available Systems" listing `init-model` shows when no
 /// system id is given (paper Figure 8).
 pub fn systems_table(systems: &[SystemEntry]) -> String {
-    let mut out = String::from("Available Systems\nID   CPU                                      Cores  Threads/core  RAM\n");
+    let mut out =
+        String::from("Available Systems\nID   CPU                                      Cores  Threads/core  RAM\n");
     for s in systems {
         out.push_str(&format!(
             "{:<4} {:<40} {:<6} {:<13} {} GB\n",

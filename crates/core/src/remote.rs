@@ -1,0 +1,561 @@
+//! Remote prediction: the wire protocol spoken between the eco plugin
+//! and the `chronusd` prediction daemon, plus the blocking client and
+//! the [`PredictionSource`] port that lets the plugin switch between
+//! in-process prediction (today's staged-model path) and a daemon on
+//! the head node.
+//!
+//! ## Framing
+//!
+//! Every message is a 4-byte big-endian length prefix followed by that
+//! many bytes of JSON. Frames above [`MAX_FRAME_LEN`] are a protocol
+//! violation and close the connection. Requests travel wrapped in a
+//! [`RequestFrame`] so each one can carry an optional deadline budget;
+//! responses are a bare [`Response`].
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::{Buf, BytesMut};
+use eco_sim_node::cpu::CpuConfig;
+use serde::{Deserialize, Serialize};
+
+use crate::application::predict_from_settings;
+use crate::error::{ChronusError, Result};
+use crate::interfaces::LocalStorage;
+
+/// Upper bound on a single frame's JSON payload (1 MiB).
+pub const MAX_FRAME_LEN: usize = 1 << 20;
+
+// ---------------------------------------------------------------------------
+// Protocol messages
+// ---------------------------------------------------------------------------
+
+/// A request body (the RPC verb).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// "What is the most energy-efficient configuration for this
+    /// (system, binary)?" — the plugin's submit-path query.
+    Predict { system_hash: u64, binary_hash: u64 },
+    /// Stage a model into the daemon's registry ahead of submissions.
+    Preload { model_id: i64 },
+    /// Fetch the daemon's operational counters.
+    Stats,
+    /// Test/diagnostics verb: hold a worker for `ms` milliseconds.
+    Burn { ms: u64 },
+}
+
+/// A request plus its per-request deadline budget. The daemon answers
+/// [`Response::DeadlineExceeded`] instead of the real result when
+/// handling took longer than `deadline_ms` — the plugin's cue to fall
+/// back rather than blow the scheduler's submit budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestFrame {
+    /// Time budget in milliseconds, measured from frame receipt.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
+    /// The RPC verb.
+    pub body: Request,
+}
+
+impl RequestFrame {
+    /// A frame with no deadline.
+    pub fn new(body: Request) -> RequestFrame {
+        RequestFrame { deadline_ms: None, body }
+    }
+
+    /// A frame with a deadline budget in milliseconds.
+    pub fn with_deadline(body: Request, deadline_ms: u64) -> RequestFrame {
+        RequestFrame { deadline_ms: Some(deadline_ms), body }
+    }
+}
+
+/// A response frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Ping`].
+    Pong,
+    /// The predicted most energy-efficient configuration.
+    Config(CpuConfig),
+    /// Answer to a successful [`Request::Preload`].
+    Preloaded { model_id: i64, model_type: String, system_hash: u64, binary_hash: u64 },
+    /// Answer to [`Request::Stats`].
+    Stats(StatsSnapshot),
+    /// The daemon's connection queue is full; retry after the hint.
+    Busy { retry_after_ms: u64 },
+    /// No model is resident (or loadable) for this key.
+    Miss { system_hash: u64, binary_hash: u64 },
+    /// Handling overran the frame's `deadline_ms`.
+    DeadlineExceeded,
+    /// The daemon hit an internal error serving the request.
+    Error { message: String },
+    /// Answer to [`Request::Burn`].
+    Burned,
+}
+
+/// A point-in-time copy of the daemon's counters (the `stats` RPC).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct StatsSnapshot {
+    /// Requests handled, all verbs.
+    pub requests_total: u64,
+    /// `Predict` requests handled.
+    pub predictions: u64,
+    /// `Predict` answered straight from the registry.
+    pub cache_hits: u64,
+    /// `Predict` that had to consult the backend (or answered `Miss`).
+    pub cache_misses: u64,
+    /// Connections bounced with `Busy` because the queue was full.
+    pub busy_rejections: u64,
+    /// Requests answered `DeadlineExceeded`.
+    pub deadline_exceeded: u64,
+    /// Requests answered `Error`.
+    pub errors: u64,
+    /// Connections waiting in the accept queue right now.
+    pub queue_depth: u64,
+    /// Accept-queue capacity.
+    pub queue_capacity: u64,
+    /// Worker threads serving connections.
+    pub workers: u64,
+    /// Models resident in the registry.
+    pub models_resident: u64,
+    /// Models evicted by the registry's LRU policy.
+    pub evictions: u64,
+    /// Median request handling latency (µs, bucket upper bound).
+    pub latency_p50_us: u64,
+    /// 99th-percentile request handling latency (µs, bucket upper bound).
+    pub latency_p99_us: u64,
+    /// Worst observed request handling latency (µs, exact).
+    pub latency_max_us: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------------
+
+/// Serializes `msg` and writes it as one length-prefixed frame.
+pub fn write_frame<T: Serialize>(stream: &mut dyn Write, msg: &T) -> std::io::Result<()> {
+    let payload =
+        serde_json::to_vec(msg).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds the {MAX_FRAME_LEN} byte limit", payload.len()),
+        ));
+    }
+    let mut buf = BytesMut::with_capacity(4 + payload.len());
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(&payload);
+    stream.write_all(&buf)?;
+    stream.flush()
+}
+
+/// Reads one length-prefixed frame and deserializes it.
+pub fn read_frame<T: for<'de> Deserialize<'de>>(stream: &mut dyn Read) -> std::io::Result<T> {
+    let mut header = [0u8; 4];
+    stream.read_exact(&mut header)?;
+    let len = (&header[..]).get_u32() as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("peer announced a {len} byte frame (limit {MAX_FRAME_LEN})"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    serde_json::from_slice(&payload).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Extracts the next complete frame from a receive buffer, leaving any
+/// trailing bytes in place. Returns `Ok(None)` while the frame is still
+/// incomplete and an error on an oversized length prefix.
+pub fn take_frame(buf: &mut BytesMut) -> std::io::Result<Option<Vec<u8>>> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = (&buf[..4]).get_u32() as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("peer announced a {len} byte frame (limit {MAX_FRAME_LEN})"),
+        ));
+    }
+    if buf.len() < 4 + len {
+        return Ok(None);
+    }
+    buf.advance(4);
+    Ok(Some(buf.split_to(len).freeze()))
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+/// Errors the client distinguishes so callers can pick a fallback.
+#[derive(Debug)]
+pub enum RemoteError {
+    /// Could not reach the daemon at all.
+    Connect(std::io::Error),
+    /// The connection died mid-exchange (includes read timeouts).
+    Io(std::io::Error),
+    /// The peer sent something that is not the protocol.
+    Protocol(String),
+    /// The daemon stayed saturated through every retry.
+    Busy { retry_after_ms: u64, attempts: u32 },
+    /// The daemon gave up on the request's deadline budget.
+    DeadlineExceeded,
+    /// The daemon has no model for the key.
+    Miss { system_hash: u64, binary_hash: u64 },
+    /// The daemon reported an internal error.
+    Server(String),
+}
+
+impl std::fmt::Display for RemoteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RemoteError::Connect(e) => write!(f, "connect failed: {e}"),
+            RemoteError::Io(e) => write!(f, "connection error: {e}"),
+            RemoteError::Protocol(m) => write!(f, "protocol violation: {m}"),
+            RemoteError::Busy { retry_after_ms, attempts } => {
+                write!(f, "daemon busy after {attempts} attempts (retry_after {retry_after_ms} ms)")
+            }
+            RemoteError::DeadlineExceeded => write!(f, "daemon exceeded the request deadline"),
+            RemoteError::Miss { system_hash, binary_hash } => {
+                write!(f, "no model resident for system {system_hash:#x} binary {binary_hash:#x}")
+            }
+            RemoteError::Server(m) => write!(f, "daemon error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for RemoteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RemoteError::Connect(e) | RemoteError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RemoteError> for ChronusError {
+    fn from(e: RemoteError) -> ChronusError {
+        match e {
+            RemoteError::Miss { system_hash, binary_hash } => {
+                ChronusError::NotFound(format!("remote model for system {system_hash:#x} binary {binary_hash:#x}"))
+            }
+            other => ChronusError::Model(format!("remote prediction failed: {other}")),
+        }
+    }
+}
+
+/// Client knobs. The defaults keep a full worst-case exchange (connect,
+/// retries, backoff) comfortably inside the plugin's 100 ms budget.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Per-response read timeout.
+    pub read_timeout: Duration,
+    /// Additional attempts after the first (0 = fail fast).
+    pub max_retries: u32,
+    /// Base backoff between attempts; grows linearly per attempt.
+    pub backoff: Duration,
+    /// Deadline budget stamped on every request frame, if any.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_millis(200),
+            read_timeout: Duration::from_millis(500),
+            max_retries: 2,
+            backoff: Duration::from_millis(10),
+            deadline_ms: None,
+        }
+    }
+}
+
+/// A blocking client for the chronusd daemon. Holds one persistent
+/// connection, reconnecting lazily after any failure; every RPC retries
+/// a bounded number of times with linear backoff, honouring the
+/// daemon's `Busy { retry_after_ms }` hint.
+#[derive(Debug)]
+pub struct PredictClient {
+    addr: String,
+    cfg: ClientConfig,
+    stream: Option<TcpStream>,
+}
+
+impl PredictClient {
+    /// A client with default [`ClientConfig`]. Does not connect yet —
+    /// the first RPC does.
+    pub fn new(addr: impl Into<String>) -> PredictClient {
+        PredictClient::with_config(addr, ClientConfig::default())
+    }
+
+    /// A client with explicit knobs.
+    pub fn with_config(addr: impl Into<String>, cfg: ClientConfig) -> PredictClient {
+        PredictClient { addr: addr.into(), cfg, stream: None }
+    }
+
+    /// The daemon address this client talks to.
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    fn connect(&mut self) -> std::result::Result<(), RemoteError> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        let mut last = std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "no addresses resolved");
+        let addrs = self.addr.to_socket_addrs().map_err(RemoteError::Connect)?;
+        for addr in addrs {
+            match TcpStream::connect_timeout(&addr, self.cfg.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(self.cfg.read_timeout)).map_err(RemoteError::Connect)?;
+                    stream.set_write_timeout(Some(self.cfg.read_timeout)).map_err(RemoteError::Connect)?;
+                    let _ = stream.set_nodelay(true);
+                    self.stream = Some(stream);
+                    return Ok(());
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(RemoteError::Connect(last))
+    }
+
+    fn exchange_once(&mut self, frame: &RequestFrame) -> std::result::Result<Response, RemoteError> {
+        self.connect()?;
+        let stream = self.stream.as_mut().expect("connect() leaves a stream");
+        write_frame(stream, frame).map_err(RemoteError::Io)?;
+        read_frame(stream).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::InvalidData {
+                RemoteError::Protocol(e.to_string())
+            } else {
+                RemoteError::Io(e)
+            }
+        })
+    }
+
+    /// Sends one request, retrying on connection errors and on `Busy`
+    /// back-pressure. Any protocol-level answer other than `Busy`
+    /// (including `Miss` and `DeadlineExceeded`) is returned as-is.
+    pub fn request(&mut self, body: Request) -> std::result::Result<Response, RemoteError> {
+        let frame = RequestFrame { deadline_ms: self.cfg.deadline_ms, body };
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            match self.exchange_once(&frame) {
+                Ok(Response::Busy { retry_after_ms }) => {
+                    // The daemon closes the connection after a Busy bounce.
+                    self.stream = None;
+                    if attempt > self.cfg.max_retries {
+                        return Err(RemoteError::Busy { retry_after_ms, attempts: attempt });
+                    }
+                    std::thread::sleep(Duration::from_millis(retry_after_ms.min(50)));
+                }
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    self.stream = None;
+                    if attempt > self.cfg.max_retries {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.cfg.backoff * attempt);
+                }
+            }
+        }
+    }
+
+    /// Round-trip liveness probe; returns the observed latency.
+    pub fn ping(&mut self) -> std::result::Result<Duration, RemoteError> {
+        let start = Instant::now();
+        match self.request(Request::Ping)? {
+            Response::Pong => Ok(start.elapsed()),
+            other => Err(RemoteError::Protocol(format!("expected Pong, got {other:?}"))),
+        }
+    }
+
+    /// The plugin's query: the best configuration for a (system, binary).
+    pub fn predict(&mut self, system_hash: u64, binary_hash: u64) -> std::result::Result<CpuConfig, RemoteError> {
+        match self.request(Request::Predict { system_hash, binary_hash })? {
+            Response::Config(c) => Ok(c),
+            Response::Miss { system_hash, binary_hash } => Err(RemoteError::Miss { system_hash, binary_hash }),
+            Response::DeadlineExceeded => Err(RemoteError::DeadlineExceeded),
+            Response::Error { message } => Err(RemoteError::Server(message)),
+            other => Err(RemoteError::Protocol(format!("expected Config, got {other:?}"))),
+        }
+    }
+
+    /// Asks the daemon to stage a model; returns (model_type, system
+    /// hash, binary hash) on success.
+    pub fn preload(&mut self, model_id: i64) -> std::result::Result<(String, u64, u64), RemoteError> {
+        match self.request(Request::Preload { model_id })? {
+            Response::Preloaded { model_type, system_hash, binary_hash, .. } => {
+                Ok((model_type, system_hash, binary_hash))
+            }
+            Response::Error { message } => Err(RemoteError::Server(message)),
+            other => Err(RemoteError::Protocol(format!("expected Preloaded, got {other:?}"))),
+        }
+    }
+
+    /// Fetches the daemon's counters.
+    pub fn stats(&mut self) -> std::result::Result<StatsSnapshot, RemoteError> {
+        match self.request(Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(RemoteError::Protocol(format!("expected Stats, got {other:?}"))),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PredictionSource
+// ---------------------------------------------------------------------------
+
+/// Where the eco plugin gets its predictions from: the in-process
+/// staged-model path (the paper's §3.1.2 pre-load design) or a
+/// chronusd daemon on the head node. The plugin treats any error as
+/// "leave the job untouched", so a dead or slow source degrades to
+/// vanilla Slurm behaviour.
+pub trait PredictionSource: Send + Sync {
+    /// The best configuration for a (system, binary), or an error when
+    /// no answer is available inside the budget.
+    fn predict(&self, system_hash: u64, binary_hash: u64) -> Result<CpuConfig>;
+
+    /// Human-readable description for logs.
+    fn describe(&self) -> String;
+}
+
+/// The in-process source: loads settings from local storage and runs
+/// the staged optimizer, exactly like the CLI's `slurm-config`.
+pub struct LocalPrediction {
+    storage: Arc<dyn LocalStorage + Send + Sync>,
+}
+
+impl LocalPrediction {
+    pub fn new(storage: Arc<dyn LocalStorage + Send + Sync>) -> LocalPrediction {
+        LocalPrediction { storage }
+    }
+}
+
+impl PredictionSource for LocalPrediction {
+    fn predict(&self, system_hash: u64, binary_hash: u64) -> Result<CpuConfig> {
+        let settings = self.storage.load_settings()?;
+        predict_from_settings(&settings, system_hash, binary_hash)
+    }
+
+    fn describe(&self) -> String {
+        "local staged model".to_string()
+    }
+}
+
+/// The daemon-backed source. Wraps the client in a mutex because the
+/// plugin is shared behind an `Arc` while the client's persistent
+/// connection needs `&mut`.
+pub struct RemotePrediction {
+    client: parking_lot::Mutex<PredictClient>,
+}
+
+impl RemotePrediction {
+    /// A remote source with default client knobs.
+    pub fn new(addr: impl Into<String>) -> RemotePrediction {
+        RemotePrediction { client: parking_lot::Mutex::new(PredictClient::new(addr)) }
+    }
+
+    /// A remote source with explicit client knobs.
+    pub fn with_config(addr: impl Into<String>, cfg: ClientConfig) -> RemotePrediction {
+        RemotePrediction { client: parking_lot::Mutex::new(PredictClient::with_config(addr, cfg)) }
+    }
+}
+
+impl PredictionSource for RemotePrediction {
+    fn predict(&self, system_hash: u64, binary_hash: u64) -> Result<CpuConfig> {
+        let mut client = self.client.lock();
+        client.predict(system_hash, binary_hash).map_err(ChronusError::from)
+    }
+
+    fn describe(&self) -> String {
+        format!("chronusd at {}", self.client.lock().addr())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_through_a_buffer() {
+        let frame = RequestFrame::with_deadline(Request::Predict { system_hash: u64::MAX, binary_hash: 7 }, 80);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        assert_eq!(wire.len(), 4 + u32::from_be_bytes(wire[..4].try_into().unwrap()) as usize);
+        let back: RequestFrame = read_frame(&mut &wire[..]).unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn take_frame_handles_partial_and_back_to_back_frames() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Response::Pong).unwrap();
+        write_frame(&mut wire, &Response::Busy { retry_after_ms: 5 }).unwrap();
+
+        let mut buf = BytesMut::new();
+        buf.put_slice(&wire[..3]);
+        assert!(take_frame(&mut buf).unwrap().is_none(), "3 bytes is not even a header");
+        buf.put_slice(&wire[3..]);
+        let first: Response = serde_json::from_slice(&take_frame(&mut buf).unwrap().unwrap()).unwrap();
+        assert_eq!(first, Response::Pong);
+        let second: Response = serde_json::from_slice(&take_frame(&mut buf).unwrap().unwrap()).unwrap();
+        assert_eq!(second, Response::Busy { retry_after_ms: 5 });
+        assert!(take_frame(&mut buf).unwrap().is_none());
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32((MAX_FRAME_LEN + 1) as u32);
+        assert!(take_frame(&mut buf).is_err());
+        let mut wire: &[u8] = &(((MAX_FRAME_LEN + 1) as u32).to_be_bytes());
+        assert!(read_frame::<Response>(&mut wire).is_err());
+    }
+
+    #[test]
+    fn response_json_shape_is_stable() {
+        let json = serde_json::to_string(&Response::Config(CpuConfig::new(32, 2_200_000, 1))).unwrap();
+        // the paper's JSON field name for the DVFS knob is "frequency"
+        assert!(json.contains("\"Config\""), "{json}");
+        assert!(json.contains("\"frequency\":2200000"), "{json}");
+        assert_eq!(serde_json::to_string(&Response::Pong).unwrap(), "\"Pong\"");
+    }
+
+    #[test]
+    fn client_fails_fast_against_a_dead_address() {
+        let cfg = ClientConfig {
+            connect_timeout: Duration::from_millis(50),
+            max_retries: 1,
+            backoff: Duration::from_millis(1),
+            ..ClientConfig::default()
+        };
+        // bind-then-drop guarantees the port is closed
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let mut client = PredictClient::with_config(format!("127.0.0.1:{port}"), cfg);
+        let start = Instant::now();
+        let err = client.predict(1, 2).unwrap_err();
+        assert!(matches!(err, RemoteError::Connect(_) | RemoteError::Io(_)), "{err}");
+        assert!(start.elapsed() < Duration::from_secs(2), "bounded retries must fail fast");
+    }
+
+    #[test]
+    fn remote_errors_map_into_chronus_errors() {
+        let miss: ChronusError = RemoteError::Miss { system_hash: 1, binary_hash: 2 }.into();
+        assert!(matches!(miss, ChronusError::NotFound(_)));
+        let busy: ChronusError = RemoteError::Busy { retry_after_ms: 5, attempts: 3 }.into();
+        assert!(matches!(busy, ChronusError::Model(_)));
+    }
+}

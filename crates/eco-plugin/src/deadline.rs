@@ -20,9 +20,7 @@ pub struct DeadlineSelector {
 impl DeadlineSelector {
     /// Builds the selector from benchmark measurements.
     pub fn from_benchmarks(benchmarks: &[Benchmark]) -> Self {
-        DeadlineSelector {
-            rows: benchmarks.iter().map(|b| (b.config, b.gflops_per_watt(), b.runtime_s)).collect(),
-        }
+        DeadlineSelector { rows: benchmarks.iter().map(|b| (b.config, b.gflops_per_watt(), b.runtime_s)).collect() }
     }
 
     /// Number of candidate configurations.
@@ -51,10 +49,7 @@ impl DeadlineSelector {
     /// The fastest configuration regardless of efficiency (the fallback a
     /// site might choose when nothing meets the deadline).
     pub fn fastest(&self) -> Option<CpuConfig> {
-        self.rows
-            .iter()
-            .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite runtime"))
-            .map(|&(c, _, _)| c)
+        self.rows.iter().min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite runtime")).map(|&(c, _, _)| c)
     }
 }
 

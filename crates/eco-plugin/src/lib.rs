@@ -20,14 +20,14 @@ pub mod deadline;
 pub mod gpu_tuning;
 pub mod market;
 
-use chronus::application::predict_from_settings;
 use chronus::domain::PluginState;
 use chronus::hash::{binary_hash, system_hash};
 use chronus::interfaces::LocalStorage;
+use chronus::remote::{LocalPrediction, PredictionSource};
+pub use deadline::DeadlineSelector;
 use eco_sim_node::cpu::CpuSpec;
 use eco_slurm_sim::plugin::{JobSubmitPlugin, PluginRejection};
 use eco_slurm_sim::JobDescriptor;
-pub use deadline::DeadlineSelector;
 pub use gpu_tuning::GpuFrequencyTuner;
 pub use market::{EnergyMarket, GreenWindowPlugin};
 
@@ -49,6 +49,7 @@ pub struct PluginStats {
 /// The `job_submit_eco` plugin.
 pub struct JobSubmitEco {
     storage: Arc<dyn LocalStorage + Send + Sync>,
+    source: Arc<dyn PredictionSource>,
     system_hash: u64,
     binaries: HashMap<String, u64>,
     stats: PluginStats,
@@ -59,15 +60,31 @@ impl JobSubmitEco {
     /// Creates the plugin for the head node of a cluster whose nodes match
     /// `spec`/`ram_gb`. `storage` locates `settings.json` and the
     /// pre-loaded model, like the real plugin shelling out to
-    /// `chronus slurm-config`.
+    /// `chronus slurm-config`. Predictions come from the in-process
+    /// [`LocalPrediction`] source by default; see [`Self::set_source`].
     pub fn new(storage: Arc<dyn LocalStorage + Send + Sync>, spec: &CpuSpec, ram_gb: u32) -> Self {
+        let source = Arc::new(LocalPrediction::new(Arc::clone(&storage)));
         JobSubmitEco {
             storage,
+            source,
             system_hash: system_hash(spec, ram_gb),
             binaries: HashMap::new(),
             stats: PluginStats::default(),
             strict: false,
         }
+    }
+
+    /// Swaps the prediction source, e.g. for a
+    /// [`chronus::remote::RemotePrediction`] talking to a chronusd
+    /// daemon. Activation gating and deadline selection still read the
+    /// local settings file; only the best-config query is redirected.
+    pub fn set_source(&mut self, source: Arc<dyn PredictionSource>) {
+        self.source = source;
+    }
+
+    /// Describes where predictions come from (for logs and tests).
+    pub fn source_description(&self) -> String {
+        self.source.describe()
     }
 
     /// Registers an executable's contents so the plugin can hash it
@@ -153,7 +170,7 @@ impl JobSubmitPlugin for JobSubmitEco {
             }
         }
 
-        match predict_from_settings(&settings, self.system_hash, bin_hash) {
+        match self.source.predict(self.system_hash, bin_hash) {
             Ok(config) => {
                 job.apply_config(&config);
                 self.stats.applied += 1;
@@ -374,6 +391,77 @@ mod tests {
         p.job_submit(&mut j, 1000).unwrap();
         assert_eq!(j.max_frequency_khz, None);
         assert_eq!(p.stats().errors, 1);
+    }
+
+    /// A prediction source that always fails, standing in for a dead
+    /// or timed-out chronusd daemon.
+    struct DeadSource;
+    impl PredictionSource for DeadSource {
+        fn predict(&self, _s: u64, _b: u64) -> chronus::Result<CpuConfig> {
+            Err(chronus::ChronusError::Model("remote prediction failed: connect refused".into()))
+        }
+        fn describe(&self) -> String {
+            "dead daemon".into()
+        }
+    }
+
+    /// A source that answers a fixed configuration, proving the plugin
+    /// really routes through its source.
+    struct FixedSource(CpuConfig);
+    impl PredictionSource for FixedSource {
+        fn predict(&self, _s: u64, _b: u64) -> chronus::Result<CpuConfig> {
+            Ok(self.0)
+        }
+        fn describe(&self) -> String {
+            "fixed".into()
+        }
+    }
+
+    #[test]
+    fn dead_source_soft_passes_the_job() {
+        let root = tmpdir("deadsource");
+        let (storage, contents) = stage(&root, PluginState::User);
+        let mut p = plugin(storage, contents);
+        p.set_source(Arc::new(DeadSource));
+        assert_eq!(p.source_description(), "dead daemon");
+
+        let mut opted = job("chronus");
+        p.job_submit(&mut opted, 1000).unwrap();
+        assert_eq!(opted.max_frequency_khz, None, "no prediction, job untouched");
+        assert_eq!(p.stats(), PluginStats { applied: 0, skipped: 0, errors: 1 });
+    }
+
+    #[test]
+    fn dead_source_rejects_only_in_strict_mode() {
+        let root = tmpdir("deadstrict");
+        let (storage, contents) = stage(&root, PluginState::User);
+        let mut p = plugin(storage, contents);
+        p.set_source(Arc::new(DeadSource));
+        p.set_strict(true);
+        let err = p.job_submit(&mut job("chronus"), 1000).unwrap_err();
+        assert!(err.reason.contains("remote prediction failed"), "{}", err.reason);
+    }
+
+    #[test]
+    fn predictions_route_through_the_configured_source() {
+        let root = tmpdir("fixedsource");
+        let (storage, contents) = stage(&root, PluginState::User);
+        let mut p = plugin(storage, contents);
+        // the staged model would answer 2.2 GHz; the source overrides it
+        p.set_source(Arc::new(FixedSource(CpuConfig::new(8, 1_500_000, 2))));
+        let mut opted = job("chronus");
+        p.job_submit(&mut opted, 1000).unwrap();
+        assert_eq!(opted.max_frequency_khz, Some(1_500_000));
+        assert_eq!(opted.num_tasks, 8);
+        assert_eq!(opted.threads_per_cpu, 2);
+    }
+
+    #[test]
+    fn default_source_is_the_local_staged_model() {
+        let root = tmpdir("localsource");
+        let (storage, contents) = stage(&root, PluginState::User);
+        let p = plugin(storage, contents);
+        assert!(p.source_description().contains("local"), "{}", p.source_description());
     }
 
     #[test]

@@ -58,12 +58,7 @@ impl EnergyMarket {
 
     /// The price at an instant.
     pub fn price_at(&self, t: SimTime) -> f64 {
-        self.points
-            .iter()
-            .rev()
-            .find(|p| p.from <= t)
-            .map(|p| p.price)
-            .unwrap_or(self.points[0].price)
+        self.points.iter().rev().find(|p| p.from <= t).map(|p| p.price).unwrap_or(self.points[0].price)
     }
 
     /// Cost (price × energy) of drawing `watts` from `start` for
@@ -77,14 +72,8 @@ impl EnergyMarket {
         while t < end {
             let price = self.price_at(t);
             // next boundary after t
-            let next = self
-                .points
-                .iter()
-                .map(|p| p.from)
-                .filter(|&b| b > t)
-                .min()
-                .filter(|&b| b < end)
-                .unwrap_or(end);
+            let next =
+                self.points.iter().map(|p| p.from).filter(|&b| b > t).min().filter(|&b| b < end).unwrap_or(end);
             let hours = (next - t).as_secs_f64() / 3600.0;
             total += price * (watts / 1000.0) * hours;
             t = next;
@@ -118,7 +107,6 @@ pub fn cheapest_start(
     best.0
 }
 
-
 /// A job-submit plugin that defers opted-in jobs (`--comment` containing
 /// the word `green`) into the cheapest energy window — the §6.2.4
 /// behaviour wired into the submit path. Composes with [`crate::JobSubmitEco`]
@@ -141,7 +129,12 @@ pub struct GreenWindowPlugin {
 
 impl GreenWindowPlugin {
     /// Builds the plugin over a market curve.
-    pub fn new(market: EnergyMarket, horizon: SimDuration, assumed_duration: SimDuration, assumed_watts: f64) -> Self {
+    pub fn new(
+        market: EnergyMarket,
+        horizon: SimDuration,
+        assumed_duration: SimDuration,
+        assumed_watts: f64,
+    ) -> Self {
         assert!(assumed_watts > 0.0);
         GreenWindowPlugin {
             market,
@@ -177,7 +170,8 @@ impl eco_slurm_sim::plugin::JobSubmitPlugin for GreenWindowPlugin {
             return Ok(());
         }
         let now = SimTime(self.now.load(std::sync::atomic::Ordering::Relaxed));
-        let start = cheapest_start(&self.market, now, self.horizon, self.step, self.assumed_duration, self.assumed_watts);
+        let start =
+            cheapest_start(&self.market, now, self.horizon, self.step, self.assumed_duration, self.assumed_watts);
         if start > now {
             job.begin_time = Some(start);
         }

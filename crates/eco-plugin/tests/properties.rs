@@ -36,9 +36,7 @@ fn arb_market() -> impl Strategy<Value = EnergyMarket> {
         windows.sort_by_key(|w| w.0);
         windows.dedup_by_key(|w| w.0);
         let mut points = vec![PricePoint { from: SimTime::ZERO, price: 25.0 }];
-        points.extend(
-            windows.into_iter().map(|(h, price)| PricePoint { from: SimTime::from_secs(h * 3600), price }),
-        );
+        points.extend(windows.into_iter().map(|(h, price)| PricePoint { from: SimTime::from_secs(h * 3600), price }));
         EnergyMarket::new(points)
     })
 }

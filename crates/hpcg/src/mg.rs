@@ -279,7 +279,12 @@ mod tests {
         let (mg_iters, _, mg_conv, _) = cg_with_mg(&mg, &problem.rhs, &mut x1, 200, 1e-9);
 
         let mut x2 = vec![0.0; problem.matrix.n()];
-        let gs = cg_solve(&problem.matrix, &problem.rhs, &mut x2, &CgOptions { max_iterations: 200, tolerance: 1e-9, preconditioned: true });
+        let gs = cg_solve(
+            &problem.matrix,
+            &problem.rhs,
+            &mut x2,
+            &CgOptions { max_iterations: 200, tolerance: 1e-9, preconditioned: true },
+        );
 
         assert!(mg_conv && gs.converged);
         assert!(mg_iters <= gs.iterations, "MG {mg_iters} vs SymGS {}", gs.iterations);

@@ -115,8 +115,8 @@ impl PerfModel {
         let ghz = config.ghz();
         let headroom = ((ghz - 2.2) / 0.3).clamp(0.0, 1.0);
         let amplitude = 0.18 * headroom + 0.015;
-        let phase = (t_secs * std::f64::consts::TAU / 53.0).sin() * 0.7
-            + (t_secs * std::f64::consts::TAU / 13.7).sin() * 0.3;
+        let phase =
+            (t_secs * std::f64::consts::TAU / 53.0).sin() * 0.7 + (t_secs * std::f64::consts::TAU / 13.7).sin() * 0.3;
         1.0 + amplitude * phase
     }
 

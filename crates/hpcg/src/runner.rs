@@ -64,15 +64,7 @@ impl MiniHpcg {
             parallel_cg(&self.problem.matrix, &self.problem.rhs, &mut x, opts, self.threads);
         let seconds = start.elapsed().as_secs_f64().max(1e-9);
         let gflop = flops as f64 / 1e9;
-        RunResult {
-            gflops: gflop / seconds,
-            gflop,
-            seconds,
-            iterations,
-            residual,
-            converged,
-            threads: self.threads,
-        }
+        RunResult { gflops: gflop / seconds, gflop, seconds, iterations, residual, converged, threads: self.threads }
     }
 
     /// Verifies a solution vector against the known exact solution.
@@ -188,13 +180,7 @@ fn par_symgs(a: &CsrMatrix, r: &[f64], z: &mut [f64], blocks: &[(usize, usize)])
 
 /// The parallel preconditioned CG driver. Returns
 /// `(iterations, relative_residual, converged, flops)`.
-fn parallel_cg(
-    a: &CsrMatrix,
-    b: &[f64],
-    x: &mut [f64],
-    opts: &CgOptions,
-    threads: usize,
-) -> (usize, f64, bool, u64) {
+fn parallel_cg(a: &CsrMatrix, b: &[f64], x: &mut [f64], opts: &CgOptions, threads: usize) -> (usize, f64, bool, u64) {
     let n = a.n();
     let blocks = partition(n, threads);
     let mut flops = FlopCounter::default();

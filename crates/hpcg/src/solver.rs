@@ -223,12 +223,7 @@ mod tests {
             &CgOptions { max_iterations: 500, preconditioned: false, ..Default::default() },
         );
         assert!(with.converged && without.converged);
-        assert!(
-            with.iterations < without.iterations,
-            "precond {} vs plain {}",
-            with.iterations,
-            without.iterations
-        );
+        assert!(with.iterations < without.iterations, "precond {} vs plain {}", with.iterations, without.iterations);
     }
 
     #[test]
@@ -259,8 +254,13 @@ mod tests {
         let p = generate_problem(Geometry::cube(5));
         let run = |iters| {
             let mut x = vec![0.0; p.matrix.n()];
-            cg_solve(&p.matrix, &p.rhs, &mut x, &CgOptions { max_iterations: iters, tolerance: 1e-30, preconditioned: true })
-                .flops
+            cg_solve(
+                &p.matrix,
+                &p.rhs,
+                &mut x,
+                &CgOptions { max_iterations: iters, tolerance: 1e-30, preconditioned: true },
+            )
+            .flops
         };
         let f2 = run(2);
         let f4 = run(4);
@@ -276,7 +276,12 @@ mod tests {
         let mut last = f64::INFINITY;
         for iters in 1..=4 {
             let mut x = vec![0.0; p.matrix.n()];
-            let r = cg_solve(&p.matrix, &p.rhs, &mut x, &CgOptions { max_iterations: iters, tolerance: 1e-30, preconditioned: true });
+            let r = cg_solve(
+                &p.matrix,
+                &p.rhs,
+                &mut x,
+                &CgOptions { max_iterations: iters, tolerance: 1e-30, preconditioned: true },
+            );
             assert!(r.residual_norm < last, "iter {iters}: {} !< {last}", r.residual_norm);
             last = r.residual_norm;
         }

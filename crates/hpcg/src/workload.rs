@@ -64,11 +64,7 @@ impl HpcgWorkload {
     /// A custom amount of work (GFLOP) with a problem-size-tagged identity.
     pub fn with_work(perf: Arc<PerfModel>, total_gflop: f64, nx: usize) -> Self {
         assert!(total_gflop > 0.0);
-        HpcgWorkload {
-            total_gflop,
-            perf,
-            binary_id: format!("xhpcg-3.1-nx{nx}-ny{nx}-nz{nx}"),
-        }
+        HpcgWorkload { total_gflop, perf, binary_id: format!("xhpcg-3.1-nx{nx}-ny{nx}-nz{nx}") }
     }
 
     /// The performance model backing this workload.

@@ -20,12 +20,7 @@ pub struct FeatureImportance {
 
 /// Computes permutation importance of every feature for a fitted
 /// predictor, averaged over `repeats` shuffles.
-pub fn permutation_importance<P>(
-    data: &Dataset,
-    predict: P,
-    repeats: usize,
-    seed: u64,
-) -> Vec<FeatureImportance>
+pub fn permutation_importance<P>(data: &Dataset, predict: P, repeats: usize, seed: u64) -> Vec<FeatureImportance>
 where
     P: Fn(&[f64]) -> f64,
 {
@@ -56,10 +51,7 @@ where
                 .collect();
             total_drop += baseline - r2(&preds, data.targets());
         }
-        out.push(FeatureImportance {
-            name: data.names()[feature].clone(),
-            r2_drop: total_drop / repeats as f64,
-        });
+        out.push(FeatureImportance { name: data.names()[feature].clone(), r2_drop: total_drop / repeats as f64 });
     }
     out
 }

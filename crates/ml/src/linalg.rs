@@ -111,10 +111,7 @@ impl Matrix {
     /// Matrix product `self * rhs`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, LinalgError> {
         if self.cols != rhs.rows {
-            return Err(LinalgError::ShapeMismatch {
-                expected: (self.cols, rhs.cols),
-                got: (rhs.rows, rhs.cols),
-            });
+            return Err(LinalgError::ShapeMismatch { expected: (self.cols, rhs.cols), got: (rhs.rows, rhs.cols) });
         }
         let mut out = Matrix::zeros(self.rows, rhs.cols);
         // ikj loop order: streams over rhs rows, cache-friendlier than ijk.
@@ -404,11 +401,7 @@ mod tests {
 
     #[test]
     fn cholesky_and_gaussian_agree() {
-        let a = Matrix::from_rows(&[
-            vec![6.0, 2.0, 1.0],
-            vec![2.0, 5.0, 2.0],
-            vec![1.0, 2.0, 4.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![6.0, 2.0, 1.0], vec![2.0, 5.0, 2.0], vec![1.0, 2.0, 4.0]]);
         let b = [1.0, -2.0, 3.0];
         let x1 = a.solve(&b).unwrap();
         let x2 = a.solve_cholesky(&b).unwrap();

@@ -78,11 +78,8 @@ impl LinearRegression {
         let input_width = data.width();
         let (means, stds) = standardisation_params(data);
 
-        let expanded: Vec<Vec<f64>> = data
-            .features()
-            .iter()
-            .map(|row| expand(&standardise(row, &means, &stds), degree))
-            .collect();
+        let expanded: Vec<Vec<f64>> =
+            data.features().iter().map(|row| expand(&standardise(row, &means, &stds), degree)).collect();
         let n_features = expanded[0].len();
         if ridge == 0.0 && data.len() < n_features {
             return Err(RegressionError::Underdetermined { rows: data.len(), features: n_features });
@@ -99,14 +96,7 @@ impl LinearRegression {
         let xty = x.t_vec(data.targets())?;
         let coefficients = gram.solve_cholesky(&xty)?;
 
-        Ok(LinearRegression {
-            degree,
-            ridge,
-            coefficients,
-            feature_means: means,
-            feature_stds: stds,
-            input_width,
-        })
+        Ok(LinearRegression { degree, ridge, coefficients, feature_means: means, feature_stds: stds, input_width })
     }
 
     /// Predicts the target for one raw feature row.

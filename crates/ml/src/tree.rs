@@ -129,12 +129,7 @@ fn build<R: Rng>(
 
 /// Finds the (feature, threshold) minimising the weighted child variance.
 /// Returns `None` when no split reduces impurity (e.g. constant targets).
-fn best_split<R: Rng>(
-    data: &Dataset,
-    indices: &[usize],
-    params: &TreeParams,
-    rng: &mut R,
-) -> Option<(usize, f64)> {
+fn best_split<R: Rng>(data: &Dataset, indices: &[usize], params: &TreeParams, rng: &mut R) -> Option<(usize, f64)> {
     let width = data.width();
     let candidates: Vec<usize> = match params.max_features {
         None => (0..width).collect(),
@@ -254,8 +249,10 @@ mod tests {
         let features: Vec<Vec<f64>> = (0..32).map(|x| vec![x as f64]).collect();
         let targets: Vec<f64> = (0..32).map(|x| (x / 4) as f64).collect();
         let data = Dataset::new(features.clone(), targets.clone()).unwrap();
-        let shallow = RegressionTree::fit(&data, &TreeParams { max_depth: 1, min_leaf: 1, max_features: None }, &mut rng());
-        let deep = RegressionTree::fit(&data, &TreeParams { max_depth: 10, min_leaf: 1, max_features: None }, &mut rng());
+        let shallow =
+            RegressionTree::fit(&data, &TreeParams { max_depth: 1, min_leaf: 1, max_features: None }, &mut rng());
+        let deep =
+            RegressionTree::fit(&data, &TreeParams { max_depth: 10, min_leaf: 1, max_features: None }, &mut rng());
         let err_shallow: f64 = features.iter().zip(&targets).map(|(f, t)| (shallow.predict(f) - t).abs()).sum();
         let err_deep: f64 = features.iter().zip(&targets).map(|(f, t)| (deep.predict(f) - t).abs()).sum();
         assert!(err_deep < err_shallow);

@@ -62,11 +62,7 @@ impl CpuSpec {
 
     /// Snaps an arbitrary requested frequency to the nearest available step.
     pub fn snap_frequency(&self, requested: FreqKhz) -> FreqKhz {
-        *self
-            .frequencies_khz
-            .iter()
-            .min_by_key(|&&f| f.abs_diff(requested))
-            .expect("spec has at least one frequency")
+        *self.frequencies_khz.iter().min_by_key(|&&f| f.abs_diff(requested)).expect("spec has at least one frequency")
     }
 
     /// Validates a job CPU configuration against this spec.
@@ -225,22 +221,13 @@ mod tests {
     #[test]
     fn validate_rejects_bad_configs() {
         let spec = CpuSpec::epyc_7502p();
-        assert!(matches!(
-            spec.validate(&CpuConfig::new(0, 2_200_000, 1)),
-            Err(ConfigError::BadCoreCount { .. })
-        ));
-        assert!(matches!(
-            spec.validate(&CpuConfig::new(33, 2_200_000, 1)),
-            Err(ConfigError::BadCoreCount { .. })
-        ));
+        assert!(matches!(spec.validate(&CpuConfig::new(0, 2_200_000, 1)), Err(ConfigError::BadCoreCount { .. })));
+        assert!(matches!(spec.validate(&CpuConfig::new(33, 2_200_000, 1)), Err(ConfigError::BadCoreCount { .. })));
         assert!(matches!(
             spec.validate(&CpuConfig::new(4, 2_200_000, 3)),
             Err(ConfigError::BadThreadsPerCore { .. })
         ));
-        assert!(matches!(
-            spec.validate(&CpuConfig::new(4, 2_000_000, 1)),
-            Err(ConfigError::BadFrequency { .. })
-        ));
+        assert!(matches!(spec.validate(&CpuConfig::new(4, 2_000_000, 1)), Err(ConfigError::BadFrequency { .. })));
     }
 
     #[test]

@@ -43,11 +43,7 @@ impl Governor {
                 }
                 let wanted = (u * 1.25 * max) as FreqKhz;
                 // lowest available step >= wanted
-                *spec
-                    .frequencies_khz
-                    .iter()
-                    .find(|&&f| f >= wanted)
-                    .unwrap_or(&spec.max_frequency())
+                *spec.frequencies_khz.iter().find(|&&f| f >= wanted).unwrap_or(&spec.max_frequency())
             }
         }
     }

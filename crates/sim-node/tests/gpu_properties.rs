@@ -5,10 +5,7 @@ use proptest::prelude::*;
 
 fn arb_clocks() -> impl Strategy<Value = GpuClocks> {
     let spec = GpuSpec::tesla_class();
-    (
-        prop::sample::select(spec.core_clocks_mhz.clone()),
-        prop::sample::select(spec.memory_clocks_mhz.clone()),
-    )
+    (prop::sample::select(spec.core_clocks_mhz.clone()), prop::sample::select(spec.memory_clocks_mhz.clone()))
         .prop_map(|(core_mhz, memory_mhz)| GpuClocks { core_mhz, memory_mhz })
 }
 

@@ -281,12 +281,9 @@ impl Cluster {
         if !self.registry.contains_key(&desc.binary_path) {
             return Err(SlurmError::UnknownBinary(desc.binary_path));
         }
-        let partition = self
-            .partitions
-            .resolve(desc.partition.as_deref())
-            .ok_or_else(|| {
-                SlurmError::Unsatisfiable(format!("unknown partition '{}'", desc.partition.as_deref().unwrap_or("")))
-            })?;
+        let partition = self.partitions.resolve(desc.partition.as_deref()).ok_or_else(|| {
+            SlurmError::Unsatisfiable(format!("unknown partition '{}'", desc.partition.as_deref().unwrap_or("")))
+        })?;
         if desc.num_nodes as usize > partition.nodes.len() {
             return Err(SlurmError::Unsatisfiable(format!(
                 "{} nodes requested, partition '{}' has {}",
@@ -340,12 +337,8 @@ impl Cluster {
         while self.now() < target {
             let now = self.now();
             // next point any running job vacates its node
-            let next_event = self
-                .daemons
-                .iter()
-                .filter_map(|d| d.running.as_ref().map(|r| r.vacate_at()))
-                .min()
-                .unwrap_or(target);
+            let next_event =
+                self.daemons.iter().filter_map(|d| d.running.as_ref().map(|r| r.vacate_at())).min().unwrap_or(target);
             let step_end = target.min(next_event.max(now)).min(now + LOAD_UPDATE);
             let step = step_end - now;
 
@@ -355,9 +348,7 @@ impl Cluster {
                 // a zero-length stall with nothing due means next_event was
                 // in the past relative to target handling; force progress
                 if self.due_event_count() == 0 && self.now() < target {
-                    let force = SimDuration(
-                        (target - self.now()).as_millis().min(LOAD_UPDATE.as_millis()).max(1),
-                    );
+                    let force = SimDuration((target - self.now()).as_millis().min(LOAD_UPDATE.as_millis()).max(1));
                     self.step_nodes(force);
                 }
                 continue;
@@ -396,11 +387,8 @@ impl Cluster {
             if job.state.is_terminal() {
                 continue;
             }
-            let partition = self
-                .partitions
-                .resolve(job.descriptor.partition.as_deref())
-                .map(|p| p.name.as_str())
-                .unwrap_or("?");
+            let partition =
+                self.partitions.resolve(job.descriptor.partition.as_deref()).map(|p| p.name.as_str()).unwrap_or("?");
             out.push_str(&format!(
                 "{:<6} {:<10} {:<15} {:<9} {:<3} {:<9} {}\n",
                 job.id,
@@ -486,13 +474,9 @@ impl Cluster {
     fn fire_due_events(&mut self) {
         let now = self.now();
         for idx in 0..self.daemons.len() {
-            let due = self.daemons[idx]
-                .running
-                .as_ref()
-                .filter(|r| r.vacate_at() <= now)
-                .map(|r| {
-                    (r.id, if r.kill_at.is_some_and(|k| k < r.end) { JobState::Timeout } else { JobState::Completed })
-                });
+            let due = self.daemons[idx].running.as_ref().filter(|r| r.vacate_at() <= now).map(|r| {
+                (r.id, if r.kill_at.is_some_and(|k| k < r.end) { JobState::Timeout } else { JobState::Completed })
+            });
             if let Some((id, state)) = due {
                 self.complete_job(id, state);
             }
@@ -717,11 +701,8 @@ impl Cluster {
     fn job_priority(&self, id: JobId, now: SimTime) -> f64 {
         let job = &self.jobs[&id];
         let base = multifactor_priority(job, now, self.total_cores(), &self.weights, &self.fairshare);
-        let bonus = self
-            .partitions
-            .resolve(job.descriptor.partition.as_deref())
-            .map(|p| p.priority_bonus)
-            .unwrap_or(0.0);
+        let bonus =
+            self.partitions.resolve(job.descriptor.partition.as_deref()).map(|p| p.priority_bonus).unwrap_or(0.0);
         base + bonus
     }
 

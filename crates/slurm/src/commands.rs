@@ -115,11 +115,7 @@ mod tests {
     #[test]
     fn srun_parses_paper_invocation() {
         // the paper's Listing 6 srun line
-        let d = parse_srun(
-            &["srun", "--mpi=pmix_v4", "--ntasks-per-core=2", "/opt/hpcg/bin/xhpcg"],
-            "aaen",
-        )
-        .unwrap();
+        let d = parse_srun(&["srun", "--mpi=pmix_v4", "--ntasks-per-core=2", "/opt/hpcg/bin/xhpcg"], "aaen").unwrap();
         assert_eq!(d.threads_per_cpu, 2);
         assert_eq!(d.binary_path, "/opt/hpcg/bin/xhpcg");
         assert_eq!(d.user, "aaen");

@@ -138,10 +138,7 @@ impl JobDescriptor {
     /// node's performance-governor default.
     pub fn resolve_config(&self, spec: &CpuSpec) -> CpuConfig {
         let cores = self.num_tasks.clamp(1, spec.cores);
-        let freq = self
-            .max_frequency_khz
-            .map(|f| spec.snap_frequency(f))
-            .unwrap_or_else(|| spec.max_frequency());
+        let freq = self.max_frequency_khz.map(|f| spec.snap_frequency(f)).unwrap_or_else(|| spec.max_frequency());
         let tpc = self.threads_per_cpu.clamp(1, spec.threads_per_core);
         CpuConfig { cores, frequency_khz: freq, threads_per_core: tpc }
     }

@@ -123,7 +123,13 @@ mod tests {
     #[test]
     fn upsert_replaces_by_name() {
         let mut t = PartitionTable::with_default(2);
-        t.upsert(Partition { name: "batch".into(), nodes: vec![0], max_time: None, priority_bonus: 0.0, is_default: true });
+        t.upsert(Partition {
+            name: "batch".into(),
+            nodes: vec![0],
+            max_time: None,
+            priority_bonus: 0.0,
+            is_default: true,
+        });
         assert_eq!(t.all().len(), 1);
         assert_eq!(t.resolve(None).unwrap().nodes, vec![0]);
     }
@@ -131,7 +137,13 @@ mod tests {
     #[test]
     fn new_default_demotes_old_default() {
         let mut t = PartitionTable::with_default(2);
-        t.upsert(Partition { name: "main".into(), nodes: vec![0, 1], max_time: None, priority_bonus: 0.0, is_default: true });
+        t.upsert(Partition {
+            name: "main".into(),
+            nodes: vec![0, 1],
+            max_time: None,
+            priority_bonus: 0.0,
+            is_default: true,
+        });
         assert_eq!(t.resolve(None).unwrap().name, "main");
         let defaults = t.all().iter().filter(|p| p.is_default).count();
         assert_eq!(defaults, 1);
@@ -158,6 +170,12 @@ mod tests {
     #[should_panic(expected = "at least one node")]
     fn empty_partition_rejected() {
         let mut t = PartitionTable::with_default(1);
-        t.upsert(Partition { name: "empty".into(), nodes: vec![], max_time: None, priority_bonus: 0.0, is_default: false });
+        t.upsert(Partition {
+            name: "empty".into(),
+            nodes: vec![],
+            max_time: None,
+            priority_bonus: 0.0,
+            is_default: false,
+        });
     }
 }

@@ -191,4 +191,38 @@ mod tests {
         host.register(Box::new(Slow));
         assert!(host.run(&mut desc(), 0).is_ok());
     }
+
+    #[test]
+    fn timeout_error_reports_elapsed_and_budget() {
+        let mut host = PluginHost::new().with_budget_ms(5);
+        host.register(Box::new(Slow));
+        match host.run(&mut desc(), 0).unwrap_err() {
+            SlurmError::PluginTimeout { plugin, elapsed_ms, budget_ms } => {
+                assert_eq!(plugin, "slow");
+                assert!(elapsed_ms >= 30, "measured wall clock, got {elapsed_ms}");
+                assert_eq!(budget_ms, 5);
+            }
+            other => panic!("expected PluginTimeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_is_per_plugin_not_per_chain() {
+        // two 30 ms plugins against a 50 ms budget: each call fits even
+        // though the chain as a whole does not.
+        let mut host = PluginHost::new().with_budget_ms(50);
+        host.register(Box::new(Slow));
+        host.register(Box::new(Slow));
+        assert!(host.run(&mut desc(), 0).is_ok());
+    }
+
+    #[test]
+    fn overrun_aborts_before_later_plugins_run() {
+        let mut host = PluginHost::new().with_budget_ms(5);
+        host.register(Box::new(Slow));
+        host.register(Box::new(SetTasks(9)));
+        let mut d = desc();
+        let _ = host.run(&mut d, 0);
+        assert_eq!(d.num_tasks, 1, "plugins after the overrun must not run");
+    }
 }

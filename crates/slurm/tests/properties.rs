@@ -44,10 +44,7 @@ fn arb_job(max_nodes: u32) -> impl Strategy<Value = JobReq> {
 
 fn build_cluster(nodes: usize) -> Cluster {
     let mut c = Cluster::new((0..nodes).map(|_| SimNode::sr650()).collect());
-    c.register_binary(
-        "/bin/app",
-        Arc::new(SyntheticWorkload::new("app", ScalingKind::ComputeBound, 1.0, 1.0)),
-    );
+    c.register_binary("/bin/app", Arc::new(SyntheticWorkload::new("app", ScalingKind::ComputeBound, 1.0, 1.0)));
     c
 }
 

@@ -9,11 +9,11 @@
 //! Run with: `cargo run --release --example energy_market`
 
 use eco_hpc::eco_plugin::market::{cheapest_start, EnergyMarket, GreenWindowPlugin};
-use eco_hpc::slurm::plugin::JobSubmitPlugin;
 use eco_hpc::hpcg::perf_model::PerfModel;
 use eco_hpc::hpcg::workload::{HpcgWorkload, Workload};
 use eco_hpc::node::clock::{SimDuration, SimTime};
 use eco_hpc::node::SimNode;
+use eco_hpc::slurm::plugin::JobSubmitPlugin;
 use eco_hpc::slurm::{Cluster, JobDescriptor};
 use std::sync::Arc;
 
@@ -36,10 +36,14 @@ fn main() {
     println!("submitted at t={now}; job runs {duration} at {watts:.0} W");
 
     let cost_now = market.cost(now, duration, watts);
-    let start = cheapest_start(&market, now, SimDuration::from_secs(24 * 3600), SimDuration::from_mins(15), duration, watts);
+    let start =
+        cheapest_start(&market, now, SimDuration::from_secs(24 * 3600), SimDuration::from_mins(15), duration, watts);
     let cost_deferred = market.cost(start, duration, watts);
     println!("run immediately: cost {cost_now:.2}");
-    println!("cheapest start:  t={start} -> cost {cost_deferred:.2} ({:.0}% cheaper)", (1.0 - cost_deferred / cost_now) * 100.0);
+    println!(
+        "cheapest start:  t={start} -> cost {cost_deferred:.2} ({:.0}% cheaper)",
+        (1.0 - cost_deferred / cost_now) * 100.0
+    );
 
     // The GreenWindowPlugin does the same deferral on the submit path for
     // any job whose comment contains "green".

@@ -52,8 +52,8 @@ fn main() {
     let mut ours = Vec::new();
     let mut paper = Vec::new();
     for b in &benches {
-        let p = paper_data::paper_gpw(b.config.cores, b.config.ghz(), b.config.hyper_threading())
-            .expect("swept config");
+        let p =
+            paper_data::paper_gpw(b.config.cores, b.config.ghz(), b.config.hyper_threading()).expect("swept config");
         ours.push(b.gflops_per_watt());
         paper.push(p);
         println!(
@@ -66,8 +66,5 @@ fn main() {
         );
     }
     println!("\nSpearman rank correlation vs paper: {:.4}", spearman(&ours, &paper));
-    println!(
-        "winner: {} (paper winner: 32 cores @ 2.2 GHz, no-HT)",
-        benches[0].config
-    );
+    println!("winner: {} (paper winner: 32 cores @ 2.2 GHz, no-HT)", benches[0].config);
 }

@@ -11,7 +11,12 @@ use eco_hpc::node::gpu::{GpuPowerModel, GpuSpec, GpuWorkloadProfile};
 
 fn main() {
     let spec = GpuSpec::tesla_class();
-    println!("GPU: {} — {} core clocks x {} memory clocks", spec.name, spec.core_clocks_mhz.len(), spec.memory_clocks_mhz.len());
+    println!(
+        "GPU: {} — {} core clocks x {} memory clocks",
+        spec.name,
+        spec.core_clocks_mhz.len(),
+        spec.memory_clocks_mhz.len()
+    );
 
     for (name, profile) in [
         ("memory-bound (HPCG-like)", GpuWorkloadProfile::memory_bound()),

@@ -65,9 +65,6 @@ fn main() {
     };
     let d = drain(default_cluster, "default");
     let e = drain(eco_cluster, "eco    ");
-    assert!(
-        e.now() < d.now(),
-        "under the cap, eco parallelism beats the faster-but-serialised default"
-    );
+    assert!(e.now() < d.now(), "under the cap, eco parallelism beats the faster-but-serialised default");
     println!("\nsacct (eco cluster):\n{}", e.sacct());
 }

@@ -77,11 +77,8 @@ fn main() {
     println!("pre-loaded to {}", loaded.local_path);
 
     // 4. Enable job_submit_eco and submit an opted-in job.
-    let mut plugin = JobSubmitEco::new(
-        Arc::new(EtcStorage::new(&root)),
-        cluster.node(0).spec(),
-        cluster.node(0).ram_gb(),
-    );
+    let mut plugin =
+        JobSubmitEco::new(Arc::new(EtcStorage::new(&root)), cluster.node(0).spec(), cluster.node(0).ram_gb());
     plugin.register_binary("/opt/hpcg/bin/xhpcg", workload.binary_id());
     cluster.register_plugin(Box::new(plugin));
 
@@ -99,9 +96,8 @@ fn main() {
     let eco_record = cluster.accounting().get(job).expect("record").clone();
 
     // Compare with the same job NOT opting in.
-    let plain = cluster
-        .sbatch(&script.replace("#SBATCH --comment \"chronus\"\n", ""), "alice")
-        .expect("sbatch plain");
+    let plain =
+        cluster.sbatch(&script.replace("#SBATCH --comment \"chronus\"\n", ""), "alice").expect("sbatch plain");
     cluster.run_until_idle(SimDuration::from_mins(30));
     let plain_record = cluster.accounting().get(plain).expect("record").clone();
 

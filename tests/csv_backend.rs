@@ -34,15 +34,11 @@ fn csv_backend_runs_the_whole_pipeline() {
         Box::new(EtcStorage::new(&root)),
     );
 
-    let configs = vec![
-        CpuConfig::new(32, 2_500_000, 1),
-        CpuConfig::new(32, 2_200_000, 1),
-        CpuConfig::new(16, 1_500_000, 2),
-    ];
+    let configs =
+        vec![CpuConfig::new(32, 2_500_000, 1), CpuConfig::new(32, 2_200_000, 1), CpuConfig::new(16, 1_500_000, 2)];
     let mut sampler = IpmiService::new(0, 21);
     let info = LscpuInfo::new(0);
-    app.benchmark(&mut cluster, &runner, &mut sampler, &info, Some(&configs), DEFAULT_SAMPLE_INTERVAL)
-        .unwrap();
+    app.benchmark(&mut cluster, &runner, &mut sampler, &info, Some(&configs), DEFAULT_SAMPLE_INTERVAL).unwrap();
 
     // human-readable CSV artefacts exist
     let csv = std::fs::read_to_string(root.join("csv/benchmarks.csv")).unwrap();

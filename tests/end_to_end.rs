@@ -71,7 +71,14 @@ fn figure_4_sequence_reproduces_energy_saving() {
     // 1. benchmark
     let benches = w
         .app
-        .benchmark(&mut w.cluster, &w.runner, &mut w.sampler, &w.info, Some(&sweep_configs()), DEFAULT_SAMPLE_INTERVAL)
+        .benchmark(
+            &mut w.cluster,
+            &w.runner,
+            &mut w.sampler,
+            &w.info,
+            Some(&sweep_configs()),
+            DEFAULT_SAMPLE_INTERVAL,
+        )
         .unwrap();
     assert_eq!(benches.len(), 6);
 
@@ -106,15 +113,9 @@ fn figure_4_sequence_reproduces_energy_saving() {
     assert_eq!(plain.state, JobState::Completed);
 
     let saving = 1.0 - eco.system_energy_j / plain.system_energy_j;
-    assert!(
-        (0.07..0.16).contains(&saving),
-        "system energy saving {saving} should be near the paper's 11%"
-    );
+    assert!((0.07..0.16).contains(&saving), "system energy saving {saving} should be near the paper's 11%");
     let cpu_saving = 1.0 - eco.cpu_energy_j / plain.cpu_energy_j;
-    assert!(
-        (0.13..0.24).contains(&cpu_saving),
-        "CPU energy saving {cpu_saving} should be near the paper's 18%"
-    );
+    assert!((0.13..0.24).contains(&cpu_saving), "CPU energy saving {cpu_saving} should be near the paper's 18%");
 
     // the eco job trades a little runtime for the saving (paper: ~2%)
     let eco_rt = (eco.end_time.unwrap() - eco.start_time.unwrap()).as_secs_f64();

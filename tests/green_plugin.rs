@@ -19,12 +19,8 @@ fn green_jobs_wait_for_the_window_plain_jobs_run_now() {
     cluster.register_binary("/opt/hpcg/bin/xhpcg", Arc::new(HpcgWorkload::with_work(perf, work, 104)));
 
     let market = EnergyMarket::day_night(2, 10.0, 60.0);
-    let plugin = GreenWindowPlugin::new(
-        market,
-        SimDuration::from_secs(24 * 3600),
-        SimDuration::from_secs(1800),
-        190.0,
-    );
+    let plugin =
+        GreenWindowPlugin::new(market, SimDuration::from_secs(24 * 3600), SimDuration::from_secs(1800), 190.0);
     let clock = plugin.clock_handle();
     cluster.register_plugin(Box::new(plugin));
 

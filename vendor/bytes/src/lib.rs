@@ -1,0 +1,174 @@
+//! In-tree shim for `bytes` (the build container has no crates.io
+//! access). Provides the small slice of the API the wire protocol uses:
+//! [`BytesMut`] as a growable frame buffer with big-endian put methods,
+//! and [`Buf`] for cursor-style reads, implemented for `&[u8]` so a
+//! received frame can be consumed in place.
+
+use std::ops::{Deref, DerefMut};
+
+/// A growable byte buffer for assembling outbound frames.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+
+    pub fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    pub fn freeze(self) -> Vec<u8> {
+        self.data
+    }
+
+    /// Splits the buffer at `at`, returning the front half and leaving
+    /// the tail in `self` (the real crate's `split_to`). Panics if `at`
+    /// exceeds the length.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        let tail = self.data.split_off(at);
+        BytesMut { data: std::mem::replace(&mut self.data, tail) }
+    }
+
+    /// Discards the first `cnt` bytes. Panics if `cnt` exceeds the
+    /// length.
+    pub fn advance(&mut self, cnt: usize) {
+        self.data.drain(..cnt);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<BytesMut> for Vec<u8> {
+    fn from(b: BytesMut) -> Vec<u8> {
+        b.data
+    }
+}
+
+/// Cursor-style big-endian reads. Implemented for `&[u8]`: each get
+/// advances the slice itself.
+///
+/// Reading past the end panics, like the real crate — length-check with
+/// [`Buf::remaining`] first.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn get_u8(&mut self) -> u8;
+    fn get_u32(&mut self) -> u32;
+    fn get_u64(&mut self) -> u64;
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (head, rest) = self.split_at(1);
+        *self = rest;
+        head[0]
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        let (head, rest) = self.split_at(4);
+        *self = rest;
+        u32::from_be_bytes(head.try_into().unwrap())
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        let (head, rest) = self.split_at(8);
+        *self = rest;
+        u64::from_be_bytes(head.try_into().unwrap())
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let (head, rest) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = rest;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_round_trip() {
+        let mut buf = BytesMut::with_capacity(16);
+        buf.put_u32(0xDEAD_BEEF);
+        buf.put_slice(b"abc");
+        buf.put_u8(7);
+        assert_eq!(buf.len(), 8);
+
+        let mut cursor: &[u8] = &buf;
+        assert_eq!(cursor.get_u32(), 0xDEAD_BEEF);
+        let mut s = [0u8; 3];
+        cursor.copy_to_slice(&mut s);
+        assert_eq!(&s, b"abc");
+        assert_eq!(cursor.get_u8(), 7);
+        assert!(!cursor.has_remaining());
+    }
+
+    #[test]
+    fn split_and_advance_drain_the_front() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"headerpayload");
+        let head = buf.split_to(6);
+        assert_eq!(&head[..], b"header");
+        assert_eq!(&buf[..], b"payload");
+        buf.advance(3);
+        assert_eq!(&buf[..], b"load");
+    }
+}

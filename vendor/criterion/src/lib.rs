@@ -1,0 +1,250 @@
+//! In-tree shim for `criterion` (the build container has no crates.io
+//! access). Keeps criterion's API shape — `criterion_group!` /
+//! `criterion_main!`, `Criterion::bench_function`, benchmark groups with
+//! `bench_with_input`, `Throughput` — over a simple wall-clock harness:
+//! a short warm-up, then `sample_size` timed samples of an adaptively
+//! sized iteration batch, reporting median / min / max ns per iteration
+//! (plus elements/s when a throughput is declared). There is no
+//! statistical regression testing or HTML report; output goes to stdout.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Measured per-sample cost in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+struct Sample {
+    ns_per_iter: f64,
+}
+
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 20, measurement_time: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, self.sample_size, self.measurement_time, None, |b| f(b));
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl<'c> BenchmarkGroup<'c> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.sample_size, self.measurement_time, self.throughput, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(&label, self.sample_size, self.measurement_time, self.throughput, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: format!("{name}/{parameter}") }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { label: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { label: s.to_owned() }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub struct Bencher {
+    /// Iterations to run per timed sample, chosen during warm-up.
+    iters_per_sample: u64,
+    samples: Vec<Sample>,
+    calibrating: bool,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.calibrating {
+            // Warm-up: find an iteration count that makes one sample take
+            // roughly 1/10 of the measurement budget, so short benchmarks
+            // aren't dominated by timer resolution.
+            let start = Instant::now();
+            let mut iters = 0u64;
+            while start.elapsed() < Duration::from_millis(30) && iters < 1_000_000 {
+                std_black_box(f());
+                iters += 1;
+            }
+            let per_iter = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+            let target_ns = 10_000_000.0; // 10 ms per sample
+            self.iters_per_sample = ((target_ns / per_iter.max(1.0)) as u64).clamp(1, 10_000_000);
+        } else {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std_black_box(f());
+            }
+            let ns = start.elapsed().as_nanos() as f64;
+            self.samples.push(Sample { ns_per_iter: ns / self.iters_per_sample as f64 });
+        }
+    }
+}
+
+fn run_benchmark<F>(
+    label: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+    mut routine: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher { iters_per_sample: 1, samples: Vec::new(), calibrating: true };
+    routine(&mut bencher);
+    bencher.calibrating = false;
+
+    let deadline = Instant::now() + measurement_time.max(Duration::from_millis(50));
+    while bencher.samples.len() < sample_size && Instant::now() < deadline {
+        routine(&mut bencher);
+    }
+    // Honour the requested sample count even if the budget ran out, so
+    // medians are never computed over zero samples.
+    while bencher.samples.len() < 2 {
+        routine(&mut bencher);
+    }
+
+    let mut per_iter: Vec<f64> = bencher.samples.iter().map(|s| s.ns_per_iter).collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+
+    print!("{label:<48} {:>12}/iter  [{} .. {}]", fmt_ns(median), fmt_ns(min), fmt_ns(max));
+    if let Some(tp) = throughput {
+        let per_sec = match tp {
+            Throughput::Elements(n) => (n as f64) * 1e9 / median,
+            Throughput::Bytes(n) => (n as f64) * 1e9 / median,
+        };
+        let unit = match tp {
+            Throughput::Elements(_) => "elem/s",
+            Throughput::Bytes(_) => "B/s",
+        };
+        print!("  {per_sec:>12.0} {unit}");
+    }
+    println!();
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3).measurement_time(Duration::from_millis(60));
+        group.throughput(Throughput::Elements(1));
+        group.bench_with_input(BenchmarkId::from_parameter(4u32), &4u32, |b, &n| b.iter(|| (0..n).sum::<u32>()));
+        group.finish();
+        c.bench_function("direct", |b| b.iter(|| black_box(21) * 2));
+    }
+}

@@ -1,0 +1,77 @@
+//! In-tree shim for `crossbeam` (the build container has no crates.io
+//! access). Two pieces are provided, matching what the workspace uses:
+//!
+//! * [`scope`] — scoped threads, implemented over `std::thread::scope`
+//!   (which has subsumed crossbeam's original design since Rust 1.63).
+//!   The spawn closure receives `()` instead of a nested scope handle;
+//!   all call sites here use `|_|` and never spawn from inside a worker.
+//! * [`channel`] — MPMC channels with the bounded/backpressure surface
+//!   `chronusd` needs: `try_send` reports `Full`, dropping all senders
+//!   or all receivers disconnects, `recv_timeout` bounds waits.
+
+use std::thread;
+
+pub mod channel;
+
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    pub fn join(self) -> thread::Result<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle { inner: self.inner.spawn(move || f(())) }
+    }
+}
+
+/// Runs `f` with a scope in which borrowing, non-`'static` threads can be
+/// spawned; returns once all of them have finished.
+///
+/// Unlike crossbeam proper this never returns `Err`: a panic in an
+/// unjoined child propagates as a panic (std scope semantics) rather
+/// than being captured. Call sites `.expect(...)` the result either way.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1u64, 2, 3, 4];
+        let total = crate::scope(|s| {
+            let handles: Vec<_> = data.chunks(2).map(|c| s.spawn(move |_| c.iter().sum::<u64>())).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn scope_allows_mutable_borrows() {
+        let mut buf = [0u8; 4];
+        crate::scope(|s| {
+            for (i, slot) in buf.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u8 + 1);
+            }
+        })
+        .unwrap();
+        assert_eq!(buf, [1, 2, 3, 4]);
+    }
+}

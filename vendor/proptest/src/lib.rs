@@ -1,0 +1,437 @@
+//! In-tree shim for `proptest` (the build container has no crates.io
+//! access). Provides the strategy combinators and macros the workspace's
+//! property tests use: numeric range strategies, tuples, `prop_map`,
+//! `collection::vec`, `sample::select`, `option::of`, `num::f64`,
+//! `any::<bool>()`, a `.{m,n}`-style string strategy, and the
+//! `proptest!` / `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from the real crate, deliberate for simplicity:
+//! * cases are generated from a fixed per-test seed (hash of the test
+//!   name), so runs are fully deterministic — there is no persistence
+//!   file and no `PROPTEST_*` seed handling except `PROPTEST_CASES`;
+//! * no shrinking: a failing case reports its generated inputs verbatim;
+//! * `prop_assume!` skips the case instead of drawing a replacement.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+pub mod collection;
+pub mod num;
+pub mod option;
+pub mod sample;
+
+// ------------------------------------------------------------------- rng
+
+/// Deterministic splitmix64 generator driving all strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_name(name: &str) -> TestRng {
+        // djb2 over the test name: stable across runs and platforms.
+        let mut h: u64 = 5381;
+        for b in name.bytes() {
+            h = h.wrapping_mul(33) ^ u64::from(b);
+        }
+        TestRng { state: h }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound.max(1)
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+// -------------------------------------------------------------- strategy
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "strategy range is empty");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "strategy range is empty");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "strategy range is empty");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+        lo + unit * (hi - lo)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A.0);
+impl_tuple_strategy!(A.0, B.1);
+impl_tuple_strategy!(A.0, B.1, C.2);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+
+/// String strategy from a regex-ish pattern. Only the shape the
+/// workspace uses is interpreted: `.{m,n}` produces `m..=n` printable
+/// ASCII characters. Any other pattern is treated as a literal.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        if let Some((lo, hi)) = parse_dot_repeat(self) {
+            let len = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..len).map(|_| (0x20 + rng.below(0x5f) as u8) as char).collect()
+        } else {
+            (*self).to_owned()
+        }
+    }
+}
+
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+// ------------------------------------------------------------- arbitrary
+
+/// Types with a canonical strategy, reachable through [`any`].
+pub trait Arbitrary: Sized + Debug {
+    type Strategy: Strategy<Value = Self>;
+    fn arbitrary() -> Self::Strategy;
+}
+
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+// --------------------------------------------------------------- runner
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    pub fn fail(message: impl Into<String>) -> TestCaseError {
+        TestCaseError { message: message.into() }
+    }
+
+    /// A `prop_assume!` rejection — the case is skipped, not failed.
+    pub fn reject() -> TestCaseError {
+        TestCaseError { message: REJECT_MARKER.to_owned() }
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+const REJECT_MARKER: &str = "\u{1}proptest-shim-reject";
+
+/// Runner configuration; `with_cases` mirrors the real crate.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Drives one property: `body` generates inputs from the rng and returns
+/// `Err` on assertion failure. `PROPTEST_CASES` overrides the configured
+/// case count when set.
+pub fn run_cases<F>(name: &str, config: &ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    let cases = std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(config.cases);
+    let mut rng = TestRng::from_name(name);
+    for case in 0..cases {
+        let (inputs, result) = body(&mut rng);
+        if let Err(e) = result {
+            if e.message == REJECT_MARKER {
+                continue;
+            }
+            panic!("property `{name}` failed at case {case} with inputs [{inputs}]: {e}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------- macros
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_body {
+    ( ($cfg:expr) $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config = $cfg;
+                $crate::run_cases(stringify!($name), &config, |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&$strat, __rng);)+
+                    let mut __inputs = ::std::string::String::new();
+                    $(
+                        __inputs.push_str(concat!(stringify!($arg), " = "));
+                        __inputs.push_str(&format!("{:?}, ", &$arg));
+                    )+
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    (__inputs, __result)
+                });
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: `{:?}` == `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: `{:?}` == `{:?}`: {}", l, r, format!($($fmt)+));
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: `{:?}` != `{:?}`", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: `{:?}` != `{:?}`: {}", l, r, format!($($fmt)+));
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject());
+        }
+    };
+}
+
+// --------------------------------------------------------------- prelude
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+
+    pub mod prop {
+        pub use crate::{collection, num, option, sample};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_and_tuples(a in 1u32..=8, bc in (0.0f64..1.0, 0i64..100)) {
+            let (b, c) = bc;
+            prop_assert!((1..=8).contains(&a));
+            prop_assert!((0.0..1.0).contains(&b));
+            prop_assert!((0..100).contains(&c));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn combinators(v in prop::collection::vec(0u64..5, 1..4),
+                       pick in prop::sample::select(vec![10u32, 20, 30]),
+                       opt in prop::option::of(1u8..3),
+                       flag in any::<bool>(),
+                       s in ".{0,16}",
+                       mapped in (1u32..4).prop_map(|x| x * 2)) {
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&x| x < 5));
+            prop_assert!([10, 20, 30].contains(&pick));
+            if let Some(x) = opt {
+                prop_assert!((1..3).contains(&x));
+            }
+            prop_assert!(flag == (flag as u8 == 1));
+            prop_assert!(s.len() <= 16);
+            prop_assert!(mapped % 2 == 0 && mapped <= 6);
+            prop_assert_ne!(mapped, 7);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn assume_skips(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn float_specials_generate() {
+        let mut rng = crate::TestRng::from_name("float_specials");
+        for _ in 0..64 {
+            let n = crate::Strategy::generate(&crate::num::f64::NORMAL, &mut rng);
+            assert!(n.is_normal());
+            let _any = crate::Strategy::generate(&crate::num::f64::ANY, &mut rng);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `failing` failed")]
+    fn failures_report_inputs() {
+        crate::run_cases("failing", &ProptestConfig::with_cases(4), |rng| {
+            let v = crate::Strategy::generate(&(0u32..10), rng);
+            let inputs = format!("v = {v:?}");
+            (inputs, Err(TestCaseError::fail("boom")))
+        });
+    }
+}

@@ -1,0 +1,38 @@
+//! `prop::num` — full-domain numeric strategies.
+
+pub mod f64 {
+    use crate::{Strategy, TestRng};
+
+    /// Any bit pattern: includes NaN, infinities, subnormals and zeros.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            f64::from_bits(rng.next_u64())
+        }
+    }
+
+    /// Normal floats only (finite, non-zero, full-precision exponent).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Normal;
+
+    pub const NORMAL: Normal = Normal;
+
+    impl Strategy for Normal {
+        type Value = f64;
+
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            loop {
+                let v = f64::from_bits(rng.next_u64());
+                if v.is_normal() {
+                    return v;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! `prop::sample` — choosing among explicit values.
+
+use crate::{Strategy, TestRng};
+use std::fmt::Debug;
+
+pub struct Select<T> {
+    choices: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.choices[rng.below(self.choices.len() as u64) as usize].clone()
+    }
+}
+
+/// Uniformly picks one of the given values.
+pub fn select<T: Clone + Debug>(choices: Vec<T>) -> Select<T> {
+    assert!(!choices.is_empty(), "select requires at least one choice");
+    Select { choices }
+}

@@ -1,0 +1,735 @@
+//! In-tree shim for `serde`, built because the build container has no
+//! crates.io access. Instead of the real serde's visitor architecture it
+//! uses a concrete JSON-like data model: `Serialize` renders a [`Value`]
+//! and `Deserialize` reads one. `serde_json` (also shimmed in
+//! `crates/vendor/serde_json`) converts between [`Value`] and text.
+//!
+//! The public surface mirrors the fraction of serde this workspace uses:
+//! the two traits, `#[derive(Serialize, Deserialize)]` (re-exported from
+//! the in-tree `serde_derive`), and impls for the leaf types that appear
+//! in derived structs (integers, floats, `bool`, `String`, `PathBuf`,
+//! `Option`, `Vec`, tuples, `BTreeMap`/`HashMap`). The `__`-prefixed
+//! helpers are codegen support for the derive and not meant to be called
+//! by hand.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::path::PathBuf;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+// ----------------------------------------------------------------- value
+
+/// A JSON-shaped value — the data model every `Serialize`/`Deserialize`
+/// impl in this shim targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(Number),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+/// An exact JSON number. `u64` and `i64` are kept losslessly (the
+/// workspace hashes are full-range `u64`, beyond `f64`'s 2^53 integer
+/// range), floats as `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    PosInt(u64),
+    NegInt(i64),
+    Float(f64),
+}
+
+impl Number {
+    pub fn from_i64(v: i64) -> Number {
+        if v >= 0 {
+            Number::PosInt(v as u64)
+        } else {
+            Number::NegInt(v)
+        }
+    }
+
+    pub fn from_f64(v: f64) -> Number {
+        Number::Float(v)
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Number::PosInt(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Number::PosInt(v) => i64::try_from(v).ok(),
+            Number::NegInt(v) => Some(v),
+            Number::Float(_) => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Number::PosInt(v) => Some(v as f64),
+            Number::NegInt(v) => Some(v as f64),
+            Number::Float(v) => Some(v),
+        }
+    }
+}
+
+/// An insertion-ordered JSON object.
+#[derive(Debug, Clone, Default)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    pub fn new() -> Map {
+        Map::default()
+    }
+
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for entry in &mut self.entries {
+            if entry.0 == key {
+                return Some(std::mem::replace(&mut entry.1, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+}
+
+/// Key order is presentation, not identity: objects compare equal if they
+/// hold the same entries in any order (matches `serde_json::Map`).
+impl PartialEq for Map {
+    fn eq(&self, other: &Map) -> bool {
+        self.len() == other.len() && self.iter().all(|(k, v)| other.get(k) == Some(v))
+    }
+}
+
+impl FromIterator<(String, Value)> for Map {
+    fn from_iter<I: IntoIterator<Item = (String, Value)>>(iter: I) -> Map {
+        let mut m = Map::new();
+        for (k, v) in iter {
+            m.insert(k, v);
+        }
+        m
+    }
+}
+
+impl Value {
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+
+    /// Renders compact JSON (no whitespace) into `out`.
+    pub fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(true) => out.push_str("true"),
+            Value::Bool(false) => out.push_str("false"),
+            Value::Number(n) => n.write_json(out),
+            Value::String(s) => write_json_string(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Object(m) => {
+                out.push('{');
+                for (i, (k, val)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_json_string(k, out);
+                    out.push(':');
+                    val.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Renders 2-space-indented JSON into `out`.
+    pub fn write_pretty(&self, indent: usize, out: &mut String) {
+        fn push_indent(n: usize, out: &mut String) {
+            for _ in 0..n {
+                out.push_str("  ");
+            }
+        }
+        match self {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(indent + 1, out);
+                    item.write_pretty(indent + 1, out);
+                }
+                out.push('\n');
+                push_indent(indent, out);
+                out.push(']');
+            }
+            Value::Object(m) if !m.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, val)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    push_indent(indent + 1, out);
+                    write_json_string(k, out);
+                    out.push_str(": ");
+                    val.write_pretty(indent + 1, out);
+                }
+                out.push('\n');
+                push_indent(indent, out);
+                out.push('}');
+            }
+            other => other.write_compact(out),
+        }
+    }
+}
+
+impl Number {
+    /// Renders the number as JSON text. Floats use Rust's shortest
+    /// round-trip form (`3.0`, never `3`) so they re-parse as floats;
+    /// non-finite floats become `null`, as in the real serde_json.
+    pub fn write_json(&self, out: &mut String) {
+        match *self {
+            Number::PosInt(v) => out.push_str(&v.to_string()),
+            Number::NegInt(v) => out.push_str(&v.to_string()),
+            Number::Float(v) if v.is_finite() => out.push_str(&format!("{v:?}")),
+            Number::Float(_) => out.push_str("null"),
+        }
+    }
+}
+
+/// Writes `s` as a JSON string literal, escaping as needed.
+pub fn write_json_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Compact JSON, matching `serde_json::Value`'s `Display`.
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        f.write_str(&out)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        self.as_array().and_then(|a| a.get(i)).unwrap_or(&NULL)
+    }
+}
+
+macro_rules! value_eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match self {
+                    Value::Number(Number::PosInt(v)) => *v as i128 == *other as i128,
+                    Value::Number(Number::NegInt(v)) => *v as i128 == *other as i128,
+                    _ => false,
+                }
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+value_eq_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl PartialEq<f64> for Value {
+    fn eq(&self, other: &f64) -> bool {
+        self.as_f64() == Some(*other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+// ----------------------------------------------------------------- error
+
+/// Deserialization failure: what was expected, where.
+#[derive(Debug, Clone)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    pub fn custom(message: impl Into<String>) -> DeError {
+        DeError { message: message.into() }
+    }
+
+    pub fn missing_field(field: &str, container: &str) -> DeError {
+        DeError::custom(format!("missing field `{field}` in {container}"))
+    }
+
+    pub fn unknown_variant(variant: &str, container: &str) -> DeError {
+        DeError::custom(format!("unknown variant `{variant}` for {container}"))
+    }
+
+    pub fn expected(what: &str, container: &str) -> DeError {
+        DeError::custom(format!("invalid type for {container}: expected {what}"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+// ---------------------------------------------------------------- traits
+
+/// Serialization into the shim's data model. `serde_json` renders the
+/// resulting [`Value`] as text.
+pub trait Serialize {
+    fn serialize_value(&self) -> Value;
+}
+
+/// Deserialization from the shim's data model. The lifetime parameter
+/// exists only for signature compatibility with real serde bounds like
+/// `for<'de> Deserialize<'de>`; the shim always copies out of the value.
+pub trait Deserialize<'de>: Sized {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError>;
+
+    /// What to produce when a struct field is absent from the object.
+    /// `None` means "absence is an error" (unless `#[serde(default)]`);
+    /// `Option<T>` overrides this to return `Some(None)`.
+    fn absent() -> Option<Self> {
+        None
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+// ------------------------------------------------------------ leaf impls
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Value {
+    fn deserialize_value(v: &Value) -> Result<Value, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize_value(v: &Value) -> Result<bool, DeError> {
+        v.as_bool().ok_or_else(|| DeError::expected("bool", "bool"))
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::PosInt(*self as u64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_value(v: &Value) -> Result<$t, DeError> {
+                v.as_u64()
+                    .and_then(|n| <$t>::try_from(n).ok())
+                    .ok_or_else(|| DeError::expected(stringify!($t), stringify!($t)))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Number(Number::from_i64(*self as i64))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_value(v: &Value) -> Result<$t, DeError> {
+                match v {
+                    Value::Number(Number::PosInt(n)) => <$t>::try_from(*n).ok(),
+                    Value::Number(Number::NegInt(n)) => <$t>::try_from(*n).ok(),
+                    _ => None,
+                }
+                .ok_or_else(|| DeError::expected(stringify!($t), stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::Float(*self))
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn deserialize_value(v: &Value) -> Result<f64, DeError> {
+        v.as_f64().ok_or_else(|| DeError::expected("number", "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Number(Number::Float(f64::from(*self)))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn deserialize_value(v: &Value) -> Result<f32, DeError> {
+        v.as_f64().map(|f| f as f32).ok_or_else(|| DeError::expected("number", "f32"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize_value(v: &Value) -> Result<String, DeError> {
+        v.as_str().map(str::to_owned).ok_or_else(|| DeError::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for PathBuf {
+    fn serialize_value(&self) -> Value {
+        Value::String(self.to_string_lossy().into_owned())
+    }
+}
+
+impl<'de> Deserialize<'de> for PathBuf {
+    fn deserialize_value(v: &Value) -> Result<PathBuf, DeError> {
+        v.as_str().map(PathBuf::from).ok_or_else(|| DeError::expected("string", "PathBuf"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Option<T>, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize_value(other).map(Some),
+        }
+    }
+
+    fn absent() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Vec<T>, DeError> {
+        v.as_array().ok_or_else(|| DeError::expected("array", "Vec"))?.iter().map(T::deserialize_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($n:literal => $($t:ident . $idx:tt),+) => {
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                let arr = v.as_array().ok_or_else(|| DeError::expected("array", "tuple"))?;
+                if arr.len() != $n {
+                    return Err(DeError::expected(concat!("array of ", $n), "tuple"));
+                }
+                Ok(($($t::deserialize_value(&arr[$idx])?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple!(2 => A.0, B.1);
+impl_tuple!(3 => A.0, B.1, C.2);
+impl_tuple!(4 => A.0, B.1, C.2, D.3);
+
+/// Types usable as JSON object keys. Real serde serializes integer map
+/// keys as strings; this trait reproduces that.
+pub trait MapKey: Sized {
+    fn to_key(&self) -> String;
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<String, DeError> {
+        Ok(key.to_owned())
+    }
+}
+
+macro_rules! impl_map_key_int {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<$t, DeError> {
+                key.parse().map_err(|_| DeError::expected(stringify!($t), "map key"))
+            }
+        }
+    )*};
+}
+
+impl_map_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.to_key(), v.serialize_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<'de, K: MapKey + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v.as_object().ok_or_else(|| DeError::expected("object", "BTreeMap"))?;
+        let mut out = BTreeMap::new();
+        for (k, val) in obj.iter() {
+            out.insert(K::from_key(k)?, V::deserialize_value(val)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: MapKey + Eq + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        let mut m = Map::new();
+        for (k, v) in self {
+            m.insert(k.to_key(), v.serialize_value());
+        }
+        Value::Object(m)
+    }
+}
+
+impl<'de, K: MapKey + Eq + std::hash::Hash, V: Deserialize<'de>> Deserialize<'de> for HashMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        let obj = v.as_object().ok_or_else(|| DeError::expected("object", "HashMap"))?;
+        let mut out = HashMap::with_capacity(obj.len());
+        for (k, val) in obj.iter() {
+            out.insert(K::from_key(k)?, V::deserialize_value(val)?);
+        }
+        Ok(out)
+    }
+}
+
+// --------------------------------------------------- derive codegen support
+
+/// Reads a required struct field (derive support).
+pub fn __field<'de, T: Deserialize<'de>>(m: &Map, key: &str) -> Result<T, DeError> {
+    match m.get(key) {
+        Some(v) => T::deserialize_value(v),
+        None => T::absent().ok_or_else(|| DeError::missing_field(key, "struct")),
+    }
+}
+
+/// Reads a `#[serde(default)]` struct field (derive support).
+pub fn __field_or_default<'de, T: Deserialize<'de> + Default>(m: &Map, key: &str) -> Result<T, DeError> {
+    match m.get(key) {
+        Some(v) => T::deserialize_value(v),
+        None => Ok(T::default()),
+    }
+}
+
+/// Wraps an enum variant payload as `{"Tag": payload}` (derive support).
+pub fn __tagged(tag: &str, payload: Value) -> Value {
+    let mut m = Map::new();
+    m.insert(tag.to_owned(), payload);
+    Value::Object(m)
+}
+
+pub fn __as_object<'v>(v: &'v Value, container: &str) -> Result<&'v Map, DeError> {
+    v.as_object().ok_or_else(|| DeError::expected("object", container))
+}
+
+pub fn __as_array<'v>(v: &'v Value, container: &str) -> Result<&'v Vec<Value>, DeError> {
+    v.as_array().ok_or_else(|| DeError::expected("array", container))
+}
+
+pub fn __index<'v>(arr: &'v [Value], i: usize, container: &str) -> Result<&'v Value, DeError> {
+    arr.get(i).ok_or_else(|| DeError::expected("longer array", container))
+}
+
+/// Unpacks the single `{"Tag": payload}` entry of an externally tagged
+/// enum (derive support).
+pub fn __single_entry<'v>(m: &'v Map, container: &str) -> Result<(&'v str, &'v Value), DeError> {
+    if m.len() != 1 {
+        return Err(DeError::expected("single-key object", container));
+    }
+    m.iter().next().map(|(k, v)| (k.as_str(), v)).ok_or_else(|| DeError::expected("single-key object", container))
+}

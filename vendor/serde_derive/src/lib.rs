@@ -1,0 +1,500 @@
+//! `#[derive(Serialize, Deserialize)]` for the in-tree serde shim.
+//!
+//! The container this repository builds in has no access to crates.io, so
+//! the real `serde_derive` (and its `syn`/`quote` dependency tree) is not
+//! available. This crate re-implements the subset of the derive the
+//! workspace actually uses, parsing the item's token stream by hand and
+//! emitting source text that targets the shim's value-based data model
+//! (`serde::Value`), which `serde_json` then renders and parses.
+//!
+//! Supported shapes:
+//! * structs with named fields (`#[serde(rename = "...")]`,
+//!   `#[serde(default)]` honoured per field);
+//! * tuple structs — one field serializes transparently (newtype), more
+//!   serialize as an array;
+//! * enums with unit, newtype, tuple and struct variants, externally
+//!   tagged exactly like real serde (`"Unit"`, `{"Newtype": v}`,
+//!   `{"Tuple": [..]}`, `{"Struct": {..}}`), with
+//!   `#[serde(rename_all = "lowercase")]` / `"snake_case"` on the item.
+//!
+//! Generics are not supported (nothing in the workspace derives a generic
+//! type); encountering them produces a compile error naming this file.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------- model
+
+struct Input {
+    name: String,
+    rename_all: Option<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    /// Named-field struct.
+    Struct(Vec<Field>),
+    /// Tuple struct with N fields.
+    Tuple(usize),
+    /// Unit struct.
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    rename: Option<String>,
+    default: bool,
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Newtype,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+// ---------------------------------------------------------------- parse
+
+struct Parser {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(stream: TokenStream) -> Self {
+        Parser { tokens: stream.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        self.pos += 1;
+        t
+    }
+
+    fn eat_ident(&mut self, word: &str) -> bool {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == word {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Consumes leading attributes, returning the tokens inside every
+    /// `#[serde(...)]` group encountered.
+    fn eat_attrs(&mut self) -> Vec<Vec<TokenTree>> {
+        let mut serde_attrs = Vec::new();
+        loop {
+            match self.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    self.pos += 1;
+                    if let Some(TokenTree::Group(g)) = self.next() {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        if let Some(TokenTree::Ident(head)) = inner.first() {
+                            if head.to_string() == "serde" {
+                                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                    serde_attrs.push(args.stream().into_iter().collect());
+                                }
+                            }
+                        }
+                    }
+                }
+                _ => return serde_attrs,
+            }
+        }
+    }
+
+    /// Consumes a visibility qualifier if present (`pub`, `pub(crate)`, ...).
+    fn eat_vis(&mut self) {
+        if self.eat_ident("pub") {
+            if let Some(TokenTree::Group(g)) = self.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    self.pos += 1;
+                }
+            }
+        }
+    }
+
+    /// Consumes type tokens up to a top-level comma (tracking `<...>`
+    /// nesting, which the tokenizer does not group). Returns how many
+    /// tokens were consumed.
+    fn skip_type(&mut self) -> usize {
+        let mut angle = 0i32;
+        let mut n = 0;
+        while let Some(t) = self.peek() {
+            if let TokenTree::Punct(p) = t {
+                match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle -= 1,
+                    ',' if angle == 0 => break,
+                    _ => {}
+                }
+            }
+            self.pos += 1;
+            n += 1;
+        }
+        n
+    }
+}
+
+/// Extracts `rename = "..."`, `rename_all = "..."` and `default` markers
+/// from the token lists of `#[serde(...)]` attributes.
+fn serde_options(attrs: &[Vec<TokenTree>]) -> (Option<String>, Option<String>, bool) {
+    let mut rename = None;
+    let mut rename_all = None;
+    let mut default = false;
+    for attr in attrs {
+        let mut i = 0;
+        while i < attr.len() {
+            if let TokenTree::Ident(id) = &attr[i] {
+                match id.to_string().as_str() {
+                    "default" => default = true,
+                    key @ ("rename" | "rename_all") => {
+                        // expect `= "literal"`
+                        if let Some(TokenTree::Literal(lit)) = attr.get(i + 2) {
+                            let text = lit.to_string();
+                            let value = text.trim_matches('"').to_string();
+                            if key == "rename" {
+                                rename = Some(value);
+                            } else {
+                                rename_all = Some(value);
+                            }
+                            i += 2;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    (rename, rename_all, default)
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<Field> {
+    let mut p = Parser::new(group);
+    let mut fields = Vec::new();
+    while p.peek().is_some() {
+        let attrs = p.eat_attrs();
+        let (rename, _, default) = serde_options(&attrs);
+        p.eat_vis();
+        let name = match p.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            _ => break,
+        };
+        // ':'
+        p.next();
+        p.skip_type();
+        // ','
+        p.next();
+        fields.push(Field { name, rename, default });
+    }
+    fields
+}
+
+/// Counts top-level comma-separated entries of a tuple field list.
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut p = Parser::new(group);
+    let mut n = 0;
+    while p.peek().is_some() {
+        p.eat_attrs();
+        p.eat_vis();
+        if p.skip_type() > 0 {
+            n += 1;
+        }
+        p.next(); // ','
+    }
+    n
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let mut p = Parser::new(input);
+    let item_attrs = p.eat_attrs();
+    let (_, rename_all, _) = serde_options(&item_attrs);
+    p.eat_vis();
+
+    let is_enum = if p.eat_ident("struct") {
+        false
+    } else if p.eat_ident("enum") {
+        true
+    } else {
+        return Err("serde_derive shim: expected `struct` or `enum`".into());
+    };
+
+    let name = match p.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("serde_derive shim: missing item name".into()),
+    };
+
+    if let Some(TokenTree::Punct(pc)) = p.peek() {
+        if pc.as_char() == '<' {
+            return Err(format!(
+                "serde_derive shim: generic type `{name}` is not supported (crates/vendor/serde_derive)"
+            ));
+        }
+    }
+
+    let kind = if is_enum {
+        let body = match p.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+            _ => return Err("serde_derive shim: malformed enum body".into()),
+        };
+        let mut vp = Parser::new(body);
+        let mut variants = Vec::new();
+        while vp.peek().is_some() {
+            vp.eat_attrs();
+            let vname = match vp.next() {
+                Some(TokenTree::Ident(i)) => i.to_string(),
+                _ => break,
+            };
+            let shape = match vp.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    let n = count_tuple_fields(g.stream());
+                    vp.pos += 1;
+                    if n == 1 {
+                        VariantShape::Newtype
+                    } else {
+                        VariantShape::Tuple(n)
+                    }
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    let fields = parse_named_fields(g.stream());
+                    vp.pos += 1;
+                    VariantShape::Struct(fields)
+                }
+                _ => VariantShape::Unit,
+            };
+            vp.next(); // ','
+            variants.push(Variant { name: vname, shape });
+        }
+        Kind::Enum(variants)
+    } else {
+        match p.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Kind::Unit,
+        }
+    };
+
+    Ok(Input { name, rename_all, kind })
+}
+
+// -------------------------------------------------------------- codegen
+
+fn apply_rename_all(name: &str, rule: Option<&str>) -> String {
+    match rule {
+        Some("lowercase") => name.to_lowercase(),
+        Some("UPPERCASE") => name.to_uppercase(),
+        Some("snake_case") => {
+            let mut out = String::new();
+            for (i, c) in name.chars().enumerate() {
+                if c.is_uppercase() {
+                    if i > 0 {
+                        out.push('_');
+                    }
+                    out.extend(c.to_lowercase());
+                } else {
+                    out.push(c);
+                }
+            }
+            out
+        }
+        _ => name.to_string(),
+    }
+}
+
+fn json_name(field: &Field) -> String {
+    field.rename.clone().unwrap_or_else(|| field.name.clone())
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(fields) => {
+            let mut s = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert({:?}.to_string(), ::serde::Serialize::serialize_value(&self.{}));\n",
+                    json_name(f),
+                    f.name
+                ));
+            }
+            s.push_str("::serde::Value::Object(m)");
+            s
+        }
+        Kind::Tuple(1) => "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::serialize_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let tag = apply_rename_all(&v.name, input.rename_all.as_deref());
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::String({tag:?}.to_string()),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Newtype => arms.push_str(&format!(
+                        "{name}::{v}(x0) => ::serde::__tagged({tag:?}, ::serde::Serialize::serialize_value(x0)),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> =
+                            binds.iter().map(|b| format!("::serde::Serialize::serialize_value({b})")).collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({b}) => ::serde::__tagged({tag:?}, ::serde::Value::Array(vec![{i}])),\n",
+                            v = v.name,
+                            b = binds.join(", "),
+                            i = items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::from("let mut m = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "m.insert({:?}.to_string(), ::serde::Serialize::serialize_value({}));\n",
+                                json_name(f),
+                                f.name
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {b} }} => {{ {inner} ::serde::__tagged({tag:?}, ::serde::Value::Object(m)) }}\n",
+                            v = v.name,
+                            b = binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn serialize_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_field_reads(fields: &[Field], map_expr: &str) -> String {
+    let mut s = String::new();
+    for f in fields {
+        let helper = if f.default { "__field_or_default" } else { "__field" };
+        s.push_str(&format!("{}: ::serde::{helper}({map_expr}, {:?})?,\n", f.name, json_name(f)));
+    }
+    s
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(fields) => format!(
+            "let obj = ::serde::__as_object(v, {name:?})?;\n\
+             ::std::result::Result::Ok({name} {{\n{}}})",
+            gen_field_reads(fields, "obj")
+        ),
+        Kind::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::deserialize_value(v)?))")
+        }
+        Kind::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(::serde::__index(arr, {i}, {name:?})?)?"))
+                .collect();
+            format!(
+                "let arr = ::serde::__as_array(v, {name:?})?;\n\
+                 ::std::result::Result::Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::Unit => format!("let _ = v; ::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let tag = apply_rename_all(&v.name, input.rename_all.as_deref());
+                match &v.shape {
+                    VariantShape::Unit => {
+                        unit_arms.push_str(&format!(
+                            "{tag:?} => ::std::result::Result::Ok({name}::{v}),\n",
+                            v = v.name
+                        ));
+                    }
+                    VariantShape::Newtype => data_arms.push_str(&format!(
+                        "{tag:?} => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::deserialize_value(payload)?)),\n",
+                        v = v.name
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::deserialize_value(::serde::__index(arr, {i}, {name:?})?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "{tag:?} => {{ let arr = ::serde::__as_array(payload, {name:?})?;\n\
+                             ::std::result::Result::Ok({name}::{v}({items})) }}\n",
+                            v = v.name,
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => data_arms.push_str(&format!(
+                        "{tag:?} => {{ let obj = ::serde::__as_object(payload, {name:?})?;\n\
+                         ::std::result::Result::Ok({name}::{v} {{\n{reads}}}) }}\n",
+                        v = v.name,
+                        reads = gen_field_reads(fields, "obj")
+                    )),
+                }
+            }
+            format!(
+                "match v {{\n\
+                 ::serde::Value::String(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError::unknown_variant(other, {name:?})),\n}},\n\
+                 ::serde::Value::Object(m) => {{\n\
+                 let (tag, payload) = ::serde::__single_entry(m, {name:?})?;\n\
+                 match tag {{\n{data_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError::unknown_variant(other, {name:?})),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::expected(\"string or single-key object\", {name:?})),\n}}"
+            )
+        }
+    };
+    format!(
+        "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn expand(input: TokenStream, gen: fn(&Input) -> String) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => gen(&parsed).parse().expect("serde_derive shim generated invalid Rust"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
