@@ -26,7 +26,10 @@
 //! failure as "leave the job untouched" — a dead daemon degrades to
 //! vanilla Slurm, never to a stuck scheduler.
 //!
-//! * [`server`] — accept loop, worker pool, per-request deadlines;
+//! * [`server`] — accept loop, worker pool, Busy back-pressure;
+//! * [`service`] — the transport-free request engine (deadlines,
+//!   miss/error classification, counters) shared by the TCP server and
+//!   the deterministic simulation harness;
 //! * [`registry`] — sharded LRU map of pre-computed answers;
 //! * [`backend`] — where models come from (staged disk layout, or a
 //!   static set for tests);
@@ -38,9 +41,11 @@
 pub mod backend;
 pub mod registry;
 pub mod server;
+pub mod service;
 pub mod stats;
 
 pub use backend::{ModelBackend, PreparedModel, StaticBackend, StorageBackend};
 pub use registry::{ModelKey, ModelRegistry, ResidentModel};
 pub use server::{PredictServer, ServerConfig};
+pub use service::{PredictService, QueueGauges, ServiceClock, WallClock};
 pub use stats::ServerStats;

@@ -5,25 +5,24 @@
 //! answers `Busy { retry_after_ms }` on the new connection and closes
 //! it, instead of letting latency pile up invisibly. Workers own a
 //! connection for its lifetime and answer any number of pipelined
-//! requests on it; each request may carry a deadline budget that turns
-//! a too-slow answer into `DeadlineExceeded` — the client's cue to
-//! fall back rather than stall the scheduler's submit path.
+//! requests on it; the request semantics themselves (deadline budgets,
+//! miss/error classification, counters) live in the transport-free
+//! [`crate::service::PredictService`], which this module only carries
+//! frames to and from.
 
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use bytes::BytesMut;
-use chronus::error::ChronusError;
-use chronus::remote::{take_frame, write_frame, Request, RequestFrame, Response, StatsSnapshot};
+use chronus::remote::{take_frame, write_frame, Response, StatsSnapshot};
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 
 use crate::backend::ModelBackend;
 use crate::registry::ModelRegistry;
-use crate::stats::ServerStats;
+use crate::service::{PredictService, QueueGauges};
 
 /// Server knobs.
 #[derive(Debug, Clone)]
@@ -55,32 +54,19 @@ impl Default for ServerConfig {
     }
 }
 
-/// How long a burn request may hold a worker (keeps the diagnostics
-/// verb from being a denial-of-service tool).
-const MAX_BURN_MS: u64 = 10_000;
-
 /// Idle tick on worker connections: how often a blocked read wakes up
 /// to check for shutdown.
 const READ_TICK: Duration = Duration::from_millis(25);
 
 struct Ctx {
-    registry: ModelRegistry,
-    stats: ServerStats,
-    backend: Arc<dyn ModelBackend>,
-    shutdown: AtomicBool,
+    service: PredictService,
     queue_cap: usize,
     workers: usize,
 }
 
 impl Ctx {
-    fn snapshot(&self, queue_depth: usize) -> StatsSnapshot {
-        self.stats.snapshot(
-            queue_depth as u64,
-            self.queue_cap as u64,
-            self.workers as u64,
-            self.registry.len() as u64,
-            self.registry.evictions(),
-        )
+    fn gauges(&self, queue_depth: usize) -> QueueGauges {
+        QueueGauges { depth: queue_depth as u64, capacity: self.queue_cap as u64, workers: self.workers as u64 }
     }
 }
 
@@ -102,10 +88,7 @@ impl PredictServer {
         let addr = listener.local_addr()?;
         let workers_n = cfg.workers.max(1);
         let ctx = Arc::new(Ctx {
-            registry: ModelRegistry::new(cfg.cache_shards, cfg.cache_cap),
-            stats: ServerStats::new(),
-            backend,
-            shutdown: AtomicBool::new(false),
+            service: PredictService::new(cfg.cache_shards, cfg.cache_cap, backend),
             queue_cap: cfg.queue_cap.max(1),
             workers: workers_n,
         });
@@ -143,16 +126,16 @@ impl PredictServer {
     /// A counters snapshot taken in-process (no RPC round trip).
     pub fn snapshot(&self) -> StatsSnapshot {
         let depth = self.tx.as_ref().map(|t| t.len()).unwrap_or(0);
-        self.ctx.snapshot(depth)
+        self.ctx.service.snapshot(self.ctx.gauges(depth))
     }
 
     /// Direct registry access for tests and the CLI's preload-at-boot.
     pub fn registry(&self) -> &ModelRegistry {
-        &self.ctx.registry
+        self.ctx.service.registry()
     }
 
     fn shutdown_impl(&mut self) {
-        self.ctx.shutdown.store(true, Ordering::SeqCst);
+        self.ctx.service.begin_shutdown();
         // Unblock the accept loop with a throwaway connection; it
         // checks the flag before doing anything with it.
         let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
@@ -181,7 +164,7 @@ impl Drop for PredictServer {
 
 fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, ctx: Arc<Ctx>, retry_after_ms: u64) {
     for conn in listener.incoming() {
-        if ctx.shutdown.load(Ordering::SeqCst) {
+        if ctx.service.is_shutting_down() {
             break;
         }
         let stream = match conn {
@@ -191,7 +174,7 @@ fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, ctx: Arc<Ctx>, retr
         match tx.try_send(stream) {
             Ok(()) => {}
             Err(TrySendError::Full(mut stream)) => {
-                ctx.stats.busy_rejection();
+                ctx.service.stats().busy_rejection();
                 let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
                 let _ = write_frame(&mut stream, &Response::Busy { retry_after_ms });
                 // dropping the stream closes the bounced connection
@@ -203,7 +186,7 @@ fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, ctx: Arc<Ctx>, retr
 
 fn worker_loop(rx: Receiver<TcpStream>, ctx: Arc<Ctx>) {
     while let Ok(stream) = rx.recv() {
-        if ctx.shutdown.load(Ordering::SeqCst) {
+        if ctx.service.is_shutting_down() {
             break;
         }
         serve_connection(stream, &ctx, &rx);
@@ -223,7 +206,8 @@ fn serve_connection(mut stream: TcpStream, ctx: &Ctx, rx: &Receiver<TcpStream>) 
         loop {
             match take_frame(&mut buf) {
                 Ok(Some(payload)) => {
-                    if !answer(&payload, &mut stream, ctx, rx) {
+                    let response = ctx.service.handle_frame(&payload, ctx.gauges(rx.len()));
+                    if write_frame(&mut stream, &response).is_err() {
                         return;
                     }
                 }
@@ -236,101 +220,12 @@ fn serve_connection(mut stream: TcpStream, ctx: &Ctx, rx: &Receiver<TcpStream>) 
             Ok(0) => return,
             Ok(n) => buf.put_slice(&chunk[..n]),
             Err(e) if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) => {
-                if ctx.shutdown.load(Ordering::SeqCst) {
+                if ctx.service.is_shutting_down() {
                     return;
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(_) => return,
-        }
-    }
-}
-
-/// Handles one frame; returns false when the connection should close.
-fn answer(payload: &[u8], stream: &mut TcpStream, ctx: &Ctx, rx: &Receiver<TcpStream>) -> bool {
-    let started = Instant::now();
-    ctx.stats.request();
-    let response = match serde_json::from_slice::<RequestFrame>(payload) {
-        Ok(frame) => {
-            let response = handle_request(frame.body, ctx, rx);
-            match frame.deadline_ms {
-                Some(budget) if started.elapsed() > Duration::from_millis(budget) => {
-                    ctx.stats.deadline_exceeded();
-                    Response::DeadlineExceeded
-                }
-                _ => response,
-            }
-        }
-        Err(e) => {
-            ctx.stats.error();
-            Response::Error { message: format!("malformed request: {e}") }
-        }
-    };
-    ctx.stats.record_latency_us(started.elapsed().as_micros() as u64);
-    write_frame(stream, &response).is_ok()
-}
-
-fn handle_request(request: Request, ctx: &Ctx, rx: &Receiver<TcpStream>) -> Response {
-    match request {
-        Request::Ping => Response::Pong,
-        Request::Predict { system_hash, binary_hash } => {
-            ctx.stats.prediction();
-            if let Some(config) = ctx.registry.get(&(system_hash, binary_hash)) {
-                ctx.stats.cache_hit();
-                return Response::Config(config);
-            }
-            ctx.stats.cache_miss();
-            match ctx.backend.lookup(system_hash, binary_hash) {
-                Ok(model) => {
-                    let config = model.config;
-                    ctx.registry.insert(
-                        (model.system_hash, model.binary_hash),
-                        model.model_id,
-                        model.model_type,
-                        config,
-                    );
-                    Response::Config(config)
-                }
-                // "no answer for this key" is a protocol-level miss …
-                Err(ChronusError::NotFound(_)) | Err(ChronusError::Model(_)) => {
-                    Response::Miss { system_hash, binary_hash }
-                }
-                // … anything else is the daemon's own problem
-                Err(e) => {
-                    ctx.stats.error();
-                    Response::Error { message: e.to_string() }
-                }
-            }
-        }
-        Request::Preload { model_id } => match ctx.backend.load(model_id) {
-            Ok(model) => {
-                let response = Response::Preloaded {
-                    model_id: model.model_id,
-                    model_type: model.model_type.clone(),
-                    system_hash: model.system_hash,
-                    binary_hash: model.binary_hash,
-                };
-                ctx.registry.insert(
-                    (model.system_hash, model.binary_hash),
-                    model.model_id,
-                    model.model_type,
-                    model.config,
-                );
-                response
-            }
-            Err(e) => {
-                ctx.stats.error();
-                Response::Error { message: e.to_string() }
-            }
-        },
-        Request::Stats => Response::Stats(ctx.snapshot(rx.len())),
-        Request::Burn { ms } => {
-            let budget = Duration::from_millis(ms.min(MAX_BURN_MS));
-            let started = Instant::now();
-            while started.elapsed() < budget && !ctx.shutdown.load(Ordering::SeqCst) {
-                std::thread::sleep(READ_TICK.min(budget - started.elapsed().min(budget)));
-            }
-            Response::Burned
         }
     }
 }

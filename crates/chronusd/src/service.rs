@@ -1,0 +1,299 @@
+//! The daemon's request engine, independent of any transport.
+//!
+//! [`PredictService`] owns the registry, backend, counters and shutdown
+//! flag, and turns one request frame into one response. The TCP server
+//! in [`crate::server`] feeds it frames read off worker-owned sockets;
+//! the `simtest` harness feeds it frames over an in-memory channel on
+//! virtual time. Keeping the engine transport-free is what makes the
+//! daemon's semantics (deadline accounting, miss/error classification,
+//! counter conservation) testable deterministically.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use chronus::error::ChronusError;
+use chronus::remote::{Request, RequestFrame, Response, StatsSnapshot};
+
+use crate::backend::ModelBackend;
+use crate::registry::ModelRegistry;
+use crate::stats::ServerStats;
+
+/// How long a burn request may hold a worker (keeps the diagnostics
+/// verb from being a denial-of-service tool).
+const MAX_BURN_MS: u64 = 10_000;
+
+/// How often a burning worker wakes to check for shutdown.
+const BURN_TICK: Duration = Duration::from_millis(25);
+
+/// The clock the service measures request handling time with. Deadline
+/// enforcement and the latency histogram both go through this, so a
+/// simulated clock makes `DeadlineExceeded` a deterministic function of
+/// injected delays rather than of host scheduling jitter.
+pub trait ServiceClock: Send + Sync {
+    /// Microseconds since an arbitrary fixed epoch.
+    fn now_micros(&self) -> u64;
+}
+
+/// The production clock: monotonic wall time via [`Instant`].
+#[derive(Debug)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    pub fn new() -> WallClock {
+        WallClock { epoch: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl ServiceClock for WallClock {
+    fn now_micros(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
+    }
+}
+
+/// Accept-side gauges the service cannot see itself: they describe the
+/// transport's connection queue, so whoever owns the transport samples
+/// them and passes them in for `Stats` answers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueueGauges {
+    /// Connections waiting between accept and a worker right now.
+    pub depth: u64,
+    /// Accept-queue capacity.
+    pub capacity: u64,
+    /// Worker threads serving connections.
+    pub workers: u64,
+}
+
+/// The transport-independent daemon core: one instance per daemon,
+/// shared by every worker (all methods take `&self`).
+pub struct PredictService {
+    registry: ModelRegistry,
+    stats: ServerStats,
+    backend: Arc<dyn ModelBackend>,
+    clock: Arc<dyn ServiceClock>,
+    shutdown: AtomicBool,
+}
+
+impl PredictService {
+    /// A service on the wall clock.
+    pub fn new(cache_shards: usize, cache_cap: usize, backend: Arc<dyn ModelBackend>) -> PredictService {
+        PredictService::with_clock(cache_shards, cache_cap, backend, Arc::new(WallClock::new()))
+    }
+
+    /// A service on an explicit clock (virtual time in simulation).
+    pub fn with_clock(
+        cache_shards: usize,
+        cache_cap: usize,
+        backend: Arc<dyn ModelBackend>,
+        clock: Arc<dyn ServiceClock>,
+    ) -> PredictService {
+        PredictService {
+            registry: ModelRegistry::new(cache_shards, cache_cap),
+            stats: ServerStats::new(),
+            backend,
+            clock,
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The model registry (tests, preload-at-boot).
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.registry
+    }
+
+    /// The operational counters.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// Raises the shutdown flag; burning workers notice within a tick.
+    pub fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// True once shutdown has begun.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// A counters snapshot; queue gauges come from the transport.
+    pub fn snapshot(&self, gauges: QueueGauges) -> StatsSnapshot {
+        self.stats.snapshot(
+            gauges.depth,
+            gauges.capacity,
+            gauges.workers,
+            self.registry.len() as u64,
+            self.registry.evictions(),
+        )
+    }
+
+    /// Handles one complete frame payload end to end: counts it,
+    /// parses it, serves it, enforces its deadline budget and records
+    /// its latency. The caller only ships the returned response back.
+    pub fn handle_frame(&self, payload: &[u8], gauges: QueueGauges) -> Response {
+        let started = self.clock.now_micros();
+        self.stats.request();
+        let response = match serde_json::from_slice::<RequestFrame>(payload) {
+            Ok(frame) => {
+                let response = self.handle_request(frame.body, gauges);
+                let elapsed_us = self.clock.now_micros().saturating_sub(started);
+                match frame.deadline_ms {
+                    Some(budget) if elapsed_us > budget * 1000 => {
+                        self.stats.deadline_exceeded();
+                        Response::DeadlineExceeded
+                    }
+                    _ => response,
+                }
+            }
+            Err(e) => {
+                self.stats.error();
+                Response::Error { message: format!("malformed request: {e}") }
+            }
+        };
+        self.stats.record_latency_us(self.clock.now_micros().saturating_sub(started));
+        response
+    }
+
+    fn handle_request(&self, request: Request, gauges: QueueGauges) -> Response {
+        match request {
+            Request::Ping => Response::Pong,
+            Request::Predict { system_hash, binary_hash } => {
+                self.stats.prediction();
+                if let Some(config) = self.registry.get(&(system_hash, binary_hash)) {
+                    self.stats.cache_hit();
+                    return Response::Config(config);
+                }
+                self.stats.cache_miss();
+                match self.backend.lookup(system_hash, binary_hash) {
+                    Ok(model) => {
+                        let config = model.config;
+                        self.registry.insert(
+                            (model.system_hash, model.binary_hash),
+                            model.model_id,
+                            model.model_type,
+                            config,
+                        );
+                        Response::Config(config)
+                    }
+                    // "no answer for this key" is a protocol-level miss …
+                    Err(ChronusError::NotFound(_)) | Err(ChronusError::Model(_)) => {
+                        Response::Miss { system_hash, binary_hash }
+                    }
+                    // … anything else is the daemon's own problem
+                    Err(e) => {
+                        self.stats.error();
+                        Response::Error { message: e.to_string() }
+                    }
+                }
+            }
+            Request::Preload { model_id } => match self.backend.load(model_id) {
+                Ok(model) => {
+                    let response = Response::Preloaded {
+                        model_id: model.model_id,
+                        model_type: model.model_type.clone(),
+                        system_hash: model.system_hash,
+                        binary_hash: model.binary_hash,
+                    };
+                    self.registry.insert(
+                        (model.system_hash, model.binary_hash),
+                        model.model_id,
+                        model.model_type,
+                        model.config,
+                    );
+                    response
+                }
+                Err(e) => {
+                    self.stats.error();
+                    Response::Error { message: e.to_string() }
+                }
+            },
+            Request::Stats => Response::Stats(self.snapshot(gauges)),
+            Request::Burn { ms } => {
+                let budget = Duration::from_millis(ms.min(MAX_BURN_MS));
+                let started = Instant::now();
+                while started.elapsed() < budget && !self.is_shutting_down() {
+                    std::thread::sleep(BURN_TICK.min(budget - started.elapsed().min(budget)));
+                }
+                Response::Burned
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::StaticBackend;
+    use eco_sim_node::cpu::CpuConfig;
+    use std::sync::atomic::AtomicU64;
+
+    fn service_with_one_model() -> PredictService {
+        let backend = StaticBackend::new(vec![crate::backend::PreparedModel {
+            model_id: 1,
+            model_type: "brute-force".into(),
+            system_hash: 10,
+            binary_hash: 20,
+            config: CpuConfig::new(16, 2_200_000, 1),
+        }]);
+        PredictService::new(2, 8, Arc::new(backend))
+    }
+
+    fn frame_bytes(frame: &RequestFrame) -> Vec<u8> {
+        serde_json::to_vec(frame).unwrap()
+    }
+
+    #[test]
+    fn predict_hits_backend_then_registry() {
+        let svc = service_with_one_model();
+        let payload = frame_bytes(&RequestFrame::new(Request::Predict { system_hash: 10, binary_hash: 20 }));
+        assert!(matches!(svc.handle_frame(&payload, QueueGauges::default()), Response::Config(_)));
+        assert!(matches!(svc.handle_frame(&payload, QueueGauges::default()), Response::Config(_)));
+        let snap = svc.snapshot(QueueGauges::default());
+        assert_eq!((snap.cache_misses, snap.cache_hits), (1, 1));
+        assert_eq!(snap.requests_total, 2);
+    }
+
+    #[test]
+    fn unknown_key_is_a_miss_not_an_error() {
+        let svc = service_with_one_model();
+        let payload = frame_bytes(&RequestFrame::new(Request::Predict { system_hash: 9, binary_hash: 9 }));
+        assert!(matches!(
+            svc.handle_frame(&payload, QueueGauges::default()),
+            Response::Miss { system_hash: 9, binary_hash: 9 }
+        ));
+        assert_eq!(svc.snapshot(QueueGauges::default()).errors, 0);
+    }
+
+    #[test]
+    fn malformed_payload_is_counted_and_answered() {
+        let svc = service_with_one_model();
+        let resp = svc.handle_frame(b"not json", QueueGauges::default());
+        assert!(matches!(resp, Response::Error { .. }));
+        let snap = svc.snapshot(QueueGauges::default());
+        assert_eq!((snap.requests_total, snap.errors), (1, 1));
+    }
+
+    #[test]
+    fn deadline_is_enforced_on_the_injected_clock() {
+        struct JumpClock(std::sync::atomic::AtomicU64);
+        impl ServiceClock for JumpClock {
+            fn now_micros(&self) -> u64 {
+                // every observation moves time forward 30 ms
+                self.0.fetch_add(30_000, Ordering::Relaxed)
+            }
+        }
+        let backend = StaticBackend::new(vec![]);
+        let svc = PredictService::with_clock(1, 4, Arc::new(backend), Arc::new(JumpClock(AtomicU64::new(0))));
+        let payload = frame_bytes(&RequestFrame::with_deadline(Request::Ping, 10));
+        assert!(matches!(svc.handle_frame(&payload, QueueGauges::default()), Response::DeadlineExceeded));
+        assert_eq!(svc.snapshot(QueueGauges::default()).deadline_exceeded, 1);
+    }
+}

@@ -11,6 +11,14 @@
 //! violation and close the connection. Requests travel wrapped in a
 //! [`RequestFrame`] so each one can carry an optional deadline budget;
 //! responses are a bare [`Response`].
+//!
+//! ## Transports
+//!
+//! The client is generic over a [`Transport`] that dials connections and
+//! owns every wait the client performs (busy back-off, retry back-off).
+//! [`TcpTransport`] is the production path; the `simtest` crate plugs in
+//! an in-memory channel whose `sleep` advances a discrete-event clock,
+//! so the whole retry/backoff state machine runs on virtual time.
 
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -190,6 +198,74 @@ pub fn take_frame(buf: &mut BytesMut) -> std::io::Result<Option<Vec<u8>>> {
 }
 
 // ---------------------------------------------------------------------------
+// Transport
+// ---------------------------------------------------------------------------
+
+/// A bidirectional byte stream the client can frame messages over.
+///
+/// Blanket-implemented for anything `Read + Write + Send`, so
+/// `TcpStream` and in-memory simulated channels qualify alike.
+pub trait Connection: Read + Write + Send {}
+
+impl<T: Read + Write + Send> Connection for T {}
+
+/// How the client reaches the daemon: dials connections and serves
+/// every wait the client wants to perform. Production code uses
+/// [`TcpTransport`]; deterministic tests substitute a channel whose
+/// `sleep` advances simulated time instead of blocking the thread.
+pub trait Transport: Send {
+    /// Opens a fresh connection to the daemon.
+    fn connect(&mut self) -> std::io::Result<Box<dyn Connection>>;
+
+    /// Human-readable endpoint description for logs.
+    fn describe(&self) -> String;
+
+    /// Waits out a back-off interval. The default blocks the calling
+    /// thread; virtual-time transports advance their clock instead.
+    fn sleep(&mut self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// The production transport: plain TCP with connect and I/O timeouts.
+#[derive(Debug, Clone)]
+pub struct TcpTransport {
+    addr: String,
+    connect_timeout: Duration,
+    io_timeout: Duration,
+}
+
+impl TcpTransport {
+    /// A transport dialing `addr` with the given timeouts. The I/O
+    /// timeout applies to both reads and writes on the dialed stream.
+    pub fn new(addr: impl Into<String>, connect_timeout: Duration, io_timeout: Duration) -> TcpTransport {
+        TcpTransport { addr: addr.into(), connect_timeout, io_timeout }
+    }
+}
+
+impl Transport for TcpTransport {
+    fn connect(&mut self) -> std::io::Result<Box<dyn Connection>> {
+        let mut last = std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "no addresses resolved");
+        for addr in self.addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&addr, self.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(self.io_timeout))?;
+                    stream.set_write_timeout(Some(self.io_timeout))?;
+                    let _ = stream.set_nodelay(true);
+                    return Ok(Box::new(stream));
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(last)
+    }
+
+    fn describe(&self) -> String {
+        self.addr.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Client
 // ---------------------------------------------------------------------------
 
@@ -281,12 +357,23 @@ impl Default for ClientConfig {
 /// A blocking client for the chronusd daemon. Holds one persistent
 /// connection, reconnecting lazily after any failure; every RPC retries
 /// a bounded number of times with linear backoff, honouring the
-/// daemon's `Busy { retry_after_ms }` hint.
-#[derive(Debug)]
+/// daemon's `Busy { retry_after_ms }` hint. All waiting goes through
+/// the [`Transport`], so a simulated transport sees every back-off.
 pub struct PredictClient {
-    addr: String,
+    desc: String,
     cfg: ClientConfig,
-    stream: Option<TcpStream>,
+    transport: Box<dyn Transport>,
+    conn: Option<Box<dyn Connection>>,
+}
+
+impl std::fmt::Debug for PredictClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PredictClient")
+            .field("endpoint", &self.desc)
+            .field("cfg", &self.cfg)
+            .field("connected", &self.conn.is_some())
+            .finish()
+    }
 }
 
 impl PredictClient {
@@ -296,42 +383,37 @@ impl PredictClient {
         PredictClient::with_config(addr, ClientConfig::default())
     }
 
-    /// A client with explicit knobs.
+    /// A TCP client with explicit knobs.
     pub fn with_config(addr: impl Into<String>, cfg: ClientConfig) -> PredictClient {
-        PredictClient { addr: addr.into(), cfg, stream: None }
+        let transport = TcpTransport::new(addr, cfg.connect_timeout, cfg.read_timeout);
+        PredictClient::with_transport(Box::new(transport), cfg)
     }
 
-    /// The daemon address this client talks to.
+    /// A client over an arbitrary transport (in-memory, fault-injecting,
+    /// ...). The transport owns connect timeouts; `cfg` still governs
+    /// retries, backoff and the per-request deadline stamp.
+    pub fn with_transport(transport: Box<dyn Transport>, cfg: ClientConfig) -> PredictClient {
+        PredictClient { desc: transport.describe(), cfg, transport, conn: None }
+    }
+
+    /// The daemon endpoint this client talks to.
     pub fn addr(&self) -> &str {
-        &self.addr
+        &self.desc
     }
 
     fn connect(&mut self) -> std::result::Result<(), RemoteError> {
-        if self.stream.is_some() {
+        if self.conn.is_some() {
             return Ok(());
         }
-        let mut last = std::io::Error::new(std::io::ErrorKind::AddrNotAvailable, "no addresses resolved");
-        let addrs = self.addr.to_socket_addrs().map_err(RemoteError::Connect)?;
-        for addr in addrs {
-            match TcpStream::connect_timeout(&addr, self.cfg.connect_timeout) {
-                Ok(stream) => {
-                    stream.set_read_timeout(Some(self.cfg.read_timeout)).map_err(RemoteError::Connect)?;
-                    stream.set_write_timeout(Some(self.cfg.read_timeout)).map_err(RemoteError::Connect)?;
-                    let _ = stream.set_nodelay(true);
-                    self.stream = Some(stream);
-                    return Ok(());
-                }
-                Err(e) => last = e,
-            }
-        }
-        Err(RemoteError::Connect(last))
+        self.conn = Some(self.transport.connect().map_err(RemoteError::Connect)?);
+        Ok(())
     }
 
     fn exchange_once(&mut self, frame: &RequestFrame) -> std::result::Result<Response, RemoteError> {
         self.connect()?;
-        let stream = self.stream.as_mut().expect("connect() leaves a stream");
-        write_frame(stream, frame).map_err(RemoteError::Io)?;
-        read_frame(stream).map_err(|e| {
+        let conn = self.conn.as_mut().expect("connect() leaves a connection");
+        write_frame(conn, frame).map_err(RemoteError::Io)?;
+        read_frame(conn).map_err(|e| {
             if e.kind() == std::io::ErrorKind::InvalidData {
                 RemoteError::Protocol(e.to_string())
             } else {
@@ -351,19 +433,20 @@ impl PredictClient {
             match self.exchange_once(&frame) {
                 Ok(Response::Busy { retry_after_ms }) => {
                     // The daemon closes the connection after a Busy bounce.
-                    self.stream = None;
+                    self.conn = None;
                     if attempt > self.cfg.max_retries {
                         return Err(RemoteError::Busy { retry_after_ms, attempts: attempt });
                     }
-                    std::thread::sleep(Duration::from_millis(retry_after_ms.min(50)));
+                    self.transport.sleep(Duration::from_millis(retry_after_ms.min(50)));
                 }
                 Ok(resp) => return Ok(resp),
                 Err(e) => {
-                    self.stream = None;
+                    self.conn = None;
                     if attempt > self.cfg.max_retries {
                         return Err(e);
                     }
-                    std::thread::sleep(self.cfg.backoff * attempt);
+                    let backoff = self.cfg.backoff * attempt;
+                    self.transport.sleep(backoff);
                 }
             }
         }
@@ -467,6 +550,11 @@ impl RemotePrediction {
     /// A remote source with explicit client knobs.
     pub fn with_config(addr: impl Into<String>, cfg: ClientConfig) -> RemotePrediction {
         RemotePrediction { client: parking_lot::Mutex::new(PredictClient::with_config(addr, cfg)) }
+    }
+
+    /// A remote source over an arbitrary [`Transport`].
+    pub fn with_transport(transport: Box<dyn Transport>, cfg: ClientConfig) -> RemotePrediction {
+        RemotePrediction { client: parking_lot::Mutex::new(PredictClient::with_transport(transport, cfg)) }
     }
 }
 

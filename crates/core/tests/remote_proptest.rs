@@ -1,0 +1,139 @@
+//! Property-based tests for the `chronus::remote` wire codec: arbitrary
+//! frames survive encode → decode identically, arbitrary junk never
+//! panics the framing layer, and streaming reassembly is insensitive to
+//! how the bytes are chunked.
+
+use bytes::BytesMut;
+use chronus::remote::{read_frame, take_frame, write_frame, Request, RequestFrame, Response, StatsSnapshot};
+use eco_sim_node::cpu::CpuConfig;
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = CpuConfig> {
+    (1u32..=64, prop::sample::select(vec![1_500_000u64, 2_200_000, 2_500_000]), 1u32..=2)
+        .prop_map(|(c, f, t)| CpuConfig::new(c, f, t))
+}
+
+fn arb_request() -> impl Strategy<Value = Request> {
+    (0u32..5, (0u64..=u64::MAX), (0u64..=u64::MAX), (-1_000i64..=1_000_000), 0u64..=20_000).prop_map(
+        |(kind, a, b, id, ms)| match kind {
+            0 => Request::Ping,
+            1 => Request::Predict { system_hash: a, binary_hash: b },
+            2 => Request::Preload { model_id: id },
+            3 => Request::Stats,
+            _ => Request::Burn { ms },
+        },
+    )
+}
+
+fn arb_frame() -> impl Strategy<Value = RequestFrame> {
+    (arb_request(), prop::option::of(0u64..=60_000))
+        .prop_map(|(body, deadline_ms)| RequestFrame { deadline_ms, body })
+}
+
+fn arb_snapshot() -> impl Strategy<Value = StatsSnapshot> {
+    prop::collection::vec(0u64..=u64::MAX, 15).prop_map(|v| StatsSnapshot {
+        requests_total: v[0],
+        predictions: v[1],
+        cache_hits: v[2],
+        cache_misses: v[3],
+        busy_rejections: v[4],
+        deadline_exceeded: v[5],
+        errors: v[6],
+        queue_depth: v[7],
+        queue_capacity: v[8],
+        workers: v[9],
+        models_resident: v[10],
+        evictions: v[11],
+        latency_p50_us: v[12],
+        latency_p99_us: v[13],
+        latency_max_us: v[14],
+    })
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (0u32..9, arb_config(), arb_snapshot(), (0u64..=u64::MAX), (0u64..=u64::MAX), (-1_000i64..=1_000_000), ".{0,80}")
+        .prop_map(|(kind, config, stats, a, b, id, text)| match kind {
+            0 => Response::Pong,
+            1 => Response::Config(config),
+            2 => Response::Preloaded { model_id: id, model_type: text, system_hash: a, binary_hash: b },
+            3 => Response::Stats(stats),
+            4 => Response::Busy { retry_after_ms: a % 10_000 },
+            5 => Response::Miss { system_hash: a, binary_hash: b },
+            6 => Response::DeadlineExceeded,
+            7 => Response::Error { message: text },
+            _ => Response::Burned,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any request frame decodes back to exactly itself.
+    #[test]
+    fn request_frames_roundtrip(frame in arb_frame()) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        let decoded: RequestFrame = read_frame(&mut wire.as_slice()).unwrap();
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Any response decodes back to exactly itself.
+    #[test]
+    fn responses_roundtrip(response in arb_response()) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &response).unwrap();
+        let decoded: Response = read_frame(&mut wire.as_slice()).unwrap();
+        prop_assert_eq!(decoded, response);
+    }
+
+    /// A pipelined burst of frames reassembles identically no matter how
+    /// the byte stream is chunked on the way in.
+    #[test]
+    fn streaming_reassembly_is_chunking_invariant(
+        frames in prop::collection::vec(arb_frame(), 1..6),
+        chunk in 1usize..48,
+    ) {
+        let mut wire = Vec::new();
+        for frame in &frames {
+            write_frame(&mut wire, frame).unwrap();
+        }
+        let mut buf = BytesMut::new();
+        let mut decoded = Vec::new();
+        for piece in wire.chunks(chunk) {
+            buf.put_slice(piece);
+            while let Some(payload) = take_frame(&mut buf).unwrap() {
+                decoded.push(serde_json::from_slice::<RequestFrame>(&payload).unwrap());
+            }
+        }
+        prop_assert_eq!(decoded, frames);
+        prop_assert!(buf.is_empty(), "no bytes may linger after the last frame");
+    }
+
+    /// Arbitrary junk bytes never panic the decoder: every outcome is a
+    /// clean `Err` or a (lucky) decoded value.
+    #[test]
+    fn junk_bytes_never_panic_read_frame(junk in prop::collection::vec(0u8..=255, 0..256)) {
+        let _ = read_frame::<Response>(&mut junk.as_slice());
+    }
+
+    /// Arbitrary junk never panics the streaming path either; an
+    /// oversized length prefix must surface as `Err`, not an allocation.
+    #[test]
+    fn junk_bytes_never_panic_take_frame(junk in prop::collection::vec(0u8..=255, 0..256)) {
+        let mut buf = BytesMut::new();
+        buf.put_slice(&junk);
+        while let Ok(Some(_)) = take_frame(&mut buf) {}
+    }
+
+    /// A truncated valid frame is "not yet" (`Ok(None)`) for the
+    /// streaming decoder, never an error or a phantom frame.
+    #[test]
+    fn truncated_frames_wait_for_more_bytes(frame in arb_frame(), keep in 0usize..4) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        let cut = wire.len().saturating_sub(keep + 1);
+        let mut buf = BytesMut::new();
+        buf.put_slice(&wire[..cut]);
+        prop_assert!(take_frame(&mut buf).unwrap().is_none());
+    }
+}

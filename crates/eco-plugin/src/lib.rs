@@ -46,6 +46,15 @@ pub struct PluginStats {
     pub errors: usize,
 }
 
+impl PluginStats {
+    /// Total submissions the plugin has seen. Every call lands in exactly
+    /// one counter, so this always equals the number of `job_submit`
+    /// invocations — the conservation law the simulation harness checks.
+    pub fn total(&self) -> usize {
+        self.applied + self.skipped + self.errors
+    }
+}
+
 /// The `job_submit_eco` plugin.
 pub struct JobSubmitEco {
     storage: Arc<dyn LocalStorage + Send + Sync>,
@@ -325,6 +334,7 @@ mod tests {
         assert_eq!(opted.num_tasks, 32);
         assert_eq!(opted.threads_per_cpu, 1);
         assert_eq!(p.stats(), PluginStats { applied: 1, skipped: 1, errors: 0 });
+        assert_eq!(p.stats().total(), 2, "every submission lands in exactly one counter");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// An instant in simulated time, in milliseconds since simulation start.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
@@ -23,6 +24,11 @@ impl SimTime {
     /// Builds an instant from whole seconds.
     pub fn from_secs(s: u64) -> Self {
         SimTime(s * 1000)
+    }
+
+    /// Builds an instant from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
     }
 
     /// Builds an instant from fractional seconds (rounded to the millisecond).
@@ -54,6 +60,11 @@ impl SimDuration {
     /// Builds a duration from whole seconds.
     pub fn from_secs(s: u64) -> Self {
         SimDuration(s * 1000)
+    }
+
+    /// Builds a duration from whole milliseconds.
+    pub fn from_millis(ms: u64) -> Self {
+        SimDuration(ms)
     }
 
     /// Builds a duration from fractional seconds (rounded to the millisecond).
@@ -153,6 +164,41 @@ impl SimClock {
     pub fn advance_to(&mut self, t: SimTime) {
         assert!(t >= self.now, "clock cannot go backwards: now={:?}, target={:?}", self.now, t);
         self.now = t;
+    }
+}
+
+/// A thread-safe monotonic simulation clock, shareable across components
+/// behind an `Arc`.
+///
+/// [`SimClock`] needs `&mut` to advance, which rules it out when several
+/// layers of a simulation (a fault-injecting network, a simulated backend,
+/// a service's deadline checker) must observe and advance one shared
+/// virtual timeline. `SharedSimClock` keeps the instant in an atomic so
+/// readers never block and writers never rewind.
+#[derive(Debug, Default)]
+pub struct SharedSimClock {
+    ms: AtomicU64,
+}
+
+impl SharedSimClock {
+    /// A shared clock at the epoch.
+    pub fn new() -> Self {
+        SharedSimClock { ms: AtomicU64::new(0) }
+    }
+
+    /// Current simulated instant.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.ms.load(Ordering::SeqCst))
+    }
+
+    /// Advances the clock by `dt`, returning the new instant.
+    pub fn advance(&self, dt: SimDuration) -> SimTime {
+        SimTime(self.ms.fetch_add(dt.0, Ordering::SeqCst) + dt.0)
+    }
+
+    /// Moves the clock forward to `t` if `t` is ahead; never rewinds.
+    pub fn advance_to(&self, t: SimTime) {
+        self.ms.fetch_max(t.0, Ordering::SeqCst);
     }
 }
 

@@ -1,0 +1,242 @@
+//! The ledger: an independent double-entry record of what the simulated
+//! network delivered to the daemon, checked against the daemon's own
+//! counters.
+//!
+//! Two layers of checking:
+//!
+//! * **per exchange** — [`Ledger::record_exchange`] diffs the daemon's
+//!   counter snapshot across one `handle_frame` call and verifies the
+//!   delta is exactly what that (request, response) pair permits: one
+//!   request counted, predictions and hit/miss move together, the
+//!   deadline verdict matches the *virtual* elapsed time, and errors are
+//!   only counted when an error (or a deadline-masked error) happened;
+//! * **per incarnation** — [`Ledger::check`] compares running totals
+//!   against a final snapshot when the daemon "crashes" (conservation:
+//!   `requests_total` = frames delivered, `hits + misses` = predictions,
+//!   every busy bounce accounted, response kinds sum to deliveries).
+//!
+//! The ledger lives *outside* the daemon on purpose: it would catch a
+//! daemon that drops, double-counts, or half-applies a frame.
+
+use std::collections::BTreeMap;
+
+use chronus::remote::{Request, RequestFrame, Response, StatsSnapshot};
+
+/// A stable label for a request verb (event log + ledger keys).
+pub fn verb_of(request: &Request) -> &'static str {
+    match request {
+        Request::Ping => "Ping",
+        Request::Predict { .. } => "Predict",
+        Request::Preload { .. } => "Preload",
+        Request::Stats => "Stats",
+        Request::Burn { .. } => "Burn",
+    }
+}
+
+/// A stable label for a response kind (event log + ledger keys).
+pub fn kind_of(response: &Response) -> &'static str {
+    match response {
+        Response::Pong => "Pong",
+        Response::Config(_) => "Config",
+        Response::Preloaded { .. } => "Preloaded",
+        Response::Stats(_) => "Stats",
+        Response::Busy { .. } => "Busy",
+        Response::Miss { .. } => "Miss",
+        Response::DeadlineExceeded => "DeadlineExceeded",
+        Response::Error { .. } => "Error",
+        Response::Burned => "Burned",
+    }
+}
+
+/// What the network actually did to one daemon incarnation.
+#[derive(Debug, Default)]
+pub struct Ledger {
+    /// Frames the daemon's service actually handled.
+    pub delivered: u64,
+    /// How many of those were `Predict`.
+    pub predicts: u64,
+    /// `Busy` bounces the network injected on the daemon's behalf.
+    pub busy_injected: u64,
+    /// Response kind → count, for the sum check.
+    pub by_kind: BTreeMap<&'static str, u64>,
+    /// Responses that were `Error`.
+    pub errors_observed: u64,
+}
+
+impl Ledger {
+    /// Forget everything — a fresh daemon incarnation starts at zero.
+    pub fn reset(&mut self) {
+        *self = Ledger::default();
+    }
+
+    /// Deliveries answered `DeadlineExceeded` so far.
+    pub fn deadline_count(&self) -> u64 {
+        self.by_kind.get("DeadlineExceeded").copied().unwrap_or(0)
+    }
+
+    /// Records one delivered frame and verifies the counter delta it
+    /// produced. `elapsed_ms` is the *virtual* time `handle_frame` took.
+    pub fn record_exchange(
+        &mut self,
+        frame: &RequestFrame,
+        response: &Response,
+        before: &StatsSnapshot,
+        after: &StatsSnapshot,
+        elapsed_ms: u64,
+    ) -> Result<(), String> {
+        self.delivered += 1;
+        *self.by_kind.entry(kind_of(response)).or_insert(0) += 1;
+        let is_predict = matches!(frame.body, Request::Predict { .. });
+        if is_predict {
+            self.predicts += 1;
+        }
+        let is_error = matches!(response, Response::Error { .. });
+        if is_error {
+            self.errors_observed += 1;
+        }
+
+        let verb = verb_of(&frame.body);
+        let kind = kind_of(response);
+        let fail = |what: &str| Err(format!("{what} (verb {verb}, response {kind}, elapsed {elapsed_ms}ms)"));
+
+        if after.requests_total - before.requests_total != 1 {
+            return fail("one delivered frame must count exactly one request");
+        }
+        let d_predictions = after.predictions - before.predictions;
+        if d_predictions != u64::from(is_predict) {
+            return fail("predictions counter moved out of step with Predict deliveries");
+        }
+        let d_cache = (after.cache_hits + after.cache_misses) - (before.cache_hits + before.cache_misses);
+        if d_cache != d_predictions {
+            return fail("every prediction must be either a cache hit or a cache miss");
+        }
+
+        // The deadline verdict must be a pure function of virtual elapsed
+        // time vs the frame's budget — never of host scheduling jitter.
+        let over_budget = frame.deadline_ms.is_some_and(|budget| elapsed_ms > budget);
+        let is_deadline = matches!(response, Response::DeadlineExceeded);
+        if is_deadline != over_budget {
+            return fail("deadline verdict disagrees with virtual elapsed time vs budget");
+        }
+        if after.deadline_exceeded - before.deadline_exceeded != u64::from(is_deadline) {
+            return fail("deadline_exceeded counter moved out of step with the verdict");
+        }
+
+        // Errors: an `Error` response counts exactly once; a deadline
+        // verdict may mask an underlying error (counted but not
+        // returned); nothing else may touch the counter.
+        let d_errors = after.errors - before.errors;
+        if d_errors > 1 {
+            return fail("errors counter jumped by more than one for a single frame");
+        }
+        if is_error && d_errors != 1 {
+            return fail("an Error response must count exactly one error");
+        }
+        if d_errors == 1 && !is_error && !is_deadline {
+            return fail("errors counter moved without an Error (or deadline-masked error) response");
+        }
+        Ok(())
+    }
+
+    /// Conservation check for one whole daemon incarnation against its
+    /// final counter snapshot.
+    pub fn check(&self, snapshot: &StatsSnapshot) -> Result<(), String> {
+        if snapshot.requests_total != self.delivered {
+            return Err(format!("requests_total {} != frames delivered {}", snapshot.requests_total, self.delivered));
+        }
+        if snapshot.predictions != self.predicts {
+            return Err(format!("predictions {} != Predict frames {}", snapshot.predictions, self.predicts));
+        }
+        if snapshot.cache_hits + snapshot.cache_misses != snapshot.predictions {
+            return Err(format!(
+                "hits {} + misses {} != predictions {}",
+                snapshot.cache_hits, snapshot.cache_misses, snapshot.predictions
+            ));
+        }
+        if snapshot.busy_rejections != self.busy_injected {
+            return Err(format!(
+                "busy_rejections {} != injected busy bounces {}",
+                snapshot.busy_rejections, self.busy_injected
+            ));
+        }
+        if snapshot.deadline_exceeded != self.deadline_count() {
+            return Err(format!(
+                "deadline_exceeded {} != DeadlineExceeded responses {}",
+                snapshot.deadline_exceeded,
+                self.deadline_count()
+            ));
+        }
+        let kinds: u64 = self.by_kind.values().sum();
+        if kinds != self.delivered {
+            return Err(format!("response kinds sum {kinds} != frames delivered {}", self.delivered));
+        }
+        // A deadline verdict may mask an error that was already counted,
+        // so the daemon's error counter may exceed the Error responses we
+        // saw — but never by more than the deadline verdicts.
+        if snapshot.errors < self.errors_observed
+            || snapshot.errors > self.errors_observed + snapshot.deadline_exceeded
+        {
+            return Err(format!(
+                "errors {} outside [{}, {}] (Error responses .. + deadline-masked)",
+                snapshot.errors,
+                self.errors_observed,
+                self.errors_observed + snapshot.deadline_exceeded
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(requests: u64, predictions: u64, hits: u64, misses: u64) -> StatsSnapshot {
+        StatsSnapshot {
+            requests_total: requests,
+            predictions,
+            cache_hits: hits,
+            cache_misses: misses,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn clean_exchange_passes_and_accumulates() {
+        let mut ledger = Ledger::default();
+        let frame = RequestFrame::new(Request::Predict { system_hash: 1, binary_hash: 2 });
+        let cfg = eco_sim_node::cpu::CpuConfig::new(4, 2_000_000, 1);
+        ledger.record_exchange(&frame, &Response::Config(cfg), &snap(0, 0, 0, 0), &snap(1, 1, 0, 1), 3).unwrap();
+        assert_eq!((ledger.delivered, ledger.predicts), (1, 1));
+        ledger.check(&snap(1, 1, 0, 1)).unwrap();
+    }
+
+    #[test]
+    fn dropped_count_is_caught() {
+        let mut ledger = Ledger::default();
+        let frame = RequestFrame::new(Request::Ping);
+        // daemon "forgot" to count the request: before == after
+        let err =
+            ledger.record_exchange(&frame, &Response::Pong, &snap(5, 0, 0, 0), &snap(5, 0, 0, 0), 0).unwrap_err();
+        assert!(err.contains("exactly one request"), "{err}");
+    }
+
+    #[test]
+    fn deadline_verdict_must_match_virtual_time() {
+        let mut ledger = Ledger::default();
+        let frame = RequestFrame::with_deadline(Request::Ping, 10);
+        // 20ms elapsed on a 10ms budget but the daemon answered Pong
+        let err =
+            ledger.record_exchange(&frame, &Response::Pong, &snap(0, 0, 0, 0), &snap(1, 0, 0, 0), 20).unwrap_err();
+        assert!(err.contains("deadline verdict"), "{err}");
+    }
+
+    #[test]
+    fn conservation_catches_phantom_busy() {
+        let ledger = Ledger::default();
+        let mut snapshot = snap(0, 0, 0, 0);
+        snapshot.busy_rejections = 1; // daemon claims a bounce we never injected
+        let err = ledger.check(&snapshot).unwrap_err();
+        assert!(err.contains("busy_rejections"), "{err}");
+    }
+}

@@ -1,0 +1,47 @@
+//! # simtest — deterministic fault-injection simulation of the whole pipeline
+//!
+//! FoundationDB-style simulation testing for the prediction stack: one
+//! seeded run builds the entire sbatch → `job_submit_eco` →
+//! [`chronus::remote::PredictClient`] → chronusd pipeline on **virtual
+//! time** and drives it through an adversarial network. Nothing sleeps;
+//! every delay, timeout and backoff advances a
+//! [`eco_sim_node::clock::SharedSimClock`], so a run over thousands of
+//! injected faults finishes in milliseconds of wall time and — crucially —
+//! replays **bit-identically** from its seed.
+//!
+//! The pieces:
+//!
+//! * [`faults`] — a [`FaultPlan`] is a table of per-event probabilities
+//!   (drop, delay, duplicate, reorder, mid-frame cut, partition, daemon
+//!   crash/restart, slow or poisoned backend, total blackout) plus named
+//!   presets covering each fault family and a `chaos` mix of all of them;
+//! * [`net`] — [`SimNet`] implements [`chronus::remote::Transport`] with
+//!   an in-memory channel that delivers request frames straight into a
+//!   real [`chronusd::PredictService`], rolling the fault plan on a seeded
+//!   RNG at every step and logging a `t=<virtual ms>` event line;
+//! * [`invariants`] — a per-incarnation [`invariants::Ledger`] that
+//!   cross-checks the daemon's counters after **every** exchange
+//!   (requests = delivered, hits + misses = predictions, deadline verdicts
+//!   match the virtual elapsed time, …) and at every crash boundary;
+//! * [`world`] — [`run_seed`] wires a real [`eco_slurm_sim::Cluster`]
+//!   with the real plugin to a `SimNet` and pushes a randomized batch of
+//!   submissions through it, asserting end-to-end invariants: every
+//!   submission is accepted even under total daemon loss, no descriptor is
+//!   ever half-rewritten, deadline-constrained jobs never exceed their
+//!   budget, and virtual submit latency stays bounded.
+//!
+//! Reproducing a failure is one environment variable:
+//!
+//! ```text
+//! SIMTEST_SEED=1234 cargo test -p simtest replay -- --nocapture
+//! ```
+
+pub mod faults;
+pub mod invariants;
+pub mod net;
+pub mod world;
+
+pub use faults::FaultPlan;
+pub use invariants::Ledger;
+pub use net::SimNet;
+pub use world::{run_seed, SeedReport, MAX_SUBMIT_VIRTUAL_MS, SUBMISSIONS_PER_SEED};

@@ -1,0 +1,539 @@
+//! The simulated network: an in-memory [`Transport`] whose connections
+//! deliver frames straight into a real [`PredictService`] under a seeded
+//! fault plan, advancing a shared virtual clock instead of ever sleeping.
+//!
+//! Determinism contract: every random decision comes from one
+//! [`StdRng`] seeded per run, every passage of time is an explicit
+//! [`SharedSimClock::advance`], and every event appends a
+//! `t=<virtual ms>` line to one log. Same seed + same plan ⇒ the same
+//! log, byte for byte.
+//!
+//! The daemon here is a [`PredictService`] (the transport-free engine the
+//! real TCP server uses) plus a [`SimBackend`]; "crashing" it swaps in a
+//! fresh service, which loses the model registry exactly like a real
+//! process restart — but not before the [`Ledger`] audits the dying
+//! incarnation's counters.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::BytesMut;
+use chronus::error::ChronusError;
+use chronus::remote::{take_frame, write_frame, Connection, RequestFrame, Response, Transport};
+use chronusd::backend::{ModelBackend, PreparedModel};
+use chronusd::service::{PredictService, QueueGauges, ServiceClock};
+use eco_sim_node::clock::{SharedSimClock, SimDuration, SimTime};
+use parking_lot::Mutex;
+use rand::{Rng, SeedableRng, StdRng};
+
+use crate::faults::FaultPlan;
+use crate::invariants::{kind_of, verb_of, Ledger};
+
+/// A deliberately tiny registry (single shard, one slot) so LRU churn,
+/// backend consults and their fault opportunities happen constantly.
+const CACHE_SHARDS: usize = 1;
+const CACHE_CAP: usize = 1;
+
+/// Virtual cost of a successful dial.
+const DIAL_MS: u64 = 1;
+
+/// Virtual cost of a dial that times out against a partition.
+const DIAL_TIMEOUT_MS: u64 = 5;
+
+/// The gauges the simulated transport reports with `Stats` answers (it
+/// has no real accept queue).
+fn sim_gauges() -> QueueGauges {
+    QueueGauges { depth: 0, capacity: 64, workers: 4 }
+}
+
+/// Adapts the shared millisecond clock to the service's microsecond
+/// deadline accounting.
+struct SimServiceClock(Arc<SharedSimClock>);
+
+impl ServiceClock for SimServiceClock {
+    fn now_micros(&self) -> u64 {
+        self.0.now().as_millis() * 1000
+    }
+}
+
+/// The simulated model source: lookups advance virtual time when the
+/// plan says the backend is slow, and fail internally when poisoned.
+pub struct SimBackend {
+    clock: Arc<SharedSimClock>,
+    latency_ms: AtomicU64,
+    poisoned: AtomicBool,
+    models: Vec<PreparedModel>,
+}
+
+impl SimBackend {
+    fn consult(&self) -> chronus::error::Result<()> {
+        let latency = self.latency_ms.load(Ordering::SeqCst);
+        if latency > 0 {
+            self.clock.advance(SimDuration::from_millis(latency));
+        }
+        if self.poisoned.load(Ordering::SeqCst) {
+            return Err(ChronusError::Io(io::Error::other("injected backend fault")));
+        }
+        Ok(())
+    }
+}
+
+impl ModelBackend for SimBackend {
+    fn load(&self, model_id: i64) -> chronus::error::Result<PreparedModel> {
+        self.consult()?;
+        self.models
+            .iter()
+            .find(|m| m.model_id == model_id)
+            .cloned()
+            .ok_or_else(|| ChronusError::NotFound(format!("model {model_id}")))
+    }
+
+    fn lookup(&self, system_hash: u64, binary_hash: u64) -> chronus::error::Result<PreparedModel> {
+        self.consult()?;
+        self.models
+            .iter()
+            .find(|m| m.system_hash == system_hash && m.binary_hash == binary_hash)
+            .cloned()
+            .ok_or_else(|| ChronusError::NotFound(format!("no model for ({system_hash:#x}, {binary_hash:#x})")))
+    }
+}
+
+/// Everything that must be consistent under one lock: the RNG, the fault
+/// schedule state, the current daemon incarnation and its audit ledger.
+struct NetCore {
+    rng: StdRng,
+    plan: FaultPlan,
+    clock: Arc<SharedSimClock>,
+    service: Arc<PredictService>,
+    backend: Arc<SimBackend>,
+    ledger: Ledger,
+    log: Vec<String>,
+    violations: Vec<String>,
+    partitioned_until: Option<SimTime>,
+    crashed_until: Option<SimTime>,
+    incarnation: u64,
+    next_conn: u64,
+}
+
+impl NetCore {
+    fn roll(&mut self, p: f64) -> bool {
+        p > 0.0 && self.rng.gen_bool(p)
+    }
+
+    fn note(&mut self, msg: String) {
+        let t = self.clock.now().as_millis();
+        self.log.push(format!("t={t:06} {msg}"));
+    }
+
+    /// Expire a due partition or finish a due restart.
+    fn tick(&mut self) {
+        let now = self.clock.now();
+        if self.crashed_until.is_some_and(|until| now >= until) {
+            self.crashed_until = None;
+            self.note("daemon restarted (cache cold)".to_string());
+        }
+        if self.partitioned_until.is_some_and(|until| now >= until) {
+            self.partitioned_until = None;
+            self.note("partition healed".to_string());
+        }
+    }
+
+    /// Audit the dying incarnation, then replace it with a cold one.
+    fn end_incarnation(&mut self, why: &str) {
+        let snapshot = self.service.snapshot(sim_gauges());
+        if let Err(e) = self.ledger.check(&snapshot) {
+            self.violations.push(format!("incarnation {} ({why}): {e}", self.incarnation));
+        }
+        if self.service.registry().len() > CACHE_CAP {
+            self.violations.push(format!(
+                "incarnation {} ({why}): registry holds {} models over its capacity {CACHE_CAP}",
+                self.incarnation,
+                self.service.registry().len()
+            ));
+        }
+        self.service = fresh_service(&self.clock, &self.backend);
+        self.ledger.reset();
+        self.incarnation += 1;
+    }
+
+    fn crash_now(&mut self) {
+        let down = self.plan.crash_down_ms.max(1);
+        self.end_incarnation("crash");
+        self.crashed_until = Some(self.clock.now() + SimDuration::from_millis(down));
+        self.note(format!("daemon crashed (down {down}ms, cache lost)"));
+    }
+}
+
+fn fresh_service(clock: &Arc<SharedSimClock>, backend: &Arc<SimBackend>) -> Arc<PredictService> {
+    Arc::new(PredictService::with_clock(
+        CACHE_SHARDS,
+        CACHE_CAP,
+        Arc::clone(backend) as Arc<dyn ModelBackend>,
+        Arc::new(SimServiceClock(Arc::clone(clock))),
+    ))
+}
+
+struct NetState {
+    clock: Arc<SharedSimClock>,
+    mu: Mutex<NetCore>,
+}
+
+/// One simulated network + daemon. Build one per seed, hand
+/// [`SimNet::transport`]s to clients, then [`SimNet::finish`] to audit
+/// the final incarnation and collect violations.
+pub struct SimNet {
+    state: Arc<NetState>,
+}
+
+impl SimNet {
+    pub fn new(seed: u64, plan: FaultPlan, models: Vec<PreparedModel>) -> SimNet {
+        let clock = Arc::new(SharedSimClock::new());
+        let backend = Arc::new(SimBackend {
+            clock: Arc::clone(&clock),
+            latency_ms: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+            models,
+        });
+        let service = fresh_service(&clock, &backend);
+        let core = NetCore {
+            rng: StdRng::seed_from_u64(seed),
+            plan,
+            clock: Arc::clone(&clock),
+            service,
+            backend,
+            ledger: Ledger::default(),
+            log: Vec::new(),
+            violations: Vec::new(),
+            partitioned_until: None,
+            crashed_until: None,
+            incarnation: 0,
+            next_conn: 0,
+        };
+        SimNet { state: Arc::new(NetState { clock, mu: Mutex::new(core) }) }
+    }
+
+    /// A fresh client-side endpoint (share-nothing with other clients
+    /// except the network itself).
+    pub fn transport(&self) -> SimTransport {
+        SimTransport { net: Arc::clone(&self.state) }
+    }
+
+    /// Current virtual time in milliseconds.
+    pub fn now_ms(&self) -> u64 {
+        self.state.clock.now().as_millis()
+    }
+
+    /// Appends a world-level line to the shared event log.
+    pub fn note(&self, msg: impl Into<String>) {
+        self.state.mu.lock().note(msg.into());
+    }
+
+    /// The full event log so far.
+    pub fn log(&self) -> Vec<String> {
+        self.state.mu.lock().log.clone()
+    }
+
+    /// Audits the final daemon incarnation and returns every invariant
+    /// violation the run produced (empty means the run was clean).
+    pub fn finish(&self) -> Vec<String> {
+        let mut core = self.state.mu.lock();
+        core.end_incarnation("final audit");
+        core.violations.clone()
+    }
+}
+
+/// The client side of the simulated network; implements [`Transport`] so
+/// [`chronus::remote::PredictClient`] runs on it unchanged.
+pub struct SimTransport {
+    net: Arc<NetState>,
+}
+
+impl Transport for SimTransport {
+    fn connect(&mut self) -> io::Result<Box<dyn Connection>> {
+        let mut core = self.net.mu.lock();
+        core.tick();
+        core.clock.advance(SimDuration::from_millis(DIAL_MS));
+        if core.crashed_until.is_some() {
+            core.note("dial refused: daemon down".to_string());
+            return Err(io::Error::new(io::ErrorKind::ConnectionRefused, "daemon down"));
+        }
+        let p_partition = core.plan.partition;
+        if core.partitioned_until.is_none() && core.roll(p_partition) {
+            let span = core.plan.partition_ms.max(1);
+            core.partitioned_until = Some(core.clock.now() + SimDuration::from_millis(span));
+            core.note(format!("network partition begins ({span}ms)"));
+        }
+        if core.partitioned_until.is_some() {
+            core.clock.advance(SimDuration::from_millis(DIAL_TIMEOUT_MS));
+            core.note("dial timed out: partitioned".to_string());
+            return Err(io::Error::new(io::ErrorKind::TimedOut, "network partitioned"));
+        }
+        let p_refuse = core.plan.connect_refuse;
+        if core.roll(p_refuse) {
+            core.note("dial refused".to_string());
+            return Err(io::Error::new(io::ErrorKind::ConnectionRefused, "connection refused"));
+        }
+        let id = core.next_conn;
+        core.next_conn += 1;
+        let incarnation = core.incarnation;
+        core.note(format!("conn {id} established"));
+        Ok(Box::new(SimConnection {
+            net: Arc::clone(&self.net),
+            id,
+            incarnation,
+            pending: BytesMut::new(),
+            inbox: VecDeque::new(),
+            dead: None,
+        }))
+    }
+
+    fn describe(&self) -> String {
+        "simnet://chronusd".to_string()
+    }
+
+    /// Client backoffs and Busy hints burn virtual time, not wall time.
+    fn sleep(&mut self, d: Duration) {
+        let ms = (d.as_millis() as u64).max(1);
+        let mut core = self.net.mu.lock();
+        core.clock.advance(SimDuration::from_millis(ms));
+        core.note(format!("client backed off {ms}ms"));
+    }
+}
+
+/// One simulated connection: outbound bytes are reframed and delivered
+/// to the daemon on `flush`; inbound bytes wait in `inbox`.
+struct SimConnection {
+    net: Arc<NetState>,
+    id: u64,
+    /// Daemon incarnation this connection was dialed against; a restart
+    /// in between resets it, exactly like a real TCP peer dying.
+    incarnation: u64,
+    pending: BytesMut,
+    inbox: VecDeque<u8>,
+    dead: Option<io::ErrorKind>,
+}
+
+impl SimConnection {
+    /// Runs one complete request frame through the fault plan and — if
+    /// it survives the gauntlet — the daemon, queueing whatever response
+    /// bytes the client should eventually read.
+    fn deliver(&mut self, payload: &[u8]) -> io::Result<()> {
+        let state = Arc::clone(&self.net);
+        let mut core = state.mu.lock();
+        core.tick();
+        let plan = core.plan.clone();
+
+        if core.crashed_until.is_some() {
+            core.note(format!("conn {}: reset (daemon down)", self.id));
+            self.dead = Some(io::ErrorKind::ConnectionReset);
+            return Err(io::ErrorKind::ConnectionReset.into());
+        }
+        if core.incarnation != self.incarnation {
+            core.note(format!("conn {}: reset (stale connection, daemon restarted)", self.id));
+            self.dead = Some(io::ErrorKind::ConnectionReset);
+            return Err(io::ErrorKind::ConnectionReset.into());
+        }
+        if core.roll(plan.crash) {
+            core.crash_now();
+            self.dead = Some(io::ErrorKind::ConnectionReset);
+            return Err(io::ErrorKind::ConnectionReset.into());
+        }
+        if core.partitioned_until.is_some() {
+            core.note(format!("conn {}: request lost in partition", self.id));
+            return Ok(()); // the client's next read times out
+        }
+        if core.roll(plan.req_cut) {
+            // the wire died mid-frame: the daemon must never see it
+            core.note(format!("conn {}: request frame cut mid-flight", self.id));
+            self.dead = Some(io::ErrorKind::ConnectionReset);
+            return Err(io::ErrorKind::ConnectionReset.into());
+        }
+        if core.roll(plan.req_drop) {
+            core.note(format!("conn {}: request dropped", self.id));
+            return Ok(());
+        }
+        if core.roll(plan.req_delay) {
+            let d = core.rng.gen_range(1..=plan.max_delay_ms.max(1));
+            core.clock.advance(SimDuration::from_millis(d));
+            core.note(format!("conn {}: request delayed {d}ms", self.id));
+        }
+        if core.roll(plan.busy) {
+            // what the accept loop does when its queue is full: count it,
+            // answer Busy, hang up
+            core.service.stats().busy_rejection();
+            core.ledger.busy_injected += 1;
+            self.inbox.extend(encode(&Response::Busy { retry_after_ms: plan.retry_after_ms }));
+            self.dead = Some(io::ErrorKind::ConnectionAborted);
+            core.note(format!("conn {}: busy bounce (retry after {}ms)", self.id, plan.retry_after_ms));
+            return Ok(());
+        }
+
+        let backend_slow = core.roll(plan.backend_slow);
+        let backend_poisoned = core.roll(plan.backend_poison);
+        core.backend.latency_ms.store(if backend_slow { plan.backend_latency_ms } else { 0 }, Ordering::SeqCst);
+        core.backend.poisoned.store(backend_poisoned, Ordering::SeqCst);
+
+        let frame: RequestFrame =
+            serde_json::from_slice(payload).expect("the harness client only writes well-formed frames");
+        let before = core.service.snapshot(sim_gauges());
+        let t0 = core.clock.now();
+        let response = core.service.handle_frame(payload, sim_gauges());
+        let t1 = core.clock.now();
+        let after = core.service.snapshot(sim_gauges());
+        let elapsed_ms = (t1 - t0).as_millis();
+        if let Err(e) = core.ledger.record_exchange(&frame, &response, &before, &after, elapsed_ms) {
+            let incarnation = core.incarnation;
+            core.violations.push(format!("incarnation {incarnation}: {e}"));
+        }
+        core.note(format!(
+            "conn {}: {} -> {} ({elapsed_ms}ms in service)",
+            self.id,
+            verb_of(&frame.body),
+            kind_of(&response)
+        ));
+
+        if core.roll(plan.resp_drop) {
+            core.note(format!("conn {}: response dropped", self.id));
+            return Ok(());
+        }
+        if core.roll(plan.resp_delay) {
+            let d = core.rng.gen_range(1..=plan.max_delay_ms.max(1));
+            core.clock.advance(SimDuration::from_millis(d));
+            core.note(format!("conn {}: response delayed {d}ms", self.id));
+        }
+        let wire = encode(&response);
+        if core.roll(plan.resp_cut) {
+            let cut = (wire.len() / 2).max(1);
+            self.inbox.extend(wire[..cut].iter().copied());
+            self.dead = Some(io::ErrorKind::ConnectionReset);
+            core.note(format!("conn {}: response cut after {cut}/{} bytes", self.id, wire.len()));
+            return Ok(());
+        }
+        if core.roll(plan.reorder) {
+            self.inbox.extend(encode(&Response::Pong));
+            core.note(format!("conn {}: stale frame delivered ahead (reorder)", self.id));
+        }
+        self.inbox.extend(wire.iter().copied());
+        if core.roll(plan.duplicate) {
+            self.inbox.extend(wire.iter().copied());
+            core.note(format!("conn {}: response duplicated", self.id));
+        }
+        Ok(())
+    }
+}
+
+impl Read for SimConnection {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if !self.inbox.is_empty() {
+            let n = buf.len().min(self.inbox.len());
+            for slot in buf.iter_mut().take(n) {
+                *slot = self.inbox.pop_front().expect("inbox length checked above");
+            }
+            return Ok(n);
+        }
+        if let Some(kind) = self.dead {
+            return Err(kind.into());
+        }
+        // Nothing queued and the connection is alive: the real client
+        // would block until its read timeout — burn it in virtual time.
+        let mut core = self.net.mu.lock();
+        let ms = core.plan.read_timeout_ms.max(1);
+        core.clock.advance(SimDuration::from_millis(ms));
+        core.note(format!("conn {}: read timed out after {ms}ms", self.id));
+        Err(io::ErrorKind::TimedOut.into())
+    }
+}
+
+impl Write for SimConnection {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if let Some(kind) = self.dead {
+            return Err(kind.into());
+        }
+        self.pending.put_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if let Some(kind) = self.dead {
+            return Err(kind.into());
+        }
+        while let Some(payload) = take_frame(&mut self.pending)? {
+            self.deliver(&payload)?;
+        }
+        Ok(())
+    }
+}
+
+fn encode(response: &Response) -> Vec<u8> {
+    let mut wire = Vec::new();
+    write_frame(&mut wire, response).expect("responses always fit a frame");
+    wire
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use chronus::remote::{ClientConfig, PredictClient};
+    use eco_sim_node::cpu::CpuConfig;
+
+    fn model(id: i64, system_hash: u64, binary_hash: u64) -> PreparedModel {
+        PreparedModel {
+            model_id: id,
+            model_type: "brute-force".into(),
+            system_hash,
+            binary_hash,
+            config: CpuConfig::new(16, 2_200_000, 1),
+        }
+    }
+
+    fn client(net: &SimNet) -> PredictClient {
+        PredictClient::with_transport(
+            Box::new(net.transport()),
+            ClientConfig {
+                connect_timeout: Duration::from_millis(5),
+                read_timeout: Duration::from_millis(10),
+                max_retries: 1,
+                backoff: Duration::from_millis(2),
+                deadline_ms: Some(15),
+            },
+        )
+    }
+
+    #[test]
+    fn clean_network_round_trips_and_advances_virtual_time() {
+        let net = SimNet::new(7, FaultPlan::none(), vec![model(1, 10, 20)]);
+        let mut c = client(&net);
+        let cfg = c.predict(10, 20).expect("fault-free predict succeeds");
+        assert_eq!(cfg, CpuConfig::new(16, 2_200_000, 1));
+        assert!(net.now_ms() >= DIAL_MS, "dialing must cost virtual time");
+        assert!(net.finish().is_empty(), "clean run has no violations");
+    }
+
+    #[test]
+    fn blackout_fails_fast_without_wall_sleeps() {
+        let net = SimNet::new(7, FaultPlan::blackout(), vec![model(1, 10, 20)]);
+        let mut c = client(&net);
+        assert!(c.predict(10, 20).is_err(), "no daemon, no answer");
+        assert!(net.finish().is_empty(), "an unreachable daemon violates nothing");
+    }
+
+    #[test]
+    fn same_seed_same_network_log() {
+        let run = |seed: u64| {
+            let net = SimNet::new(seed, FaultPlan::chaos(), vec![model(1, 10, 20)]);
+            let mut c = client(&net);
+            for _ in 0..20 {
+                let _ = c.predict(10, 20);
+                let _ = c.ping();
+            }
+            let violations = net.finish();
+            assert!(violations.is_empty(), "chaos must not break invariants: {violations:?}");
+            net.log()
+        };
+        assert_eq!(run(42), run(42), "same seed must replay identically");
+        assert_ne!(run(42), run(43), "different seeds should diverge");
+    }
+}

@@ -1,0 +1,94 @@
+//! One test per fault family: a handful of seeds each, so a regression
+//! report names the family that broke instead of just "the sweep failed".
+//! `run_seed` panics internally on any invariant violation.
+
+use simtest::{run_seed, FaultPlan};
+
+fn sweep(plan: FaultPlan) {
+    for seed in [7, 1001, 424242] {
+        run_seed(seed, &plan);
+    }
+}
+
+#[test]
+fn no_faults() {
+    sweep(FaultPlan::none());
+}
+
+#[test]
+fn delays() {
+    sweep(FaultPlan::delays());
+}
+
+#[test]
+fn drops() {
+    sweep(FaultPlan::drops());
+}
+
+#[test]
+fn duplicates() {
+    sweep(FaultPlan::duplicates());
+}
+
+#[test]
+fn reorders() {
+    sweep(FaultPlan::reorders());
+}
+
+#[test]
+fn disconnects() {
+    sweep(FaultPlan::disconnects());
+}
+
+#[test]
+fn busy_storms() {
+    sweep(FaultPlan::busy_storms());
+}
+
+#[test]
+fn partitions() {
+    sweep(FaultPlan::partitions());
+}
+
+#[test]
+fn crashes() {
+    sweep(FaultPlan::crashes());
+}
+
+#[test]
+fn blackout() {
+    sweep(FaultPlan::blackout());
+}
+
+#[test]
+fn slow_backend() {
+    sweep(FaultPlan::slow_backend());
+}
+
+#[test]
+fn poisoned_backend() {
+    sweep(FaultPlan::poisoned_backend());
+}
+
+#[test]
+fn chaos() {
+    sweep(FaultPlan::chaos());
+}
+
+#[test]
+fn fault_free_runs_actually_rewrite_jobs() {
+    let report = run_seed(5, &FaultPlan::none());
+    assert!(report.applied_remote > 0, "with a healthy daemon some opted-in jobs must be rewritten remotely");
+}
+
+#[test]
+fn blackout_degrades_to_vanilla_slurm_but_keeps_the_local_path() {
+    let report = run_seed(9, &FaultPlan::blackout());
+    assert_eq!(report.applied_remote, 0, "no daemon, no remote rewrites");
+    // Deadline selection reads staged rows from disk; daemon loss must
+    // not take it down with it.
+    assert!(
+        report.applied_deadline + report.untouched == report.submissions,
+        "every blackout submission is either deadline-rewritten locally or untouched"
+    );
+}

@@ -1,0 +1,32 @@
+//! The CI seed sweep: 120 seeds cycling through every fault plan, with
+//! failing seeds reported by number so they can be replayed locally via
+//! `SIMTEST_SEED=<seed> cargo test -p simtest replay -- --nocapture`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use simtest::{run_seed, FaultPlan};
+
+const SEEDS: u64 = 120;
+
+#[test]
+fn seed_sweep_across_all_fault_plans() {
+    let mut failures = Vec::new();
+    for seed in 0..SEEDS {
+        let plan = FaultPlan::for_seed(seed);
+        if let Err(panic) = catch_unwind(AssertUnwindSafe(|| run_seed(seed, &plan))) {
+            let detail = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            eprintln!("seed {seed} (plan '{}') FAILED:\n{detail}\n", plan.name);
+            failures.push(seed);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {SEEDS} seeds violated invariants: {failures:?} — replay with SIMTEST_SEED=<seed> cargo test -p \
+         simtest replay -- --nocapture",
+        failures.len()
+    );
+}

@@ -1,0 +1,109 @@
+//! Scheduler edge cases: priority ties, partition node-limit
+//! saturation, and cancellation of jobs that never started.
+
+use std::sync::Arc;
+
+use eco_hpcg::workload::{ScalingKind, SyntheticWorkload};
+use eco_sim_node::clock::SimDuration;
+use eco_sim_node::SimNode;
+use eco_slurm_sim::{Cluster, JobState, Partition, SlurmError};
+
+const BIN: &str = "/opt/bin/work";
+
+fn script(extra: &str) -> String {
+    format!("#!/bin/bash\n#SBATCH --ntasks=4\n{extra}\nsrun {BIN}\n")
+}
+
+fn cluster(nodes: usize) -> Cluster {
+    let mut c = Cluster::new((0..nodes).map(|_| SimNode::sr650()).collect());
+    c.register_binary(BIN, Arc::new(SyntheticWorkload::new("work", ScalingKind::ComputeBound, 10.0, 1.0)));
+    c
+}
+
+/// Jobs with identical priority factors (same user, same size, same
+/// instant) must start in submission order — the scheduler's documented
+/// tie-break — not in map-iteration or reverse order.
+#[test]
+fn priority_ties_resolve_by_submission_order() {
+    let mut c = cluster(1);
+    let first = c.sbatch(&script(""), "alice").unwrap();
+    let second = c.sbatch(&script(""), "alice").unwrap();
+    let third = c.sbatch(&script(""), "alice").unwrap();
+
+    // one node: the head of the tie starts, the rest wait
+    assert_eq!(c.job(first).unwrap().state, JobState::Running);
+    assert_eq!(c.job(second).unwrap().state, JobState::Pending);
+    assert_eq!(c.job(third).unwrap().state, JobState::Pending);
+
+    assert!(c.run_until_idle(SimDuration::from_mins(60)), "three short jobs must drain");
+    let starts: Vec<_> = [first, second, third]
+        .iter()
+        .map(|&id| {
+            let job = c.job(id).unwrap();
+            assert_eq!(job.state, JobState::Completed, "job {id} must complete");
+            job.start_time.expect("completed job has a start time")
+        })
+        .collect();
+    assert!(starts[0] < starts[1] && starts[1] < starts[2], "tie broken by submit order, got starts {starts:?}");
+}
+
+/// A saturated partition queues its jobs even while nodes outside the
+/// partition sit idle; jobs that outright exceed the partition's node
+/// count are rejected at submit.
+#[test]
+fn partition_node_limit_saturates_independently_of_the_cluster() {
+    let mut c = cluster(2);
+    c.add_partition(Partition {
+        name: "small".to_string(),
+        nodes: vec![0],
+        max_time: None,
+        priority_bonus: 0.0,
+        is_default: false,
+    });
+
+    // more nodes than the partition has: refused up front, not queued forever
+    let err = c.sbatch(&script("#SBATCH --nodes=2\n#SBATCH --partition=small"), "alice").unwrap_err();
+    assert!(matches!(err, SlurmError::Unsatisfiable(_)), "got {err:?}");
+
+    let first = c.sbatch(&script("#SBATCH --partition=small"), "alice").unwrap();
+    let second = c.sbatch(&script("#SBATCH --partition=small"), "bob").unwrap();
+
+    assert_eq!(c.job(first).unwrap().state, JobState::Running);
+    assert_eq!(c.job(first).unwrap().node, Some(0), "partition 'small' only owns node 0");
+    assert_eq!(
+        c.job(second).unwrap().state,
+        JobState::Pending,
+        "node 1 is idle but outside the partition; the job must wait"
+    );
+
+    assert!(c.run_until_idle(SimDuration::from_mins(60)), "queued partition jobs must drain");
+    assert_eq!(c.job(second).unwrap().node, Some(0), "the waiter also lands on the partition's only node");
+    let first_end = c.job(first).unwrap().end_time.unwrap();
+    let second_start = c.job(second).unwrap().start_time.unwrap();
+    assert!(second_start >= first_end, "saturation means strictly sequential use of node 0");
+}
+
+/// Cancelling a job that never started must remove it from the queue,
+/// mark it terminal with an end time, and refuse double-cancellation.
+#[test]
+fn cancel_while_pending_is_terminal_and_final() {
+    let mut c = cluster(1);
+    let running = c.sbatch(&script(""), "alice").unwrap();
+    let waiting = c.sbatch(&script(""), "alice").unwrap();
+    assert_eq!(c.job(waiting).unwrap().state, JobState::Pending);
+
+    c.cancel(waiting).expect("cancelling a pending job succeeds");
+    let job = c.job(waiting).unwrap();
+    assert_eq!(job.state, JobState::Cancelled);
+    assert!(job.start_time.is_none(), "a cancelled-while-pending job never started");
+    assert!(job.end_time.is_some(), "termination is stamped");
+    assert!(!c.squeue().contains(&format!("{waiting}")), "cancelled job leaves the queue listing");
+
+    // terminal states are final
+    let err = c.cancel(waiting).unwrap_err();
+    assert!(matches!(err, SlurmError::InvalidState { .. }), "got {err:?}");
+
+    // the cancellation must not disturb the running job or the drain
+    assert!(c.run_until_idle(SimDuration::from_mins(60)), "remaining job must drain");
+    assert_eq!(c.job(running).unwrap().state, JobState::Completed);
+}
