@@ -13,16 +13,22 @@
 //! chronus set state active
 //! ```
 //!
-//! Two daemon-era commands extend the workflow:
+//! Daemon-era commands extend the workflow:
 //!
 //! ```text
 //! chronus serve --addr 127.0.0.1:4517 --workers 4 --cache-cap 64
 //! chronus slurm-config --remote 127.0.0.1:4517 <SYSTEM_HASH> <BINARY_HASH>
+//! chronus stats --remote 127.0.0.1:4517
+//! chronus trace job.sh [--user alice] [--remote 127.0.0.1:4517]
 //! ```
 //!
 //! `serve` runs chronusd over this `$CHRONUS_HOME`'s staged model;
 //! `--remote` answers the prediction from a running daemon instead of
-//! reading the staged model in-process.
+//! reading the staged model in-process. `stats` renders a daemon's
+//! telemetry counters and latency percentiles. `trace` submits an
+//! sbatch script to the simulated testbed with tracing attached and
+//! prints the resulting span tree — parse, plugin decision, prediction
+//! and (with `--remote`) every client attempt against the daemon.
 //!
 //! The benchmark command drives a freshly booted simulated cluster; the
 //! simulated HPCG run length can be scaled with `$CHRONUS_SCALE`
@@ -34,12 +40,15 @@ use chronus::integrations::hpcg_runner::HpcgRunner;
 use chronus::integrations::monitoring::{IpmiService, LscpuInfo};
 use chronus::integrations::record_store::RecordStore;
 use chronus::integrations::storage::{EtcStorage, LocalBlobStore};
-use chronus::interfaces::{ApplicationRunner, SystemInfoProvider};
+use chronus::interfaces::{ApplicationRunner, LocalStorage, SystemInfoProvider};
 use chronus::presenter;
-use chronus::remote::PredictClient;
+use chronus::remote::{PredictClient, RemotePrediction};
+use chronus::telemetry::{render_trace, Telemetry, TraceId};
 use chronusd::{PredictServer, ServerConfig, StorageBackend};
 use eco_hpcg::perf_model::PerfModel;
-use eco_hpcg::workload::{HpcgWorkload, PAPER_STANDARD_RUNTIME_S};
+use eco_hpcg::workload::{HpcgWorkload, Workload, PAPER_STANDARD_RUNTIME_S};
+use eco_plugin::JobSubmitEco;
+use eco_sim_node::cpu::CpuSpec;
 use eco_sim_node::SimNode;
 use eco_slurm_sim::Cluster;
 use std::sync::Arc;
@@ -99,6 +108,77 @@ fn cmd_remote_config(addr: &str, argv: &[&str]) -> ! {
     }
 }
 
+/// `chronus stats --remote ADDR`: fetch and render a daemon's counters.
+fn cmd_stats(argv: &[&str]) -> ! {
+    let Some(addr) = flag_value(argv, "--remote") else {
+        eprintln!("chronus: usage: chronus stats --remote ADDR");
+        std::process::exit(1);
+    };
+    let mut client = PredictClient::new(addr);
+    match client.stats() {
+        Ok(snap) => {
+            print!("{}", presenter::stats_table(&snap));
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("chronus: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// `chronus trace SCRIPT [--user NAME] [--remote ADDR]`: submit the
+/// script to the simulated testbed with telemetry attached and render
+/// the submission's span tree.
+fn cmd_trace(
+    home: &str,
+    cluster: &mut Cluster,
+    binary_path: &str,
+    binary_contents: &str,
+    argv: &[&str],
+) -> Result<String, String> {
+    let mut script_path = None;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i] {
+            "--user" | "--remote" => i += 1, // skip the flag's value
+            a if !a.starts_with("--") && script_path.is_none() => script_path = Some(a),
+            _ => {}
+        }
+        i += 1;
+    }
+    let Some(path) = script_path else {
+        return Err("usage: chronus trace SCRIPT [--user NAME] [--remote ADDR]".to_string());
+    };
+    let script = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let user = flag_value(argv, "--user").unwrap_or("operator");
+
+    let telemetry = Arc::new(Telemetry::wall());
+    cluster.set_telemetry(Arc::clone(&telemetry));
+    let storage = Arc::new(EtcStorage::new(home));
+    let mut eco = JobSubmitEco::new(storage as Arc<dyn LocalStorage + Send + Sync>, &CpuSpec::epyc_7502p(), 256);
+    eco.register_binary(binary_path, binary_contents);
+    eco.set_telemetry(Arc::clone(&telemetry));
+    if let Some(addr) = flag_value(argv, "--remote") {
+        let source = Arc::new(RemotePrediction::new(addr));
+        source.set_telemetry(Arc::clone(&telemetry));
+        eco.set_source(source);
+    }
+    cluster.register_plugin(Box::new(eco));
+
+    let submitted = cluster.sbatch(&script, user);
+    let mut out = match &submitted {
+        Ok(id) => format!("job {id} submitted by {user}\n"),
+        Err(e) => format!("submission rejected: {e}\n"),
+    };
+    let events = telemetry.recorder().events();
+    match events.iter().find(|e| e.layer == "slurm" && e.name == "sbatch" && e.parent.is_none()) {
+        Some(root) => out.push_str(&render_trace(&events, TraceId(root.trace))),
+        None => out.push_str("no trace recorded\n"),
+    }
+    Ok(out)
+}
+
 fn main() {
     let home = std::env::var("CHRONUS_HOME").unwrap_or_else(|_| "./chronus-home".to_string());
     let scale: f64 = std::env::var("CHRONUS_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.02);
@@ -119,12 +199,15 @@ fn main() {
             cmd_remote_config(addr, &rest);
         }
     }
+    if argv.first() == Some(&"stats") {
+        cmd_stats(&argv[1..]);
+    }
 
     let mut cluster = Cluster::single_node(SimNode::sr650());
     let perf = Arc::new(PerfModel::sr650());
     let work = perf.gflops(&perf.standard_config()) * PAPER_STANDARD_RUNTIME_S * scale;
     let workload = Arc::new(HpcgWorkload::with_work(perf, work, 104));
-    let runner = HpcgRunner::install(&mut cluster, "/opt/hpcg/bin/xhpcg", workload);
+    let runner = HpcgRunner::install(&mut cluster, "/opt/hpcg/bin/xhpcg", Arc::clone(&workload) as Arc<dyn Workload>);
 
     let mut app = Chronus::new(
         Box::new(RecordStore::open(format!("{home}/database/data.db")).expect("open database")),
@@ -133,6 +216,19 @@ fn main() {
     );
     let mut sampler = IpmiService::new(0, 0xc11);
     let info = LscpuInfo::new(0);
+
+    if argv.first() == Some(&"trace") {
+        match cmd_trace(&home, &mut cluster, runner.binary_path(), workload.binary_id(), &argv[1..]) {
+            Ok(out) => {
+                print!("{out}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("chronus: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
 
     // convenience: `chronus hashes` prints the identifiers the plugin uses
     if argv.first() == Some(&"hashes") {

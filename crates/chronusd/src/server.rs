@@ -14,10 +14,11 @@ use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
 use chronus::remote::{take_frame, write_frame, Response, StatsSnapshot};
+use chronus::telemetry::Histogram;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 
 use crate::backend::ModelBackend;
@@ -62,6 +63,9 @@ struct Ctx {
     service: PredictService,
     queue_cap: usize,
     workers: usize,
+    /// Accept-to-worker wait, resolved once from the service telemetry
+    /// so workers bump bare atomics per dequeue.
+    queue_wait: Histogram,
 }
 
 impl Ctx {
@@ -75,7 +79,7 @@ impl Ctx {
 pub struct PredictServer {
     addr: SocketAddr,
     ctx: Arc<Ctx>,
-    tx: Option<Sender<TcpStream>>,
+    tx: Option<Sender<(Instant, TcpStream)>>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
@@ -87,12 +91,10 @@ impl PredictServer {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let workers_n = cfg.workers.max(1);
-        let ctx = Arc::new(Ctx {
-            service: PredictService::new(cfg.cache_shards, cfg.cache_cap, backend),
-            queue_cap: cfg.queue_cap.max(1),
-            workers: workers_n,
-        });
-        let (tx, rx) = bounded::<TcpStream>(cfg.queue_cap.max(1));
+        let service = PredictService::new(cfg.cache_shards, cfg.cache_cap, backend);
+        let queue_wait = service.telemetry().histogram("daemon.queue_wait_us");
+        let ctx = Arc::new(Ctx { service, queue_cap: cfg.queue_cap.max(1), workers: workers_n, queue_wait });
+        let (tx, rx) = bounded::<(Instant, TcpStream)>(cfg.queue_cap.max(1));
 
         let mut workers = Vec::with_capacity(workers_n);
         for i in 0..workers_n {
@@ -162,7 +164,7 @@ impl Drop for PredictServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, ctx: Arc<Ctx>, retry_after_ms: u64) {
+fn accept_loop(listener: TcpListener, tx: Sender<(Instant, TcpStream)>, ctx: Arc<Ctx>, retry_after_ms: u64) {
     for conn in listener.incoming() {
         if ctx.service.is_shutting_down() {
             break;
@@ -171,9 +173,9 @@ fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, ctx: Arc<Ctx>, retr
             Ok(s) => s,
             Err(_) => continue,
         };
-        match tx.try_send(stream) {
+        match tx.try_send((Instant::now(), stream)) {
             Ok(()) => {}
-            Err(TrySendError::Full(mut stream)) => {
+            Err(TrySendError::Full((_, mut stream))) => {
                 ctx.service.stats().busy_rejection();
                 let _ = stream.set_write_timeout(Some(Duration::from_millis(100)));
                 let _ = write_frame(&mut stream, &Response::Busy { retry_after_ms });
@@ -184,18 +186,19 @@ fn accept_loop(listener: TcpListener, tx: Sender<TcpStream>, ctx: Arc<Ctx>, retr
     }
 }
 
-fn worker_loop(rx: Receiver<TcpStream>, ctx: Arc<Ctx>) {
-    while let Ok(stream) = rx.recv() {
+fn worker_loop(rx: Receiver<(Instant, TcpStream)>, ctx: Arc<Ctx>) {
+    while let Ok((queued_at, stream)) = rx.recv() {
         if ctx.service.is_shutting_down() {
             break;
         }
+        ctx.queue_wait.record_us(queued_at.elapsed().as_micros() as u64);
         serve_connection(stream, &ctx, &rx);
     }
 }
 
 /// Serves every request on one connection until the peer hangs up, a
 /// protocol violation occurs, or the daemon shuts down.
-fn serve_connection(mut stream: TcpStream, ctx: &Ctx, rx: &Receiver<TcpStream>) {
+fn serve_connection(mut stream: TcpStream, ctx: &Ctx, rx: &Receiver<(Instant, TcpStream)>) {
     if stream.set_read_timeout(Some(READ_TICK)).is_err() {
         return;
     }

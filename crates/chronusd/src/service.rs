@@ -14,6 +14,7 @@ use std::time::{Duration, Instant};
 
 use chronus::error::ChronusError;
 use chronus::remote::{Request, RequestFrame, Response, StatsSnapshot};
+use chronus::telemetry::{Telemetry, TraceContext};
 
 use crate::backend::ModelBackend;
 use crate::registry::ModelRegistry;
@@ -26,38 +27,16 @@ const MAX_BURN_MS: u64 = 10_000;
 /// How often a burning worker wakes to check for shutdown.
 const BURN_TICK: Duration = Duration::from_millis(25);
 
-/// The clock the service measures request handling time with. Deadline
-/// enforcement and the latency histogram both go through this, so a
-/// simulated clock makes `DeadlineExceeded` a deterministic function of
-/// injected delays rather than of host scheduling jitter.
-pub trait ServiceClock: Send + Sync {
-    /// Microseconds since an arbitrary fixed epoch.
-    fn now_micros(&self) -> u64;
-}
+/// The clock the service measures request handling time with — since
+/// the telemetry refactor, the telemetry spine's own clock trait under
+/// its historical daemon-side name. Deadline enforcement, the latency
+/// histogram and span timing all go through this, so a simulated clock
+/// makes `DeadlineExceeded` a deterministic function of injected delays
+/// rather than of host scheduling jitter.
+pub use chronus::telemetry::TelemetryClock as ServiceClock;
 
-/// The production clock: monotonic wall time via [`Instant`].
-#[derive(Debug)]
-pub struct WallClock {
-    epoch: Instant,
-}
-
-impl WallClock {
-    pub fn new() -> WallClock {
-        WallClock { epoch: Instant::now() }
-    }
-}
-
-impl Default for WallClock {
-    fn default() -> Self {
-        WallClock::new()
-    }
-}
-
-impl ServiceClock for WallClock {
-    fn now_micros(&self) -> u64 {
-        self.epoch.elapsed().as_micros() as u64
-    }
-}
+/// The production clock: monotonic wall time via `Instant`.
+pub use chronus::telemetry::WallClock;
 
 /// Accept-side gauges the service cannot see itself: they describe the
 /// transport's connection queue, so whoever owns the transport samples
@@ -79,6 +58,7 @@ pub struct PredictService {
     stats: ServerStats,
     backend: Arc<dyn ModelBackend>,
     clock: Arc<dyn ServiceClock>,
+    telemetry: Arc<Telemetry>,
     shutdown: AtomicBool,
 }
 
@@ -88,18 +68,35 @@ impl PredictService {
         PredictService::with_clock(cache_shards, cache_cap, backend, Arc::new(WallClock::new()))
     }
 
-    /// A service on an explicit clock (virtual time in simulation).
+    /// A service on an explicit clock (virtual time in simulation),
+    /// with its own private telemetry over that clock.
     pub fn with_clock(
         cache_shards: usize,
         cache_cap: usize,
         backend: Arc<dyn ModelBackend>,
         clock: Arc<dyn ServiceClock>,
     ) -> PredictService {
+        PredictService::with_telemetry(cache_shards, cache_cap, backend, Arc::new(Telemetry::with_clock(clock)))
+    }
+
+    /// A service emitting through an externally owned [`Telemetry`] —
+    /// counters, the latency histogram and request spans all land in
+    /// its namespace, and the service's clock is the telemetry clock.
+    /// The simulation harness hands successive daemon incarnations
+    /// fresh `Telemetry` instances sharing one recorder, so counters
+    /// reset on restart while the trace timeline persists.
+    pub fn with_telemetry(
+        cache_shards: usize,
+        cache_cap: usize,
+        backend: Arc<dyn ModelBackend>,
+        telemetry: Arc<Telemetry>,
+    ) -> PredictService {
         PredictService {
             registry: ModelRegistry::new(cache_shards, cache_cap),
-            stats: ServerStats::new(),
+            stats: ServerStats::over(&telemetry),
             backend,
-            clock,
+            clock: telemetry.clock(),
+            telemetry,
             shutdown: AtomicBool::new(false),
         }
     }
@@ -112,6 +109,11 @@ impl PredictService {
     /// The operational counters.
     pub fn stats(&self) -> &ServerStats {
         &self.stats
+    }
+
+    /// The telemetry the service emits through.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Raises the shutdown flag; burning workers notice within a tick.
@@ -136,42 +138,83 @@ impl PredictService {
     }
 
     /// Handles one complete frame payload end to end: counts it,
-    /// parses it, serves it, enforces its deadline budget and records
-    /// its latency. The caller only ships the returned response back.
+    /// parses it, serves it under a `daemon/handle` span when the frame
+    /// carries a propagated trace context, enforces its deadline budget
+    /// and records its latency.
+    ///
+    /// Tracing is head-sampled: the caller decides at the root whether
+    /// a request is traced, and the daemon follows that decision.
+    /// Untraced frames pay only the counter/histogram cost, so the warm
+    /// predict path stays flat when no one is watching. Malformed
+    /// frames are the exception — they root their own error span
+    /// because there is no parseable context to follow, and visibility
+    /// into garbage matters more than its cost.
     pub fn handle_frame(&self, payload: &[u8], gauges: QueueGauges) -> Response {
         let started = self.clock.now_micros();
         self.stats.request();
-        let response = match serde_json::from_slice::<RequestFrame>(payload) {
+        let (response, span) = match serde_json::from_slice::<RequestFrame>(payload) {
             Ok(frame) => {
-                let response = self.handle_request(frame.body, gauges);
+                let mut span = frame.trace.map(|ctx| {
+                    let mut s = self.telemetry.span_under(ctx, "daemon", "handle");
+                    s.attr("verb", verb_of(&frame.body));
+                    s
+                });
+                let ctx = span.as_ref().map(|s| s.context());
+                let response = self.handle_request(frame.body, gauges, ctx);
                 let elapsed_us = self.clock.now_micros().saturating_sub(started);
-                match frame.deadline_ms {
+                let response = match frame.deadline_ms {
                     Some(budget) if elapsed_us > budget * 1000 => {
                         self.stats.deadline_exceeded();
+                        if let Some(s) = &mut span {
+                            s.set_error(format!("deadline exceeded: {elapsed_us}us over a {budget}ms budget"));
+                        }
                         Response::DeadlineExceeded
                     }
-                    _ => response,
-                }
+                    _ => {
+                        if let Response::Error { message } = &response {
+                            if let Some(s) = &mut span {
+                                s.set_error(message.clone());
+                            }
+                        }
+                        response
+                    }
+                };
+                (response, span)
             }
             Err(e) => {
                 self.stats.error();
-                Response::Error { message: format!("malformed request: {e}") }
+                // nothing to join: a malformed frame roots its own trace
+                let mut span = self.telemetry.root_span("daemon", "handle");
+                let message = format!("malformed request: {e}");
+                span.set_error(message.clone());
+                (Response::Error { message }, Some(span))
             }
         };
+        drop(span);
         self.stats.record_latency_us(self.clock.now_micros().saturating_sub(started));
         response
     }
 
-    fn handle_request(&self, request: Request, gauges: QueueGauges) -> Response {
+    fn handle_request(&self, request: Request, gauges: QueueGauges, ctx: Option<TraceContext>) -> Response {
         match request {
             Request::Ping => Response::Pong,
             Request::Predict { system_hash, binary_hash } => {
                 self.stats.prediction();
-                if let Some(config) = self.registry.get(&(system_hash, binary_hash)) {
-                    self.stats.cache_hit();
-                    return Response::Config(config);
+                {
+                    let mut lookup = ctx.map(|c| self.telemetry.span_under(c, "daemon", "registry_lookup"));
+                    if let Some(config) = self.registry.get(&(system_hash, binary_hash)) {
+                        self.stats.cache_hit();
+                        if let Some(s) = &mut lookup {
+                            s.attr("result", "hit");
+                        }
+                        return Response::Config(config);
+                    }
+                    self.stats.cache_miss();
+                    if let Some(s) = &mut lookup {
+                        s.attr("result", "miss");
+                    }
                 }
-                self.stats.cache_miss();
+                let mut backend_span = ctx.map(|c| self.telemetry.span_under(c, "daemon", "backend_lookup"));
                 match self.backend.lookup(system_hash, binary_hash) {
                     Ok(model) => {
                         let config = model.config;
@@ -185,11 +228,17 @@ impl PredictService {
                     }
                     // "no answer for this key" is a protocol-level miss …
                     Err(ChronusError::NotFound(_)) | Err(ChronusError::Model(_)) => {
+                        if let Some(s) = &mut backend_span {
+                            s.attr("result", "miss");
+                        }
                         Response::Miss { system_hash, binary_hash }
                     }
                     // … anything else is the daemon's own problem
                     Err(e) => {
                         self.stats.error();
+                        if let Some(s) = &mut backend_span {
+                            s.set_error(e.to_string());
+                        }
                         Response::Error { message: e.to_string() }
                     }
                 }
@@ -225,6 +274,17 @@ impl PredictService {
                 Response::Burned
             }
         }
+    }
+}
+
+/// The request's verb as a span attribute value.
+fn verb_of(request: &Request) -> &'static str {
+    match request {
+        Request::Ping => "ping",
+        Request::Predict { .. } => "predict",
+        Request::Preload { .. } => "preload",
+        Request::Stats => "stats",
+        Request::Burn { .. } => "burn",
     }
 }
 
@@ -279,6 +339,53 @@ mod tests {
         assert!(matches!(resp, Response::Error { .. }));
         let snap = svc.snapshot(QueueGauges::default());
         assert_eq!((snap.requests_total, snap.errors), (1, 1));
+    }
+
+    #[test]
+    fn traced_frame_parents_daemon_spans_under_the_wire_context() {
+        let svc = service_with_one_model();
+        let telemetry = svc.telemetry().clone();
+        // pretend a remote client stamped this attempt context on the frame
+        let caller = telemetry.root_span("client", "attempt");
+        let ctx = caller.context();
+        let payload =
+            frame_bytes(&RequestFrame::new(Request::Predict { system_hash: 10, binary_hash: 20 }).traced(Some(ctx)));
+        assert!(matches!(svc.handle_frame(&payload, QueueGauges::default()), Response::Config(_)));
+        drop(caller);
+
+        let events = telemetry.recorder().trace_events(ctx.trace);
+        let handle =
+            events.iter().find(|e| e.layer == "daemon" && e.name == "handle").expect("daemon/handle span recorded");
+        assert_eq!(handle.parent, Some(ctx.span.0), "handle joins the wire context");
+        assert!(handle.attrs.iter().any(|a| a == "verb=predict"));
+        let lookup = events.iter().find(|e| e.name == "registry_lookup").expect("registry_lookup span recorded");
+        assert_eq!(lookup.parent, Some(handle.span), "lookup nests under handle");
+        let backend = events.iter().find(|e| e.name == "backend_lookup").expect("cold key also consults the backend");
+        assert_eq!(backend.parent, Some(handle.span));
+    }
+
+    #[test]
+    fn untraced_frame_records_no_spans_but_still_counts() {
+        // head-based sampling: the caller's trace decision propagates,
+        // so an untraced warm-path request must not touch the recorder
+        let svc = service_with_one_model();
+        let payload = frame_bytes(&RequestFrame::new(Request::Predict { system_hash: 10, binary_hash: 20 }));
+        assert!(matches!(svc.handle_frame(&payload, QueueGauges::default()), Response::Config(_)));
+        assert!(svc.telemetry().recorder().events().is_empty(), "untraced frames open no spans");
+        let snap = svc.snapshot(QueueGauges::default());
+        assert_eq!(snap.requests_total, 1, "counters still see untraced traffic");
+        assert_eq!(snap.predictions, 1);
+    }
+
+    #[test]
+    fn malformed_frame_roots_an_error_span() {
+        let svc = service_with_one_model();
+        let response = svc.handle_frame(b"not json", QueueGauges::default());
+        assert!(matches!(response, Response::Error { .. }));
+        let events = svc.telemetry().recorder().events();
+        let handle = events.iter().find(|e| e.name == "handle").expect("error span recorded");
+        assert_eq!(handle.parent, None, "no parseable context, so the daemon roots the trace");
+        assert!(!handle.is_ok());
     }
 
     #[test]

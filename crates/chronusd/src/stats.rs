@@ -1,29 +1,25 @@
-//! Lock-free operational counters for the daemon: per-verb request
-//! counts, registry hit/miss rates, back-pressure rejections, and a
-//! power-of-two latency histogram from which the `stats` RPC derives
-//! p50/p99.
-
-use std::sync::atomic::{AtomicU64, Ordering};
+//! Operational counters for the daemon — since the telemetry refactor,
+//! a *view* over `daemon.*` telemetry counters and the shared
+//! `daemon.service_us` latency histogram. The hot-path API (one atomic
+//! bump per event, no locks) and the `stats` RPC snapshot shape are
+//! unchanged; the handles now point into a [`Telemetry`] namespace so
+//! the same numbers appear in `chronus stats`, trace exports and the
+//! simulation harness's conservation audits.
 
 use chronus::remote::StatsSnapshot;
+use chronus::telemetry::{Counter, Histogram, Telemetry};
 
-/// Histogram buckets: bucket `i` counts latencies in `(2^(i-1), 2^i]`
-/// microseconds (bucket 0 is `<= 1 µs`). 2^39 µs is ~6 days — more
-/// than any request will ever take.
-const BUCKETS: usize = 40;
-
-/// The daemon's counters. Every field is an atomic so the hot path
+/// The daemon's counters. Every handle is an atomic cell — the hot path
 /// never takes a lock for bookkeeping.
 pub struct ServerStats {
-    requests_total: AtomicU64,
-    predictions: AtomicU64,
-    cache_hits: AtomicU64,
-    cache_misses: AtomicU64,
-    busy_rejections: AtomicU64,
-    deadline_exceeded: AtomicU64,
-    errors: AtomicU64,
-    latency_max_us: AtomicU64,
-    buckets: [AtomicU64; BUCKETS],
+    requests_total: Counter,
+    predictions: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    busy_rejections: Counter,
+    deadline_exceeded: Counter,
+    errors: Counter,
+    latency: Histogram,
 }
 
 impl Default for ServerStats {
@@ -33,78 +29,68 @@ impl Default for ServerStats {
 }
 
 impl ServerStats {
+    /// Free-standing counters, registered nowhere (unit tests, ad-hoc
+    /// use). Daemons go through [`ServerStats::over`] so the numbers
+    /// are visible to the rest of the telemetry surface.
     pub fn new() -> ServerStats {
         ServerStats {
-            requests_total: AtomicU64::new(0),
-            predictions: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            cache_misses: AtomicU64::new(0),
-            busy_rejections: AtomicU64::new(0),
-            deadline_exceeded: AtomicU64::new(0),
-            errors: AtomicU64::new(0),
-            latency_max_us: AtomicU64::new(0),
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            requests_total: Counter::new(),
+            predictions: Counter::new(),
+            cache_hits: Counter::new(),
+            cache_misses: Counter::new(),
+            busy_rejections: Counter::new(),
+            deadline_exceeded: Counter::new(),
+            errors: Counter::new(),
+            latency: Histogram::new(),
+        }
+    }
+
+    /// The view over a telemetry instance: handles resolve once, here,
+    /// and the hot path bumps bare atomics thereafter.
+    pub fn over(telemetry: &Telemetry) -> ServerStats {
+        ServerStats {
+            requests_total: telemetry.counter("daemon.requests_total"),
+            predictions: telemetry.counter("daemon.predictions"),
+            cache_hits: telemetry.counter("daemon.cache_hits"),
+            cache_misses: telemetry.counter("daemon.cache_misses"),
+            busy_rejections: telemetry.counter("daemon.busy_rejections"),
+            deadline_exceeded: telemetry.counter("daemon.deadline_exceeded"),
+            errors: telemetry.counter("daemon.errors"),
+            latency: telemetry.histogram("daemon.service_us"),
         }
     }
 
     pub fn request(&self) {
-        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        self.requests_total.bump();
     }
 
     pub fn prediction(&self) {
-        self.predictions.fetch_add(1, Ordering::Relaxed);
+        self.predictions.bump();
     }
 
     pub fn cache_hit(&self) {
-        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        self.cache_hits.bump();
     }
 
     pub fn cache_miss(&self) {
-        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_misses.bump();
     }
 
     pub fn busy_rejection(&self) {
-        self.busy_rejections.fetch_add(1, Ordering::Relaxed);
+        self.busy_rejections.bump();
     }
 
     pub fn deadline_exceeded(&self) {
-        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        self.deadline_exceeded.bump();
     }
 
     pub fn error(&self) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.errors.bump();
     }
 
     /// Records one request's handling latency.
     pub fn record_latency_us(&self, us: u64) {
-        self.latency_max_us.fetch_max(us, Ordering::Relaxed);
-        self.buckets[Self::bucket_for(us)].fetch_add(1, Ordering::Relaxed);
-    }
-
-    fn bucket_for(us: u64) -> usize {
-        if us <= 1 {
-            return 0;
-        }
-        // ceil(log2(us)), clamped to the last bucket
-        ((64 - (us - 1).leading_zeros()) as usize).min(BUCKETS - 1)
-    }
-
-    /// The upper bound (µs) of the first bucket at or above percentile
-    /// `p` (0.0..=1.0) of the recorded population; 0 when empty.
-    fn percentile_us(counts: &[u64; BUCKETS], p: f64) -> u64 {
-        let total: u64 = counts.iter().sum();
-        if total == 0 {
-            return 0;
-        }
-        let rank = ((total as f64) * p).ceil().max(1.0) as u64;
-        let mut seen = 0u64;
-        for (i, c) in counts.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                return 1u64 << i;
-            }
-        }
-        1u64 << (BUCKETS - 1)
+        self.latency.record_us(us);
     }
 
     /// A consistent-enough copy for the `stats` RPC. The gauge-style
@@ -118,23 +104,22 @@ impl ServerStats {
         models_resident: u64,
         evictions: u64,
     ) -> StatsSnapshot {
-        let counts: [u64; BUCKETS] = std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed));
         StatsSnapshot {
-            requests_total: self.requests_total.load(Ordering::Relaxed),
-            predictions: self.predictions.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            cache_misses: self.cache_misses.load(Ordering::Relaxed),
-            busy_rejections: self.busy_rejections.load(Ordering::Relaxed),
-            deadline_exceeded: self.deadline_exceeded.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
+            requests_total: self.requests_total.get(),
+            predictions: self.predictions.get(),
+            cache_hits: self.cache_hits.get(),
+            cache_misses: self.cache_misses.get(),
+            busy_rejections: self.busy_rejections.get(),
+            deadline_exceeded: self.deadline_exceeded.get(),
+            errors: self.errors.get(),
             queue_depth,
             queue_capacity,
             workers,
             models_resident,
             evictions,
-            latency_p50_us: Self::percentile_us(&counts, 0.50),
-            latency_p99_us: Self::percentile_us(&counts, 0.99),
-            latency_max_us: self.latency_max_us.load(Ordering::Relaxed),
+            latency_p50_us: self.latency.percentile_us(0.50),
+            latency_p99_us: self.latency.percentile_us(0.99),
+            latency_max_us: self.latency.max_us(),
         }
     }
 }
@@ -142,17 +127,18 @@ impl ServerStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use chronus::telemetry::Histogram;
 
     #[test]
     fn buckets_are_powers_of_two() {
-        assert_eq!(ServerStats::bucket_for(0), 0);
-        assert_eq!(ServerStats::bucket_for(1), 0);
-        assert_eq!(ServerStats::bucket_for(2), 1);
-        assert_eq!(ServerStats::bucket_for(3), 2);
-        assert_eq!(ServerStats::bucket_for(4), 2);
-        assert_eq!(ServerStats::bucket_for(5), 3);
-        assert_eq!(ServerStats::bucket_for(1024), 10);
-        assert_eq!(ServerStats::bucket_for(u64::MAX), BUCKETS - 1);
+        assert_eq!(Histogram::bucket_for(0), 0);
+        assert_eq!(Histogram::bucket_for(1), 0);
+        assert_eq!(Histogram::bucket_for(2), 1);
+        assert_eq!(Histogram::bucket_for(3), 2);
+        assert_eq!(Histogram::bucket_for(4), 2);
+        assert_eq!(Histogram::bucket_for(5), 3);
+        assert_eq!(Histogram::bucket_for(1024), 10);
+        assert_eq!(Histogram::bucket_for(u64::MAX), chronus::telemetry::HISTOGRAM_BUCKETS - 1);
     }
 
     #[test]
@@ -196,5 +182,21 @@ mod tests {
         assert_eq!(snap.busy_rejections, 1);
         assert_eq!(snap.deadline_exceeded, 1);
         assert_eq!(snap.errors, 1);
+    }
+
+    #[test]
+    fn view_shares_the_telemetry_namespace() {
+        let telemetry = Telemetry::wall();
+        let stats = ServerStats::over(&telemetry);
+        stats.request();
+        stats.cache_hit();
+        stats.record_latency_us(5);
+        assert_eq!(telemetry.counter("daemon.requests_total").get(), 1);
+        assert_eq!(telemetry.counter("daemon.cache_hits").get(), 1);
+        assert_eq!(telemetry.histogram("daemon.service_us").count(), 1);
+        // and the snapshot reads the very same cells
+        let snap = stats.snapshot(0, 0, 0, 0, 0);
+        assert_eq!(snap.requests_total, 1);
+        assert_eq!(snap.cache_hits, 1);
     }
 }

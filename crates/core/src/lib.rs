@@ -33,6 +33,14 @@ pub mod optimizers;
 pub mod presenter;
 pub mod remote;
 
+/// The observability spine shared by every layer of the submit→predict
+/// pipeline (re-exported from the `eco-telemetry` leaf crate so the
+/// Slurm simulator — which `chronus` itself depends on — can emit
+/// through the same types without a dependency cycle).
+pub mod telemetry {
+    pub use eco_telemetry::*;
+}
+
 pub use application::{predict_from_settings, Chronus, DEFAULT_SAMPLE_INTERVAL};
 pub use domain::{Benchmark, EnergySample, LoadedModel, ModelMetadata, PluginState, Settings, SystemEntry};
 pub use error::{ChronusError, Result};

@@ -53,10 +53,17 @@ impl LogEntry {
 
 /// The Chronus logger: keeps an in-memory buffer (the "terminal") and
 /// optionally appends to a log file.
+///
+/// An unwritable log file must never take the run down with it (the
+/// paper's plugin degrades, it does not crash `slurmctld`), so sink
+/// failures are counted and the last error kept inspectable instead of
+/// panicking or being silently swallowed.
 #[derive(Debug, Default)]
 pub struct ChronusLog {
     entries: Vec<LogEntry>,
     file: Option<PathBuf>,
+    sink_failures: u64,
+    last_sink_error: Option<String>,
 }
 
 impl ChronusLog {
@@ -68,21 +75,39 @@ impl ChronusLog {
     /// Also appends every line to `path` (the paper's
     /// `/var/log/chronus.log`).
     pub fn with_file(path: impl AsRef<Path>) -> Self {
-        ChronusLog { entries: Vec::new(), file: Some(path.as_ref().to_path_buf()) }
+        ChronusLog { file: Some(path.as_ref().to_path_buf()), ..ChronusLog::default() }
     }
 
-    /// Logs one line.
+    fn append_line(path: &Path, entry: &LogEntry) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        writeln!(f, "{}", entry.render())
+    }
+
+    /// Logs one line. The in-memory buffer always gets it; a failing
+    /// file sink is recorded (see [`ChronusLog::sink_failures`]) and
+    /// otherwise ignored.
     pub fn log(&mut self, time: SimTime, level: Level, origin: &'static str, message: impl Into<String>) {
         let entry = LogEntry { time, level, message: message.into(), origin };
         if let Some(path) = &self.file {
-            if let Some(parent) = path.parent() {
-                let _ = std::fs::create_dir_all(parent);
-            }
-            if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
-                let _ = writeln!(f, "{}", entry.render());
+            if let Err(e) = Self::append_line(path, &entry) {
+                self.sink_failures += 1;
+                self.last_sink_error = Some(format!("{}: {e}", path.display()));
             }
         }
         self.entries.push(entry);
+    }
+
+    /// How many lines failed to reach the file sink.
+    pub fn sink_failures(&self) -> u64 {
+        self.sink_failures
+    }
+
+    /// The most recent file-sink error, if any.
+    pub fn last_sink_error(&self) -> Option<&str> {
+        self.last_sink_error.as_deref()
     }
 
     /// Convenience: INFO.
@@ -147,10 +172,29 @@ mod tests {
         let mut log = ChronusLog::with_file(&path);
         log.info(SimTime::from_secs(5), "x.rs:1", "hello");
         log.info(SimTime::from_secs(6), "x.rs:2", "world");
-        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(log.sink_failures(), 0, "sink error: {:?}", log.last_sink_error());
+        let content = match std::fs::read_to_string(&path) {
+            Ok(c) => c,
+            Err(e) => panic!("log file missing at {}: {e}", path.display()),
+        };
         assert_eq!(content.lines().count(), 2);
         assert!(content.contains("hello"));
         assert!(content.contains("world"));
+    }
+
+    #[test]
+    fn unwritable_file_sink_degrades_to_memory() {
+        // a path whose parent is a regular file can never be created
+        let blocker = std::env::temp_dir().join(format!("eco-log-blocker-{}", std::process::id()));
+        std::fs::write(&blocker, b"not a directory").expect("create blocker file");
+        let mut log = ChronusLog::with_file(blocker.join("var/chronus.log"));
+        log.info(SimTime::from_secs(1), "x.rs:1", "still captured");
+        log.warn(SimTime::from_secs(2), "x.rs:2", "and this too");
+        assert_eq!(log.entries().len(), 2, "memory buffer must keep working");
+        assert_eq!(log.sink_failures(), 2);
+        let err = log.last_sink_error().expect("sink error recorded");
+        assert!(err.contains("chronus.log"), "{err}");
+        let _ = std::fs::remove_file(&blocker);
     }
 
     #[test]

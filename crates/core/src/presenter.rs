@@ -2,6 +2,7 @@
 //! what `job_submit_eco` consumes (the paper's green ring in Figure 11).
 
 use crate::domain::{Benchmark, ModelMetadata, SystemEntry};
+use crate::remote::StatsSnapshot;
 use eco_sim_node::cpu::CpuConfig;
 use serde_json::json;
 
@@ -75,6 +76,39 @@ pub fn benchmarks_table(benchmarks: &[Benchmark]) -> String {
     out
 }
 
+/// Renders a daemon counters snapshot for `chronus stats`: the request
+/// mix, cache behaviour, queue gauges and the service-latency
+/// percentiles the telemetry histogram tracks.
+pub fn stats_table(s: &StatsSnapshot) -> String {
+    let hit_rate = if s.predictions > 0 { 100.0 * s.cache_hits as f64 / s.predictions as f64 } else { 0.0 };
+    format!(
+        "chronusd statistics\n\
+         requests            {}\n\
+         predictions         {} ({} hits / {} misses, {hit_rate:.1}% hit rate)\n\
+         busy rejections     {}\n\
+         deadline exceeded   {}\n\
+         errors              {}\n\
+         queue               {}/{} waiting, {} workers\n\
+         models resident     {} ({} evictions)\n\
+         service latency     p50 {}us  p99 {}us  max {}us\n",
+        s.requests_total,
+        s.predictions,
+        s.cache_hits,
+        s.cache_misses,
+        s.busy_rejections,
+        s.deadline_exceeded,
+        s.errors,
+        s.queue_depth,
+        s.queue_capacity,
+        s.workers,
+        s.models_resident,
+        s.evictions,
+        s.latency_p50_us,
+        s.latency_p99_us,
+        s.latency_max_us,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,6 +173,28 @@ mod tests {
         assert!(t.contains("Available Models"));
         assert!(t.contains("random-tree"));
         assert!(t.contains("--model <id>"));
+    }
+
+    #[test]
+    fn stats_table_shows_counters_and_percentiles() {
+        let snap = StatsSnapshot {
+            requests_total: 10,
+            predictions: 8,
+            cache_hits: 6,
+            cache_misses: 2,
+            latency_p50_us: 4,
+            latency_p99_us: 128,
+            latency_max_us: 250,
+            queue_capacity: 64,
+            workers: 4,
+            models_resident: 1,
+            ..StatsSnapshot::default()
+        };
+        let t = stats_table(&snap);
+        assert!(t.contains("predictions         8 (6 hits / 2 misses, 75.0% hit rate)"), "{t}");
+        assert!(t.contains("p50 4us  p99 128us  max 250us"), "{t}");
+        // empty snapshot must not divide by zero
+        assert!(stats_table(&StatsSnapshot::default()).contains("0.0% hit rate"));
     }
 
     #[test]

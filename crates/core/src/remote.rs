@@ -32,6 +32,7 @@ use serde::{Deserialize, Serialize};
 use crate::application::predict_from_settings;
 use crate::error::{ChronusError, Result};
 use crate::interfaces::LocalStorage;
+use crate::telemetry::{Counter, Telemetry, TraceContext};
 
 /// Upper bound on a single frame's JSON payload (1 MiB).
 pub const MAX_FRAME_LEN: usize = 1 << 20;
@@ -65,6 +66,14 @@ pub struct RequestFrame {
     /// Time budget in milliseconds, measured from frame receipt.
     #[serde(default)]
     pub deadline_ms: Option<u64>,
+    /// Propagated trace context, when the caller is traced. Optional
+    /// and defaulted on decode, so peers negotiate by presence: an old
+    /// client simply never sends it, an old daemon silently ignores it
+    /// (unknown fields are skipped), and either way the frame parses.
+    /// Untraced frames omit the field entirely, so they cost the same
+    /// bytes on the wire as before the header existed.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub trace: Option<TraceContext>,
     /// The RPC verb.
     pub body: Request,
 }
@@ -72,12 +81,18 @@ pub struct RequestFrame {
 impl RequestFrame {
     /// A frame with no deadline.
     pub fn new(body: Request) -> RequestFrame {
-        RequestFrame { deadline_ms: None, body }
+        RequestFrame { deadline_ms: None, trace: None, body }
     }
 
     /// A frame with a deadline budget in milliseconds.
     pub fn with_deadline(body: Request, deadline_ms: u64) -> RequestFrame {
-        RequestFrame { deadline_ms: Some(deadline_ms), body }
+        RequestFrame { deadline_ms: Some(deadline_ms), trace: None, body }
+    }
+
+    /// The same frame carrying a trace context header.
+    pub fn traced(mut self, trace: Option<TraceContext>) -> RequestFrame {
+        self.trace = trace;
+        self
     }
 }
 
@@ -364,6 +379,28 @@ pub struct PredictClient {
     cfg: ClientConfig,
     transport: Box<dyn Transport>,
     conn: Option<Box<dyn Connection>>,
+    tel: Option<ClientTelemetry>,
+}
+
+/// The client's cached telemetry handles: counter lookups happen once,
+/// at [`PredictClient::set_telemetry`] time, not per request.
+struct ClientTelemetry {
+    telemetry: Arc<Telemetry>,
+    requests: Counter,
+    attempts: Counter,
+    retries: Counter,
+    busy: Counter,
+    errors: Counter,
+}
+
+fn verb_name(r: &Request) -> &'static str {
+    match r {
+        Request::Ping => "ping",
+        Request::Predict { .. } => "predict",
+        Request::Preload { .. } => "preload",
+        Request::Stats => "stats",
+        Request::Burn { .. } => "burn",
+    }
 }
 
 impl std::fmt::Debug for PredictClient {
@@ -393,12 +430,27 @@ impl PredictClient {
     /// ...). The transport owns connect timeouts; `cfg` still governs
     /// retries, backoff and the per-request deadline stamp.
     pub fn with_transport(transport: Box<dyn Transport>, cfg: ClientConfig) -> PredictClient {
-        PredictClient { desc: transport.describe(), cfg, transport, conn: None }
+        PredictClient { desc: transport.describe(), cfg, transport, conn: None, tel: None }
     }
 
     /// The daemon endpoint this client talks to.
     pub fn addr(&self) -> &str {
         &self.desc
+    }
+
+    /// Attaches telemetry: every RPC from here on bumps `client.*`
+    /// counters and records one `client/attempt` span per exchange
+    /// (retries included), each carrying its own context on the wire so
+    /// daemon-side spans parent under the exact attempt that reached it.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.tel = Some(ClientTelemetry {
+            requests: telemetry.counter("client.requests"),
+            attempts: telemetry.counter("client.attempts"),
+            retries: telemetry.counter("client.retries"),
+            busy: telemetry.counter("client.busy"),
+            errors: telemetry.counter("client.errors"),
+            telemetry,
+        });
     }
 
     fn connect(&mut self) -> std::result::Result<(), RemoteError> {
@@ -426,22 +478,65 @@ impl PredictClient {
     /// back-pressure. Any protocol-level answer other than `Busy`
     /// (including `Miss` and `DeadlineExceeded`) is returned as-is.
     pub fn request(&mut self, body: Request) -> std::result::Result<Response, RemoteError> {
-        let frame = RequestFrame { deadline_ms: self.cfg.deadline_ms, body };
+        self.request_traced(body, None)
+    }
+
+    /// [`PredictClient::request`] joined to a caller's trace: each
+    /// attempt opens a `client/attempt` span under `parent` (or roots a
+    /// fresh trace when the caller is untraced) and stamps that span's
+    /// context on the wire frame. Without telemetry attached, `parent`
+    /// still propagates verbatim.
+    pub fn request_traced(
+        &mut self,
+        body: Request,
+        parent: Option<TraceContext>,
+    ) -> std::result::Result<Response, RemoteError> {
+        if let Some(t) = &self.tel {
+            t.requests.bump();
+        }
+        let verb = verb_name(&body);
+        let base = RequestFrame { deadline_ms: self.cfg.deadline_ms, trace: parent, body };
         let mut attempt: u32 = 0;
         loop {
             attempt += 1;
+            let mut span = self.tel.as_ref().map(|t| {
+                t.attempts.bump();
+                if attempt > 1 {
+                    t.retries.bump();
+                }
+                let mut s = t.telemetry.span_maybe_under(parent, "client", "attempt");
+                s.attr("verb", verb);
+                s.attr("attempt", attempt);
+                s
+            });
+            let frame = base.clone().traced(span.as_ref().map(|s| s.context()).or(parent));
             match self.exchange_once(&frame) {
                 Ok(Response::Busy { retry_after_ms }) => {
                     // The daemon closes the connection after a Busy bounce.
                     self.conn = None;
+                    if let Some(t) = &self.tel {
+                        t.busy.bump();
+                    }
+                    if let Some(s) = span.take() {
+                        s.fail(format!("busy retry_after={retry_after_ms}ms"));
+                    }
                     if attempt > self.cfg.max_retries {
                         return Err(RemoteError::Busy { retry_after_ms, attempts: attempt });
                     }
                     self.transport.sleep(Duration::from_millis(retry_after_ms.min(50)));
                 }
-                Ok(resp) => return Ok(resp),
+                Ok(resp) => {
+                    drop(span);
+                    return Ok(resp);
+                }
                 Err(e) => {
                     self.conn = None;
+                    if let Some(t) = &self.tel {
+                        t.errors.bump();
+                    }
+                    if let Some(s) = span.take() {
+                        s.fail(e.to_string());
+                    }
                     if attempt > self.cfg.max_retries {
                         return Err(e);
                     }
@@ -463,7 +558,17 @@ impl PredictClient {
 
     /// The plugin's query: the best configuration for a (system, binary).
     pub fn predict(&mut self, system_hash: u64, binary_hash: u64) -> std::result::Result<CpuConfig, RemoteError> {
-        match self.request(Request::Predict { system_hash, binary_hash })? {
+        self.predict_traced(system_hash, binary_hash, None)
+    }
+
+    /// [`PredictClient::predict`] joined to a caller's trace.
+    pub fn predict_traced(
+        &mut self,
+        system_hash: u64,
+        binary_hash: u64,
+        parent: Option<TraceContext>,
+    ) -> std::result::Result<CpuConfig, RemoteError> {
+        match self.request_traced(Request::Predict { system_hash, binary_hash }, parent)? {
             Response::Config(c) => Ok(c),
             Response::Miss { system_hash, binary_hash } => Err(RemoteError::Miss { system_hash, binary_hash }),
             Response::DeadlineExceeded => Err(RemoteError::DeadlineExceeded),
@@ -506,6 +611,14 @@ pub trait PredictionSource: Send + Sync {
     /// The best configuration for a (system, binary), or an error when
     /// no answer is available inside the budget.
     fn predict(&self, system_hash: u64, binary_hash: u64) -> Result<CpuConfig>;
+
+    /// [`PredictionSource::predict`] joined to a caller's trace. The
+    /// default drops the context — right for purely local sources; the
+    /// remote source overrides it to propagate the context on the wire.
+    fn predict_traced(&self, system_hash: u64, binary_hash: u64, ctx: Option<TraceContext>) -> Result<CpuConfig> {
+        let _ = ctx;
+        self.predict(system_hash, binary_hash)
+    }
 
     /// Human-readable description for logs.
     fn describe(&self) -> String;
@@ -556,12 +669,22 @@ impl RemotePrediction {
     pub fn with_transport(transport: Box<dyn Transport>, cfg: ClientConfig) -> RemotePrediction {
         RemotePrediction { client: parking_lot::Mutex::new(PredictClient::with_transport(transport, cfg)) }
     }
+
+    /// Attaches telemetry to the wrapped client (see
+    /// [`PredictClient::set_telemetry`]).
+    pub fn set_telemetry(&self, telemetry: Arc<Telemetry>) {
+        self.client.lock().set_telemetry(telemetry);
+    }
 }
 
 impl PredictionSource for RemotePrediction {
     fn predict(&self, system_hash: u64, binary_hash: u64) -> Result<CpuConfig> {
+        self.predict_traced(system_hash, binary_hash, None)
+    }
+
+    fn predict_traced(&self, system_hash: u64, binary_hash: u64, ctx: Option<TraceContext>) -> Result<CpuConfig> {
         let mut client = self.client.lock();
-        client.predict(system_hash, binary_hash).map_err(ChronusError::from)
+        client.predict_traced(system_hash, binary_hash, ctx).map_err(ChronusError::from)
     }
 
     fn describe(&self) -> String {

@@ -5,8 +5,20 @@
 
 use bytes::BytesMut;
 use chronus::remote::{read_frame, take_frame, write_frame, Request, RequestFrame, Response, StatsSnapshot};
+use chronus::telemetry::{SpanId, TraceContext, TraceId};
 use eco_sim_node::cpu::CpuConfig;
 use proptest::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// The wire struct exactly as peers built before the trace header knew
+/// it: no `trace` field at all. Stands in for an old client/daemon in
+/// the compatibility properties below.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct LegacyRequestFrame {
+    #[serde(default)]
+    deadline_ms: Option<u64>,
+    body: Request,
+}
 
 fn arb_config() -> impl Strategy<Value = CpuConfig> {
     (1u32..=64, prop::sample::select(vec![1_500_000u64, 2_200_000, 2_500_000]), 1u32..=2)
@@ -25,9 +37,14 @@ fn arb_request() -> impl Strategy<Value = Request> {
     )
 }
 
+fn arb_trace() -> impl Strategy<Value = TraceContext> {
+    ((0u64..=u64::MAX), (0u64..=u64::MAX))
+        .prop_map(|(trace, span)| TraceContext { trace: TraceId(trace), span: SpanId(span) })
+}
+
 fn arb_frame() -> impl Strategy<Value = RequestFrame> {
-    (arb_request(), prop::option::of(0u64..=60_000))
-        .prop_map(|(body, deadline_ms)| RequestFrame { deadline_ms, body })
+    (arb_request(), prop::option::of(0u64..=60_000), prop::option::of(arb_trace()))
+        .prop_map(|(body, deadline_ms, trace)| RequestFrame { deadline_ms, trace, body })
 }
 
 fn arb_snapshot() -> impl Strategy<Value = StatsSnapshot> {
@@ -135,5 +152,67 @@ proptest! {
         let mut buf = BytesMut::new();
         buf.put_slice(&wire[..cut]);
         prop_assert!(take_frame(&mut buf).unwrap().is_none());
+    }
+
+    /// Version negotiation, downgrade direction: an old peer (no
+    /// `trace` field in its struct) decodes every new frame — traced or
+    /// not — and sees the same deadline and body.
+    #[test]
+    fn old_peers_parse_traced_frames(frame in arb_frame()) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        let legacy: LegacyRequestFrame = read_frame(&mut wire.as_slice()).unwrap();
+        prop_assert_eq!(legacy.deadline_ms, frame.deadline_ms);
+        prop_assert_eq!(legacy.body, frame.body);
+    }
+
+    /// Version negotiation, upgrade direction: frames from an old peer
+    /// (which never writes `trace`) decode on a new peer as untraced.
+    #[test]
+    fn new_peers_parse_legacy_frames_as_untraced(
+        body in arb_request(),
+        deadline_ms in prop::option::of(0u64..=60_000),
+    ) {
+        let legacy = LegacyRequestFrame { deadline_ms, body };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &legacy).unwrap();
+        let decoded: RequestFrame = read_frame(&mut wire.as_slice()).unwrap();
+        prop_assert_eq!(decoded.trace, None);
+        prop_assert_eq!(decoded.deadline_ms, legacy.deadline_ms);
+        prop_assert_eq!(decoded.body, legacy.body);
+    }
+
+    /// Junk in the trace header slot never panics either peer, and
+    /// never breaks an un-traced peer: whatever JSON value sits under
+    /// `"trace"`, the legacy decode (which ignores the field entirely)
+    /// still yields the frame.
+    #[test]
+    fn junk_trace_header_never_panics_and_never_breaks_untraced_peers(
+        junk in prop::sample::select(vec![
+            "null", "42", "-1", "\"zz\"", "[]", "[1,2,3]", "{}",
+            "{\"trace\":\"x\"}", "{\"trace\":1}", "{\"span\":2}",
+            "{\"trace\":18446744073709551615,\"span\":null}",
+            "{\"trace\":1,\"span\":2,\"extra\":true}",
+            "true", "3.5", "{\"trace\":-7,\"span\":2}",
+        ]),
+        deadline in prop::option::of(0u64..=60_000),
+    ) {
+        let deadline_json = match deadline {
+            Some(ms) => ms.to_string(),
+            None => "null".to_string(),
+        };
+        let payload = format!(
+            "{{\"deadline_ms\":{deadline_json},\"trace\":{junk},\"body\":\"Ping\"}}"
+        );
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        wire.extend_from_slice(payload.as_bytes());
+
+        // the traced peer may reject the junk, but must never panic
+        let _ = read_frame::<RequestFrame>(&mut wire.as_slice());
+        // the un-traced peer skips the field and always gets the frame
+        let legacy: LegacyRequestFrame = read_frame(&mut wire.as_slice()).unwrap();
+        prop_assert_eq!(legacy.deadline_ms, deadline);
+        prop_assert_eq!(legacy.body, Request::Ping);
     }
 }

@@ -24,6 +24,7 @@ use chronus::domain::PluginState;
 use chronus::hash::{binary_hash, system_hash};
 use chronus::interfaces::LocalStorage;
 use chronus::remote::{LocalPrediction, PredictionSource};
+use chronus::telemetry::{Counter, Telemetry, TraceContext};
 pub use deadline::DeadlineSelector;
 use eco_sim_node::cpu::CpuSpec;
 use eco_slurm_sim::plugin::{JobSubmitPlugin, PluginRejection};
@@ -35,7 +36,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 /// Counters the plugin keeps for observability (exposed for tests and the
-/// experiment harness).
+/// experiment harness). Since the telemetry refactor this is a *view*: a
+/// point-in-time copy of the plugin's `plugin.*` telemetry counters, with
+/// the same fields and conservation law as before.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PluginStats {
     /// Jobs whose descriptor was rewritten.
@@ -55,13 +58,41 @@ impl PluginStats {
     }
 }
 
+/// The plugin's telemetry handles: one counter per [`PluginStats`] field,
+/// resolved once so the submit path only bumps atomics.
+struct PluginTelemetry {
+    telemetry: Arc<Telemetry>,
+    applied: Counter,
+    skipped: Counter,
+    errors: Counter,
+}
+
+impl PluginTelemetry {
+    fn over(telemetry: Arc<Telemetry>) -> PluginTelemetry {
+        PluginTelemetry {
+            applied: telemetry.counter("plugin.applied"),
+            skipped: telemetry.counter("plugin.skipped"),
+            errors: telemetry.counter("plugin.errors"),
+            telemetry,
+        }
+    }
+}
+
+/// How one submission was handled — drives both the counters and the
+/// span outcome.
+enum Verdict {
+    Applied,
+    Skipped,
+    Error(String),
+}
+
 /// The `job_submit_eco` plugin.
 pub struct JobSubmitEco {
     storage: Arc<dyn LocalStorage + Send + Sync>,
     source: Arc<dyn PredictionSource>,
     system_hash: u64,
     binaries: HashMap<String, u64>,
-    stats: PluginStats,
+    tel: PluginTelemetry,
     strict: bool,
 }
 
@@ -78,7 +109,7 @@ impl JobSubmitEco {
             source,
             system_hash: system_hash(spec, ram_gb),
             binaries: HashMap::new(),
-            stats: PluginStats::default(),
+            tel: PluginTelemetry::over(Arc::new(Telemetry::wall())),
             strict: false,
         }
     }
@@ -89,6 +120,14 @@ impl JobSubmitEco {
     /// local settings file; only the best-config query is redirected.
     pub fn set_source(&mut self, source: Arc<dyn PredictionSource>) {
         self.source = source;
+    }
+
+    /// Rehomes the plugin's counters and spans onto a shared [`Telemetry`]
+    /// (the simulation harness and daemonised deployments pass one shared
+    /// across the whole pipeline). Call before traffic: counters restart
+    /// at zero on the new instance.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.tel = PluginTelemetry::over(telemetry);
     }
 
     /// Describes where predictions come from (for logs and tests).
@@ -110,9 +149,13 @@ impl JobSubmitEco {
         self.strict = strict;
     }
 
-    /// Counters so far.
+    /// Counters so far — a view over the `plugin.*` telemetry counters.
     pub fn stats(&self) -> PluginStats {
-        self.stats
+        PluginStats {
+            applied: self.tel.applied.get() as usize,
+            skipped: self.tel.skipped.get() as usize,
+            errors: self.tel.errors.get() as usize,
+        }
     }
 
     /// The system hash the plugin computed at load time.
@@ -134,17 +177,53 @@ impl JobSubmitPlugin for JobSubmitEco {
         "eco"
     }
 
-    fn job_submit(&mut self, job: &mut JobDescriptor, _submit_uid: u32) -> Result<(), PluginRejection> {
+    fn job_submit(&mut self, job: &mut JobDescriptor, submit_uid: u32) -> Result<(), PluginRejection> {
+        self.job_submit_traced(job, submit_uid, None)
+    }
+
+    fn job_submit_traced(
+        &mut self,
+        job: &mut JobDescriptor,
+        _submit_uid: u32,
+        ctx: Option<TraceContext>,
+    ) -> Result<(), PluginRejection> {
+        let mut span = self.tel.telemetry.span_maybe_under(ctx, "plugin", "job_submit");
+        span.attr("binary", &job.binary_path);
+        let verdict = self.decide(job, span.context());
+        match verdict {
+            Verdict::Applied => {
+                self.tel.applied.bump();
+                span.attr("outcome", "applied");
+                Ok(())
+            }
+            Verdict::Skipped => {
+                self.tel.skipped.bump();
+                span.attr("outcome", "skipped");
+                Ok(())
+            }
+            Verdict::Error(reason) => {
+                self.tel.errors.bump();
+                span.fail(reason.clone());
+                if self.strict {
+                    Err(PluginRejection { reason })
+                } else {
+                    // production behaviour: the job runs unmodified
+                    Ok(())
+                }
+            }
+        }
+    }
+}
+
+impl JobSubmitEco {
+    /// The rewrite decision for one submission: gate on plugin state,
+    /// then either the deadline-bounded selection (local) or the
+    /// configured prediction source (possibly a remote daemon, which the
+    /// trace context follows onto the wire).
+    fn decide(&self, job: &mut JobDescriptor, ctx: TraceContext) -> Verdict {
         let settings = match self.storage.load_settings() {
             Ok(s) => s,
-            Err(e) => {
-                self.stats.errors += 1;
-                return if self.strict {
-                    Err(PluginRejection { reason: format!("cannot read chronus settings: {e}") })
-                } else {
-                    Ok(())
-                };
-            }
+            Err(e) => return Verdict::Error(format!("cannot read chronus settings: {e}")),
         };
 
         let enabled = match settings.state {
@@ -153,8 +232,7 @@ impl JobSubmitPlugin for JobSubmitEco {
             PluginState::User => Self::opted_in(&job.comment),
         };
         if !enabled {
-            self.stats.skipped += 1;
-            return Ok(());
+            return Verdict::Skipped;
         }
 
         let bin_hash = self.binary_hash_for(&job.binary_path);
@@ -162,36 +240,32 @@ impl JobSubmitPlugin for JobSubmitEco {
         // §6.2.1 extension: `--comment "chronus deadline=<seconds>"` bounds
         // the choice to configurations whose measured runtime fits.
         if let Some(deadline_s) = deadline::parse_deadline(&job.comment) {
-            match self.deadline_config(&settings, self.system_hash, bin_hash, deadline_s) {
+            let mut span = self.tel.telemetry.span_under(ctx, "plugin", "deadline_select");
+            span.attr("deadline_s", deadline_s);
+            return match self.deadline_config(&settings, self.system_hash, bin_hash, deadline_s) {
                 Ok(config) => {
                     job.apply_config(&config);
-                    self.stats.applied += 1;
-                    return Ok(());
+                    Verdict::Applied
                 }
                 Err(e) => {
-                    self.stats.errors += 1;
-                    return if self.strict {
-                        Err(PluginRejection { reason: format!("deadline selection failed: {e}") })
-                    } else {
-                        Ok(())
-                    };
+                    let reason = format!("deadline selection failed: {e}");
+                    span.fail(reason.clone());
+                    Verdict::Error(reason)
                 }
-            }
+            };
         }
 
-        match self.source.predict(self.system_hash, bin_hash) {
+        let span = self.tel.telemetry.span_under(ctx, "plugin", "predict");
+        let predict_ctx = span.context();
+        match self.source.predict_traced(self.system_hash, bin_hash, Some(predict_ctx)) {
             Ok(config) => {
                 job.apply_config(&config);
-                self.stats.applied += 1;
-                Ok(())
+                Verdict::Applied
             }
             Err(e) => {
-                self.stats.errors += 1;
-                if self.strict {
-                    Err(PluginRejection { reason: format!("chronus slurm-config failed: {e}") })
-                } else {
-                    Ok(())
-                }
+                let reason = format!("chronus slurm-config failed: {e}");
+                span.fail(reason.clone());
+                Verdict::Error(reason)
             }
         }
     }
@@ -472,6 +546,46 @@ mod tests {
         let (storage, contents) = stage(&root, PluginState::User);
         let p = plugin(storage, contents);
         assert!(p.source_description().contains("local"), "{}", p.source_description());
+    }
+
+    #[test]
+    fn traced_submit_chains_job_submit_and_predict_spans() {
+        let root_dir = tmpdir("traced");
+        let (storage, contents) = stage(&root_dir, PluginState::User);
+        let mut p = plugin(storage, contents);
+        let telemetry = Arc::new(Telemetry::wall());
+        p.set_telemetry(Arc::clone(&telemetry));
+
+        let root = telemetry.root_span("slurm", "plugin_call");
+        let parent = root.context();
+        let mut opted = job("chronus");
+        p.job_submit_traced(&mut opted, 1000, Some(parent)).unwrap();
+        drop(root);
+
+        let events = telemetry.recorder().events();
+        let submit = events.iter().find(|e| e.name == "job_submit").expect("job_submit span");
+        assert_eq!(submit.layer, "plugin");
+        assert_eq!(submit.parent, Some(parent.span.0), "plugin span chains under the caller");
+        assert!(submit.attrs.iter().any(|a| a == "outcome=applied"), "{:?}", submit.attrs);
+        let predict = events.iter().find(|e| e.name == "predict").expect("predict span");
+        assert_eq!(predict.parent, Some(submit.span));
+        assert_eq!(predict.trace, parent.trace.0, "one connected trace");
+        // the stats view reads the same counters the spans sit beside
+        assert_eq!(p.stats(), PluginStats { applied: 1, skipped: 0, errors: 0 });
+        assert_eq!(telemetry.counter("plugin.applied").get(), 1);
+    }
+
+    #[test]
+    fn stats_view_conserves_total_across_outcomes() {
+        let root_dir = tmpdir("viewtotal");
+        let (storage, contents) = stage(&root_dir, PluginState::User);
+        let mut p = plugin(storage, contents);
+        p.job_submit(&mut job("chronus"), 1000).unwrap(); // applied
+        p.job_submit(&mut job(""), 1000).unwrap(); // skipped
+        p.set_source(Arc::new(DeadSource));
+        p.job_submit(&mut job("chronus"), 1000).unwrap(); // error
+        assert_eq!(p.stats(), PluginStats { applied: 1, skipped: 1, errors: 1 });
+        assert_eq!(p.stats().total(), 3, "every submission lands in exactly one counter");
     }
 
     #[test]

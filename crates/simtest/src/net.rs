@@ -23,6 +23,7 @@ use std::time::Duration;
 use bytes::BytesMut;
 use chronus::error::ChronusError;
 use chronus::remote::{take_frame, write_frame, Connection, RequestFrame, Response, Transport};
+use chronus::telemetry::{Recorder, Telemetry};
 use chronusd::backend::{ModelBackend, PreparedModel};
 use chronusd::service::{PredictService, QueueGauges, ServiceClock};
 use eco_sim_node::clock::{SharedSimClock, SimDuration, SimTime};
@@ -48,6 +49,11 @@ const DIAL_TIMEOUT_MS: u64 = 5;
 fn sim_gauges() -> QueueGauges {
     QueueGauges { depth: 0, capacity: 64, workers: 4 }
 }
+
+/// Recorder capacity for one seeded run. Connectivity assertions walk
+/// whole traces, so the ring must comfortably outlast a run (32
+/// submissions × a dozen spans each plus admin traffic and retries).
+const RECORDER_CAP: usize = 1 << 16;
 
 /// Adapts the shared millisecond clock to the service's microsecond
 /// deadline accounting.
@@ -110,6 +116,10 @@ struct NetCore {
     service: Arc<PredictService>,
     backend: Arc<SimBackend>,
     ledger: Ledger,
+    /// The run-wide trace recorder. Daemon incarnations get fresh
+    /// counter namespaces but share this ring, so the trace timeline
+    /// survives crashes exactly like an external collector would.
+    recorder: Arc<Recorder>,
     log: Vec<String>,
     violations: Vec<String>,
     partitioned_until: Option<SimTime>,
@@ -154,7 +164,7 @@ impl NetCore {
                 self.service.registry().len()
             ));
         }
-        self.service = fresh_service(&self.clock, &self.backend);
+        self.service = fresh_service(&self.clock, &self.backend, &self.recorder);
         self.ledger.reset();
         self.incarnation += 1;
     }
@@ -167,17 +177,26 @@ impl NetCore {
     }
 }
 
-fn fresh_service(clock: &Arc<SharedSimClock>, backend: &Arc<SimBackend>) -> Arc<PredictService> {
-    Arc::new(PredictService::with_clock(
+fn fresh_service(
+    clock: &Arc<SharedSimClock>,
+    backend: &Arc<SimBackend>,
+    recorder: &Arc<Recorder>,
+) -> Arc<PredictService> {
+    // A fresh telemetry per incarnation resets the counters (a real
+    // restart loses them too) but shares the run-wide recorder, so span
+    // ids stay unique and traces span crash boundaries.
+    let telemetry = Telemetry::with_parts(Arc::new(SimServiceClock(Arc::clone(clock))), Arc::clone(recorder));
+    Arc::new(PredictService::with_telemetry(
         CACHE_SHARDS,
         CACHE_CAP,
         Arc::clone(backend) as Arc<dyn ModelBackend>,
-        Arc::new(SimServiceClock(Arc::clone(clock))),
+        Arc::new(telemetry),
     ))
 }
 
 struct NetState {
     clock: Arc<SharedSimClock>,
+    telemetry: Arc<Telemetry>,
     mu: Mutex<NetCore>,
 }
 
@@ -197,7 +216,12 @@ impl SimNet {
             poisoned: AtomicBool::new(false),
             models,
         });
-        let service = fresh_service(&clock, &backend);
+        let recorder = Arc::new(Recorder::new(RECORDER_CAP));
+        let service = fresh_service(&clock, &backend, &recorder);
+        // The world side (cluster, plugin, client) shares the daemon's
+        // clock and recorder, so one trace spans both sides of the wire.
+        let telemetry =
+            Arc::new(Telemetry::with_parts(Arc::new(SimServiceClock(Arc::clone(&clock))), Arc::clone(&recorder)));
         let core = NetCore {
             rng: StdRng::seed_from_u64(seed),
             plan,
@@ -205,6 +229,7 @@ impl SimNet {
             service,
             backend,
             ledger: Ledger::default(),
+            recorder,
             log: Vec::new(),
             violations: Vec::new(),
             partitioned_until: None,
@@ -212,7 +237,14 @@ impl SimNet {
             incarnation: 0,
             next_conn: 0,
         };
-        SimNet { state: Arc::new(NetState { clock, mu: Mutex::new(core) }) }
+        SimNet { state: Arc::new(NetState { clock, telemetry, mu: Mutex::new(core) }) }
+    }
+
+    /// The world-side telemetry: the cluster, plugin and client emit
+    /// through this; it shares a recorder (and the virtual clock) with
+    /// every daemon incarnation.
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.state.telemetry)
     }
 
     /// A fresh client-side endpoint (share-nothing with other clients
@@ -510,6 +542,21 @@ mod tests {
         assert_eq!(cfg, CpuConfig::new(16, 2_200_000, 1));
         assert!(net.now_ms() >= DIAL_MS, "dialing must cost virtual time");
         assert!(net.finish().is_empty(), "clean run has no violations");
+    }
+
+    #[test]
+    fn traced_predict_chains_client_and_daemon_spans_across_the_sim_wire() {
+        let net = SimNet::new(7, FaultPlan::none(), vec![model(1, 10, 20)]);
+        let tel = net.telemetry();
+        let mut c = client(&net);
+        c.set_telemetry(Arc::clone(&tel));
+        c.predict(10, 20).expect("fault-free predict succeeds");
+        let events = tel.recorder().events();
+        let attempt = events.iter().find(|e| e.layer == "client" && e.name == "attempt").expect("attempt span");
+        let handle = events.iter().find(|e| e.layer == "daemon" && e.name == "handle").expect("daemon span");
+        assert_eq!(handle.trace, attempt.trace, "one trace spans the simulated wire");
+        assert_eq!(handle.parent, Some(attempt.span), "daemon work parents under the attempt that carried it");
+        assert!(events.iter().any(|e| e.name == "registry_lookup" && e.parent == Some(handle.span)));
     }
 
     #[test]

@@ -36,6 +36,7 @@ use chronus::hash::{binary_hash, system_hash};
 use chronus::integrations::storage::EtcStorage;
 use chronus::interfaces::LocalStorage;
 use chronus::remote::{ClientConfig, PredictClient, RemotePrediction};
+use chronus::telemetry::{TraceContext, TraceEvent};
 use chronusd::backend::PreparedModel;
 use eco_hpcg::workload::{ScalingKind, SyntheticWorkload};
 use eco_plugin::{JobSubmitEco, PluginStats};
@@ -160,6 +161,17 @@ impl JobSubmitPlugin for StatsTap {
         *self.out.lock() = self.inner.stats();
         result
     }
+
+    fn job_submit_traced(
+        &mut self,
+        job: &mut JobDescriptor,
+        submit_uid: u32,
+        ctx: Option<TraceContext>,
+    ) -> Result<(), PluginRejection> {
+        let result = self.inner.job_submit_traced(job, submit_uid, ctx);
+        *self.out.lock() = self.inner.stats();
+        result
+    }
 }
 
 fn storage_root(plan: &str, seed: u64) -> PathBuf {
@@ -232,11 +244,14 @@ pub fn run_seed(seed: u64, plan: &FaultPlan) -> SeedReport {
         })
         .expect("stage settings");
 
+    let telemetry = net.telemetry();
+
     let mut cluster = Cluster::single_node(SimNode::sr650());
     // The default plugin budget is wall-clock; the simulation burns only
     // virtual time, but a loaded CI host could still blow a tight wall
     // budget, so give it slack before registering the plugin.
     cluster.set_plugin_host(PluginHost::new().with_budget_ms(10_000));
+    cluster.set_telemetry(Arc::clone(&telemetry));
     for (path, name) in [(BIN_A, "xhpcg"), (BIN_B, "solver"), (BIN_C, "probe")] {
         cluster.register_binary(path, Arc::new(SyntheticWorkload::new(name, ScalingKind::ComputeBound, 10.0, 1.0)));
     }
@@ -245,12 +260,16 @@ pub fn run_seed(seed: u64, plan: &FaultPlan) -> SeedReport {
     let mut eco = JobSubmitEco::new(Arc::clone(&storage) as Arc<dyn LocalStorage + Send + Sync>, &spec, 256);
     eco.register_binary(BIN_A, BIN_A_CONTENTS);
     eco.register_binary(BIN_B, BIN_B_CONTENTS);
-    eco.set_source(Arc::new(RemotePrediction::with_transport(Box::new(net.transport()), client_cfg(plan))));
+    eco.set_telemetry(Arc::clone(&telemetry));
+    let source = Arc::new(RemotePrediction::with_transport(Box::new(net.transport()), client_cfg(plan)));
+    source.set_telemetry(Arc::clone(&telemetry));
+    eco.set_source(source);
     cluster.register_plugin(Box::new(StatsTap { inner: eco, out: Arc::clone(&shared_stats) }));
 
     // An operator poking the daemon over its own connection, interleaved
     // with submissions.
     let mut admin = PredictClient::with_transport(Box::new(net.transport()), client_cfg(plan));
+    admin.set_telemetry(Arc::clone(&telemetry));
 
     let model_universe = [config_a(), config_b()];
     let row_runtimes: Vec<(CpuConfig, f64)> = rows.iter().map(|b| (b.config, b.runtime_s)).collect();
@@ -279,6 +298,7 @@ pub fn run_seed(seed: u64, plan: &FaultPlan) -> SeedReport {
         script.push_str(&format!("\nsrun --ntasks-per-core=1 {path}\n"));
 
         net.note(format!("submit #{i}: user={user} bin={path} comment={:?} ntasks={ntasks}", comment.as_deref()));
+        let trace_mark = telemetry.recorder().events().len();
         let t_before = net.now_ms();
         let id = match cluster.sbatch(&script, user) {
             Ok(id) => id,
@@ -318,6 +338,11 @@ pub fn run_seed(seed: u64, plan: &FaultPlan) -> SeedReport {
             (false, _) => untouched += 1,
         }
         net.note(format!("submit #{i}: job {id} {}", if touched { "rewritten" } else { "untouched" }));
+
+        // Every submission must have produced exactly one connected
+        // trace through whatever layers it actually reached.
+        let new_events: Vec<TraceEvent> = telemetry.recorder().events().split_off(trace_mark);
+        check_trace(i, &new_events, opted, wants_deadline.is_some(), touched, plan.name == "none", &mut violations);
 
         // Background cluster life between submissions.
         if rng.gen_bool(0.3) {
@@ -373,12 +398,20 @@ pub fn run_seed(seed: u64, plan: &FaultPlan) -> SeedReport {
         ));
     }
 
+    if telemetry.recorder().dropped() > 0 {
+        violations.push(format!(
+            "trace recorder overflowed ({} events dropped): connectivity checks are unsound at this capacity",
+            telemetry.recorder().dropped()
+        ));
+    }
+
     let _ = std::fs::remove_dir_all(&root);
 
     if !violations.is_empty() {
+        let dump = dump_traces(plan.name, seed, &telemetry.export_json());
         panic!(
-            "simtest violations (seed {seed}, plan '{}'):\n  {}\n\nreplay: SIMTEST_SEED={seed} cargo test -p \
-             simtest replay -- --nocapture",
+            "simtest violations (seed {seed}, plan '{}'):\n  {}\n\ntrace export: {dump}\nreplay: \
+             SIMTEST_SEED={seed} cargo test -p simtest replay -- --nocapture",
             plan.name,
             violations.join("\n  ")
         );
@@ -392,6 +425,129 @@ pub fn run_seed(seed: u64, plan: &FaultPlan) -> SeedReport {
         applied_remote,
         applied_deadline,
         untouched,
+    }
+}
+
+/// Writes the failing run's full telemetry export (every trace event,
+/// counter and histogram) where CI can pick it up as an artifact.
+/// `SIMTEST_TRACE_DIR` overrides the default `target/simtest-traces`.
+fn dump_traces(plan: &str, seed: u64, json: &str) -> String {
+    let dir = std::env::var("SIMTEST_TRACE_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/simtest-traces"));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        return format!("(dump failed: {e})");
+    }
+    let path = dir.join(format!("{plan}-{seed}.json"));
+    match std::fs::write(&path, json) {
+        Ok(()) => path.display().to_string(),
+        Err(e) => format!("(dump failed: {e})"),
+    }
+}
+
+/// The per-submission tracing invariant: an accepted submission leaves
+/// exactly one trace rooted at `slurm/sbatch`, every span in it parents
+/// inside it (no orphans), and each layer the submission demonstrably
+/// reached shows up in the right place — the plugin call under the
+/// submit span, every client attempt under the plugin's predict span,
+/// every daemon span under the exact attempt that carried it over the
+/// wire. Under the fault-free plan the remote-applied chain is asserted
+/// end to end, daemon registry lookup included; under faults the daemon
+/// side is only checked when the frame demonstrably arrived (a lost
+/// frame leaves no daemon span, and a stale duplicated response can
+/// still satisfy the client).
+fn check_trace(
+    i: usize,
+    events: &[TraceEvent],
+    opted: bool,
+    wants_deadline: bool,
+    touched: bool,
+    strict: bool,
+    violations: &mut Vec<String>,
+) {
+    let roots: Vec<&TraceEvent> =
+        events.iter().filter(|e| e.layer == "slurm" && e.name == "sbatch" && e.parent.is_none()).collect();
+    if roots.len() != 1 {
+        violations.push(format!("submission #{i}: expected exactly one sbatch trace root, found {}", roots.len()));
+        return;
+    }
+    let root = roots[0];
+    let trace: Vec<&TraceEvent> = events.iter().filter(|e| e.trace == root.trace).collect();
+    let spans: std::collections::HashSet<u64> = trace.iter().map(|e| e.span).collect();
+    let find = |layer: &str, name: &str| trace.iter().find(|e| e.layer == layer && e.name == name).copied();
+    let parent_of = |e: &TraceEvent| e.parent.and_then(|p| trace.iter().find(|c| c.span == p).copied());
+
+    for e in &trace {
+        if let Some(p) = e.parent {
+            if !spans.contains(&p) {
+                violations.push(format!(
+                    "submission #{i}: span {}/{} is orphaned (parent {p:x} not in its own trace)",
+                    e.layer, e.name
+                ));
+            }
+        }
+    }
+
+    for (layer, name) in [("slurm", "parse"), ("slurm", "submit"), ("slurm", "plugin_call"), ("plugin", "job_submit")]
+    {
+        if find(layer, name).is_none() {
+            violations.push(format!("submission #{i}: trace has no {layer}/{name} span"));
+        }
+    }
+
+    let predict = find("plugin", "predict");
+    let attempts: Vec<&TraceEvent> =
+        trace.iter().filter(|e| e.layer == "client" && e.name == "attempt").copied().collect();
+    let handles: Vec<&TraceEvent> =
+        trace.iter().filter(|e| e.layer == "daemon" && e.name == "handle").copied().collect();
+
+    if !opted && (predict.is_some() || !attempts.is_empty()) {
+        violations.push(format!("submission #{i}: a job without opt-in reached the prediction path"));
+    }
+    for a in &attempts {
+        if !parent_of(a).is_some_and(|p| p.layer == "plugin" && p.name == "predict") {
+            violations.push(format!("submission #{i}: client attempt span not parented under plugin/predict"));
+        }
+    }
+    for h in &handles {
+        if !parent_of(h).is_some_and(|p| p.layer == "client" && p.name == "attempt") {
+            violations.push(format!("submission #{i}: daemon handle span not parented under a client attempt"));
+        }
+    }
+    for e in
+        trace.iter().filter(|e| e.layer == "daemon" && (e.name == "registry_lookup" || e.name == "backend_lookup"))
+    {
+        if !parent_of(e).is_some_and(|p| p.layer == "daemon" && p.name == "handle") {
+            violations.push(format!("submission #{i}: daemon {} span not parented under daemon/handle", e.name));
+        }
+    }
+
+    if touched && wants_deadline && find("plugin", "deadline_select").is_none() {
+        violations.push(format!("submission #{i}: deadline rewrite without a plugin/deadline_select span"));
+    }
+    if touched && !wants_deadline {
+        if predict.is_none() {
+            violations.push(format!("submission #{i}: remote rewrite without a plugin/predict span"));
+        }
+        if attempts.is_empty() {
+            violations.push(format!("submission #{i}: remote rewrite without a single client attempt span"));
+        }
+        if strict {
+            // Fault-free network: the winning attempt's frame reached
+            // the daemon, so the chain must be complete down to the
+            // registry lookup.
+            let complete = handles.iter().any(|h| {
+                h.is_ok()
+                    && trace
+                        .iter()
+                        .any(|e| e.layer == "daemon" && e.name == "registry_lookup" && e.parent == Some(h.span))
+            });
+            if !complete {
+                violations.push(format!(
+                    "submission #{i}: fault-free remote rewrite lacks a daemon handle + registry_lookup chain"
+                ));
+            }
+        }
     }
 }
 

@@ -19,6 +19,7 @@ use eco_sim_node::clock::{SimDuration, SimTime};
 use eco_sim_node::node::EnergyTotals;
 use eco_sim_node::power::CpuLoad;
 use eco_sim_node::{CpuConfig, SimNode};
+use eco_telemetry::{Telemetry, TraceContext};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -69,6 +70,7 @@ pub struct Cluster {
     backfill_enabled: bool,
     power_cap_w: Option<f64>,
     partitions: PartitionTable,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 /// Resolution at which running jobs' utilization profiles are re-applied
@@ -100,6 +102,7 @@ impl Cluster {
             backfill_enabled: true,
             power_cap_w: None,
             partitions,
+            telemetry: None,
         }
     }
 
@@ -111,6 +114,17 @@ impl Cluster {
     /// Replaces the plugin host (to adjust the submit-path time budget).
     pub fn set_plugin_host(&mut self, host: PluginHost) {
         self.plugins = host;
+        if let Some(t) = &self.telemetry {
+            self.plugins.set_telemetry(Arc::clone(t));
+        }
+    }
+
+    /// Attaches telemetry: every `sbatch` roots a trace whose spans
+    /// cover parsing, submission and each plugin call, and the
+    /// scheduler's dispatch decisions bump `slurm.sched_*` counters.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.plugins.set_telemetry(Arc::clone(&telemetry));
+        self.telemetry = Some(telemetry);
     }
 
     /// Installs an executable at a path; jobs reference it by path.
@@ -232,19 +246,43 @@ impl Cluster {
     /// Submits a batch script, expanding `#SBATCH --array=...` into one
     /// job per task index (`name_[i]`). Non-array scripts yield one job.
     pub fn sbatch_array(&mut self, script: &str, user: &str) -> Result<Vec<JobId>, SlurmError> {
-        let desc = parse_script(script, user)?;
-        match crate::commands::array_directive(script)? {
-            None => Ok(vec![self.submit(desc)?]),
-            Some(spec) => {
+        let mut root = self.telemetry.as_ref().map(|t| {
+            t.counter("slurm.sbatch").bump();
+            let mut s = t.root_span("slurm", "sbatch");
+            s.attr("user", user);
+            s
+        });
+        let parsed = {
+            let parse_span = root.as_ref().map(|r| r.child("slurm", "parse"));
+            let parsed =
+                parse_script(script, user).and_then(|desc| Ok((desc, crate::commands::array_directive(script)?)));
+            if let Some(s) = parse_span {
+                match &parsed {
+                    Ok(_) => s.finish(),
+                    Err(e) => s.fail(e.to_string()),
+                }
+            }
+            parsed
+        };
+        let ctx = root.as_ref().map(|s| s.context());
+        let result: Result<Vec<JobId>, SlurmError> = (|| match parsed? {
+            (desc, None) => Ok(vec![self.submit_traced(desc, ctx)?]),
+            (desc, Some(spec)) => {
                 let mut ids = Vec::with_capacity(spec.indices.len());
                 for idx in spec.indices {
                     let mut element = desc.clone();
                     element.name = format!("{}_[{}]", desc.name, idx);
-                    ids.push(self.submit(element)?);
+                    ids.push(self.submit_traced(element, ctx)?);
                 }
                 Ok(ids)
             }
+        })();
+        if let Err(e) = &result {
+            if let Some(s) = root.take() {
+                s.fail(e.to_string());
+            }
         }
+        result
     }
 
     /// Runs an `srun` command line: parses, submits, and returns the job
@@ -277,7 +315,41 @@ impl Cluster {
     }
 
     /// Submits a prepared descriptor (what `srun`/API submission becomes).
-    pub fn submit(&mut self, mut desc: JobDescriptor) -> Result<JobId, SlurmError> {
+    pub fn submit(&mut self, desc: JobDescriptor) -> Result<JobId, SlurmError> {
+        self.submit_traced(desc, None)
+    }
+
+    /// [`Cluster::submit`] joined to a trace: the submission span opens
+    /// under `parent` (or roots a fresh trace) and its context flows
+    /// through the plugin chain and onward to any remote prediction.
+    pub fn submit_traced(&mut self, desc: JobDescriptor, parent: Option<TraceContext>) -> Result<JobId, SlurmError> {
+        let mut span = self.telemetry.as_ref().map(|t| {
+            t.counter("slurm.submissions").bump();
+            let mut s = t.span_maybe_under(parent, "slurm", "submit");
+            s.attr("name", &desc.name);
+            s
+        });
+        let ctx = span.as_ref().map(|s| s.context()).or(parent);
+        let result = self.submit_inner(desc, ctx);
+        match &result {
+            Ok(id) => {
+                if let Some(s) = &mut span {
+                    s.attr("job", id);
+                }
+            }
+            Err(e) => {
+                if let Some(t) = &self.telemetry {
+                    t.counter("slurm.submit_errors").bump();
+                }
+                if let Some(s) = span.take() {
+                    s.fail(e.to_string());
+                }
+            }
+        }
+        result
+    }
+
+    fn submit_inner(&mut self, mut desc: JobDescriptor, ctx: Option<TraceContext>) -> Result<JobId, SlurmError> {
         if !self.registry.contains_key(&desc.binary_path) {
             return Err(SlurmError::UnknownBinary(desc.binary_path));
         }
@@ -294,7 +366,7 @@ impl Cluster {
         }
         // the partition's MaxTime caps the job's own request
         desc.time_limit = partition.effective_time_limit(desc.time_limit);
-        self.plugins.run(&mut desc, 1000)?;
+        self.plugins.run_traced(&mut desc, 1000, ctx)?;
 
         let id = JobId(self.next_id);
         self.next_id += 1;
@@ -582,15 +654,27 @@ impl Cluster {
             if nodes_ok && self.within_power_cap(id, &eligible[..need]) {
                 let assigned: Vec<usize> = eligible[..need].to_vec();
                 free.retain(|n| !assigned.contains(n));
+                if let Some(t) = &self.telemetry {
+                    t.counter("slurm.sched_dispatched").bump();
+                    if shadow.is_some() {
+                        t.counter("slurm.sched_backfilled").bump();
+                    }
+                }
                 self.start_job(id, &assigned);
             } else if nodes_ok {
                 // power-blocked: skipped without a node reservation — a
                 // cheaper job may still start (work-conserving power cap;
                 // the starvation trade-off is the operator's, as in
                 // value-oriented power-constrained scheduling)
+                if let Some(t) = &self.telemetry {
+                    t.counter("slurm.sched_power_blocked").bump();
+                }
             } else if shadow.is_none() {
                 // node-blocked head job: reserve its start time
                 shadow = Some(self.earliest_start(id, need, eligible.len()));
+                if let Some(t) = &self.telemetry {
+                    t.counter("slurm.sched_head_blocked").bump();
+                }
                 if !self.backfill_enabled {
                     break; // strict FIFO: nothing may jump the head job
                 }
@@ -765,6 +849,42 @@ mod tests {
         let mut c = cluster();
         let d = JobDescriptor::new("t", "u", "/bin/missing");
         assert!(matches!(c.submit(d), Err(SlurmError::UnknownBinary(_))));
+    }
+
+    #[test]
+    fn sbatch_with_telemetry_records_a_connected_trace() {
+        let mut c = cluster();
+        let telemetry = Arc::new(Telemetry::wall());
+        c.set_telemetry(Arc::clone(&telemetry));
+        c.register_binary("/opt/hpcg/bin/xhpcg", quick_workload(100.0));
+        let script = generate_hpcg_script(16, 2_200_000, 2, "/opt/hpcg/bin/xhpcg");
+        c.sbatch(&script, "aaen").unwrap();
+
+        let events = telemetry.recorder().events();
+        let root = events.iter().find(|e| e.name == "sbatch").expect("sbatch root span");
+        assert_eq!(root.layer, "slurm");
+        assert_eq!(root.parent, None);
+        let parse = events.iter().find(|e| e.name == "parse").expect("parse span");
+        assert_eq!(parse.parent, Some(root.span));
+        let submit = events.iter().find(|e| e.name == "submit").expect("submit span");
+        assert_eq!(submit.parent, Some(root.span));
+        assert!(events.iter().all(|e| e.trace == root.trace), "one submission, one trace");
+        assert_eq!(telemetry.counter("slurm.sbatch").get(), 1);
+        assert_eq!(telemetry.counter("slurm.submissions").get(), 1);
+        assert_eq!(telemetry.counter("slurm.sched_dispatched").get(), 1);
+    }
+
+    #[test]
+    fn failed_submission_fails_the_trace() {
+        let mut c = cluster();
+        let telemetry = Arc::new(Telemetry::wall());
+        c.set_telemetry(Arc::clone(&telemetry));
+        let d = JobDescriptor::new("t", "u", "/bin/missing");
+        assert!(c.submit(d).is_err());
+        let events = telemetry.recorder().events();
+        let submit = events.iter().find(|e| e.name == "submit").expect("submit span");
+        assert!(!submit.is_ok(), "unknown binary must close the span with an error");
+        assert_eq!(telemetry.counter("slurm.submit_errors").get(), 1);
     }
 
     #[test]

@@ -9,6 +9,8 @@
 
 use crate::error::SlurmError;
 use crate::job::JobDescriptor;
+use eco_telemetry::{Counter, Telemetry, TraceContext};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Why a plugin refused a job.
@@ -27,12 +29,35 @@ pub trait JobSubmitPlugin: Send {
 
     /// Called once per submission, before the job enters the queue.
     fn job_submit(&mut self, job: &mut JobDescriptor, submit_uid: u32) -> Result<(), PluginRejection>;
+
+    /// [`JobSubmitPlugin::job_submit`] joined to the submission's trace.
+    /// The default drops the context, so untraced plugins need not care;
+    /// instrumented plugins override it to parent their spans (and any
+    /// remote calls they make) under the submission.
+    fn job_submit_traced(
+        &mut self,
+        job: &mut JobDescriptor,
+        submit_uid: u32,
+        ctx: Option<TraceContext>,
+    ) -> Result<(), PluginRejection> {
+        let _ = ctx;
+        self.job_submit(job, submit_uid)
+    }
 }
 
 /// Hosts the configured plugin chain and enforces the submit-path budget.
 pub struct PluginHost {
     plugins: Vec<Box<dyn JobSubmitPlugin>>,
     budget_ms: u64,
+    tel: Option<HostTelemetry>,
+}
+
+/// Counter handles resolved once at [`PluginHost::set_telemetry`] time.
+struct HostTelemetry {
+    telemetry: Arc<Telemetry>,
+    calls: Counter,
+    rejections: Counter,
+    timeouts: Counter,
 }
 
 /// Slurm aborts submit plugins that stall the controller; we default to a
@@ -42,7 +67,20 @@ pub const DEFAULT_PLUGIN_BUDGET_MS: u64 = 100;
 impl PluginHost {
     /// An empty chain with the default budget.
     pub fn new() -> Self {
-        PluginHost { plugins: Vec::new(), budget_ms: DEFAULT_PLUGIN_BUDGET_MS }
+        PluginHost { plugins: Vec::new(), budget_ms: DEFAULT_PLUGIN_BUDGET_MS, tel: None }
+    }
+
+    /// Attaches telemetry: every plugin call from here on bumps
+    /// `slurm.plugin_*` counters and records one `slurm/plugin_call`
+    /// span, whose context is handed to the plugin so its own spans
+    /// chain under the submission.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.tel = Some(HostTelemetry {
+            calls: telemetry.counter("slurm.plugin_calls"),
+            rejections: telemetry.counter("slurm.plugin_rejections"),
+            timeouts: telemetry.counter("slurm.plugin_timeouts"),
+            telemetry,
+        });
     }
 
     /// Overrides the per-call budget (milliseconds).
@@ -75,18 +113,47 @@ impl PluginHost {
     /// Runs every plugin over the descriptor, in order, measuring each
     /// call. The first rejection or budget overrun aborts the submission.
     pub fn run(&mut self, job: &mut JobDescriptor, submit_uid: u32) -> Result<(), SlurmError> {
+        self.run_traced(job, submit_uid, None)
+    }
+
+    /// [`PluginHost::run`] joined to a submission's trace: each plugin
+    /// call gets a `slurm/plugin_call` span under `parent`, and the
+    /// plugin receives that span's context via
+    /// [`JobSubmitPlugin::job_submit_traced`].
+    pub fn run_traced(
+        &mut self,
+        job: &mut JobDescriptor,
+        submit_uid: u32,
+        parent: Option<TraceContext>,
+    ) -> Result<(), SlurmError> {
+        let budget_ms = self.budget_ms;
         for plugin in &mut self.plugins {
+            let mut span = self.tel.as_ref().map(|t| {
+                t.calls.bump();
+                let mut s = t.telemetry.span_maybe_under(parent, "slurm", "plugin_call");
+                s.attr("plugin", plugin.name());
+                s
+            });
+            let ctx = span.as_ref().map(|s| s.context()).or(parent);
             let started = Instant::now();
-            let outcome = plugin.job_submit(job, submit_uid);
+            let outcome = plugin.job_submit_traced(job, submit_uid, ctx);
             let elapsed_ms = started.elapsed().as_millis() as u64;
-            if elapsed_ms > self.budget_ms {
-                return Err(SlurmError::PluginTimeout {
-                    plugin: plugin.name(),
-                    elapsed_ms,
-                    budget_ms: self.budget_ms,
-                });
+            if elapsed_ms > budget_ms {
+                if let Some(t) = &self.tel {
+                    t.timeouts.bump();
+                }
+                if let Some(s) = span.take() {
+                    s.fail(format!("budget overrun: {elapsed_ms}ms > {budget_ms}ms"));
+                }
+                return Err(SlurmError::PluginTimeout { plugin: plugin.name(), elapsed_ms, budget_ms });
             }
             if let Err(rejection) = outcome {
+                if let Some(t) = &self.tel {
+                    t.rejections.bump();
+                }
+                if let Some(s) = span.take() {
+                    s.fail(format!("rejected: {}", rejection.reason));
+                }
                 return Err(SlurmError::PluginRejected { plugin: plugin.name(), reason: rejection.reason });
             }
         }
@@ -214,6 +281,61 @@ mod tests {
         host.register(Box::new(Slow));
         host.register(Box::new(Slow));
         assert!(host.run(&mut desc(), 0).is_ok());
+    }
+
+    #[test]
+    fn traced_run_hands_plugins_the_call_span_context() {
+        struct CtxProbe(Arc<parking_lot::Mutex<Option<TraceContext>>>);
+        impl JobSubmitPlugin for CtxProbe {
+            fn name(&self) -> &'static str {
+                "probe"
+            }
+            fn job_submit(&mut self, _job: &mut JobDescriptor, _uid: u32) -> Result<(), PluginRejection> {
+                Ok(())
+            }
+            fn job_submit_traced(
+                &mut self,
+                job: &mut JobDescriptor,
+                uid: u32,
+                ctx: Option<TraceContext>,
+            ) -> Result<(), PluginRejection> {
+                *self.0.lock() = ctx;
+                self.job_submit(job, uid)
+            }
+        }
+
+        let telemetry = Arc::new(Telemetry::wall());
+        let seen = Arc::new(parking_lot::Mutex::new(None));
+        let mut host = PluginHost::new();
+        host.set_telemetry(Arc::clone(&telemetry));
+        host.register(Box::new(CtxProbe(Arc::clone(&seen))));
+
+        let root = telemetry.root_span("slurm", "submit");
+        let parent = root.context();
+        host.run_traced(&mut desc(), 0, Some(parent)).unwrap();
+        drop(root);
+
+        let ctx = seen.lock().expect("plugin must receive a context");
+        assert_eq!(ctx.trace, parent.trace, "plugin joins the submission's trace");
+        let events = telemetry.recorder().events();
+        let call = events.iter().find(|e| e.name == "plugin_call").expect("plugin_call span");
+        assert_eq!(call.span, ctx.span.0, "the context handed down is the call span's");
+        assert_eq!(call.parent, Some(parent.span.0));
+        assert_eq!(telemetry.counter("slurm.plugin_calls").get(), 1);
+    }
+
+    #[test]
+    fn untraced_default_still_runs_the_plugin() {
+        // a plugin that only implements job_submit still works when the
+        // host is traced: the default job_submit_traced drops the context
+        let telemetry = Arc::new(Telemetry::wall());
+        let mut host = PluginHost::new();
+        host.set_telemetry(Arc::clone(&telemetry));
+        host.register(Box::new(SetTasks(4)));
+        let mut d = desc();
+        host.run(&mut d, 0).unwrap();
+        assert_eq!(d.num_tasks, 4);
+        assert_eq!(telemetry.counter("slurm.plugin_calls").get(), 1);
     }
 
     #[test]
