@@ -1,0 +1,90 @@
+//! Campaign error type.
+
+/// Errors surfaced by the campaign engine.
+#[derive(Debug)]
+pub enum CampaignError {
+    /// The campaign specification is unusable (no configurations, bad
+    /// probe fractions, or it does not match the journal on disk).
+    InvalidSpec(String),
+    /// The write-ahead journal failed (storage fault or corrupt state).
+    Journal(String),
+    /// The workload manager rejected a trial submission.
+    Slurm(eco_slurm_sim::SlurmError),
+    /// A Chronus repository or model operation failed.
+    Chronus(chronus::ChronusError),
+    /// Every node is drained; queued trials can never start.
+    NoUsableNodes,
+    /// A round finished with zero successful trials, so the plan has no
+    /// survivors to advance.
+    NoSurvivors(u32),
+    /// The engine stopped early (the `max_trials` kill knob); the journal
+    /// holds everything finished so far and `resume` picks up from there.
+    Interrupted {
+        /// Trials finalized before the stop.
+        finished: usize,
+    },
+    /// Hot rollout into the prediction daemon failed.
+    Rollout(String),
+    /// The simulation stopped making progress (a trial neither ran nor
+    /// reached a terminal state within the tick budget).
+    Stalled(String),
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::InvalidSpec(m) => write!(f, "invalid campaign spec: {m}"),
+            CampaignError::Journal(m) => write!(f, "journal error: {m}"),
+            CampaignError::Slurm(e) => write!(f, "slurm error: {e}"),
+            CampaignError::Chronus(e) => write!(f, "chronus error: {e}"),
+            CampaignError::NoUsableNodes => write!(f, "no usable nodes: every node is drained"),
+            CampaignError::NoSurvivors(round) => {
+                write!(f, "round {round} produced no successful trials; the plan has no survivors")
+            }
+            CampaignError::Interrupted { finished } => {
+                write!(f, "campaign interrupted after {finished} trial(s); resume to continue")
+            }
+            CampaignError::Rollout(m) => write!(f, "rollout error: {m}"),
+            CampaignError::Stalled(m) => write!(f, "campaign stalled: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CampaignError::Slurm(e) => Some(e),
+            CampaignError::Chronus(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<eco_slurm_sim::SlurmError> for CampaignError {
+    fn from(e: eco_slurm_sim::SlurmError) -> Self {
+        CampaignError::Slurm(e)
+    }
+}
+
+impl From<chronus::ChronusError> for CampaignError {
+    fn from(e: chronus::ChronusError) -> Self {
+        CampaignError::Chronus(e)
+    }
+}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CampaignError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(CampaignError::InvalidSpec("no configs".into()).to_string().contains("no configs"));
+        assert!(CampaignError::Interrupted { finished: 3 }.to_string().contains("3 trial"));
+        assert!(CampaignError::NoSurvivors(2).to_string().contains("round 2"));
+        let slurm: CampaignError = eco_slurm_sim::SlurmError::InvalidScript("bad".into()).into();
+        assert!(matches!(slurm, CampaignError::Slurm(_)));
+    }
+}

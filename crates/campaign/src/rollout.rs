@@ -1,0 +1,115 @@
+//! Hot model rollout: after a campaign round produces fresh benchmarks,
+//! rebuild the model through the Chronus application layer and push it
+//! into a running prediction daemon with the versioned `Preload` flow.
+//!
+//! The daemon side guarantees atomicity (a rollout generation is either
+//! fully committed or rolled back, and stale-generation entries are never
+//! served); this module's job is only to drive the sequence and surface
+//! typed failures the campaign CLI can retry.
+
+use crate::error::{CampaignError, Result};
+use chronus::remote::PredictClient;
+use chronus::{Chronus, LoadedModel};
+
+/// Acknowledgement of a committed rollout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RolloutAck {
+    /// The model now serving predictions.
+    pub model_id: i64,
+    /// Its optimizer type.
+    pub model_type: String,
+    /// The rollout generation the daemon committed it under
+    /// (0 from pre-versioning daemons).
+    pub generation: u64,
+}
+
+/// Anything a freshly built model can be hot-rolled into. The production
+/// implementation is [`PredictClient`] speaking to chronusd over TCP; the
+/// fault-injection tests substitute unreachable or failing targets.
+pub trait RolloutTarget {
+    /// Asks the daemon to stage and commit `model_id`; returns only after
+    /// the daemon has committed the generation.
+    fn preload(&mut self, model_id: i64) -> Result<RolloutAck>;
+}
+
+impl RolloutTarget for PredictClient {
+    fn preload(&mut self, model_id: i64) -> Result<RolloutAck> {
+        let ack = self.preload_versioned(model_id).map_err(|e| CampaignError::Rollout(e.to_string()))?;
+        Ok(RolloutAck { model_id: ack.model_id, model_type: ack.model_type, generation: ack.generation })
+    }
+}
+
+/// Rebuilds a model from the repository's benchmarks (which the campaign
+/// just extended) and stages it for serving: fit, persist to blob
+/// storage, pre-load into local settings. Returns the staged model.
+pub fn rebuild_model(
+    app: &mut Chronus,
+    model_type: &str,
+    system_id: i64,
+    binary_hash: u64,
+    now_ms: u64,
+) -> chronus::Result<LoadedModel> {
+    let meta = app.init_model(model_type, system_id, binary_hash, now_ms)?;
+    app.load_model(meta.id)
+}
+
+/// Drives a staged model into a live daemon, verifying the committed
+/// generation advanced monotonically if the caller knows the previous one.
+pub fn roll_into(
+    target: &mut dyn RolloutTarget,
+    model_id: i64,
+    previous_generation: Option<u64>,
+) -> Result<RolloutAck> {
+    let ack = target.preload(model_id)?;
+    if let Some(prev) = previous_generation {
+        // generation 0 means the daemon predates versioned rollouts
+        if ack.generation != 0 && ack.generation <= prev {
+            return Err(CampaignError::Rollout(format!(
+                "daemon committed generation {} but {} was already committed",
+                ack.generation, prev
+            )));
+        }
+    }
+    Ok(ack)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FakeTarget {
+        gen: u64,
+        fail: bool,
+    }
+
+    impl RolloutTarget for FakeTarget {
+        fn preload(&mut self, model_id: i64) -> Result<RolloutAck> {
+            if self.fail {
+                return Err(CampaignError::Rollout("daemon unreachable".into()));
+            }
+            self.gen += 1;
+            Ok(RolloutAck { model_id, model_type: "brute-force".into(), generation: self.gen })
+        }
+    }
+
+    #[test]
+    fn roll_into_checks_generation_monotonicity() {
+        let mut t = FakeTarget { gen: 5, fail: false };
+        let ack = roll_into(&mut t, 7, Some(5)).unwrap();
+        assert_eq!(ack.generation, 6);
+        assert_eq!(ack.model_id, 7);
+        // a daemon that regressed its generation is reported
+        let mut stale = FakeTarget { gen: 2, fail: false };
+        let err = roll_into(&mut stale, 7, Some(9)).unwrap_err();
+        assert!(matches!(err, CampaignError::Rollout(_)), "{err}");
+    }
+
+    #[test]
+    fn unreachable_target_surfaces_typed_error_and_retry_works() {
+        let mut t = FakeTarget { gen: 0, fail: true };
+        let err = roll_into(&mut t, 3, None).unwrap_err();
+        assert!(err.to_string().contains("unreachable"));
+        t.fail = false;
+        assert_eq!(roll_into(&mut t, 3, None).unwrap().generation, 1);
+    }
+}

@@ -1,0 +1,91 @@
+//! The campaign specification — everything needed to (re)run a campaign
+//! deterministically. The spec is journaled before the first trial so a
+//! resumed campaign can verify it is continuing the same experiment.
+
+use crate::error::{CampaignError, Result};
+use crate::plan::PlanSpec;
+use eco_sim_node::cpu::CpuConfig;
+use serde::{Deserialize, Serialize};
+
+/// A full campaign description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Human-readable campaign name.
+    pub name: String,
+    /// The configuration sweep, in canonical order.
+    pub configs: Vec<CpuConfig>,
+    /// The search strategy.
+    pub plan: PlanSpec,
+    /// Seed for the per-node BMC sensor noise — fixes the measurements.
+    pub seed: u64,
+    /// IPMI sampling cadence during trials (the paper samples every 2 s).
+    pub sample_interval_ms: u64,
+    /// Total work of a full-length trial, in GFLOP.
+    pub full_work_gflop: f64,
+    /// HPCG problem size (nx = ny = nz); part of the binary identity.
+    pub nx: usize,
+}
+
+impl CampaignSpec {
+    /// Checks the spec is runnable.
+    pub fn validate(&self) -> Result<()> {
+        if self.configs.is_empty() {
+            return Err(CampaignError::InvalidSpec("configuration sweep is empty".into()));
+        }
+        if self.sample_interval_ms == 0 {
+            return Err(CampaignError::InvalidSpec("sample interval must be positive".into()));
+        }
+        if self.full_work_gflop <= 0.0 || self.full_work_gflop.is_nan() {
+            return Err(CampaignError::InvalidSpec(format!(
+                "full workload must be positive GFLOP, got {}",
+                self.full_work_gflop
+            )));
+        }
+        // building the plan validates its parameters (fraction ladder, eta)
+        self.plan.build(&self.configs).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec {
+            name: "hpcg-sweep".into(),
+            configs: vec![CpuConfig::new(32, 2_200_000, 1), CpuConfig::new(16, 1_500_000, 2)],
+            plan: PlanSpec::default_halving(),
+            seed: 42,
+            sample_interval_ms: 2000,
+            full_work_gflop: 250.0,
+            nx: 104,
+        }
+    }
+
+    #[test]
+    fn valid_spec_roundtrips() {
+        let s = spec();
+        s.validate().unwrap();
+        let back: CampaignSpec = serde_json::from_str(&serde_json::to_string(&s).unwrap()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn degenerate_specs_are_rejected() {
+        let mut s = spec();
+        s.configs.clear();
+        assert!(matches!(s.validate(), Err(CampaignError::InvalidSpec(_))));
+
+        let mut s = spec();
+        s.sample_interval_ms = 0;
+        assert!(s.validate().is_err());
+
+        let mut s = spec();
+        s.full_work_gflop = -1.0;
+        assert!(s.validate().is_err());
+
+        let mut s = spec();
+        s.plan = PlanSpec::SuccessiveHalving { fractions: vec![0.5], eta: 2 };
+        assert!(s.validate().is_err(), "ladder not ending at 1.0 rejected via plan build");
+    }
+}

@@ -1,0 +1,264 @@
+//! End-to-end campaign acceptance tests: the adaptive plan finds the
+//! paper's optimum at a fraction of brute force's cost, a killed campaign
+//! resumes without re-running finished trials, and the engine survives
+//! the fault plans (node crash mid-trial, storage write failure).
+
+use chronus::integrations::record_store::RecordStore;
+use eco_campaign::{
+    CampaignEngine, CampaignError, CampaignSpec, Journal, PlanSpec, RecordJournal, RunOptions, TrialStatus,
+};
+use eco_hpcg::PerfModel;
+use eco_sim_node::cpu::{CpuConfig, CpuSpec};
+use eco_sim_node::SimNode;
+use eco_slurm_sim::Cluster;
+use std::collections::HashSet;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// The paper's Table 2 optimum: 32 cores at 2.2 GHz, no hyper-threading.
+fn paper_optimum() -> CpuConfig {
+    CpuConfig::new(32, 2_200_000, 1)
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eco-campaign-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cluster(nodes: usize) -> Cluster {
+    Cluster::new((0..nodes).map(|_| SimNode::sr650()).collect())
+}
+
+fn full_work() -> f64 {
+    let perf = PerfModel::sr650();
+    // scaled so a full-length standard-configuration run takes ~25 s of
+    // simulated time (the paper's 18:29 run compressed for the test)
+    perf.gflops(&perf.standard_config()) * 25.0
+}
+
+fn spec(name: &str, configs: Vec<CpuConfig>, plan: PlanSpec, seed: u64) -> CampaignSpec {
+    CampaignSpec {
+        name: name.into(),
+        configs,
+        plan,
+        seed,
+        sample_interval_ms: 2000,
+        full_work_gflop: full_work(),
+        nx: 104,
+    }
+}
+
+fn run_campaign(
+    dir: &Path,
+    spec: CampaignSpec,
+    nodes: usize,
+    opts: RunOptions<'_>,
+) -> eco_campaign::Result<eco_campaign::CampaignOutcome> {
+    let mut cluster = cluster(nodes);
+    let mut journal = RecordJournal::open(dir.join("journal.db"))?;
+    let mut repo = RecordStore::open(dir.join("repo.db")).unwrap();
+    let perf = Arc::new(PerfModel::sr650());
+    CampaignEngine::new(&mut cluster, &mut journal, &mut repo, perf, spec).run(opts)
+}
+
+/// Every (round, config) key may carry at most one Done entry; returns
+/// the Done count.
+fn assert_done_entries_unique(journal: &RecordJournal) -> usize {
+    let mut seen = HashSet::new();
+    let mut done = 0;
+    for (_, e) in journal.entries().unwrap() {
+        if matches!(e.status, TrialStatus::Done { .. }) {
+            assert!(seen.insert((e.round, e.config)), "trial (round {}, {}) completed twice", e.round, e.config);
+            done += 1;
+        }
+    }
+    done
+}
+
+#[test]
+fn adaptive_campaign_finds_paper_optimum_cheaper_than_brute_force() {
+    let sweep = CpuSpec::epyc_7502p().all_configurations();
+    assert_eq!(sweep.len(), 192, "the paper's full sweep");
+
+    let dir_a = tmpdir("adaptive");
+    let adaptive = run_campaign(
+        &dir_a,
+        spec("hpcg-adaptive", sweep.clone(), PlanSpec::default_halving(), 7),
+        4,
+        RunOptions::default(),
+    )
+    .unwrap();
+
+    let dir_b = tmpdir("brute");
+    let brute =
+        run_campaign(&dir_b, spec("hpcg-brute", sweep.clone(), PlanSpec::BruteForce, 7), 4, RunOptions::default())
+            .unwrap();
+
+    // both strategies find the paper's optimum
+    assert_eq!(adaptive.best, paper_optimum(), "adaptive best");
+    assert_eq!(brute.best, paper_optimum(), "brute best");
+
+    // brute force runs every configuration full length; the adaptive plan
+    // full-benchmarks only the survivors of the probe rounds
+    assert_eq!(brute.benchmarks.len(), 192);
+    assert!(adaptive.benchmarks.len() <= 192 / 4, "adaptive ran {} full-length trials", adaptive.benchmarks.len());
+
+    // and spends measurably less simulated job time doing it
+    assert!(
+        adaptive.trial_seconds < 0.5 * brute.trial_seconds,
+        "adaptive {:.0}s vs brute {:.0}s",
+        adaptive.trial_seconds,
+        brute.trial_seconds
+    );
+    assert_eq!(adaptive.rounds, 3);
+    assert_eq!(brute.rounds, 1);
+    assert_eq!(adaptive.trials_failed + brute.trials_failed, 0);
+}
+
+#[test]
+fn killed_campaign_resumes_without_rerunning_finished_trials() {
+    let sweep = CpuSpec::epyc_7502p().all_configurations();
+    let dir = tmpdir("resume");
+    let s = spec("hpcg-resume", sweep, PlanSpec::default_halving(), 11);
+
+    // "kill -9" after 40 finalized trials
+    let err =
+        run_campaign(&dir, s.clone(), 4, RunOptions { max_trials: Some(40), ..Default::default() }).unwrap_err();
+    assert!(matches!(err, CampaignError::Interrupted { finished: 40 }), "{err}");
+
+    let journal = RecordJournal::open(dir.join("journal.db")).unwrap();
+    let done_before = assert_done_entries_unique(&journal);
+    assert!(done_before >= 40, "the 40 finalized trials are journaled");
+    let started_before = journal.entries().unwrap().len();
+    drop(journal);
+
+    // fresh process: new cluster, journal reopened from disk
+    let resumed = run_campaign(&dir, s, 4, RunOptions::default()).unwrap();
+    assert_eq!(resumed.trials_skipped, done_before, "every journaled completion was skipped, none re-ran");
+    assert_eq!(resumed.best, paper_optimum());
+    assert_eq!(resumed.trials_failed, 0);
+
+    // the journal still holds exactly one Done per trial
+    let journal = RecordJournal::open(dir.join("journal.db")).unwrap();
+    let done_after = assert_done_entries_unique(&journal);
+    assert_eq!(done_after, done_before + resumed.trials_run);
+    assert!(journal.entries().unwrap().len() >= started_before);
+}
+
+#[test]
+fn same_seed_replays_identically() {
+    // a compact sweep keeps this fast; determinism must hold regardless
+    let sweep: Vec<CpuConfig> = CpuSpec::epyc_7502p().all_configurations().into_iter().step_by(8).collect();
+    let plan = PlanSpec::SuccessiveHalving { fractions: vec![0.2, 1.0], eta: 3 };
+
+    let dir1 = tmpdir("det1");
+    let out1 = run_campaign(&dir1, spec("det", sweep.clone(), plan.clone(), 99), 3, RunOptions::default()).unwrap();
+    let dir2 = tmpdir("det2");
+    let out2 = run_campaign(&dir2, spec("det", sweep, plan, 99), 3, RunOptions::default()).unwrap();
+
+    assert_eq!(out1.best, out2.best);
+    assert_eq!(out1.trials_run, out2.trials_run);
+    assert_eq!(out1.trial_seconds, out2.trial_seconds, "virtual time is bit-identical");
+    let j1 = RecordJournal::open(dir1.join("journal.db")).unwrap().entries().unwrap();
+    let j2 = RecordJournal::open(dir2.join("journal.db")).unwrap().entries().unwrap();
+    assert_eq!(j1, j2, "journals replay byte-for-byte");
+}
+
+#[test]
+fn node_crash_mid_trial_fails_that_trial_and_campaign_continues() {
+    let sweep: Vec<CpuConfig> = CpuSpec::epyc_7502p().all_configurations().into_iter().step_by(16).collect();
+    assert_eq!(sweep.len(), 12);
+    let dir = tmpdir("crash");
+
+    let mut crashed: Option<CpuConfig> = None;
+    let out = {
+        let mut cl = cluster(4);
+        let mut journal = RecordJournal::open(dir.join("journal.db")).unwrap();
+        let mut repo = RecordStore::open(dir.join("repo.db")).unwrap();
+        let perf = Arc::new(PerfModel::sr650());
+        let mut engine = CampaignEngine::new(
+            &mut cl,
+            &mut journal,
+            &mut repo,
+            perf,
+            spec("hpcg-crash", sweep.clone(), PlanSpec::BruteForce, 5),
+        );
+        engine
+            .run(RunOptions {
+                max_trials: None,
+                on_tick: Some(Box::new(|cluster, active| {
+                    if crashed.is_none() {
+                        // node 3 dies while its first trial is running
+                        if let Some(victim) = active.iter().find(|a| a.node == Some(3)) {
+                            cluster.cancel(victim.job).unwrap();
+                            cluster.set_drained(3, true);
+                            crashed = Some(victim.spec.config);
+                        }
+                    }
+                })),
+            })
+            .unwrap()
+    };
+
+    let victim = crashed.expect("a trial was crashed");
+    assert_eq!(out.trials_failed, 1);
+    assert_eq!(out.trials_run, sweep.len() - 1);
+    assert_eq!(out.benchmarks.len(), sweep.len() - 1, "the crashed trial yields no benchmark");
+    assert!(out.benchmarks.iter().all(|b| b.config != victim));
+
+    let journal = RecordJournal::open(dir.join("journal.db")).unwrap();
+    let failed: Vec<_> = journal
+        .entries()
+        .unwrap()
+        .into_iter()
+        .filter(|(_, e)| matches!(e.status, TrialStatus::Failed { .. }))
+        .collect();
+    assert_eq!(failed.len(), 1);
+    assert_eq!(failed[0].1.config, victim);
+}
+
+#[test]
+fn storage_write_failure_interrupts_and_resume_completes() {
+    use eco_campaign::FlakyJournal;
+
+    let sweep: Vec<CpuConfig> = CpuSpec::epyc_7502p().all_configurations().into_iter().step_by(12).collect();
+    let dir = tmpdir("flaky");
+    let s = spec("hpcg-flaky", sweep, PlanSpec::BruteForce, 23);
+
+    // storage starts rejecting writes mid-campaign
+    let err = {
+        let mut cl = cluster(2);
+        let mut journal = FlakyJournal::new(RecordJournal::open(dir.join("journal.db")).unwrap(), 9);
+        let mut repo = RecordStore::open(dir.join("repo.db")).unwrap();
+        let perf = Arc::new(PerfModel::sr650());
+        CampaignEngine::new(&mut cl, &mut journal, &mut repo, perf, s.clone()).run(RunOptions::default()).unwrap_err()
+    };
+    assert!(matches!(err, CampaignError::Journal(_)), "{err}");
+
+    // what reached disk before the fault is intact and resumable
+    let journal = RecordJournal::open(dir.join("journal.db")).unwrap();
+    let done_before = assert_done_entries_unique(&journal);
+    drop(journal);
+
+    let resumed = run_campaign(&dir, s.clone(), 2, RunOptions::default()).unwrap();
+    assert_eq!(resumed.trials_skipped, done_before);
+    let journal = RecordJournal::open(dir.join("journal.db")).unwrap();
+    assert_eq!(assert_done_entries_unique(&journal), done_before + resumed.trials_run);
+
+    // the faulted-then-resumed campaign picks the same winner a clean run does
+    let clean_dir = tmpdir("flaky-clean");
+    let clean = run_campaign(&clean_dir, s, 2, RunOptions::default()).unwrap();
+    assert_eq!(resumed.best, clean.best);
+}
+
+#[test]
+fn journal_spec_mismatch_is_rejected() {
+    let sweep: Vec<CpuConfig> = CpuSpec::epyc_7502p().all_configurations().into_iter().step_by(48).collect();
+    let dir = tmpdir("mismatch");
+    run_campaign(&dir, spec("one", sweep.clone(), PlanSpec::BruteForce, 1), 1, RunOptions::default()).unwrap();
+    // same journal, different campaign
+    let err = run_campaign(&dir, spec("two", sweep, PlanSpec::BruteForce, 2), 1, RunOptions::default()).unwrap_err();
+    assert!(matches!(err, CampaignError::InvalidSpec(_)), "{err}");
+}

@@ -22,6 +22,15 @@
 //! chronus trace job.sh [--user alice] [--remote 127.0.0.1:4517]
 //! ```
 //!
+//! The campaign engine automates the whole loop — adaptive sweep,
+//! journaled trials, model rebuild, hot rollout into a running daemon:
+//!
+//! ```text
+//! chronus campaign run [--plan halving|brute-force] [--nodes 4] [--rollout 127.0.0.1:4517]
+//! chronus campaign status
+//! chronus campaign resume
+//! ```
+//!
 //! `serve` runs chronusd over this `$CHRONUS_HOME`'s staged model;
 //! `--remote` answers the prediction from a running daemon instead of
 //! reading the staged model in-process. `stats` renders a daemon's
@@ -44,6 +53,10 @@ use chronus::interfaces::{ApplicationRunner, LocalStorage, SystemInfoProvider};
 use chronus::presenter;
 use chronus::remote::{PredictClient, RemotePrediction};
 use chronus::telemetry::{render_trace, Telemetry, TraceId};
+use chronusd::campaign::{
+    rebuild_model, roll_into, CampaignEngine, CampaignError, CampaignSpec, Journal, PlanSpec, RecordJournal,
+    RunOptions, TrialStatus,
+};
 use chronusd::{PredictServer, ServerConfig, StorageBackend};
 use eco_hpcg::perf_model::PerfModel;
 use eco_hpcg::workload::{HpcgWorkload, Workload, PAPER_STANDARD_RUNTIME_S};
@@ -179,6 +192,141 @@ fn cmd_trace(
     Ok(out)
 }
 
+/// Builds a fresh campaign spec from `chronus campaign run` flags. The
+/// sampling cadence comes from settings (`chronus set sample-interval`).
+fn campaign_spec_from_flags(home: &str, scale: f64, argv: &[&str]) -> Result<CampaignSpec, String> {
+    let plan = match flag_value(argv, "--plan").unwrap_or("halving") {
+        "halving" => PlanSpec::default_halving(),
+        "brute-force" => PlanSpec::BruteForce,
+        other => return Err(format!("unknown plan '{other}' (use halving or brute-force)")),
+    };
+    let seed = flag_value(argv, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    let settings = EtcStorage::new(home).load_settings().map_err(|e| e.to_string())?;
+    let perf = PerfModel::sr650();
+    Ok(CampaignSpec {
+        name: "hpcg-campaign".to_string(),
+        configs: CpuSpec::epyc_7502p().all_configurations(),
+        plan,
+        seed,
+        sample_interval_ms: settings.sample_interval.as_millis(),
+        full_work_gflop: perf.gflops(&perf.standard_config()) * PAPER_STANDARD_RUNTIME_S * scale,
+        nx: 104,
+    })
+}
+
+/// `chronus campaign status`: summarize the journal without running
+/// anything.
+fn campaign_status(journal: &RecordJournal) -> Result<String, String> {
+    let Some(spec) = journal.load_spec().map_err(|e| e.to_string())? else {
+        return Ok("no campaign journal\n".to_string());
+    };
+    let entries = journal.entries().map_err(|e| e.to_string())?;
+    let mut out = format!(
+        "campaign \"{}\" (plan {}, seed {}, {} configurations)\n",
+        spec.name,
+        spec.plan.name(),
+        spec.seed,
+        spec.configs.len()
+    );
+    let rounds = entries.iter().map(|(_, e)| e.round).max().map(|r| r + 1).unwrap_or(0);
+    for round in 0..rounds {
+        let (mut done, mut failed, mut started) = (0, 0, 0);
+        for (_, e) in entries.iter().filter(|(_, e)| e.round == round) {
+            match e.status {
+                TrialStatus::Done { .. } => done += 1,
+                TrialStatus::Failed { .. } => failed += 1,
+                TrialStatus::Started => started += 1,
+            }
+        }
+        out.push_str(&format!("  round {round}: {done} done, {failed} failed, {started} in flight\n"));
+    }
+    out.push_str(&format!("  {} trial entries journaled\n", entries.len()));
+    Ok(out)
+}
+
+/// `chronus campaign run|resume|status`: the adaptive benchmark campaign.
+fn cmd_campaign(home: &str, scale: f64, argv: &[&str]) -> Result<String, String> {
+    const USAGE: &str = "usage: chronus campaign run [--plan halving|brute-force] [--seed N] \
+                         [--nodes N] [--max-trials N] [--model TYPE] [--rollout ADDR]\n       \
+                         chronus campaign resume [--nodes N] [--max-trials N] [--model TYPE] [--rollout ADDR]\n       \
+                         chronus campaign status\n";
+    let sub = *argv.first().ok_or_else(|| USAGE.to_string())?;
+    std::fs::create_dir_all(format!("{home}/campaign")).map_err(|e| e.to_string())?;
+    let mut journal = RecordJournal::open(format!("{home}/campaign/journal.db")).map_err(|e| e.to_string())?;
+    if sub == "status" {
+        return campaign_status(&journal);
+    }
+    if sub != "run" && sub != "resume" {
+        return Err(USAGE.to_string());
+    }
+
+    let spec = match (sub, journal.load_spec().map_err(|e| e.to_string())?) {
+        ("resume", None) => return Err("no campaign journal to resume; start one with `chronus campaign run`".into()),
+        (_, Some(existing)) => existing, // continue the journaled campaign
+        ("run", None) => campaign_spec_from_flags(home, scale, argv)?,
+        _ => unreachable!(),
+    };
+
+    let nodes = flag_value(argv, "--nodes").and_then(|v| v.parse().ok()).unwrap_or(4usize).max(1);
+    let max_trials = flag_value(argv, "--max-trials").and_then(|v| v.parse().ok());
+    let mut cluster = Cluster::new((0..nodes).map(|_| SimNode::sr650()).collect());
+    let perf = Arc::new(PerfModel::sr650());
+
+    let outcome = {
+        let mut repo = RecordStore::open(format!("{home}/database/data.db")).map_err(|e| e.to_string())?;
+        CampaignEngine::new(&mut cluster, &mut journal, &mut repo, perf, spec.clone())
+            .run(RunOptions { max_trials, on_tick: None })
+    };
+    let outcome = match outcome {
+        Ok(o) => o,
+        Err(CampaignError::Interrupted { finished }) => {
+            return Ok(format!(
+            "campaign interrupted after {finished} trial(s); `chronus campaign resume` continues from the journal\n"
+        ))
+        }
+        Err(e) => return Err(e.to_string()),
+    };
+
+    let mut out = format!(
+        "campaign \"{}\" complete: {} round(s), {} trial(s) run, {} resumed from journal, \
+         {} failed, {:.0} trial-seconds\nbest configuration: {}\n",
+        spec.name,
+        outcome.rounds,
+        outcome.trials_run,
+        outcome.trials_skipped,
+        outcome.trials_failed,
+        outcome.trial_seconds,
+        outcome.best
+    );
+
+    // rebuild and stage the model from the fresh benchmarks (the engine's
+    // repository handle is closed; the app opens its own)
+    let model_type = flag_value(argv, "--model").unwrap_or("brute-force");
+    let mut app = Chronus::new(
+        Box::new(RecordStore::open(format!("{home}/database/data.db")).map_err(|e| e.to_string())?),
+        Box::new(LocalBlobStore::new(format!("{home}/optimizers")).map_err(|e| e.to_string())?),
+        Box::new(EtcStorage::new(home)),
+    );
+    let staged =
+        rebuild_model(&mut app, model_type, outcome.system_id, outcome.binary_hash, 0).map_err(|e| e.to_string())?;
+    out.push_str(&format!("model {} ({}) staged for serving\n", staged.model_id, staged.model_type));
+
+    if let Some(addr) = flag_value(argv, "--rollout") {
+        let mut client = PredictClient::new(addr);
+        match roll_into(&mut client, staged.model_id, None) {
+            Ok(ack) => out.push_str(&format!(
+                "hot rollout into {addr}: model {} committed at generation {}\n",
+                ack.model_id, ack.generation
+            )),
+            Err(e) => out.push_str(&format!(
+                "rollout into {addr} failed: {e}\n\
+                 (the daemon keeps serving its previous model; retry with `chronus campaign run --rollout {addr}`)\n"
+            )),
+        }
+    }
+    Ok(out)
+}
+
 fn main() {
     let home = std::env::var("CHRONUS_HOME").unwrap_or_else(|_| "./chronus-home".to_string());
     let scale: f64 = std::env::var("CHRONUS_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.02);
@@ -201,6 +349,21 @@ fn main() {
     }
     if argv.first() == Some(&"stats") {
         cmd_stats(&argv[1..]);
+    }
+    // the campaign drives its own multi-node cluster and opens the
+    // database itself, so it must run before the app below takes the
+    // record store
+    if argv.first() == Some(&"campaign") {
+        match cmd_campaign(&home, scale, &argv[1..]) {
+            Ok(out) => {
+                print!("{out}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("chronus: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     let mut cluster = Cluster::single_node(SimNode::sr650());

@@ -44,6 +44,13 @@ pub mod server;
 pub mod service;
 pub mod stats;
 
+/// The benchmark-campaign engine (re-exported from `eco-campaign`): plans
+/// sweeps, journals trials write-ahead, and hot-rolls rebuilt models into
+/// this daemon through the versioned `Preload` flow.
+pub mod campaign {
+    pub use eco_campaign::*;
+}
+
 pub use backend::{ModelBackend, PreparedModel, StaticBackend, StorageBackend};
 pub use registry::{ModelKey, ModelRegistry, ResidentModel};
 pub use server::{PredictServer, ServerConfig};

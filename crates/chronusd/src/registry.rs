@@ -27,8 +27,22 @@ pub struct ResidentModel {
     pub model_type: String,
     /// The pre-computed best configuration.
     pub config: CpuConfig,
+    /// The rollout generation this entry was installed under.
+    pub generation: u64,
     /// Logical timestamp of the last lookup (LRU).
     last_used: AtomicU64,
+}
+
+/// Outcome of a generation-aware registry lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lookup {
+    /// A committed entry answered.
+    Hit { model_id: i64, model_type: String, config: CpuConfig },
+    /// No entry for the key.
+    Miss,
+    /// An entry exists but belongs to an uncommitted rollout generation;
+    /// it must never be served (the caller should fall back to a miss).
+    Stale,
 }
 
 struct Shard {
@@ -43,6 +57,10 @@ pub struct ModelRegistry {
     per_shard_cap: usize,
     clock: AtomicU64,
     evictions: AtomicU64,
+    /// Latest committed rollout generation; entries above it are invisible.
+    committed_gen: AtomicU64,
+    /// Generation allocator for in-flight rollouts.
+    next_gen: AtomicU64,
 }
 
 impl ModelRegistry {
@@ -56,6 +74,8 @@ impl ModelRegistry {
             per_shard_cap,
             clock: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            committed_gen: AtomicU64::new(0),
+            next_gen: AtomicU64::new(0),
         }
     }
 
@@ -69,28 +89,80 @@ impl ModelRegistry {
         self.clock.fetch_add(1, Ordering::Relaxed) + 1
     }
 
+    /// The latest committed rollout generation (0 before any rollout).
+    pub fn generation(&self) -> u64 {
+        self.committed_gen.load(Ordering::Acquire)
+    }
+
+    /// Allocates a fresh, *uncommitted* rollout generation. Entries
+    /// inserted under it stay invisible to lookups until
+    /// [`Self::commit_rollout`] publishes the generation.
+    pub fn begin_rollout(&self) -> u64 {
+        self.next_gen.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Publishes a rollout generation: entries tagged `gen` (and below)
+    /// become servable atomically.
+    pub fn commit_rollout(&self, gen: u64) {
+        self.committed_gen.fetch_max(gen, Ordering::AcqRel);
+    }
+
+    /// Removes the key's entry if it still belongs to the aborted
+    /// rollout `gen`, so a later commit can never resurrect it. Returns
+    /// true if an entry was removed.
+    pub fn abort_rollout(&self, key: &ModelKey, gen: u64) -> bool {
+        let mut shard = self.shard_for(key).write();
+        if shard.entries.get(key).is_some_and(|m| m.generation == gen) {
+            shard.entries.remove(key);
+            return true;
+        }
+        false
+    }
+
+    /// Generation-aware lookup, refreshing the LRU stamp. Entries from
+    /// an uncommitted generation are reported as [`Lookup::Stale`] and
+    /// never served.
+    pub fn lookup(&self, key: &ModelKey) -> Lookup {
+        let committed = self.generation();
+        let shard = self.shard_for(key).read();
+        match shard.entries.get(key) {
+            None => Lookup::Miss,
+            Some(m) if m.generation > committed => Lookup::Stale,
+            Some(m) => {
+                m.last_used.store(self.tick(), Ordering::Relaxed);
+                Lookup::Hit { model_id: m.model_id, model_type: m.model_type.clone(), config: m.config }
+            }
+        }
+    }
+
     /// Looks up the best configuration for a key, refreshing its LRU
     /// stamp. Read-lock only.
     pub fn get(&self, key: &ModelKey) -> Option<CpuConfig> {
-        let shard = self.shard_for(key).read();
-        shard.entries.get(key).map(|m| {
-            m.last_used.store(self.tick(), Ordering::Relaxed);
-            m.config
-        })
+        match self.lookup(key) {
+            Lookup::Hit { config, .. } => Some(config),
+            _ => None,
+        }
     }
 
     /// Like [`Self::get`] but also reports which model answered.
     pub fn get_full(&self, key: &ModelKey) -> Option<(i64, String, CpuConfig)> {
-        let shard = self.shard_for(key).read();
-        shard.entries.get(key).map(|m| {
-            m.last_used.store(self.tick(), Ordering::Relaxed);
-            (m.model_id, m.model_type.clone(), m.config)
-        })
+        match self.lookup(key) {
+            Lookup::Hit { model_id, model_type, config } => Some((model_id, model_type, config)),
+            _ => None,
+        }
     }
 
-    /// Inserts (or replaces) a model, evicting the least recently used
-    /// entry of the key's shard if it is full.
+    /// Inserts (or replaces) a model at the current committed
+    /// generation, evicting the least recently used entry of the key's
+    /// shard if it is full.
     pub fn insert(&self, key: ModelKey, model_id: i64, model_type: String, config: CpuConfig) {
+        self.insert_at(key, model_id, model_type, config, self.generation());
+    }
+
+    /// Inserts (or replaces) a model tagged with rollout generation
+    /// `gen`. If `gen` is uncommitted the entry stays invisible until
+    /// [`Self::commit_rollout`].
+    pub fn insert_at(&self, key: ModelKey, model_id: i64, model_type: String, config: CpuConfig, gen: u64) {
         let stamp = self.tick();
         let mut shard = self.shard_for(&key).write();
         if !shard.entries.contains_key(&key) && shard.entries.len() >= self.per_shard_cap {
@@ -101,7 +173,10 @@ impl ModelRegistry {
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        shard.entries.insert(key, ResidentModel { model_id, model_type, config, last_used: AtomicU64::new(stamp) });
+        shard.entries.insert(
+            key,
+            ResidentModel { model_id, model_type, config, generation: gen, last_used: AtomicU64::new(stamp) },
+        );
     }
 
     /// Models resident across all shards.
@@ -160,6 +235,50 @@ mod tests {
         assert!(reg.get(&(1, 0)).is_some(), "recently used entry survives");
         assert!(reg.get(&(2, 0)).is_none(), "cold entry was evicted");
         assert!(reg.get(&(3, 0)).is_some());
+    }
+
+    #[test]
+    fn uncommitted_generation_is_stale_until_committed() {
+        let reg = ModelRegistry::new(2, 8);
+        assert_eq!(reg.generation(), 0);
+        let gen = reg.begin_rollout();
+        assert_eq!(gen, 1);
+        reg.insert_at((1, 2), 9, "auto".into(), cfg(32), gen);
+        // half-rolled-out: visible as Stale, never served
+        assert_eq!(reg.lookup(&(1, 2)), Lookup::Stale);
+        assert!(reg.get(&(1, 2)).is_none());
+        assert!(reg.get_full(&(1, 2)).is_none());
+        reg.commit_rollout(gen);
+        assert_eq!(reg.generation(), 1);
+        assert_eq!(reg.get(&(1, 2)), Some(cfg(32)));
+    }
+
+    #[test]
+    fn abort_rollout_removes_only_its_own_entry() {
+        let reg = ModelRegistry::new(1, 8);
+        reg.insert((1, 2), 1, "bf".into(), cfg(8));
+        let gen = reg.begin_rollout();
+        reg.insert_at((1, 2), 2, "bf".into(), cfg(16), gen);
+        assert!(reg.abort_rollout(&(1, 2), gen), "aborted entry removed");
+        // a later successful rollout cannot resurrect the aborted model
+        let gen2 = reg.begin_rollout();
+        reg.insert_at((3, 4), 3, "bf".into(), cfg(32), gen2);
+        reg.commit_rollout(gen2);
+        assert!(reg.get(&(1, 2)).is_none());
+        assert_eq!(reg.get_full(&(3, 4)).unwrap().0, 3);
+        // abort of an entry already replaced is a no-op
+        assert!(!reg.abort_rollout(&(3, 4), gen));
+    }
+
+    #[test]
+    fn plain_inserts_serve_at_the_current_generation() {
+        let reg = ModelRegistry::new(1, 8);
+        let gen = reg.begin_rollout();
+        reg.commit_rollout(gen);
+        // cold-miss repopulation during/after rollouts stays servable
+        reg.insert((5, 6), 4, "lr".into(), cfg(16));
+        assert_eq!(reg.lookup(&(5, 6)), Lookup::Hit { model_id: 4, model_type: "lr".into(), config: cfg(16) });
+        assert_eq!(reg.lookup(&(9, 9)), Lookup::Miss);
     }
 
     #[test]

@@ -17,7 +17,7 @@ use chronus::remote::{Request, RequestFrame, Response, StatsSnapshot};
 use chronus::telemetry::{Telemetry, TraceContext};
 
 use crate::backend::ModelBackend;
-use crate::registry::ModelRegistry;
+use crate::registry::{Lookup, ModelRegistry};
 use crate::stats::ServerStats;
 
 /// How long a burn request may hold a worker (keeps the diagnostics
@@ -134,6 +134,7 @@ impl PredictService {
             gauges.workers,
             self.registry.len() as u64,
             self.registry.evictions(),
+            self.registry.generation(),
         )
     }
 
@@ -202,16 +203,29 @@ impl PredictService {
                 self.stats.prediction();
                 {
                     let mut lookup = ctx.map(|c| self.telemetry.span_under(c, "daemon", "registry_lookup"));
-                    if let Some(config) = self.registry.get(&(system_hash, binary_hash)) {
-                        self.stats.cache_hit();
-                        if let Some(s) = &mut lookup {
-                            s.attr("result", "hit");
+                    match self.registry.lookup(&(system_hash, binary_hash)) {
+                        Lookup::Hit { config, .. } => {
+                            self.stats.cache_hit();
+                            if let Some(s) = &mut lookup {
+                                s.attr("result", "hit");
+                            }
+                            return Response::Config(config);
                         }
-                        return Response::Config(config);
-                    }
-                    self.stats.cache_miss();
-                    if let Some(s) = &mut lookup {
-                        s.attr("result", "miss");
+                        Lookup::Stale => {
+                            // a half-rolled-out model must never answer;
+                            // fall through to the backend like a miss
+                            self.stats.stale_generation_hit();
+                            self.stats.cache_miss();
+                            if let Some(s) = &mut lookup {
+                                s.attr("result", "stale");
+                            }
+                        }
+                        Lookup::Miss => {
+                            self.stats.cache_miss();
+                            if let Some(s) = &mut lookup {
+                                s.attr("result", "miss");
+                            }
+                        }
                     }
                 }
                 let mut backend_span = ctx.map(|c| self.telemetry.span_under(c, "daemon", "backend_lookup"));
@@ -243,27 +257,33 @@ impl PredictService {
                     }
                 }
             }
-            Request::Preload { model_id } => match self.backend.load(model_id) {
-                Ok(model) => {
-                    let response = Response::Preloaded {
-                        model_id: model.model_id,
-                        model_type: model.model_type.clone(),
-                        system_hash: model.system_hash,
-                        binary_hash: model.binary_hash,
-                    };
-                    self.registry.insert(
-                        (model.system_hash, model.binary_hash),
-                        model.model_id,
-                        model.model_type,
-                        model.config,
-                    );
-                    response
+            Request::Preload { model_id } => {
+                // versioned rollout: the new model becomes visible only
+                // when its generation commits, so a load that fails (or a
+                // daemon observed mid-flow) can never serve a half-loaded
+                // answer
+                let generation = self.registry.begin_rollout();
+                match self.backend.load(model_id) {
+                    Ok(model) => {
+                        let key = (model.system_hash, model.binary_hash);
+                        let response = Response::Preloaded {
+                            model_id: model.model_id,
+                            model_type: model.model_type.clone(),
+                            system_hash: model.system_hash,
+                            binary_hash: model.binary_hash,
+                            generation,
+                        };
+                        self.registry.insert_at(key, model.model_id, model.model_type, model.config, generation);
+                        self.registry.commit_rollout(generation);
+                        response
+                    }
+                    Err(e) => {
+                        self.stats.error();
+                        self.stats.generation_rollback();
+                        Response::Error { message: e.to_string() }
+                    }
                 }
-                Err(e) => {
-                    self.stats.error();
-                    Response::Error { message: e.to_string() }
-                }
-            },
+            }
             Request::Stats => Response::Stats(self.snapshot(gauges)),
             Request::Burn { ms } => {
                 let budget = Duration::from_millis(ms.min(MAX_BURN_MS));
@@ -386,6 +406,61 @@ mod tests {
         let handle = events.iter().find(|e| e.name == "handle").expect("error span recorded");
         assert_eq!(handle.parent, None, "no parseable context, so the daemon roots the trace");
         assert!(!handle.is_ok());
+    }
+
+    #[test]
+    fn preload_commits_a_new_generation() {
+        let svc = service_with_one_model();
+        assert_eq!(svc.snapshot(QueueGauges::default()).model_generation, 0);
+        let payload = frame_bytes(&RequestFrame::new(Request::Preload { model_id: 1 }));
+        match svc.handle_frame(&payload, QueueGauges::default()) {
+            Response::Preloaded { generation, model_id, .. } => {
+                assert_eq!(generation, 1);
+                assert_eq!(model_id, 1);
+            }
+            other => panic!("expected Preloaded, got {other:?}"),
+        }
+        let snap = svc.snapshot(QueueGauges::default());
+        assert_eq!(snap.model_generation, 1);
+        assert_eq!(snap.generation_rollbacks, 0);
+        // and the committed model serves straight from the registry
+        let predict = frame_bytes(&RequestFrame::new(Request::Predict { system_hash: 10, binary_hash: 20 }));
+        assert!(matches!(svc.handle_frame(&predict, QueueGauges::default()), Response::Config(_)));
+        assert_eq!(svc.snapshot(QueueGauges::default()).cache_hits, 1);
+    }
+
+    #[test]
+    fn failed_preload_rolls_back_without_moving_the_generation() {
+        let svc = service_with_one_model();
+        let payload = frame_bytes(&RequestFrame::new(Request::Preload { model_id: 999 }));
+        assert!(matches!(svc.handle_frame(&payload, QueueGauges::default()), Response::Error { .. }));
+        let snap = svc.snapshot(QueueGauges::default());
+        assert_eq!(snap.model_generation, 0, "failed rollout never commits");
+        assert_eq!(snap.generation_rollbacks, 1);
+        // the next successful rollout still gets a fresh generation number
+        let ok = frame_bytes(&RequestFrame::new(Request::Preload { model_id: 1 }));
+        match svc.handle_frame(&ok, QueueGauges::default()) {
+            Response::Preloaded { generation, .. } => assert_eq!(generation, 2),
+            other => panic!("expected Preloaded, got {other:?}"),
+        }
+        assert_eq!(svc.snapshot(QueueGauges::default()).model_generation, 2);
+    }
+
+    #[test]
+    fn stale_registry_entries_fall_back_to_the_backend() {
+        let svc = service_with_one_model();
+        // plant an uncommitted entry, as if a rollout died mid-flight
+        let gen = svc.registry().begin_rollout();
+        svc.registry().insert_at((10, 20), 7, "auto".into(), CpuConfig::new(8, 1_500_000, 2), gen);
+        let predict = frame_bytes(&RequestFrame::new(Request::Predict { system_hash: 10, binary_hash: 20 }));
+        match svc.handle_frame(&predict, QueueGauges::default()) {
+            // served from the backend, not the half-rolled-out entry
+            Response::Config(c) => assert_eq!(c, CpuConfig::new(16, 2_200_000, 1)),
+            other => panic!("expected Config, got {other:?}"),
+        }
+        let snap = svc.snapshot(QueueGauges::default());
+        assert_eq!(snap.stale_generation_hits, 1);
+        assert_eq!(snap.cache_misses, 1, "a stale refusal is also a miss");
     }
 
     #[test]

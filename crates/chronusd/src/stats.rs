@@ -19,6 +19,8 @@ pub struct ServerStats {
     busy_rejections: Counter,
     deadline_exceeded: Counter,
     errors: Counter,
+    stale_generation_hits: Counter,
+    generation_rollbacks: Counter,
     latency: Histogram,
 }
 
@@ -41,6 +43,8 @@ impl ServerStats {
             busy_rejections: Counter::new(),
             deadline_exceeded: Counter::new(),
             errors: Counter::new(),
+            stale_generation_hits: Counter::new(),
+            generation_rollbacks: Counter::new(),
             latency: Histogram::new(),
         }
     }
@@ -56,6 +60,8 @@ impl ServerStats {
             busy_rejections: telemetry.counter("daemon.busy_rejections"),
             deadline_exceeded: telemetry.counter("daemon.deadline_exceeded"),
             errors: telemetry.counter("daemon.errors"),
+            stale_generation_hits: telemetry.counter("daemon.stale_generation_hits"),
+            generation_rollbacks: telemetry.counter("daemon.generation_rollbacks"),
             latency: telemetry.histogram("daemon.service_us"),
         }
     }
@@ -88,6 +94,17 @@ impl ServerStats {
         self.errors.bump();
     }
 
+    /// A lookup refused because the entry's rollout generation was
+    /// never committed (a half-rolled-out model was *not* served).
+    pub fn stale_generation_hit(&self) {
+        self.stale_generation_hits.bump();
+    }
+
+    /// A rollout that allocated a generation and then failed to commit.
+    pub fn generation_rollback(&self) {
+        self.generation_rollbacks.bump();
+    }
+
     /// Records one request's handling latency.
     pub fn record_latency_us(&self, us: u64) {
         self.latency.record_us(us);
@@ -103,6 +120,7 @@ impl ServerStats {
         workers: u64,
         models_resident: u64,
         evictions: u64,
+        model_generation: u64,
     ) -> StatsSnapshot {
         StatsSnapshot {
             requests_total: self.requests_total.get(),
@@ -117,6 +135,9 @@ impl ServerStats {
             workers,
             models_resident,
             evictions,
+            model_generation,
+            stale_generation_hits: self.stale_generation_hits.get(),
+            generation_rollbacks: self.generation_rollbacks.get(),
             latency_p50_us: self.latency.percentile_us(0.50),
             latency_p99_us: self.latency.percentile_us(0.99),
             latency_max_us: self.latency.max_us(),
@@ -148,7 +169,7 @@ mod tests {
             stats.record_latency_us(3); // bucket 2, upper bound 4
         }
         stats.record_latency_us(100_000); // bucket 17, upper bound 131072
-        let snap = stats.snapshot(0, 0, 0, 0, 0);
+        let snap = stats.snapshot(0, 0, 0, 0, 0, 0);
         assert_eq!(snap.latency_p50_us, 4);
         assert_eq!(snap.latency_p99_us, 4, "99th of 100 samples is still the fast bucket");
         assert_eq!(snap.latency_max_us, 100_000);
@@ -156,11 +177,27 @@ mod tests {
 
     #[test]
     fn empty_histogram_reports_zero() {
-        let snap = ServerStats::new().snapshot(1, 2, 3, 4, 5);
+        let snap = ServerStats::new().snapshot(1, 2, 3, 4, 5, 6);
         assert_eq!(snap.latency_p50_us, 0);
         assert_eq!(snap.latency_p99_us, 0);
         assert_eq!((snap.queue_depth, snap.queue_capacity, snap.workers), (1, 2, 3));
         assert_eq!((snap.models_resident, snap.evictions), (4, 5));
+        assert_eq!(snap.model_generation, 6);
+    }
+
+    #[test]
+    fn generation_counters_accumulate_and_share_the_namespace() {
+        let telemetry = Telemetry::wall();
+        let stats = ServerStats::over(&telemetry);
+        stats.stale_generation_hit();
+        stats.stale_generation_hit();
+        stats.generation_rollback();
+        let snap = stats.snapshot(0, 0, 0, 0, 0, 3);
+        assert_eq!(snap.stale_generation_hits, 2);
+        assert_eq!(snap.generation_rollbacks, 1);
+        assert_eq!(snap.model_generation, 3);
+        assert_eq!(telemetry.counter("daemon.stale_generation_hits").get(), 2);
+        assert_eq!(telemetry.counter("daemon.generation_rollbacks").get(), 1);
     }
 
     #[test]
@@ -174,7 +211,7 @@ mod tests {
         stats.busy_rejection();
         stats.deadline_exceeded();
         stats.error();
-        let snap = stats.snapshot(0, 0, 0, 0, 0);
+        let snap = stats.snapshot(0, 0, 0, 0, 0, 0);
         assert_eq!(snap.requests_total, 2);
         assert_eq!(snap.predictions, 1);
         assert_eq!(snap.cache_hits, 1);
@@ -195,7 +232,7 @@ mod tests {
         assert_eq!(telemetry.counter("daemon.cache_hits").get(), 1);
         assert_eq!(telemetry.histogram("daemon.service_us").count(), 1);
         // and the snapshot reads the very same cells
-        let snap = stats.snapshot(0, 0, 0, 0, 0);
+        let snap = stats.snapshot(0, 0, 0, 0, 0, 0);
         assert_eq!(snap.requests_total, 1);
         assert_eq!(snap.cache_hits, 1);
     }

@@ -8,16 +8,20 @@
 //! 4. **Predict energy-efficient configuration** — [`Chronus::slurm_config`]
 //! 5. **Settings** — [`Chronus::set_state`] and friends (`chronus set`)
 
-use crate::domain::{Benchmark, EnergySample, LoadedModel, ModelMetadata, PluginState, Settings, SystemEntry};
+use crate::domain::{
+    Benchmark, EnergySample, LoadedModel, ModelMetadata, PluginState, SampleIntervalMs, Settings, SystemEntry,
+};
 use crate::error::{ChronusError, Result};
 use crate::interfaces::{
     ApplicationRunner, FileRepository, LocalStorage, Repository, SystemInfoProvider, SystemService,
 };
 use crate::logging::ChronusLog;
 use crate::optimizers::ModelFactory;
+use crate::telemetry::{Span, Telemetry};
 use eco_sim_node::clock::SimDuration;
 use eco_sim_node::cpu::{CpuConfig, CpuSpec};
 use eco_slurm_sim::Cluster;
+use std::sync::Arc;
 
 /// The assembled Chronus application.
 pub struct Chronus {
@@ -25,6 +29,7 @@ pub struct Chronus {
     blob: Box<dyn FileRepository + Send>,
     local: Box<dyn LocalStorage + Send>,
     log: ChronusLog,
+    telemetry: Arc<Telemetry>,
 }
 
 /// The paper samples the BMC "at a 2-second interval" (§3.1.2 step 2).
@@ -37,7 +42,7 @@ impl Chronus {
         blob: Box<dyn FileRepository + Send>,
         local: Box<dyn LocalStorage + Send>,
     ) -> Self {
-        Chronus { repository, blob, local, log: ChronusLog::new() }
+        Chronus { repository, blob, local, log: ChronusLog::new(), telemetry: Arc::new(Telemetry::wall()) }
     }
 
     /// Mirrors every log line to a file (the paper's
@@ -45,6 +50,19 @@ impl Chronus {
     pub fn with_log_file(mut self, path: impl AsRef<std::path::Path>) -> Self {
         self.log = ChronusLog::with_file(path);
         self
+    }
+
+    /// Emits application spans through an externally owned [`Telemetry`]
+    /// (so `benchmark`/`init_model`/… traces land in the same timeline
+    /// as the submit path and the daemon).
+    pub fn with_telemetry(mut self, telemetry: Arc<Telemetry>) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The telemetry the application functions trace through.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// The captured log (what the terminal showed).
@@ -79,6 +97,31 @@ impl Chronus {
         sample_interval: SimDuration,
     ) -> Result<Vec<Benchmark>> {
         assert!(!sample_interval.is_zero(), "sampling interval must be positive");
+        let telemetry = Arc::clone(&self.telemetry);
+        let mut span = telemetry.root_span("app", "benchmark");
+        match self.benchmark_under(&span, cluster, runner, sampler, system_info, configs, sample_interval) {
+            Ok(out) => {
+                span.attr("benchmarks", out.len());
+                Ok(out)
+            }
+            Err(e) => {
+                span.set_error(e.to_string());
+                Err(e)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn benchmark_under(
+        &mut self,
+        span: &Span,
+        cluster: &mut Cluster,
+        runner: &dyn ApplicationRunner,
+        sampler: &mut dyn SystemService,
+        system_info: &dyn SystemInfoProvider,
+        configs: Option<&[CpuConfig]>,
+        sample_interval: SimDuration,
+    ) -> Result<Vec<Benchmark>> {
         let facts = system_info.facts(cluster);
         let hash = system_info.system_hash(cluster);
         let system_id =
@@ -93,8 +136,19 @@ impl Chronus {
         let mut out = Vec::with_capacity(sweep.len());
         for config in &sweep {
             spec.validate(config).map_err(|e| ChronusError::InvalidInput(e.to_string()))?;
-            let benchmark = self.run_one(cluster, runner, sampler, system_id, config, sample_interval)?;
-            out.push(benchmark);
+            let mut trial = span.child("app", "trial");
+            trial.attr("config", config);
+            match self.run_one(cluster, runner, sampler, system_id, config, sample_interval) {
+                Ok(benchmark) => {
+                    trial.attr("gflops", format!("{:.3}", benchmark.gflops));
+                    trial.attr("samples", benchmark.sample_count);
+                    out.push(benchmark);
+                }
+                Err(e) => {
+                    trial.set_error(e.to_string());
+                    return Err(e);
+                }
+            }
         }
         Ok(out)
     }
@@ -206,6 +260,30 @@ impl Chronus {
         binary_hash: u64,
         now_ms: u64,
     ) -> Result<ModelMetadata> {
+        let telemetry = Arc::clone(&self.telemetry);
+        let mut span = telemetry.root_span("app", "init_model");
+        span.attr("model_type", model_type);
+        span.attr("system_id", system_id);
+        match self.init_model_inner(model_type, system_id, binary_hash, now_ms) {
+            Ok(meta) => {
+                span.attr("model_id", meta.id);
+                span.attr("resolved_type", &meta.model_type);
+                Ok(meta)
+            }
+            Err(e) => {
+                span.set_error(e.to_string());
+                Err(e)
+            }
+        }
+    }
+
+    fn init_model_inner(
+        &mut self,
+        model_type: &str,
+        system_id: i64,
+        binary_hash: u64,
+        now_ms: u64,
+    ) -> Result<ModelMetadata> {
         let benchmarks = self.repository.benchmarks(system_id, binary_hash)?;
         if benchmarks.is_empty() {
             return Err(ChronusError::NotFound(format!("benchmarks for system {system_id} / binary {binary_hash}")));
@@ -241,6 +319,22 @@ impl Chronus {
     /// `/opt/chronus/optimizer`) and records it in the settings, so the
     /// submit-time prediction never touches the database or blob storage.
     pub fn load_model(&mut self, model_id: i64) -> Result<LoadedModel> {
+        let telemetry = Arc::clone(&self.telemetry);
+        let mut span = telemetry.root_span("app", "load_model");
+        span.attr("model_id", model_id);
+        match self.load_model_inner(model_id) {
+            Ok(loaded) => {
+                span.attr("model_type", &loaded.model_type);
+                Ok(loaded)
+            }
+            Err(e) => {
+                span.set_error(e.to_string());
+                Err(e)
+            }
+        }
+    }
+
+    fn load_model_inner(&mut self, model_id: i64) -> Result<LoadedModel> {
         let meta =
             self.repository.model(model_id)?.ok_or_else(|| ChronusError::NotFound(format!("model {model_id}")))?;
         let system = self
@@ -285,8 +379,15 @@ impl Chronus {
     /// pre-loaded model from local disk — this is the call on Slurm's
     /// submit path.
     pub fn slurm_config(&self, system_hash: u64, binary_hash: u64) -> Result<CpuConfig> {
-        let settings = self.local.load_settings()?;
-        predict_from_settings(&settings, system_hash, binary_hash)
+        let mut span = self.telemetry.root_span("app", "slurm_config");
+        span.attr("system_hash", format!("{system_hash:#x}"));
+        span.attr("binary_hash", format!("{binary_hash:#x}"));
+        let result = self.local.load_settings().and_then(|s| predict_from_settings(&s, system_hash, binary_hash));
+        match &result {
+            Ok(config) => span.attr("config", config),
+            Err(e) => span.set_error(e.to_string()),
+        }
+        result
     }
 
     // ------------------------------------------------------- settings
@@ -310,6 +411,21 @@ impl Chronus {
         let mut s = self.local.load_settings()?;
         s.state = state;
         self.local.save_settings(&s)
+    }
+
+    /// `chronus set sample-interval MS` — the benchmark sampler's IPMI
+    /// polling cadence. Zero and negative values are rejected.
+    pub fn set_sample_interval(&mut self, ms: i64) -> Result<()> {
+        let interval = SampleIntervalMs::try_from_millis(ms).map_err(ChronusError::InvalidInput)?;
+        let mut s = self.local.load_settings()?;
+        s.sample_interval = interval;
+        self.local.save_settings(&s)
+    }
+
+    /// The configured IPMI sample interval (the paper's 2 s unless
+    /// `chronus set sample-interval` changed it).
+    pub fn sample_interval(&self) -> Result<SampleIntervalMs> {
+        Ok(self.local.load_settings()?.sample_interval)
     }
 }
 
@@ -566,6 +682,55 @@ mod tests {
         assert_eq!(s.database, "/var/db/x.db");
         assert_eq!(s.blob_storage, "/blobs");
         assert_eq!(s.state, PluginState::Active);
+    }
+
+    #[test]
+    fn sample_interval_setting_persists_and_rejects_nonpositive() {
+        let root = tmpdir("interval");
+        let mut app = chronus(&root);
+        assert_eq!(app.sample_interval().unwrap().as_millis(), 2000, "paper default");
+        app.set_sample_interval(500).unwrap();
+        assert_eq!(app.sample_interval().unwrap().as_millis(), 500);
+        assert!(matches!(app.set_sample_interval(0), Err(ChronusError::InvalidInput(_))));
+        assert!(matches!(app.set_sample_interval(-3), Err(ChronusError::InvalidInput(_))));
+        // rejected values must not clobber the stored setting
+        assert_eq!(app.sample_interval().unwrap().as_millis(), 500);
+    }
+
+    #[test]
+    fn application_functions_record_telemetry_spans() {
+        use crate::telemetry::Telemetry;
+
+        let root = tmpdir("appspans");
+        let telemetry = Arc::new(Telemetry::wall());
+        let (app, mut cluster, runner, mut sampler, info) = setup(&root);
+        let mut app = app.with_telemetry(Arc::clone(&telemetry));
+        app.benchmark(&mut cluster, &runner, &mut sampler, &info, Some(&small_sweep()[..2]), DEFAULT_SAMPLE_INTERVAL)
+            .unwrap();
+        let meta = app.init_model("brute-force", 1, runner.binary_hash(), 0).unwrap();
+        app.load_model(meta.id).unwrap();
+        let sys_hash = info.system_hash(&cluster);
+        app.slurm_config(sys_hash, runner.binary_hash()).unwrap();
+
+        let spans = telemetry.recorder().events();
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        for expect in ["benchmark", "trial", "init_model", "load_model", "slurm_config"] {
+            assert!(names.contains(&expect), "missing app span {expect}: {names:?}");
+        }
+        // one trial span per configuration, parented under the sweep span
+        let bench = spans.iter().find(|s| s.name == "benchmark").unwrap();
+        let trials: Vec<_> = spans.iter().filter(|s| s.name == "trial").collect();
+        assert_eq!(trials.len(), 2);
+        for t in &trials {
+            assert_eq!(t.trace, bench.trace, "trials share the benchmark trace");
+            assert_eq!(t.parent, Some(bench.span), "trials parent under the sweep span");
+            assert!(t.is_ok(), "trial succeeded: {}", t.outcome);
+        }
+        // failures mark the span
+        app.load_model(9999).unwrap_err();
+        let spans = telemetry.recorder().events();
+        let failed = spans.iter().rev().find(|s| s.name == "load_model").unwrap();
+        assert!(!failed.is_ok(), "error spans record set_error");
     }
 
     #[test]

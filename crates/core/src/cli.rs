@@ -2,7 +2,7 @@
 //! `benchmark`, `init-model`, `load-model`, `slurm-config`, `set` — parsed
 //! from argv-style tokens and executed against a [`CliContext`].
 
-use crate::application::{Chronus, DEFAULT_SAMPLE_INTERVAL};
+use crate::application::Chronus;
 use crate::domain::PluginState;
 use crate::error::{ChronusError, Result};
 use crate::interfaces::{ApplicationRunner, SystemInfoProvider, SystemService};
@@ -35,7 +35,7 @@ Commands:\n\
   init-model --model TYPE [--system ID]          Initializes the prediction model.\n\
   load-model [--model ID]                        Loads a pre-trained model.\n\
   slurm-config SYSTEM_HASH BINARY_HASH           Executes the main functionality.\n\
-  set {database|blob-storage|state} VALUE        Changes the configuration of the plugin.\n";
+  set {database|blob-storage|state|sample-interval} VALUE  Changes the configuration of the plugin.\n";
 
 /// Executes one CLI invocation; returns the text the command prints.
 pub fn run_command(ctx: &mut CliContext<'_>, args: &[&str]) -> Result<String> {
@@ -71,14 +71,9 @@ fn cmd_benchmark(ctx: &mut CliContext<'_>, args: &[&str]) -> Result<String> {
         }
         None => None,
     };
-    let benches = ctx.app.benchmark(
-        ctx.cluster,
-        ctx.runner,
-        ctx.sampler,
-        ctx.info,
-        configs.as_deref(),
-        DEFAULT_SAMPLE_INTERVAL,
-    )?;
+    let sample_interval = ctx.app.sample_interval()?.as_duration();
+    let benches =
+        ctx.app.benchmark(ctx.cluster, ctx.runner, ctx.sampler, ctx.info, configs.as_deref(), sample_interval)?;
     let mut out = presenter::benchmarks_table(&benches);
     out.push_str(&format!("\n{} benchmark(s) complete. Run data has been saved to the database.\n", benches.len()));
     Ok(out)
@@ -175,7 +170,14 @@ fn cmd_set(ctx: &mut CliContext<'_>, args: &[&str]) -> Result<String> {
             ctx.app.set_state(state)?;
             Ok(format!("state = {value}\n"))
         }
-        ["--help"] | [] => Ok("Usage: chronus set <SETTING> <VALUE>\n\nSettings:\n  blob-storage <path>   Path of the blob storage root.\n  database <path>       Path of the repository database.\n  state <value>         Plugin activation state: 'active' rewrites every job,\n                        'user' only jobs opting in with --comment \"chronus\",\n                        'deactivated' none.\n".to_string()),
+        ["sample-interval", value] => {
+            let ms: i64 = value
+                .parse()
+                .map_err(|_| ChronusError::InvalidInput(format!("bad sample interval '{value}' (milliseconds)")))?;
+            ctx.app.set_sample_interval(ms)?;
+            Ok(format!("sample-interval = {ms} ms\n"))
+        }
+        ["--help"] | [] => Ok("Usage: chronus set <SETTING> <VALUE>\n\nSettings:\n  blob-storage <path>        Path of the blob storage root.\n  database <path>            Path of the repository database.\n  state <value>              Plugin activation state: 'active' rewrites every job,\n                             'user' only jobs opting in with --comment \"chronus\",\n                             'deactivated' none.\n  sample-interval <ms>       IPMI sampling interval for benchmarks (default 2000).\n".to_string()),
         other => Err(ChronusError::InvalidInput(format!("unknown set command {other:?}"))),
     }
 }
@@ -323,6 +325,29 @@ mod tests {
         let s = f.app.settings().unwrap();
         assert_eq!(s.database, "/tmp/x.db");
         assert_eq!(s.state, crate::domain::PluginState::Active);
+    }
+
+    #[test]
+    fn set_sample_interval_validates() {
+        let mut f = fixture("interval");
+        assert!(run(&mut f, &["set", "sample-interval", "500"]).unwrap().contains("500 ms"));
+        assert_eq!(f.app.sample_interval().unwrap().as_millis(), 500);
+        assert!(run(&mut f, &["set", "sample-interval", "0"]).is_err());
+        assert!(run(&mut f, &["set", "sample-interval", "-7"]).is_err());
+        assert!(run(&mut f, &["set", "sample-interval", "soon"]).is_err());
+        assert_eq!(f.app.sample_interval().unwrap().as_millis(), 500, "rejections leave the setting alone");
+        // the benchmark loop honours the configured cadence: a coarser
+        // interval collects fewer samples over the same run
+        let cfg_file = f.root.join("one.json");
+        std::fs::write(&cfg_file, r#"[{"cores": 32, "threads_per_core": 1, "frequency": 2200000}]"#).unwrap();
+        run(&mut f, &["benchmark", "--configurations", cfg_file.to_str().unwrap()]).unwrap();
+        let fine = f.app.repository().all_benchmarks().unwrap()[0].sample_count;
+        run(&mut f, &["set", "sample-interval", "4000"]).unwrap();
+        let mut f2 = fixture("interval2");
+        run(&mut f2, &["set", "sample-interval", "4000"]).unwrap();
+        run(&mut f2, &["benchmark", "--configurations", cfg_file.to_str().unwrap()]).unwrap();
+        let coarse = f2.app.repository().all_benchmarks().unwrap()[0].sample_count;
+        assert!(coarse < fine, "4000 ms sampling ({coarse}) must collect fewer samples than 500 ms ({fine})");
     }
 
     #[test]

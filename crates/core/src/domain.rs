@@ -134,6 +134,43 @@ pub struct LoadedModel {
     pub benchmarks_path: Option<String>,
 }
 
+/// The paper's IPMI sampling cadence: one reading every 2 seconds.
+pub const DEFAULT_SAMPLE_INTERVAL_MS: u64 = 2000;
+
+/// The benchmark sampler's IPMI polling interval, in milliseconds.
+/// A newtype so settings files written before the field existed
+/// deserialize to the paper's 2 s default rather than to zero.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SampleIntervalMs(pub u64);
+
+impl Default for SampleIntervalMs {
+    fn default() -> Self {
+        SampleIntervalMs(DEFAULT_SAMPLE_INTERVAL_MS)
+    }
+}
+
+impl SampleIntervalMs {
+    /// Validates a user-supplied interval: zero and negative values are
+    /// rejected (a sampler that never ticks would hang the benchmark
+    /// loop; the integral needs time to pass between readings).
+    pub fn try_from_millis(ms: i64) -> Result<Self, String> {
+        if ms <= 0 {
+            return Err(format!("sample interval must be a positive number of milliseconds, got {ms}"));
+        }
+        Ok(SampleIntervalMs(ms as u64))
+    }
+
+    /// The interval in milliseconds.
+    pub fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// The interval as a simulated duration.
+    pub fn as_duration(self) -> eco_sim_node::clock::SimDuration {
+        eco_sim_node::clock::SimDuration::from_millis(self.0)
+    }
+}
+
 /// Chronus settings (`/etc/chronus/settings.json`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Settings {
@@ -145,6 +182,10 @@ pub struct Settings {
     pub state: PluginState,
     /// The model currently pre-loaded for the plugin, if any.
     pub loaded_model: Option<LoadedModel>,
+    /// IPMI sampling interval for benchmark runs
+    /// (`chronus set sample-interval`; the paper samples every 2 s).
+    #[serde(default)]
+    pub sample_interval: SampleIntervalMs,
 }
 
 impl Default for Settings {
@@ -154,6 +195,7 @@ impl Default for Settings {
             blob_storage: "./optimizers".to_string(),
             state: PluginState::User,
             loaded_model: None,
+            sample_interval: SampleIntervalMs::default(),
         }
     }
 }
@@ -198,6 +240,29 @@ mod tests {
         assert_eq!(s.blob_storage, "./optimizers"); // paper §3.2 File Repository
         assert_eq!(s.state, PluginState::User); // "by default it will not change any settings"
         assert!(s.loaded_model.is_none());
+        assert_eq!(s.sample_interval.as_millis(), 2000); // the paper samples every 2 s
+    }
+
+    #[test]
+    fn sample_interval_validates_and_converts() {
+        assert!(SampleIntervalMs::try_from_millis(0).is_err());
+        assert!(SampleIntervalMs::try_from_millis(-5).is_err());
+        let i = SampleIntervalMs::try_from_millis(500).unwrap();
+        assert_eq!(i.as_millis(), 500);
+        assert_eq!(i.as_duration().as_millis(), 500);
+    }
+
+    #[test]
+    fn settings_without_sample_interval_field_default_to_two_seconds() {
+        // a settings file written before the field existed
+        let legacy = r#"{"database":"db","blob_storage":"blobs","state":"user","loaded_model":null}"#;
+        let s: Settings = serde_json::from_str(legacy).unwrap();
+        assert_eq!(s.sample_interval, SampleIntervalMs(2000));
+        // and the field round-trips as a bare number
+        let json = serde_json::to_string(&Settings { sample_interval: SampleIntervalMs(750), ..Settings::default() })
+            .unwrap();
+        assert!(json.contains("\"sample_interval\":750"), "{json}");
+        assert_eq!(serde_json::from_str::<Settings>(&json).unwrap().sample_interval, SampleIntervalMs(750));
     }
 
     #[test]

@@ -12,6 +12,10 @@ pub enum ChronusError {
     /// An optimizer was asked to predict before being fitted, or fitting
     /// failed.
     Model(String),
+    /// A training set no optimizer can learn from (empty, a single
+    /// configuration, or a constant GFLOPS/W surface): fitting would
+    /// silently crown an arbitrary configuration.
+    DegenerateData(String),
     /// A benchmark run failed inside the workload manager.
     Slurm(eco_slurm_sim::SlurmError),
     /// Invalid input from the CLI or a configuration file.
@@ -25,6 +29,7 @@ impl std::fmt::Display for ChronusError {
             ChronusError::Serde(e) => write!(f, "serialisation error: {e}"),
             ChronusError::NotFound(what) => write!(f, "not found: {what}"),
             ChronusError::Model(m) => write!(f, "model error: {m}"),
+            ChronusError::DegenerateData(m) => write!(f, "degenerate training data: {m}"),
             ChronusError::Slurm(e) => write!(f, "slurm error: {e}"),
             ChronusError::InvalidInput(m) => write!(f, "invalid input: {m}"),
         }

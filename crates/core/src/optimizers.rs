@@ -25,10 +25,38 @@ fn features(config: &CpuConfig) -> Vec<f64> {
     vec![config.cores as f64, config.ghz(), if config.hyper_threading() { 1.0 } else { 0.0 }]
 }
 
-fn dataset(benchmarks: &[Benchmark]) -> Result<Dataset> {
+/// Rejects training sets no optimizer can learn from. Without this gate
+/// a degenerate sweep either panics downstream (zero rows) or fits a
+/// flat surface whose argmax silently picks an arbitrary configuration.
+pub fn validate_training_set(benchmarks: &[Benchmark]) -> Result<()> {
     if benchmarks.is_empty() {
-        return Err(ChronusError::Model("cannot fit on zero benchmarks".into()));
+        return Err(ChronusError::DegenerateData("cannot fit on zero benchmarks".into()));
     }
+    let mut configs: Vec<CpuConfig> = benchmarks.iter().map(|b| b.config).collect();
+    configs.sort_by_key(|c| (c.cores, c.frequency_khz, c.threads_per_core));
+    configs.dedup();
+    if configs.len() < 2 {
+        return Err(ChronusError::DegenerateData(format!(
+            "all {} benchmark(s) measure the single configuration {}; a sweep needs at least two distinct configurations",
+            benchmarks.len(),
+            configs[0],
+        )));
+    }
+    let targets: Vec<f64> = benchmarks.iter().map(Benchmark::gflops_per_watt).collect();
+    let (lo, hi) = targets.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &t| (lo.min(t), hi.max(t)));
+    if !lo.is_finite() || !hi.is_finite() {
+        return Err(ChronusError::DegenerateData("non-finite GFLOPS/W target in the training set".into()));
+    }
+    if (hi - lo).abs() <= 1e-12 * hi.abs().max(1.0) {
+        return Err(ChronusError::DegenerateData(format!(
+            "constant GFLOPS/W surface ({hi:.6} everywhere); every configuration ties and the argmax would be arbitrary"
+        )));
+    }
+    Ok(())
+}
+
+fn dataset(benchmarks: &[Benchmark]) -> Result<Dataset> {
+    validate_training_set(benchmarks)?;
     let rows: Vec<Vec<f64>> = benchmarks.iter().map(|b| features(&b.config)).collect();
     let targets: Vec<f64> = benchmarks.iter().map(Benchmark::gflops_per_watt).collect();
     Dataset::new(rows, targets)
@@ -72,9 +100,7 @@ impl Optimizer for BruteForceOptimizer {
     }
 
     fn fit(&mut self, benchmarks: &[Benchmark]) -> Result<FitReport> {
-        if benchmarks.is_empty() {
-            return Err(ChronusError::Model("cannot fit on zero benchmarks".into()));
-        }
+        validate_training_set(benchmarks)?;
         self.table = benchmarks.iter().map(|b| (b.config, b.gflops_per_watt())).collect();
         Ok(FitReport { train_rows: self.table.len(), r2: 1.0 })
     }
@@ -415,8 +441,51 @@ mod tests {
     fn fit_on_empty_errors() {
         for model_type in ModelFactory::model_types() {
             let mut opt = ModelFactory::create(model_type).unwrap();
-            assert!(opt.fit(&[]).is_err(), "{model_type}");
+            assert!(matches!(opt.fit(&[]), Err(ChronusError::DegenerateData(_))), "{model_type}");
         }
+    }
+
+    #[test]
+    fn fit_on_a_single_configuration_errors() {
+        // three repeats of one configuration is still a single-point sweep
+        let one = vec![paper_benchmarks().remove(0); 3];
+        for model_type in ModelFactory::model_types() {
+            let mut opt = ModelFactory::create(model_type).unwrap();
+            match opt.fit(&one) {
+                Err(ChronusError::DegenerateData(m)) => {
+                    assert!(m.contains("single configuration"), "{model_type}: {m}")
+                }
+                other => panic!("{model_type}: expected DegenerateData, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn fit_on_a_constant_power_surface_errors() {
+        // distinct configurations, but identical GFLOPS/W everywhere: no
+        // argmax is better than any other, so fitting must refuse
+        let flat: Vec<Benchmark> = paper_benchmarks()
+            .into_iter()
+            .map(|mut b| {
+                b.gflops = 0.05 * b.avg_system_w;
+                b
+            })
+            .collect();
+        for model_type in ModelFactory::model_types() {
+            let mut opt = ModelFactory::create(model_type).unwrap();
+            match opt.fit(&flat) {
+                Err(ChronusError::DegenerateData(m)) => {
+                    assert!(m.contains("constant GFLOPS/W"), "{model_type}: {m}")
+                }
+                other => panic!("{model_type}: expected DegenerateData, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn validate_training_set_accepts_real_sweeps() {
+        validate_training_set(&paper_benchmarks()).unwrap();
+        validate_training_set(&paper_benchmarks()[..2]).unwrap();
     }
 
     #[test]

@@ -90,6 +90,7 @@ pub fn stats_table(s: &StatsSnapshot) -> String {
          errors              {}\n\
          queue               {}/{} waiting, {} workers\n\
          models resident     {} ({} evictions)\n\
+         model generation    {} ({} stale hits / {} rollbacks)\n\
          service latency     p50 {}us  p99 {}us  max {}us\n",
         s.requests_total,
         s.predictions,
@@ -103,6 +104,9 @@ pub fn stats_table(s: &StatsSnapshot) -> String {
         s.workers,
         s.models_resident,
         s.evictions,
+        s.model_generation,
+        s.stale_generation_hits,
+        s.generation_rollbacks,
         s.latency_p50_us,
         s.latency_p99_us,
         s.latency_max_us,
@@ -188,10 +192,14 @@ mod tests {
             queue_capacity: 64,
             workers: 4,
             models_resident: 1,
+            model_generation: 3,
+            stale_generation_hits: 1,
+            generation_rollbacks: 2,
             ..StatsSnapshot::default()
         };
         let t = stats_table(&snap);
         assert!(t.contains("predictions         8 (6 hits / 2 misses, 75.0% hit rate)"), "{t}");
+        assert!(t.contains("model generation    3 (1 stale hits / 2 rollbacks)"), "{t}");
         assert!(t.contains("p50 4us  p99 128us  max 250us"), "{t}");
         // empty snapshot must not divide by zero
         assert!(stats_table(&StatsSnapshot::default()).contains("0.0% hit rate"));

@@ -103,8 +103,17 @@ pub enum Response {
     Pong,
     /// The predicted most energy-efficient configuration.
     Config(CpuConfig),
-    /// Answer to a successful [`Request::Preload`].
-    Preloaded { model_id: i64, model_type: String, system_hash: u64, binary_hash: u64 },
+    /// Answer to a successful [`Request::Preload`]. `generation` is the
+    /// registry rollout generation the model was committed under (0 from
+    /// daemons predating versioned rollout).
+    Preloaded {
+        model_id: i64,
+        model_type: String,
+        system_hash: u64,
+        binary_hash: u64,
+        #[serde(default)]
+        generation: u64,
+    },
     /// Answer to [`Request::Stats`].
     Stats(StatsSnapshot),
     /// The daemon's connection queue is full; retry after the hint.
@@ -117,6 +126,22 @@ pub enum Response {
     Error { message: String },
     /// Answer to [`Request::Burn`].
     Burned,
+}
+
+/// A successful preload acknowledgement, as returned by
+/// [`PredictClient::preload_versioned`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreloadAck {
+    /// The staged model's repository id.
+    pub model_id: i64,
+    /// The optimizer type string.
+    pub model_type: String,
+    /// The system the model answers for.
+    pub system_hash: u64,
+    /// The binary the model answers for.
+    pub binary_hash: u64,
+    /// The rollout generation the daemon committed the model under.
+    pub generation: u64,
 }
 
 /// A point-in-time copy of the daemon's counters (the `stats` RPC).
@@ -146,6 +171,17 @@ pub struct StatsSnapshot {
     pub models_resident: u64,
     /// Models evicted by the registry's LRU policy.
     pub evictions: u64,
+    /// Latest committed model-rollout generation (0 before any rollout,
+    /// and from daemons predating versioned rollout).
+    #[serde(default)]
+    pub model_generation: u64,
+    /// Lookups refused because the resident entry's rollout generation
+    /// was never committed (half-rolled-out models are never served).
+    #[serde(default)]
+    pub stale_generation_hits: u64,
+    /// Rollouts that allocated a generation but failed to commit.
+    #[serde(default)]
+    pub generation_rollbacks: u64,
     /// Median request handling latency (µs, bucket upper bound).
     pub latency_p50_us: u64,
     /// 99th-percentile request handling latency (µs, bucket upper bound).
@@ -580,9 +616,16 @@ impl PredictClient {
     /// Asks the daemon to stage a model; returns (model_type, system
     /// hash, binary hash) on success.
     pub fn preload(&mut self, model_id: i64) -> std::result::Result<(String, u64, u64), RemoteError> {
+        self.preload_versioned(model_id).map(|ack| (ack.model_type, ack.system_hash, ack.binary_hash))
+    }
+
+    /// Like [`PredictClient::preload`] but returns the full
+    /// acknowledgement, including the rollout generation the daemon
+    /// committed the model under (0 from pre-versioning daemons).
+    pub fn preload_versioned(&mut self, model_id: i64) -> std::result::Result<PreloadAck, RemoteError> {
         match self.request(Request::Preload { model_id })? {
-            Response::Preloaded { model_type, system_hash, binary_hash, .. } => {
-                Ok((model_type, system_hash, binary_hash))
+            Response::Preloaded { model_id, model_type, system_hash, binary_hash, generation } => {
+                Ok(PreloadAck { model_id, model_type, system_hash, binary_hash, generation })
             }
             Response::Error { message } => Err(RemoteError::Server(message)),
             other => Err(RemoteError::Protocol(format!("expected Preloaded, got {other:?}"))),

@@ -48,7 +48,7 @@ fn arb_frame() -> impl Strategy<Value = RequestFrame> {
 }
 
 fn arb_snapshot() -> impl Strategy<Value = StatsSnapshot> {
-    prop::collection::vec(0u64..=u64::MAX, 15).prop_map(|v| StatsSnapshot {
+    prop::collection::vec(0u64..=u64::MAX, 18).prop_map(|v| StatsSnapshot {
         requests_total: v[0],
         predictions: v[1],
         cache_hits: v[2],
@@ -61,9 +61,12 @@ fn arb_snapshot() -> impl Strategy<Value = StatsSnapshot> {
         workers: v[9],
         models_resident: v[10],
         evictions: v[11],
-        latency_p50_us: v[12],
-        latency_p99_us: v[13],
-        latency_max_us: v[14],
+        model_generation: v[12],
+        stale_generation_hits: v[13],
+        generation_rollbacks: v[14],
+        latency_p50_us: v[15],
+        latency_p99_us: v[16],
+        latency_max_us: v[17],
     })
 }
 
@@ -72,7 +75,13 @@ fn arb_response() -> impl Strategy<Value = Response> {
         .prop_map(|(kind, config, stats, a, b, id, text)| match kind {
             0 => Response::Pong,
             1 => Response::Config(config),
-            2 => Response::Preloaded { model_id: id, model_type: text, system_hash: a, binary_hash: b },
+            2 => Response::Preloaded {
+                model_id: id,
+                model_type: text,
+                system_hash: a,
+                binary_hash: b,
+                generation: id.unsigned_abs(),
+            },
             3 => Response::Stats(stats),
             4 => Response::Busy { retry_after_ms: a % 10_000 },
             5 => Response::Miss { system_hash: a, binary_hash: b },

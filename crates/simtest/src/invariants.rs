@@ -61,6 +61,9 @@ pub struct Ledger {
     pub by_kind: BTreeMap<&'static str, u64>,
     /// Responses that were `Error`.
     pub errors_observed: u64,
+    /// How many deliveries were `Preload` (each allocates at most one
+    /// rollout generation, committed or rolled back).
+    pub preloads: u64,
 }
 
 impl Ledger {
@@ -89,6 +92,10 @@ impl Ledger {
         let is_predict = matches!(frame.body, Request::Predict { .. });
         if is_predict {
             self.predicts += 1;
+        }
+        let is_preload = matches!(frame.body, Request::Preload { .. });
+        if is_preload {
+            self.preloads += 1;
         }
         let is_error = matches!(response, Response::Error { .. });
         if is_error {
@@ -134,6 +141,48 @@ impl Ledger {
         }
         if d_errors == 1 && !is_error && !is_deadline {
             return fail("errors counter moved without an Error (or deadline-masked error) response");
+        }
+
+        // Rollout generations: the committed generation only ever moves
+        // forward, and only a Preload may move it. A rollback means a
+        // Preload allocated a generation and failed — which must also
+        // have counted an error (possibly deadline-masked).
+        if after.model_generation < before.model_generation {
+            return fail("model_generation went backwards");
+        }
+        if after.model_generation > before.model_generation && !is_preload {
+            return fail("model_generation advanced on a non-Preload frame");
+        }
+        let d_rollbacks = after.generation_rollbacks - before.generation_rollbacks;
+        if d_rollbacks > 1 {
+            return fail("generation_rollbacks jumped by more than one for a single frame");
+        }
+        if d_rollbacks == 1 {
+            if !is_preload {
+                return fail("generation rollback on a non-Preload frame");
+            }
+            if d_errors != 1 {
+                return fail("a rolled-back rollout must count exactly one error");
+            }
+            if after.model_generation != before.model_generation {
+                return fail("a rolled-back rollout must not move the committed generation");
+            }
+        }
+
+        // Stale-generation refusals: only a Predict can hit a stale
+        // registry entry, and each stale refusal falls through to the
+        // backend, so it is also a cache miss.
+        let d_stale = after.stale_generation_hits - before.stale_generation_hits;
+        if d_stale > 1 {
+            return fail("stale_generation_hits jumped by more than one for a single frame");
+        }
+        if d_stale == 1 {
+            if !is_predict {
+                return fail("stale-generation hit on a non-Predict frame");
+            }
+            if after.cache_misses - before.cache_misses != 1 {
+                return fail("a stale-generation refusal must also count a cache miss");
+            }
         }
         Ok(())
     }
@@ -183,6 +232,28 @@ impl Ledger {
                 self.errors_observed + snapshot.deadline_exceeded
             ));
         }
+        // Generation conservation: each Preload delivery allocates at
+        // most one rollout generation, so neither the committed
+        // generation nor the rollback count can exceed the Preloads we
+        // delivered — and a stale refusal is always also a miss.
+        if snapshot.model_generation > self.preloads {
+            return Err(format!(
+                "model_generation {} > Preload frames {} (phantom rollout commit)",
+                snapshot.model_generation, self.preloads
+            ));
+        }
+        if snapshot.generation_rollbacks > self.preloads {
+            return Err(format!(
+                "generation_rollbacks {} > Preload frames {}",
+                snapshot.generation_rollbacks, self.preloads
+            ));
+        }
+        if snapshot.stale_generation_hits > snapshot.cache_misses {
+            return Err(format!(
+                "stale_generation_hits {} > cache_misses {} (a stale refusal is also a miss)",
+                snapshot.stale_generation_hits, snapshot.cache_misses
+            ));
+        }
         Ok(())
     }
 }
@@ -229,6 +300,48 @@ mod tests {
         let err =
             ledger.record_exchange(&frame, &Response::Pong, &snap(0, 0, 0, 0), &snap(1, 0, 0, 0), 20).unwrap_err();
         assert!(err.contains("deadline verdict"), "{err}");
+    }
+
+    #[test]
+    fn generation_may_only_advance_on_a_preload() {
+        let mut ledger = Ledger::default();
+        let frame = RequestFrame::new(Request::Ping);
+        let mut after = snap(1, 0, 0, 0);
+        after.model_generation = 1; // generation moved while we pinged
+        let err = ledger.record_exchange(&frame, &Response::Pong, &snap(0, 0, 0, 0), &after, 0).unwrap_err();
+        assert!(err.contains("non-Preload"), "{err}");
+    }
+
+    #[test]
+    fn rollback_requires_a_counted_error() {
+        let mut ledger = Ledger::default();
+        let frame = RequestFrame::new(Request::Preload { model_id: 7 });
+        let mut after = snap(1, 0, 0, 0);
+        after.generation_rollbacks = 1; // rolled back but no error counted
+        let err = ledger
+            .record_exchange(&frame, &Response::Error { message: "load failed".into() }, &snap(0, 0, 0, 0), &after, 0)
+            .unwrap_err();
+        assert!(err.contains("exactly one error"), "{err}");
+    }
+
+    #[test]
+    fn stale_refusal_must_also_be_a_miss() {
+        let mut ledger = Ledger::default();
+        let frame = RequestFrame::new(Request::Predict { system_hash: 1, binary_hash: 2 });
+        let cfg = eco_sim_node::cpu::CpuConfig::new(4, 2_000_000, 1);
+        let mut after = snap(1, 1, 1, 0); // counted as a *hit*...
+        after.stale_generation_hits = 1; // ...yet claims a stale refusal
+        let err = ledger.record_exchange(&frame, &Response::Config(cfg), &snap(0, 0, 0, 0), &after, 0).unwrap_err();
+        assert!(err.contains("cache miss"), "{err}");
+    }
+
+    #[test]
+    fn conservation_catches_phantom_rollout_commit() {
+        let ledger = Ledger::default(); // zero Preloads delivered
+        let mut snapshot = snap(0, 0, 0, 0);
+        snapshot.model_generation = 3;
+        let err = ledger.check(&snapshot).unwrap_err();
+        assert!(err.contains("phantom rollout commit"), "{err}");
     }
 
     #[test]
