@@ -8,7 +8,7 @@
 //! typed failures the campaign CLI can retry.
 
 use crate::error::{CampaignError, Result};
-use chronus::remote::PredictClient;
+use chronus::remote::{CallOptions, PredictClient};
 use chronus::{Chronus, LoadedModel};
 
 /// Acknowledgement of a committed rollout.
@@ -30,12 +30,34 @@ pub trait RolloutTarget {
     /// Asks the daemon to stage and commit `model_id`; returns only after
     /// the daemon has committed the generation.
     fn preload(&mut self, model_id: i64) -> Result<RolloutAck>;
+
+    /// Fans the preload out to every replica behind the target,
+    /// reporting each one's outcome as `(endpoint, ack-or-error)`.
+    /// Single-daemon targets have exactly one replica, which is what
+    /// the default implementation reports.
+    fn preload_all(&mut self, model_id: i64) -> Vec<(String, std::result::Result<RolloutAck, String>)> {
+        vec![("target".to_string(), self.preload(model_id).map_err(|e| e.to_string()))]
+    }
 }
 
 impl RolloutTarget for PredictClient {
     fn preload(&mut self, model_id: i64) -> Result<RolloutAck> {
-        let ack = self.preload_versioned(model_id).map_err(|e| CampaignError::Rollout(e.to_string()))?;
+        let ack = PredictClient::preload(self, model_id, &CallOptions::default())
+            .map_err(|e| CampaignError::Rollout(e.to_string()))?;
         Ok(RolloutAck { model_id: ack.model_id, model_type: ack.model_type, generation: ack.generation })
+    }
+
+    fn preload_all(&mut self, model_id: i64) -> Vec<(String, std::result::Result<RolloutAck, String>)> {
+        let fleet = self.preload_detailed(model_id, &CallOptions::default());
+        let mut out: Vec<(String, std::result::Result<RolloutAck, String>)> = fleet
+            .acks
+            .into_iter()
+            .map(|(ep, a)| {
+                (ep, Ok(RolloutAck { model_id: a.model_id, model_type: a.model_type, generation: a.generation }))
+            })
+            .collect();
+        out.extend(fleet.failures.into_iter().map(|(ep, e)| (ep, Err(e.to_string()))));
+        out
     }
 }
 
@@ -73,6 +95,70 @@ pub fn roll_into(
     Ok(ack)
 }
 
+/// Per-replica outcome of a fleet-wide rollout, plus the quorum it was
+/// judged against.
+#[derive(Debug)]
+pub struct FleetRolloutReport {
+    /// Replicas that committed the model.
+    pub acks: Vec<(String, RolloutAck)>,
+    /// Replicas that failed, with the error each one reported.
+    pub failures: Vec<(String, String)>,
+    /// The quorum the rollout had to meet.
+    pub quorum: usize,
+}
+
+impl FleetRolloutReport {
+    /// The highest generation any replica committed.
+    pub fn committed_generation(&self) -> u64 {
+        self.acks.iter().map(|(_, a)| a.generation).max().unwrap_or(0)
+    }
+}
+
+/// Fans a staged model out to every replica behind `target` and demands
+/// at least `quorum` of them commit it. Each committing replica's
+/// generation is checked for monotonicity against
+/// `previous_generation`, exactly as in [`roll_into`] — generations are
+/// per-daemon counters, so in a fleet driven through one client they
+/// advance in lockstep and one previous value covers all replicas.
+/// Failures below quorum leave the fleet mixed (committed replicas keep
+/// the new model; that is safe because committed generations are never
+/// rolled back) and surface as [`CampaignError::Rollout`].
+pub fn roll_into_fleet(
+    target: &mut dyn RolloutTarget,
+    model_id: i64,
+    previous_generation: Option<u64>,
+    quorum: usize,
+) -> Result<FleetRolloutReport> {
+    let mut acks = Vec::new();
+    let mut failures = Vec::new();
+    for (endpoint, outcome) in target.preload_all(model_id) {
+        match outcome {
+            Ok(ack) => acks.push((endpoint, ack)),
+            Err(e) => failures.push((endpoint, e)),
+        }
+    }
+    if acks.len() < quorum.max(1) {
+        let detail = failures.iter().map(|(ep, e)| format!("{ep}: {e}")).collect::<Vec<_>>().join("; ");
+        return Err(CampaignError::Rollout(format!(
+            "rollout quorum not met: {}/{} replicas committed (need {}): {detail}",
+            acks.len(),
+            acks.len() + failures.len(),
+            quorum.max(1),
+        )));
+    }
+    if let Some(prev) = previous_generation {
+        for (endpoint, ack) in &acks {
+            if ack.generation != 0 && ack.generation <= prev {
+                return Err(CampaignError::Rollout(format!(
+                    "replica {endpoint} committed generation {} but {} was already committed",
+                    ack.generation, prev
+                )));
+            }
+        }
+    }
+    Ok(FleetRolloutReport { acks, failures, quorum: quorum.max(1) })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,6 +176,69 @@ mod tests {
             self.gen += 1;
             Ok(RolloutAck { model_id, model_type: "brute-force".into(), generation: self.gen })
         }
+    }
+
+    /// A fake fleet: per-replica generations, some replicas down.
+    struct FakeFleet {
+        gens: Vec<u64>,
+        down: Vec<bool>,
+    }
+
+    impl RolloutTarget for FakeFleet {
+        fn preload(&mut self, model_id: i64) -> Result<RolloutAck> {
+            match self.preload_all(model_id).into_iter().find(|(_, o)| o.is_ok()) {
+                Some((_, Ok(ack))) => Ok(ack),
+                _ => Err(CampaignError::Rollout("no replica reachable".into())),
+            }
+        }
+
+        fn preload_all(&mut self, model_id: i64) -> Vec<(String, std::result::Result<RolloutAck, String>)> {
+            (0..self.gens.len())
+                .map(|i| {
+                    let ep = format!("r{i}");
+                    if self.down[i] {
+                        (ep, Err("connection refused".to_string()))
+                    } else {
+                        self.gens[i] += 1;
+                        (ep, Ok(RolloutAck { model_id, model_type: "brute-force".into(), generation: self.gens[i] }))
+                    }
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn fleet_rollout_meets_quorum_with_one_replica_down() {
+        let mut fleet = FakeFleet { gens: vec![4, 4, 4], down: vec![false, true, false] };
+        let report = roll_into_fleet(&mut fleet, 11, Some(4), 2).unwrap();
+        assert_eq!(report.acks.len(), 2);
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].0, "r1");
+        assert_eq!(report.committed_generation(), 5);
+    }
+
+    #[test]
+    fn fleet_rollout_below_quorum_is_a_typed_error() {
+        let mut fleet = FakeFleet { gens: vec![0, 0, 0], down: vec![true, true, false] };
+        let err = roll_into_fleet(&mut fleet, 11, None, 2).unwrap_err();
+        assert!(matches!(err, CampaignError::Rollout(_)), "{err}");
+        assert!(err.to_string().contains("1/3"), "{err}");
+    }
+
+    #[test]
+    fn fleet_rollout_checks_monotonicity_per_replica() {
+        // one replica regressed its generation counter (restarted daemon)
+        let mut fleet = FakeFleet { gens: vec![9, 1, 9], down: vec![false, false, false] };
+        let err = roll_into_fleet(&mut fleet, 11, Some(9), 2).unwrap_err();
+        assert!(err.to_string().contains("r1"), "{err}");
+    }
+
+    #[test]
+    fn single_target_default_fans_out_to_itself() {
+        let mut t = FakeTarget { gen: 0, fail: false };
+        let report = roll_into_fleet(&mut t, 5, None, 1).unwrap();
+        assert_eq!(report.acks.len(), 1);
+        assert_eq!(report.committed_generation(), 1);
     }
 
     #[test]

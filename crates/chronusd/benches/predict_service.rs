@@ -10,7 +10,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use chronus::remote::PredictClient;
+use chronus::remote::{CallOptions, PredictClient};
 use chronusd::{PredictServer, PreparedModel, ServerConfig, StaticBackend};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use eco_sim_node::cpu::CpuConfig;
@@ -35,7 +35,8 @@ fn predict_service(c: &mut Criterion) {
     let addr = server.addr().to_string();
 
     // warm the registry so every benched request is a cache hit
-    PredictClient::new(addr.clone()).predict(SYSTEM_HASH, BINARY_HASH).unwrap();
+    let opts = CallOptions::default();
+    PredictClient::builder().endpoint(&addr).build().unwrap().predict(SYSTEM_HASH, BINARY_HASH, &opts).unwrap();
 
     const BATCH: u64 = 512;
     let mut group = c.benchmark_group("predict_service");
@@ -53,9 +54,10 @@ fn predict_service(c: &mut Criterion) {
                         let addr = addr.clone();
                         let per_client = BATCH / clients as u64;
                         s.spawn(move |_| {
-                            let mut client = PredictClient::new(addr);
+                            let mut client = PredictClient::builder().endpoint(addr).build().unwrap();
+                            let opts = CallOptions::default();
                             for _ in 0..per_client {
-                                let cfg = client.predict(SYSTEM_HASH, BINARY_HASH).expect("warm predict");
+                                let cfg = client.predict(SYSTEM_HASH, BINARY_HASH, &opts).expect("warm predict");
                                 criterion::black_box(cfg);
                             }
                         });
@@ -67,7 +69,7 @@ fn predict_service(c: &mut Criterion) {
     }
     group.finish();
 
-    let stats = PredictClient::new(addr).stats().unwrap();
+    let stats = PredictClient::builder().endpoint(addr).build().unwrap().stats().unwrap();
     println!(
         "daemon after bench: {} requests, {} hits / {} misses, latency p50 {} µs, p99 {} µs, max {} µs",
         stats.requests_total,

@@ -16,17 +16,21 @@
 //! Daemon-era commands extend the workflow:
 //!
 //! ```text
-//! chronus serve --addr 127.0.0.1:4517 --workers 4 --cache-cap 64
-//! chronus slurm-config --remote 127.0.0.1:4517 <SYSTEM_HASH> <BINARY_HASH>
-//! chronus stats --remote 127.0.0.1:4517
+//! chronus serve --addr 127.0.0.1:4517 --workers 4 --cache-cap 64 [--fleet 3]
+//! chronus slurm-config --remote 127.0.0.1:4517[,127.0.0.1:4518,...] <SYSTEM_HASH> <BINARY_HASH>
+//! chronus stats --remote 127.0.0.1:4517[,...] [--all-replicas]
 //! chronus trace job.sh [--user alice] [--remote 127.0.0.1:4517]
 //! ```
+//!
+//! Everywhere an address is accepted, a comma-separated list names a
+//! replicated fleet: the client routes each prediction key over a
+//! consistent-hash ring and fails over when a replica goes dark.
 //!
 //! The campaign engine automates the whole loop — adaptive sweep,
 //! journaled trials, model rebuild, hot rollout into a running daemon:
 //!
 //! ```text
-//! chronus campaign run [--plan halving|brute-force] [--nodes 4] [--rollout 127.0.0.1:4517]
+//! chronus campaign run [--plan halving|brute-force] [--nodes 4] [--rollout 127.0.0.1:4517[,...]] [--quorum N]
 //! chronus campaign status
 //! chronus campaign resume
 //! ```
@@ -51,11 +55,11 @@ use chronus::integrations::record_store::RecordStore;
 use chronus::integrations::storage::{EtcStorage, LocalBlobStore};
 use chronus::interfaces::{ApplicationRunner, LocalStorage, SystemInfoProvider};
 use chronus::presenter;
-use chronus::remote::{PredictClient, RemotePrediction};
+use chronus::remote::{CallOptions, PredictClient, RemotePrediction};
 use chronus::telemetry::{render_trace, Telemetry, TraceId};
 use chronusd::campaign::{
-    rebuild_model, roll_into, CampaignEngine, CampaignError, CampaignSpec, Journal, PlanSpec, RecordJournal,
-    RunOptions, TrialStatus,
+    rebuild_model, roll_into, roll_into_fleet, CampaignEngine, CampaignError, CampaignSpec, Journal, PlanSpec,
+    RecordJournal, RunOptions, TrialStatus,
 };
 use chronusd::{PredictServer, ServerConfig, StorageBackend};
 use eco_hpcg::perf_model::PerfModel;
@@ -78,24 +82,69 @@ fn parse_hash(s: &str) -> Option<u64> {
     }
 }
 
+/// Builds a client from a `--remote`/`--rollout` value: one `host:port`,
+/// or a comma-separated list for a replicated fleet.
+fn client_for(addrs: &str) -> PredictClient {
+    PredictClient::builder()
+        .endpoints(addrs.split(',').map(str::trim).filter(|a| !a.is_empty()))
+        .build()
+        .unwrap_or_else(|e| {
+            eprintln!("chronus: bad endpoint list '{addrs}': {e}");
+            std::process::exit(1);
+        })
+}
+
 /// `chronus serve`: run chronusd over this home's staged model until
-/// killed.
+/// killed. `--fleet N` starts N replicas on consecutive ports, each
+/// with its own identity (`r0`, `r1`, ...) stamped on `Stats` answers;
+/// point clients at the comma-separated list it prints.
 fn cmd_serve(home: &str, argv: &[&str]) -> ! {
-    let cfg = ServerConfig {
+    let base = ServerConfig {
         addr: flag_value(argv, "--addr").unwrap_or("127.0.0.1:4517").to_string(),
         workers: flag_value(argv, "--workers").and_then(|v| v.parse().ok()).unwrap_or(4),
         cache_cap: flag_value(argv, "--cache-cap").and_then(|v| v.parse().ok()).unwrap_or(64),
         ..ServerConfig::default()
     };
-    let backend = Arc::new(StorageBackend::new(Box::new(EtcStorage::new(home))));
-    let server = match PredictServer::start(cfg.clone(), backend) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("chronus serve: cannot bind {}: {e}", cfg.addr);
+    let fleet: usize = flag_value(argv, "--fleet").and_then(|v| v.parse().ok()).unwrap_or(1).max(1);
+    let (host, port) = match base.addr.rsplit_once(':').and_then(|(h, p)| p.parse::<u16>().ok().map(|p| (h, p))) {
+        Some(split) => split,
+        None => {
+            eprintln!("chronus serve: bad --addr '{}' (expected host:port)", base.addr);
             std::process::exit(1);
         }
     };
-    println!("chronusd listening on {} ({} workers, cache {})", server.addr(), cfg.workers, cfg.cache_cap);
+    let mut servers = Vec::with_capacity(fleet);
+    let mut endpoints = Vec::with_capacity(fleet);
+    for i in 0..fleet {
+        let cfg = ServerConfig {
+            // port 0 asks the OS for an ephemeral port per replica;
+            // otherwise replicas take consecutive ports from the base
+            addr: if port == 0 { format!("{host}:0") } else { format!("{host}:{}", port + i as u16) },
+            replica_id: if fleet > 1 { format!("r{i}") } else { String::new() },
+            ..base.clone()
+        };
+        let backend = Arc::new(StorageBackend::new(Box::new(EtcStorage::new(home))));
+        match PredictServer::start(cfg.clone(), backend) {
+            Ok(s) => {
+                println!(
+                    "chronusd{} listening on {} ({} workers, cache {})",
+                    if fleet > 1 { format!(" replica r{i}") } else { String::new() },
+                    s.addr(),
+                    cfg.workers,
+                    cfg.cache_cap
+                );
+                endpoints.push(s.addr().to_string());
+                servers.push(s);
+            }
+            Err(e) => {
+                eprintln!("chronus serve: cannot bind {}: {e}", cfg.addr);
+                std::process::exit(1);
+            }
+        }
+    }
+    if fleet > 1 {
+        println!("fleet endpoints: {}", endpoints.join(","));
+    }
     loop {
         std::thread::park();
     }
@@ -108,8 +157,8 @@ fn cmd_remote_config(addr: &str, argv: &[&str]) -> ! {
         eprintln!("chronus: usage: chronus slurm-config --remote ADDR SYSTEM_HASH BINARY_HASH");
         std::process::exit(1);
     };
-    let mut client = PredictClient::new(addr);
-    match client.predict(system_hash, binary_hash) {
+    let mut client = client_for(addr);
+    match client.predict(system_hash, binary_hash, &CallOptions::default()) {
         Ok(config) => {
             print!("{}", presenter::config_json(&config));
             std::process::exit(0);
@@ -121,13 +170,31 @@ fn cmd_remote_config(addr: &str, argv: &[&str]) -> ! {
     }
 }
 
-/// `chronus stats --remote ADDR`: fetch and render a daemon's counters.
+/// `chronus stats --remote ADDR[,ADDR...] [--all-replicas]`: fetch and
+/// render daemon counters. With several endpoints (or `--all-replicas`)
+/// every replica is queried and rendered in turn; a replica that cannot
+/// answer reports its error without hiding the others.
 fn cmd_stats(argv: &[&str]) -> ! {
     let Some(addr) = flag_value(argv, "--remote") else {
-        eprintln!("chronus: usage: chronus stats --remote ADDR");
+        eprintln!("chronus: usage: chronus stats --remote ADDR[,ADDR...] [--all-replicas]");
         std::process::exit(1);
     };
-    let mut client = PredictClient::new(addr);
+    let mut client = client_for(addr);
+    let all = argv.contains(&"--all-replicas") || client.replicas_total() > 1;
+    if all {
+        let mut failed = false;
+        for (endpoint, outcome) in client.stats_all() {
+            println!("== {endpoint} ==");
+            match outcome {
+                Ok(snap) => print!("{}", presenter::stats_table(&snap)),
+                Err(e) => {
+                    failed = true;
+                    println!("unreachable: {e}");
+                }
+            }
+        }
+        std::process::exit(if failed { 1 } else { 0 });
+    }
     match client.stats() {
         Ok(snap) => {
             print!("{}", presenter::stats_table(&snap));
@@ -173,7 +240,7 @@ fn cmd_trace(
     eco.register_binary(binary_path, binary_contents);
     eco.set_telemetry(Arc::clone(&telemetry));
     if let Some(addr) = flag_value(argv, "--remote") {
-        let source = Arc::new(RemotePrediction::new(addr));
+        let source = Arc::new(RemotePrediction::from_client(client_for(addr)));
         source.set_telemetry(Arc::clone(&telemetry));
         eco.set_source(source);
     }
@@ -247,8 +314,8 @@ fn campaign_status(journal: &RecordJournal) -> Result<String, String> {
 /// `chronus campaign run|resume|status`: the adaptive benchmark campaign.
 fn cmd_campaign(home: &str, scale: f64, argv: &[&str]) -> Result<String, String> {
     const USAGE: &str = "usage: chronus campaign run [--plan halving|brute-force] [--seed N] \
-                         [--nodes N] [--max-trials N] [--model TYPE] [--rollout ADDR]\n       \
-                         chronus campaign resume [--nodes N] [--max-trials N] [--model TYPE] [--rollout ADDR]\n       \
+                         [--nodes N] [--max-trials N] [--model TYPE] [--rollout ADDR[,ADDR...]] [--quorum N]\n       \
+                         chronus campaign resume [--nodes N] [--max-trials N] [--model TYPE] [--rollout ADDR[,ADDR...]]\n       \
                          chronus campaign status\n";
     let sub = *argv.first().ok_or_else(|| USAGE.to_string())?;
     std::fs::create_dir_all(format!("{home}/campaign")).map_err(|e| e.to_string())?;
@@ -312,16 +379,41 @@ fn cmd_campaign(home: &str, scale: f64, argv: &[&str]) -> Result<String, String>
     out.push_str(&format!("model {} ({}) staged for serving\n", staged.model_id, staged.model_type));
 
     if let Some(addr) = flag_value(argv, "--rollout") {
-        let mut client = PredictClient::new(addr);
-        match roll_into(&mut client, staged.model_id, None) {
-            Ok(ack) => out.push_str(&format!(
-                "hot rollout into {addr}: model {} committed at generation {}\n",
-                ack.model_id, ack.generation
-            )),
-            Err(e) => out.push_str(&format!(
-                "rollout into {addr} failed: {e}\n\
-                 (the daemon keeps serving its previous model; retry with `chronus campaign run --rollout {addr}`)\n"
-            )),
+        let mut client = client_for(addr);
+        if client.replicas_total() > 1 {
+            // fleet rollout: fan out to every replica, demand a quorum
+            // (default: majority) before declaring the model live
+            let quorum =
+                flag_value(argv, "--quorum").and_then(|v| v.parse().ok()).unwrap_or(client.replicas_total() / 2 + 1);
+            match roll_into_fleet(&mut client, staged.model_id, None, quorum) {
+                Ok(report) => {
+                    out.push_str(&format!(
+                        "fleet rollout into {addr}: model {} committed on {}/{} replicas at generation {}\n",
+                        staged.model_id,
+                        report.acks.len(),
+                        report.acks.len() + report.failures.len(),
+                        report.committed_generation()
+                    ));
+                    for (ep, e) in &report.failures {
+                        out.push_str(&format!("  replica {ep} did not commit: {e}\n"));
+                    }
+                }
+                Err(e) => out.push_str(&format!(
+                    "fleet rollout into {addr} failed: {e}\n\
+                     (committed replicas keep the new model; retry with `chronus campaign resume --rollout {addr}`)\n"
+                )),
+            }
+        } else {
+            match roll_into(&mut client, staged.model_id, None) {
+                Ok(ack) => out.push_str(&format!(
+                    "hot rollout into {addr}: model {} committed at generation {}\n",
+                    ack.model_id, ack.generation
+                )),
+                Err(e) => out.push_str(&format!(
+                    "rollout into {addr} failed: {e}\n\
+                     (the daemon keeps serving its previous model; retry with `chronus campaign run --rollout {addr}`)\n"
+                )),
+            }
         }
     }
     Ok(out)

@@ -40,6 +40,9 @@ pub struct ServerConfig {
     pub cache_shards: usize,
     /// The hint sent with `Busy` rejections.
     pub retry_after_ms: u64,
+    /// This daemon's fleet identity, stamped on `Stats` answers
+    /// (empty = unnamed single daemon).
+    pub replica_id: String,
 }
 
 impl Default for ServerConfig {
@@ -51,6 +54,7 @@ impl Default for ServerConfig {
             cache_cap: 64,
             cache_shards: 8,
             retry_after_ms: 20,
+            replica_id: String::new(),
         }
     }
 }
@@ -91,7 +95,7 @@ impl PredictServer {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let workers_n = cfg.workers.max(1);
-        let service = PredictService::new(cfg.cache_shards, cfg.cache_cap, backend);
+        let service = PredictService::new(cfg.cache_shards, cfg.cache_cap, backend).with_replica(cfg.replica_id);
         let queue_wait = service.telemetry().histogram("daemon.queue_wait_us");
         let ctx = Arc::new(Ctx { service, queue_cap: cfg.queue_cap.max(1), workers: workers_n, queue_wait });
         let (tx, rx) = bounded::<(Instant, TcpStream)>(cfg.queue_cap.max(1));

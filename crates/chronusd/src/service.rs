@@ -60,6 +60,7 @@ pub struct PredictService {
     clock: Arc<dyn ServiceClock>,
     telemetry: Arc<Telemetry>,
     shutdown: AtomicBool,
+    replica: String,
 }
 
 impl PredictService {
@@ -98,7 +99,21 @@ impl PredictService {
             clock: telemetry.clock(),
             telemetry,
             shutdown: AtomicBool::new(false),
+            replica: String::new(),
         }
+    }
+
+    /// Names this daemon within a fleet; the identity is stamped on
+    /// every `Stats` answer, which is how clients and operators tell
+    /// replicas apart without any daemon-to-daemon gossip.
+    pub fn with_replica(mut self, replica: impl Into<String>) -> PredictService {
+        self.replica = replica.into();
+        self
+    }
+
+    /// This daemon's fleet identity (empty when unnamed).
+    pub fn replica(&self) -> &str {
+        &self.replica
     }
 
     /// The model registry (tests, preload-at-boot).
@@ -128,14 +143,16 @@ impl PredictService {
 
     /// A counters snapshot; queue gauges come from the transport.
     pub fn snapshot(&self, gauges: QueueGauges) -> StatsSnapshot {
-        self.stats.snapshot(
+        let mut snap = self.stats.snapshot(
             gauges.depth,
             gauges.capacity,
             gauges.workers,
             self.registry.len() as u64,
             self.registry.evictions(),
             self.registry.generation(),
-        )
+        );
+        snap.replica = self.replica.clone();
+        snap
     }
 
     /// Handles one complete frame payload end to end: counts it,

@@ -123,6 +123,7 @@ impl ServerStats {
         model_generation: u64,
     ) -> StatsSnapshot {
         StatsSnapshot {
+            replica: String::new(), // stamped by the service, which knows its fleet identity
             requests_total: self.requests_total.get(),
             predictions: self.predictions.get(),
             cache_hits: self.cache_hits.get(),

@@ -8,7 +8,7 @@
 use chronus::application::Chronus;
 use chronus::integrations::record_store::RecordStore;
 use chronus::integrations::storage::{EtcStorage, LocalBlobStore};
-use chronus::remote::PredictClient;
+use chronus::remote::{CallOptions, PredictClient};
 use chronusd::campaign::{
     rebuild_model, roll_into, CampaignEngine, CampaignSpec, PlanSpec, RecordJournal, RunOptions,
 };
@@ -70,14 +70,14 @@ fn campaign_model_rolls_hot_into_a_live_daemon() {
         Arc::new(StorageBackend::new(Box::new(EtcStorage::new(&root)))),
     )
     .unwrap();
-    let mut client = PredictClient::new(server.addr().to_string());
+    let mut client = PredictClient::builder().endpoint(server.addr().to_string()).build().unwrap();
     let ack = roll_into(&mut client, staged.model_id, None).unwrap();
     assert_eq!(ack.model_id, staged.model_id);
     assert_eq!(ack.model_type, "brute-force");
     assert_eq!(ack.generation, 1, "first committed rollout generation");
 
     // 4. the daemon now serves the campaign's optimum
-    let predicted = client.predict(system_hash, outcome.binary_hash).unwrap();
+    let predicted = client.predict(system_hash, outcome.binary_hash, &CallOptions::default()).unwrap();
     assert_eq!(predicted, outcome.best);
 
     // generation accounting is visible in stats and nothing stale served
@@ -96,7 +96,7 @@ fn campaign_model_rolls_hot_into_a_live_daemon() {
 fn rollout_against_a_dead_daemon_is_a_typed_error_and_retry_succeeds() {
     let root = home("dead");
     // a model staged but nothing listening yet
-    let mut dead = PredictClient::new("127.0.0.1:1".to_string());
+    let mut dead = PredictClient::builder().endpoint("127.0.0.1:1").build().unwrap();
     let err = roll_into(&mut dead, 1, None).unwrap_err();
     assert!(
         matches!(err, chronusd::campaign::CampaignError::Rollout(_)),
@@ -131,7 +131,7 @@ fn rollout_against_a_dead_daemon_is_a_typed_error_and_retry_succeeds() {
         Arc::new(StorageBackend::new(Box::new(EtcStorage::new(&root)))),
     )
     .unwrap();
-    let mut client = PredictClient::new(server.addr().to_string());
+    let mut client = PredictClient::builder().endpoint(server.addr().to_string()).build().unwrap();
     let ack = roll_into(&mut client, staged.model_id, None).unwrap();
     assert_eq!(ack.generation, 1);
     server.shutdown();

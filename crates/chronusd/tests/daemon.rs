@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use chronus::remote::{
-    read_frame, write_frame, ClientConfig, PredictClient, RemoteError, Request, RequestFrame, Response,
+    read_frame, write_frame, CallOptions, PredictClient, RemoteError, Request, RequestFrame, Response,
 };
 use chronusd::{PredictServer, PreparedModel, ServerConfig, StaticBackend};
 use eco_sim_node::cpu::CpuConfig;
@@ -28,8 +28,11 @@ fn ephemeral(cfg: ServerConfig, backend: StaticBackend) -> PredictServer {
 }
 
 fn client(server: &PredictServer) -> PredictClient {
-    PredictClient::new(server.addr().to_string())
+    PredictClient::builder().endpoint(server.addr().to_string()).build().unwrap()
 }
+
+/// Shorthand for the common no-trace, no-deadline call.
+const OPTS: &CallOptions = &CallOptions { trace: None, deadline_ms: None };
 
 #[test]
 fn ping_predict_and_stats_round_trip() {
@@ -39,8 +42,8 @@ fn ping_predict_and_stats_round_trip() {
     assert!(c.ping().unwrap() < Duration::from_secs(1));
 
     // first predict resolves through the backend, second hits the cache
-    assert_eq!(c.predict(10, 20).unwrap(), CpuConfig::new(32, 2_200_000, 1));
-    assert_eq!(c.predict(10, 20).unwrap(), CpuConfig::new(32, 2_200_000, 1));
+    assert_eq!(c.predict(10, 20, OPTS).unwrap(), CpuConfig::new(32, 2_200_000, 1));
+    assert_eq!(c.predict(10, 20, OPTS).unwrap(), CpuConfig::new(32, 2_200_000, 1));
 
     let stats = c.stats().unwrap();
     assert_eq!(stats.predictions, 2);
@@ -59,24 +62,25 @@ fn preload_stages_the_answer_ahead_of_submissions() {
     let server = ephemeral(ServerConfig::default(), StaticBackend::new(vec![model(7, 11, 22, 16)]));
     let mut c = client(&server);
 
-    let (model_type, sys, bin) = c.preload(7).unwrap();
-    assert_eq!(model_type, "brute-force");
-    assert_eq!((sys, bin), (11, 22));
+    let ack = c.preload(7, OPTS).unwrap();
+    assert_eq!(ack.model_type, "brute-force");
+    assert_eq!((ack.system_hash, ack.binary_hash), (11, 22));
+    assert_eq!(ack.model_id, 7);
 
-    assert_eq!(c.predict(11, 22).unwrap(), CpuConfig::new(16, 2_200_000, 1));
+    assert_eq!(c.predict(11, 22, OPTS).unwrap(), CpuConfig::new(16, 2_200_000, 1));
     let stats = c.stats().unwrap();
     assert_eq!(stats.cache_hits, 1, "preloaded model answers without a backend trip");
     assert_eq!(stats.cache_misses, 0);
 
     // preloading an unknown model is a server-side error, not a hang
-    assert!(matches!(c.preload(99).unwrap_err(), RemoteError::Server(_)));
+    assert!(matches!(c.preload(99, OPTS).unwrap_err(), RemoteError::Server(_)));
 }
 
 #[test]
 fn unknown_key_is_an_explicit_miss() {
     let server = ephemeral(ServerConfig::default(), StaticBackend::new(vec![model(1, 10, 20, 32)]));
     let mut c = client(&server);
-    match c.predict(123, 456).unwrap_err() {
+    match c.predict(123, 456, OPTS).unwrap_err() {
         RemoteError::Miss { system_hash, binary_hash } => assert_eq!((system_hash, binary_hash), (123, 456)),
         other => panic!("expected Miss, got {other}"),
     }
@@ -99,8 +103,7 @@ fn saturated_daemon_answers_busy_with_a_retry_hint() {
     std::thread::sleep(Duration::from_millis(100));
 
     // … and the next connection must bounce with Busy.
-    let cfg = ClientConfig { max_retries: 0, ..ClientConfig::default() };
-    let mut bounced = PredictClient::with_config(addr.to_string(), cfg);
+    let mut bounced = PredictClient::builder().endpoint(addr.to_string()).max_retries(0).build().unwrap();
     match bounced.ping().unwrap_err() {
         RemoteError::Busy { retry_after_ms, attempts } => {
             assert_eq!(retry_after_ms, 7, "the server's configured hint travels back");
@@ -116,9 +119,8 @@ fn saturated_daemon_answers_busy_with_a_retry_hint() {
 
     // a client WITH retries rides out the burst: once the burn is done
     // and the held connections are gone, a retry gets through.
-    let patient_cfg = ClientConfig { max_retries: 20, ..ClientConfig::default() };
-    let mut patient = PredictClient::with_config(addr.to_string(), patient_cfg);
-    assert_eq!(patient.predict(10, 20).unwrap(), CpuConfig::new(32, 2_200_000, 1));
+    let mut patient = PredictClient::builder().endpoint(addr.to_string()).max_retries(16).build().unwrap();
+    assert_eq!(patient.predict(10, 20, OPTS).unwrap(), CpuConfig::new(32, 2_200_000, 1));
 
     assert!(server.snapshot().busy_rejections >= 1);
 }
@@ -186,13 +188,13 @@ fn registry_pressure_evicts_but_keeps_answering() {
     let mut c = client(&server);
 
     for i in 0..4u64 {
-        assert_eq!(c.predict(100 + i, 200).unwrap(), CpuConfig::new(32, 2_200_000, 1));
+        assert_eq!(c.predict(100 + i, 200, OPTS).unwrap(), CpuConfig::new(32, 2_200_000, 1));
     }
     let stats = c.stats().unwrap();
     assert!(stats.evictions >= 2, "{stats:?}");
     assert!(stats.models_resident <= 2, "{stats:?}");
     // evicted keys still answer (via the backend) rather than missing
-    assert_eq!(c.predict(100, 200).unwrap(), CpuConfig::new(32, 2_200_000, 1));
+    assert_eq!(c.predict(100, 200, OPTS).unwrap(), CpuConfig::new(32, 2_200_000, 1));
 }
 
 #[test]
@@ -207,10 +209,10 @@ fn concurrent_clients_all_get_correct_answers() {
         for t in 0..8usize {
             let addr = addr.clone();
             s.spawn(move |_| {
-                let mut c = PredictClient::new(addr);
+                let mut c = PredictClient::builder().endpoint(addr).build().unwrap();
                 for i in 0..50usize {
                     let (sys, bin, cores) = if (t + i) % 2 == 0 { (10, 20, 32) } else { (30, 40, 16) };
-                    let cfg = c.predict(sys, bin).expect("concurrent predict");
+                    let cfg = c.predict(sys, bin, OPTS).expect("concurrent predict");
                     assert_eq!(cfg.cores, cores);
                 }
             });
@@ -227,12 +229,12 @@ fn concurrent_clients_all_get_correct_answers() {
 fn warm_cache_throughput_smoke() {
     let server = ephemeral(ServerConfig::default(), StaticBackend::new(vec![model(1, 10, 20, 32)]));
     let mut c = client(&server);
-    c.predict(10, 20).unwrap(); // warm the registry
+    c.predict(10, 20, OPTS).unwrap(); // warm the registry
 
     let n = 2_000u32;
     let started = Instant::now();
     for _ in 0..n {
-        c.predict(10, 20).unwrap();
+        c.predict(10, 20, OPTS).unwrap();
     }
     let elapsed = started.elapsed();
     let rate = f64::from(n) / elapsed.as_secs_f64();

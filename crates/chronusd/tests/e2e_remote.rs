@@ -16,7 +16,7 @@ use chronus::integrations::monitoring::{IpmiService, LscpuInfo};
 use chronus::integrations::record_store::RecordStore;
 use chronus::integrations::storage::{EtcStorage, LocalBlobStore};
 use chronus::interfaces::ApplicationRunner;
-use chronus::remote::{ClientConfig, PredictClient, RemotePrediction};
+use chronus::remote::{CallOptions, PredictClient, RemotePrediction};
 use chronusd::{PredictServer, PreparedModel, ServerConfig, StaticBackend, StorageBackend};
 use eco_hpcg::perf_model::PerfModel;
 use eco_hpcg::workload::{HpcgWorkload, Workload};
@@ -99,20 +99,21 @@ fn submission_is_rewritten_through_the_daemon() {
     let addr = server.addr().to_string();
 
     // pre-load so the submit path is a pure cache hit
-    let mut admin = PredictClient::new(addr.clone());
-    let (model_type, sys, bin) = admin.preload(model_id).unwrap();
-    assert_eq!(model_type, "brute-force");
+    let mut admin = PredictClient::builder().endpoint(addr.clone()).build().unwrap();
+    let ack = admin.preload(model_id, &CallOptions::default()).unwrap();
+    assert_eq!(ack.model_type, "brute-force");
 
     // the plugin predicts via the daemon, with a submit-path-sized budget
-    let source_cfg = ClientConfig {
-        connect_timeout: Duration::from_millis(100),
-        read_timeout: Duration::from_millis(100),
-        max_retries: 1,
-        deadline_ms: Some(50),
-        ..ClientConfig::default()
-    };
+    let source = PredictClient::builder()
+        .endpoint(addr)
+        .connect_timeout(Duration::from_millis(100))
+        .read_timeout(Duration::from_millis(100))
+        .max_retries(1)
+        .deadline_ms(50)
+        .build()
+        .unwrap();
     let mut plugin = eco_plugin(&w);
-    plugin.set_source(Arc::new(RemotePrediction::with_config(addr, source_cfg)));
+    plugin.set_source(Arc::new(RemotePrediction::from_client(source)));
     assert!(plugin.source_description().contains("chronusd"));
     w.cluster.register_plugin(Box::new(plugin));
 
@@ -136,7 +137,11 @@ fn submission_is_rewritten_through_the_daemon() {
     let stats = admin.stats().unwrap();
     assert!(stats.predictions >= 1, "{stats:?}");
     assert_eq!(stats.cache_misses, 0, "preload made the submit a pure hit: {stats:?}");
-    assert_eq!((sys, bin), (stats_key(&w)), "daemon served the identity the plugin asked for");
+    assert_eq!(
+        (ack.system_hash, ack.binary_hash),
+        (stats_key(&w)),
+        "daemon served the identity the plugin asked for"
+    );
 }
 
 fn stats_key(w: &World) -> (u64, u64) {
@@ -154,15 +159,16 @@ fn dead_daemon_falls_back_to_untouched_submission() {
         let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
         l.local_addr().unwrap().port()
     };
-    let source_cfg = ClientConfig {
-        connect_timeout: Duration::from_millis(50),
-        read_timeout: Duration::from_millis(50),
-        max_retries: 1,
-        backoff: Duration::from_millis(2),
-        ..ClientConfig::default()
-    };
+    let source = PredictClient::builder()
+        .endpoint(format!("127.0.0.1:{dead_port}"))
+        .connect_timeout(Duration::from_millis(50))
+        .read_timeout(Duration::from_millis(50))
+        .max_retries(1)
+        .backoff(Duration::from_millis(2))
+        .build()
+        .unwrap();
     let mut plugin = eco_plugin(&w);
-    plugin.set_source(Arc::new(RemotePrediction::with_config(format!("127.0.0.1:{dead_port}"), source_cfg)));
+    plugin.set_source(Arc::new(RemotePrediction::from_client(source)));
     w.cluster.register_plugin(Box::new(plugin));
 
     // the job is accepted (not rejected, not timed out) and untouched
@@ -202,14 +208,15 @@ fn slow_daemon_times_out_and_falls_back() {
     )
     .unwrap();
 
-    let source_cfg = ClientConfig {
-        connect_timeout: Duration::from_millis(50),
-        read_timeout: Duration::from_millis(30),
-        max_retries: 0,
-        ..ClientConfig::default()
-    };
+    let source = PredictClient::builder()
+        .endpoint(server.addr().to_string())
+        .connect_timeout(Duration::from_millis(50))
+        .read_timeout(Duration::from_millis(30))
+        .max_retries(0)
+        .build()
+        .unwrap();
     let mut plugin = eco_plugin(&w);
-    plugin.set_source(Arc::new(RemotePrediction::with_config(server.addr().to_string(), source_cfg)));
+    plugin.set_source(Arc::new(RemotePrediction::from_client(source)));
     w.cluster.register_plugin(Box::new(plugin));
 
     let submitted = Instant::now();

@@ -51,7 +51,9 @@ pub use interfaces::{
 };
 pub use logging::{ChronusLog, LogEntry};
 pub use optimizers::{BruteForceOptimizer, LinearRegressionOptimizer, ModelFactory, RandomTreeOptimizer};
+#[allow(deprecated)]
+pub use remote::ClientConfig;
 pub use remote::{
-    ClientConfig, LocalPrediction, PredictClient, PredictionSource, RemoteError, RemotePrediction, Request,
-    RequestFrame, Response, StatsSnapshot,
+    CallOptions, ClientBuildError, ClientBuilder, FleetPreload, LocalPrediction, PredictClient, PredictionSource,
+    PreloadAck, RemoteError, RemotePrediction, ReplicaStatus, Request, RequestFrame, Response, StatsSnapshot,
 };

@@ -81,8 +81,13 @@ pub fn benchmarks_table(benchmarks: &[Benchmark]) -> String {
 /// percentiles the telemetry histogram tracks.
 pub fn stats_table(s: &StatsSnapshot) -> String {
     let hit_rate = if s.predictions > 0 { 100.0 * s.cache_hits as f64 / s.predictions as f64 } else { 0.0 };
+    let title = if s.replica.is_empty() {
+        "chronusd statistics".to_string()
+    } else {
+        format!("chronusd statistics (replica {})", s.replica)
+    };
     format!(
-        "chronusd statistics\n\
+        "{title}\n\
          requests            {}\n\
          predictions         {} ({} hits / {} misses, {hit_rate:.1}% hit rate)\n\
          busy rejections     {}\n\

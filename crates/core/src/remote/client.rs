@@ -1,0 +1,956 @@
+//! The blocking chronusd client: one or many replicas behind a
+//! consistent-hash ring with health-checked failover.
+//!
+//! ## Fleet mode
+//!
+//! A client built with several endpoints routes each `Predict` by
+//! [`predict_key`]`(system_hash, binary_hash)` on a [`HashRing`], so
+//! every client in the cluster sends the same key to the same replica
+//! and each daemon's registry stays hot for its share of the keyspace.
+//! Transport failures fail over to the next replica in ring order
+//! without sleeping; a replica that fails `down_after` consecutive
+//! exchanges leaves the ring (negative-result caching: a dead replica
+//! then costs one probe per cooldown window, not one timeout per
+//! submission). Probes are plain `Ping`s; a probe that answers `Pong`
+//! triggers rejoin, and a rejoining replica is first re-preloaded with
+//! every fleet-committed model so it never re-enters the ring behind
+//! the committed rollout state.
+//!
+//! With a single endpoint the ring is bypassed entirely and the retry
+//! loop is byte-for-byte the original single-daemon state machine, so
+//! the warm path costs nothing extra.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use eco_sim_node::cpu::CpuConfig;
+
+use super::ring::{predict_key, HashRing};
+use super::{
+    read_frame, write_frame, Connection, PreloadAck, RemoteError, Request, RequestFrame, Response, StatsSnapshot,
+    TcpTransport, Transport,
+};
+use crate::telemetry::{Counter, Telemetry, TraceContext};
+
+/// Per-call options for [`PredictClient`] RPCs: the caller's trace
+/// context and an optional per-call deadline override.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CallOptions {
+    /// Propagated trace context; each attempt opens a `client/attempt`
+    /// span under it and stamps that span's context on the wire frame.
+    pub trace: Option<TraceContext>,
+    /// Deadline budget for this call, overriding the client-level
+    /// default from [`ClientBuilder::deadline_ms`] when set.
+    pub deadline_ms: Option<u64>,
+}
+
+impl CallOptions {
+    /// Options carrying only a trace context (the common case).
+    pub fn traced(trace: Option<TraceContext>) -> CallOptions {
+        CallOptions { trace, deadline_ms: None }
+    }
+
+    /// The same options with a per-call deadline budget.
+    pub fn deadline(mut self, ms: u64) -> CallOptions {
+        self.deadline_ms = Some(ms);
+        self
+    }
+}
+
+/// Client knobs. The defaults keep a full worst-case exchange (connect,
+/// retries, backoff) comfortably inside the plugin's 100 ms budget.
+#[deprecated(note = "configure via PredictClient::builder() instead")]
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// TCP connect timeout.
+    pub connect_timeout: Duration,
+    /// Per-response read timeout.
+    pub read_timeout: Duration,
+    /// Additional attempts after the first (0 = fail fast).
+    pub max_retries: u32,
+    /// Base backoff between attempts; grows linearly per attempt.
+    pub backoff: Duration,
+    /// Deadline budget stamped on every request frame, if any.
+    pub deadline_ms: Option<u64>,
+}
+
+#[allow(deprecated)]
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_millis(200),
+            read_timeout: Duration::from_millis(500),
+            max_retries: 2,
+            backoff: Duration::from_millis(10),
+            deadline_ms: None,
+        }
+    }
+}
+
+/// Why [`ClientBuilder::build`] refused a configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientBuildError {
+    /// No endpoint or transport was supplied.
+    NoEndpoints,
+    /// A timeout knob was zero (named in the payload).
+    ZeroTimeout(&'static str),
+    /// `max_retries` above the sanity bound (16).
+    RetriesOutOfRange(u32),
+    /// `vnodes` outside `1..=1024`.
+    VnodesOutOfRange(u32),
+    /// `down_after` must be at least 1.
+    ZeroDownAfter,
+}
+
+impl std::fmt::Display for ClientBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientBuildError::NoEndpoints => write!(f, "client needs at least one endpoint or transport"),
+            ClientBuildError::ZeroTimeout(which) => write!(f, "{which} timeout must be non-zero"),
+            ClientBuildError::RetriesOutOfRange(n) => write!(f, "max_retries {n} exceeds the sanity bound of 16"),
+            ClientBuildError::VnodesOutOfRange(n) => write!(f, "vnodes {n} outside 1..=1024"),
+            ClientBuildError::ZeroDownAfter => write!(f, "down_after must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for ClientBuildError {}
+
+enum Endpoint {
+    Addr(String),
+    Transport(Box<dyn Transport>),
+}
+
+/// Builds a [`PredictClient`], validating every knob up front. This is
+/// the only way to construct a fleet-mode (multi-endpoint) client.
+///
+/// ```no_run
+/// use chronus::remote::PredictClient;
+/// let client = PredictClient::builder()
+///     .endpoints(["10.0.0.1:4117", "10.0.0.2:4117", "10.0.0.3:4117"])
+///     .max_retries(2)
+///     .build()
+///     .expect("valid config");
+/// ```
+pub struct ClientBuilder {
+    endpoints: Vec<Endpoint>,
+    connect_timeout: Duration,
+    read_timeout: Duration,
+    max_retries: u32,
+    backoff: Duration,
+    deadline_ms: Option<u64>,
+    vnodes: u32,
+    down_after: u32,
+    probe_cooldown: u32,
+}
+
+impl Default for ClientBuilder {
+    fn default() -> Self {
+        ClientBuilder {
+            endpoints: Vec::new(),
+            connect_timeout: Duration::from_millis(200),
+            read_timeout: Duration::from_millis(500),
+            max_retries: 2,
+            backoff: Duration::from_millis(10),
+            deadline_ms: None,
+            vnodes: 64,
+            down_after: 2,
+            probe_cooldown: 16,
+        }
+    }
+}
+
+impl ClientBuilder {
+    /// Adds one TCP endpoint (`host:port`). Repeatable; two or more
+    /// endpoints make a fleet-mode client.
+    pub fn endpoint(mut self, addr: impl Into<String>) -> Self {
+        self.endpoints.push(Endpoint::Addr(addr.into()));
+        self
+    }
+
+    /// Adds several TCP endpoints at once.
+    pub fn endpoints<I, S>(mut self, addrs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        for a in addrs {
+            self.endpoints.push(Endpoint::Addr(a.into()));
+        }
+        self
+    }
+
+    /// Adds a replica reached over an arbitrary [`Transport`]
+    /// (in-memory, fault-injecting, ...). Repeatable, and mixable with
+    /// [`ClientBuilder::endpoint`].
+    pub fn transport(mut self, transport: Box<dyn Transport>) -> Self {
+        self.endpoints.push(Endpoint::Transport(transport));
+        self
+    }
+
+    /// TCP connect timeout (default 200 ms).
+    pub fn connect_timeout(mut self, d: Duration) -> Self {
+        self.connect_timeout = d;
+        self
+    }
+
+    /// Per-response read timeout (default 500 ms).
+    pub fn read_timeout(mut self, d: Duration) -> Self {
+        self.read_timeout = d;
+        self
+    }
+
+    /// Additional attempts after the first (default 2; 0 = fail fast).
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.max_retries = n;
+        self
+    }
+
+    /// Base backoff between attempts; grows linearly (default 10 ms).
+    pub fn backoff(mut self, d: Duration) -> Self {
+        self.backoff = d;
+        self
+    }
+
+    /// Deadline budget stamped on every request frame (default: none).
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
+    /// Ring points per replica (default 64).
+    pub fn vnodes(mut self, n: u32) -> Self {
+        self.vnodes = n;
+        self
+    }
+
+    /// Consecutive transport failures before a replica leaves the ring
+    /// (default 2). The last in-ring replica never leaves.
+    pub fn down_after(mut self, n: u32) -> Self {
+        self.down_after = n;
+        self
+    }
+
+    /// Requests to wait between probes of an out-of-ring replica
+    /// (default 16). Each probe is one `Ping`, so a dead replica costs
+    /// one timeout per window instead of one per submission.
+    pub fn probe_cooldown(mut self, n: u32) -> Self {
+        self.probe_cooldown = n;
+        self
+    }
+
+    /// Validates the configuration and constructs the client. Nothing
+    /// connects yet — the first RPC does.
+    pub fn build(self) -> Result<PredictClient, ClientBuildError> {
+        if self.endpoints.is_empty() {
+            return Err(ClientBuildError::NoEndpoints);
+        }
+        if self.connect_timeout.is_zero() {
+            return Err(ClientBuildError::ZeroTimeout("connect"));
+        }
+        if self.read_timeout.is_zero() {
+            return Err(ClientBuildError::ZeroTimeout("read"));
+        }
+        if self.max_retries > 16 {
+            return Err(ClientBuildError::RetriesOutOfRange(self.max_retries));
+        }
+        if self.vnodes == 0 || self.vnodes > 1024 {
+            return Err(ClientBuildError::VnodesOutOfRange(self.vnodes));
+        }
+        if self.down_after == 0 {
+            return Err(ClientBuildError::ZeroDownAfter);
+        }
+        let replicas: Vec<Replica> = self
+            .endpoints
+            .into_iter()
+            .map(|e| {
+                let transport: Box<dyn Transport> = match e {
+                    Endpoint::Addr(addr) => {
+                        Box::new(TcpTransport::new(addr, self.connect_timeout, self.read_timeout))
+                    }
+                    Endpoint::Transport(t) => t,
+                };
+                Replica {
+                    desc: transport.describe(),
+                    transport,
+                    conn: None,
+                    in_ring: true,
+                    consecutive_failures: 0,
+                    probe_in: 0,
+                    generation: 0,
+                }
+            })
+            .collect();
+        let mut ring = HashRing::new(self.vnodes);
+        ring.rebuild(0..replicas.len() as u32);
+        Ok(PredictClient {
+            replicas,
+            ring,
+            knobs: Knobs {
+                max_retries: self.max_retries,
+                backoff: self.backoff,
+                deadline_ms: self.deadline_ms,
+                down_after: self.down_after,
+                probe_cooldown: self.probe_cooldown,
+            },
+            tel: None,
+            rolled_models: Vec::new(),
+            rejoining: false,
+        })
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Knobs {
+    max_retries: u32,
+    backoff: Duration,
+    deadline_ms: Option<u64>,
+    down_after: u32,
+    probe_cooldown: u32,
+}
+
+struct Replica {
+    desc: String,
+    transport: Box<dyn Transport>,
+    conn: Option<Box<dyn Connection>>,
+    in_ring: bool,
+    consecutive_failures: u32,
+    /// Requests until the next probe while out of the ring.
+    probe_in: u32,
+    /// Last rollout generation this replica acknowledged to us.
+    generation: u64,
+}
+
+/// One replica's health and rollout state, as the client sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicaStatus {
+    /// The replica's endpoint description.
+    pub endpoint: String,
+    /// Whether the replica is currently on the routing ring.
+    pub in_ring: bool,
+    /// The last rollout generation it acknowledged (0 = none seen).
+    pub generation: u64,
+}
+
+/// Per-replica outcome of a fleet-wide model rollout
+/// ([`PredictClient::preload_detailed`]).
+#[derive(Debug)]
+pub struct FleetPreload {
+    /// Replicas that committed the model, with their acknowledgements.
+    pub acks: Vec<(String, PreloadAck)>,
+    /// Replicas that failed, with the error each one produced.
+    pub failures: Vec<(String, RemoteError)>,
+}
+
+/// A blocking client for one chronusd daemon or a fleet of replicas.
+/// Holds one persistent connection per replica, reconnecting lazily
+/// after any failure; every RPC retries a bounded number of times with
+/// linear backoff, honouring the daemon's `Busy { retry_after_ms }`
+/// hint and failing over between replicas in ring order. All waiting
+/// goes through each replica's [`Transport`], so a simulated transport
+/// sees every back-off.
+pub struct PredictClient {
+    replicas: Vec<Replica>,
+    ring: HashRing,
+    knobs: Knobs,
+    tel: Option<ClientTelemetry>,
+    /// Model ids committed fleet-wide, in rollout order; replayed into
+    /// any replica that rejoins the ring.
+    rolled_models: Vec<i64>,
+    /// Re-entrancy guard: rejoin replays preloads whose own successes
+    /// must not recursively trigger another rejoin.
+    rejoining: bool,
+}
+
+/// The client's cached telemetry handles: counter lookups happen once,
+/// at [`PredictClient::set_telemetry`] time, not per request.
+struct ClientTelemetry {
+    telemetry: Arc<Telemetry>,
+    requests: Counter,
+    attempts: Counter,
+    retries: Counter,
+    busy: Counter,
+    errors: Counter,
+    ring_lookups: Counter,
+    ring_failovers: Counter,
+    ring_rebuilds: Counter,
+    ring_probes: Counter,
+    ring_repreloads: Counter,
+}
+
+fn verb_name(r: &Request) -> &'static str {
+    match r {
+        Request::Ping => "ping",
+        Request::Predict { .. } => "predict",
+        Request::Preload { .. } => "preload",
+        Request::Stats => "stats",
+        Request::Burn { .. } => "burn",
+    }
+}
+
+/// The routing key for a request body: predictions hash their
+/// `(system, binary)` pair; every other verb shares one fixed position.
+fn routing_key(body: &Request) -> u64 {
+    match body {
+        Request::Predict { system_hash, binary_hash } => predict_key(*system_hash, *binary_hash),
+        _ => 0,
+    }
+}
+
+/// One framed exchange on a replica's persistent connection, dialing
+/// first if necessary. Leaves connection cleanup to the caller.
+fn exchange_on(replica: &mut Replica, frame: &RequestFrame) -> Result<Response, RemoteError> {
+    if replica.conn.is_none() {
+        replica.conn = Some(replica.transport.connect().map_err(RemoteError::Connect)?);
+    }
+    let conn = replica.conn.as_mut().expect("connection was just established");
+    write_frame(conn, frame).map_err(RemoteError::Io)?;
+    read_frame(conn).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::InvalidData {
+            RemoteError::Protocol(e.to_string())
+        } else {
+            RemoteError::Io(e)
+        }
+    })
+}
+
+impl std::fmt::Debug for PredictClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PredictClient")
+            .field("endpoints", &self.replicas.iter().map(|r| r.desc.as_str()).collect::<Vec<_>>())
+            .field("in_ring", &self.replicas_in_ring())
+            .field("knobs", &self.knobs)
+            .finish()
+    }
+}
+
+impl PredictClient {
+    /// Starts building a client; see [`ClientBuilder`].
+    pub fn builder() -> ClientBuilder {
+        ClientBuilder::default()
+    }
+
+    /// A client with default knobs. Does not connect yet — the first
+    /// RPC does.
+    #[deprecated(note = "use PredictClient::builder().endpoint(addr).build()")]
+    pub fn new(addr: impl Into<String>) -> PredictClient {
+        PredictClient::builder().endpoint(addr).build().expect("default client configuration is valid")
+    }
+
+    /// A TCP client with explicit knobs.
+    #[deprecated(note = "use PredictClient::builder()")]
+    #[allow(deprecated)]
+    pub fn with_config(addr: impl Into<String>, cfg: ClientConfig) -> PredictClient {
+        let mut b = PredictClient::builder()
+            .endpoint(addr)
+            .connect_timeout(cfg.connect_timeout)
+            .read_timeout(cfg.read_timeout)
+            .max_retries(cfg.max_retries)
+            .backoff(cfg.backoff);
+        if let Some(ms) = cfg.deadline_ms {
+            b = b.deadline_ms(ms);
+        }
+        b.build().expect("ClientConfig knobs are accepted by the builder")
+    }
+
+    /// A client over an arbitrary transport.
+    #[deprecated(note = "use PredictClient::builder().transport(t)")]
+    #[allow(deprecated)]
+    pub fn with_transport(transport: Box<dyn Transport>, cfg: ClientConfig) -> PredictClient {
+        let mut b = PredictClient::builder()
+            .transport(transport)
+            .connect_timeout(cfg.connect_timeout)
+            .read_timeout(cfg.read_timeout)
+            .max_retries(cfg.max_retries)
+            .backoff(cfg.backoff);
+        if let Some(ms) = cfg.deadline_ms {
+            b = b.deadline_ms(ms);
+        }
+        b.build().expect("ClientConfig knobs are accepted by the builder")
+    }
+
+    /// The first replica's endpoint (the only one in single-daemon
+    /// mode); see [`PredictClient::endpoints`] for the whole fleet.
+    pub fn addr(&self) -> &str {
+        &self.replicas[0].desc
+    }
+
+    /// Every replica endpoint this client balances over.
+    pub fn endpoints(&self) -> Vec<&str> {
+        self.replicas.iter().map(|r| r.desc.as_str()).collect()
+    }
+
+    /// Total replicas configured.
+    pub fn replicas_total(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Replicas currently on the routing ring.
+    pub fn replicas_in_ring(&self) -> usize {
+        self.replicas.iter().filter(|r| r.in_ring).count()
+    }
+
+    /// Per-replica health and last-acknowledged rollout generation.
+    pub fn replica_health(&self) -> Vec<ReplicaStatus> {
+        self.replicas
+            .iter()
+            .map(|r| ReplicaStatus { endpoint: r.desc.clone(), in_ring: r.in_ring, generation: r.generation })
+            .collect()
+    }
+
+    /// Attaches telemetry: every RPC from here on bumps `client.*` and
+    /// `ring.*` counters and records one `client/attempt` span per
+    /// exchange (retries included), each carrying its own context on
+    /// the wire so daemon-side spans parent under the exact attempt
+    /// that reached it.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.tel = Some(ClientTelemetry {
+            requests: telemetry.counter("client.requests"),
+            attempts: telemetry.counter("client.attempts"),
+            retries: telemetry.counter("client.retries"),
+            busy: telemetry.counter("client.busy"),
+            errors: telemetry.counter("client.errors"),
+            ring_lookups: telemetry.counter("ring.lookups"),
+            ring_failovers: telemetry.counter("ring.failovers"),
+            ring_rebuilds: telemetry.counter("ring.rebuilds"),
+            ring_probes: telemetry.counter("ring.probes"),
+            ring_repreloads: telemetry.counter("ring.repreloads"),
+            telemetry,
+        });
+    }
+
+    /// Sends one request, retrying on connection errors and on `Busy`
+    /// back-pressure and failing over between replicas in ring order.
+    /// Any protocol-level answer other than `Busy` (including `Miss`
+    /// and `DeadlineExceeded`) is returned as-is.
+    pub fn request(&mut self, body: Request, opts: &CallOptions) -> Result<Response, RemoteError> {
+        if let Some(t) = &self.tel {
+            t.requests.bump();
+        }
+        self.probe_if_due(opts.trace);
+        let candidates = self.candidates(routing_key(&body));
+        self.drive(body, opts, &candidates)
+    }
+
+    #[deprecated(note = "use request(body, &CallOptions::traced(parent))")]
+    pub fn request_traced(&mut self, body: Request, parent: Option<TraceContext>) -> Result<Response, RemoteError> {
+        self.request(body, &CallOptions::traced(parent))
+    }
+
+    /// Round-trip liveness probe; returns the observed latency.
+    pub fn ping(&mut self) -> Result<Duration, RemoteError> {
+        let start = Instant::now();
+        match self.request(Request::Ping, &CallOptions::default())? {
+            Response::Pong => Ok(start.elapsed()),
+            other => Err(RemoteError::Protocol(format!("expected Pong, got {other:?}"))),
+        }
+    }
+
+    /// The plugin's query: the best configuration for a (system,
+    /// binary). Routed by consistent hash of the pair in fleet mode.
+    pub fn predict(
+        &mut self,
+        system_hash: u64,
+        binary_hash: u64,
+        opts: &CallOptions,
+    ) -> Result<CpuConfig, RemoteError> {
+        match self.request(Request::Predict { system_hash, binary_hash }, opts)? {
+            Response::Config(c) => Ok(c),
+            Response::Miss { system_hash, binary_hash } => Err(RemoteError::Miss { system_hash, binary_hash }),
+            Response::DeadlineExceeded => Err(RemoteError::DeadlineExceeded),
+            Response::Error { message } => Err(RemoteError::Server(message)),
+            other => Err(RemoteError::Protocol(format!("expected Config, got {other:?}"))),
+        }
+    }
+
+    #[deprecated(note = "use predict(system_hash, binary_hash, &CallOptions::traced(parent))")]
+    pub fn predict_traced(
+        &mut self,
+        system_hash: u64,
+        binary_hash: u64,
+        parent: Option<TraceContext>,
+    ) -> Result<CpuConfig, RemoteError> {
+        self.predict(system_hash, binary_hash, &CallOptions::traced(parent))
+    }
+
+    /// Stages a model on every replica (fan-out in fleet mode) and
+    /// returns the highest-generation acknowledgement. Succeeds when at
+    /// least one replica commits; per-replica outcomes are available
+    /// through [`PredictClient::preload_detailed`]. The committed model
+    /// is remembered and replayed into any replica that later rejoins
+    /// the ring behind it.
+    pub fn preload(&mut self, model_id: i64, opts: &CallOptions) -> Result<PreloadAck, RemoteError> {
+        let fleet = self.preload_detailed(model_id, opts);
+        match fleet.acks.into_iter().map(|(_, a)| a).max_by_key(|a| a.generation) {
+            Some(ack) => Ok(ack),
+            None => Err(fleet
+                .failures
+                .into_iter()
+                .next()
+                .map(|(_, e)| e)
+                .unwrap_or_else(|| RemoteError::Protocol("preload fan-out produced no outcome".into()))),
+        }
+    }
+
+    #[deprecated(note = "use preload(model_id, &CallOptions::default())")]
+    pub fn preload_versioned(&mut self, model_id: i64) -> Result<PreloadAck, RemoteError> {
+        self.preload(model_id, &CallOptions::default())
+    }
+
+    /// Stages a model on every replica, reporting each replica's
+    /// outcome — the campaign layer's quorum decisions build on this.
+    pub fn preload_detailed(&mut self, model_id: i64, opts: &CallOptions) -> FleetPreload {
+        if let Some(t) = &self.tel {
+            t.requests.bump();
+        }
+        let mut acks = Vec::new();
+        let mut failures = Vec::new();
+        for idx in 0..self.replicas.len() {
+            let desc = self.replicas[idx].desc.clone();
+            match self.preload_on(idx, model_id, opts) {
+                Ok(ack) => {
+                    self.replicas[idx].generation = ack.generation;
+                    acks.push((desc, ack));
+                }
+                Err(e) => failures.push((desc, e)),
+            }
+        }
+        if !acks.is_empty() && !self.rolled_models.contains(&model_id) {
+            self.rolled_models.push(model_id);
+        }
+        FleetPreload { acks, failures }
+    }
+
+    /// Fetches one replica's counters (the ring's choice in fleet
+    /// mode); see [`PredictClient::stats_all`] for the whole fleet.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, RemoteError> {
+        match self.request(Request::Stats, &CallOptions::default())? {
+            Response::Stats(s) => Ok(s),
+            other => Err(RemoteError::Protocol(format!("expected Stats, got {other:?}"))),
+        }
+    }
+
+    /// Fetches every replica's counters, keyed by endpoint. Replicas
+    /// that cannot answer report their error instead.
+    pub fn stats_all(&mut self) -> Vec<(String, Result<StatsSnapshot, RemoteError>)> {
+        if let Some(t) = &self.tel {
+            t.requests.bump();
+        }
+        (0..self.replicas.len())
+            .map(|idx| {
+                let desc = self.replicas[idx].desc.clone();
+                let res = self.drive(Request::Stats, &CallOptions::default(), &[idx]).and_then(|resp| match resp {
+                    Response::Stats(s) => Ok(s),
+                    other => Err(RemoteError::Protocol(format!("expected Stats, got {other:?}"))),
+                });
+                (desc, res)
+            })
+            .collect()
+    }
+
+    // -- fleet internals ---------------------------------------------------
+
+    /// The replica try-order for a key: ring members clockwise from the
+    /// key, then out-of-ring replicas as a last resort. Single-replica
+    /// clients skip the ring entirely (the warm-path fast path).
+    fn candidates(&mut self, key: u64) -> Vec<usize> {
+        if self.replicas.len() == 1 {
+            return vec![0];
+        }
+        if let Some(t) = &self.tel {
+            t.ring_lookups.bump();
+        }
+        let mut out: Vec<usize> = self.ring.ordered(key).into_iter().map(|m| m as usize).collect();
+        for (i, r) in self.replicas.iter().enumerate() {
+            if !r.in_ring {
+                out.push(i);
+            }
+        }
+        out
+    }
+
+    /// The retry/failover state machine. With a single candidate this
+    /// is exactly the original single-daemon loop: `max_retries + 1`
+    /// attempts, busy hints honoured, linear backoff between attempts.
+    /// With several candidates, a failed exchange moves to the next
+    /// candidate immediately (the failed dial/read already cost its
+    /// timeout); backoff only applies when the whole list wraps around.
+    fn drive(&mut self, body: Request, opts: &CallOptions, candidates: &[usize]) -> Result<Response, RemoteError> {
+        let verb = verb_name(&body);
+        let parent = opts.trace;
+        let deadline_ms = opts.deadline_ms.or(self.knobs.deadline_ms);
+        let base = RequestFrame { deadline_ms, trace: parent, body };
+        let fleet = self.replicas.len() > 1;
+        let max_attempts = self.knobs.max_retries + candidates.len() as u32;
+        let mut attempt: u32 = 0;
+        let mut pos: usize = 0;
+        loop {
+            attempt += 1;
+            let idx = candidates[pos];
+            let mut span = self.tel.as_ref().map(|t| {
+                t.attempts.bump();
+                if attempt > 1 {
+                    t.retries.bump();
+                }
+                let mut s = t.telemetry.span_maybe_under(parent, "client", "attempt");
+                s.attr("verb", verb);
+                s.attr("attempt", attempt);
+                if fleet {
+                    s.attr("replica", &self.replicas[idx].desc);
+                }
+                s
+            });
+            let frame = base.clone().traced(span.as_ref().map(|s| s.context()).or(parent));
+            match exchange_on(&mut self.replicas[idx], &frame) {
+                Ok(Response::Busy { retry_after_ms }) => {
+                    // The daemon closes the connection after a Busy bounce.
+                    self.replicas[idx].conn = None;
+                    if let Some(t) = &self.tel {
+                        t.busy.bump();
+                    }
+                    if let Some(s) = span.take() {
+                        s.fail(format!("busy retry_after={retry_after_ms}ms"));
+                    }
+                    if attempt >= max_attempts {
+                        return Err(RemoteError::Busy { retry_after_ms, attempts: attempt });
+                    }
+                    if pos + 1 < candidates.len() {
+                        self.note_failover(idx, candidates[pos + 1], "busy", parent);
+                        pos += 1;
+                    } else {
+                        pos = 0;
+                        self.replicas[idx].transport.sleep(Duration::from_millis(retry_after_ms.min(50)));
+                    }
+                }
+                Ok(resp) => {
+                    drop(span);
+                    self.note_success(idx, parent);
+                    return Ok(resp);
+                }
+                Err(e) => {
+                    self.replicas[idx].conn = None;
+                    if let Some(t) = &self.tel {
+                        t.errors.bump();
+                    }
+                    if let Some(s) = span.take() {
+                        s.fail(e.to_string());
+                    }
+                    self.note_failure(idx);
+                    if attempt >= max_attempts {
+                        return Err(e);
+                    }
+                    if pos + 1 < candidates.len() {
+                        self.note_failover(idx, candidates[pos + 1], "error", parent);
+                        pos += 1;
+                    } else {
+                        pos = 0;
+                        let backoff = self.knobs.backoff * attempt;
+                        self.replicas[idx].transport.sleep(backoff);
+                    }
+                }
+            }
+        }
+    }
+
+    /// A bounded preload against one specific replica.
+    fn preload_on(&mut self, idx: usize, model_id: i64, opts: &CallOptions) -> Result<PreloadAck, RemoteError> {
+        match self.drive(Request::Preload { model_id }, opts, &[idx])? {
+            Response::Preloaded { model_id, model_type, system_hash, binary_hash, generation } => {
+                Ok(PreloadAck { model_id, model_type, system_hash, binary_hash, generation })
+            }
+            Response::Error { message } => Err(RemoteError::Server(message)),
+            other => Err(RemoteError::Protocol(format!("expected Preloaded, got {other:?}"))),
+        }
+    }
+
+    fn in_ring_count(&self) -> usize {
+        self.replicas.iter().filter(|r| r.in_ring).count()
+    }
+
+    fn rebuild_ring(&mut self) {
+        let members =
+            self.replicas.iter().enumerate().filter(|(_, r)| r.in_ring).map(|(i, _)| i as u32).collect::<Vec<_>>();
+        self.ring.rebuild(members);
+        if let Some(t) = &self.tel {
+            t.ring_rebuilds.bump();
+        }
+    }
+
+    /// A transport-level failure: after `down_after` in a row the
+    /// replica leaves the ring — unless it is the last one standing.
+    fn note_failure(&mut self, idx: usize) {
+        self.replicas[idx].consecutive_failures += 1;
+        if self.replicas[idx].in_ring
+            && self.replicas[idx].consecutive_failures >= self.knobs.down_after
+            && self.in_ring_count() > 1
+        {
+            self.replicas[idx].in_ring = false;
+            self.replicas[idx].probe_in = self.knobs.probe_cooldown;
+            self.rebuild_ring();
+        }
+    }
+
+    /// A successful exchange: reset health, and rejoin the ring if the
+    /// replica had been voted out.
+    fn note_success(&mut self, idx: usize, parent: Option<TraceContext>) {
+        self.replicas[idx].consecutive_failures = 0;
+        if !self.replicas[idx].in_ring && !self.rejoining {
+            self.rejoining = true;
+            self.rejoin(idx, parent);
+            self.rejoining = false;
+        }
+    }
+
+    /// Brings a recovered replica back onto the ring. If the fleet has
+    /// committed rollouts the replica may have missed (it may have
+    /// restarted with an empty registry), every committed model is
+    /// re-preloaded first — the replica never serves ring traffic
+    /// behind the committed generation.
+    fn rejoin(&mut self, idx: usize, parent: Option<TraceContext>) {
+        let models = self.rolled_models.clone();
+        for model_id in models {
+            match self.preload_on(idx, model_id, &CallOptions::traced(parent)) {
+                Ok(ack) => {
+                    self.replicas[idx].generation = ack.generation;
+                    if let Some(t) = &self.tel {
+                        t.ring_repreloads.bump();
+                    }
+                }
+                Err(_) => {
+                    // not healthy enough to catch up: stay out, probe later
+                    self.replicas[idx].probe_in = self.knobs.probe_cooldown;
+                    return;
+                }
+            }
+        }
+        self.replicas[idx].in_ring = true;
+        self.rebuild_ring();
+    }
+
+    /// Counts down out-of-ring cooldowns and pings at most one replica
+    /// whose window expired. A `Pong` starts the rejoin flow; anything
+    /// else re-arms the cooldown.
+    fn probe_if_due(&mut self, parent: Option<TraceContext>) {
+        if self.replicas.len() == 1 {
+            return;
+        }
+        let mut due: Option<usize> = None;
+        for (i, r) in self.replicas.iter_mut().enumerate() {
+            if !r.in_ring {
+                if r.probe_in == 0 {
+                    due.get_or_insert(i);
+                } else {
+                    r.probe_in -= 1;
+                }
+            }
+        }
+        let Some(idx) = due else { return };
+        if let Some(t) = &self.tel {
+            t.ring_probes.bump();
+        }
+        let frame = RequestFrame::new(Request::Ping).traced(parent);
+        match exchange_on(&mut self.replicas[idx], &frame) {
+            Ok(Response::Pong) => self.note_success(idx, parent),
+            _ => {
+                self.replicas[idx].conn = None;
+                self.replicas[idx].probe_in = self.knobs.probe_cooldown;
+            }
+        }
+    }
+
+    fn note_failover(&mut self, from: usize, to: usize, why: &str, parent: Option<TraceContext>) {
+        if let Some(t) = &self.tel {
+            t.ring_failovers.bump();
+            if let Some(ctx) = parent {
+                let mut s = t.telemetry.span_under(ctx, "client", "failover");
+                s.attr("from", &self.replicas[from].desc);
+                s.attr("to", &self.replicas[to].desc);
+                s.attr("why", why);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_validates_knobs() {
+        assert_eq!(PredictClient::builder().build().unwrap_err(), ClientBuildError::NoEndpoints);
+        assert_eq!(
+            PredictClient::builder().endpoint("a:1").connect_timeout(Duration::ZERO).build().unwrap_err(),
+            ClientBuildError::ZeroTimeout("connect")
+        );
+        assert_eq!(
+            PredictClient::builder().endpoint("a:1").read_timeout(Duration::ZERO).build().unwrap_err(),
+            ClientBuildError::ZeroTimeout("read")
+        );
+        assert_eq!(
+            PredictClient::builder().endpoint("a:1").max_retries(99).build().unwrap_err(),
+            ClientBuildError::RetriesOutOfRange(99)
+        );
+        assert_eq!(
+            PredictClient::builder().endpoint("a:1").vnodes(0).build().unwrap_err(),
+            ClientBuildError::VnodesOutOfRange(0)
+        );
+        assert_eq!(
+            PredictClient::builder().endpoint("a:1").down_after(0).build().unwrap_err(),
+            ClientBuildError::ZeroDownAfter
+        );
+    }
+
+    #[test]
+    fn builder_accepts_a_fleet_and_reports_endpoints() {
+        let client = PredictClient::builder().endpoints(["h1:4117", "h2:4117"]).endpoint("h3:4117").build().unwrap();
+        assert_eq!(client.endpoints(), vec!["h1:4117", "h2:4117", "h3:4117"]);
+        assert_eq!(client.addr(), "h1:4117");
+        assert_eq!(client.replicas_total(), 3);
+        assert_eq!(client.replicas_in_ring(), 3, "everyone starts on the ring");
+        for s in client.replica_health() {
+            assert!(s.in_ring);
+            assert_eq!(s.generation, 0);
+        }
+    }
+
+    #[test]
+    fn client_fails_fast_against_a_dead_address() {
+        // bind-then-drop guarantees the port is closed
+        let port = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let mut client = PredictClient::builder()
+            .endpoint(format!("127.0.0.1:{port}"))
+            .connect_timeout(Duration::from_millis(50))
+            .max_retries(1)
+            .backoff(Duration::from_millis(1))
+            .build()
+            .unwrap();
+        let start = Instant::now();
+        let err = client.predict(1, 2, &CallOptions::default()).unwrap_err();
+        assert!(matches!(err, RemoteError::Connect(_) | RemoteError::Io(_)), "{err}");
+        assert!(start.elapsed() < Duration::from_secs(2), "bounded retries must fail fast");
+    }
+
+    #[test]
+    fn fleet_client_exhausts_every_replica_before_failing() {
+        let dead = || {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            format!("127.0.0.1:{}", l.local_addr().unwrap().port())
+        };
+        let mut client = PredictClient::builder()
+            .endpoints([dead(), dead(), dead()])
+            .connect_timeout(Duration::from_millis(20))
+            .max_retries(1)
+            .backoff(Duration::from_millis(1))
+            .build()
+            .unwrap();
+        let start = Instant::now();
+        let err = client.predict(7, 9, &CallOptions::default()).unwrap_err();
+        assert!(matches!(err, RemoteError::Connect(_) | RemoteError::Io(_)), "{err}");
+        assert!(start.elapsed() < Duration::from_secs(2), "failover must stay bounded");
+        // repeated failures voted replicas off the ring, but never the last one
+        assert!(client.replicas_in_ring() >= 1);
+    }
+}

@@ -19,11 +19,21 @@
 //! [`TcpTransport`] is the production path; the `simtest` crate plugs in
 //! an in-memory channel whose `sleep` advances a discrete-event clock,
 //! so the whole retry/backoff state machine runs on virtual time.
+//!
+//! ## Fleet mode
+//!
+//! A [`PredictClient`] built with several endpoints routes predictions
+//! over a consistent-hash [`ring::HashRing`] keyed by `(system_hash,
+//! binary_hash)`, with health-checked failover between replicas; see the
+//! [`client`](self::PredictClient) docs for the full protocol.
+
+mod client;
+pub mod ring;
 
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use bytes::{Buf, BytesMut};
 use eco_sim_node::cpu::CpuConfig;
@@ -32,7 +42,12 @@ use serde::{Deserialize, Serialize};
 use crate::application::predict_from_settings;
 use crate::error::{ChronusError, Result};
 use crate::interfaces::LocalStorage;
-use crate::telemetry::{Counter, Telemetry, TraceContext};
+use crate::telemetry::{Telemetry, TraceContext};
+
+#[allow(deprecated)]
+pub use client::ClientConfig;
+pub use client::{CallOptions, ClientBuildError, ClientBuilder, FleetPreload, PredictClient, ReplicaStatus};
+pub use ring::{predict_key, HashRing};
 
 /// Upper bound on a single frame's JSON payload (1 MiB).
 pub const MAX_FRAME_LEN: usize = 1 << 20;
@@ -129,7 +144,7 @@ pub enum Response {
 }
 
 /// A successful preload acknowledgement, as returned by
-/// [`PredictClient::preload_versioned`].
+/// [`PredictClient::preload`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct PreloadAck {
     /// The staged model's repository id.
@@ -182,6 +197,10 @@ pub struct StatsSnapshot {
     /// Rollouts that allocated a generation but failed to commit.
     #[serde(default)]
     pub generation_rollbacks: u64,
+    /// The reporting replica's identity (empty from daemons predating
+    /// fleet mode, or daemons never given one).
+    #[serde(default)]
+    pub replica: String,
     /// Median request handling latency (µs, bucket upper bound).
     pub latency_p50_us: u64,
     /// 99th-percentile request handling latency (µs, bucket upper bound).
@@ -377,270 +396,6 @@ impl From<RemoteError> for ChronusError {
     }
 }
 
-/// Client knobs. The defaults keep a full worst-case exchange (connect,
-/// retries, backoff) comfortably inside the plugin's 100 ms budget.
-#[derive(Debug, Clone)]
-pub struct ClientConfig {
-    /// TCP connect timeout.
-    pub connect_timeout: Duration,
-    /// Per-response read timeout.
-    pub read_timeout: Duration,
-    /// Additional attempts after the first (0 = fail fast).
-    pub max_retries: u32,
-    /// Base backoff between attempts; grows linearly per attempt.
-    pub backoff: Duration,
-    /// Deadline budget stamped on every request frame, if any.
-    pub deadline_ms: Option<u64>,
-}
-
-impl Default for ClientConfig {
-    fn default() -> Self {
-        ClientConfig {
-            connect_timeout: Duration::from_millis(200),
-            read_timeout: Duration::from_millis(500),
-            max_retries: 2,
-            backoff: Duration::from_millis(10),
-            deadline_ms: None,
-        }
-    }
-}
-
-/// A blocking client for the chronusd daemon. Holds one persistent
-/// connection, reconnecting lazily after any failure; every RPC retries
-/// a bounded number of times with linear backoff, honouring the
-/// daemon's `Busy { retry_after_ms }` hint. All waiting goes through
-/// the [`Transport`], so a simulated transport sees every back-off.
-pub struct PredictClient {
-    desc: String,
-    cfg: ClientConfig,
-    transport: Box<dyn Transport>,
-    conn: Option<Box<dyn Connection>>,
-    tel: Option<ClientTelemetry>,
-}
-
-/// The client's cached telemetry handles: counter lookups happen once,
-/// at [`PredictClient::set_telemetry`] time, not per request.
-struct ClientTelemetry {
-    telemetry: Arc<Telemetry>,
-    requests: Counter,
-    attempts: Counter,
-    retries: Counter,
-    busy: Counter,
-    errors: Counter,
-}
-
-fn verb_name(r: &Request) -> &'static str {
-    match r {
-        Request::Ping => "ping",
-        Request::Predict { .. } => "predict",
-        Request::Preload { .. } => "preload",
-        Request::Stats => "stats",
-        Request::Burn { .. } => "burn",
-    }
-}
-
-impl std::fmt::Debug for PredictClient {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("PredictClient")
-            .field("endpoint", &self.desc)
-            .field("cfg", &self.cfg)
-            .field("connected", &self.conn.is_some())
-            .finish()
-    }
-}
-
-impl PredictClient {
-    /// A client with default [`ClientConfig`]. Does not connect yet —
-    /// the first RPC does.
-    pub fn new(addr: impl Into<String>) -> PredictClient {
-        PredictClient::with_config(addr, ClientConfig::default())
-    }
-
-    /// A TCP client with explicit knobs.
-    pub fn with_config(addr: impl Into<String>, cfg: ClientConfig) -> PredictClient {
-        let transport = TcpTransport::new(addr, cfg.connect_timeout, cfg.read_timeout);
-        PredictClient::with_transport(Box::new(transport), cfg)
-    }
-
-    /// A client over an arbitrary transport (in-memory, fault-injecting,
-    /// ...). The transport owns connect timeouts; `cfg` still governs
-    /// retries, backoff and the per-request deadline stamp.
-    pub fn with_transport(transport: Box<dyn Transport>, cfg: ClientConfig) -> PredictClient {
-        PredictClient { desc: transport.describe(), cfg, transport, conn: None, tel: None }
-    }
-
-    /// The daemon endpoint this client talks to.
-    pub fn addr(&self) -> &str {
-        &self.desc
-    }
-
-    /// Attaches telemetry: every RPC from here on bumps `client.*`
-    /// counters and records one `client/attempt` span per exchange
-    /// (retries included), each carrying its own context on the wire so
-    /// daemon-side spans parent under the exact attempt that reached it.
-    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
-        self.tel = Some(ClientTelemetry {
-            requests: telemetry.counter("client.requests"),
-            attempts: telemetry.counter("client.attempts"),
-            retries: telemetry.counter("client.retries"),
-            busy: telemetry.counter("client.busy"),
-            errors: telemetry.counter("client.errors"),
-            telemetry,
-        });
-    }
-
-    fn connect(&mut self) -> std::result::Result<(), RemoteError> {
-        if self.conn.is_some() {
-            return Ok(());
-        }
-        self.conn = Some(self.transport.connect().map_err(RemoteError::Connect)?);
-        Ok(())
-    }
-
-    fn exchange_once(&mut self, frame: &RequestFrame) -> std::result::Result<Response, RemoteError> {
-        self.connect()?;
-        let conn = self.conn.as_mut().expect("connect() leaves a connection");
-        write_frame(conn, frame).map_err(RemoteError::Io)?;
-        read_frame(conn).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::InvalidData {
-                RemoteError::Protocol(e.to_string())
-            } else {
-                RemoteError::Io(e)
-            }
-        })
-    }
-
-    /// Sends one request, retrying on connection errors and on `Busy`
-    /// back-pressure. Any protocol-level answer other than `Busy`
-    /// (including `Miss` and `DeadlineExceeded`) is returned as-is.
-    pub fn request(&mut self, body: Request) -> std::result::Result<Response, RemoteError> {
-        self.request_traced(body, None)
-    }
-
-    /// [`PredictClient::request`] joined to a caller's trace: each
-    /// attempt opens a `client/attempt` span under `parent` (or roots a
-    /// fresh trace when the caller is untraced) and stamps that span's
-    /// context on the wire frame. Without telemetry attached, `parent`
-    /// still propagates verbatim.
-    pub fn request_traced(
-        &mut self,
-        body: Request,
-        parent: Option<TraceContext>,
-    ) -> std::result::Result<Response, RemoteError> {
-        if let Some(t) = &self.tel {
-            t.requests.bump();
-        }
-        let verb = verb_name(&body);
-        let base = RequestFrame { deadline_ms: self.cfg.deadline_ms, trace: parent, body };
-        let mut attempt: u32 = 0;
-        loop {
-            attempt += 1;
-            let mut span = self.tel.as_ref().map(|t| {
-                t.attempts.bump();
-                if attempt > 1 {
-                    t.retries.bump();
-                }
-                let mut s = t.telemetry.span_maybe_under(parent, "client", "attempt");
-                s.attr("verb", verb);
-                s.attr("attempt", attempt);
-                s
-            });
-            let frame = base.clone().traced(span.as_ref().map(|s| s.context()).or(parent));
-            match self.exchange_once(&frame) {
-                Ok(Response::Busy { retry_after_ms }) => {
-                    // The daemon closes the connection after a Busy bounce.
-                    self.conn = None;
-                    if let Some(t) = &self.tel {
-                        t.busy.bump();
-                    }
-                    if let Some(s) = span.take() {
-                        s.fail(format!("busy retry_after={retry_after_ms}ms"));
-                    }
-                    if attempt > self.cfg.max_retries {
-                        return Err(RemoteError::Busy { retry_after_ms, attempts: attempt });
-                    }
-                    self.transport.sleep(Duration::from_millis(retry_after_ms.min(50)));
-                }
-                Ok(resp) => {
-                    drop(span);
-                    return Ok(resp);
-                }
-                Err(e) => {
-                    self.conn = None;
-                    if let Some(t) = &self.tel {
-                        t.errors.bump();
-                    }
-                    if let Some(s) = span.take() {
-                        s.fail(e.to_string());
-                    }
-                    if attempt > self.cfg.max_retries {
-                        return Err(e);
-                    }
-                    let backoff = self.cfg.backoff * attempt;
-                    self.transport.sleep(backoff);
-                }
-            }
-        }
-    }
-
-    /// Round-trip liveness probe; returns the observed latency.
-    pub fn ping(&mut self) -> std::result::Result<Duration, RemoteError> {
-        let start = Instant::now();
-        match self.request(Request::Ping)? {
-            Response::Pong => Ok(start.elapsed()),
-            other => Err(RemoteError::Protocol(format!("expected Pong, got {other:?}"))),
-        }
-    }
-
-    /// The plugin's query: the best configuration for a (system, binary).
-    pub fn predict(&mut self, system_hash: u64, binary_hash: u64) -> std::result::Result<CpuConfig, RemoteError> {
-        self.predict_traced(system_hash, binary_hash, None)
-    }
-
-    /// [`PredictClient::predict`] joined to a caller's trace.
-    pub fn predict_traced(
-        &mut self,
-        system_hash: u64,
-        binary_hash: u64,
-        parent: Option<TraceContext>,
-    ) -> std::result::Result<CpuConfig, RemoteError> {
-        match self.request_traced(Request::Predict { system_hash, binary_hash }, parent)? {
-            Response::Config(c) => Ok(c),
-            Response::Miss { system_hash, binary_hash } => Err(RemoteError::Miss { system_hash, binary_hash }),
-            Response::DeadlineExceeded => Err(RemoteError::DeadlineExceeded),
-            Response::Error { message } => Err(RemoteError::Server(message)),
-            other => Err(RemoteError::Protocol(format!("expected Config, got {other:?}"))),
-        }
-    }
-
-    /// Asks the daemon to stage a model; returns (model_type, system
-    /// hash, binary hash) on success.
-    pub fn preload(&mut self, model_id: i64) -> std::result::Result<(String, u64, u64), RemoteError> {
-        self.preload_versioned(model_id).map(|ack| (ack.model_type, ack.system_hash, ack.binary_hash))
-    }
-
-    /// Like [`PredictClient::preload`] but returns the full
-    /// acknowledgement, including the rollout generation the daemon
-    /// committed the model under (0 from pre-versioning daemons).
-    pub fn preload_versioned(&mut self, model_id: i64) -> std::result::Result<PreloadAck, RemoteError> {
-        match self.request(Request::Preload { model_id })? {
-            Response::Preloaded { model_id, model_type, system_hash, binary_hash, generation } => {
-                Ok(PreloadAck { model_id, model_type, system_hash, binary_hash, generation })
-            }
-            Response::Error { message } => Err(RemoteError::Server(message)),
-            other => Err(RemoteError::Protocol(format!("expected Preloaded, got {other:?}"))),
-        }
-    }
-
-    /// Fetches the daemon's counters.
-    pub fn stats(&mut self) -> std::result::Result<StatsSnapshot, RemoteError> {
-        match self.request(Request::Stats)? {
-            Response::Stats(s) => Ok(s),
-            other => Err(RemoteError::Protocol(format!("expected Stats, got {other:?}"))),
-        }
-    }
-}
-
 // ---------------------------------------------------------------------------
 // PredictionSource
 // ---------------------------------------------------------------------------
@@ -698,19 +453,17 @@ pub struct RemotePrediction {
 }
 
 impl RemotePrediction {
-    /// A remote source with default client knobs.
+    /// A remote source with default client knobs, talking to one daemon.
     pub fn new(addr: impl Into<String>) -> RemotePrediction {
-        RemotePrediction { client: parking_lot::Mutex::new(PredictClient::new(addr)) }
+        let client = PredictClient::builder().endpoint(addr).build().expect("default client configuration is valid");
+        RemotePrediction::from_client(client)
     }
 
-    /// A remote source with explicit client knobs.
-    pub fn with_config(addr: impl Into<String>, cfg: ClientConfig) -> RemotePrediction {
-        RemotePrediction { client: parking_lot::Mutex::new(PredictClient::with_config(addr, cfg)) }
-    }
-
-    /// A remote source over an arbitrary [`Transport`].
-    pub fn with_transport(transport: Box<dyn Transport>, cfg: ClientConfig) -> RemotePrediction {
-        RemotePrediction { client: parking_lot::Mutex::new(PredictClient::with_transport(transport, cfg)) }
+    /// A remote source wrapping an already-built client — the path for
+    /// custom knobs and for fleet-mode (multi-replica) clients; see
+    /// [`PredictClient::builder`].
+    pub fn from_client(client: PredictClient) -> RemotePrediction {
+        RemotePrediction { client: parking_lot::Mutex::new(client) }
     }
 
     /// Attaches telemetry to the wrapped client (see
@@ -727,11 +480,11 @@ impl PredictionSource for RemotePrediction {
 
     fn predict_traced(&self, system_hash: u64, binary_hash: u64, ctx: Option<TraceContext>) -> Result<CpuConfig> {
         let mut client = self.client.lock();
-        client.predict_traced(system_hash, binary_hash, ctx).map_err(ChronusError::from)
+        client.predict(system_hash, binary_hash, &CallOptions::traced(ctx)).map_err(ChronusError::from)
     }
 
     fn describe(&self) -> String {
-        format!("chronusd at {}", self.client.lock().addr())
+        format!("chronusd at {}", self.client.lock().endpoints().join(","))
     }
 }
 
@@ -783,26 +536,6 @@ mod tests {
         assert!(json.contains("\"Config\""), "{json}");
         assert!(json.contains("\"frequency\":2200000"), "{json}");
         assert_eq!(serde_json::to_string(&Response::Pong).unwrap(), "\"Pong\"");
-    }
-
-    #[test]
-    fn client_fails_fast_against_a_dead_address() {
-        let cfg = ClientConfig {
-            connect_timeout: Duration::from_millis(50),
-            max_retries: 1,
-            backoff: Duration::from_millis(1),
-            ..ClientConfig::default()
-        };
-        // bind-then-drop guarantees the port is closed
-        let port = {
-            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
-            l.local_addr().unwrap().port()
-        };
-        let mut client = PredictClient::with_config(format!("127.0.0.1:{port}"), cfg);
-        let start = Instant::now();
-        let err = client.predict(1, 2).unwrap_err();
-        assert!(matches!(err, RemoteError::Connect(_) | RemoteError::Io(_)), "{err}");
-        assert!(start.elapsed() < Duration::from_secs(2), "bounded retries must fail fast");
     }
 
     #[test]

@@ -48,7 +48,8 @@ fn arb_frame() -> impl Strategy<Value = RequestFrame> {
 }
 
 fn arb_snapshot() -> impl Strategy<Value = StatsSnapshot> {
-    prop::collection::vec(0u64..=u64::MAX, 18).prop_map(|v| StatsSnapshot {
+    (prop::collection::vec(0u64..=u64::MAX, 18), "[a-z0-9-]{0,12}").prop_map(|(v, replica)| StatsSnapshot {
+        replica,
         requests_total: v[0],
         predictions: v[1],
         cache_hits: v[2],

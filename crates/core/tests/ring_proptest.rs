@@ -1,0 +1,127 @@
+//! Property-based tests for the fleet's consistent-hash ring: load
+//! stays balanced within a constant factor of fair share, membership
+//! changes move only the keys they must (the consistent-hashing
+//! contract), and the failover order is a permutation rooted at the
+//! primary.
+
+use chronus::remote::{predict_key, HashRing};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Vnode count the client uses by default; balance bounds below are
+/// calibrated against it.
+const VNODES: u32 = 128;
+
+/// Sampled keyspace per case — enough that per-member shares
+/// concentrate, small enough to keep the suite fast.
+const KEYS: u64 = 4096;
+
+fn owners(ring: &HashRing, keys: u64) -> HashMap<u32, u64> {
+    let mut counts = HashMap::new();
+    for k in 0..keys {
+        let key = predict_key(mix_sample(k), !mix_sample(k * 31 + 7));
+        *counts.entry(ring.primary(key).expect("non-empty ring")).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Spreads the dense sample index so key material looks like real
+/// (system_hash, binary_hash) digests rather than small integers.
+fn mix_sample(x: u64) -> u64 {
+    x.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17) ^ x
+}
+
+proptest! {
+    /// At 128 vnodes every member's share of a sampled keyspace stays
+    /// within [fair/3, 3·fair] — no member is starved or doubled-up
+    /// beyond the constant factor vnode smoothing guarantees.
+    #[test]
+    fn load_is_balanced_within_a_constant_factor(n in 2u32..=8) {
+        let mut ring = HashRing::new(VNODES);
+        ring.rebuild(0..n);
+        let counts = owners(&ring, KEYS);
+        prop_assert_eq!(counts.len() as u32, n, "every member owns some keys");
+        let fair = KEYS / u64::from(n);
+        for (m, c) in counts {
+            prop_assert!(
+                c >= fair / 3 && c <= fair * 3,
+                "member {} owns {} of {} keys (fair share {})", m, c, KEYS, fair
+            );
+        }
+    }
+
+    /// Adding a member moves keys *only onto the new member*: every key
+    /// whose owner changed now belongs to the newcomer, and nobody
+    /// else's keys were reshuffled among the old members.
+    #[test]
+    fn adding_a_member_only_moves_keys_to_it(n in 1u32..=7) {
+        let mut before = HashRing::new(VNODES);
+        before.rebuild(0..n);
+        let mut after = HashRing::new(VNODES);
+        after.rebuild(0..=n);
+        let mut moved = 0u64;
+        for k in 0..KEYS {
+            let key = predict_key(mix_sample(k), !mix_sample(k * 31 + 7));
+            let old = before.primary(key).unwrap();
+            let new = after.primary(key).unwrap();
+            if old != new {
+                prop_assert_eq!(new, n, "a moved key must land on the new member, not reshuffle");
+                moved += 1;
+            }
+        }
+        // The newcomer takes roughly 1/(n+1) of the keyspace; allow 3×.
+        let expected = KEYS / u64::from(n + 1);
+        prop_assert!(moved <= expected * 3, "added member stole {} keys (expected about {})", moved, expected);
+    }
+
+    /// Removing a member moves *only that member's keys*: any key owned
+    /// by a survivor keeps its owner.
+    #[test]
+    fn removing_a_member_strands_only_its_keys(n in 2u32..=8, gone_ix in 0u32..8) {
+        let gone = gone_ix % n;
+        let mut before = HashRing::new(VNODES);
+        before.rebuild(0..n);
+        let mut after = HashRing::new(VNODES);
+        after.rebuild((0..n).filter(|&m| m != gone));
+        for k in 0..KEYS {
+            let key = predict_key(mix_sample(k), !mix_sample(k * 31 + 7));
+            let old = before.primary(key).unwrap();
+            let new = after.primary(key).unwrap();
+            if old != gone {
+                prop_assert_eq!(old, new, "a survivor's key must not move when another member leaves");
+            } else {
+                prop_assert_ne!(new, gone, "the removed member must own nothing");
+            }
+        }
+    }
+
+    /// `ordered(key)` is always a permutation of the membership whose
+    /// first element is `primary(key)` — the failover walk visits every
+    /// replica exactly once, best first.
+    #[test]
+    fn failover_order_is_a_primary_rooted_permutation(n in 1u32..=8, sh in 0u64..=u64::MAX, bh in 0u64..=u64::MAX) {
+        let mut ring = HashRing::new(VNODES);
+        ring.rebuild(0..n);
+        let key = predict_key(sh, bh);
+        let order = ring.ordered(key);
+        prop_assert_eq!(order.len() as u32, n);
+        prop_assert_eq!(order[0], ring.primary(key).unwrap());
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len() as u32, n, "ordered() must not repeat members");
+    }
+
+    /// Routing never panics and is total for any key and membership,
+    /// including members with sparse, non-contiguous indices.
+    #[test]
+    fn routing_is_total_for_arbitrary_memberships(raw in prop::collection::vec(0u32..512, 1..12), key in 0u64..=u64::MAX) {
+        let members: std::collections::BTreeSet<u32> = raw.into_iter().collect();
+        let mut ring = HashRing::new(VNODES);
+        ring.rebuild(members.iter().copied());
+        let p = ring.primary(key).unwrap();
+        prop_assert!(members.contains(&p));
+        let order = ring.ordered(key);
+        prop_assert_eq!(order.len(), members.len());
+    }
+}

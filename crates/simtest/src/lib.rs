@@ -37,11 +37,13 @@
 //! ```
 
 pub mod faults;
+pub mod fleet;
 pub mod invariants;
 pub mod net;
 pub mod world;
 
 pub use faults::FaultPlan;
+pub use fleet::{run_fleet_seed, FleetReport, FLEET_REPLICAS};
 pub use invariants::Ledger;
 pub use net::SimNet;
 pub use world::{run_seed, SeedReport, MAX_SUBMIT_VIRTUAL_MS, SUBMISSIONS_PER_SEED};

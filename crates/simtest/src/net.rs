@@ -8,11 +8,15 @@
 //! `t=<virtual ms>` line to one log. Same seed + same plan ⇒ the same
 //! log, byte for byte.
 //!
-//! The daemon here is a [`PredictService`] (the transport-free engine the
+//! A daemon here is a [`PredictService`] (the transport-free engine the
 //! real TCP server uses) plus a [`SimBackend`]; "crashing" it swaps in a
 //! fresh service, which loses the model registry exactly like a real
 //! process restart — but not before the [`Ledger`] audits the dying
-//! incarnation's counters.
+//! incarnation's counters. [`SimNet::new`] builds the classic single
+//! daemon; [`SimNet::fleet`] builds N replicas sharing the clock, RNG
+//! and backend but each with its own service, ledger, partition state
+//! and crash schedule — the substrate the failover-aware
+//! [`chronus::remote::PredictClient`] is simulated against.
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -107,24 +111,31 @@ impl ModelBackend for SimBackend {
     }
 }
 
+/// One simulated daemon replica: its current service incarnation, the
+/// audit ledger for that incarnation, and its own failure schedule.
+struct ReplicaCore {
+    label: String,
+    service: Arc<PredictService>,
+    ledger: Ledger,
+    partitioned_until: Option<SimTime>,
+    crashed_until: Option<SimTime>,
+    incarnation: u64,
+}
+
 /// Everything that must be consistent under one lock: the RNG, the fault
-/// schedule state, the current daemon incarnation and its audit ledger.
+/// schedule state, and every daemon replica with its audit ledger.
 struct NetCore {
     rng: StdRng,
     plan: FaultPlan,
     clock: Arc<SharedSimClock>,
-    service: Arc<PredictService>,
+    replicas: Vec<ReplicaCore>,
     backend: Arc<SimBackend>,
-    ledger: Ledger,
     /// The run-wide trace recorder. Daemon incarnations get fresh
     /// counter namespaces but share this ring, so the trace timeline
     /// survives crashes exactly like an external collector would.
     recorder: Arc<Recorder>,
     log: Vec<String>,
     violations: Vec<String>,
-    partitioned_until: Option<SimTime>,
-    crashed_until: Option<SimTime>,
-    incarnation: u64,
     next_conn: u64,
 }
 
@@ -138,42 +149,55 @@ impl NetCore {
         self.log.push(format!("t={t:06} {msg}"));
     }
 
-    /// Expire a due partition or finish a due restart.
-    fn tick(&mut self) {
-        let now = self.clock.now();
-        if self.crashed_until.is_some_and(|until| now >= until) {
-            self.crashed_until = None;
-            self.note("daemon restarted (cache cold)".to_string());
-        }
-        if self.partitioned_until.is_some_and(|until| now >= until) {
-            self.partitioned_until = None;
-            self.note("partition healed".to_string());
+    /// A replica-scoped log line; in a fleet, prefixed with the replica's
+    /// label so interleaved events stay attributable.
+    fn rnote(&mut self, replica: usize, msg: String) {
+        if self.replicas.len() > 1 {
+            let label = self.replicas[replica].label.clone();
+            self.note(format!("[{label}] {msg}"));
+        } else {
+            self.note(msg);
         }
     }
 
-    /// Audit the dying incarnation, then replace it with a cold one.
-    fn end_incarnation(&mut self, why: &str) {
-        let snapshot = self.service.snapshot(sim_gauges());
-        if let Err(e) = self.ledger.check(&snapshot) {
-            self.violations.push(format!("incarnation {} ({why}): {e}", self.incarnation));
+    /// Expire a due partition or finish a due restart on `replica`.
+    fn tick(&mut self, replica: usize) {
+        let now = self.clock.now();
+        if self.replicas[replica].crashed_until.is_some_and(|until| now >= until) {
+            self.replicas[replica].crashed_until = None;
+            self.rnote(replica, "daemon restarted (cache cold)".to_string());
         }
-        if self.service.registry().len() > CACHE_CAP {
+        if self.replicas[replica].partitioned_until.is_some_and(|until| now >= until) {
+            self.replicas[replica].partitioned_until = None;
+            self.rnote(replica, "partition healed".to_string());
+        }
+    }
+
+    /// Audit the dying incarnation of `replica`, then replace it with a
+    /// cold one.
+    fn end_incarnation(&mut self, replica: usize, why: &str) {
+        let snapshot = self.replicas[replica].service.snapshot(sim_gauges());
+        let label = self.replicas[replica].label.clone();
+        let incarnation = self.replicas[replica].incarnation;
+        if let Err(e) = self.replicas[replica].ledger.check(&snapshot) {
+            self.violations.push(format!("{label} incarnation {incarnation} ({why}): {e}"));
+        }
+        if self.replicas[replica].service.registry().len() > CACHE_CAP {
             self.violations.push(format!(
-                "incarnation {} ({why}): registry holds {} models over its capacity {CACHE_CAP}",
-                self.incarnation,
-                self.service.registry().len()
+                "{label} incarnation {incarnation} ({why}): registry holds {} models over its capacity {CACHE_CAP}",
+                self.replicas[replica].service.registry().len()
             ));
         }
-        self.service = fresh_service(&self.clock, &self.backend, &self.recorder);
-        self.ledger.reset();
-        self.incarnation += 1;
+        self.replicas[replica].service = fresh_service(&self.clock, &self.backend, &self.recorder, &label);
+        self.replicas[replica].ledger.reset();
+        self.replicas[replica].incarnation += 1;
     }
 
-    fn crash_now(&mut self) {
+    fn crash_now(&mut self, replica: usize) {
         let down = self.plan.crash_down_ms.max(1);
-        self.end_incarnation("crash");
-        self.crashed_until = Some(self.clock.now() + SimDuration::from_millis(down));
-        self.note(format!("daemon crashed (down {down}ms, cache lost)"));
+        self.end_incarnation(replica, "crash");
+        self.replicas[replica].crashed_until = Some(self.clock.now() + SimDuration::from_millis(down));
+        self.rnote(replica, format!("daemon crashed (down {down}ms, cache lost)"));
     }
 }
 
@@ -181,17 +205,21 @@ fn fresh_service(
     clock: &Arc<SharedSimClock>,
     backend: &Arc<SimBackend>,
     recorder: &Arc<Recorder>,
+    label: &str,
 ) -> Arc<PredictService> {
     // A fresh telemetry per incarnation resets the counters (a real
     // restart loses them too) but shares the run-wide recorder, so span
     // ids stay unique and traces span crash boundaries.
     let telemetry = Telemetry::with_parts(Arc::new(SimServiceClock(Arc::clone(clock))), Arc::clone(recorder));
-    Arc::new(PredictService::with_telemetry(
-        CACHE_SHARDS,
-        CACHE_CAP,
-        Arc::clone(backend) as Arc<dyn ModelBackend>,
-        Arc::new(telemetry),
-    ))
+    Arc::new(
+        PredictService::with_telemetry(
+            CACHE_SHARDS,
+            CACHE_CAP,
+            Arc::clone(backend) as Arc<dyn ModelBackend>,
+            Arc::new(telemetry),
+        )
+        .with_replica(label),
+    )
 }
 
 struct NetState {
@@ -200,15 +228,27 @@ struct NetState {
     mu: Mutex<NetCore>,
 }
 
-/// One simulated network + daemon. Build one per seed, hand
-/// [`SimNet::transport`]s to clients, then [`SimNet::finish`] to audit
-/// the final incarnation and collect violations.
+/// One simulated network + daemon fleet. Build one per seed, hand
+/// [`SimNet::transport_for`]s to clients, then [`SimNet::finish`] to
+/// audit the final incarnations and collect violations.
 pub struct SimNet {
     state: Arc<NetState>,
 }
 
 impl SimNet {
+    /// The classic single-daemon network (a fleet of one, labelled
+    /// `chronusd` so transport descriptions and logs read as before).
     pub fn new(seed: u64, plan: FaultPlan, models: Vec<PreparedModel>) -> SimNet {
+        SimNet::fleet(seed, plan, &["chronusd"], models)
+    }
+
+    /// A replicated daemon fleet: every replica runs its own
+    /// [`PredictService`] and audit ledger under its own crash/partition
+    /// schedule, while the clock, RNG, recorder and model backend are
+    /// shared — so a multi-replica run replays from its seed exactly
+    /// like a single-daemon one.
+    pub fn fleet(seed: u64, plan: FaultPlan, labels: &[&str], models: Vec<PreparedModel>) -> SimNet {
+        assert!(!labels.is_empty(), "a fleet needs at least one replica");
         let clock = Arc::new(SharedSimClock::new());
         let backend = Arc::new(SimBackend {
             clock: Arc::clone(&clock),
@@ -217,8 +257,18 @@ impl SimNet {
             models,
         });
         let recorder = Arc::new(Recorder::new(RECORDER_CAP));
-        let service = fresh_service(&clock, &backend, &recorder);
-        // The world side (cluster, plugin, client) shares the daemon's
+        let replicas = labels
+            .iter()
+            .map(|label| ReplicaCore {
+                label: (*label).to_string(),
+                service: fresh_service(&clock, &backend, &recorder, label),
+                ledger: Ledger::default(),
+                partitioned_until: None,
+                crashed_until: None,
+                incarnation: 0,
+            })
+            .collect();
+        // The world side (cluster, plugin, client) shares the daemons'
         // clock and recorder, so one trace spans both sides of the wire.
         let telemetry =
             Arc::new(Telemetry::with_parts(Arc::new(SimServiceClock(Arc::clone(&clock))), Arc::clone(&recorder)));
@@ -226,15 +276,11 @@ impl SimNet {
             rng: StdRng::seed_from_u64(seed),
             plan,
             clock: Arc::clone(&clock),
-            service,
+            replicas,
             backend,
-            ledger: Ledger::default(),
             recorder,
             log: Vec::new(),
             violations: Vec::new(),
-            partitioned_until: None,
-            crashed_until: None,
-            incarnation: 0,
             next_conn: 0,
         };
         SimNet { state: Arc::new(NetState { clock, telemetry, mu: Mutex::new(core) }) }
@@ -247,10 +293,61 @@ impl SimNet {
         Arc::clone(&self.state.telemetry)
     }
 
-    /// A fresh client-side endpoint (share-nothing with other clients
-    /// except the network itself).
+    /// A fresh client-side endpoint to the first (or only) replica.
     pub fn transport(&self) -> SimTransport {
-        SimTransport { net: Arc::clone(&self.state) }
+        self.transport_for(0)
+    }
+
+    /// A fresh client-side endpoint to replica `i` (share-nothing with
+    /// other clients except the network itself).
+    pub fn transport_for(&self, i: usize) -> SimTransport {
+        assert!(i < self.state.mu.lock().replicas.len(), "replica {i} does not exist");
+        SimTransport { net: Arc::clone(&self.state), replica: i }
+    }
+
+    /// How many replicas this network simulates.
+    pub fn replicas(&self) -> usize {
+        self.state.mu.lock().replicas.len()
+    }
+
+    /// Kills replica `i` for `down_ms` of virtual time: its incarnation
+    /// is audited and discarded, and dials are refused until the clock
+    /// passes the restart mark (the restart comes back cold, exactly
+    /// like a real process replacement).
+    pub fn kill_replica(&self, i: usize, down_ms: u64) {
+        let mut core = self.state.mu.lock();
+        core.end_incarnation(i, "killed by the world");
+        core.replicas[i].crashed_until = Some(core.clock.now() + SimDuration::from_millis(down_ms.max(1)));
+        core.rnote(i, format!("daemon killed by the world (down {down_ms}ms)"));
+    }
+
+    /// Partitions replica `i` off the network for `ms` of virtual time;
+    /// the daemon keeps running (no state lost) but every dial and
+    /// in-flight frame times out.
+    pub fn partition_replica(&self, i: usize, ms: u64) {
+        let mut core = self.state.mu.lock();
+        core.replicas[i].partitioned_until = Some(core.clock.now() + SimDuration::from_millis(ms.max(1)));
+        core.rnote(i, format!("partitioned off by the world ({ms}ms)"));
+    }
+
+    /// Ends every in-force partition and restart wait immediately.
+    pub fn heal_all(&self) {
+        let mut core = self.state.mu.lock();
+        for i in 0..core.replicas.len() {
+            if core.replicas[i].crashed_until.take().is_some() {
+                core.rnote(i, "daemon restarted early (healed, cache cold)".to_string());
+            }
+            if core.replicas[i].partitioned_until.take().is_some() {
+                core.rnote(i, "partition healed early".to_string());
+            }
+        }
+    }
+
+    /// The current committed model generation of each replica's live
+    /// service (restarted incarnations start over at 0).
+    pub fn generations(&self) -> Vec<u64> {
+        let core = self.state.mu.lock();
+        core.replicas.iter().map(|r| r.service.snapshot(sim_gauges()).model_generation).collect()
     }
 
     /// Current virtual time in milliseconds.
@@ -268,52 +365,58 @@ impl SimNet {
         self.state.mu.lock().log.clone()
     }
 
-    /// Audits the final daemon incarnation and returns every invariant
-    /// violation the run produced (empty means the run was clean).
+    /// Audits the final incarnation of every replica and returns every
+    /// invariant violation the run produced (empty means clean).
     pub fn finish(&self) -> Vec<String> {
         let mut core = self.state.mu.lock();
-        core.end_incarnation("final audit");
+        for i in 0..core.replicas.len() {
+            core.end_incarnation(i, "final audit");
+        }
         core.violations.clone()
     }
 }
 
 /// The client side of the simulated network; implements [`Transport`] so
-/// [`chronus::remote::PredictClient`] runs on it unchanged.
+/// [`chronus::remote::PredictClient`] runs on it unchanged. Each
+/// transport is pinned to one replica, exactly like a TCP endpoint.
 pub struct SimTransport {
     net: Arc<NetState>,
+    replica: usize,
 }
 
 impl Transport for SimTransport {
     fn connect(&mut self) -> io::Result<Box<dyn Connection>> {
+        let r = self.replica;
         let mut core = self.net.mu.lock();
-        core.tick();
+        core.tick(r);
         core.clock.advance(SimDuration::from_millis(DIAL_MS));
-        if core.crashed_until.is_some() {
-            core.note("dial refused: daemon down".to_string());
+        if core.replicas[r].crashed_until.is_some() {
+            core.rnote(r, "dial refused: daemon down".to_string());
             return Err(io::Error::new(io::ErrorKind::ConnectionRefused, "daemon down"));
         }
         let p_partition = core.plan.partition;
-        if core.partitioned_until.is_none() && core.roll(p_partition) {
+        if core.replicas[r].partitioned_until.is_none() && core.roll(p_partition) {
             let span = core.plan.partition_ms.max(1);
-            core.partitioned_until = Some(core.clock.now() + SimDuration::from_millis(span));
-            core.note(format!("network partition begins ({span}ms)"));
+            core.replicas[r].partitioned_until = Some(core.clock.now() + SimDuration::from_millis(span));
+            core.rnote(r, format!("network partition begins ({span}ms)"));
         }
-        if core.partitioned_until.is_some() {
+        if core.replicas[r].partitioned_until.is_some() {
             core.clock.advance(SimDuration::from_millis(DIAL_TIMEOUT_MS));
-            core.note("dial timed out: partitioned".to_string());
+            core.rnote(r, "dial timed out: partitioned".to_string());
             return Err(io::Error::new(io::ErrorKind::TimedOut, "network partitioned"));
         }
         let p_refuse = core.plan.connect_refuse;
         if core.roll(p_refuse) {
-            core.note("dial refused".to_string());
+            core.rnote(r, "dial refused".to_string());
             return Err(io::Error::new(io::ErrorKind::ConnectionRefused, "connection refused"));
         }
         let id = core.next_conn;
         core.next_conn += 1;
-        let incarnation = core.incarnation;
-        core.note(format!("conn {id} established"));
+        let incarnation = core.replicas[r].incarnation;
+        core.rnote(r, format!("conn {id} established"));
         Ok(Box::new(SimConnection {
             net: Arc::clone(&self.net),
+            replica: r,
             id,
             incarnation,
             pending: BytesMut::new(),
@@ -323,7 +426,7 @@ impl Transport for SimTransport {
     }
 
     fn describe(&self) -> String {
-        "simnet://chronusd".to_string()
+        format!("simnet://{}", self.net.mu.lock().replicas[self.replica].label)
     }
 
     /// Client backoffs and Busy hints burn virtual time, not wall time.
@@ -336,9 +439,10 @@ impl Transport for SimTransport {
 }
 
 /// One simulated connection: outbound bytes are reframed and delivered
-/// to the daemon on `flush`; inbound bytes wait in `inbox`.
+/// to its replica on `flush`; inbound bytes wait in `inbox`.
 struct SimConnection {
     net: Arc<NetState>,
+    replica: usize,
     id: u64,
     /// Daemon incarnation this connection was dialed against; a restart
     /// in between resets it, exactly like a real TCP peer dying.
@@ -353,53 +457,54 @@ impl SimConnection {
     /// it survives the gauntlet — the daemon, queueing whatever response
     /// bytes the client should eventually read.
     fn deliver(&mut self, payload: &[u8]) -> io::Result<()> {
+        let r = self.replica;
         let state = Arc::clone(&self.net);
         let mut core = state.mu.lock();
-        core.tick();
+        core.tick(r);
         let plan = core.plan.clone();
 
-        if core.crashed_until.is_some() {
-            core.note(format!("conn {}: reset (daemon down)", self.id));
+        if core.replicas[r].crashed_until.is_some() {
+            core.rnote(r, format!("conn {}: reset (daemon down)", self.id));
             self.dead = Some(io::ErrorKind::ConnectionReset);
             return Err(io::ErrorKind::ConnectionReset.into());
         }
-        if core.incarnation != self.incarnation {
-            core.note(format!("conn {}: reset (stale connection, daemon restarted)", self.id));
+        if core.replicas[r].incarnation != self.incarnation {
+            core.rnote(r, format!("conn {}: reset (stale connection, daemon restarted)", self.id));
             self.dead = Some(io::ErrorKind::ConnectionReset);
             return Err(io::ErrorKind::ConnectionReset.into());
         }
         if core.roll(plan.crash) {
-            core.crash_now();
+            core.crash_now(r);
             self.dead = Some(io::ErrorKind::ConnectionReset);
             return Err(io::ErrorKind::ConnectionReset.into());
         }
-        if core.partitioned_until.is_some() {
-            core.note(format!("conn {}: request lost in partition", self.id));
+        if core.replicas[r].partitioned_until.is_some() {
+            core.rnote(r, format!("conn {}: request lost in partition", self.id));
             return Ok(()); // the client's next read times out
         }
         if core.roll(plan.req_cut) {
             // the wire died mid-frame: the daemon must never see it
-            core.note(format!("conn {}: request frame cut mid-flight", self.id));
+            core.rnote(r, format!("conn {}: request frame cut mid-flight", self.id));
             self.dead = Some(io::ErrorKind::ConnectionReset);
             return Err(io::ErrorKind::ConnectionReset.into());
         }
         if core.roll(plan.req_drop) {
-            core.note(format!("conn {}: request dropped", self.id));
+            core.rnote(r, format!("conn {}: request dropped", self.id));
             return Ok(());
         }
         if core.roll(plan.req_delay) {
             let d = core.rng.gen_range(1..=plan.max_delay_ms.max(1));
             core.clock.advance(SimDuration::from_millis(d));
-            core.note(format!("conn {}: request delayed {d}ms", self.id));
+            core.rnote(r, format!("conn {}: request delayed {d}ms", self.id));
         }
         if core.roll(plan.busy) {
             // what the accept loop does when its queue is full: count it,
             // answer Busy, hang up
-            core.service.stats().busy_rejection();
-            core.ledger.busy_injected += 1;
+            core.replicas[r].service.stats().busy_rejection();
+            core.replicas[r].ledger.busy_injected += 1;
             self.inbox.extend(encode(&Response::Busy { retry_after_ms: plan.retry_after_ms }));
             self.dead = Some(io::ErrorKind::ConnectionAborted);
-            core.note(format!("conn {}: busy bounce (retry after {}ms)", self.id, plan.retry_after_ms));
+            core.rnote(r, format!("conn {}: busy bounce (retry after {}ms)", self.id, plan.retry_after_ms));
             return Ok(());
         }
 
@@ -410,48 +515,52 @@ impl SimConnection {
 
         let frame: RequestFrame =
             serde_json::from_slice(payload).expect("the harness client only writes well-formed frames");
-        let before = core.service.snapshot(sim_gauges());
+        let before = core.replicas[r].service.snapshot(sim_gauges());
         let t0 = core.clock.now();
-        let response = core.service.handle_frame(payload, sim_gauges());
+        let response = core.replicas[r].service.handle_frame(payload, sim_gauges());
         let t1 = core.clock.now();
-        let after = core.service.snapshot(sim_gauges());
+        let after = core.replicas[r].service.snapshot(sim_gauges());
         let elapsed_ms = (t1 - t0).as_millis();
-        if let Err(e) = core.ledger.record_exchange(&frame, &response, &before, &after, elapsed_ms) {
-            let incarnation = core.incarnation;
-            core.violations.push(format!("incarnation {incarnation}: {e}"));
+        if let Err(e) = core.replicas[r].ledger.record_exchange(&frame, &response, &before, &after, elapsed_ms) {
+            let incarnation = core.replicas[r].incarnation;
+            let label = core.replicas[r].label.clone();
+            core.violations.push(format!("{label} incarnation {incarnation}: {e}"));
         }
-        core.note(format!(
-            "conn {}: {} -> {} ({elapsed_ms}ms in service)",
-            self.id,
-            verb_of(&frame.body),
-            kind_of(&response)
-        ));
+        core.rnote(
+            r,
+            format!(
+                "conn {}: {} -> {} ({elapsed_ms}ms in service)",
+                self.id,
+                verb_of(&frame.body),
+                kind_of(&response)
+            ),
+        );
 
         if core.roll(plan.resp_drop) {
-            core.note(format!("conn {}: response dropped", self.id));
+            core.rnote(r, format!("conn {}: response dropped", self.id));
             return Ok(());
         }
         if core.roll(plan.resp_delay) {
             let d = core.rng.gen_range(1..=plan.max_delay_ms.max(1));
             core.clock.advance(SimDuration::from_millis(d));
-            core.note(format!("conn {}: response delayed {d}ms", self.id));
+            core.rnote(r, format!("conn {}: response delayed {d}ms", self.id));
         }
         let wire = encode(&response);
         if core.roll(plan.resp_cut) {
             let cut = (wire.len() / 2).max(1);
             self.inbox.extend(wire[..cut].iter().copied());
             self.dead = Some(io::ErrorKind::ConnectionReset);
-            core.note(format!("conn {}: response cut after {cut}/{} bytes", self.id, wire.len()));
+            core.rnote(r, format!("conn {}: response cut after {cut}/{} bytes", self.id, wire.len()));
             return Ok(());
         }
         if core.roll(plan.reorder) {
             self.inbox.extend(encode(&Response::Pong));
-            core.note(format!("conn {}: stale frame delivered ahead (reorder)", self.id));
+            core.rnote(r, format!("conn {}: stale frame delivered ahead (reorder)", self.id));
         }
         self.inbox.extend(wire.iter().copied());
         if core.roll(plan.duplicate) {
             self.inbox.extend(wire.iter().copied());
-            core.note(format!("conn {}: response duplicated", self.id));
+            core.rnote(r, format!("conn {}: response duplicated", self.id));
         }
         Ok(())
     }
@@ -474,7 +583,8 @@ impl Read for SimConnection {
         let mut core = self.net.mu.lock();
         let ms = core.plan.read_timeout_ms.max(1);
         core.clock.advance(SimDuration::from_millis(ms));
-        core.note(format!("conn {}: read timed out after {ms}ms", self.id));
+        let id = self.id;
+        core.rnote(self.replica, format!("conn {id}: read timed out after {ms}ms"));
         Err(io::ErrorKind::TimedOut.into())
     }
 }
@@ -508,7 +618,7 @@ fn encode(response: &Response) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use chronus::remote::{ClientConfig, PredictClient};
+    use chronus::remote::{CallOptions, PredictClient};
     use eco_sim_node::cpu::CpuConfig;
 
     fn model(id: i64, system_hash: u64, binary_hash: u64) -> PreparedModel {
@@ -522,23 +632,24 @@ mod tests {
     }
 
     fn client(net: &SimNet) -> PredictClient {
-        PredictClient::with_transport(
-            Box::new(net.transport()),
-            ClientConfig {
-                connect_timeout: Duration::from_millis(5),
-                read_timeout: Duration::from_millis(10),
-                max_retries: 1,
-                backoff: Duration::from_millis(2),
-                deadline_ms: Some(15),
-            },
-        )
+        PredictClient::builder()
+            .transport(Box::new(net.transport()))
+            .connect_timeout(Duration::from_millis(5))
+            .read_timeout(Duration::from_millis(10))
+            .max_retries(1)
+            .backoff(Duration::from_millis(2))
+            .deadline_ms(15)
+            .build()
+            .expect("sim client config is valid")
     }
+
+    const OPTS: &CallOptions = &CallOptions { trace: None, deadline_ms: None };
 
     #[test]
     fn clean_network_round_trips_and_advances_virtual_time() {
         let net = SimNet::new(7, FaultPlan::none(), vec![model(1, 10, 20)]);
         let mut c = client(&net);
-        let cfg = c.predict(10, 20).expect("fault-free predict succeeds");
+        let cfg = c.predict(10, 20, OPTS).expect("fault-free predict succeeds");
         assert_eq!(cfg, CpuConfig::new(16, 2_200_000, 1));
         assert!(net.now_ms() >= DIAL_MS, "dialing must cost virtual time");
         assert!(net.finish().is_empty(), "clean run has no violations");
@@ -550,7 +661,7 @@ mod tests {
         let tel = net.telemetry();
         let mut c = client(&net);
         c.set_telemetry(Arc::clone(&tel));
-        c.predict(10, 20).expect("fault-free predict succeeds");
+        c.predict(10, 20, OPTS).expect("fault-free predict succeeds");
         let events = tel.recorder().events();
         let attempt = events.iter().find(|e| e.layer == "client" && e.name == "attempt").expect("attempt span");
         let handle = events.iter().find(|e| e.layer == "daemon" && e.name == "handle").expect("daemon span");
@@ -563,7 +674,7 @@ mod tests {
     fn blackout_fails_fast_without_wall_sleeps() {
         let net = SimNet::new(7, FaultPlan::blackout(), vec![model(1, 10, 20)]);
         let mut c = client(&net);
-        assert!(c.predict(10, 20).is_err(), "no daemon, no answer");
+        assert!(c.predict(10, 20, OPTS).is_err(), "no daemon, no answer");
         assert!(net.finish().is_empty(), "an unreachable daemon violates nothing");
     }
 
@@ -573,7 +684,7 @@ mod tests {
             let net = SimNet::new(seed, FaultPlan::chaos(), vec![model(1, 10, 20)]);
             let mut c = client(&net);
             for _ in 0..20 {
-                let _ = c.predict(10, 20);
+                let _ = c.predict(10, 20, OPTS);
                 let _ = c.ping();
             }
             let violations = net.finish();
@@ -582,5 +693,26 @@ mod tests {
         };
         assert_eq!(run(42), run(42), "same seed must replay identically");
         assert_ne!(run(42), run(43), "different seeds should diverge");
+    }
+
+    #[test]
+    fn fleet_transports_reach_distinct_replicas() {
+        let net = SimNet::fleet(11, FaultPlan::none(), &["r0", "r1", "r2"], vec![model(1, 10, 20)]);
+        assert_eq!(net.replicas(), 3);
+        let mut c = PredictClient::builder()
+            .transport(Box::new(net.transport_for(0)))
+            .transport(Box::new(net.transport_for(1)))
+            .transport(Box::new(net.transport_for(2)))
+            .build()
+            .unwrap();
+        assert_eq!(c.endpoints(), vec!["simnet://r0", "simnet://r1", "simnet://r2"]);
+        c.predict(10, 20, OPTS).expect("fleet predict succeeds");
+        // killing one replica reroutes instead of failing
+        net.kill_replica(0, 1_000_000);
+        net.kill_replica(1, 1_000_000);
+        for _ in 0..4 {
+            c.predict(10, 20, OPTS).expect("one live replica still answers");
+        }
+        assert!(net.finish().is_empty(), "fleet run has no violations");
     }
 }

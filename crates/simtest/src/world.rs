@@ -35,7 +35,7 @@ use chronus::domain::{Benchmark, LoadedModel, PluginState, Settings};
 use chronus::hash::{binary_hash, system_hash};
 use chronus::integrations::storage::EtcStorage;
 use chronus::interfaces::LocalStorage;
-use chronus::remote::{ClientConfig, PredictClient, RemotePrediction};
+use chronus::remote::{CallOptions, PredictClient, RemotePrediction};
 use chronus::telemetry::{TraceContext, TraceEvent};
 use chronusd::backend::PreparedModel;
 use eco_hpcg::workload::{ScalingKind, SyntheticWorkload};
@@ -181,14 +181,19 @@ fn storage_root(plan: &str, seed: u64) -> PathBuf {
     dir
 }
 
-fn client_cfg(plan: &FaultPlan) -> ClientConfig {
-    ClientConfig {
-        connect_timeout: Duration::from_millis(5),
-        read_timeout: Duration::from_millis(plan.read_timeout_ms),
-        max_retries: 1,
-        backoff: Duration::from_millis(2),
-        deadline_ms: Some(15),
-    }
+/// The submit-path client every world run uses: tight timeouts, one
+/// retry, a 15ms server-side deadline — the same budget the plugin
+/// would configure in production.
+fn sim_client(plan: &FaultPlan, transport: crate::net::SimTransport) -> PredictClient {
+    PredictClient::builder()
+        .transport(Box::new(transport))
+        .connect_timeout(Duration::from_millis(5))
+        .read_timeout(Duration::from_millis(plan.read_timeout_ms))
+        .max_retries(1)
+        .backoff(Duration::from_millis(2))
+        .deadline_ms(15)
+        .build()
+        .expect("sim client config is valid")
 }
 
 /// Runs the whole pipeline once under `plan` with every random choice
@@ -261,14 +266,14 @@ pub fn run_seed(seed: u64, plan: &FaultPlan) -> SeedReport {
     eco.register_binary(BIN_A, BIN_A_CONTENTS);
     eco.register_binary(BIN_B, BIN_B_CONTENTS);
     eco.set_telemetry(Arc::clone(&telemetry));
-    let source = Arc::new(RemotePrediction::with_transport(Box::new(net.transport()), client_cfg(plan)));
+    let source = Arc::new(RemotePrediction::from_client(sim_client(plan, net.transport())));
     source.set_telemetry(Arc::clone(&telemetry));
     eco.set_source(source);
     cluster.register_plugin(Box::new(StatsTap { inner: eco, out: Arc::clone(&shared_stats) }));
 
     // An operator poking the daemon over its own connection, interleaved
     // with submissions.
-    let mut admin = PredictClient::with_transport(Box::new(net.transport()), client_cfg(plan));
+    let mut admin = sim_client(plan, net.transport());
     admin.set_telemetry(Arc::clone(&telemetry));
 
     let model_universe = [config_a(), config_b()];
@@ -372,7 +377,7 @@ pub fn run_seed(seed: u64, plan: &FaultPlan) -> SeedReport {
                 }
                 _ => {
                     let model_id = [1i64, 2, 9][rng.gen_range(0..3usize)];
-                    let _ = admin.preload(model_id);
+                    let _ = admin.preload(model_id, &CallOptions::default());
                 }
             }
         }
@@ -431,7 +436,7 @@ pub fn run_seed(seed: u64, plan: &FaultPlan) -> SeedReport {
 /// Writes the failing run's full telemetry export (every trace event,
 /// counter and histogram) where CI can pick it up as an artifact.
 /// `SIMTEST_TRACE_DIR` overrides the default `target/simtest-traces`.
-fn dump_traces(plan: &str, seed: u64, json: &str) -> String {
+pub(crate) fn dump_traces(plan: &str, seed: u64, json: &str) -> String {
     let dir = std::env::var("SIMTEST_TRACE_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|_| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/simtest-traces"));

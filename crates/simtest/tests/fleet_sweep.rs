@@ -1,0 +1,81 @@
+//! The fleet seed sweep: every fault plan × a handful of seeds through
+//! the three-replica fleet world. Failing seeds are reported by number
+//! so they can be replayed locally via
+//! `SIMTEST_FLEET_SEED=<seed> cargo test -p simtest fleet_replay -- --nocapture`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use simtest::{run_fleet_seed, FaultPlan, FLEET_REPLICAS};
+
+/// Seeds per fault plan. Combined with `FaultPlan::all()` this covers
+/// every plan with each replica taking a turn as the kill victim
+/// (victim = seed % replicas, and seeds step by 1).
+const SEEDS_PER_PLAN: u64 = 3;
+
+#[test]
+fn fleet_sweep_across_all_fault_plans() {
+    let plans = FaultPlan::all();
+    let mut failures = Vec::new();
+    for (i, plan) in plans.iter().enumerate() {
+        for s in 0..SEEDS_PER_PLAN {
+            let seed = (i as u64) * SEEDS_PER_PLAN + s;
+            if let Err(panic) = catch_unwind(AssertUnwindSafe(|| run_fleet_seed(seed, plan))) {
+                let detail = panic
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                eprintln!("fleet seed {seed} (plan '{}') FAILED:\n{detail}\n", plan.name);
+                failures.push((seed, plan.name));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} fleet runs violated invariants: {failures:?} — replay with SIMTEST_FLEET_SEED=<seed> cargo test -p \
+         simtest fleet_replay -- --nocapture",
+        failures.len()
+    );
+}
+
+/// Outside `blackout`, a fleet run must lose zero predictions and end
+/// with the killed replica back on the ring.
+#[test]
+fn fleet_runs_converge_and_lose_nothing() {
+    for (seed, plan) in [(1, FaultPlan::none()), (7, FaultPlan::crashes()), (11, FaultPlan::partitions())] {
+        let report = run_fleet_seed(seed, &plan);
+        assert_eq!(report.failed_predictions, 0, "seed {seed} plan '{}' lost predictions", plan.name);
+        assert!(report.converged, "seed {seed} plan '{}' never restored all {FLEET_REPLICAS} replicas", plan.name);
+        assert!(report.predictions >= 36, "choreography ran all phases");
+    }
+}
+
+/// The fleet world is as deterministic as the single-daemon one: the
+/// same seed yields a byte-identical virtual-time event log.
+#[test]
+fn fleet_world_is_deterministic() {
+    let a = run_fleet_seed(42, &FaultPlan::chaos());
+    let b = run_fleet_seed(42, &FaultPlan::chaos());
+    assert_eq!(a.log, b.log, "same seed, same fleet history");
+    assert_eq!(a.predictions, b.predictions);
+}
+
+/// Replay hook: `SIMTEST_FLEET_SEED=<seed> cargo test -p simtest
+/// fleet_replay -- --nocapture` re-runs one seed under its sweep plan
+/// and dumps the full event log.
+#[test]
+fn fleet_replay() {
+    let Ok(seed) = std::env::var("SIMTEST_FLEET_SEED") else { return };
+    let seed: u64 = seed.parse().expect("SIMTEST_FLEET_SEED must be a u64");
+    let plans = FaultPlan::all();
+    let plan = &plans[(seed / SEEDS_PER_PLAN) as usize % plans.len()];
+    println!("replaying fleet seed {seed} under plan '{}'", plan.name);
+    let report = run_fleet_seed(seed, plan);
+    for line in &report.log {
+        println!("{line}");
+    }
+    println!(
+        "seed {seed}: {} predictions, {} failed, converged={}",
+        report.predictions, report.failed_predictions, report.converged
+    );
+}
