@@ -37,5 +37,7 @@ pub use journal::{FlakyJournal, Journal, RecordJournal, TrialEntry, TrialStatus}
 pub use plan::{
     BruteForcePlan, CampaignPlan, PlanSpec, SuccessiveHalvingPlan, TrialMeasurement, TrialResult, TrialSpec,
 };
-pub use rollout::{rebuild_model, roll_into, roll_into_fleet, FleetRolloutReport, RolloutAck, RolloutTarget};
+pub use rollout::{
+    commit_to_store, rebuild_model, roll_into, roll_into_fleet, FleetRolloutReport, RolloutAck, RolloutTarget,
+};
 pub use spec::CampaignSpec;

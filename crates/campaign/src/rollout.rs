@@ -7,9 +7,12 @@
 //! served); this module's job is only to drive the sequence and surface
 //! typed failures the campaign CLI can retry.
 
+use crate::engine::CampaignOutcome;
 use crate::error::{CampaignError, Result};
+use crate::spec::CampaignSpec;
 use chronus::remote::{CallOptions, PredictClient};
 use chronus::{Chronus, LoadedModel};
+use eco_store::{ModelBlob, ModelRecord, ModelStore, Provenance, StoreError};
 
 /// Acknowledgement of a committed rollout.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +76,44 @@ pub fn rebuild_model(
 ) -> chronus::Result<LoadedModel> {
     let meta = app.init_model(model_type, system_id, binary_hash, now_ms)?;
     app.load_model(meta.id)
+}
+
+/// Commits a staged model to the durable store *before* any replica is
+/// asked to serve it: the blob (benchmark rows + winning configuration)
+/// lands atomically under its content address, then the metadata record
+/// — with full build provenance (campaign, seed, plan, trial economics,
+/// best calibration) and lineage — is appended to the ledger. A model
+/// that was never durably committed is a model the fleet never rolls
+/// out, so a crashed rollout can always be replayed from the store.
+pub fn commit_to_store(
+    store: &mut ModelStore,
+    staged: &LoadedModel,
+    spec: &CampaignSpec,
+    outcome: &CampaignOutcome,
+) -> std::result::Result<ModelRecord, StoreError> {
+    let blob = ModelBlob {
+        model_type: staged.model_type.clone(),
+        system_hash: staged.system_hash,
+        binary_hash: staged.binary_hash,
+        config: outcome.best,
+        benchmarks: outcome.benchmarks.clone(),
+    };
+    let best_gflops_per_watt = outcome
+        .benchmarks
+        .iter()
+        .filter(|b| b.avg_system_w > 0.0)
+        .map(|b| b.gflops / b.avg_system_w)
+        .fold(0.0f64, f64::max);
+    let provenance = Provenance {
+        campaign: spec.name.clone(),
+        seed: spec.seed,
+        plan: spec.plan.name().to_string(),
+        trials_run: outcome.trials_run as u64,
+        trials_skipped: outcome.trials_skipped as u64,
+        trial_seconds: outcome.trial_seconds,
+        best_gflops_per_watt,
+    };
+    store.commit(&blob, staged.model_id, provenance)
 }
 
 /// Drives a staged model into a live daemon, verifying the committed
@@ -251,6 +292,84 @@ mod tests {
         let mut stale = FakeTarget { gen: 2, fail: false };
         let err = roll_into(&mut stale, 7, Some(9)).unwrap_err();
         assert!(matches!(err, CampaignError::Rollout(_)), "{err}");
+    }
+
+    #[test]
+    fn commit_to_store_lands_before_rollout_with_full_provenance() {
+        use crate::plan::PlanSpec;
+        use chronus::domain::Benchmark;
+        use eco_sim_node::cpu::CpuConfig;
+        use eco_sim_node::sysinfo::SystemFacts;
+        use eco_store::MemBackend;
+
+        let best = CpuConfig::new(16, 2_200_000, 1);
+        let staged = LoadedModel {
+            model_id: 7,
+            model_type: "brute-force".into(),
+            local_path: "/opt/chronus/optimizer".into(),
+            system_hash: 42,
+            binary_hash: 77,
+            facts: SystemFacts {
+                cpu_name: "EPYC 7502P".into(),
+                cores: 32,
+                threads_per_core: 2,
+                frequencies_khz: vec![1_500_000, 2_200_000, 2_500_000],
+                ram_gb: 256,
+            },
+            benchmarks_path: None,
+        };
+        let bench = Benchmark {
+            id: 1,
+            system_id: 1,
+            binary_hash: 77,
+            config: best,
+            gflops: 30.0,
+            runtime_s: 60.0,
+            avg_system_w: 200.0,
+            avg_cpu_w: 120.0,
+            avg_cpu_temp_c: 55.0,
+            system_energy_j: 12_000.0,
+            cpu_energy_j: 7_200.0,
+            sample_count: 30,
+        };
+        let spec = CampaignSpec {
+            name: "nightly".into(),
+            configs: vec![best],
+            plan: PlanSpec::BruteForce,
+            seed: 9,
+            sample_interval_ms: 2_000,
+            full_work_gflop: 1_000.0,
+            nx: 104,
+        };
+        let outcome = CampaignOutcome {
+            plan: "brute-force".into(),
+            rounds: 1,
+            trials_run: 3,
+            trials_skipped: 1,
+            trials_failed: 0,
+            trial_seconds: 55.5,
+            best,
+            benchmarks: vec![bench],
+            system_id: 1,
+            binary_hash: 77,
+        };
+
+        let mut store = ModelStore::open(Box::new(MemBackend::new())).unwrap();
+        let record = commit_to_store(&mut store, &staged, &spec, &outcome).unwrap();
+        assert_eq!(record.generation, 1);
+        assert_eq!(record.model_id, 7);
+        assert_eq!((record.system_hash, record.binary_hash), (42, 77));
+        assert_eq!(record.config, best);
+        assert_eq!(record.provenance.campaign, "nightly");
+        assert_eq!(record.provenance.seed, 9);
+        assert_eq!(record.provenance.plan, "brute-force");
+        assert_eq!(record.provenance.trials_run, 3);
+        assert!((record.provenance.best_gflops_per_watt - 0.15).abs() < 1e-9);
+        // the blob is durably readable and hash-verified before any
+        // replica is asked to serve the model
+        let blob = store.load_blob(&record).unwrap();
+        assert_eq!(blob.benchmarks.len(), 1);
+        assert_eq!(blob.config, best);
     }
 
     #[test]

@@ -16,10 +16,11 @@
 //! Daemon-era commands extend the workflow:
 //!
 //! ```text
-//! chronus serve --addr 127.0.0.1:4517 --workers 4 --cache-cap 64 [--fleet 3]
+//! chronus serve --addr 127.0.0.1:4517 --workers 4 --cache-cap 64 [--fleet 3] [--store DIR] [--sync-from ADDR]
 //! chronus slurm-config --remote 127.0.0.1:4517[,127.0.0.1:4518,...] <SYSTEM_HASH> <BINARY_HASH>
 //! chronus stats --remote 127.0.0.1:4517[,...] [--all-replicas]
 //! chronus trace job.sh [--user alice] [--remote 127.0.0.1:4517]
+//! chronus models list|show GEN|verify|rollback GEN --store DIR [--rollout ADDR[,...] --quorum N]
 //! ```
 //!
 //! Everywhere an address is accepted, a comma-separated list names a
@@ -58,9 +59,10 @@ use chronus::presenter;
 use chronus::remote::{CallOptions, PredictClient, RemotePrediction};
 use chronus::telemetry::{render_trace, Telemetry, TraceId};
 use chronusd::campaign::{
-    rebuild_model, roll_into, roll_into_fleet, CampaignEngine, CampaignError, CampaignSpec, Journal, PlanSpec,
-    RecordJournal, RunOptions, TrialStatus,
+    commit_to_store, rebuild_model, roll_into, roll_into_fleet, CampaignEngine, CampaignError, CampaignSpec, Journal,
+    PlanSpec, RecordJournal, RunOptions, TrialStatus,
 };
+use chronusd::store::{LedgerRecord, ModelStore};
 use chronusd::{PredictServer, ServerConfig, StorageBackend};
 use eco_hpcg::perf_model::PerfModel;
 use eco_hpcg::workload::{HpcgWorkload, Workload, PAPER_STANDARD_RUNTIME_S};
@@ -97,12 +99,18 @@ fn client_for(addrs: &str) -> PredictClient {
 /// `chronus serve`: run chronusd over this home's staged model until
 /// killed. `--fleet N` starts N replicas on consecutive ports, each
 /// with its own identity (`r0`, `r1`, ...) stamped on `Stats` answers;
-/// point clients at the comma-separated list it prints.
+/// point clients at the comma-separated list it prints. `--store DIR`
+/// attaches the durable model store: every replica catches up from it
+/// at boot (blob-verified, zero Preload traffic) before accepting
+/// connections. `--sync-from ADDR` additionally pulls committed models
+/// a fresh replica is missing from a running ring peer.
 fn cmd_serve(home: &str, argv: &[&str]) -> ! {
     let base = ServerConfig {
         addr: flag_value(argv, "--addr").unwrap_or("127.0.0.1:4517").to_string(),
         workers: flag_value(argv, "--workers").and_then(|v| v.parse().ok()).unwrap_or(4),
         cache_cap: flag_value(argv, "--cache-cap").and_then(|v| v.parse().ok()).unwrap_or(64),
+        store_dir: flag_value(argv, "--store").map(str::to_string),
+        sync_from: flag_value(argv, "--sync-from").map(str::to_string),
         ..ServerConfig::default()
     };
     let fleet: usize = flag_value(argv, "--fleet").and_then(|v| v.parse().ok()).unwrap_or(1).max(1);
@@ -133,6 +141,19 @@ fn cmd_serve(home: &str, argv: &[&str]) -> ! {
                     cfg.workers,
                     cfg.cache_cap
                 );
+                let boot = s.boot_recovery();
+                if cfg.store_dir.is_some() {
+                    println!("  store catch-up: {} model(s) installed from the ledger", boot.store.installed);
+                    for rejected in &boot.store.rejected {
+                        println!("  store rejected {rejected}");
+                    }
+                }
+                if cfg.sync_from.is_some() {
+                    match &boot.sync_error {
+                        Some(e) => println!("  peer sync failed (continuing cold): {e}"),
+                        None => println!("  peer sync: {} model(s) pulled", boot.synced),
+                    }
+                }
                 endpoints.push(s.addr().to_string());
                 servers.push(s);
             }
@@ -314,8 +335,8 @@ fn campaign_status(journal: &RecordJournal) -> Result<String, String> {
 /// `chronus campaign run|resume|status`: the adaptive benchmark campaign.
 fn cmd_campaign(home: &str, scale: f64, argv: &[&str]) -> Result<String, String> {
     const USAGE: &str = "usage: chronus campaign run [--plan halving|brute-force] [--seed N] \
-                         [--nodes N] [--max-trials N] [--model TYPE] [--rollout ADDR[,ADDR...]] [--quorum N]\n       \
-                         chronus campaign resume [--nodes N] [--max-trials N] [--model TYPE] [--rollout ADDR[,ADDR...]]\n       \
+                         [--nodes N] [--max-trials N] [--model TYPE] [--store DIR] [--rollout ADDR[,ADDR...]] [--quorum N]\n       \
+                         chronus campaign resume [--nodes N] [--max-trials N] [--model TYPE] [--store DIR] [--rollout ADDR[,ADDR...]]\n       \
                          chronus campaign status\n";
     let sub = *argv.first().ok_or_else(|| USAGE.to_string())?;
     std::fs::create_dir_all(format!("{home}/campaign")).map_err(|e| e.to_string())?;
@@ -378,6 +399,17 @@ fn cmd_campaign(home: &str, scale: f64, argv: &[&str]) -> Result<String, String>
         rebuild_model(&mut app, model_type, outcome.system_id, outcome.binary_hash, 0).map_err(|e| e.to_string())?;
     out.push_str(&format!("model {} ({}) staged for serving\n", staged.model_id, staged.model_type));
 
+    // the durable commit comes BEFORE any replica is asked to serve the
+    // model: a store failure aborts the rollout, never the reverse
+    if let Some(dir) = flag_value(argv, "--store") {
+        let mut store = ModelStore::open_dir(dir).map_err(|e| e.to_string())?;
+        let record = commit_to_store(&mut store, &staged, &spec, &outcome).map_err(|e| e.to_string())?;
+        out.push_str(&format!(
+            "model committed to store {dir}: generation {} (parent {}, blob {})\n",
+            record.generation, record.parent, record.blob_hash
+        ));
+    }
+
     if let Some(addr) = flag_value(argv, "--rollout") {
         let mut client = client_for(addr);
         if client.replicas_total() > 1 {
@@ -419,6 +451,141 @@ fn cmd_campaign(home: &str, scale: f64, argv: &[&str]) -> Result<String, String>
     Ok(out)
 }
 
+/// `chronus models list|show|verify|rollback`: audit and operate the
+/// durable model store without touching any daemon memory.
+fn cmd_models(argv: &[&str]) -> Result<String, String> {
+    const USAGE: &str = "usage: chronus models list --store DIR\n       \
+                         chronus models show GEN --store DIR\n       \
+                         chronus models verify --store DIR\n       \
+                         chronus models rollback GEN --store DIR [--reason TEXT] \
+                         [--rollout ADDR[,ADDR...]] [--quorum N]\n";
+    let sub = *argv.first().ok_or_else(|| USAGE.to_string())?;
+    let dir = flag_value(argv, "--store").ok_or_else(|| USAGE.to_string())?;
+    let mut store = ModelStore::open_dir(dir).map_err(|e| e.to_string())?;
+    if store.recovered_truncation() {
+        eprintln!("chronus models: store {dir} had a torn journal tail; recovered to the last valid record");
+    }
+    match sub {
+        "list" => {
+            let serving = store.current_generation();
+            let mut out = format!(
+                "store {dir}: {} commit(s), high-water generation {}, serving generation {}\n",
+                store.commits().count(),
+                store.high_water(),
+                serving
+            );
+            for record in store.ledger() {
+                match record {
+                    LedgerRecord::Commit(m) => out.push_str(&format!(
+                        "{} gen {:>3}  parent {:>3}  model {:>4} ({})  key {:#x}/{:#x}  blob {}  campaign \"{}\" seed {}\n",
+                        if m.generation == serving { "*" } else { " " },
+                        m.generation,
+                        m.parent,
+                        m.model_id,
+                        m.model_type,
+                        m.system_hash,
+                        m.binary_hash,
+                        m.blob_hash,
+                        m.provenance.campaign,
+                        m.provenance.seed,
+                    )),
+                    LedgerRecord::Rollback { to_generation, reason } => {
+                        out.push_str(&format!("  rollback -> gen {to_generation}  (\"{reason}\")\n"))
+                    }
+                }
+            }
+            Ok(out)
+        }
+        "show" => {
+            let generation =
+                argv.get(1).and_then(|v| v.parse().ok()).ok_or("models show: expected a generation number")?;
+            let m = store.record(generation).ok_or_else(|| format!("generation {generation} was never committed"))?;
+            let blob_state = match store.load_blob(m) {
+                Ok(blob) => format!("verified ({} benchmark row(s))", blob.benchmarks.len()),
+                Err(e) => format!("FAILED: {e}"),
+            };
+            Ok(format!(
+                "generation {} (parent {}){}\n\
+                 model:      {} ({})\n\
+                 key:        system {:#x} / binary {:#x}\n\
+                 config:     {}\n\
+                 blob:       {}  {}\n\
+                 campaign:   \"{}\" (plan {}, seed {})\n\
+                 trials:     {} run, {} resumed from journal, {:.0} trial-seconds\n\
+                 calibration: best {:.4} GFLOP/s per watt\n",
+                m.generation,
+                m.parent,
+                if m.generation == store.current_generation() { "  [serving]" } else { "" },
+                m.model_id,
+                m.model_type,
+                m.system_hash,
+                m.binary_hash,
+                m.config,
+                m.blob_hash,
+                blob_state,
+                m.provenance.campaign,
+                m.provenance.plan,
+                m.provenance.seed,
+                m.provenance.trials_run,
+                m.provenance.trials_skipped,
+                m.provenance.trial_seconds,
+                m.provenance.best_gflops_per_watt,
+            ))
+        }
+        "verify" => {
+            let issues = store.verify();
+            let mut out =
+                format!("store {dir}: {} commit(s) audited, {} issue(s)\n", store.commits().count(), issues.len());
+            let mut fatal = 0;
+            for issue in &issues {
+                out.push_str(&format!("  {}\n", issue.detail));
+                if issue.generation > 0 {
+                    fatal += 1;
+                }
+            }
+            // orphan blobs (generation 0) are crash residue, not damage;
+            // anything anchored to a committed generation is
+            if fatal > 0 {
+                return Err(format!("{out}{fatal} committed generation(s) failed verification"));
+            }
+            Ok(out)
+        }
+        "rollback" => {
+            let generation =
+                argv.get(1).and_then(|v| v.parse().ok()).ok_or("models rollback: expected a generation number")?;
+            let reason = flag_value(argv, "--reason").unwrap_or("operator rollback");
+            let record = store.rollback_to(generation, reason).map_err(|e| e.to_string())?;
+            let mut out = format!(
+                "store {dir} rolled back to generation {}: model {} ({}) is the serving record\n",
+                record.generation, record.model_id, record.model_type
+            );
+            if let Some(addr) = flag_value(argv, "--rollout") {
+                let mut client = client_for(addr);
+                let quorum = flag_value(argv, "--quorum")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(client.replicas_total() / 2 + 1);
+                match roll_into_fleet(&mut client, record.model_id, None, quorum) {
+                    Ok(report) => out.push_str(&format!(
+                        "fleet rollback into {addr}: model {} restored on {}/{} replicas (quorum {})\n",
+                        record.model_id,
+                        report.acks.len(),
+                        report.acks.len() + report.failures.len(),
+                        report.quorum
+                    )),
+                    Err(e) => {
+                        return Err(format!(
+                            "{out}fleet rollback into {addr} failed: {e}\n\
+                             (the store ledger already records the rollback; re-run with --rollout to retry)"
+                        ))
+                    }
+                }
+            }
+            Ok(out)
+        }
+        _ => Err(USAGE.to_string()),
+    }
+}
+
 fn main() {
     let home = std::env::var("CHRONUS_HOME").unwrap_or_else(|_| "./chronus-home".to_string());
     let scale: f64 = std::env::var("CHRONUS_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(0.02);
@@ -441,6 +608,19 @@ fn main() {
     }
     if argv.first() == Some(&"stats") {
         cmd_stats(&argv[1..]);
+    }
+    // the store CLI needs neither the testbed nor the database
+    if argv.first() == Some(&"models") {
+        match cmd_models(&argv[1..]) {
+            Ok(out) => {
+                print!("{out}");
+                return;
+            }
+            Err(e) => {
+                eprintln!("chronus: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     // the campaign drives its own multi-node cluster and opens the
     // database itself, so it must run before the app below takes the

@@ -51,8 +51,16 @@ pub mod campaign {
     pub use eco_campaign::*;
 }
 
+/// The durable model store (re-exported from `eco-store`): the
+/// content-addressed blob area and append-only provenance ledger behind
+/// `chronusd --store`, the campaign's pre-rollout commit, and the
+/// `chronus models` audit/rollback CLI.
+pub mod store {
+    pub use eco_store::*;
+}
+
 pub use backend::{ModelBackend, PreparedModel, StaticBackend, StorageBackend};
 pub use registry::{ModelKey, ModelRegistry, ResidentModel};
-pub use server::{PredictServer, ServerConfig};
-pub use service::{PredictService, QueueGauges, ServiceClock, WallClock};
+pub use server::{BootRecovery, PredictServer, ServerConfig};
+pub use service::{PredictService, QueueGauges, ServiceClock, StoreCatchUp, WallClock};
 pub use stats::ServerStats;

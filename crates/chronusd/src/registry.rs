@@ -192,6 +192,27 @@ impl ModelRegistry {
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
     }
+
+    /// Every *committed* resident entry as
+    /// `(key, model_id, model_type, config, generation)`, sorted by
+    /// generation then key. This is the daemon's answer to an
+    /// anti-entropy `SyncModels` pull, so uncommitted (stale) entries
+    /// are excluded — a peer must never catch up onto a half-rolled-out
+    /// model.
+    pub fn committed_entries(&self) -> Vec<(ModelKey, i64, String, CpuConfig, u64)> {
+        let committed = self.generation();
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read();
+            for (key, m) in &shard.entries {
+                if m.generation <= committed {
+                    out.push((*key, m.model_id, m.model_type.clone(), m.config, m.generation));
+                }
+            }
+        }
+        out.sort_by_key(|a| (a.4, a.0));
+        out
+    }
 }
 
 #[cfg(test)]
@@ -279,6 +300,22 @@ mod tests {
         reg.insert((5, 6), 4, "lr".into(), cfg(16));
         assert_eq!(reg.lookup(&(5, 6)), Lookup::Hit { model_id: 4, model_type: "lr".into(), config: cfg(16) });
         assert_eq!(reg.lookup(&(9, 9)), Lookup::Miss);
+    }
+
+    #[test]
+    fn committed_entries_exclude_uncommitted_generations() {
+        let reg = ModelRegistry::new(2, 8);
+        reg.insert((1, 1), 1, "bf".into(), cfg(8));
+        let gen = reg.begin_rollout();
+        reg.insert_at((2, 2), 2, "bf".into(), cfg(16), gen);
+        reg.commit_rollout(gen);
+        let half = reg.begin_rollout();
+        reg.insert_at((3, 3), 3, "bf".into(), cfg(32), half); // never committed
+        let entries = reg.committed_entries();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].0, (1, 1), "sorted by generation then key");
+        assert_eq!(entries[1].0, (2, 2));
+        assert!(entries.iter().all(|(_, _, _, _, g)| *g <= reg.generation()));
     }
 
     #[test]

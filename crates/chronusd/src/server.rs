@@ -21,9 +21,13 @@ use chronus::remote::{take_frame, write_frame, Response, StatsSnapshot};
 use chronus::telemetry::Histogram;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 
+use chronus::remote::{CallOptions, PredictClient};
+use eco_store::ModelStore;
+use parking_lot::Mutex;
+
 use crate::backend::ModelBackend;
 use crate::registry::ModelRegistry;
-use crate::service::{PredictService, QueueGauges};
+use crate::service::{PredictService, QueueGauges, StoreCatchUp};
 
 /// Server knobs.
 #[derive(Debug, Clone)]
@@ -43,6 +47,18 @@ pub struct ServerConfig {
     /// This daemon's fleet identity, stamped on `Stats` answers
     /// (empty = unnamed single daemon).
     pub replica_id: String,
+    /// Durable model store directory. When set, the daemon opens the
+    /// store at boot and re-installs every serving model — blob
+    /// hash-verified first — before the listener accepts a single
+    /// connection, so a restarted replica is warm with zero Preload
+    /// traffic. The daemon only *reads* the store; the campaign and
+    /// the `chronus models` CLI are its writers.
+    pub store_dir: Option<String>,
+    /// A ring peer (`host:port`) to pull committed models from at
+    /// boot — anti-entropy for a replica whose store is missing or
+    /// behind. A dead peer is non-fatal: the daemon still starts and
+    /// reports the error in [`PredictServer::boot_recovery`].
+    pub sync_from: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -55,6 +71,8 @@ impl Default for ServerConfig {
             cache_shards: 8,
             retry_after_ms: 20,
             replica_id: String::new(),
+            store_dir: None,
+            sync_from: None,
         }
     }
 }
@@ -78,11 +96,24 @@ impl Ctx {
     }
 }
 
+/// Everything the daemon recovered at boot, before the listener
+/// accepted a single connection.
+#[derive(Debug, Default)]
+pub struct BootRecovery {
+    /// Store catch-up outcome (all-zero when `store_dir` is unset).
+    pub store: StoreCatchUp,
+    /// Models pulled from the `sync_from` peer.
+    pub synced: usize,
+    /// Why the peer pull failed, when it did (non-fatal).
+    pub sync_error: Option<String>,
+}
+
 /// A running chronusd instance. Dropping it shuts the daemon down and
 /// joins every thread.
 pub struct PredictServer {
     addr: SocketAddr,
     ctx: Arc<Ctx>,
+    boot: BootRecovery,
     tx: Option<Sender<(Instant, TcpStream)>>,
     accept: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
@@ -90,12 +121,28 @@ pub struct PredictServer {
 
 impl PredictServer {
     /// Binds, spawns the worker pool and the accept thread, and
-    /// returns immediately.
+    /// returns immediately. With [`ServerConfig::store_dir`] set, the
+    /// store is opened and caught up from first, so the registry is
+    /// warm before the address is reachable; an unopenable store is a
+    /// hard error (better dead than silently cold).
     pub fn start(cfg: ServerConfig, backend: Arc<dyn ModelBackend>) -> std::io::Result<PredictServer> {
         let listener = TcpListener::bind(&cfg.addr)?;
         let addr = listener.local_addr()?;
         let workers_n = cfg.workers.max(1);
-        let service = PredictService::new(cfg.cache_shards, cfg.cache_cap, backend).with_replica(cfg.replica_id);
+        let mut service = PredictService::new(cfg.cache_shards, cfg.cache_cap, backend).with_replica(cfg.replica_id);
+        if let Some(dir) = &cfg.store_dir {
+            let store = ModelStore::open_dir(dir).map_err(|e| {
+                std::io::Error::new(std::io::ErrorKind::InvalidData, format!("model store at {dir}: {e}"))
+            })?;
+            service = service.with_store(Arc::new(Mutex::new(store)), dir.clone());
+        }
+        let mut boot = BootRecovery { store: service.catch_up_from_store(), ..BootRecovery::default() };
+        if let Some(peer) = &cfg.sync_from {
+            match sync_from_peer(&service, peer) {
+                Ok(n) => boot.synced = n,
+                Err(e) => boot.sync_error = Some(e),
+            }
+        }
         let queue_wait = service.telemetry().histogram("daemon.queue_wait_us");
         let ctx = Arc::new(Ctx { service, queue_cap: cfg.queue_cap.max(1), workers: workers_n, queue_wait });
         let (tx, rx) = bounded::<(Instant, TcpStream)>(cfg.queue_cap.max(1));
@@ -121,12 +168,17 @@ impl PredictServer {
                 .spawn(move || accept_loop(listener, tx, ctx, retry_after_ms))?
         };
 
-        Ok(PredictServer { addr, ctx, tx: Some(tx), accept: Some(accept), workers })
+        Ok(PredictServer { addr, ctx, boot, tx: Some(tx), accept: Some(accept), workers })
     }
 
     /// The bound address (useful with an ephemeral port).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// What boot-time recovery installed (store catch-up, peer sync).
+    pub fn boot_recovery(&self) -> &BootRecovery {
+        &self.boot
     }
 
     /// A counters snapshot taken in-process (no RPC round trip).
@@ -166,6 +218,21 @@ impl Drop for PredictServer {
     fn drop(&mut self) {
         self.shutdown_impl();
     }
+}
+
+/// Pulls committed models a booting replica is missing from a ring
+/// peer (the `SyncModels` anti-entropy RPC) and installs them, one
+/// committed registry generation per model.
+fn sync_from_peer(service: &PredictService, peer: &str) -> Result<usize, String> {
+    let mut client = PredictClient::builder()
+        .endpoint(peer)
+        .connect_timeout(Duration::from_millis(500))
+        .build()
+        .map_err(|e| format!("sync peer {peer}: {e}"))?;
+    let have = service.registry().generation();
+    let models =
+        client.sync_models(have, &CallOptions::traced(None)).map_err(|e| format!("sync peer {peer}: {e}"))?;
+    Ok(service.apply_sync(&models))
 }
 
 fn accept_loop(listener: TcpListener, tx: Sender<(Instant, TcpStream)>, ctx: Arc<Ctx>, retry_after_ms: u64) {

@@ -13,8 +13,10 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use chronus::error::ChronusError;
-use chronus::remote::{Request, RequestFrame, Response, StatsSnapshot};
+use chronus::remote::{ModelSync, Request, RequestFrame, Response, StatsSnapshot};
 use chronus::telemetry::{Telemetry, TraceContext};
+use eco_store::ModelStore;
+use parking_lot::Mutex;
 
 use crate::backend::ModelBackend;
 use crate::registry::{Lookup, ModelRegistry};
@@ -51,6 +53,25 @@ pub struct QueueGauges {
     pub workers: u64,
 }
 
+/// A service's attached durable store: the handle itself plus the
+/// operator-facing directory label stamped on `Stats` answers. The
+/// daemon is a read-only consumer — the campaign CLI is the writer —
+/// so every use is either a boot catch-up or a gauge read.
+struct StoreHandle {
+    store: Arc<Mutex<ModelStore>>,
+    dir: String,
+}
+
+/// What [`PredictService::catch_up_from_store`] installed and refused.
+#[derive(Debug, Default)]
+pub struct StoreCatchUp {
+    /// Models installed, one committed registry generation each.
+    pub installed: usize,
+    /// Serving records refused because their blob failed verification
+    /// (missing, hash mismatch, or unparseable) — never installed.
+    pub rejected: Vec<String>,
+}
+
 /// The transport-independent daemon core: one instance per daemon,
 /// shared by every worker (all methods take `&self`).
 pub struct PredictService {
@@ -61,6 +82,7 @@ pub struct PredictService {
     telemetry: Arc<Telemetry>,
     shutdown: AtomicBool,
     replica: String,
+    store: Option<StoreHandle>,
 }
 
 impl PredictService {
@@ -100,6 +122,7 @@ impl PredictService {
             telemetry,
             shutdown: AtomicBool::new(false),
             replica: String::new(),
+            store: None,
         }
     }
 
@@ -114,6 +137,61 @@ impl PredictService {
     /// This daemon's fleet identity (empty when unnamed).
     pub fn replica(&self) -> &str {
         &self.replica
+    }
+
+    /// Attaches a durable model store. `dir` is the operator-facing
+    /// directory label stamped on `Stats` answers (how `chronus stats`
+    /// distinguishes store-backed replicas from memory-only ones). The
+    /// caller runs [`PredictService::catch_up_from_store`] afterwards;
+    /// attaching alone installs nothing.
+    pub fn with_store(mut self, store: Arc<Mutex<ModelStore>>, dir: impl Into<String>) -> PredictService {
+        self.store = Some(StoreHandle { store, dir: dir.into() });
+        self
+    }
+
+    /// Self-serve catch-up: installs every record the attached store
+    /// says should be serving ([`ModelStore::serving`] — the ledger
+    /// folded with rollback-rewind semantics), each under its own
+    /// committed registry generation, oldest first. Every blob is
+    /// loaded and hash-verified *before* its record installs: a model
+    /// whose blob fails verification is reported and never served.
+    /// No-op without a store.
+    pub fn catch_up_from_store(&self) -> StoreCatchUp {
+        let mut report = StoreCatchUp::default();
+        let Some(handle) = &self.store else { return report };
+        let mut store = handle.store.lock();
+        let _ = store.refresh();
+        for record in store.serving() {
+            if let Err(e) = store.load_blob(record) {
+                report.rejected.push(format!("generation {}: {e}", record.generation));
+                continue;
+            }
+            let gen = self.registry.begin_rollout();
+            self.registry.insert_at(
+                (record.system_hash, record.binary_hash),
+                record.model_id,
+                record.model_type.clone(),
+                record.config,
+                gen,
+            );
+            self.registry.commit_rollout(gen);
+            self.stats.store_catchup();
+            report.installed += 1;
+        }
+        report
+    }
+
+    /// Installs models pulled from a ring peer's `SyncModels` answer
+    /// (the anti-entropy path for store-less replicas), one committed
+    /// registry generation per model. Returns how many were installed.
+    pub fn apply_sync(&self, models: &[ModelSync]) -> usize {
+        for m in models {
+            let gen = self.registry.begin_rollout();
+            self.registry.insert_at((m.system_hash, m.binary_hash), m.model_id, m.model_type.clone(), m.config, gen);
+            self.registry.commit_rollout(gen);
+            self.stats.store_catchup();
+        }
+        models.len()
     }
 
     /// The model registry (tests, preload-at-boot).
@@ -152,6 +230,10 @@ impl PredictService {
             self.registry.generation(),
         );
         snap.replica = self.replica.clone();
+        if let Some(handle) = &self.store {
+            snap.store_dir = handle.dir.clone();
+            snap.store_generation = handle.store.lock().high_water();
+        }
         snap
     }
 
@@ -279,6 +361,7 @@ impl PredictService {
                 // when its generation commits, so a load that fails (or a
                 // daemon observed mid-flow) can never serve a half-loaded
                 // answer
+                self.stats.preload();
                 let generation = self.registry.begin_rollout();
                 match self.backend.load(model_id) {
                     Ok(model) => {
@@ -301,7 +384,46 @@ impl PredictService {
                     }
                 }
             }
-            Request::Stats => Response::Stats(self.snapshot(gauges)),
+            Request::Stats => {
+                // the campaign CLI may have appended to a shared store
+                // dir since boot; refresh (read-only — refresh never
+                // truncates) so the generation gauge is current
+                if let Some(handle) = &self.store {
+                    let _ = handle.store.lock().refresh();
+                }
+                Response::Stats(self.snapshot(gauges))
+            }
+            Request::SyncModels { have_generation } => {
+                let store = self.store.as_ref().map(|h| h.store.lock());
+                let models: Vec<ModelSync> = self
+                    .registry
+                    .committed_entries()
+                    .into_iter()
+                    .filter(|(_, _, _, _, generation)| *generation > have_generation)
+                    .map(|((system_hash, binary_hash), model_id, model_type, config, generation)| ModelSync {
+                        model_id,
+                        model_type,
+                        system_hash,
+                        binary_hash,
+                        config,
+                        generation,
+                        blob_hash: store
+                            .as_ref()
+                            .and_then(|s| {
+                                s.commits()
+                                    .filter(|r| {
+                                        r.model_id == model_id
+                                            && r.system_hash == system_hash
+                                            && r.binary_hash == binary_hash
+                                    })
+                                    .last()
+                                    .map(|r| r.blob_hash.clone())
+                            })
+                            .unwrap_or_default(),
+                    })
+                    .collect();
+                Response::Models { models }
+            }
             Request::Burn { ms } => {
                 let budget = Duration::from_millis(ms.min(MAX_BURN_MS));
                 let started = Instant::now();
@@ -321,6 +443,7 @@ fn verb_of(request: &Request) -> &'static str {
         Request::Predict { .. } => "predict",
         Request::Preload { .. } => "preload",
         Request::Stats => "stats",
+        Request::SyncModels { .. } => "sync_models",
         Request::Burn { .. } => "burn",
     }
 }
@@ -478,6 +601,80 @@ mod tests {
         let snap = svc.snapshot(QueueGauges::default());
         assert_eq!(snap.stale_generation_hits, 1);
         assert_eq!(snap.cache_misses, 1, "a stale refusal is also a miss");
+    }
+
+    #[test]
+    fn catch_up_from_store_installs_only_hash_verified_models() {
+        use eco_store::{blob_hash, MemBackend, ModelBlob, Provenance, BLOB_DIR};
+
+        let mem = MemBackend::new();
+        let mut store = ModelStore::open(Box::new(mem.clone())).unwrap();
+        let good = ModelBlob {
+            model_type: "brute-force".into(),
+            system_hash: 10,
+            binary_hash: 20,
+            config: CpuConfig::new(16, 2_200_000, 1),
+            benchmarks: Vec::new(),
+        };
+        let bad = ModelBlob { binary_hash: 21, ..good.clone() };
+        store.commit(&good, 1, Provenance::default()).unwrap();
+        let bad_record = store.commit(&bad, 2, Provenance::default()).unwrap();
+        // Corrupt the second blob on disk after commit.
+        let name = format!("{BLOB_DIR}/{}", blob_hash(&bad));
+        let mut bytes = mem.get_raw(&name).unwrap();
+        bytes[0] ^= 0x01;
+        mem.put_raw(&name, bytes);
+
+        let svc = PredictService::new(2, 8, Arc::new(StaticBackend::new(vec![])))
+            .with_store(Arc::new(Mutex::new(store)), "/var/lib/chronus/store");
+        let report = svc.catch_up_from_store();
+        assert_eq!(report.installed, 1);
+        assert_eq!(report.rejected.len(), 1);
+        assert!(report.rejected[0].contains(&format!("generation {}", bad_record.generation)));
+
+        // The verified model serves; the corrupt one was never installed.
+        let ok = frame_bytes(&RequestFrame::new(Request::Predict { system_hash: 10, binary_hash: 20 }));
+        assert!(matches!(svc.handle_frame(&ok, QueueGauges::default()), Response::Config(_)));
+        let corrupt = frame_bytes(&RequestFrame::new(Request::Predict { system_hash: 10, binary_hash: 21 }));
+        assert!(matches!(svc.handle_frame(&corrupt, QueueGauges::default()), Response::Miss { .. }));
+
+        let snap = svc.snapshot(QueueGauges::default());
+        assert_eq!(snap.store_catchups, 1);
+        assert_eq!(snap.preloads, 0, "catch-up involves no Preload RPC");
+        assert_eq!(snap.store_dir, "/var/lib/chronus/store");
+        assert_eq!(snap.store_generation, 2, "high-water gauge counts the corrupt commit too");
+        assert_eq!(snap.model_generation, 1);
+    }
+
+    #[test]
+    fn sync_models_answers_newer_committed_entries_and_peer_applies_them() {
+        let svc = service_with_one_model();
+        let preload = frame_bytes(&RequestFrame::new(Request::Preload { model_id: 1 }));
+        assert!(matches!(svc.handle_frame(&preload, QueueGauges::default()), Response::Preloaded { .. }));
+
+        // A peer that already has generation 1 gets nothing…
+        let caught_up = frame_bytes(&RequestFrame::new(Request::SyncModels { have_generation: 1 }));
+        match svc.handle_frame(&caught_up, QueueGauges::default()) {
+            Response::Models { models } => assert!(models.is_empty()),
+            other => panic!("expected Models, got {other:?}"),
+        }
+        // …a cold peer gets the committed model and installs it.
+        let cold = frame_bytes(&RequestFrame::new(Request::SyncModels { have_generation: 0 }));
+        let models = match svc.handle_frame(&cold, QueueGauges::default()) {
+            Response::Models { models } => models,
+            other => panic!("expected Models, got {other:?}"),
+        };
+        assert_eq!(models.len(), 1);
+        assert_eq!(models[0].generation, 1);
+
+        let peer = PredictService::new(2, 8, Arc::new(StaticBackend::new(vec![])));
+        assert_eq!(peer.apply_sync(&models), 1);
+        let predict = frame_bytes(&RequestFrame::new(Request::Predict { system_hash: 10, binary_hash: 20 }));
+        assert!(matches!(peer.handle_frame(&predict, QueueGauges::default()), Response::Config(_)));
+        let snap = peer.snapshot(QueueGauges::default());
+        assert_eq!(snap.store_catchups, 1);
+        assert_eq!(snap.model_generation, 1);
+        assert!(snap.store_dir.is_empty(), "the pulling peer is memory-only");
     }
 
     #[test]

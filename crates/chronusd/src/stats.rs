@@ -21,6 +21,8 @@ pub struct ServerStats {
     errors: Counter,
     stale_generation_hits: Counter,
     generation_rollbacks: Counter,
+    preloads: Counter,
+    store_catchups: Counter,
     latency: Histogram,
 }
 
@@ -45,6 +47,8 @@ impl ServerStats {
             errors: Counter::new(),
             stale_generation_hits: Counter::new(),
             generation_rollbacks: Counter::new(),
+            preloads: Counter::new(),
+            store_catchups: Counter::new(),
             latency: Histogram::new(),
         }
     }
@@ -62,6 +66,8 @@ impl ServerStats {
             errors: telemetry.counter("daemon.errors"),
             stale_generation_hits: telemetry.counter("daemon.stale_generation_hits"),
             generation_rollbacks: telemetry.counter("daemon.generation_rollbacks"),
+            preloads: telemetry.counter("daemon.preloads"),
+            store_catchups: telemetry.counter("daemon.store_catchups"),
             latency: telemetry.histogram("daemon.service_us"),
         }
     }
@@ -105,6 +111,17 @@ impl ServerStats {
         self.generation_rollbacks.bump();
     }
 
+    /// A `Preload` request was handled (committed or rolled back).
+    pub fn preload(&self) {
+        self.preloads.bump();
+    }
+
+    /// A model was installed outside any `Preload` RPC: boot catch-up
+    /// from the configured store, or an anti-entropy `SyncModels` pull.
+    pub fn store_catchup(&self) {
+        self.store_catchups.bump();
+    }
+
     /// Records one request's handling latency.
     pub fn record_latency_us(&self, us: u64) {
         self.latency.record_us(us);
@@ -139,6 +156,11 @@ impl ServerStats {
             model_generation,
             stale_generation_hits: self.stale_generation_hits.get(),
             generation_rollbacks: self.generation_rollbacks.get(),
+            preloads: self.preloads.get(),
+            store_catchups: self.store_catchups.get(),
+            // store gauges live with the service, which stamps them
+            store_dir: String::new(),
+            store_generation: 0,
             latency_p50_us: self.latency.percentile_us(0.50),
             latency_p99_us: self.latency.percentile_us(0.99),
             latency_max_us: self.latency.max_us(),
@@ -199,6 +221,22 @@ mod tests {
         assert_eq!(snap.model_generation, 3);
         assert_eq!(telemetry.counter("daemon.stale_generation_hits").get(), 2);
         assert_eq!(telemetry.counter("daemon.generation_rollbacks").get(), 1);
+    }
+
+    #[test]
+    fn store_counters_accumulate_and_share_the_namespace() {
+        let telemetry = Telemetry::wall();
+        let stats = ServerStats::over(&telemetry);
+        stats.preload();
+        stats.store_catchup();
+        stats.store_catchup();
+        let snap = stats.snapshot(0, 0, 0, 0, 0, 0);
+        assert_eq!(snap.preloads, 1);
+        assert_eq!(snap.store_catchups, 2);
+        assert!(snap.store_dir.is_empty(), "store gauges are stamped by the service, not here");
+        assert_eq!(snap.store_generation, 0);
+        assert_eq!(telemetry.counter("daemon.preloads").get(), 1);
+        assert_eq!(telemetry.counter("daemon.store_catchups").get(), 2);
     }
 
     #[test]

@@ -60,3 +60,89 @@ fn workflow_across_separate_processes() {
     let (ok, _) = chronus(&home, &["frobnicate"]);
     assert!(!ok);
 }
+
+/// The model-store audit surface as separate processes: `chronus models
+/// list|show|verify|rollback` against a store directory on disk,
+/// including a deliberately corrupted blob that `verify` must catch
+/// with a non-zero exit.
+#[test]
+fn models_cli_audits_and_rolls_back_a_store() {
+    use chronusd::store::{ModelBlob, ModelStore, Provenance};
+    use eco_sim_node::cpu::CpuConfig;
+
+    let home = std::env::temp_dir().join(format!("eco-clibin-models-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&home);
+    std::fs::create_dir_all(&home).unwrap();
+    let dir = home.join("store");
+    let dir_s = dir.to_str().unwrap().to_string();
+
+    // Two committed generations, written the way a campaign would.
+    let blob = |config| ModelBlob {
+        model_type: "brute-force".into(),
+        system_hash: 10,
+        binary_hash: 20,
+        config,
+        benchmarks: Vec::new(),
+    };
+    let gen2_hash = {
+        let mut store = ModelStore::open_dir(&dir_s).unwrap();
+        store
+            .commit(
+                &blob(CpuConfig::new(32, 2_200_000, 1)),
+                1,
+                Provenance { campaign: "night-1".into(), ..Provenance::default() },
+            )
+            .unwrap();
+        store
+            .commit(
+                &blob(CpuConfig::new(16, 1_500_000, 2)),
+                2,
+                Provenance { campaign: "night-2".into(), ..Provenance::default() },
+            )
+            .unwrap()
+            .blob_hash
+    };
+
+    let (ok, out) = chronus(&home, &["models", "list", "--store", &dir_s]);
+    assert!(ok, "{out}");
+    assert!(out.contains("2 commit(s), high-water generation 2, serving generation 2"), "{out}");
+    assert!(out.contains("campaign \"night-1\""), "{out}");
+
+    let (ok, out) = chronus(&home, &["models", "show", "2", "--store", &dir_s]);
+    assert!(ok, "{out}");
+    assert!(out.contains("[serving]"), "{out}");
+    assert!(out.contains("verified (0 benchmark row(s))"), "{out}");
+
+    let (ok, out) = chronus(&home, &["models", "verify", "--store", &dir_s]);
+    assert!(ok, "{out}");
+    assert!(out.contains("0 issue(s)"), "{out}");
+
+    // Rollback appends to the ledger; the next list shows both the
+    // rollback record and the restored serving generation.
+    let (ok, out) = chronus(&home, &["models", "rollback", "1", "--store", &dir_s, "--reason", "regression"]);
+    assert!(ok, "{out}");
+    assert!(out.contains("rolled back to generation 1"), "{out}");
+    let (ok, out) = chronus(&home, &["models", "list", "--store", &dir_s]);
+    assert!(ok, "{out}");
+    assert!(out.contains("serving generation 1"), "{out}");
+    assert!(out.contains("rollback -> gen 1  (\"regression\")"), "{out}");
+    assert!(out.contains("high-water generation 2"), "{out}");
+
+    // Flip one byte in generation 2's blob: verify must name the
+    // damaged generation and exit non-zero.
+    let blob_path = dir.join("blobs").join(&gen2_hash);
+    let mut bytes = std::fs::read(&blob_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&blob_path, bytes).unwrap();
+    let (ok, out) = chronus(&home, &["models", "verify", "--store", &dir_s]);
+    assert!(!ok, "verify must fail on a corrupt blob: {out}");
+    assert!(out.contains("failed verification"), "{out}");
+
+    // But a generation whose blob is intact still shows verified.
+    let (ok, out) = chronus(&home, &["models", "show", "1", "--store", &dir_s]);
+    assert!(ok, "{out}");
+    assert!(out.contains("verified"), "{out}");
+
+    let _ = std::fs::remove_dir_all(&home);
+}

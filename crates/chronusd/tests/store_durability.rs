@@ -1,0 +1,208 @@
+//! Durable-model E2E over real TCP: replicas booted with `--store`
+//! self-serve catch-up from the shared ledger (zero Preload RPCs), a
+//! store-less replica pulls missing generations from a ring peer, and a
+//! ledger rollback restores the prior generation fleet-wide under
+//! quorum.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use chronus::remote::{CallOptions, PredictClient};
+use chronusd::store::{ModelBlob, ModelStore, Provenance};
+use chronusd::{PredictServer, PreparedModel, ServerConfig, StaticBackend};
+use eco_campaign::roll_into_fleet;
+use eco_sim_node::cpu::CpuConfig;
+
+const OPTS: &CallOptions = &CallOptions { trace: None, deadline_ms: None };
+
+fn temp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eco-store-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn blob(config: CpuConfig) -> ModelBlob {
+    ModelBlob { model_type: "brute-force".into(), system_hash: 10, binary_hash: 20, config, benchmarks: Vec::new() }
+}
+
+fn store_replica(id: &str, dir: &Path, backend: StaticBackend) -> PredictServer {
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        replica_id: id.into(),
+        store_dir: Some(dir.to_str().unwrap().to_string()),
+        ..ServerConfig::default()
+    };
+    PredictServer::start(cfg, Arc::new(backend)).expect("bind ephemeral port")
+}
+
+/// The ISSUE's headline scenario: campaign commits land in the store,
+/// the fleet boots warm from it, and a killed replica restarts
+/// still-warm with **zero** Preload traffic — catch-up is self-served.
+#[test]
+fn restarted_replica_self_serves_current_generation_with_zero_preloads() {
+    let dir = temp_store("catchup");
+    let gen1 = CpuConfig::new(32, 2_200_000, 1);
+    let gen2 = CpuConfig::new(16, 1_500_000, 2);
+    {
+        let mut store = ModelStore::open_dir(dir.to_str().unwrap()).unwrap();
+        store.commit(&blob(gen1), 1, Provenance::default()).unwrap();
+    }
+
+    // Both replicas boot from the shared store: one model installed,
+    // nothing rejected, no Preload RPC ever sent.
+    let r0 = store_replica("r0", &dir, StaticBackend::new(vec![]));
+    let r1 = store_replica("r1", &dir, StaticBackend::new(vec![]));
+    for server in [&r0, &r1] {
+        assert_eq!(server.boot_recovery().store.installed, 1, "boot catch-up installs the serving ledger");
+        assert!(server.boot_recovery().store.rejected.is_empty());
+    }
+    let mut client =
+        PredictClient::builder().endpoints([r0.addr().to_string(), r1.addr().to_string()]).build().unwrap();
+    for _ in 0..8 {
+        assert_eq!(client.predict(10, 20, OPTS).unwrap(), gen1);
+    }
+    let snap = r0.snapshot();
+    assert_eq!(snap.preloads, 0, "catch-up must not ride the Preload RPC");
+    assert_eq!(snap.store_catchups, 1);
+    assert_eq!(snap.model_generation, 1);
+    assert_eq!(snap.store_dir, dir.to_str().unwrap());
+
+    // A new campaign generation lands in the store while r1 is down.
+    drop(client);
+    r1.shutdown();
+    {
+        let mut store = ModelStore::open_dir(dir.to_str().unwrap()).unwrap();
+        store.commit(&blob(gen2), 2, Provenance::default()).unwrap();
+        assert_eq!(store.current_generation(), 2);
+    }
+
+    // r1 restarts with NO client traffic at all: its local store alone
+    // must bring it to the current generation.
+    let reborn = store_replica("r1", &dir, StaticBackend::new(vec![]));
+    assert_eq!(reborn.boot_recovery().store.installed, 1);
+    let snap = reborn.snapshot();
+    assert_eq!(snap.preloads, 0, "restart must be self-served, not re-preloaded");
+    assert_eq!(snap.store_generation, 2, "the ledger high-water is visible in stats");
+
+    // And it answers the current generation's config straight away.
+    let mut direct = PredictClient::builder().endpoint(reborn.addr().to_string()).build().unwrap();
+    assert_eq!(direct.predict(10, 20, OPTS).unwrap(), gen2);
+    assert_eq!(reborn.snapshot().preloads, 0);
+
+    r0.shutdown();
+    reborn.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Anti-entropy: a replica with no store of its own syncs missing
+/// generations from a ring peer at boot and serves them.
+#[test]
+fn store_less_replica_pulls_models_from_peer_at_boot() {
+    let dir = temp_store("sync");
+    let config = CpuConfig::new(32, 2_500_000, 2);
+    {
+        let mut store = ModelStore::open_dir(dir.to_str().unwrap()).unwrap();
+        store.commit(&blob(config), 1, Provenance::default()).unwrap();
+    }
+    let seeded = store_replica("r0", &dir, StaticBackend::new(vec![]));
+
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        replica_id: "r1".into(),
+        sync_from: Some(seeded.addr().to_string()),
+        ..ServerConfig::default()
+    };
+    let cold = PredictServer::start(cfg, Arc::new(StaticBackend::new(vec![]))).expect("bind ephemeral port");
+    assert_eq!(cold.boot_recovery().synced, 1, "one generation pulled from the peer");
+    assert!(cold.boot_recovery().sync_error.is_none());
+
+    let mut direct = PredictClient::builder().endpoint(cold.addr().to_string()).build().unwrap();
+    assert_eq!(direct.predict(10, 20, OPTS).unwrap(), config);
+
+    // A dead peer is a warning, not a boot failure: the daemon still
+    // comes up cold rather than refusing to serve.
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        replica_id: "r2".into(),
+        sync_from: Some("127.0.0.1:9".into()),
+        ..ServerConfig::default()
+    };
+    let orphan = PredictServer::start(cfg, Arc::new(StaticBackend::new(vec![]))).expect("boot survives a dead peer");
+    assert!(orphan.boot_recovery().sync_error.is_some());
+    assert_eq!(orphan.boot_recovery().synced, 0);
+
+    seeded.shutdown();
+    cold.shutdown();
+    orphan.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `chronus models rollback GEN --rollout` semantics at the library
+/// layer: the ledger records the rollback first, then the prior
+/// generation's model is re-preloaded fleet-wide under quorum.
+#[test]
+fn ledger_rollback_restores_prior_generation_fleet_wide() {
+    let dir = temp_store("rollback");
+    let gen1 = CpuConfig::new(32, 2_200_000, 1);
+    let gen2 = CpuConfig::new(16, 1_500_000, 2);
+    {
+        let mut store = ModelStore::open_dir(dir.to_str().unwrap()).unwrap();
+        store.commit(&blob(gen1), 1, Provenance::default()).unwrap();
+        store.commit(&blob(gen2), 2, Provenance::default()).unwrap();
+    }
+
+    // The fleet backend can materialize either model by id, the way the
+    // daemon's storage backend rebuilds any archived model.
+    let prepared = vec![
+        PreparedModel {
+            model_id: 1,
+            model_type: "brute-force".into(),
+            system_hash: 10,
+            binary_hash: 20,
+            config: gen1,
+        },
+        PreparedModel {
+            model_id: 2,
+            model_type: "brute-force".into(),
+            system_hash: 10,
+            binary_hash: 20,
+            config: gen2,
+        },
+    ];
+    let r0 = store_replica("r0", &dir, StaticBackend::new(prepared.clone()));
+    let r1 = store_replica("r1", &dir, StaticBackend::new(prepared));
+    let mut client =
+        PredictClient::builder().endpoints([r0.addr().to_string(), r1.addr().to_string()]).build().unwrap();
+    for _ in 0..8 {
+        assert_eq!(client.predict(10, 20, OPTS).unwrap(), gen2, "fleet boots at the current generation");
+    }
+
+    // Operator decision: generation 2 regressed. The ledger append is
+    // the source of truth; the fleet push follows it.
+    let record = {
+        let mut store = ModelStore::open_dir(dir.to_str().unwrap()).unwrap();
+        let record = store.rollback_to(1, "regression").unwrap();
+        assert_eq!(store.current_generation(), 1);
+        assert_eq!(store.high_water(), 2, "rollback never lowers the high-water mark");
+        record
+    };
+    let report = roll_into_fleet(&mut client, record.model_id, None, 2).expect("quorum rollout of the prior model");
+    assert_eq!(report.acks.len(), 2);
+
+    for _ in 0..8 {
+        assert_eq!(client.predict(10, 20, OPTS).unwrap(), gen1, "both replicas serve the rolled-back generation");
+    }
+
+    // A replica restarted after the rollback lands on generation 1
+    // straight from its store — the ledger fold, not the fleet push, is
+    // what it trusts.
+    r1.shutdown();
+    let reborn = store_replica("r1", &dir, StaticBackend::new(vec![]));
+    assert_eq!(reborn.boot_recovery().store.installed, 1);
+    let mut direct = PredictClient::builder().endpoint(reborn.addr().to_string()).build().unwrap();
+    assert_eq!(direct.predict(10, 20, OPTS).unwrap(), gen1);
+
+    r0.shutdown();
+    reborn.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -86,6 +86,11 @@ pub fn stats_table(s: &StatsSnapshot) -> String {
     } else {
         format!("chronusd statistics (replica {})", s.replica)
     };
+    let store = if s.store_dir.is_empty() {
+        "memory-only (no --store)".to_string()
+    } else {
+        format!("{} (generation {}, {} catch-ups)", s.store_dir, s.store_generation, s.store_catchups)
+    };
     format!(
         "{title}\n\
          requests            {}\n\
@@ -96,6 +101,7 @@ pub fn stats_table(s: &StatsSnapshot) -> String {
          queue               {}/{} waiting, {} workers\n\
          models resident     {} ({} evictions)\n\
          model generation    {} ({} stale hits / {} rollbacks)\n\
+         store               {store}\n\
          service latency     p50 {}us  p99 {}us  max {}us\n",
         s.requests_total,
         s.predictions,
@@ -206,8 +212,24 @@ mod tests {
         assert!(t.contains("predictions         8 (6 hits / 2 misses, 75.0% hit rate)"), "{t}");
         assert!(t.contains("model generation    3 (1 stale hits / 2 rollbacks)"), "{t}");
         assert!(t.contains("p50 4us  p99 128us  max 250us"), "{t}");
+        // a replica without --store says so explicitly
+        assert!(t.contains("store               memory-only (no --store)"), "{t}");
         // empty snapshot must not divide by zero
         assert!(stats_table(&StatsSnapshot::default()).contains("0.0% hit rate"));
+    }
+
+    #[test]
+    fn stats_table_reports_store_status_per_replica() {
+        let snap = StatsSnapshot {
+            replica: "r1".into(),
+            store_dir: "/var/lib/chronus/store".into(),
+            store_generation: 4,
+            store_catchups: 2,
+            ..StatsSnapshot::default()
+        };
+        let t = stats_table(&snap);
+        assert!(t.contains("chronusd statistics (replica r1)"), "{t}");
+        assert!(t.contains("store               /var/lib/chronus/store (generation 4, 2 catch-ups)"), "{t}");
     }
 
     #[test]

@@ -27,8 +27,8 @@ use eco_sim_node::cpu::CpuConfig;
 
 use super::ring::{predict_key, HashRing};
 use super::{
-    read_frame, write_frame, Connection, PreloadAck, RemoteError, Request, RequestFrame, Response, StatsSnapshot,
-    TcpTransport, Transport,
+    read_frame, write_frame, Connection, ModelSync, PreloadAck, RemoteError, Request, RequestFrame, Response,
+    StatsSnapshot, TcpTransport, Transport,
 };
 use crate::telemetry::{Counter, Telemetry, TraceContext};
 
@@ -59,7 +59,9 @@ impl CallOptions {
 
 /// Client knobs. The defaults keep a full worst-case exchange (connect,
 /// retries, backoff) comfortably inside the plugin's 100 ms budget.
-#[deprecated(note = "configure via PredictClient::builder() instead")]
+#[deprecated(note = "set each knob on the builder directly: PredictClient::builder().endpoint(addr)\
+    .connect_timeout(d).read_timeout(d).max_retries(n).backoff(d).deadline_ms(ms).build() — every \
+    ClientConfig field has a same-named ClientBuilder method")]
 #[derive(Debug, Clone)]
 pub struct ClientConfig {
     /// TCP connect timeout.
@@ -384,6 +386,7 @@ fn verb_name(r: &Request) -> &'static str {
         Request::Predict { .. } => "predict",
         Request::Preload { .. } => "preload",
         Request::Stats => "stats",
+        Request::SyncModels { .. } => "sync_models",
         Request::Burn { .. } => "burn",
     }
 }
@@ -438,7 +441,9 @@ impl PredictClient {
     }
 
     /// A TCP client with explicit knobs.
-    #[deprecated(note = "use PredictClient::builder()")]
+    #[deprecated(note = "use PredictClient::builder().endpoint(addr).connect_timeout(cfg.connect_timeout)\
+        .read_timeout(cfg.read_timeout).max_retries(cfg.max_retries).backoff(cfg.backoff)\
+        .deadline_ms(ms).build()")]
     #[allow(deprecated)]
     pub fn with_config(addr: impl Into<String>, cfg: ClientConfig) -> PredictClient {
         let mut b = PredictClient::builder()
@@ -454,7 +459,9 @@ impl PredictClient {
     }
 
     /// A client over an arbitrary transport.
-    #[deprecated(note = "use PredictClient::builder().transport(t)")]
+    #[deprecated(note = "use PredictClient::builder().transport(t).connect_timeout(cfg.connect_timeout)\
+        .read_timeout(cfg.read_timeout).max_retries(cfg.max_retries).backoff(cfg.backoff)\
+        .deadline_ms(ms).build()")]
     #[allow(deprecated)]
     pub fn with_transport(transport: Box<dyn Transport>, cfg: ClientConfig) -> PredictClient {
         let mut b = PredictClient::builder()
@@ -619,6 +626,18 @@ impl PredictClient {
             self.rolled_models.push(model_id);
         }
         FleetPreload { acks, failures }
+    }
+
+    /// Anti-entropy pull: asks a replica (the ring's choice in fleet
+    /// mode) for every committed model newer than `have_generation`.
+    /// A freshly booted store-less daemon uses this to catch up from a
+    /// ring peer instead of waiting for a client to re-preload it.
+    pub fn sync_models(&mut self, have_generation: u64, opts: &CallOptions) -> Result<Vec<ModelSync>, RemoteError> {
+        match self.request(Request::SyncModels { have_generation }, opts)? {
+            Response::Models { models } => Ok(models),
+            Response::Error { message } => Err(RemoteError::Server(message)),
+            other => Err(RemoteError::Protocol(format!("expected Models, got {other:?}"))),
+        }
     }
 
     /// Fetches one replica's counters (the ring's choice in fleet
@@ -806,7 +825,28 @@ impl PredictClient {
     /// restarted with an empty registry), every committed model is
     /// re-preloaded first — the replica never serves ring traffic
     /// behind the committed generation.
+    ///
+    /// A replica running with `--store` catches itself up from its own
+    /// store at boot; its `Stats` then already show a committed
+    /// generation and a configured store directory, and the re-preload
+    /// replay is skipped (the store replaces the client-driven path).
     fn rejoin(&mut self, idx: usize, parent: Option<TraceContext>) {
+        if !self.rolled_models.is_empty() {
+            match self.drive(Request::Stats, &CallOptions::traced(parent), &[idx]) {
+                Ok(Response::Stats(s)) if !s.store_dir.is_empty() && s.model_generation >= 1 => {
+                    self.replicas[idx].generation = s.model_generation;
+                    self.replicas[idx].in_ring = true;
+                    self.rebuild_ring();
+                    return;
+                }
+                Ok(_) => {} // memory-only or still cold: replay below
+                Err(_) => {
+                    // not healthy enough to answer Stats: stay out, probe later
+                    self.replicas[idx].probe_in = self.knobs.probe_cooldown;
+                    return;
+                }
+            }
+        }
         let models = self.rolled_models.clone();
         for model_id in models {
             match self.preload_on(idx, model_id, &CallOptions::traced(parent)) {

@@ -4,7 +4,9 @@
 //! how the bytes are chunked.
 
 use bytes::BytesMut;
-use chronus::remote::{read_frame, take_frame, write_frame, Request, RequestFrame, Response, StatsSnapshot};
+use chronus::remote::{
+    read_frame, take_frame, write_frame, ModelSync, Request, RequestFrame, Response, StatsSnapshot,
+};
 use chronus::telemetry::{SpanId, TraceContext, TraceId};
 use eco_sim_node::cpu::CpuConfig;
 use proptest::prelude::*;
@@ -26,12 +28,13 @@ fn arb_config() -> impl Strategy<Value = CpuConfig> {
 }
 
 fn arb_request() -> impl Strategy<Value = Request> {
-    (0u32..5, (0u64..=u64::MAX), (0u64..=u64::MAX), (-1_000i64..=1_000_000), 0u64..=20_000).prop_map(
+    (0u32..6, (0u64..=u64::MAX), (0u64..=u64::MAX), (-1_000i64..=1_000_000), 0u64..=20_000).prop_map(
         |(kind, a, b, id, ms)| match kind {
             0 => Request::Ping,
             1 => Request::Predict { system_hash: a, binary_hash: b },
             2 => Request::Preload { model_id: id },
             3 => Request::Stats,
+            4 => Request::SyncModels { have_generation: a },
             _ => Request::Burn { ms },
         },
     )
@@ -48,31 +51,37 @@ fn arb_frame() -> impl Strategy<Value = RequestFrame> {
 }
 
 fn arb_snapshot() -> impl Strategy<Value = StatsSnapshot> {
-    (prop::collection::vec(0u64..=u64::MAX, 18), "[a-z0-9-]{0,12}").prop_map(|(v, replica)| StatsSnapshot {
-        replica,
-        requests_total: v[0],
-        predictions: v[1],
-        cache_hits: v[2],
-        cache_misses: v[3],
-        busy_rejections: v[4],
-        deadline_exceeded: v[5],
-        errors: v[6],
-        queue_depth: v[7],
-        queue_capacity: v[8],
-        workers: v[9],
-        models_resident: v[10],
-        evictions: v[11],
-        model_generation: v[12],
-        stale_generation_hits: v[13],
-        generation_rollbacks: v[14],
-        latency_p50_us: v[15],
-        latency_p99_us: v[16],
-        latency_max_us: v[17],
-    })
+    (prop::collection::vec(0u64..=u64::MAX, 21), "[a-z0-9-]{0,12}", "[a-z0-9/._-]{0,24}").prop_map(
+        |(v, replica, store_dir)| StatsSnapshot {
+            replica,
+            store_dir,
+            requests_total: v[0],
+            predictions: v[1],
+            cache_hits: v[2],
+            cache_misses: v[3],
+            busy_rejections: v[4],
+            deadline_exceeded: v[5],
+            errors: v[6],
+            queue_depth: v[7],
+            queue_capacity: v[8],
+            workers: v[9],
+            models_resident: v[10],
+            evictions: v[11],
+            model_generation: v[12],
+            stale_generation_hits: v[13],
+            generation_rollbacks: v[14],
+            latency_p50_us: v[15],
+            latency_p99_us: v[16],
+            latency_max_us: v[17],
+            preloads: v[18],
+            store_catchups: v[19],
+            store_generation: v[20],
+        },
+    )
 }
 
 fn arb_response() -> impl Strategy<Value = Response> {
-    (0u32..9, arb_config(), arb_snapshot(), (0u64..=u64::MAX), (0u64..=u64::MAX), (-1_000i64..=1_000_000), ".{0,80}")
+    (0u32..10, arb_config(), arb_snapshot(), (0u64..=u64::MAX), (0u64..=u64::MAX), (-1_000i64..=1_000_000), ".{0,80}")
         .prop_map(|(kind, config, stats, a, b, id, text)| match kind {
             0 => Response::Pong,
             1 => Response::Config(config),
@@ -87,7 +96,18 @@ fn arb_response() -> impl Strategy<Value = Response> {
             4 => Response::Busy { retry_after_ms: a % 10_000 },
             5 => Response::Miss { system_hash: a, binary_hash: b },
             6 => Response::DeadlineExceeded,
-            7 => Response::Error { message: text },
+            7 => Response::Error { message: text.clone() },
+            8 => Response::Models {
+                models: vec![ModelSync {
+                    model_id: id,
+                    model_type: text,
+                    system_hash: a,
+                    binary_hash: b,
+                    config,
+                    generation: id.unsigned_abs(),
+                    blob_hash: format!("{a:016x}"),
+                }],
+            },
             _ => Response::Burned,
         })
 }

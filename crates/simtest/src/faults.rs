@@ -53,7 +53,7 @@ pub struct FaultPlan {
     /// The model backend fails internally (I/O error, not a miss).
     pub backend_poison: f64,
     /// Client-observed virtual read timeout (stands in for
-    /// `ClientConfig::read_timeout` on the simulated channel).
+    /// `ClientBuilder::read_timeout` on the simulated channel).
     pub read_timeout_ms: u64,
 }
 

@@ -29,6 +29,7 @@ pub fn verb_of(request: &Request) -> &'static str {
         Request::Predict { .. } => "Predict",
         Request::Preload { .. } => "Preload",
         Request::Stats => "Stats",
+        Request::SyncModels { .. } => "SyncModels",
         Request::Burn { .. } => "Burn",
     }
 }
@@ -40,6 +41,7 @@ pub fn kind_of(response: &Response) -> &'static str {
         Response::Config(_) => "Config",
         Response::Preloaded { .. } => "Preloaded",
         Response::Stats(_) => "Stats",
+        Response::Models { .. } => "Models",
         Response::Busy { .. } => "Busy",
         Response::Miss { .. } => "Miss",
         Response::DeadlineExceeded => "DeadlineExceeded",
@@ -143,6 +145,16 @@ impl Ledger {
             return fail("errors counter moved without an Error (or deadline-masked error) response");
         }
 
+        // The preload counter is a pure delivery count, and store
+        // catch-up is a boot/idle action — neither may move except as
+        // its trigger dictates while a frame is in flight.
+        if after.preloads - before.preloads != u64::from(is_preload) {
+            return fail("preloads counter moved out of step with Preload deliveries");
+        }
+        if after.store_catchups != before.store_catchups {
+            return fail("store_catchups moved during frame handling (catch-up happens at boot, never mid-frame)");
+        }
+
         // Rollout generations: the committed generation only ever moves
         // forward, and only a Preload may move it. A rollback means a
         // Preload allocated a generation and failed — which must also
@@ -232,14 +244,19 @@ impl Ledger {
                 self.errors_observed + snapshot.deadline_exceeded
             ));
         }
+        if snapshot.preloads != self.preloads {
+            return Err(format!("preloads {} != Preload frames {}", snapshot.preloads, self.preloads));
+        }
         // Generation conservation: each Preload delivery allocates at
-        // most one rollout generation, so neither the committed
-        // generation nor the rollback count can exceed the Preloads we
-        // delivered — and a stale refusal is always also a miss.
-        if snapshot.model_generation > self.preloads {
+        // most one rollout generation, and each store catch-up (boot
+        // self-serve or anti-entropy pull) commits exactly one — so the
+        // committed generation can never exceed their sum, and the
+        // rollback count can never exceed the Preloads we delivered.
+        // A stale refusal is always also a miss.
+        if snapshot.model_generation > self.preloads + snapshot.store_catchups {
             return Err(format!(
-                "model_generation {} > Preload frames {} (phantom rollout commit)",
-                snapshot.model_generation, self.preloads
+                "model_generation {} > Preload frames {} + store catch-ups {} (phantom rollout commit)",
+                snapshot.model_generation, self.preloads, snapshot.store_catchups
             ));
         }
         if snapshot.generation_rollbacks > self.preloads {
@@ -342,6 +359,31 @@ mod tests {
         snapshot.model_generation = 3;
         let err = ledger.check(&snapshot).unwrap_err();
         assert!(err.contains("phantom rollout commit"), "{err}");
+    }
+
+    #[test]
+    fn store_catchups_explain_generations_no_preload_delivered() {
+        // A store-backed replica boots at generation 2 with zero
+        // Preload frames ever delivered: conservation must accept it…
+        let ledger = Ledger::default();
+        let mut snapshot = snap(0, 0, 0, 0);
+        snapshot.model_generation = 2;
+        snapshot.store_catchups = 2;
+        ledger.check(&snapshot).unwrap();
+        // …but a generation beyond Preloads + catch-ups is phantom.
+        snapshot.model_generation = 3;
+        let err = ledger.check(&snapshot).unwrap_err();
+        assert!(err.contains("phantom rollout commit"), "{err}");
+    }
+
+    #[test]
+    fn store_catchup_during_a_frame_is_caught() {
+        let mut ledger = Ledger::default();
+        let frame = RequestFrame::new(Request::Ping);
+        let mut after = snap(1, 0, 0, 0);
+        after.store_catchups = 1; // catch-up ran mid-frame
+        let err = ledger.record_exchange(&frame, &Response::Pong, &snap(0, 0, 0, 0), &after, 0).unwrap_err();
+        assert!(err.contains("store_catchups"), "{err}");
     }
 
     #[test]

@@ -23,6 +23,10 @@
 //!   cross-checks the daemon's counters after **every** exchange
 //!   (requests = delivered, hits + misses = predictions, deadline verdicts
 //!   match the virtual elapsed time, …) and at every crash boundary;
+//! * [`store`] — [`run_store_seed`] attacks the durable model store
+//!   instead of the network: torn journal appends, writer crashes
+//!   between blob write and metadata append, and blob corruption, with
+//!   a replica restart-catch-up verified after every mutation;
 //! * [`world`] — [`run_seed`] wires a real [`eco_slurm_sim::Cluster`]
 //!   with the real plugin to a `SimNet` and pushes a randomized batch of
 //!   submissions through it, asserting end-to-end invariants: every
@@ -40,10 +44,12 @@ pub mod faults;
 pub mod fleet;
 pub mod invariants;
 pub mod net;
+pub mod store;
 pub mod world;
 
 pub use faults::FaultPlan;
 pub use fleet::{run_fleet_seed, FleetReport, FLEET_REPLICAS};
 pub use invariants::Ledger;
 pub use net::SimNet;
+pub use store::{run_store_seed, CrashingBackend, StoreReport, STORE_ROUNDS};
 pub use world::{run_seed, SeedReport, MAX_SUBMIT_VIRTUAL_MS, SUBMISSIONS_PER_SEED};

@@ -1,0 +1,123 @@
+//! The ledger's record types: what a committed model *is* (blob +
+//! metadata + provenance) and what the append-only journal remembers
+//! about it.
+
+use chronus::domain::Benchmark;
+use eco_sim_node::cpu::CpuConfig;
+use serde::{Deserialize, Serialize};
+
+/// The content-addressed payload: everything needed to reconstruct and
+/// re-serve a model without the campaign that built it — the benchmark
+/// rows it was fit on plus the model parameters (for the paper's
+/// optimizers, the winning [`CpuConfig`]).
+///
+/// The blob's address is [`crate::blob_hash`] over its canonical JSON
+/// encoding; two campaigns that produce byte-identical models share one
+/// blob.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelBlob {
+    /// The optimizer type string (`brute-force`, …).
+    pub model_type: String,
+    /// The system the model predicts for.
+    pub system_hash: u64,
+    /// The binary the model predicts for.
+    pub binary_hash: u64,
+    /// The model parameters: the configuration the optimizer answers.
+    pub config: CpuConfig,
+    /// The benchmark rows the model was fit on.
+    pub benchmarks: Vec<Benchmark>,
+}
+
+/// Where a committed model came from: the campaign that built it and
+/// its calibration numbers, kept in the metadata record so an operator
+/// can audit a generation without loading its blob.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Provenance {
+    /// The campaign (spec) name.
+    pub campaign: String,
+    /// The campaign's deterministic seed.
+    pub seed: u64,
+    /// The campaign plan (`adaptive`, `brute-force`, …).
+    pub plan: String,
+    /// Trials the campaign actually ran.
+    pub trials_run: u64,
+    /// Trials the resumable journal let it skip.
+    pub trials_skipped: u64,
+    /// Benchmark-seconds spent across the run.
+    pub trial_seconds: f64,
+    /// The headline calibration number: best GFLOP/s-per-watt found.
+    pub best_gflops_per_watt: f64,
+}
+
+/// One committed generation: the metadata half of a model, pointing at
+/// its blob by content address and at its ancestor by generation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelRecord {
+    /// This record's generation — assigned by the store, strictly
+    /// increasing across commits (the high-water mark + 1).
+    pub generation: u64,
+    /// The generation this model superseded (0 = first in lineage).
+    pub parent: u64,
+    /// The repository id the daemon backend loads the model by.
+    pub model_id: i64,
+    /// The optimizer type string.
+    pub model_type: String,
+    /// The system the model predicts for.
+    pub system_hash: u64,
+    /// The binary the model predicts for.
+    pub binary_hash: u64,
+    /// The model parameters (duplicated from the blob so `models list`
+    /// never needs blob reads).
+    pub config: CpuConfig,
+    /// Content address of the blob, as produced by [`crate::blob_hash`].
+    pub blob_hash: String,
+    /// Which campaign built it, and how well it calibrated.
+    pub provenance: Provenance,
+}
+
+/// One entry in the append-only journal.
+///
+/// Rollback is a *record*, not a rewrite: rolling back to generation
+/// `g` appends `Rollback { to_generation: g }`, so the ledger sequence
+/// only ever grows (generation-monotonic in the ledger sense) and the
+/// full history — including every rollback — stays auditable. The
+/// currently-serving generation is resolved by folding the records in
+/// order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LedgerRecord {
+    /// A new generation was committed.
+    Commit(ModelRecord),
+    /// The fleet was rolled back to an earlier committed generation.
+    Rollback {
+        /// The generation serving after this record.
+        to_generation: u64,
+        /// Operator-supplied reason, kept for the audit trail.
+        reason: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ledger_records_roundtrip_json() {
+        let record = LedgerRecord::Commit(ModelRecord {
+            generation: 3,
+            parent: 2,
+            model_id: 7,
+            model_type: "brute-force".into(),
+            system_hash: 11,
+            binary_hash: 22,
+            config: CpuConfig::new(32, 2_200_000, 1),
+            blob_hash: "00ff".into(),
+            provenance: Provenance { campaign: "nightly".into(), seed: 9, ..Default::default() },
+        });
+        let json = serde_json::to_string(&record).unwrap();
+        assert_eq!(serde_json::from_str::<LedgerRecord>(&json).unwrap(), record);
+
+        let rb = LedgerRecord::Rollback { to_generation: 2, reason: "regression".into() };
+        let json = serde_json::to_string(&rb).unwrap();
+        assert_eq!(serde_json::from_str::<LedgerRecord>(&json).unwrap(), rb);
+    }
+}

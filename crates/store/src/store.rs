@@ -1,0 +1,609 @@
+//! The [`ModelStore`]: a content-addressed blob area plus an
+//! append-only, CRC-checked metadata journal, with crash-safe recovery.
+//!
+//! Write-ahead discipline, in commit order:
+//!
+//! 1. the blob is written atomically under its content address
+//!    (`blobs/<hex>`) — a crash after this step leaves an *orphan
+//!    blob*, which is harmless and invisible to readers;
+//! 2. the metadata record is appended to `journal.wal` — a crash
+//!    mid-append leaves a *torn tail*, which recovery truncates back to
+//!    the longest valid prefix ([`crate::codec::recover`]).
+//!
+//! Readers therefore never observe a committed record whose blob was
+//! not durably written first, and reopening after any crash yields a
+//! consistent prefix of history.
+
+use std::io;
+use std::path::Path;
+
+use crate::backend::{DiskBackend, StoreBackend};
+use crate::codec::{self, EncodeError};
+use crate::ledger::{LedgerRecord, ModelBlob, ModelRecord, Provenance};
+
+/// The journal's file name inside the store directory.
+pub const JOURNAL_FILE: &str = "journal.wal";
+
+/// The blob directory inside the store directory.
+pub const BLOB_DIR: &str = "blobs";
+
+/// The content address of a blob: the paper's `simple_hash` (djb2,
+/// seed 53871) over the blob's canonical JSON encoding, rendered as 16
+/// hex digits.
+pub fn blob_hash(blob: &ModelBlob) -> String {
+    let json = serde_json::to_string(blob).expect("a model blob always serializes");
+    format!("{:016x}", chronus::hash::simple_hash(&json))
+}
+
+/// Anything that can go wrong opening or mutating a store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The backend failed.
+    Io(io::Error),
+    /// A record could not be framed.
+    Encode(EncodeError),
+    /// A committed record references a blob the store does not hold.
+    MissingBlob {
+        /// The referencing generation.
+        generation: u64,
+        /// The absent content address.
+        blob_hash: String,
+    },
+    /// A blob's bytes no longer hash to their address.
+    HashMismatch {
+        /// The referencing generation.
+        generation: u64,
+        /// The address the ledger recorded.
+        expected: String,
+        /// What the bytes actually hash to.
+        actual: String,
+    },
+    /// A blob's bytes verified but did not parse as a model.
+    CorruptBlob {
+        /// The referencing generation.
+        generation: u64,
+        /// The parse failure.
+        detail: String,
+    },
+    /// The requested generation was never committed.
+    UnknownGeneration(u64),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::Encode(e) => write!(f, "store journal encode error: {e}"),
+            StoreError::MissingBlob { generation, blob_hash } => {
+                write!(f, "generation {generation}: blob {blob_hash} is missing")
+            }
+            StoreError::HashMismatch { generation, expected, actual } => {
+                write!(f, "generation {generation}: blob hashes to {actual}, ledger says {expected}")
+            }
+            StoreError::CorruptBlob { generation, detail } => {
+                write!(f, "generation {generation}: blob verified but failed to parse: {detail}")
+            }
+            StoreError::UnknownGeneration(generation) => {
+                write!(f, "generation {generation} was never committed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<EncodeError> for StoreError {
+    fn from(e: EncodeError) -> Self {
+        StoreError::Encode(e)
+    }
+}
+
+/// One problem `models verify` found (informational, not fatal).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyIssue {
+    /// The generation the issue belongs to (0 for store-wide issues).
+    pub generation: u64,
+    /// Human-readable description.
+    pub detail: String,
+}
+
+/// The durable model store. See the module docs for the write
+/// discipline; all mutation is `&mut self`, callers that share a store
+/// across threads wrap it in a mutex (it is never on the predict hot
+/// path).
+pub struct ModelStore {
+    backend: Box<dyn StoreBackend>,
+    records: Vec<LedgerRecord>,
+    recovered_truncation: bool,
+}
+
+impl ModelStore {
+    /// Opens a store over any backend, recovering the journal: a torn
+    /// or junk tail is truncated (durably, via an atomic rewrite) so
+    /// subsequent appends land after the last valid record.
+    pub fn open(backend: Box<dyn StoreBackend>) -> Result<Self, StoreError> {
+        let bytes = backend.read(JOURNAL_FILE)?.unwrap_or_default();
+        let recovered = codec::recover(&bytes);
+        let mut records = Vec::with_capacity(recovered.records.len());
+        let mut valid_len = recovered.valid_len;
+        let mut truncated = recovered.truncated;
+        let mut at = 0usize;
+        for payload in &recovered.records {
+            // A frame whose CRC passes but whose payload fails to parse
+            // (or breaks ledger monotonicity) is still corruption; cut
+            // the valid prefix there, exactly as the codec does.
+            match serde_json::from_slice::<LedgerRecord>(payload) {
+                Ok(record) if record_extends(&records, &record) => {
+                    at += codec::RECORD_HEADER_LEN + payload.len();
+                    records.push(record);
+                }
+                _ => {
+                    valid_len = at;
+                    truncated = true;
+                    break;
+                }
+            }
+        }
+        if truncated {
+            backend.write_atomic(JOURNAL_FILE, &bytes[..valid_len])?;
+        }
+        Ok(ModelStore { backend, records, recovered_truncation: truncated })
+    }
+
+    /// Opens a disk-backed store rooted at `dir`.
+    pub fn open_dir(dir: impl AsRef<Path>) -> Result<Self, StoreError> {
+        ModelStore::open(Box::new(DiskBackend::open(dir)?))
+    }
+
+    /// Whether the last open had to discard a torn or corrupt tail.
+    pub fn recovered_truncation(&self) -> bool {
+        self.recovered_truncation
+    }
+
+    /// Commits a model: blob first (atomic, content-addressed), then
+    /// the metadata record. Returns the committed record, whose
+    /// generation is the previous high-water mark + 1 and whose parent
+    /// is the generation that was serving at commit time.
+    pub fn commit(
+        &mut self,
+        blob: &ModelBlob,
+        model_id: i64,
+        provenance: Provenance,
+    ) -> Result<ModelRecord, StoreError> {
+        let hash = blob_hash(blob);
+        let bytes = serde_json::to_vec(blob).expect("a model blob always serializes");
+        self.backend.write_atomic(&format!("{BLOB_DIR}/{hash}"), &bytes)?;
+        let record = ModelRecord {
+            generation: self.high_water() + 1,
+            parent: self.current_generation(),
+            model_id,
+            model_type: blob.model_type.clone(),
+            system_hash: blob.system_hash,
+            binary_hash: blob.binary_hash,
+            config: blob.config,
+            blob_hash: hash,
+            provenance,
+        };
+        self.append(LedgerRecord::Commit(record.clone()))?;
+        Ok(record)
+    }
+
+    /// Appends a rollback record targeting an earlier committed
+    /// generation. History is never rewritten — the ledger grows by one
+    /// record and the fold now resolves to `generation`. Returns the
+    /// record that is serving after the rollback.
+    pub fn rollback_to(&mut self, generation: u64, reason: &str) -> Result<ModelRecord, StoreError> {
+        let target = self.record(generation).ok_or(StoreError::UnknownGeneration(generation))?.clone();
+        self.append(LedgerRecord::Rollback { to_generation: generation, reason: reason.to_string() })?;
+        Ok(target)
+    }
+
+    fn append(&mut self, record: LedgerRecord) -> Result<(), StoreError> {
+        let payload = serde_json::to_vec(&record).expect("a ledger record always serializes");
+        let mut frame = Vec::with_capacity(payload.len() + codec::RECORD_HEADER_LEN);
+        codec::encode_record(&payload, &mut frame)?;
+        self.backend.append(JOURNAL_FILE, &frame)?;
+        self.records.push(record);
+        Ok(())
+    }
+
+    /// Re-reads the journal from the backend, picking up records another
+    /// writer (the campaign CLI on the same store directory) appended
+    /// since this handle opened. Unlike [`ModelStore::open`], refresh
+    /// **never truncates**: a torn tail seen here may be a live writer
+    /// mid-append, so it is simply ignored until a later read. Returns
+    /// how many new records became visible.
+    pub fn refresh(&mut self) -> Result<usize, StoreError> {
+        let bytes = self.backend.read(JOURNAL_FILE)?.unwrap_or_default();
+        let recovered = codec::recover(&bytes);
+        let mut records = Vec::with_capacity(recovered.records.len());
+        for payload in &recovered.records {
+            match serde_json::from_slice::<LedgerRecord>(payload) {
+                Ok(record) if record_extends(&records, &record) => records.push(record),
+                _ => break,
+            }
+        }
+        let new = records.len().saturating_sub(self.records.len());
+        self.records = records;
+        Ok(new)
+    }
+
+    /// The records a freshly booted replica should install, folded with
+    /// rollback-rewind semantics: the state after `Rollback { to_generation: g }`
+    /// is exactly the state right after commit `g` landed, and within
+    /// that state each `(system_hash, binary_hash)` key serves its
+    /// latest record. Sorted by generation so installation replays
+    /// lineage order.
+    pub fn serving(&self) -> Vec<&ModelRecord> {
+        use std::collections::BTreeMap;
+        let mut state: Vec<&ModelRecord> = Vec::new();
+        let mut snapshots: BTreeMap<u64, Vec<&ModelRecord>> = BTreeMap::new();
+        for record in &self.records {
+            match record {
+                LedgerRecord::Commit(m) => {
+                    state.push(m);
+                    snapshots.insert(m.generation, state.clone());
+                }
+                LedgerRecord::Rollback { to_generation, .. } => {
+                    if let Some(s) = snapshots.get(to_generation) {
+                        state = s.clone();
+                    }
+                }
+            }
+        }
+        let mut latest: BTreeMap<(u64, u64), &ModelRecord> = BTreeMap::new();
+        for m in state {
+            latest.insert((m.system_hash, m.binary_hash), m);
+        }
+        let mut out: Vec<&ModelRecord> = latest.into_values().collect();
+        out.sort_by_key(|m| m.generation);
+        out
+    }
+
+    /// The full ledger, in append order.
+    pub fn ledger(&self) -> &[LedgerRecord] {
+        &self.records
+    }
+
+    /// Every committed record, in commit (= generation) order.
+    pub fn commits(&self) -> impl Iterator<Item = &ModelRecord> {
+        self.records.iter().filter_map(|r| match r {
+            LedgerRecord::Commit(m) => Some(m),
+            LedgerRecord::Rollback { .. } => None,
+        })
+    }
+
+    /// The committed record for `generation`, if any.
+    pub fn record(&self, generation: u64) -> Option<&ModelRecord> {
+        self.commits().find(|m| m.generation == generation)
+    }
+
+    /// The record currently serving: the ledger folded in order (a
+    /// commit moves the cursor forward, a rollback moves it to its
+    /// target). `None` on an empty store.
+    pub fn current(&self) -> Option<&ModelRecord> {
+        let generation = self.current_generation();
+        if generation == 0 {
+            None
+        } else {
+            self.record(generation)
+        }
+    }
+
+    /// The generation [`ModelStore::current`] resolves to (0 = none).
+    pub fn current_generation(&self) -> u64 {
+        let mut at = 0u64;
+        for record in &self.records {
+            match record {
+                LedgerRecord::Commit(m) => at = m.generation,
+                LedgerRecord::Rollback { to_generation, .. } => at = *to_generation,
+            }
+        }
+        at
+    }
+
+    /// The highest generation ever committed (0 on an empty store) —
+    /// rollbacks never lower it.
+    pub fn high_water(&self) -> u64 {
+        self.commits().map(|m| m.generation).max().unwrap_or(0)
+    }
+
+    /// Loads and verifies a committed record's blob: the bytes must
+    /// hash back to the recorded content address and parse as a model.
+    pub fn load_blob(&self, record: &ModelRecord) -> Result<ModelBlob, StoreError> {
+        let name = format!("{BLOB_DIR}/{}", record.blob_hash);
+        let bytes = self.backend.read(&name)?.ok_or_else(|| StoreError::MissingBlob {
+            generation: record.generation,
+            blob_hash: record.blob_hash.clone(),
+        })?;
+        let text = String::from_utf8_lossy(&bytes);
+        let actual = format!("{:016x}", chronus::hash::simple_hash(&text));
+        if actual != record.blob_hash {
+            return Err(StoreError::HashMismatch {
+                generation: record.generation,
+                expected: record.blob_hash.clone(),
+                actual,
+            });
+        }
+        serde_json::from_slice(&bytes)
+            .map_err(|e| StoreError::CorruptBlob { generation: record.generation, detail: e.to_string() })
+    }
+
+    /// Audits every committed generation: blob present, bytes hash to
+    /// their address, payload parses. Returns the issues found (empty =
+    /// clean); orphan blobs (written but never committed — the residue
+    /// of a crash between blob write and metadata append) are reported
+    /// informationally, never fatally.
+    pub fn verify(&self) -> Vec<VerifyIssue> {
+        let mut issues = Vec::new();
+        for record in self.commits() {
+            if let Err(e) = self.load_blob(record) {
+                issues.push(VerifyIssue { generation: record.generation, detail: e.to_string() });
+            }
+        }
+        if let Ok(names) = self.backend.list(BLOB_DIR) {
+            for name in names {
+                if !self.commits().any(|m| m.blob_hash == name) {
+                    issues.push(VerifyIssue {
+                        generation: 0,
+                        detail: format!("orphan blob {name} (no ledger record references it)"),
+                    });
+                }
+            }
+        }
+        issues
+    }
+}
+
+/// Whether `record` is a legal next entry after `prior` — commits must
+/// carry exactly high-water + 1 and rollbacks must target a committed
+/// generation. Recovery uses this to treat a semantically-impossible
+/// record (CRC-valid but nonsensical) as the start of a corrupt tail.
+fn record_extends(prior: &[LedgerRecord], record: &LedgerRecord) -> bool {
+    let high_water = prior
+        .iter()
+        .filter_map(|r| match r {
+            LedgerRecord::Commit(m) => Some(m.generation),
+            LedgerRecord::Rollback { .. } => None,
+        })
+        .max()
+        .unwrap_or(0);
+    match record {
+        LedgerRecord::Commit(m) => m.generation == high_water + 1,
+        LedgerRecord::Rollback { to_generation, .. } => {
+            *to_generation > 0
+                && prior.iter().any(|r| matches!(r, LedgerRecord::Commit(m) if m.generation == *to_generation))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+    use eco_sim_node::cpu::CpuConfig;
+
+    fn blob(binary_hash: u64, cores: u32) -> ModelBlob {
+        ModelBlob {
+            model_type: "brute-force".into(),
+            system_hash: 42,
+            binary_hash,
+            config: CpuConfig::new(cores, 2_200_000, 1),
+            benchmarks: Vec::new(),
+        }
+    }
+
+    fn open_mem(mem: &MemBackend) -> ModelStore {
+        ModelStore::open(Box::new(mem.clone())).unwrap()
+    }
+
+    #[test]
+    fn commit_then_reopen_preserves_history() {
+        let mem = MemBackend::new();
+        let mut store = open_mem(&mem);
+        assert!(store.current().is_none());
+        let first = store.commit(&blob(1, 32), 10, Provenance::default()).unwrap();
+        assert_eq!(first.generation, 1);
+        assert_eq!(first.parent, 0);
+        let second = store.commit(&blob(2, 16), 11, Provenance::default()).unwrap();
+        assert_eq!(second.generation, 2);
+        assert_eq!(second.parent, 1);
+
+        let reopened = open_mem(&mem);
+        assert!(!reopened.recovered_truncation());
+        assert_eq!(reopened.current().unwrap(), &second);
+        assert_eq!(reopened.high_water(), 2);
+        assert_eq!(reopened.commits().count(), 2);
+        assert_eq!(reopened.load_blob(&first).unwrap(), blob(1, 32));
+    }
+
+    #[test]
+    fn rollback_appends_and_refolds_without_rewriting() {
+        let mem = MemBackend::new();
+        let mut store = open_mem(&mem);
+        let first = store.commit(&blob(1, 32), 10, Provenance::default()).unwrap();
+        store.commit(&blob(2, 16), 11, Provenance::default()).unwrap();
+        let ledger_before = store.ledger().len();
+
+        let restored = store.rollback_to(1, "regression").unwrap();
+        assert_eq!(restored, first);
+        assert_eq!(store.current_generation(), 1);
+        assert_eq!(store.high_water(), 2, "rollback never lowers the high-water mark");
+        assert_eq!(store.ledger().len(), ledger_before + 1, "rollback appends, never rewrites");
+
+        // The next commit is a child of the *rolled-back-to* generation
+        // and still takes a fresh generation number.
+        let third = store.commit(&blob(3, 8), 12, Provenance::default()).unwrap();
+        assert_eq!(third.generation, 3);
+        assert_eq!(third.parent, 1);
+
+        let reopened = open_mem(&mem);
+        assert_eq!(reopened.current_generation(), 3);
+    }
+
+    #[test]
+    fn rollback_to_unknown_generation_errors() {
+        let mem = MemBackend::new();
+        let mut store = open_mem(&mem);
+        store.commit(&blob(1, 32), 10, Provenance::default()).unwrap();
+        assert!(matches!(store.rollback_to(9, "nope"), Err(StoreError::UnknownGeneration(9))));
+        assert!(matches!(store.rollback_to(0, "nope"), Err(StoreError::UnknownGeneration(0))));
+    }
+
+    #[test]
+    fn torn_journal_tail_recovers_to_prefix_and_truncates_durably() {
+        let mem = MemBackend::new();
+        let mut store = open_mem(&mem);
+        store.commit(&blob(1, 32), 10, Provenance::default()).unwrap();
+        store.commit(&blob(2, 16), 11, Provenance::default()).unwrap();
+
+        // Tear the last append mid-frame, as a crash would.
+        let mut bytes = mem.get_raw(JOURNAL_FILE).unwrap();
+        let torn = bytes.len() - 7;
+        bytes.truncate(torn);
+        mem.put_raw(JOURNAL_FILE, bytes);
+
+        let recovered = open_mem(&mem);
+        assert!(recovered.recovered_truncation());
+        assert_eq!(recovered.current_generation(), 1);
+
+        // The truncation is durable: a second open sees a clean journal
+        // and appends land after the surviving record.
+        let mut again = open_mem(&mem);
+        assert!(!again.recovered_truncation());
+        let next = again.commit(&blob(3, 8), 12, Provenance::default()).unwrap();
+        assert_eq!(next.generation, 2);
+        assert_eq!(next.parent, 1);
+    }
+
+    #[test]
+    fn crash_between_blob_and_metadata_leaves_harmless_orphan() {
+        let mem = MemBackend::new();
+        let mut store = open_mem(&mem);
+        store.commit(&blob(1, 32), 10, Provenance::default()).unwrap();
+        // Simulate the crash: blob written, record never appended.
+        let orphan = blob(2, 16);
+        let hash = blob_hash(&orphan);
+        mem.put_raw(&format!("{BLOB_DIR}/{hash}"), serde_json::to_vec(&orphan).unwrap());
+
+        let recovered = open_mem(&mem);
+        assert_eq!(recovered.current_generation(), 1, "orphan blob must stay invisible");
+        let issues = recovered.verify();
+        assert_eq!(issues.len(), 1);
+        assert!(issues[0].detail.contains("orphan blob"), "{}", issues[0].detail);
+        assert_eq!(issues[0].generation, 0);
+    }
+
+    #[test]
+    fn verify_detects_corrupted_and_missing_blobs() {
+        let mem = MemBackend::new();
+        let mut store = open_mem(&mem);
+        let first = store.commit(&blob(1, 32), 10, Provenance::default()).unwrap();
+        let second = store.commit(&blob(2, 16), 11, Provenance::default()).unwrap();
+        assert!(store.verify().is_empty());
+
+        // Flip a byte in the first blob; delete the second outright.
+        let name = format!("{BLOB_DIR}/{}", first.blob_hash);
+        let mut bytes = mem.get_raw(&name).unwrap();
+        bytes[0] ^= 0x01;
+        mem.put_raw(&name, bytes);
+        mem.put_raw(&format!("{BLOB_DIR}/{}", second.blob_hash), Vec::new());
+
+        let issues = store.verify();
+        assert_eq!(issues.len(), 2);
+        assert!(issues.iter().any(|i| i.generation == 1 && i.detail.contains("hashes to")));
+        assert!(issues.iter().any(|i| i.generation == 2));
+        assert!(matches!(store.load_blob(&first), Err(StoreError::HashMismatch { .. })));
+    }
+
+    #[test]
+    fn identical_blobs_share_one_content_address() {
+        let mem = MemBackend::new();
+        let mut store = open_mem(&mem);
+        let a = store.commit(&blob(1, 32), 10, Provenance::default()).unwrap();
+        let b = store.commit(&blob(1, 32), 10, Provenance::default()).unwrap();
+        assert_eq!(a.blob_hash, b.blob_hash);
+        assert_ne!(a.generation, b.generation);
+        assert_eq!(mem.list(BLOB_DIR).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn refresh_picks_up_foreign_appends_without_truncating() {
+        let mem = MemBackend::new();
+        let mut reader = open_mem(&mem);
+        let mut writer = open_mem(&mem);
+        writer.commit(&blob(1, 32), 10, Provenance::default()).unwrap();
+        assert_eq!(reader.current_generation(), 0);
+        assert_eq!(reader.refresh().unwrap(), 1);
+        assert_eq!(reader.current_generation(), 1);
+
+        // A torn tail (a live writer mid-append) must NOT be truncated
+        // by refresh — only ignored.
+        let mut bytes = mem.get_raw(JOURNAL_FILE).unwrap();
+        let clean = bytes.clone();
+        bytes.extend_from_slice(&[4, 4, 4]);
+        mem.put_raw(JOURNAL_FILE, bytes.clone());
+        assert_eq!(reader.refresh().unwrap(), 0);
+        assert_eq!(mem.get_raw(JOURNAL_FILE).unwrap(), bytes, "refresh must never write");
+        mem.put_raw(JOURNAL_FILE, clean);
+    }
+
+    #[test]
+    fn serving_rewinds_through_rollbacks_per_key() {
+        let mem = MemBackend::new();
+        let mut store = open_mem(&mem);
+        // Two keys: binary 1 and binary 2.
+        let g1 = store.commit(&blob(1, 32), 10, Provenance::default()).unwrap();
+        let g2 = store.commit(&blob(2, 16), 11, Provenance::default()).unwrap();
+        let g3 = store.commit(&blob(1, 8), 12, Provenance::default()).unwrap();
+        // Serving now: key 1 → gen 3, key 2 → gen 2.
+        let serving: Vec<u64> = store.serving().iter().map(|m| m.generation).collect();
+        assert_eq!(serving, vec![g2.generation, g3.generation]);
+
+        // Rollback to generation 1: the state right after g1 committed
+        // had only key 1 — key 2 disappears from the serving set.
+        store.rollback_to(1, "regression").unwrap();
+        let serving: Vec<u64> = store.serving().iter().map(|m| m.generation).collect();
+        assert_eq!(serving, vec![g1.generation]);
+
+        // A fresh commit lands on the rewound state.
+        let g4 = store.commit(&blob(2, 4), 13, Provenance::default()).unwrap();
+        let serving: Vec<u64> = store.serving().iter().map(|m| m.generation).collect();
+        assert_eq!(serving, vec![g1.generation, g4.generation]);
+    }
+
+    #[test]
+    fn junk_journal_never_panics_open() {
+        let mem = MemBackend::new();
+        mem.put_raw(JOURNAL_FILE, vec![0xde, 0xad, 0xbe, 0xef, 1, 2, 3]);
+        let store = open_mem(&mem);
+        assert!(store.recovered_truncation());
+        assert_eq!(store.current_generation(), 0);
+    }
+
+    #[test]
+    fn crc_valid_but_semantically_impossible_record_is_a_corrupt_tail() {
+        let mem = MemBackend::new();
+        let mut store = open_mem(&mem);
+        store.commit(&blob(1, 32), 10, Provenance::default()).unwrap();
+        // Forge a CRC-valid rollback to a generation that was never
+        // committed — recovery must refuse it and cut the tail there.
+        let forged =
+            serde_json::to_vec(&LedgerRecord::Rollback { to_generation: 99, reason: "forged".into() }).unwrap();
+        let mut frame = Vec::new();
+        codec::encode_record(&forged, &mut frame).unwrap();
+        let mut bytes = mem.get_raw(JOURNAL_FILE).unwrap();
+        bytes.extend_from_slice(&frame);
+        mem.put_raw(JOURNAL_FILE, bytes);
+
+        let recovered = open_mem(&mem);
+        assert!(recovered.recovered_truncation());
+        assert_eq!(recovered.current_generation(), 1);
+    }
+}

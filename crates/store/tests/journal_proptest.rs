@@ -1,0 +1,198 @@
+//! Property-based tests for the store's journal codec, mirroring the
+//! core wire-codec proptests: arbitrary records survive encode →
+//! recover identically, arbitrary junk never panics recovery, and a
+//! truncated tail always recovers to the longest valid prefix.
+
+use eco_sim_node::cpu::CpuConfig;
+use eco_store::codec::{crc32, encode_record, recover, MAX_RECORD_LEN, RECORD_HEADER_LEN};
+use eco_store::{LedgerRecord, ModelRecord, Provenance};
+use proptest::prelude::*;
+
+fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..=255, 0..512)
+}
+
+fn arb_provenance() -> impl Strategy<Value = Provenance> {
+    ("[a-z0-9-]{0,16}", 0u64..=u64::MAX, "[a-z-]{0,12}", 0u64..500, 0u64..500, 0.0f64..1e6, 0.0f64..10.0).prop_map(
+        |(campaign, seed, plan, trials_run, trials_skipped, trial_seconds, gpw)| Provenance {
+            campaign,
+            seed,
+            plan,
+            trials_run,
+            trials_skipped,
+            trial_seconds,
+            best_gflops_per_watt: gpw,
+        },
+    )
+}
+
+fn arb_config() -> impl Strategy<Value = CpuConfig> {
+    (1u32..=64, prop::sample::select(vec![1_500_000u64, 2_200_000, 2_500_000]), 1u32..=2)
+        .prop_map(|(c, f, t)| CpuConfig::new(c, f, t))
+}
+
+fn arb_commit() -> impl Strategy<Value = ModelRecord> {
+    (
+        1u64..=1_000,
+        0u64..=1_000,
+        -1_000i64..=1_000_000,
+        ".{0,24}",
+        (0u64..=u64::MAX, 0u64..=u64::MAX),
+        arb_config(),
+        ("[0-9a-f]{16}", arb_provenance()),
+    )
+        .prop_map(|(generation, parent, model_id, model_type, (sys, bin), config, (blob_hash, provenance))| {
+            ModelRecord {
+                generation,
+                parent,
+                model_id,
+                model_type,
+                system_hash: sys,
+                binary_hash: bin,
+                config,
+                blob_hash,
+                provenance,
+            }
+        })
+}
+
+fn arb_record() -> impl Strategy<Value = LedgerRecord> {
+    // One in five records is a rollback (the vendored proptest has no
+    // `prop_oneof`, so the variant is picked by a selector integer).
+    (0u32..5, arb_commit(), (1u64..=1_000, ".{0,40}")).prop_map(|(kind, commit, (to_generation, reason))| {
+        if kind == 0 {
+            LedgerRecord::Rollback { to_generation, reason }
+        } else {
+            LedgerRecord::Commit(commit)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any sequence of payloads survives encode → recover in order,
+    /// byte for byte, with nothing truncated.
+    #[test]
+    fn payloads_roundtrip(payloads in prop::collection::vec(arb_payload(), 0..8)) {
+        let mut wire = Vec::new();
+        for p in &payloads {
+            encode_record(p, &mut wire).unwrap();
+        }
+        let got = recover(&wire);
+        prop_assert_eq!(&got.records, &payloads);
+        prop_assert_eq!(got.valid_len, wire.len());
+        prop_assert!(!got.truncated);
+    }
+
+    /// Real ledger records (commits with provenance, rollbacks)
+    /// roundtrip through JSON + framing identically.
+    #[test]
+    fn ledger_records_roundtrip(records in prop::collection::vec(arb_record(), 1..6)) {
+        let mut wire = Vec::new();
+        for r in &records {
+            encode_record(&serde_json::to_vec(r).unwrap(), &mut wire).unwrap();
+        }
+        let got = recover(&wire);
+        let decoded: Vec<LedgerRecord> = got
+            .records
+            .iter()
+            .map(|p| serde_json::from_slice(p).unwrap())
+            .collect();
+        prop_assert_eq!(decoded, records);
+    }
+
+    /// Arbitrary junk never panics recovery — every byte soup yields a
+    /// (possibly empty) valid prefix and a consistent `valid_len`.
+    #[test]
+    fn junk_never_panics_recovery(junk in prop::collection::vec(0u8..=255, 0..1024)) {
+        let got = recover(&junk);
+        prop_assert!(got.valid_len <= junk.len());
+        // Whatever survived must itself re-recover cleanly.
+        let again = recover(&junk[..got.valid_len]);
+        prop_assert_eq!(again.records, got.records);
+        prop_assert!(!again.truncated);
+    }
+
+    /// Truncating a valid journal anywhere keeps exactly the records
+    /// whose frames survived whole — the longest valid prefix.
+    #[test]
+    fn truncated_tail_recovers_longest_valid_prefix(
+        payloads in prop::collection::vec(arb_payload(), 1..6),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let mut wire = Vec::new();
+        let mut boundaries = vec![0usize];
+        for p in &payloads {
+            encode_record(p, &mut wire).unwrap();
+            boundaries.push(wire.len());
+        }
+        let cut = (wire.len() as f64 * cut_fraction) as usize;
+        let got = recover(&wire[..cut]);
+        // Expected: every record whose frame ends at or before the cut.
+        let whole = boundaries.iter().filter(|&&b| b > 0 && b <= cut).count();
+        prop_assert_eq!(got.records.len(), whole);
+        prop_assert_eq!(&got.records[..], &payloads[..whole]);
+        prop_assert_eq!(got.valid_len, boundaries[whole]);
+        prop_assert_eq!(got.truncated, cut != boundaries[whole]);
+    }
+
+    /// Appending junk after a valid journal never loses the valid
+    /// records, only the junk.
+    #[test]
+    fn junk_tail_never_eats_valid_records(
+        payloads in prop::collection::vec(arb_payload(), 1..5),
+        junk in prop::collection::vec(0u8..=255, 1..64),
+    ) {
+        let mut wire = Vec::new();
+        for p in &payloads {
+            encode_record(p, &mut wire).unwrap();
+        }
+        let clean_len = wire.len();
+        wire.extend_from_slice(&junk);
+        let got = recover(&wire);
+        // The junk may happen to parse as one-or-more valid frames, but
+        // it can never corrupt or drop the real prefix.
+        prop_assert!(got.records.len() >= payloads.len());
+        prop_assert_eq!(&got.records[..payloads.len()], &payloads[..]);
+        prop_assert!(got.valid_len >= clean_len);
+    }
+
+    /// A flipped bit anywhere inside a record's frame truncates at that
+    /// record (or a later one if the flip hit only already-read bytes —
+    /// impossible here since each frame is self-contained).
+    #[test]
+    fn flipped_bit_never_yields_a_wrong_record(
+        payloads in prop::collection::vec(arb_payload(), 1..4),
+        flip_at_fraction in 0.0f64..1.0,
+        bit in 0u8..8,
+    ) {
+        let mut wire = Vec::new();
+        for p in &payloads {
+            encode_record(p, &mut wire).unwrap();
+        }
+        let flip_at = ((wire.len() - 1) as f64 * flip_at_fraction) as usize;
+        wire[flip_at] ^= 1 << bit;
+        let got = recover(&wire);
+        // Every recovered record must be one of the originals, in
+        // order; the flip may cost records but can never invent bytes
+        // (a 1-bit flip cannot survive the CRC).
+        prop_assert!(got.records.len() <= payloads.len());
+        for (got_rec, want) in got.records.iter().zip(&payloads) {
+            prop_assert_eq!(got_rec, want);
+        }
+    }
+
+    /// The framing constants hold: encoded size is header + payload,
+    /// and the CRC in the header is the payload's CRC.
+    #[test]
+    fn frame_layout_is_stable(payload in arb_payload()) {
+        let mut wire = Vec::new();
+        let written = encode_record(&payload, &mut wire).unwrap();
+        prop_assert_eq!(written, RECORD_HEADER_LEN + payload.len());
+        prop_assert_eq!(wire.len(), written);
+        prop_assert!(payload.len() <= MAX_RECORD_LEN);
+        let sum = u32::from_be_bytes([wire[4], wire[5], wire[6], wire[7]]);
+        prop_assert_eq!(sum, crc32(&payload));
+    }
+}
