@@ -1,0 +1,233 @@
+//! Batched-protocol benchmark + regression gate: `PredictMany` batches
+//! at pipeline depths 1/4/16 against a warm daemon over loopback TCP,
+//! compared with the single-request baseline.
+//!
+//! This is a self-measuring harness (not criterion) because it has two
+//! jobs criterion doesn't do here:
+//!
+//! 1. **persist** a machine-readable result file (`BENCH_pr7.json` at
+//!    the repo root by default, `BENCH_OUT` to override) so the repo
+//!    carries its throughput trajectory in-tree;
+//! 2. **gate**: when `BENCH_BASELINE` points at a previous result file,
+//!    exit non-zero if warm keys/s drops or the single-request p99
+//!    rises by more than 10% — the CI bench gate.
+//!
+//! It also enforces the PR's acceptance floor directly: batched warm
+//! throughput must reach at least 3x the single-request baseline, and
+//! the single-request daemon-side p50/p99 must stay in the same class
+//! as before batching existed (p99 < 100 µs on an idle runner).
+//!
+//! Run with `cargo bench -p chronusd --bench predict_batch`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use chronus::remote::{CallOptions, PredictClient};
+use chronusd::{PredictServer, PreparedModel, ServerConfig, StaticBackend};
+use eco_sim_node::cpu::CpuConfig;
+use serde::{Deserialize, Serialize};
+
+/// Distinct warm keys the batches cycle through (well under the
+/// registry capacity below, so every benched request is a cache hit).
+const WARM_KEYS: usize = 64;
+
+/// Minimum keys measured per (batch, depth) cell.
+const KEYS_PER_CELL: u64 = 40_000;
+
+/// Minimum single requests for the baseline.
+const SINGLE_REQUESTS: u64 = 30_000;
+
+const BATCH_SIZES: [usize; 4] = [1, 8, 64, 512];
+const DEPTHS: [u32; 3] = [1, 4, 16];
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Cell {
+    batch: usize,
+    depth: u32,
+    keys_per_sec: u64,
+    keys: u64,
+    wall_ms: u64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchResult {
+    bench: String,
+    single_req_per_sec: u64,
+    /// Daemon-side service latency for the single-request baseline.
+    single_p50_us: u64,
+    single_p99_us: u64,
+    cells: Vec<Cell>,
+    best_keys_per_sec: u64,
+    best_batch: usize,
+    best_depth: u32,
+    /// best_keys_per_sec / single_req_per_sec, in hundredths.
+    speedup_x100: u64,
+}
+
+fn keys() -> Vec<(u64, u64)> {
+    (0..WARM_KEYS as u64).map(|i| (0x5eed_cafe ^ i, 0xb1a5_ed15 + i)).collect()
+}
+
+fn start_server() -> PredictServer {
+    let models: Vec<PreparedModel> = keys()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (system_hash, binary_hash))| PreparedModel {
+            model_id: 1 + i as i64,
+            model_type: "brute-force".into(),
+            system_hash,
+            binary_hash,
+            config: CpuConfig::new(32, 2_200_000, 1),
+        })
+        .collect();
+    let cfg = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 8,
+        queue_cap: 128,
+        cache_cap: 4096,
+        ..ServerConfig::default()
+    };
+    PredictServer::start(cfg, Arc::new(StaticBackend::new(models))).expect("bind ephemeral port")
+}
+
+fn out_path() -> std::path::PathBuf {
+    if let Ok(p) = std::env::var("BENCH_OUT") {
+        return p.into();
+    }
+    // repo root: crates/chronusd/../..
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_pr7.json")
+}
+
+fn main() {
+    let server = start_server();
+    let addr = server.addr().to_string();
+    let opts = CallOptions::default();
+    let warm = keys();
+
+    // Warm every key into the registry so the measured path is all
+    // cache hits (one full pass through the key set).
+    let mut client = PredictClient::builder().endpoint(&addr).build().unwrap();
+    for &(s, b) in &warm {
+        client.predict(s, b, &opts).expect("warm-up predict");
+    }
+
+    // --- single-request baseline ---------------------------------
+    let t0 = Instant::now();
+    for i in 0..SINGLE_REQUESTS {
+        let (s, b) = warm[(i as usize) % WARM_KEYS];
+        let cfg = client.predict(s, b, &opts).expect("warm predict");
+        std::hint::black_box(cfg);
+    }
+    let single_wall = t0.elapsed();
+    let single_req_per_sec = (SINGLE_REQUESTS as f64 / single_wall.as_secs_f64()) as u64;
+    let stats = client.stats().expect("stats after baseline");
+    let (single_p50_us, single_p99_us) = (stats.latency_p50_us, stats.latency_p99_us);
+    println!(
+        "single baseline: {single_req_per_sec} req/s over {SINGLE_REQUESTS} requests, daemon p50 \
+         {single_p50_us} µs p99 {single_p99_us} µs"
+    );
+
+    // --- batched cells -------------------------------------------
+    let mut cells = Vec::new();
+    for &batch in &BATCH_SIZES {
+        for &depth in &DEPTHS {
+            let mut client = PredictClient::builder().endpoint(&addr).pipeline_depth(depth).build().unwrap();
+            let ask: Vec<(u64, u64)> = (0..batch).map(|i| warm[i % WARM_KEYS]).collect();
+            // one unmeasured call to settle corr negotiation + connection
+            for r in client.predict_many(&ask, &opts) {
+                r.expect("warm batched predict");
+            }
+            let calls = KEYS_PER_CELL.div_ceil(batch as u64);
+            let t0 = Instant::now();
+            for _ in 0..calls {
+                for r in client.predict_many(&ask, &opts) {
+                    std::hint::black_box(r.expect("warm batched predict"));
+                }
+            }
+            let wall = t0.elapsed();
+            let keys_done = calls * batch as u64;
+            let keys_per_sec = (keys_done as f64 / wall.as_secs_f64()) as u64;
+            println!("batch {batch:>3} x depth {depth:>2}: {keys_per_sec:>8} keys/s ({keys_done} keys in {wall:?})");
+            cells.push(Cell { batch, depth, keys_per_sec, keys: keys_done, wall_ms: wall.as_millis() as u64 });
+        }
+    }
+
+    let best = cells.iter().max_by_key(|c| c.keys_per_sec).expect("at least one cell");
+    let (best_keys_per_sec, best_batch, best_depth) = (best.keys_per_sec, best.batch, best.depth);
+    let speedup_x100 = best_keys_per_sec * 100 / single_req_per_sec.max(1);
+    let result = BenchResult {
+        bench: "predict_batch".to_string(),
+        single_req_per_sec,
+        single_p50_us,
+        single_p99_us,
+        cells,
+        best_keys_per_sec,
+        best_batch,
+        best_depth,
+        speedup_x100,
+    };
+    println!(
+        "best: batch {best_batch} x depth {best_depth} = {best_keys_per_sec} keys/s ({}.{:02}x the single \
+         baseline)",
+        speedup_x100 / 100,
+        speedup_x100 % 100
+    );
+
+    let path = out_path();
+    std::fs::write(&path, serde_json::to_string_pretty(&result).expect("result serializes"))
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("persisted {}", path.display());
+
+    // --- acceptance floors ---------------------------------------
+    let mut failures = Vec::new();
+    if speedup_x100 < 300 {
+        failures.push(format!(
+            "batched warm throughput {best_keys_per_sec} keys/s is under 3x the single baseline \
+             {single_req_per_sec} req/s"
+        ));
+    }
+    if single_p99_us >= 100_000 {
+        failures.push(format!("single-request daemon p99 {single_p99_us} µs blows the 100 ms bar"));
+    }
+
+    // --- regression gate vs a committed baseline -----------------
+    if let Ok(baseline_path) = std::env::var("BENCH_BASELINE") {
+        let raw = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("reading BENCH_BASELINE {baseline_path}: {e}"));
+        let baseline: BenchResult =
+            serde_json::from_str(&raw).unwrap_or_else(|e| panic!("parsing BENCH_BASELINE {baseline_path}: {e}"));
+        println!(
+            "gate vs {baseline_path}: baseline {} keys/s best, {} req/s single, p99 {} µs",
+            baseline.best_keys_per_sec, baseline.single_req_per_sec, baseline.single_p99_us
+        );
+        if best_keys_per_sec * 10 < baseline.best_keys_per_sec * 9 {
+            failures.push(format!(
+                "best batched throughput regressed >10%: {best_keys_per_sec} vs baseline {} keys/s",
+                baseline.best_keys_per_sec
+            ));
+        }
+        if single_req_per_sec * 10 < baseline.single_req_per_sec * 9 {
+            failures.push(format!(
+                "single-request throughput regressed >10%: {single_req_per_sec} vs baseline {} req/s",
+                baseline.single_req_per_sec
+            ));
+        }
+        if single_p99_us * 10 > baseline.single_p99_us.max(1) * 11 && single_p99_us > baseline.single_p99_us + 10 {
+            failures.push(format!(
+                "single-request p99 regressed >10%: {single_p99_us} µs vs baseline {} µs",
+                baseline.single_p99_us
+            ));
+        }
+    }
+
+    drop(client);
+    server.shutdown();
+    if !failures.is_empty() {
+        eprintln!("bench gate FAILED:\n  {}", failures.join("\n  "));
+        std::process::exit(1);
+    }
+    println!("bench gate passed");
+    // Keep a tiny grace period so the OS reclaims the loopback sockets
+    // before a following bench binds its own.
+    std::thread::sleep(Duration::from_millis(50));
+}

@@ -5,20 +5,42 @@
 //! Predictions are read-mostly and latency-critical (they sit on the
 //! scheduler's submit path), so the registry stores the *answer* — the
 //! optimizer's argmax over the system's configuration space, computed
-//! once at preload — rather than the optimizer itself. Lookups take a
-//! shard read lock and touch one atomic for LRU bookkeeping; only
-//! preloads and evictions take a write lock, and only on one shard.
+//! once at preload — rather than the optimizer itself. Since the
+//! batching PR, reads are **lock-free**: each shard publishes an
+//! immutable snapshot of its map behind an atomic pointer, and a
+//! lookup pins the snapshot with one counter increment, reads it, and
+//! unpins — no lock, no writer can ever block a reader. Writers
+//! (preloads, cold-miss inserts, evictions) are rare; each one builds
+//! the next snapshot off to the side under a per-shard mutex, swaps it
+//! in, and reclaims the old snapshot only after every reader pinned to
+//! it has left.
+//!
+//! ## Reclamation protocol
+//!
+//! Each shard keeps an `epoch` counter and two reader counts indexed by
+//! epoch parity. A reader pins the current parity, re-checks the epoch
+//! (retrying if a writer slipped in between), reads the snapshot
+//! pointer, and unpins. A writer — alone, under the shard's write
+//! mutex — swaps the snapshot pointer, bumps the epoch (flipping the
+//! parity new readers pin), waits for the *old* parity's pin count to
+//! drain to zero, and only then frees the old snapshot. The next
+//! writer cannot run until this one releases the mutex, so the only
+//! thread that could free the *new* snapshot is gated behind the drain
+//! of everyone who might still be reading the old one.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use eco_sim_node::cpu::CpuConfig;
-use parking_lot::RwLock;
+use parking_lot::Mutex;
 
 /// Registry key: the plugin's identity pair (§4.2.1).
 pub type ModelKey = (u64, u64);
 
-/// One resident model.
+/// One resident model. Entries are shared between successive snapshots
+/// via `Arc`, so the LRU stamp lives in one place no matter how many
+/// snapshots an entry survives.
 #[derive(Debug)]
 pub struct ResidentModel {
     /// The repository id of the model this answer came from.
@@ -45,15 +67,101 @@ pub enum Lookup {
     Stale,
 }
 
+/// The immutable map a shard publishes to readers. Cloning one (to
+/// build the next) clones `Arc`s, not models.
+type Snapshot = HashMap<ModelKey, Arc<ResidentModel>>;
+
 struct Shard {
-    entries: HashMap<ModelKey, ResidentModel>,
+    /// The live snapshot. Owned by the shard; freed by the writer that
+    /// replaces it (after draining readers) or by `Drop`.
+    current: AtomicPtr<Snapshot>,
+    /// Bumped once per published snapshot; its parity picks which
+    /// reader count new readers pin.
+    epoch: AtomicU64,
+    /// Pinned-reader counts, indexed by epoch parity.
+    readers: [AtomicU64; 2],
+    /// Serializes writers. Readers never touch it.
+    write: Mutex<()>,
 }
 
-/// Sharded LRU registry. Capacity is budgeted per shard
-/// (`max(1, capacity / shards)`), so eviction never needs a global
-/// lock.
+impl Shard {
+    fn new() -> Shard {
+        Shard {
+            current: AtomicPtr::new(Box::into_raw(Box::new(Snapshot::new()))),
+            epoch: AtomicU64::new(0),
+            readers: [AtomicU64::new(0), AtomicU64::new(0)],
+            write: Mutex::new(()),
+        }
+    }
+
+    /// Runs `f` against the live snapshot, lock-free. Pin → re-check →
+    /// read → unpin; the re-check retries if a writer published between
+    /// the epoch load and the pin, so a pinned parity always covers the
+    /// pointer the reader is about to load (or a newer one, which is
+    /// also safe: the newer snapshot cannot be freed until the *next*
+    /// writer runs, and that writer is blocked behind this pin's drain).
+    fn read<R>(&self, f: impl FnOnce(&Snapshot) -> R) -> R {
+        let parity = loop {
+            let e = self.epoch.load(Ordering::Acquire);
+            let p = (e & 1) as usize;
+            self.readers[p].fetch_add(1, Ordering::AcqRel);
+            if self.epoch.load(Ordering::Acquire) == e {
+                break p;
+            }
+            // a writer flipped the epoch mid-pin: unpin and retry on
+            // the fresh parity so we never hold up the wrong drain
+            self.readers[p].fetch_sub(1, Ordering::Release);
+        };
+        // SAFETY: `current` is never null, and the snapshot it points
+        // to outlives this borrow: it is freed only by a writer that
+        // first drains the parity we are pinned on (or, for a snapshot
+        // published after our pin, by a later writer serialized behind
+        // that drain).
+        let result = f(unsafe { &*self.current.load(Ordering::Acquire) });
+        self.readers[parity].fetch_sub(1, Ordering::Release);
+        result
+    }
+
+    /// Clones the live snapshot, lets `f` mutate the clone, publishes
+    /// it, and frees the old snapshot once no reader can still hold it.
+    fn update<R>(&self, f: impl FnOnce(&mut Snapshot) -> R) -> R {
+        let _writer = self.write.lock();
+        // SAFETY: only writers free snapshots, writers are serialized
+        // by `write`, and we hold it — the pointer is live.
+        let mut next = unsafe { (*self.current.load(Ordering::Relaxed)).clone() };
+        let result = f(&mut next);
+        let old = self.current.swap(Box::into_raw(Box::new(next)), Ordering::AcqRel);
+        let flipped = self.epoch.fetch_add(1, Ordering::AcqRel);
+        let old_parity = (flipped & 1) as usize;
+        let mut spins = 0u32;
+        while self.readers[old_parity].load(Ordering::Acquire) != 0 {
+            spins += 1;
+            if spins < 64 {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        // SAFETY: every reader that could have loaded `old` pinned the
+        // old parity before the epoch flip, and that count just hit
+        // zero; readers pinned since the flip load the new pointer.
+        drop(unsafe { Box::from_raw(old) });
+        result
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        // SAFETY: `&mut self` means no reader or writer is live.
+        drop(unsafe { Box::from_raw(*self.current.get_mut()) });
+    }
+}
+
+/// Sharded LRU registry with lock-free reads. Capacity is budgeted per
+/// shard (`max(1, capacity / shards)`), so eviction never needs a
+/// global lock.
 pub struct ModelRegistry {
-    shards: Vec<RwLock<Shard>>,
+    shards: Vec<Shard>,
     per_shard_cap: usize,
     clock: AtomicU64,
     evictions: AtomicU64,
@@ -70,7 +178,7 @@ impl ModelRegistry {
         let shards = shards.max(1);
         let per_shard_cap = capacity.max(1).div_ceil(shards);
         ModelRegistry {
-            shards: (0..shards).map(|_| RwLock::new(Shard { entries: HashMap::new() })).collect(),
+            shards: (0..shards).map(|_| Shard::new()).collect(),
             per_shard_cap,
             clock: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -79,7 +187,7 @@ impl ModelRegistry {
         }
     }
 
-    fn shard_for(&self, key: &ModelKey) -> &RwLock<Shard> {
+    fn shard_for(&self, key: &ModelKey) -> &Shard {
         // cheap mix of both hashes; the shard count is small
         let mixed = key.0 ^ key.1.rotate_left(17);
         &self.shards[(mixed % self.shards.len() as u64) as usize]
@@ -111,32 +219,33 @@ impl ModelRegistry {
     /// rollout `gen`, so a later commit can never resurrect it. Returns
     /// true if an entry was removed.
     pub fn abort_rollout(&self, key: &ModelKey, gen: u64) -> bool {
-        let mut shard = self.shard_for(key).write();
-        if shard.entries.get(key).is_some_and(|m| m.generation == gen) {
-            shard.entries.remove(key);
-            return true;
-        }
-        false
+        self.shard_for(key).update(|entries| {
+            if entries.get(key).is_some_and(|m| m.generation == gen) {
+                entries.remove(key);
+                return true;
+            }
+            false
+        })
     }
 
     /// Generation-aware lookup, refreshing the LRU stamp. Entries from
     /// an uncommitted generation are reported as [`Lookup::Stale`] and
-    /// never served.
+    /// never served. Lock-free: pins the shard's snapshot, never blocks
+    /// on a concurrent preload or eviction.
     pub fn lookup(&self, key: &ModelKey) -> Lookup {
         let committed = self.generation();
-        let shard = self.shard_for(key).read();
-        match shard.entries.get(key) {
+        self.shard_for(key).read(|entries| match entries.get(key) {
             None => Lookup::Miss,
             Some(m) if m.generation > committed => Lookup::Stale,
             Some(m) => {
                 m.last_used.store(self.tick(), Ordering::Relaxed);
                 Lookup::Hit { model_id: m.model_id, model_type: m.model_type.clone(), config: m.config }
             }
-        }
+        })
     }
 
     /// Looks up the best configuration for a key, refreshing its LRU
-    /// stamp. Read-lock only.
+    /// stamp. Lock-free.
     pub fn get(&self, key: &ModelKey) -> Option<CpuConfig> {
         match self.lookup(key) {
             Lookup::Hit { config, .. } => Some(config),
@@ -164,24 +273,31 @@ impl ModelRegistry {
     /// [`Self::commit_rollout`].
     pub fn insert_at(&self, key: ModelKey, model_id: i64, model_type: String, config: CpuConfig, gen: u64) {
         let stamp = self.tick();
-        let mut shard = self.shard_for(&key).write();
-        if !shard.entries.contains_key(&key) && shard.entries.len() >= self.per_shard_cap {
-            if let Some(victim) =
-                shard.entries.iter().min_by_key(|(_, m)| m.last_used.load(Ordering::Relaxed)).map(|(k, _)| *k)
-            {
-                shard.entries.remove(&victim);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+        self.shard_for(&key).update(|entries| {
+            if !entries.contains_key(&key) && entries.len() >= self.per_shard_cap {
+                if let Some(victim) =
+                    entries.iter().min_by_key(|(_, m)| m.last_used.load(Ordering::Relaxed)).map(|(k, _)| *k)
+                {
+                    entries.remove(&victim);
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
             }
-        }
-        shard.entries.insert(
-            key,
-            ResidentModel { model_id, model_type, config, generation: gen, last_used: AtomicU64::new(stamp) },
-        );
+            entries.insert(
+                key,
+                Arc::new(ResidentModel {
+                    model_id,
+                    model_type,
+                    config,
+                    generation: gen,
+                    last_used: AtomicU64::new(stamp),
+                }),
+            );
+        });
     }
 
     /// Models resident across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.read().entries.len()).sum()
+        self.shards.iter().map(|s| s.read(|entries| entries.len())).sum()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -203,12 +319,13 @@ impl ModelRegistry {
         let committed = self.generation();
         let mut out = Vec::new();
         for shard in &self.shards {
-            let shard = shard.read();
-            for (key, m) in &shard.entries {
-                if m.generation <= committed {
-                    out.push((*key, m.model_id, m.model_type.clone(), m.config, m.generation));
+            shard.read(|entries| {
+                for (key, m) in entries {
+                    if m.generation <= committed {
+                        out.push((*key, m.model_id, m.model_type.clone(), m.config, m.generation));
+                    }
                 }
-            }
+            });
         }
         out.sort_by_key(|a| (a.4, a.0));
         out
@@ -336,5 +453,90 @@ mod tests {
         .unwrap();
         assert_eq!(reg.len(), 400);
         assert_eq!(reg.evictions(), 0);
+    }
+
+    #[test]
+    fn lru_stamps_survive_snapshot_republishes() {
+        // the Arc'd entries share one LRU cell across snapshots, so a
+        // touch recorded in one snapshot still protects the entry after
+        // an unrelated write republishes the shard
+        let reg = ModelRegistry::new(1, 3);
+        reg.insert((1, 0), 1, "a".into(), cfg(1));
+        reg.insert((2, 0), 2, "a".into(), cfg(2));
+        reg.insert((3, 0), 3, "a".into(), cfg(3));
+        assert!(reg.get(&(1, 0)).is_some()); // stamp lands in the live snapshot
+        reg.insert((3, 0), 3, "a".into(), cfg(3)); // republish: clones the map, carrying the stamp
+        reg.insert((4, 0), 4, "a".into(), cfg(4)); // now someone must go
+        assert!(reg.get(&(1, 0)).is_some(), "the touched entry survived the republish");
+        assert!(reg.get(&(2, 0)).is_none(), "the untouched entry was the LRU victim");
+        assert_eq!(reg.evictions(), 1);
+    }
+
+    #[test]
+    fn readers_racing_hot_rollouts_see_only_complete_committed_generations() {
+        // The arc-swap contract: a reader may see the generation before
+        // or after a racing rollout, never a half-rolled-out one — and
+        // what it observes moves monotonically. Each rollout installs
+        // model_id == generation for every key, so a served model_id
+        // *is* the generation the answer belongs to.
+        const KEYS: u64 = 8;
+        const ROLLOUTS: i64 = 200;
+        let reg = std::sync::Arc::new(ModelRegistry::new(2, 64));
+        for k in 0..KEYS {
+            reg.insert((k, k), 0, "bf".into(), cfg(8));
+        }
+        crossbeam::scope(|s| {
+            let writer = std::sync::Arc::clone(&reg);
+            s.spawn(move |_| {
+                for _ in 0..ROLLOUTS {
+                    let gen = writer.begin_rollout();
+                    for k in 0..KEYS {
+                        writer.insert_at((k, k), gen as i64, "bf".into(), cfg(8), gen);
+                    }
+                    writer.commit_rollout(gen);
+                }
+            });
+            for _ in 0..3 {
+                let reg = std::sync::Arc::clone(&reg);
+                s.spawn(move |_| {
+                    let mut last_gen = 0u64;
+                    let mut last_seen = vec![0i64; KEYS as usize];
+                    loop {
+                        let before = reg.generation();
+                        assert!(before >= last_gen, "committed generation went backwards: {before} < {last_gen}");
+                        last_gen = before;
+                        for k in 0..KEYS {
+                            match reg.lookup(&(k, k)) {
+                                Lookup::Hit { model_id, .. } => {
+                                    // a hit is always a *committed* generation…
+                                    assert!(
+                                        model_id as u64 <= reg.generation(),
+                                        "served uncommitted generation {model_id}"
+                                    );
+                                    // …and per reader, a key never goes back in time
+                                    assert!(
+                                        model_id >= last_seen[k as usize],
+                                        "key {k} regressed from {} to {model_id}",
+                                        last_seen[k as usize]
+                                    );
+                                    last_seen[k as usize] = model_id;
+                                }
+                                // mid-rollout, the replaced entry is stale: refused, never served
+                                Lookup::Stale => {}
+                                Lookup::Miss => panic!("key {k} vanished during rollout"),
+                            }
+                        }
+                        if last_gen >= ROLLOUTS as u64 {
+                            break;
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(reg.generation(), ROLLOUTS as u64);
+        for k in 0..KEYS {
+            assert_eq!(reg.get_full(&(k, k)).unwrap().0, ROLLOUTS, "every key ends on the final generation");
+        }
     }
 }

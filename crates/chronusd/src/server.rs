@@ -17,7 +17,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
-use chronus::remote::{take_frame, write_frame, Response, StatsSnapshot};
+use chronus::remote::{take_frame, write_frame, Response, ResponseFrame, StatsSnapshot};
 use chronus::telemetry::Histogram;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 
@@ -280,8 +280,17 @@ fn serve_connection(mut stream: TcpStream, ctx: &Ctx, rx: &Receiver<(Instant, Tc
         loop {
             match take_frame(&mut buf) {
                 Ok(Some(payload)) => {
-                    let response = ctx.service.handle_frame(&payload, ctx.gauges(rx.len()));
-                    if write_frame(&mut stream, &response).is_err() {
+                    // Echoing the correlation id — and only then — is
+                    // the additive negotiation: corr'd requests get a
+                    // ResponseFrame envelope, everything else (old
+                    // clients included) gets the bare Response it
+                    // always did.
+                    let (corr, body) = ctx.service.handle_frame_enveloped(&payload, ctx.gauges(rx.len()));
+                    let wrote = match corr {
+                        Some(corr) => write_frame(&mut stream, &ResponseFrame { corr, body }),
+                        None => write_frame(&mut stream, &body),
+                    };
+                    if wrote.is_err() {
                         return;
                     }
                 }

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use chronus::error::ChronusError;
-use chronus::remote::{ModelSync, Request, RequestFrame, Response, StatsSnapshot};
+use chronus::remote::{KeyOutcome, ModelSync, Request, RequestFrame, Response, StatsSnapshot, MAX_BATCH_KEYS};
 use chronus::telemetry::{Telemetry, TraceContext};
 use eco_store::ModelStore;
 use parking_lot::Mutex;
@@ -250,10 +250,22 @@ impl PredictService {
     /// because there is no parseable context to follow, and visibility
     /// into garbage matters more than its cost.
     pub fn handle_frame(&self, payload: &[u8], gauges: QueueGauges) -> Response {
+        self.handle_frame_enveloped(payload, gauges).1
+    }
+
+    /// [`PredictService::handle_frame`] for envelope-aware transports:
+    /// additionally returns the frame's correlation id, if it carried
+    /// one, so the caller can wrap the response in a
+    /// [`chronus::remote::ResponseFrame`]. Un-corr'd (and malformed)
+    /// frames return `None` and must be answered bare — that asymmetry
+    /// is the whole negotiation: a daemon that echoes corr ids proves
+    /// it is safe to pipeline against.
+    pub fn handle_frame_enveloped(&self, payload: &[u8], gauges: QueueGauges) -> (Option<u64>, Response) {
         let started = self.clock.now_micros();
         self.stats.request();
-        let (response, span) = match serde_json::from_slice::<RequestFrame>(payload) {
+        let (corr, response, span) = match serde_json::from_slice::<RequestFrame>(payload) {
             Ok(frame) => {
+                let corr = frame.corr;
                 let mut span = frame.trace.map(|ctx| {
                     let mut s = self.telemetry.span_under(ctx, "daemon", "handle");
                     s.attr("verb", verb_of(&frame.body));
@@ -279,7 +291,7 @@ impl PredictService {
                         response
                     }
                 };
-                (response, span)
+                (corr, response, span)
             }
             Err(e) => {
                 self.stats.error();
@@ -287,74 +299,36 @@ impl PredictService {
                 let mut span = self.telemetry.root_span("daemon", "handle");
                 let message = format!("malformed request: {e}");
                 span.set_error(message.clone());
-                (Response::Error { message }, Some(span))
+                (None, Response::Error { message }, Some(span))
             }
         };
         drop(span);
         self.stats.record_latency_us(self.clock.now_micros().saturating_sub(started));
-        response
+        (corr, response)
     }
 
     fn handle_request(&self, request: Request, gauges: QueueGauges, ctx: Option<TraceContext>) -> Response {
         match request {
             Request::Ping => Response::Pong,
-            Request::Predict { system_hash, binary_hash } => {
-                self.stats.prediction();
-                {
-                    let mut lookup = ctx.map(|c| self.telemetry.span_under(c, "daemon", "registry_lookup"));
-                    match self.registry.lookup(&(system_hash, binary_hash)) {
-                        Lookup::Hit { config, .. } => {
-                            self.stats.cache_hit();
-                            if let Some(s) = &mut lookup {
-                                s.attr("result", "hit");
-                            }
-                            return Response::Config(config);
-                        }
-                        Lookup::Stale => {
-                            // a half-rolled-out model must never answer;
-                            // fall through to the backend like a miss
-                            self.stats.stale_generation_hit();
-                            self.stats.cache_miss();
-                            if let Some(s) = &mut lookup {
-                                s.attr("result", "stale");
-                            }
-                        }
-                        Lookup::Miss => {
-                            self.stats.cache_miss();
-                            if let Some(s) = &mut lookup {
-                                s.attr("result", "miss");
-                            }
-                        }
-                    }
+            Request::Predict { system_hash, binary_hash } => match self.predict_key(system_hash, binary_hash, ctx) {
+                KeyOutcome::Config(config) => Response::Config(config),
+                KeyOutcome::Miss => Response::Miss { system_hash, binary_hash },
+                KeyOutcome::Error { message } => Response::Error { message },
+            },
+            Request::PredictMany { keys } => {
+                if keys.len() > MAX_BATCH_KEYS {
+                    self.stats.error();
+                    return Response::Error {
+                        message: format!("batch of {} keys exceeds the {MAX_BATCH_KEYS}-key limit", keys.len()),
+                    };
                 }
-                let mut backend_span = ctx.map(|c| self.telemetry.span_under(c, "daemon", "backend_lookup"));
-                match self.backend.lookup(system_hash, binary_hash) {
-                    Ok(model) => {
-                        let config = model.config;
-                        self.registry.insert(
-                            (model.system_hash, model.binary_hash),
-                            model.model_id,
-                            model.model_type,
-                            config,
-                        );
-                        Response::Config(config)
-                    }
-                    // "no answer for this key" is a protocol-level miss …
-                    Err(ChronusError::NotFound(_)) | Err(ChronusError::Model(_)) => {
-                        if let Some(s) = &mut backend_span {
-                            s.attr("result", "miss");
-                        }
-                        Response::Miss { system_hash, binary_hash }
-                    }
-                    // … anything else is the daemon's own problem
-                    Err(e) => {
-                        self.stats.error();
-                        if let Some(s) = &mut backend_span {
-                            s.set_error(e.to_string());
-                        }
-                        Response::Error { message: e.to_string() }
-                    }
-                }
+                // Frame-level shape first, then the per-key loop bumps
+                // the same prediction/hit/miss counters a single-key
+                // Predict would: conservation counts keys, not frames.
+                self.stats.batch(keys.len() as u64);
+                let results =
+                    keys.iter().map(|&(system_hash, binary_hash)| self.predict_key(system_hash, binary_hash, ctx));
+                Response::ManyConfigs { results: results.collect() }
             }
             Request::Preload { model_id } => {
                 // versioned rollout: the new model becomes visible only
@@ -434,6 +408,70 @@ impl PredictService {
             }
         }
     }
+
+    /// One key's prediction, shared verbatim between `Predict` and the
+    /// per-key loop of `PredictMany` so the two paths can never drift:
+    /// registry lookup (hit / stale-refusal / miss), backend fallback
+    /// on miss, and exactly one `prediction` + one `hit`-or-`miss`
+    /// counter bump per key regardless of framing.
+    fn predict_key(&self, system_hash: u64, binary_hash: u64, ctx: Option<TraceContext>) -> KeyOutcome {
+        self.stats.prediction();
+        {
+            let mut lookup = ctx.map(|c| self.telemetry.span_under(c, "daemon", "registry_lookup"));
+            match self.registry.lookup(&(system_hash, binary_hash)) {
+                Lookup::Hit { config, .. } => {
+                    self.stats.cache_hit();
+                    if let Some(s) = &mut lookup {
+                        s.attr("result", "hit");
+                    }
+                    return KeyOutcome::Config(config);
+                }
+                Lookup::Stale => {
+                    // a half-rolled-out model must never answer;
+                    // fall through to the backend like a miss
+                    self.stats.stale_generation_hit();
+                    self.stats.cache_miss();
+                    if let Some(s) = &mut lookup {
+                        s.attr("result", "stale");
+                    }
+                }
+                Lookup::Miss => {
+                    self.stats.cache_miss();
+                    if let Some(s) = &mut lookup {
+                        s.attr("result", "miss");
+                    }
+                }
+            }
+        }
+        let mut backend_span = ctx.map(|c| self.telemetry.span_under(c, "daemon", "backend_lookup"));
+        match self.backend.lookup(system_hash, binary_hash) {
+            Ok(model) => {
+                let config = model.config;
+                self.registry.insert(
+                    (model.system_hash, model.binary_hash),
+                    model.model_id,
+                    model.model_type,
+                    config,
+                );
+                KeyOutcome::Config(config)
+            }
+            // "no answer for this key" is a protocol-level miss …
+            Err(ChronusError::NotFound(_)) | Err(ChronusError::Model(_)) => {
+                if let Some(s) = &mut backend_span {
+                    s.attr("result", "miss");
+                }
+                KeyOutcome::Miss
+            }
+            // … anything else is the daemon's own problem
+            Err(e) => {
+                self.stats.error();
+                if let Some(s) = &mut backend_span {
+                    s.set_error(e.to_string());
+                }
+                KeyOutcome::Error { message: e.to_string() }
+            }
+        }
+    }
 }
 
 /// The request's verb as a span attribute value.
@@ -441,6 +479,7 @@ fn verb_of(request: &Request) -> &'static str {
     match request {
         Request::Ping => "ping",
         Request::Predict { .. } => "predict",
+        Request::PredictMany { .. } => "predict_many",
         Request::Preload { .. } => "preload",
         Request::Stats => "stats",
         Request::SyncModels { .. } => "sync_models",
@@ -490,6 +529,107 @@ mod tests {
             Response::Miss { system_hash: 9, binary_hash: 9 }
         ));
         assert_eq!(svc.snapshot(QueueGauges::default()).errors, 0);
+    }
+
+    #[test]
+    fn predict_many_answers_every_key_in_order_and_counts_keys_not_frames() {
+        let svc = service_with_one_model();
+        // known, unknown, known-again: the reply must be positional
+        let keys = vec![(10, 20), (9, 9), (10, 20)];
+        let payload = frame_bytes(&RequestFrame::new(Request::PredictMany { keys }));
+        let results = match svc.handle_frame(&payload, QueueGauges::default()) {
+            Response::ManyConfigs { results } => results,
+            other => panic!("expected ManyConfigs, got {other:?}"),
+        };
+        assert_eq!(results.len(), 3, "one outcome per key, in key order");
+        assert!(matches!(results[0], KeyOutcome::Config(_)));
+        assert!(matches!(results[1], KeyOutcome::Miss));
+        assert!(matches!(results[2], KeyOutcome::Config(_)), "second occurrence is a registry hit");
+        let snap = svc.snapshot(QueueGauges::default());
+        assert_eq!(snap.requests_total, 1, "one frame");
+        assert_eq!(snap.predictions, 3, "three keys");
+        assert_eq!((snap.cache_hits, snap.cache_misses), (1, 2));
+        assert_eq!((snap.batches, snap.batched_keys), (1, 3));
+    }
+
+    #[test]
+    fn predict_many_conserves_counters_like_singles_would() {
+        // the conservation law counts batched keys, not frames:
+        // hits + misses == predictions whatever the framing
+        let svc = service_with_one_model();
+        let batch =
+            frame_bytes(&RequestFrame::new(Request::PredictMany { keys: vec![(10, 20), (1, 1), (2, 2), (10, 20)] }));
+        let single = frame_bytes(&RequestFrame::new(Request::Predict { system_hash: 10, binary_hash: 20 }));
+        assert!(matches!(svc.handle_frame(&batch, QueueGauges::default()), Response::ManyConfigs { .. }));
+        assert!(matches!(svc.handle_frame(&single, QueueGauges::default()), Response::Config(_)));
+        let snap = svc.snapshot(QueueGauges::default());
+        assert_eq!(snap.predictions, 5);
+        assert_eq!(snap.cache_hits + snap.cache_misses, snap.predictions);
+        assert_eq!((snap.batches, snap.batched_keys), (1, 4), "the single Predict is not a batch");
+    }
+
+    #[test]
+    fn empty_batch_is_answered_with_an_empty_reply() {
+        let svc = service_with_one_model();
+        let payload = frame_bytes(&RequestFrame::new(Request::PredictMany { keys: vec![] }));
+        match svc.handle_frame(&payload, QueueGauges::default()) {
+            Response::ManyConfigs { results } => assert!(results.is_empty()),
+            other => panic!("expected ManyConfigs, got {other:?}"),
+        }
+        let snap = svc.snapshot(QueueGauges::default());
+        assert_eq!((snap.batches, snap.batched_keys, snap.predictions), (1, 0, 0));
+    }
+
+    #[test]
+    fn oversize_batch_is_rejected_whole_with_a_typed_error() {
+        let svc = service_with_one_model();
+        let keys: Vec<(u64, u64)> = (0..=MAX_BATCH_KEYS as u64).map(|i| (i, i)).collect();
+        let payload = frame_bytes(&RequestFrame::new(Request::PredictMany { keys }));
+        match svc.handle_frame(&payload, QueueGauges::default()) {
+            Response::Error { message } => assert!(message.contains("exceeds"), "typed limit error: {message}"),
+            other => panic!("expected Error, got {other:?}"),
+        }
+        let snap = svc.snapshot(QueueGauges::default());
+        assert_eq!(snap.predictions, 0, "no key in a rejected batch is served");
+        assert_eq!((snap.batches, snap.batched_keys), (0, 0), "a rejected frame is not a batch");
+        assert_eq!(snap.errors, 1);
+    }
+
+    #[test]
+    fn corr_id_is_surfaced_for_enveloped_transports_and_absent_otherwise() {
+        let svc = service_with_one_model();
+        let corrd =
+            frame_bytes(&RequestFrame::new(Request::Predict { system_hash: 10, binary_hash: 20 }).with_corr(42));
+        let (corr, resp) = svc.handle_frame_enveloped(&corrd, QueueGauges::default());
+        assert_eq!(corr, Some(42), "the daemon echoes the frame's correlation id");
+        assert!(matches!(resp, Response::Config(_)));
+
+        let bare = frame_bytes(&RequestFrame::new(Request::Predict { system_hash: 10, binary_hash: 20 }));
+        let (corr, _) = svc.handle_frame_enveloped(&bare, QueueGauges::default());
+        assert_eq!(corr, None, "un-corr'd frames are answered bare");
+
+        let (corr, resp) = svc.handle_frame_enveloped(b"not json", QueueGauges::default());
+        assert_eq!(corr, None, "malformed frames have no parseable corr");
+        assert!(matches!(resp, Response::Error { .. }));
+    }
+
+    #[test]
+    fn traced_batch_parents_per_key_spans_under_one_handle_span() {
+        let svc = service_with_one_model();
+        let telemetry = svc.telemetry().clone();
+        let caller = telemetry.root_span("client", "attempt");
+        let ctx = caller.context();
+        let payload =
+            frame_bytes(&RequestFrame::new(Request::PredictMany { keys: vec![(10, 20), (9, 9)] }).traced(Some(ctx)));
+        assert!(matches!(svc.handle_frame(&payload, QueueGauges::default()), Response::ManyConfigs { .. }));
+        drop(caller);
+        let events = telemetry.recorder().trace_events(ctx.trace);
+        let handle =
+            events.iter().find(|e| e.layer == "daemon" && e.name == "handle").expect("daemon/handle span recorded");
+        assert!(handle.attrs.iter().any(|a| a == "verb=predict_many"));
+        let lookups: Vec<_> = events.iter().filter(|e| e.name == "registry_lookup").collect();
+        assert_eq!(lookups.len(), 2, "one registry_lookup span per key");
+        assert!(lookups.iter().all(|e| e.parent == Some(handle.span)));
     }
 
     #[test]

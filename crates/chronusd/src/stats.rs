@@ -23,6 +23,9 @@ pub struct ServerStats {
     generation_rollbacks: Counter,
     preloads: Counter,
     store_catchups: Counter,
+    batches: Counter,
+    batched_keys: Counter,
+    batch_keys_hist: Histogram,
     latency: Histogram,
 }
 
@@ -49,6 +52,9 @@ impl ServerStats {
             generation_rollbacks: Counter::new(),
             preloads: Counter::new(),
             store_catchups: Counter::new(),
+            batches: Counter::new(),
+            batched_keys: Counter::new(),
+            batch_keys_hist: Histogram::new(),
             latency: Histogram::new(),
         }
     }
@@ -68,6 +74,9 @@ impl ServerStats {
             generation_rollbacks: telemetry.counter("daemon.generation_rollbacks"),
             preloads: telemetry.counter("daemon.preloads"),
             store_catchups: telemetry.counter("daemon.store_catchups"),
+            batches: telemetry.counter("daemon.batches"),
+            batched_keys: telemetry.counter("daemon.batched_keys"),
+            batch_keys_hist: telemetry.histogram("daemon.batch_keys"),
             latency: telemetry.histogram("daemon.service_us"),
         }
     }
@@ -122,6 +131,16 @@ impl ServerStats {
         self.store_catchups.bump();
     }
 
+    /// One `PredictMany` frame carrying `keys` keys was handled. The
+    /// per-key prediction/hit/miss counters are bumped separately by
+    /// the per-key loop; this records the *frame*-level shape so the
+    /// batch-size distribution is visible in `chronus stats`.
+    pub fn batch(&self, keys: u64) {
+        self.batches.bump();
+        self.batched_keys.add(keys);
+        self.batch_keys_hist.record_us(keys);
+    }
+
     /// Records one request's handling latency.
     pub fn record_latency_us(&self, us: u64) {
         self.latency.record_us(us);
@@ -158,6 +177,8 @@ impl ServerStats {
             generation_rollbacks: self.generation_rollbacks.get(),
             preloads: self.preloads.get(),
             store_catchups: self.store_catchups.get(),
+            batches: self.batches.get(),
+            batched_keys: self.batched_keys.get(),
             // store gauges live with the service, which stamps them
             store_dir: String::new(),
             store_generation: 0,
@@ -237,6 +258,20 @@ mod tests {
         assert_eq!(snap.store_generation, 0);
         assert_eq!(telemetry.counter("daemon.preloads").get(), 1);
         assert_eq!(telemetry.counter("daemon.store_catchups").get(), 2);
+    }
+
+    #[test]
+    fn batch_counters_count_frames_and_keys_separately() {
+        let telemetry = Telemetry::wall();
+        let stats = ServerStats::over(&telemetry);
+        stats.batch(8);
+        stats.batch(64);
+        let snap = stats.snapshot(0, 0, 0, 0, 0, 0);
+        assert_eq!(snap.batches, 2, "two frames");
+        assert_eq!(snap.batched_keys, 72, "72 keys across them");
+        assert_eq!(telemetry.counter("daemon.batches").get(), 2);
+        assert_eq!(telemetry.counter("daemon.batched_keys").get(), 72);
+        assert_eq!(telemetry.histogram("daemon.batch_keys").count(), 2);
     }
 
     #[test]

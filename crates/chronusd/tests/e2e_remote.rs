@@ -232,3 +232,72 @@ fn slow_daemon_times_out_and_falls_back() {
     );
     assert_eq!(w.cluster.job(job).unwrap().descriptor.max_frequency_khz, None, "timed out, so no rewrite");
 }
+
+#[test]
+fn concurrent_submitters_coalesce_into_batched_frames() {
+    // Many submit threads sharing one RemotePrediction: whichever
+    // caller wins the client lock leads a batch, draining the others'
+    // keys into a single PredictMany exchange. Every caller must get
+    // its own key's config back (never a coalescing cross-wire), and
+    // the daemon's counters must show batched frames carrying more
+    // keys than frames.
+    const THREADS: usize = 6;
+    const PREDICTS_PER_THREAD: usize = 200;
+
+    let keys: Vec<(u64, u64)> = (0..8u64).map(|i| (0x5eed_0000 + i, 0xb1a5_0000 + i)).collect();
+    let configs: Vec<CpuConfig> = (0..8u32).map(|i| CpuConfig::new(4 + i * 4, 1_500_000, 1)).collect();
+    let models: Vec<PreparedModel> = keys
+        .iter()
+        .zip(&configs)
+        .enumerate()
+        .map(|(i, (&(system_hash, binary_hash), &config))| PreparedModel {
+            model_id: 1 + i as i64,
+            model_type: "brute-force".into(),
+            system_hash,
+            binary_hash,
+            config,
+        })
+        .collect();
+    let server = PredictServer::start(
+        ServerConfig { addr: "127.0.0.1:0".to_string(), ..ServerConfig::default() },
+        Arc::new(StaticBackend::new(models)),
+    )
+    .unwrap();
+    let addr = server.addr().to_string();
+
+    let telemetry = Arc::new(chronus::telemetry::Telemetry::wall());
+    let client = PredictClient::builder().endpoint(&addr).build().unwrap();
+    let source = Arc::new(RemotePrediction::from_client(client));
+    source.set_telemetry(Arc::clone(&telemetry));
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let source = Arc::clone(&source);
+            let keys = &keys;
+            let configs = &configs;
+            s.spawn(move || {
+                use chronus::remote::PredictionSource;
+                for i in 0..PREDICTS_PER_THREAD {
+                    let pick = (t + i) % keys.len();
+                    let (sys, bin) = keys[pick];
+                    let cfg = source.predict(sys, bin).expect("warm predict through the coalescer");
+                    assert_eq!(cfg, configs[pick], "thread {t} predict {i} got another caller's answer");
+                }
+            });
+        }
+    });
+
+    let stats = PredictClient::builder().endpoint(addr).build().unwrap().stats().unwrap();
+    assert_eq!(
+        stats.predictions,
+        (THREADS * PREDICTS_PER_THREAD) as u64,
+        "every submitted key predicted exactly once: {stats:?}"
+    );
+    assert!(stats.batches > 0, "a {THREADS}-thread storm must coalesce into batched frames: {stats:?}");
+    assert!(
+        stats.batched_keys >= 2 * stats.batches,
+        "every PredictMany frame carries at least two coalesced keys: {stats:?}"
+    );
+    let coalesced = telemetry.counter("client.coalesced").get();
+    assert!(coalesced > 0, "riders that skipped their own round trip must be counted");
+}

@@ -81,6 +81,7 @@ pub fn benchmarks_table(benchmarks: &[Benchmark]) -> String {
 /// percentiles the telemetry histogram tracks.
 pub fn stats_table(s: &StatsSnapshot) -> String {
     let hit_rate = if s.predictions > 0 { 100.0 * s.cache_hits as f64 / s.predictions as f64 } else { 0.0 };
+    let avg_batch = if s.batches > 0 { s.batched_keys as f64 / s.batches as f64 } else { 0.0 };
     let title = if s.replica.is_empty() {
         "chronusd statistics".to_string()
     } else {
@@ -95,6 +96,7 @@ pub fn stats_table(s: &StatsSnapshot) -> String {
         "{title}\n\
          requests            {}\n\
          predictions         {} ({} hits / {} misses, {hit_rate:.1}% hit rate)\n\
+         batched             {} keys over {} PredictMany frames (avg {avg_batch:.1} keys/frame)\n\
          busy rejections     {}\n\
          deadline exceeded   {}\n\
          errors              {}\n\
@@ -107,6 +109,8 @@ pub fn stats_table(s: &StatsSnapshot) -> String {
         s.predictions,
         s.cache_hits,
         s.cache_misses,
+        s.batched_keys,
+        s.batches,
         s.busy_rejections,
         s.deadline_exceeded,
         s.errors,
@@ -206,10 +210,13 @@ mod tests {
             model_generation: 3,
             stale_generation_hits: 1,
             generation_rollbacks: 2,
+            batches: 2,
+            batched_keys: 6,
             ..StatsSnapshot::default()
         };
         let t = stats_table(&snap);
         assert!(t.contains("predictions         8 (6 hits / 2 misses, 75.0% hit rate)"), "{t}");
+        assert!(t.contains("batched             6 keys over 2 PredictMany frames (avg 3.0 keys/frame)"), "{t}");
         assert!(t.contains("model generation    3 (1 stale hits / 2 rollbacks)"), "{t}");
         assert!(t.contains("p50 4us  p99 128us  max 250us"), "{t}");
         // a replica without --store says so explicitly

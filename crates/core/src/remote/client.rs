@@ -20,6 +20,7 @@
 //! loop is byte-for-byte the original single-daemon state machine, so
 //! the warm path costs nothing extra.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -27,10 +28,10 @@ use eco_sim_node::cpu::CpuConfig;
 
 use super::ring::{predict_key, HashRing};
 use super::{
-    read_frame, write_frame, Connection, ModelSync, PreloadAck, RemoteError, Request, RequestFrame, Response,
-    StatsSnapshot, TcpTransport, Transport,
+    read_frame, write_frame, Connection, KeyOutcome, ModelSync, PreloadAck, RemoteError, Request, RequestFrame,
+    Response, ResponseFrame, StatsSnapshot, TcpTransport, Transport, MAX_BATCH_KEYS,
 };
-use crate::telemetry::{Counter, Telemetry, TraceContext};
+use crate::telemetry::{Counter, Histogram, Telemetry, TraceContext};
 
 /// Per-call options for [`PredictClient`] RPCs: the caller's trace
 /// context and an optional per-call deadline override.
@@ -102,6 +103,8 @@ pub enum ClientBuildError {
     VnodesOutOfRange(u32),
     /// `down_after` must be at least 1.
     ZeroDownAfter,
+    /// `pipeline_depth` outside `1..=64`.
+    PipelineDepthOutOfRange(u32),
 }
 
 impl std::fmt::Display for ClientBuildError {
@@ -112,6 +115,7 @@ impl std::fmt::Display for ClientBuildError {
             ClientBuildError::RetriesOutOfRange(n) => write!(f, "max_retries {n} exceeds the sanity bound of 16"),
             ClientBuildError::VnodesOutOfRange(n) => write!(f, "vnodes {n} outside 1..=1024"),
             ClientBuildError::ZeroDownAfter => write!(f, "down_after must be at least 1"),
+            ClientBuildError::PipelineDepthOutOfRange(n) => write!(f, "pipeline_depth {n} outside 1..=64"),
         }
     }
 }
@@ -144,6 +148,7 @@ pub struct ClientBuilder {
     vnodes: u32,
     down_after: u32,
     probe_cooldown: u32,
+    pipeline_depth: u32,
 }
 
 impl Default for ClientBuilder {
@@ -158,6 +163,7 @@ impl Default for ClientBuilder {
             vnodes: 64,
             down_after: 2,
             probe_cooldown: 16,
+            pipeline_depth: 4,
         }
     }
 }
@@ -241,6 +247,15 @@ impl ClientBuilder {
         self
     }
 
+    /// Sub-batches [`PredictClient::predict_many`] may keep in flight
+    /// on one connection (default 4; 1 disables pipelining). Only takes
+    /// effect against daemons that echo correlation ids; the client
+    /// drops to one-at-a-time exchanges against older daemons.
+    pub fn pipeline_depth(mut self, n: u32) -> Self {
+        self.pipeline_depth = n;
+        self
+    }
+
     /// Validates the configuration and constructs the client. Nothing
     /// connects yet — the first RPC does.
     pub fn build(self) -> Result<PredictClient, ClientBuildError> {
@@ -262,6 +277,9 @@ impl ClientBuilder {
         if self.down_after == 0 {
             return Err(ClientBuildError::ZeroDownAfter);
         }
+        if self.pipeline_depth == 0 || self.pipeline_depth > 64 {
+            return Err(ClientBuildError::PipelineDepthOutOfRange(self.pipeline_depth));
+        }
         let replicas: Vec<Replica> = self
             .endpoints
             .into_iter()
@@ -280,6 +298,8 @@ impl ClientBuilder {
                     consecutive_failures: 0,
                     probe_in: 0,
                     generation: 0,
+                    corr_echo: None,
+                    batch_unsupported: false,
                 }
             })
             .collect();
@@ -294,6 +314,7 @@ impl ClientBuilder {
                 deadline_ms: self.deadline_ms,
                 down_after: self.down_after,
                 probe_cooldown: self.probe_cooldown,
+                pipeline_depth: self.pipeline_depth,
             },
             tel: None,
             rolled_models: Vec::new(),
@@ -309,6 +330,7 @@ struct Knobs {
     deadline_ms: Option<u64>,
     down_after: u32,
     probe_cooldown: u32,
+    pipeline_depth: u32,
 }
 
 struct Replica {
@@ -321,6 +343,13 @@ struct Replica {
     probe_in: u32,
     /// Last rollout generation this replica acknowledged to us.
     generation: u64,
+    /// Whether the *current* connection's peer echoes correlation ids:
+    /// `None` until the first corr'd exchange answers, then the
+    /// verdict. Reset on every fresh dial.
+    corr_echo: Option<bool>,
+    /// Set once this daemon answers `PredictMany` with a
+    /// malformed-request error: an old daemon, batch forever off.
+    batch_unsupported: bool,
 }
 
 /// One replica's health and rollout state, as the client sees it.
@@ -373,6 +402,9 @@ struct ClientTelemetry {
     retries: Counter,
     busy: Counter,
     errors: Counter,
+    coalesced: Counter,
+    batch_keys: Histogram,
+    inflight_depth: Histogram,
     ring_lookups: Counter,
     ring_failovers: Counter,
     ring_rebuilds: Counter,
@@ -384,6 +416,7 @@ fn verb_name(r: &Request) -> &'static str {
     match r {
         Request::Ping => "ping",
         Request::Predict { .. } => "predict",
+        Request::PredictMany { .. } => "predict_many",
         Request::Preload { .. } => "preload",
         Request::Stats => "stats",
         Request::SyncModels { .. } => "sync_models",
@@ -400,12 +433,20 @@ fn routing_key(body: &Request) -> u64 {
     }
 }
 
+/// Dials the replica's connection if necessary; a fresh connection's
+/// corr-echo verdict is unknown until its first corr'd exchange.
+fn ensure_conn(replica: &mut Replica) -> Result<(), RemoteError> {
+    if replica.conn.is_none() {
+        replica.conn = Some(replica.transport.connect().map_err(RemoteError::Connect)?);
+        replica.corr_echo = None;
+    }
+    Ok(())
+}
+
 /// One framed exchange on a replica's persistent connection, dialing
 /// first if necessary. Leaves connection cleanup to the caller.
 fn exchange_on(replica: &mut Replica, frame: &RequestFrame) -> Result<Response, RemoteError> {
-    if replica.conn.is_none() {
-        replica.conn = Some(replica.transport.connect().map_err(RemoteError::Connect)?);
-    }
+    ensure_conn(replica)?;
     let conn = replica.conn.as_mut().expect("connection was just established");
     write_frame(conn, frame).map_err(RemoteError::Io)?;
     read_frame(conn).map_err(|e| {
@@ -415,6 +456,35 @@ fn exchange_on(replica: &mut Replica, frame: &RequestFrame) -> Result<Response, 
             RemoteError::Io(e)
         }
     })
+}
+
+/// What came back on a pipelined connection: an envelope (corr-aware
+/// daemon) or a bare response (old daemon, or a bare `Busy` bounce
+/// from the accept loop, which never reads the request at all).
+enum WireReply {
+    Bare(Response),
+    Enveloped(u64, Response),
+}
+
+/// Reads one reply frame and classifies it. The two shapes cannot be
+/// confused: the envelope is an object with `corr` and `body` fields,
+/// a bare [`Response`] never is (see [`ResponseFrame`]).
+fn read_reply(conn: &mut dyn Connection) -> Result<WireReply, RemoteError> {
+    let mut header = [0u8; 4];
+    std::io::Read::read_exact(conn, &mut header).map_err(RemoteError::Io)?;
+    let len = u32::from_be_bytes(header) as usize;
+    if len > super::MAX_FRAME_LEN {
+        return Err(RemoteError::Protocol(format!("peer announced a {len} byte frame")));
+    }
+    let mut payload = vec![0u8; len];
+    std::io::Read::read_exact(conn, &mut payload).map_err(RemoteError::Io)?;
+    if let Ok(envelope) = serde_json::from_slice::<ResponseFrame>(&payload) {
+        return Ok(WireReply::Enveloped(envelope.corr, envelope.body));
+    }
+    match serde_json::from_slice::<Response>(&payload) {
+        Ok(r) => Ok(WireReply::Bare(r)),
+        Err(e) => Err(RemoteError::Protocol(e.to_string())),
+    }
 }
 
 impl std::fmt::Debug for PredictClient {
@@ -517,6 +587,9 @@ impl PredictClient {
             retries: telemetry.counter("client.retries"),
             busy: telemetry.counter("client.busy"),
             errors: telemetry.counter("client.errors"),
+            coalesced: telemetry.counter("client.coalesced"),
+            batch_keys: telemetry.histogram("client.batch_keys"),
+            inflight_depth: telemetry.histogram("client.inflight_depth"),
             ring_lookups: telemetry.counter("ring.lookups"),
             ring_failovers: telemetry.counter("ring.failovers"),
             ring_rebuilds: telemetry.counter("ring.rebuilds"),
@@ -578,6 +651,227 @@ impl PredictClient {
         parent: Option<TraceContext>,
     ) -> Result<CpuConfig, RemoteError> {
         self.predict(system_hash, binary_hash, &CallOptions::traced(parent))
+    }
+
+    /// The batched query: one result per key, in key order, always
+    /// `keys.len()` of them. Keys are grouped by their ring owner
+    /// (fleet mode fans one batch out across replicas and re-merges),
+    /// each group is split into sub-batches of at most
+    /// [`MAX_BATCH_KEYS`], and up to [`ClientBuilder::pipeline_depth`]
+    /// sub-batches ride one connection concurrently via correlation
+    /// ids. Any key a batched exchange fails to answer falls back to
+    /// the single-key path with its full retry/failover machinery — a
+    /// key is never silently dropped, only answered or given a typed
+    /// error. Old daemons (no `PredictMany`) degrade to sequential
+    /// singles automatically.
+    pub fn predict_many(&mut self, keys: &[(u64, u64)], opts: &CallOptions) -> Vec<Result<CpuConfig, RemoteError>> {
+        if let Some(t) = &self.tel {
+            t.requests.bump();
+            t.batch_keys.record_us(keys.len() as u64);
+        }
+        if keys.is_empty() {
+            return Vec::new();
+        }
+        if keys.len() == 1 {
+            let (s, b) = keys[0];
+            return vec![self.predict(s, b, opts)];
+        }
+        self.probe_if_due(opts.trace);
+        // ring-aware splitter: each key goes to its first-choice replica
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.replicas.len()];
+        if self.replicas.len() == 1 {
+            groups[0] = (0..keys.len()).collect();
+        } else {
+            if let Some(t) = &self.tel {
+                t.ring_lookups.bump();
+            }
+            for (i, &(s, b)) in keys.iter().enumerate() {
+                let owner = self.ring.ordered(predict_key(s, b)).first().copied().unwrap_or_default() as usize;
+                groups[owner.min(self.replicas.len() - 1)].push(i);
+            }
+        }
+        let mut results: Vec<Option<Result<CpuConfig, RemoteError>>> = (0..keys.len()).map(|_| None).collect();
+        for (idx, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            self.batch_on(idx, keys, &group, opts, &mut results);
+        }
+        // per-key fallback for anything a batch left unanswered
+        for i in 0..keys.len() {
+            if results[i].is_none() {
+                let (s, b) = keys[i];
+                results[i] = Some(self.predict(s, b, opts));
+            }
+        }
+        results.into_iter().map(|r| r.expect("every key answered or fallen back")).collect()
+    }
+
+    /// Records that `n` concurrent callers rode one coalesced batch
+    /// (`n - 1` of them saved a round trip of their own).
+    pub fn note_coalesced(&self, n: usize) {
+        if n > 1 {
+            if let Some(t) = &self.tel {
+                t.coalesced.add(n as u64 - 1);
+            }
+        }
+    }
+
+    /// Sends one group of key indices to one replica as pipelined
+    /// `PredictMany` sub-batches and fills their result slots. Slots
+    /// left `None` (connection died mid-batch, daemon too old, bare
+    /// `Busy` bounce) are picked up by the caller's per-key fallback.
+    fn batch_on(
+        &mut self,
+        idx: usize,
+        keys: &[(u64, u64)],
+        group: &[usize],
+        opts: &CallOptions,
+        results: &mut [Option<Result<CpuConfig, RemoteError>>],
+    ) {
+        if self.replicas[idx].batch_unsupported {
+            return;
+        }
+        let deadline_ms = opts.deadline_ms.or(self.knobs.deadline_ms);
+        let depth_cap = self.knobs.pipeline_depth as usize;
+        let mut chunks: VecDeque<Vec<usize>> = group.chunks(MAX_BATCH_KEYS).map(|c| c.to_vec()).collect();
+        let mut in_flight: VecDeque<(u64, Vec<usize>)> = VecDeque::new();
+        let mut next_corr: u64 = 1;
+        let mut answered = 0usize;
+
+        if ensure_conn(&mut self.replicas[idx]).is_err() {
+            self.note_failure(idx);
+            return;
+        }
+        while !chunks.is_empty() || !in_flight.is_empty() {
+            // a connection whose corr support is unconfirmed (or absent)
+            // carries one frame at a time
+            let allowed = match self.replicas[idx].corr_echo {
+                Some(true) => depth_cap,
+                _ => 1,
+            };
+            while in_flight.len() < allowed && !chunks.is_empty() {
+                let chunk = chunks.pop_front().expect("checked non-empty");
+                let body = Request::PredictMany { keys: chunk.iter().map(|&i| keys[i]).collect() };
+                let mut frame = RequestFrame { deadline_ms, trace: opts.trace, corr: None, body };
+                let corr = next_corr;
+                if self.replicas[idx].corr_echo != Some(false) {
+                    frame.corr = Some(corr);
+                    next_corr += 1;
+                }
+                let conn = self.replicas[idx].conn.as_mut().expect("dialed above");
+                if write_frame(conn, &frame).is_err() {
+                    self.replicas[idx].conn = None;
+                    self.note_failure(idx);
+                    return;
+                }
+                in_flight.push_back((corr, chunk));
+                if let Some(t) = &self.tel {
+                    t.attempts.bump();
+                    t.inflight_depth.record_us(in_flight.len() as u64);
+                }
+            }
+            let reply = {
+                let conn = self.replicas[idx].conn.as_mut().expect("dialed above");
+                read_reply(conn)
+            };
+            let (slot, response) = match reply {
+                Ok(WireReply::Enveloped(corr, response)) => {
+                    self.replicas[idx].corr_echo = Some(true);
+                    match in_flight.iter().position(|(c, _)| *c == corr) {
+                        Some(pos) => (in_flight.remove(pos).expect("position just found"), response),
+                        None => {
+                            // echo of a corr we never sent: unrecoverable
+                            self.replicas[idx].conn = None;
+                            self.note_failure(idx);
+                            return;
+                        }
+                    }
+                }
+                Ok(WireReply::Bare(Response::Busy { .. })) => {
+                    // accept-loop bounce: the daemon hung up without
+                    // reading anything; every in-flight key falls back
+                    self.replicas[idx].conn = None;
+                    if let Some(t) = &self.tel {
+                        t.busy.bump();
+                    }
+                    return;
+                }
+                Ok(WireReply::Bare(response)) => {
+                    // an old daemon answers in order, and we never
+                    // pipeline until corr echo is confirmed
+                    self.replicas[idx].corr_echo = Some(false);
+                    match in_flight.pop_front() {
+                        Some(sent) => (sent, response),
+                        None => {
+                            self.replicas[idx].conn = None;
+                            self.note_failure(idx);
+                            return;
+                        }
+                    }
+                }
+                Err(_) => {
+                    self.replicas[idx].conn = None;
+                    self.note_failure(idx);
+                    return;
+                }
+            };
+            let (_, chunk) = slot;
+            match response {
+                Response::ManyConfigs { results: outcomes } if outcomes.len() == chunk.len() => {
+                    for (&key_index, outcome) in chunk.iter().zip(outcomes) {
+                        let (system_hash, binary_hash) = keys[key_index];
+                        results[key_index] = Some(match outcome {
+                            KeyOutcome::Config(c) => Ok(c),
+                            KeyOutcome::Miss => Err(RemoteError::Miss { system_hash, binary_hash }),
+                            KeyOutcome::Error { message } => Err(RemoteError::Server(message)),
+                        });
+                        answered += 1;
+                    }
+                }
+                Response::ManyConfigs { .. } => {
+                    // wrong cardinality is a protocol violation; the
+                    // unanswered keys fall back rather than misalign
+                    self.replicas[idx].conn = None;
+                    self.note_failure(idx);
+                    return;
+                }
+                Response::Busy { .. } => {
+                    // service-level busy for this sub-batch: fall back
+                    if let Some(t) = &self.tel {
+                        t.busy.bump();
+                    }
+                    self.replicas[idx].conn = None;
+                    return;
+                }
+                Response::DeadlineExceeded => {
+                    for &key_index in &chunk {
+                        results[key_index] = Some(Err(RemoteError::DeadlineExceeded));
+                        answered += 1;
+                    }
+                }
+                Response::Error { message } => {
+                    if message.contains("malformed request") {
+                        // an old daemon that has never heard of
+                        // PredictMany: degrade to singles, forever
+                        self.replicas[idx].batch_unsupported = true;
+                        return;
+                    }
+                    for &key_index in &chunk {
+                        results[key_index] = Some(Err(RemoteError::Server(message.clone())));
+                        answered += 1;
+                    }
+                }
+                _ => {
+                    self.replicas[idx].conn = None;
+                    self.note_failure(idx);
+                    return;
+                }
+            }
+        }
+        if answered > 0 {
+            self.note_success(idx, opts.trace);
+        }
     }
 
     /// Stages a model on every replica (fan-out in fleet mode) and
@@ -698,7 +992,7 @@ impl PredictClient {
         let verb = verb_name(&body);
         let parent = opts.trace;
         let deadline_ms = opts.deadline_ms.or(self.knobs.deadline_ms);
-        let base = RequestFrame { deadline_ms, trace: parent, body };
+        let base = RequestFrame { deadline_ms, trace: parent, corr: None, body };
         let fleet = self.replicas.len() > 1;
         let max_attempts = self.knobs.max_retries + candidates.len() as u32;
         let mut attempt: u32 = 0;

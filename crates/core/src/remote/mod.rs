@@ -10,7 +10,21 @@
 //! many bytes of JSON. Frames above [`MAX_FRAME_LEN`] are a protocol
 //! violation and close the connection. Requests travel wrapped in a
 //! [`RequestFrame`] so each one can carry an optional deadline budget;
-//! responses are a bare [`Response`].
+//! responses are a bare [`Response`] — unless the request carried a
+//! correlation id, in which case the daemon echoes it back in a
+//! [`ResponseFrame`] envelope so several requests can be in flight on
+//! one connection at once (pipelining, out-of-order completion).
+//!
+//! ## Batching and pipelining
+//!
+//! [`Request::PredictMany`] answers up to [`MAX_BATCH_KEYS`] prediction
+//! keys in one round trip with [`Response::ManyConfigs`]: one
+//! [`KeyOutcome`] per key, in request order, always the same length as
+//! the key list. Both extensions are additive: `corr` is an optional
+//! frame field old daemons skip (they answer bare, and the client falls
+//! back to one-at-a-time exchanges), and an old daemon answers
+//! `PredictMany` with a malformed-request `Error`, which the client
+//! treats as "batch unsupported" and degrades to sequential singles.
 //!
 //! ## Transports
 //!
@@ -52,6 +66,12 @@ pub use ring::{predict_key, HashRing};
 /// Upper bound on a single frame's JSON payload (1 MiB).
 pub const MAX_FRAME_LEN: usize = 1 << 20;
 
+/// Upper bound on the keys one [`Request::PredictMany`] may carry.
+/// Chosen so a worst-case reply (one full `Config` per key) stays far
+/// under [`MAX_FRAME_LEN`]; bigger batches are split by the client and
+/// rejected with an `Error` by the daemon.
+pub const MAX_BATCH_KEYS: usize = 1024;
+
 // ---------------------------------------------------------------------------
 // Protocol messages
 // ---------------------------------------------------------------------------
@@ -64,6 +84,12 @@ pub enum Request {
     /// "What is the most energy-efficient configuration for this
     /// (system, binary)?" — the plugin's submit-path query.
     Predict { system_hash: u64, binary_hash: u64 },
+    /// The batched form of [`Request::Predict`]: up to
+    /// [`MAX_BATCH_KEYS`] `(system_hash, binary_hash)` keys answered in
+    /// one round trip by [`Response::ManyConfigs`], one [`KeyOutcome`]
+    /// per key in request order. Counted as one request but `keys.len()`
+    /// predictions in the daemon's stats.
+    PredictMany { keys: Vec<(u64, u64)> },
     /// Stage a model into the daemon's registry ahead of submissions.
     Preload { model_id: i64 },
     /// Fetch the daemon's operational counters.
@@ -118,6 +144,15 @@ pub struct RequestFrame {
     /// bytes on the wire as before the header existed.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub trace: Option<TraceContext>,
+    /// Correlation id for pipelined connections. When present, the
+    /// daemon wraps its answer in a [`ResponseFrame`] echoing this id,
+    /// so the client may have several frames in flight and match
+    /// replies out of order. Negotiated additively like `trace`: old
+    /// daemons skip the field and answer bare, which a corr-aware
+    /// client detects on the first exchange and disables pipelining
+    /// for that connection.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub corr: Option<u64>,
     /// The RPC verb.
     pub body: Request,
 }
@@ -125,17 +160,24 @@ pub struct RequestFrame {
 impl RequestFrame {
     /// A frame with no deadline.
     pub fn new(body: Request) -> RequestFrame {
-        RequestFrame { deadline_ms: None, trace: None, body }
+        RequestFrame { deadline_ms: None, trace: None, corr: None, body }
     }
 
     /// A frame with a deadline budget in milliseconds.
     pub fn with_deadline(body: Request, deadline_ms: u64) -> RequestFrame {
-        RequestFrame { deadline_ms: Some(deadline_ms), trace: None, body }
+        RequestFrame { deadline_ms: Some(deadline_ms), trace: None, corr: None, body }
     }
 
     /// The same frame carrying a trace context header.
     pub fn traced(mut self, trace: Option<TraceContext>) -> RequestFrame {
         self.trace = trace;
+        self
+    }
+
+    /// The same frame carrying a correlation id (asks the daemon to
+    /// answer with a [`ResponseFrame`] envelope).
+    pub fn with_corr(mut self, corr: u64) -> RequestFrame {
+        self.corr = Some(corr);
         self
     }
 }
@@ -160,6 +202,10 @@ pub enum Response {
     },
     /// Answer to [`Request::Stats`].
     Stats(StatsSnapshot),
+    /// Answer to [`Request::PredictMany`]: one [`KeyOutcome`] per
+    /// requested key, in request order, always exactly as many as the
+    /// request carried keys — a key is never silently dropped.
+    ManyConfigs { results: Vec<KeyOutcome> },
     /// Answer to [`Request::SyncModels`]: every committed model newer
     /// than the asker's high-water mark, oldest generation first.
     Models { models: Vec<ModelSync> },
@@ -173,6 +219,34 @@ pub enum Response {
     Error { message: String },
     /// Answer to [`Request::Burn`].
     Burned,
+}
+
+/// The per-key result inside [`Response::ManyConfigs`]. A batch never
+/// fails half-silently: every key comes back as exactly one of these.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum KeyOutcome {
+    /// The predicted most energy-efficient configuration for this key.
+    Config(CpuConfig),
+    /// No model is resident (or loadable) for this key.
+    Miss,
+    /// The daemon hit an internal error serving this key; the rest of
+    /// the batch is unaffected.
+    Error { message: String },
+}
+
+/// The pipelining envelope: a [`Response`] plus the correlation id of
+/// the [`RequestFrame`] it answers. Sent **only** when the request
+/// carried [`RequestFrame::corr`]; plain requests keep the bare
+/// [`Response`] wire shape, so old clients never see an envelope. The
+/// two shapes cannot be confused on decode: a bare `Response` is a
+/// string or a single-variant-key object, never an object with `corr`
+/// and `body` fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseFrame {
+    /// Echo of the request's correlation id.
+    pub corr: u64,
+    /// The answer itself.
+    pub body: Response,
 }
 
 /// A successful preload acknowledgement, as returned by
@@ -243,6 +317,13 @@ pub struct StatsSnapshot {
     /// snapshot (0 = no store configured, or an empty store).
     #[serde(default)]
     pub store_generation: u64,
+    /// `PredictMany` frames handled (each also counts once in
+    /// `requests_total`; its keys count in `predictions`).
+    #[serde(default)]
+    pub batches: u64,
+    /// Keys carried by all `PredictMany` frames handled.
+    #[serde(default)]
+    pub batched_keys: u64,
     /// The reporting replica's identity (empty from daemons predating
     /// fleet mode, or daemons never given one).
     #[serde(default)]
@@ -464,6 +545,14 @@ pub trait PredictionSource: Send + Sync {
         self.predict(system_hash, binary_hash)
     }
 
+    /// Predicts a whole set of keys, one result per key in order. The
+    /// default answers them one at a time; sources with a batched fast
+    /// path ([`RemotePrediction`] over the daemon's `PredictMany`
+    /// frame) override it to amortize round trips.
+    fn predict_many(&self, keys: &[(u64, u64)]) -> Vec<Result<CpuConfig>> {
+        keys.iter().map(|&(s, b)| self.predict(s, b)).collect()
+    }
+
     /// Human-readable description for logs.
     fn describe(&self) -> String;
 }
@@ -491,11 +580,28 @@ impl PredictionSource for LocalPrediction {
     }
 }
 
+/// One caller's seat in the [`RemotePrediction`] coalescer: a ticket
+/// waiting in `pending` until some leader drains it into a batch and
+/// posts its result into `done`.
+struct BatchQueue {
+    next_ticket: u64,
+    pending: Vec<(u64, (u64, u64), Option<TraceContext>)>,
+    done: std::collections::HashMap<u64, std::result::Result<CpuConfig, RemoteError>>,
+}
+
 /// The daemon-backed source. Wraps the client in a mutex because the
 /// plugin is shared behind an `Arc` while the client's persistent
 /// connection needs `&mut`.
+///
+/// Concurrent callers coalesce: whichever caller wins the client lock
+/// becomes the batch leader, drains every waiting key into one
+/// `PredictMany` exchange and posts the per-key results back; the
+/// others just wait on their ticket. Under submit storms this turns N
+/// lock-serialized round trips into one batched round trip.
 pub struct RemotePrediction {
     client: parking_lot::Mutex<PredictClient>,
+    queue: std::sync::Mutex<BatchQueue>,
+    ready: std::sync::Condvar,
 }
 
 impl RemotePrediction {
@@ -509,13 +615,43 @@ impl RemotePrediction {
     /// custom knobs and for fleet-mode (multi-replica) clients; see
     /// [`PredictClient::builder`].
     pub fn from_client(client: PredictClient) -> RemotePrediction {
-        RemotePrediction { client: parking_lot::Mutex::new(client) }
+        RemotePrediction {
+            client: parking_lot::Mutex::new(client),
+            queue: std::sync::Mutex::new(BatchQueue {
+                next_ticket: 0,
+                pending: Vec::new(),
+                done: std::collections::HashMap::new(),
+            }),
+            ready: std::sync::Condvar::new(),
+        }
     }
 
     /// Attaches telemetry to the wrapped client (see
     /// [`PredictClient::set_telemetry`]).
     pub fn set_telemetry(&self, telemetry: Arc<Telemetry>) {
         self.client.lock().set_telemetry(telemetry);
+    }
+
+    /// Leads one batch: drains up to [`MAX_BATCH_KEYS`] waiting tickets
+    /// into a single `PredictMany` exchange and posts the results.
+    fn lead_batch(&self, client: &mut PredictClient) {
+        let batch: Vec<(u64, (u64, u64), Option<TraceContext>)> = {
+            let mut q = self.queue.lock().expect("batch queue poisoned");
+            let take = q.pending.len().min(MAX_BATCH_KEYS);
+            q.pending.drain(..take).collect()
+        };
+        if batch.is_empty() {
+            return;
+        }
+        let keys: Vec<(u64, u64)> = batch.iter().map(|e| e.1).collect();
+        let ctx = batch.iter().find_map(|e| e.2);
+        client.note_coalesced(batch.len());
+        let results = client.predict_many(&keys, &CallOptions::traced(ctx));
+        let mut q = self.queue.lock().expect("batch queue poisoned");
+        for ((ticket, _, _), result) in batch.into_iter().zip(results) {
+            q.done.insert(ticket, result);
+        }
+        self.ready.notify_all();
     }
 }
 
@@ -525,8 +661,37 @@ impl PredictionSource for RemotePrediction {
     }
 
     fn predict_traced(&self, system_hash: u64, binary_hash: u64, ctx: Option<TraceContext>) -> Result<CpuConfig> {
+        let ticket = {
+            let mut q = self.queue.lock().expect("batch queue poisoned");
+            let ticket = q.next_ticket;
+            q.next_ticket += 1;
+            q.pending.push((ticket, (system_hash, binary_hash), ctx));
+            ticket
+        };
+        loop {
+            if let Some(result) = self.queue.lock().expect("batch queue poisoned").done.remove(&ticket) {
+                return result.map_err(ChronusError::from);
+            }
+            if let Some(mut client) = self.client.try_lock() {
+                self.lead_batch(&mut client);
+                continue;
+            }
+            // a leader is mid-exchange; wait for it to post results
+            // (the timeout bounds any lost-wakeup window)
+            let q = self.queue.lock().expect("batch queue poisoned");
+            if !q.done.contains_key(&ticket) {
+                let _ = self.ready.wait_timeout(q, Duration::from_millis(5)).expect("batch queue poisoned");
+            }
+        }
+    }
+
+    fn predict_many(&self, keys: &[(u64, u64)]) -> Vec<Result<CpuConfig>> {
         let mut client = self.client.lock();
-        client.predict(system_hash, binary_hash, &CallOptions::traced(ctx)).map_err(ChronusError::from)
+        client
+            .predict_many(keys, &CallOptions::default())
+            .into_iter()
+            .map(|r| r.map_err(ChronusError::from))
+            .collect()
     }
 
     fn describe(&self) -> String {
@@ -612,6 +777,70 @@ mod tests {
         };
         let json = serde_json::to_string(&sync).unwrap();
         assert_eq!(serde_json::from_str::<Response>(&json).unwrap(), sync);
+    }
+
+    #[test]
+    fn batched_frames_round_trip_through_a_buffer() {
+        let frame = RequestFrame::new(Request::PredictMany { keys: vec![(1, 2), (u64::MAX, 0)] }).with_corr(42);
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        let back: RequestFrame = read_frame(&mut &wire[..]).unwrap();
+        assert_eq!(back, frame);
+
+        let reply = ResponseFrame {
+            corr: 42,
+            body: Response::ManyConfigs {
+                results: vec![
+                    KeyOutcome::Config(CpuConfig::new(32, 2_200_000, 1)),
+                    KeyOutcome::Miss,
+                    KeyOutcome::Error { message: "backend exploded".into() },
+                ],
+            },
+        };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &reply).unwrap();
+        let back: ResponseFrame = read_frame(&mut &wire[..]).unwrap();
+        assert_eq!(back, reply);
+    }
+
+    #[test]
+    fn envelope_and_bare_responses_cannot_be_confused() {
+        // a bare Response never parses as an envelope...
+        for bare in [Response::Pong, Response::Busy { retry_after_ms: 5 }] {
+            let json = serde_json::to_vec(&bare).unwrap();
+            assert!(serde_json::from_slice::<ResponseFrame>(&json).is_err(), "bare {bare:?} parsed as envelope");
+        }
+        // ...and an envelope never parses as a bare Response
+        let envelope = ResponseFrame { corr: 7, body: Response::Pong };
+        let json = serde_json::to_vec(&envelope).unwrap();
+        assert!(serde_json::from_slice::<Response>(&json).is_err(), "envelope parsed as bare Response");
+    }
+
+    #[test]
+    fn corr_field_is_additive_on_the_wire() {
+        // an un-corr'd frame carries an explicit null, exactly like the
+        // `trace` header before it — old decoders skip unknown fields,
+        // null or not, so the shape stays additive
+        let frame = RequestFrame::new(Request::Ping);
+        let json = serde_json::to_string(&frame).unwrap();
+        assert!(json.contains("\"corr\":null"), "{json}");
+        // a frame from an old writer (no corr key at all) parses as un-corr'd
+        let corrd = serde_json::to_string(&frame.clone().with_corr(9)).unwrap();
+        let stripped = corrd.replace("\"corr\":9,", "").replace(",\"corr\":9", "");
+        assert_ne!(corrd, stripped);
+        assert_eq!(serde_json::from_str::<RequestFrame>(&stripped).unwrap(), frame);
+        // and a null corr from a new writer parses the same as absent
+        let nulled = corrd.replace("\"corr\":9", "\"corr\":null");
+        assert_eq!(serde_json::from_str::<RequestFrame>(&nulled).unwrap(), frame);
+    }
+
+    #[test]
+    fn batch_stats_fields_are_additive_on_the_wire() {
+        let old = serde_json::to_string(&Response::Stats(StatsSnapshot::default())).unwrap();
+        let stripped = old.replace(",\"batches\":0", "").replace(",\"batched_keys\":0", "");
+        assert_ne!(old, stripped, "the strip must actually remove the new fields");
+        let back: Response = serde_json::from_str(&stripped).unwrap();
+        assert_eq!(back, Response::Stats(StatsSnapshot::default()));
     }
 
     #[test]

@@ -5,7 +5,8 @@
 
 use bytes::BytesMut;
 use chronus::remote::{
-    read_frame, take_frame, write_frame, ModelSync, Request, RequestFrame, Response, StatsSnapshot,
+    read_frame, take_frame, write_frame, KeyOutcome, ModelSync, Request, RequestFrame, Response, ResponseFrame,
+    StatsSnapshot, MAX_BATCH_KEYS,
 };
 use chronus::telemetry::{SpanId, TraceContext, TraceId};
 use eco_sim_node::cpu::CpuConfig;
@@ -27,14 +28,19 @@ fn arb_config() -> impl Strategy<Value = CpuConfig> {
         .prop_map(|(c, f, t)| CpuConfig::new(c, f, t))
 }
 
+fn arb_keys() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec(((0u64..=u64::MAX), (0u64..=u64::MAX)), 0..9)
+}
+
 fn arb_request() -> impl Strategy<Value = Request> {
-    (0u32..6, (0u64..=u64::MAX), (0u64..=u64::MAX), (-1_000i64..=1_000_000), 0u64..=20_000).prop_map(
-        |(kind, a, b, id, ms)| match kind {
+    (0u32..7, (0u64..=u64::MAX), (0u64..=u64::MAX), (-1_000i64..=1_000_000), 0u64..=20_000, arb_keys()).prop_map(
+        |(kind, a, b, id, ms, keys)| match kind {
             0 => Request::Ping,
             1 => Request::Predict { system_hash: a, binary_hash: b },
             2 => Request::Preload { model_id: id },
             3 => Request::Stats,
             4 => Request::SyncModels { have_generation: a },
+            5 => Request::PredictMany { keys },
             _ => Request::Burn { ms },
         },
     )
@@ -46,12 +52,12 @@ fn arb_trace() -> impl Strategy<Value = TraceContext> {
 }
 
 fn arb_frame() -> impl Strategy<Value = RequestFrame> {
-    (arb_request(), prop::option::of(0u64..=60_000), prop::option::of(arb_trace()))
-        .prop_map(|(body, deadline_ms, trace)| RequestFrame { deadline_ms, trace, body })
+    (arb_request(), prop::option::of(0u64..=60_000), prop::option::of(arb_trace()), prop::option::of(0u64..=u64::MAX))
+        .prop_map(|(body, deadline_ms, trace, corr)| RequestFrame { deadline_ms, trace, corr, body })
 }
 
 fn arb_snapshot() -> impl Strategy<Value = StatsSnapshot> {
-    (prop::collection::vec(0u64..=u64::MAX, 21), "[a-z0-9-]{0,12}", "[a-z0-9/._-]{0,24}").prop_map(
+    (prop::collection::vec(0u64..=u64::MAX, 23), "[a-z0-9-]{0,12}", "[a-z0-9/._-]{0,24}").prop_map(
         |(v, replica, store_dir)| StatsSnapshot {
             replica,
             store_dir,
@@ -76,13 +82,31 @@ fn arb_snapshot() -> impl Strategy<Value = StatsSnapshot> {
             preloads: v[18],
             store_catchups: v[19],
             store_generation: v[20],
+            batches: v[21],
+            batched_keys: v[22],
         },
     )
 }
 
+fn arb_outcome() -> impl Strategy<Value = KeyOutcome> {
+    (0u32..3, arb_config(), ".{0,40}").prop_map(|(kind, config, text)| match kind {
+        0 => KeyOutcome::Config(config),
+        1 => KeyOutcome::Miss,
+        _ => KeyOutcome::Error { message: text },
+    })
+}
+
 fn arb_response() -> impl Strategy<Value = Response> {
-    (0u32..10, arb_config(), arb_snapshot(), (0u64..=u64::MAX), (0u64..=u64::MAX), (-1_000i64..=1_000_000), ".{0,80}")
-        .prop_map(|(kind, config, stats, a, b, id, text)| match kind {
+    (
+        0u32..11,
+        arb_config(),
+        arb_snapshot(),
+        (0u64..=u64::MAX),
+        (0u64..=u64::MAX),
+        (-1_000i64..=1_000_000),
+        (".{0,80}", prop::collection::vec(arb_outcome(), 0..9)),
+    )
+        .prop_map(|(kind, config, stats, a, b, id, (text, results))| match kind {
             0 => Response::Pong,
             1 => Response::Config(config),
             2 => Response::Preloaded {
@@ -108,6 +132,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
                     blob_hash: format!("{a:016x}"),
                 }],
             },
+            9 => Response::ManyConfigs { results },
             _ => Response::Burned,
         })
 }
@@ -243,6 +268,103 @@ proptest! {
         // the un-traced peer skips the field and always gets the frame
         let legacy: LegacyRequestFrame = read_frame(&mut wire.as_slice()).unwrap();
         prop_assert_eq!(legacy.deadline_ms, deadline);
+        prop_assert_eq!(legacy.body, Request::Ping);
+    }
+
+    /// A maximum-size batch — the largest frame the protocol promises
+    /// to carry — round-trips on both directions of the exchange.
+    #[test]
+    fn max_size_batches_roundtrip(seed in 0u64..=u64::MAX, outcome in arb_outcome()) {
+        let keys: Vec<(u64, u64)> = (0..MAX_BATCH_KEYS as u64).map(|i| (seed ^ i, i)).collect();
+        let request = RequestFrame::new(Request::PredictMany { keys: keys.clone() });
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &request).unwrap();
+        let decoded: RequestFrame = read_frame(&mut wire.as_slice()).unwrap();
+        prop_assert_eq!(decoded.body, Request::PredictMany { keys });
+
+        let reply = Response::ManyConfigs { results: vec![outcome; MAX_BATCH_KEYS] };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &reply).unwrap();
+        let decoded: Response = read_frame(&mut wire.as_slice()).unwrap();
+        prop_assert_eq!(decoded, reply);
+    }
+
+    /// Any enveloped reply decodes back to exactly itself.
+    #[test]
+    fn enveloped_replies_roundtrip(corr in 0u64..=u64::MAX, body in arb_response()) {
+        let envelope = ResponseFrame { corr, body };
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &envelope).unwrap();
+        let decoded: ResponseFrame = read_frame(&mut wire.as_slice()).unwrap();
+        prop_assert_eq!(decoded, envelope);
+    }
+
+    /// The two reply shapes can never be confused: a bare response
+    /// never decodes as an envelope (it has no `corr`), and an envelope
+    /// never decodes as a bare response (no enum variant is `corr`).
+    /// This is what lets one connection carry both during negotiation.
+    #[test]
+    fn envelopes_and_bare_replies_never_confuse(corr in 0u64..=u64::MAX, body in arb_response()) {
+        let mut bare = Vec::new();
+        write_frame(&mut bare, &body).unwrap();
+        prop_assert!(read_frame::<ResponseFrame>(&mut bare.as_slice()).is_err());
+
+        let mut enveloped = Vec::new();
+        write_frame(&mut enveloped, &ResponseFrame { corr, body }).unwrap();
+        prop_assert!(read_frame::<Response>(&mut enveloped.as_slice()).is_err());
+    }
+
+    /// Pipelining, out of order: replies tagged with correlation ids
+    /// arrive in an arbitrary permutation, and matching by corr always
+    /// reunites each reply with its own request — never a neighbour's.
+    #[test]
+    fn corr_interleaving_never_cross_wires(
+        bodies in prop::collection::vec(arb_response(), 2..6),
+        rot in 0usize..8,
+        reverse in 0u32..2,
+    ) {
+        let mut order: Vec<usize> = (0..bodies.len()).collect();
+        order.rotate_left(rot % bodies.len());
+        if reverse == 1 {
+            order.reverse();
+        }
+        let mut wire = Vec::new();
+        for &i in &order {
+            write_frame(&mut wire, &ResponseFrame { corr: i as u64, body: bodies[i].clone() }).unwrap();
+        }
+        let mut stream = wire.as_slice();
+        for _ in 0..bodies.len() {
+            let envelope: ResponseFrame = read_frame(&mut stream).unwrap();
+            prop_assert_eq!(&envelope.body, &bodies[envelope.corr as usize]);
+        }
+    }
+
+    /// Arbitrary junk never panics the envelope decoder either.
+    #[test]
+    fn junk_bytes_never_panic_envelope_decode(junk in prop::collection::vec(0u8..=255, 0..256)) {
+        let _ = read_frame::<ResponseFrame>(&mut junk.as_slice());
+    }
+
+    /// Junk in the `corr` slot never panics either peer, and a legacy
+    /// peer (which has no `corr` field at all) still gets the frame.
+    #[test]
+    fn junk_corr_never_panics_and_never_breaks_legacy_peers(
+        // (a number past u64::MAX is rejected by the JSON layer itself,
+        // for every peer equally, so it is not a corr-level concern)
+        junk in prop::sample::select(vec![
+            "null", "-1", "\"zz\"", "[]", "{}", "3.5", "true",
+            "18446744073709551615",
+        ]),
+    ) {
+        let payload = format!("{{\"corr\":{junk},\"body\":\"Ping\"}}");
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        wire.extend_from_slice(payload.as_bytes());
+
+        // the corr-aware peer may reject the junk, but must never panic
+        let _ = read_frame::<RequestFrame>(&mut wire.as_slice());
+        // the legacy peer skips the field and always gets the frame
+        let legacy: LegacyRequestFrame = read_frame(&mut wire.as_slice()).unwrap();
         prop_assert_eq!(legacy.body, Request::Ping);
     }
 }

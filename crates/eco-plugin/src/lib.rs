@@ -143,6 +143,20 @@ impl JobSubmitEco {
         self.binaries.insert(path.to_string(), binary_hash(contents));
     }
 
+    /// Warms the prediction path for every registered binary in one
+    /// batched query: all `(system_hash, binary_hash)` keys go through
+    /// the source's `predict_many` (a single `PredictMany` round trip
+    /// on a daemon-backed source), so the first real submission of each
+    /// binary is a cache hit. Returns how many keys answered with a
+    /// config; failures are warm-up misses, never submission errors.
+    pub fn prefetch_predictions(&self) -> usize {
+        let keys: Vec<(u64, u64)> = self.binaries.values().map(|&b| (self.system_hash, b)).collect();
+        if keys.is_empty() {
+            return 0;
+        }
+        self.source.predict_many(&keys).iter().filter(|r| r.is_ok()).count()
+    }
+
     /// In strict mode prediction failures reject the job instead of
     /// passing it through (useful in tests).
     pub fn set_strict(&mut self, strict: bool) {
@@ -499,6 +513,60 @@ mod tests {
         fn describe(&self) -> String {
             "fixed".into()
         }
+    }
+
+    /// A source that records how `predict_many` is called, proving the
+    /// plugin's prefetch batches keys instead of looping singles.
+    struct BatchRecorder {
+        calls: std::sync::Mutex<Vec<Vec<(u64, u64)>>>,
+    }
+    impl PredictionSource for BatchRecorder {
+        fn predict(&self, _s: u64, _b: u64) -> chronus::Result<CpuConfig> {
+            panic!("prefetch must use the batched path, not per-key predict");
+        }
+        fn predict_many(&self, keys: &[(u64, u64)]) -> Vec<chronus::Result<CpuConfig>> {
+            self.calls.lock().unwrap().push(keys.to_vec());
+            keys.iter()
+                .enumerate()
+                .map(|(i, _)| {
+                    if i % 3 == 2 {
+                        Err(chronus::ChronusError::Model("no model for that binary".into()))
+                    } else {
+                        Ok(CpuConfig::new(16, 1_500_000, 1))
+                    }
+                })
+                .collect()
+        }
+        fn describe(&self) -> String {
+            "batch recorder".into()
+        }
+    }
+
+    #[test]
+    fn prefetch_batches_every_registered_binary_into_one_call() {
+        let root = tmpdir("prefetch");
+        let (storage, contents) = stage(&root, PluginState::User);
+        let mut p = plugin(storage, contents);
+        p.register_binary("/opt/solver/bin/a", "solver-a");
+        p.register_binary("/opt/solver/bin/b", "solver-b");
+        let source = Arc::new(BatchRecorder { calls: std::sync::Mutex::new(Vec::new()) });
+        p.set_source(Arc::clone(&source) as Arc<dyn PredictionSource>);
+
+        let warmed = p.prefetch_predictions();
+        let calls = source.calls.lock().unwrap();
+        assert_eq!(calls.len(), 1, "one batched call, not one per binary");
+        assert_eq!(calls[0].len(), 3, "every registered binary in the batch");
+        assert!(calls[0].iter().all(|&(s, _)| s == p.system_hash()), "keys carry the plugin's system hash");
+        assert_eq!(warmed, 2, "per-key failures are warm-up misses, not errors");
+        assert_eq!(p.stats().errors, 0, "prefetch failures never count as submission errors");
+    }
+
+    #[test]
+    fn prefetch_with_no_registered_binaries_is_a_no_op() {
+        let root = tmpdir("prefetch-empty");
+        let storage = Arc::new(EtcStorage::new(&root));
+        let p = JobSubmitEco::new(storage, &CpuSpec::epyc_7502p(), 256);
+        assert_eq!(p.prefetch_predictions(), 0);
     }
 
     #[test]

@@ -20,13 +20,14 @@
 
 use std::collections::BTreeMap;
 
-use chronus::remote::{Request, RequestFrame, Response, StatsSnapshot};
+use chronus::remote::{KeyOutcome, Request, RequestFrame, Response, StatsSnapshot};
 
 /// A stable label for a request verb (event log + ledger keys).
 pub fn verb_of(request: &Request) -> &'static str {
     match request {
         Request::Ping => "Ping",
         Request::Predict { .. } => "Predict",
+        Request::PredictMany { .. } => "PredictMany",
         Request::Preload { .. } => "Preload",
         Request::Stats => "Stats",
         Request::SyncModels { .. } => "SyncModels",
@@ -41,6 +42,7 @@ pub fn kind_of(response: &Response) -> &'static str {
         Response::Config(_) => "Config",
         Response::Preloaded { .. } => "Preloaded",
         Response::Stats(_) => "Stats",
+        Response::ManyConfigs { .. } => "ManyConfigs",
         Response::Models { .. } => "Models",
         Response::Busy { .. } => "Busy",
         Response::Miss { .. } => "Miss",
@@ -55,14 +57,24 @@ pub fn kind_of(response: &Response) -> &'static str {
 pub struct Ledger {
     /// Frames the daemon's service actually handled.
     pub delivered: u64,
-    /// How many of those were `Predict`.
+    /// Prediction *keys* delivered: 1 per `Predict` frame plus the key
+    /// count of every accepted `PredictMany` — conservation counts
+    /// batched keys, not frames.
     pub predicts: u64,
+    /// `PredictMany` frames the daemon accepted (within the batch cap).
+    pub batches: u64,
+    /// Keys carried by those accepted batches.
+    pub batched_keys: u64,
     /// `Busy` bounces the network injected on the daemon's behalf.
     pub busy_injected: u64,
     /// Response kind → count, for the sum check.
     pub by_kind: BTreeMap<&'static str, u64>,
-    /// Responses that were `Error`.
+    /// Errors the daemon visibly answered: `Error` responses plus
+    /// per-key `Error` outcomes inside `ManyConfigs` replies.
     pub errors_observed: u64,
+    /// Upper bound on deadline-masked errors: 1 per single-frame
+    /// `DeadlineExceeded` verdict, the key count for a batched one.
+    pub error_slack: u64,
     /// How many deliveries were `Preload` (each allocates at most one
     /// rollout generation, committed or rolled back).
     pub preloads: u64,
@@ -92,28 +104,67 @@ impl Ledger {
         self.delivered += 1;
         *self.by_kind.entry(kind_of(response)).or_insert(0) += 1;
         let is_predict = matches!(frame.body, Request::Predict { .. });
-        if is_predict {
-            self.predicts += 1;
-        }
+        let batch_keys = match &frame.body {
+            Request::PredictMany { keys } => Some(keys.len() as u64),
+            _ => None,
+        };
         let is_preload = matches!(frame.body, Request::Preload { .. });
         if is_preload {
             self.preloads += 1;
         }
         let is_error = matches!(response, Response::Error { .. });
-        if is_error {
-            self.errors_observed += 1;
-        }
+        let is_deadline = matches!(response, Response::DeadlineExceeded);
 
         let verb = verb_of(&frame.body);
         let kind = kind_of(response);
         let fail = |what: &str| Err(format!("{what} (verb {verb}, response {kind}, elapsed {elapsed_ms}ms)"));
 
+        // Batched exchanges: every key in a batch is answered exactly
+        // once (a `ManyConfigs` always carries one outcome per key) or
+        // the whole batch fails with a typed answer — never a silent
+        // partial loss.
+        if let Some(k) = batch_keys {
+            match response {
+                Response::ManyConfigs { results } => {
+                    if results.len() as u64 != k {
+                        return fail("every key in a batch must be answered exactly once");
+                    }
+                }
+                Response::Error { .. } | Response::DeadlineExceeded => {}
+                _ => {
+                    return fail("a batch may only be answered ManyConfigs, a whole-batch Error, or DeadlineExceeded")
+                }
+            }
+        } else if matches!(response, Response::ManyConfigs { .. }) {
+            return fail("ManyConfigs answered a frame that was not a batch");
+        }
+        // An accepted batch (anything but the whole-batch Error reject)
+        // counts its frame and keys even under a deadline verdict: the
+        // daemon bumps batch counters before the per-key loop.
+        let accepted = batch_keys.is_some() && !is_error;
+        let prediction_keys = match batch_keys {
+            Some(k) if accepted => k,
+            Some(_) => 0,
+            None => u64::from(is_predict),
+        };
+        self.predicts += prediction_keys;
+        if accepted {
+            self.batches += 1;
+            self.batched_keys += batch_keys.unwrap_or(0);
+        }
+        if after.batches - before.batches != u64::from(accepted) {
+            return fail("batches counter moved out of step with accepted PredictMany deliveries");
+        }
+        if after.batched_keys - before.batched_keys != if accepted { batch_keys.unwrap_or(0) } else { 0 } {
+            return fail("batched_keys counter moved out of step with accepted batch keys");
+        }
+
         if after.requests_total - before.requests_total != 1 {
             return fail("one delivered frame must count exactly one request");
         }
         let d_predictions = after.predictions - before.predictions;
-        if d_predictions != u64::from(is_predict) {
-            return fail("predictions counter moved out of step with Predict deliveries");
+        if d_predictions != prediction_keys {
+            return fail("predictions counter moved out of step with delivered prediction keys");
         }
         let d_cache = (after.cache_hits + after.cache_misses) - (before.cache_hits + before.cache_misses);
         if d_cache != d_predictions {
@@ -123,7 +174,6 @@ impl Ledger {
         // The deadline verdict must be a pure function of virtual elapsed
         // time vs the frame's budget — never of host scheduling jitter.
         let over_budget = frame.deadline_ms.is_some_and(|budget| elapsed_ms > budget);
-        let is_deadline = matches!(response, Response::DeadlineExceeded);
         if is_deadline != over_budget {
             return fail("deadline verdict disagrees with virtual elapsed time vs budget");
         }
@@ -131,18 +181,29 @@ impl Ledger {
             return fail("deadline_exceeded counter moved out of step with the verdict");
         }
 
-        // Errors: an `Error` response counts exactly once; a deadline
-        // verdict may mask an underlying error (counted but not
-        // returned); nothing else may touch the counter.
+        // Errors: an `Error` response counts exactly once, a
+        // `ManyConfigs` exactly its per-key `Error` outcomes; a deadline
+        // verdict may mask up to one underlying error per prediction key
+        // (counted but not returned); nothing else may touch the counter.
+        let key_errors = match response {
+            Response::ManyConfigs { results } => {
+                results.iter().filter(|o| matches!(o, KeyOutcome::Error { .. })).count() as u64
+            }
+            _ => 0,
+        };
+        self.errors_observed += if is_error { 1 } else { key_errors };
         let d_errors = after.errors - before.errors;
-        if d_errors > 1 {
-            return fail("errors counter jumped by more than one for a single frame");
-        }
-        if is_error && d_errors != 1 {
-            return fail("an Error response must count exactly one error");
-        }
-        if d_errors == 1 && !is_error && !is_deadline {
-            return fail("errors counter moved without an Error (or deadline-masked error) response");
+        if is_deadline {
+            let maskable = batch_keys.unwrap_or(1);
+            self.error_slack += maskable;
+            if d_errors > maskable {
+                return fail("errors counter exceeded what a deadline verdict can mask");
+            }
+        } else {
+            let expected = if is_error { 1 } else { key_errors };
+            if d_errors != expected {
+                return fail("each Error answer must count exactly one error (per-key errors included)");
+            }
         }
 
         // The preload counter is a pure delivery count, and store
@@ -181,20 +242,16 @@ impl Ledger {
             }
         }
 
-        // Stale-generation refusals: only a Predict can hit a stale
-        // registry entry, and each stale refusal falls through to the
-        // backend, so it is also a cache miss.
+        // Stale-generation refusals: only a prediction key can hit a
+        // stale registry entry (at most one per key in the frame), and
+        // each stale refusal falls through to the backend, so it is
+        // also a cache miss.
         let d_stale = after.stale_generation_hits - before.stale_generation_hits;
-        if d_stale > 1 {
-            return fail("stale_generation_hits jumped by more than one for a single frame");
+        if d_stale > prediction_keys {
+            return fail("more stale-generation hits than prediction keys in the frame");
         }
-        if d_stale == 1 {
-            if !is_predict {
-                return fail("stale-generation hit on a non-Predict frame");
-            }
-            if after.cache_misses - before.cache_misses != 1 {
-                return fail("a stale-generation refusal must also count a cache miss");
-            }
+        if d_stale > 0 && after.cache_misses - before.cache_misses < d_stale {
+            return fail("a stale-generation refusal must also count a cache miss");
         }
         Ok(())
     }
@@ -206,7 +263,19 @@ impl Ledger {
             return Err(format!("requests_total {} != frames delivered {}", snapshot.requests_total, self.delivered));
         }
         if snapshot.predictions != self.predicts {
-            return Err(format!("predictions {} != Predict frames {}", snapshot.predictions, self.predicts));
+            return Err(format!(
+                "predictions {} != prediction keys delivered {}",
+                snapshot.predictions, self.predicts
+            ));
+        }
+        if snapshot.batches != self.batches {
+            return Err(format!("batches {} != accepted PredictMany frames {}", snapshot.batches, self.batches));
+        }
+        if snapshot.batched_keys != self.batched_keys {
+            return Err(format!(
+                "batched_keys {} != keys carried by accepted batches {}",
+                snapshot.batched_keys, self.batched_keys
+            ));
         }
         if snapshot.cache_hits + snapshot.cache_misses != snapshot.predictions {
             return Err(format!(
@@ -231,17 +300,16 @@ impl Ledger {
         if kinds != self.delivered {
             return Err(format!("response kinds sum {kinds} != frames delivered {}", self.delivered));
         }
-        // A deadline verdict may mask an error that was already counted,
-        // so the daemon's error counter may exceed the Error responses we
-        // saw — but never by more than the deadline verdicts.
-        if snapshot.errors < self.errors_observed
-            || snapshot.errors > self.errors_observed + snapshot.deadline_exceeded
-        {
+        // A deadline verdict may mask errors that were already counted
+        // (one per prediction key in the frame), so the daemon's error
+        // counter may exceed the errors we saw answered — but never by
+        // more than the accumulated slack.
+        if snapshot.errors < self.errors_observed || snapshot.errors > self.errors_observed + self.error_slack {
             return Err(format!(
-                "errors {} outside [{}, {}] (Error responses .. + deadline-masked)",
+                "errors {} outside [{}, {}] (answered errors .. + deadline-masked slack)",
                 snapshot.errors,
                 self.errors_observed,
-                self.errors_observed + snapshot.deadline_exceeded
+                self.errors_observed + self.error_slack
             ));
         }
         if snapshot.preloads != self.preloads {
@@ -384,6 +452,97 @@ mod tests {
         after.store_catchups = 1; // catch-up ran mid-frame
         let err = ledger.record_exchange(&frame, &Response::Pong, &snap(0, 0, 0, 0), &after, 0).unwrap_err();
         assert!(err.contains("store_catchups"), "{err}");
+    }
+
+    fn batch_frame(keys: usize) -> RequestFrame {
+        RequestFrame::new(Request::PredictMany { keys: (0..keys as u64).map(|i| (i, i)).collect() })
+    }
+
+    fn batch_snap(requests: u64, keys: u64, hits: u64, misses: u64) -> StatsSnapshot {
+        let mut s = snap(requests, keys, hits, misses);
+        s.batches = requests;
+        s.batched_keys = keys;
+        s
+    }
+
+    #[test]
+    fn batch_exchange_counts_keys_not_frames() {
+        let mut ledger = Ledger::default();
+        let cfg = eco_sim_node::cpu::CpuConfig::new(4, 2_000_000, 1);
+        let results = vec![KeyOutcome::Config(cfg), KeyOutcome::Miss, KeyOutcome::Miss];
+        ledger
+            .record_exchange(
+                &batch_frame(3),
+                &Response::ManyConfigs { results },
+                &snap(0, 0, 0, 0),
+                &batch_snap(1, 3, 1, 2),
+                0,
+            )
+            .unwrap();
+        assert_eq!((ledger.delivered, ledger.predicts, ledger.batches, ledger.batched_keys), (1, 3, 1, 3));
+        ledger.check(&batch_snap(1, 3, 1, 2)).unwrap();
+    }
+
+    #[test]
+    fn partial_batch_answer_is_caught() {
+        let mut ledger = Ledger::default();
+        // 3 keys in, only 2 outcomes back: a silently dropped key.
+        let results = vec![KeyOutcome::Miss, KeyOutcome::Miss];
+        let err = ledger
+            .record_exchange(
+                &batch_frame(3),
+                &Response::ManyConfigs { results },
+                &snap(0, 0, 0, 0),
+                &batch_snap(1, 3, 0, 3),
+                0,
+            )
+            .unwrap_err();
+        assert!(err.contains("exactly once"), "{err}");
+    }
+
+    #[test]
+    fn oversize_reject_must_not_move_batch_counters() {
+        let mut ledger = Ledger::default();
+        let mut after = snap(1, 0, 0, 0);
+        after.errors = 1;
+        after.batches = 1; // rejected whole, yet counted as accepted
+        let err = ledger
+            .record_exchange(
+                &batch_frame(2),
+                &Response::Error { message: "batch of 2 keys exceeds the limit".into() },
+                &snap(0, 0, 0, 0),
+                &after,
+                0,
+            )
+            .unwrap_err();
+        assert!(err.contains("batches counter"), "{err}");
+    }
+
+    #[test]
+    fn per_key_errors_count_in_the_error_ledger() {
+        let mut ledger = Ledger::default();
+        let cfg = eco_sim_node::cpu::CpuConfig::new(4, 2_000_000, 1);
+        let results =
+            vec![KeyOutcome::Config(cfg), KeyOutcome::Error { message: "backend".into() }, KeyOutcome::Miss];
+        let mut after = batch_snap(1, 3, 1, 2);
+        after.errors = 1;
+        ledger
+            .record_exchange(&batch_frame(3), &Response::ManyConfigs { results }, &snap(0, 0, 0, 0), &after, 0)
+            .unwrap();
+        assert_eq!(ledger.errors_observed, 1);
+        ledger.check(&after).unwrap();
+    }
+
+    #[test]
+    fn batched_deadline_may_mask_at_most_its_key_count() {
+        let mut ledger = Ledger::default();
+        let frame = RequestFrame::with_deadline(Request::PredictMany { keys: vec![(1, 1), (2, 2)] }, 5);
+        let mut after = batch_snap(1, 2, 0, 2);
+        after.deadline_exceeded = 1;
+        after.errors = 3; // more masked errors than keys in the batch
+        let err =
+            ledger.record_exchange(&frame, &Response::DeadlineExceeded, &snap(0, 0, 0, 0), &after, 10).unwrap_err();
+        assert!(err.contains("deadline verdict can mask"), "{err}");
     }
 
     #[test]

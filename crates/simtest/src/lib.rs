@@ -27,6 +27,12 @@
 //!   instead of the network: torn journal appends, writer crashes
 //!   between blob write and metadata append, and blob corruption, with
 //!   a replica restart-catch-up verified after every mutation;
+//! * [`batch`] — [`run_batch_seed`] drives mixed-size `PredictMany`
+//!   batches with correlation-id pipelining through the ring-aware
+//!   splitter of a three-replica fleet, auditing that every key in
+//!   every batch is answered exactly once (config or typed error) and
+//!   never cross-wired, with rollout churn republishing registry
+//!   snapshots under the batched readers;
 //! * [`world`] — [`run_seed`] wires a real [`eco_slurm_sim::Cluster`]
 //!   with the real plugin to a `SimNet` and pushes a randomized batch of
 //!   submissions through it, asserting end-to-end invariants: every
@@ -40,6 +46,7 @@
 //! SIMTEST_SEED=1234 cargo test -p simtest replay -- --nocapture
 //! ```
 
+pub mod batch;
 pub mod faults;
 pub mod fleet;
 pub mod invariants;
@@ -47,6 +54,7 @@ pub mod net;
 pub mod store;
 pub mod world;
 
+pub use batch::{run_batch_seed, BatchReport, BATCH_REPLICAS, MAX_BATCH_VIRTUAL_MS};
 pub use faults::FaultPlan;
 pub use fleet::{run_fleet_seed, FleetReport, FLEET_REPLICAS};
 pub use invariants::Ledger;

@@ -26,7 +26,7 @@ use std::time::Duration;
 
 use bytes::BytesMut;
 use chronus::error::ChronusError;
-use chronus::remote::{take_frame, write_frame, Connection, RequestFrame, Response, Transport};
+use chronus::remote::{take_frame, write_frame, Connection, RequestFrame, Response, ResponseFrame, Transport};
 use chronus::telemetry::{Recorder, Telemetry};
 use chronusd::backend::{ModelBackend, PreparedModel};
 use chronusd::service::{PredictService, QueueGauges, ServiceClock};
@@ -421,6 +421,7 @@ impl Transport for SimTransport {
             incarnation,
             pending: BytesMut::new(),
             inbox: VecDeque::new(),
+            held: Vec::new(),
             dead: None,
         }))
     }
@@ -449,6 +450,10 @@ struct SimConnection {
     incarnation: u64,
     pending: BytesMut,
     inbox: VecDeque<u8>,
+    /// Responses held back to complete out of order: a pipelined
+    /// (correlation-id) reply stashed here lets later in-flight replies
+    /// overtake it; `flush` drains the stash after the burst.
+    held: Vec<Vec<u8>>,
     dead: Option<io::ErrorKind>,
 }
 
@@ -517,7 +522,7 @@ impl SimConnection {
             serde_json::from_slice(payload).expect("the harness client only writes well-formed frames");
         let before = core.replicas[r].service.snapshot(sim_gauges());
         let t0 = core.clock.now();
-        let response = core.replicas[r].service.handle_frame(payload, sim_gauges());
+        let (corr, response) = core.replicas[r].service.handle_frame_enveloped(payload, sim_gauges());
         let t1 = core.clock.now();
         let after = core.replicas[r].service.snapshot(sim_gauges());
         let elapsed_ms = (t1 - t0).as_millis();
@@ -545,7 +550,12 @@ impl SimConnection {
             core.clock.advance(SimDuration::from_millis(d));
             core.rnote(r, format!("conn {}: response delayed {d}ms", self.id));
         }
-        let wire = encode(&response);
+        // An echoed correlation id wraps the body in a ResponseFrame —
+        // exactly what the real server writes for a corr'd request.
+        let wire = match corr {
+            Some(corr) => encode_enveloped(corr, response),
+            None => encode(&response),
+        };
         if core.roll(plan.resp_cut) {
             let cut = (wire.len() / 2).max(1);
             self.inbox.extend(wire[..cut].iter().copied());
@@ -554,6 +564,13 @@ impl SimConnection {
             return Ok(());
         }
         if core.roll(plan.reorder) {
+            if corr.is_some() {
+                // Pipelined reply held back: later in-flight responses
+                // overtake it, exercising out-of-order completion.
+                core.rnote(r, format!("conn {}: response held back (reordered behind the burst)", self.id));
+                self.held.push(wire);
+                return Ok(());
+            }
             self.inbox.extend(encode(&Response::Pong));
             core.rnote(r, format!("conn {}: stale frame delivered ahead (reorder)", self.id));
         }
@@ -605,6 +622,11 @@ impl Write for SimConnection {
         while let Some(payload) = take_frame(&mut self.pending)? {
             self.deliver(&payload)?;
         }
+        // Held-back pipelined replies land after everything the burst
+        // produced — the out-of-order completion the corr ids exist for.
+        for wire in self.held.drain(..) {
+            self.inbox.extend(wire);
+        }
         Ok(())
     }
 }
@@ -612,6 +634,12 @@ impl Write for SimConnection {
 fn encode(response: &Response) -> Vec<u8> {
     let mut wire = Vec::new();
     write_frame(&mut wire, response).expect("responses always fit a frame");
+    wire
+}
+
+fn encode_enveloped(corr: u64, body: Response) -> Vec<u8> {
+    let mut wire = Vec::new();
+    write_frame(&mut wire, &ResponseFrame { corr, body }).expect("responses always fit a frame");
     wire
 }
 

@@ -143,7 +143,7 @@ fn arb_blob(rng: &mut StdRng, key: (u64, u64)) -> ModelBlob {
 }
 
 fn predict(service: &PredictService, system_hash: u64, binary_hash: u64) -> Response {
-    let frame = RequestFrame { deadline_ms: None, trace: None, body: Request::Predict { system_hash, binary_hash } };
+    let frame = RequestFrame::new(Request::Predict { system_hash, binary_hash });
     let payload = serde_json::to_vec(&frame).expect("request frames always serialize");
     service.handle_frame(&payload, QueueGauges { depth: 0, capacity: 1, workers: 1 })
 }
