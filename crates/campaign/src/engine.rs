@@ -13,7 +13,7 @@ use crate::journal::{Journal, TrialEntry, TrialStatus};
 use crate::plan::{TrialMeasurement, TrialResult, TrialSpec};
 use crate::spec::CampaignSpec;
 use chronus::domain::{Benchmark, EnergySample, SystemEntry};
-use chronus::hash::{binary_hash, system_hash};
+use chronus::hash::{binary_hash, classed_system_hash, system_hash};
 use chronus::integrations::monitoring::IpmiService;
 use chronus::interfaces::{Repository, SystemService};
 use eco_hpcg::{HpcgWorkload, PerfModel, Workload};
@@ -355,7 +355,10 @@ impl<'a> CampaignEngine<'a> {
 
         let (facts, sys_hash) = {
             let node = self.cluster.node(0);
-            (SystemFacts::from_node(node), system_hash(node.spec(), node.ram_gb()))
+            // the spec's node class widens the key: per-class campaigns
+            // land per-class models in the same (u64, u64) key space
+            let classed = classed_system_hash(system_hash(node.spec(), node.ram_gb()), &self.spec.node_class);
+            (SystemFacts::from_node(node), classed)
         };
         let system_id = self.repository.save_system(&SystemEntry { id: -1, facts, system_hash: sys_hash })?;
         let mut benchmarks = Vec::new();

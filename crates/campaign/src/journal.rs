@@ -196,6 +196,7 @@ mod tests {
             sample_interval_ms: 2000,
             full_work_gflop: 10.0,
             nx: 16,
+            node_class: String::new(),
         }
     }
 

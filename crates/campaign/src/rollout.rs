@@ -112,6 +112,7 @@ pub fn commit_to_store(
         trials_skipped: outcome.trials_skipped as u64,
         trial_seconds: outcome.trial_seconds,
         best_gflops_per_watt,
+        node_class: spec.node_class.clone(),
     };
     store.commit(&blob, staged.model_id, provenance)
 }
@@ -340,6 +341,7 @@ mod tests {
             sample_interval_ms: 2_000,
             full_work_gflop: 1_000.0,
             nx: 104,
+            node_class: "dense64".into(),
         };
         let outcome = CampaignOutcome {
             plan: "brute-force".into(),
@@ -365,6 +367,7 @@ mod tests {
         assert_eq!(record.provenance.plan, "brute-force");
         assert_eq!(record.provenance.trials_run, 3);
         assert!((record.provenance.best_gflops_per_watt - 0.15).abs() < 1e-9);
+        assert_eq!(record.provenance.node_class, "dense64", "store provenance records the class");
         // the blob is durably readable and hash-verified before any
         // replica is asked to serve the model
         let blob = store.load_blob(&record).unwrap();

@@ -24,6 +24,12 @@ pub struct CampaignSpec {
     pub full_work_gflop: f64,
     /// HPCG problem size (nx = ny = nz); part of the binary identity.
     pub nx: usize,
+    /// Node class the campaign characterises. Widens the model's system
+    /// hash via [`chronus::hash::classed_system_hash`], so a fleet can
+    /// serve one model per hardware class. Empty (the serde default, for
+    /// pre-class journals) keeps the legacy `(system, binary)` key.
+    #[serde(default)]
+    pub node_class: String,
 }
 
 impl CampaignSpec {
@@ -59,7 +65,18 @@ mod tests {
             sample_interval_ms: 2000,
             full_work_gflop: 250.0,
             nx: 104,
+            node_class: String::new(),
         }
+    }
+
+    #[test]
+    fn pre_class_journal_deserialises_with_the_default_class() {
+        // a spec journaled before node classes existed
+        let legacy = serde_json::to_string(&spec()).unwrap().replace(r##","node_class":"""##, "");
+        assert!(!legacy.contains("node_class"));
+        let s: CampaignSpec = serde_json::from_str(&legacy).unwrap();
+        assert_eq!(s.node_class, "", "legacy journals land in the default class");
+        s.validate().unwrap();
     }
 
     #[test]

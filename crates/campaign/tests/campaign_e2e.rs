@@ -47,6 +47,7 @@ fn spec(name: &str, configs: Vec<CpuConfig>, plan: PlanSpec, seed: u64) -> Campa
         sample_interval_ms: 2000,
         full_work_gflop: full_work(),
         nx: 104,
+        node_class: String::new(),
     }
 }
 

@@ -49,6 +49,7 @@ fn spec(seed: u64) -> CampaignSpec {
         sample_interval_ms: 2000,
         full_work_gflop: perf.gflops(&perf.standard_config()) * 25.0,
         nx: 104,
+        node_class: String::new(),
     }
 }
 

@@ -289,6 +289,10 @@ fn campaign_spec_from_flags(home: &str, scale: f64, argv: &[&str]) -> Result<Cam
         other => return Err(format!("unknown plan '{other}' (use halving or brute-force)")),
     };
     let seed = flag_value(argv, "--seed").and_then(|v| v.parse().ok()).unwrap_or(42);
+    // `--node-class NAME` characterises one hardware class of a
+    // heterogeneous cluster; the resulting model commits under the
+    // classed key and the store provenance records the class
+    let node_class = flag_value(argv, "--node-class").unwrap_or("").to_string();
     let settings = EtcStorage::new(home).load_settings().map_err(|e| e.to_string())?;
     let perf = PerfModel::sr650();
     Ok(CampaignSpec {
@@ -299,6 +303,7 @@ fn campaign_spec_from_flags(home: &str, scale: f64, argv: &[&str]) -> Result<Cam
         sample_interval_ms: settings.sample_interval.as_millis(),
         full_work_gflop: perf.gflops(&perf.standard_config()) * PAPER_STANDARD_RUNTIME_S * scale,
         nx: 104,
+        node_class,
     })
 }
 

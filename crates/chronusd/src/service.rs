@@ -232,7 +232,17 @@ impl PredictService {
         snap.replica = self.replica.clone();
         if let Some(handle) = &self.store {
             snap.store_dir = handle.dir.clone();
-            snap.store_generation = handle.store.lock().high_water();
+            let store = handle.store.lock();
+            snap.store_generation = store.high_water();
+            // serving-model counts per node class, from the ledger's
+            // provenance (records predating classes land in `default`)
+            let mut by_class: std::collections::BTreeMap<String, u64> = std::collections::BTreeMap::new();
+            for record in store.serving() {
+                let class = &record.provenance.node_class;
+                let name = if class.is_empty() { "default" } else { class.as_str() };
+                *by_class.entry(name.to_string()).or_insert(0) += 1;
+            }
+            snap.models_by_class = by_class.into_iter().collect();
         }
         snap
     }
@@ -784,6 +794,33 @@ mod tests {
         assert_eq!(snap.store_dir, "/var/lib/chronus/store");
         assert_eq!(snap.store_generation, 2, "high-water gauge counts the corrupt commit too");
         assert_eq!(snap.model_generation, 1);
+    }
+
+    #[test]
+    fn snapshot_counts_serving_models_per_node_class() {
+        use eco_store::{MemBackend, ModelBlob, Provenance};
+
+        let mut store = ModelStore::open(Box::new(MemBackend::new())).unwrap();
+        let blob = |system: u64, binary: u64| ModelBlob {
+            model_type: "brute-force".into(),
+            system_hash: system,
+            binary_hash: binary,
+            config: CpuConfig::new(16, 2_200_000, 1),
+            benchmarks: Vec::new(),
+        };
+        // one legacy (classless) model, two dense64 models
+        store.commit(&blob(10, 20), 1, Provenance::default()).unwrap();
+        store.commit(&blob(11, 20), 2, Provenance { node_class: "dense64".into(), ..Provenance::default() }).unwrap();
+        store.commit(&blob(11, 21), 3, Provenance { node_class: "dense64".into(), ..Provenance::default() }).unwrap();
+
+        let svc = PredictService::new(2, 8, Arc::new(StaticBackend::new(vec![])))
+            .with_store(Arc::new(Mutex::new(store)), "/var/lib/chronus/store");
+        let snap = svc.snapshot(QueueGauges::default());
+        assert_eq!(snap.models_by_class, vec![("default".to_string(), 1), ("dense64".to_string(), 2)]);
+
+        // a store-less daemon reports no class line at all
+        let bare = PredictService::new(2, 8, Arc::new(StaticBackend::new(vec![])));
+        assert!(bare.snapshot(QueueGauges::default()).models_by_class.is_empty());
     }
 
     #[test]

@@ -182,6 +182,7 @@ impl ServerStats {
             // store gauges live with the service, which stamps them
             store_dir: String::new(),
             store_generation: 0,
+            models_by_class: Vec::new(),
             latency_p50_us: self.latency.percentile_us(0.50),
             latency_p99_us: self.latency.percentile_us(0.99),
             latency_max_us: self.latency.max_us(),

@@ -40,6 +40,7 @@ fn campaign_model_rolls_hot_into_a_live_daemon() {
         sample_interval_ms: 2000,
         full_work_gflop: full_work,
         nx: 104,
+        node_class: String::new(),
     };
 
     // 1. the campaign produces final-round benchmarks in the repository
@@ -113,6 +114,7 @@ fn rollout_against_a_dead_daemon_is_a_typed_error_and_retry_succeeds() {
         sample_interval_ms: 2000,
         full_work_gflop: perf.gflops(&perf.standard_config()) * 25.0,
         nx: 104,
+        node_class: String::new(),
     };
     let mut cluster = Cluster::new(vec![SimNode::sr650(), SimNode::sr650()]);
     let outcome = {

@@ -32,6 +32,30 @@ pub fn binary_hash(binary_contents: &str) -> u64 {
     simple_hash(binary_contents)
 }
 
+/// Hash of a node-class name (for per-class model identity).
+pub fn class_hash(class: &str) -> u64 {
+    simple_hash(class)
+}
+
+/// Widens a system hash with a node class, producing the `(system,
+/// node_class)` half of the three-part prediction key `(system,
+/// node_class, binary)`.
+///
+/// The wire protocol and the model store key on two `u64`s — `(system,
+/// binary)` — and that does not change: the class is *folded into* the
+/// system hash, so every RPC frame, ledger record and registry entry
+/// keeps its shape and old journals replay byte-for-byte. The empty
+/// class (the default for single-type clusters and everything written
+/// before node classes existed) is the identity: `classed_system_hash(s,
+/// "") == s`, which is the whole migration story — legacy `(system,
+/// binary)` keys are exactly the default-class keys.
+pub fn classed_system_hash(system: u64, class: &str) -> u64 {
+    if class.is_empty() {
+        return system;
+    }
+    system ^ class_hash(class).rotate_left(17)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -74,6 +98,26 @@ mod tests {
     #[test]
     fn binary_hash_distinguishes_problem_sizes() {
         assert_ne!(binary_hash("xhpcg-3.1-nx104-ny104-nz104"), binary_hash("xhpcg-3.1-nx64-ny64-nz64"));
+    }
+
+    #[test]
+    fn empty_class_is_the_identity() {
+        // the migration shim: legacy (system, binary) keys == default-class keys
+        let spec = CpuSpec::epyc_7502p();
+        let s = system_hash(&spec, 256);
+        assert_eq!(classed_system_hash(s, ""), s);
+    }
+
+    #[test]
+    fn classes_partition_the_key_space() {
+        let s = 0xdead_beef_u64;
+        let a = classed_system_hash(s, "sr650");
+        let b = classed_system_hash(s, "dense64");
+        assert_ne!(a, s);
+        assert_ne!(b, s);
+        assert_ne!(a, b);
+        // deterministic
+        assert_eq!(a, classed_system_hash(s, "sr650"));
     }
 
     #[test]

@@ -92,6 +92,14 @@ pub fn stats_table(s: &StatsSnapshot) -> String {
     } else {
         format!("{} (generation {}, {} catch-ups)", s.store_dir, s.store_generation, s.store_catchups)
     };
+    // per-node-class serving counts: a line only when the daemon's store
+    // reports classes, so pre-class daemons render byte-identically
+    let classes = if s.models_by_class.is_empty() {
+        String::new()
+    } else {
+        let mix = s.models_by_class.iter().map(|(c, n)| format!("{c}={n}")).collect::<Vec<_>>().join(", ");
+        format!("model classes       {mix}\n")
+    };
     format!(
         "{title}\n\
          requests            {}\n\
@@ -104,7 +112,7 @@ pub fn stats_table(s: &StatsSnapshot) -> String {
          models resident     {} ({} evictions)\n\
          model generation    {} ({} stale hits / {} rollbacks)\n\
          store               {store}\n\
-         service latency     p50 {}us  p99 {}us  max {}us\n",
+         {classes}service latency     p50 {}us  p99 {}us  max {}us\n",
         s.requests_total,
         s.predictions,
         s.cache_hits,
@@ -237,6 +245,17 @@ mod tests {
         let t = stats_table(&snap);
         assert!(t.contains("chronusd statistics (replica r1)"), "{t}");
         assert!(t.contains("store               /var/lib/chronus/store (generation 4, 2 catch-ups)"), "{t}");
+        assert!(!t.contains("model classes"), "no classes reported, no line: {t}");
+    }
+
+    #[test]
+    fn stats_table_lists_models_by_class_when_reported() {
+        let snap = StatsSnapshot {
+            models_by_class: vec![("default".into(), 2), ("dense64".into(), 3)],
+            ..StatsSnapshot::default()
+        };
+        let t = stats_table(&snap);
+        assert!(t.contains("model classes       default=2, dense64=3"), "{t}");
     }
 
     #[test]

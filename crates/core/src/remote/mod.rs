@@ -328,6 +328,11 @@ pub struct StatsSnapshot {
     /// fleet mode, or daemons never given one).
     #[serde(default)]
     pub replica: String,
+    /// Serving-model counts per node class, sorted by class name; the
+    /// unnamed legacy class reports as `default`. Empty when no store is
+    /// configured (and from daemons predating node classes).
+    #[serde(default)]
+    pub models_by_class: Vec<(String, u64)>,
     /// Median request handling latency (µs, bucket upper bound).
     pub latency_p50_us: u64,
     /// 99th-percentile request handling latency (µs, bucket upper bound).
@@ -758,7 +763,8 @@ mod tests {
             .replace(",\"preloads\":0", "")
             .replace(",\"store_catchups\":0", "")
             .replace(",\"store_dir\":\"\"", "")
-            .replace(",\"store_generation\":0", "");
+            .replace(",\"store_generation\":0", "")
+            .replace(",\"models_by_class\":[]", "");
         assert_ne!(old, stripped, "the strip must actually remove the new fields");
         let back: Response = serde_json::from_str(&stripped).unwrap();
         assert_eq!(back, Response::Stats(StatsSnapshot::default()));

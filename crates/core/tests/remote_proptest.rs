@@ -57,10 +57,16 @@ fn arb_frame() -> impl Strategy<Value = RequestFrame> {
 }
 
 fn arb_snapshot() -> impl Strategy<Value = StatsSnapshot> {
-    (prop::collection::vec(0u64..=u64::MAX, 23), "[a-z0-9-]{0,12}", "[a-z0-9/._-]{0,24}").prop_map(
-        |(v, replica, store_dir)| StatsSnapshot {
+    (
+        prop::collection::vec(0u64..=u64::MAX, 23),
+        "[a-z0-9-]{0,12}",
+        "[a-z0-9/._-]{0,24}",
+        prop::collection::vec(("[a-z0-9-]{0,10}", 0u64..=u64::MAX), 0..4),
+    )
+        .prop_map(|(v, replica, store_dir, models_by_class)| StatsSnapshot {
             replica,
             store_dir,
+            models_by_class,
             requests_total: v[0],
             predictions: v[1],
             cache_hits: v[2],
@@ -84,8 +90,7 @@ fn arb_snapshot() -> impl Strategy<Value = StatsSnapshot> {
             store_generation: v[20],
             batches: v[21],
             batched_keys: v[22],
-        },
-    )
+        })
 }
 
 fn arb_outcome() -> impl Strategy<Value = KeyOutcome> {

@@ -21,7 +21,7 @@ pub mod gpu_tuning;
 pub mod market;
 
 use chronus::domain::PluginState;
-use chronus::hash::{binary_hash, system_hash};
+use chronus::hash::{binary_hash, classed_system_hash, system_hash};
 use chronus::interfaces::LocalStorage;
 use chronus::remote::{LocalPrediction, PredictionSource};
 use chronus::telemetry::{Counter, Telemetry, TraceContext};
@@ -92,6 +92,14 @@ pub struct JobSubmitEco {
     source: Arc<dyn PredictionSource>,
     system_hash: u64,
     binaries: HashMap<String, u64>,
+    /// Partition name → node class: how the plugin learns which hardware
+    /// a submission targets on a heterogeneous cluster. The class widens
+    /// the prediction key so one fleet serves per-class models.
+    classes: HashMap<String, String>,
+    /// Class assumed for jobs whose partition has no mapping (and for
+    /// `--partition`-less jobs). Empty means the pre-class key space —
+    /// the migration default that keeps old models resolving.
+    default_class: String,
     tel: PluginTelemetry,
     strict: bool,
 }
@@ -109,6 +117,8 @@ impl JobSubmitEco {
             source,
             system_hash: system_hash(spec, ram_gb),
             binaries: HashMap::new(),
+            classes: HashMap::new(),
+            default_class: String::new(),
             tel: PluginTelemetry::over(Arc::new(Telemetry::wall())),
             strict: false,
         }
@@ -143,14 +153,51 @@ impl JobSubmitEco {
         self.binaries.insert(path.to_string(), binary_hash(contents));
     }
 
+    /// Maps a partition to its node class: submissions targeting this
+    /// partition predict under the `(system, class, binary)` key. On a
+    /// cluster built from [`eco_slurm_sim::Cluster::heterogeneous`], feed
+    /// every partition's `node_class` through here at plugin load.
+    pub fn map_partition_class(&mut self, partition: &str, class: &str) {
+        self.classes.insert(partition.to_string(), class.to_string());
+    }
+
+    /// Sets the class assumed for unmapped or partition-less submissions.
+    /// Defaults to the empty class — the pre-class key space, so staged
+    /// legacy models keep resolving unchanged.
+    pub fn set_default_class(&mut self, class: &str) {
+        self.default_class = class.to_string();
+    }
+
+    /// The node class a job's partition resolves to.
+    fn class_for(&self, job: &JobDescriptor) -> &str {
+        job.partition.as_deref().and_then(|p| self.classes.get(p)).map(String::as_str).unwrap_or(&self.default_class)
+    }
+
+    /// Bumps the per-class prediction counter (`plugin.class.<name>.hit`
+    /// or `.miss`); the unnamed legacy class reports as `default`.
+    fn bump_class(&self, class: &str, hit: bool) {
+        let name = if class.is_empty() { "default" } else { class };
+        let outcome = if hit { "hit" } else { "miss" };
+        self.tel.telemetry.counter(&format!("plugin.class.{name}.{outcome}")).bump();
+    }
+
     /// Warms the prediction path for every registered binary in one
     /// batched query: all `(system_hash, binary_hash)` keys go through
     /// the source's `predict_many` (a single `PredictMany` round trip
     /// on a daemon-backed source), so the first real submission of each
-    /// binary is a cache hit. Returns how many keys answered with a
-    /// config; failures are warm-up misses, never submission errors.
+    /// binary is a cache hit. On a classed plugin the batch covers every
+    /// configured class (default plus each mapped class) per binary.
+    /// Returns how many keys answered with a config; failures are
+    /// warm-up misses, never submission errors.
     pub fn prefetch_predictions(&self) -> usize {
-        let keys: Vec<(u64, u64)> = self.binaries.values().map(|&b| (self.system_hash, b)).collect();
+        let mut class_hashes: Vec<u64> = std::iter::once(self.default_class.as_str())
+            .chain(self.classes.values().map(String::as_str))
+            .map(|c| classed_system_hash(self.system_hash, c))
+            .collect();
+        class_hashes.sort_unstable();
+        class_hashes.dedup();
+        let keys: Vec<(u64, u64)> =
+            class_hashes.iter().flat_map(|&s| self.binaries.values().map(move |&b| (s, b))).collect();
         if keys.is_empty() {
             return 0;
         }
@@ -250,13 +297,17 @@ impl JobSubmitEco {
         }
 
         let bin_hash = self.binary_hash_for(&job.binary_path);
+        // the job's partition decides which hardware class it runs on,
+        // and the class widens the system half of the prediction key
+        let class = self.class_for(job).to_string();
+        let classed_system = classed_system_hash(self.system_hash, &class);
 
         // §6.2.1 extension: `--comment "chronus deadline=<seconds>"` bounds
         // the choice to configurations whose measured runtime fits.
         if let Some(deadline_s) = deadline::parse_deadline(&job.comment) {
             let mut span = self.tel.telemetry.span_under(ctx, "plugin", "deadline_select");
             span.attr("deadline_s", deadline_s);
-            return match self.deadline_config(&settings, self.system_hash, bin_hash, deadline_s) {
+            return match self.deadline_config(&settings, classed_system, bin_hash, deadline_s) {
                 Ok(config) => {
                     job.apply_config(&config);
                     Verdict::Applied
@@ -269,14 +320,19 @@ impl JobSubmitEco {
             };
         }
 
-        let span = self.tel.telemetry.span_under(ctx, "plugin", "predict");
+        let mut span = self.tel.telemetry.span_under(ctx, "plugin", "predict");
+        if !class.is_empty() {
+            span.attr("node_class", &class);
+        }
         let predict_ctx = span.context();
-        match self.source.predict_traced(self.system_hash, bin_hash, Some(predict_ctx)) {
+        match self.source.predict_traced(classed_system, bin_hash, Some(predict_ctx)) {
             Ok(config) => {
+                self.bump_class(&class, true);
                 job.apply_config(&config);
                 Verdict::Applied
             }
             Err(e) => {
+                self.bump_class(&class, false);
                 let reason = format!("chronus slurm-config failed: {e}");
                 span.fail(reason.clone());
                 Verdict::Error(reason)
@@ -654,6 +710,88 @@ mod tests {
         p.job_submit(&mut job("chronus"), 1000).unwrap(); // error
         assert_eq!(p.stats(), PluginStats { applied: 1, skipped: 1, errors: 1 });
         assert_eq!(p.stats().total(), 3, "every submission lands in exactly one counter");
+    }
+
+    /// Records every key predicted, answering a fixed config — proves
+    /// which `(system, binary)` key the plugin put on the wire.
+    struct KeyRecorder {
+        keys: std::sync::Mutex<Vec<(u64, u64)>>,
+    }
+    impl PredictionSource for KeyRecorder {
+        fn predict(&self, s: u64, b: u64) -> chronus::Result<CpuConfig> {
+            self.keys.lock().unwrap().push((s, b));
+            Ok(CpuConfig::new(16, 2_200_000, 1))
+        }
+        fn describe(&self) -> String {
+            "key recorder".into()
+        }
+    }
+
+    #[test]
+    fn partition_class_widens_the_prediction_key() {
+        let root = tmpdir("classkey");
+        let (storage, contents) = stage(&root, PluginState::Active);
+        let mut p = plugin(storage, contents);
+        p.map_partition_class("dense", "dense64");
+        let source = Arc::new(KeyRecorder { keys: std::sync::Mutex::new(Vec::new()) });
+        p.set_source(Arc::clone(&source) as Arc<dyn PredictionSource>);
+        let telemetry = Arc::new(Telemetry::wall());
+        p.set_telemetry(Arc::clone(&telemetry));
+
+        // partition-less job: the legacy identity key
+        p.job_submit(&mut job(""), 1000).unwrap();
+        // dense-partition job: the classed key
+        let mut d = job("");
+        d.partition = Some("dense".into());
+        p.job_submit(&mut d, 1000).unwrap();
+        // unmapped partition falls back to the default class
+        let mut u = job("");
+        u.partition = Some("batch".into());
+        p.job_submit(&mut u, 1000).unwrap();
+
+        let keys = source.keys.lock().unwrap();
+        assert_eq!(keys[0].0, p.system_hash(), "no class = pre-class key, PR6/PR7 compatible");
+        assert_eq!(keys[1].0, classed_system_hash(p.system_hash(), "dense64"));
+        assert_ne!(keys[1].0, keys[0].0, "classes partition the key space");
+        assert_eq!(keys[2].0, p.system_hash(), "unmapped partition uses the default class");
+        assert_eq!(telemetry.counter("plugin.class.default.hit").get(), 2);
+        assert_eq!(telemetry.counter("plugin.class.dense64.hit").get(), 1);
+    }
+
+    #[test]
+    fn class_misses_are_counted_per_class() {
+        let root = tmpdir("classmiss");
+        let (storage, contents) = stage(&root, PluginState::Active);
+        let mut p = plugin(storage, contents);
+        p.map_partition_class("dense", "dense64");
+        p.set_source(Arc::new(DeadSource));
+        let telemetry = Arc::new(Telemetry::wall());
+        p.set_telemetry(Arc::clone(&telemetry));
+        let mut d = job("");
+        d.partition = Some("dense".into());
+        p.job_submit(&mut d, 1000).unwrap();
+        assert_eq!(telemetry.counter("plugin.class.dense64.miss").get(), 1);
+        assert_eq!(telemetry.counter("plugin.class.dense64.hit").get(), 0);
+        assert_eq!(p.stats().errors, 1);
+    }
+
+    #[test]
+    fn prefetch_covers_every_configured_class() {
+        let root = tmpdir("classprefetch");
+        let (storage, contents) = stage(&root, PluginState::User);
+        let mut p = plugin(storage, contents);
+        p.register_binary("/opt/solver/bin/a", "solver-a");
+        p.map_partition_class("dense", "dense64");
+        p.map_partition_class("fast", "dense64"); // same class twice: deduped
+        let source = Arc::new(BatchRecorder { calls: std::sync::Mutex::new(Vec::new()) });
+        p.set_source(Arc::clone(&source) as Arc<dyn PredictionSource>);
+        p.prefetch_predictions();
+        let calls = source.calls.lock().unwrap();
+        assert_eq!(calls.len(), 1, "still one batched call");
+        assert_eq!(calls[0].len(), 4, "2 binaries x 2 distinct classes (default + dense64)");
+        let classed = classed_system_hash(p.system_hash(), "dense64");
+        assert!(calls[0].iter().any(|&(s, _)| s == p.system_hash()));
+        assert!(calls[0].iter().any(|&(s, _)| s == classed));
     }
 
     #[test]

@@ -34,6 +34,17 @@ pub trait Workload: Send + Sync {
     fn duration(&self, config: &CpuConfig) -> SimDuration {
         SimDuration::from_secs_f64(self.total_gflop() / self.gflops(config))
     }
+
+    /// Arithmetic intensity in FLOP/byte — the roofline-model signal a
+    /// co-scheduling placement policy reads: well below 1 the workload is
+    /// memory-bandwidth-bound (HPCG's SpMV sits around 1/4), well above 1
+    /// it is compute-bound, and two jobs on opposite sides of the ridge
+    /// contend little when packed onto one node. The default of 1.0 is
+    /// deliberately on the ridge: a workload that doesn't declare its
+    /// intensity is never treated as safely packable with another unknown.
+    fn arithmetic_intensity(&self) -> f64 {
+        1.0
+    }
 }
 
 /// The HPCG benchmark as the paper runs it: default problem size
@@ -92,6 +103,12 @@ impl Workload for HpcgWorkload {
 
     fn utilization(&self, config: &CpuConfig, t_secs: f64) -> f64 {
         self.perf.utilization(config, t_secs)
+    }
+
+    fn arithmetic_intensity(&self) -> f64 {
+        // HPCG is dominated by SpMV and SymGS over a 27-point stencil:
+        // roughly 1 multiply-add per 12 bytes streamed, ~0.26 FLOP/byte.
+        0.26
     }
 }
 
@@ -158,6 +175,15 @@ impl Workload for SyntheticWorkload {
     fn utilization(&self, _config: &CpuConfig, _t_secs: f64) -> f64 {
         1.0
     }
+
+    fn arithmetic_intensity(&self) -> f64 {
+        match self.kind {
+            // dense-linear-algebra-like: far above the roofline ridge
+            ScalingKind::ComputeBound => 8.0,
+            // STREAM-like: far below it
+            ScalingKind::MemoryBound => 0.25,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -219,6 +245,17 @@ mod tests {
     fn duration_shrinks_with_throughput() {
         let w = SyntheticWorkload::new("x", ScalingKind::ComputeBound, 1000.0, 0.5);
         assert!(w.duration(&cfg(32, 2.5, false)) < w.duration(&cfg(4, 1.5, false)));
+    }
+
+    #[test]
+    fn arithmetic_intensity_separates_the_roofline_sides() {
+        let perf = Arc::new(PerfModel::sr650());
+        let hpcg = HpcgWorkload::paper_default(perf);
+        let dgemm = SyntheticWorkload::new("dgemm", ScalingKind::ComputeBound, 1000.0, 1.0);
+        let stream = SyntheticWorkload::new("stream", ScalingKind::MemoryBound, 1000.0, 1.0);
+        assert!(hpcg.arithmetic_intensity() < 1.0, "HPCG is memory-bound");
+        assert!(stream.arithmetic_intensity() < 1.0);
+        assert!(dgemm.arithmetic_intensity() > 1.0);
     }
 
     #[test]

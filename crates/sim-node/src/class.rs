@@ -1,0 +1,193 @@
+//! Node classes — named hardware types a heterogeneous cluster is built
+//! from.
+//!
+//! The paper evaluates one machine (a Lenovo SR650); a shared facility
+//! runs several generations and densities side by side, partitioned by
+//! type. A [`NodeClass`] bundles everything that distinguishes one type
+//! from another — CPU spec (and with it the per-class DVFS table),
+//! installed RAM, calibrated power-model parameters and thermal
+//! parameters — so a cluster can instantiate mixed [`SimNode`]s from
+//! named classes, and so the prediction pipeline can key per-class
+//! models on the class name.
+
+use crate::cpu::{CpuConfig, CpuSpec, FreqKhz};
+use crate::node::SimNode;
+use crate::power::{CpuLoad, PowerModel, PowerModelParams};
+use crate::thermal::{ThermalModel, ThermalParams};
+use serde::{Deserialize, Serialize};
+
+/// A named node type: one hardware calibration a cluster can instantiate
+/// any number of nodes from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeClass {
+    /// Class name, e.g. `"sr650"`. This is the identity the scheduler's
+    /// partitions and the prediction key space use; two classes with the
+    /// same name are the same class.
+    pub name: String,
+    /// The CPU every node of this class carries.
+    pub spec: CpuSpec,
+    /// Installed RAM per node, GB.
+    pub ram_gb: u32,
+    /// Calibrated power-model parameters.
+    pub power: PowerModelParams,
+    /// Calibrated thermal parameters.
+    pub thermal: ThermalParams,
+}
+
+impl NodeClass {
+    /// The paper's evaluation node as a class: Lenovo ThinkSystem SR650,
+    /// AMD EPYC 7502P, 256 GB.
+    pub fn sr650() -> Self {
+        NodeClass {
+            name: "sr650".to_string(),
+            spec: CpuSpec::epyc_7502p(),
+            ram_gb: 256,
+            power: PowerModelParams::sr650_epyc7502p(),
+            thermal: ThermalParams::sr650(),
+        }
+    }
+
+    /// A denser, lower-clocked class: twice the cores of the SR650 at
+    /// lower DVFS steps, trading peak per-core speed for throughput per
+    /// watt. Calibration is plausible-by-construction (same physical
+    /// structure as the SR650 model) rather than tied to a published
+    /// table.
+    pub fn dense64() -> Self {
+        NodeClass {
+            name: "dense64".to_string(),
+            spec: CpuSpec {
+                name: "AMD EPYC 7702 64-Core Processor".to_string(),
+                cores: 64,
+                threads_per_core: 2,
+                frequencies_khz: vec![1_500_000, 1_800_000, 2_100_000],
+            },
+            ram_gb: 512,
+            power: PowerModelParams {
+                uncore_w: 55.0,
+                dyn_coeff: 0.65,
+                core_static_w: 0.40,
+                core_idle_w: 0.12,
+                smt_power_factor: 1.03,
+                platform_w: 96.0,
+                fan_w_per_c: 0.6,
+                fan_knee_c: 45.0,
+                psu_efficiency: 0.945,
+                vf_curve: vec![(1.5, 0.75), (1.8, 0.85), (2.1, 0.97)],
+            },
+            thermal: ThermalParams { t_offset_c: 13.0, c_per_watt: 0.25, tau_s: 75.0, ambient_c: 25.0 },
+        }
+    }
+
+    /// Instantiates one node of this class, carrying the class name.
+    pub fn node(&self) -> SimNode {
+        SimNode::new(self.spec.clone(), self.ram_gb, self.power.clone(), self.thermal).with_class(&self.name)
+    }
+
+    /// The class's DVFS table (ascending kHz).
+    pub fn dvfs_frequencies(&self) -> &[FreqKhz] {
+        &self.spec.frequencies_khz
+    }
+
+    /// Every valid job configuration on this class.
+    pub fn all_configurations(&self) -> Vec<CpuConfig> {
+        self.spec.all_configurations()
+    }
+
+    /// Idle DC-side system draw of one settled node (W).
+    pub fn idle_system_w(&self) -> f64 {
+        let model = PowerModel::new(&self.spec, self.power.clone());
+        let load = CpuLoad::idle(&self.spec);
+        let mut thermal = ThermalModel::new(self.thermal);
+        thermal.settle(model.cpu_power(&load));
+        model.system_power(&load, thermal.temperature())
+    }
+
+    /// Maximum steady-state DC-side system draw of one node: every core
+    /// busy at the top frequency, package settled hot (W).
+    pub fn max_system_w(&self) -> f64 {
+        let model = PowerModel::new(&self.spec, self.power.clone());
+        let load =
+            CpuLoad::busy(CpuConfig::new(self.spec.cores, self.spec.max_frequency(), self.spec.threads_per_core));
+        let mut thermal = ThermalModel::new(self.thermal);
+        thermal.settle(model.cpu_power(&load));
+        model.system_power(&load, thermal.temperature())
+    }
+
+    /// The largest fan draw one node of this class can reach (W): the fan
+    /// term at the hot steady state of the maximum load. Power-cap
+    /// admission estimates power at *current* temperatures; temperatures
+    /// (and with them fan power) then drift up as dispatched jobs heat
+    /// the package, so a capped scheduler that must never exceed the cap
+    /// instantaneously should reserve this much headroom per node.
+    pub fn max_fan_w(&self) -> f64 {
+        let model = PowerModel::new(&self.spec, self.power.clone());
+        let load =
+            CpuLoad::busy(CpuConfig::new(self.spec.cores, self.spec.max_frequency(), self.spec.threads_per_core));
+        let mut thermal = ThermalModel::new(self.thermal);
+        thermal.settle(model.cpu_power(&load));
+        model.fan_power(thermal.temperature())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sr650_class_instantiates_the_paper_node() {
+        let class = NodeClass::sr650();
+        let node = class.node();
+        assert_eq!(node.class_name(), "sr650");
+        assert_eq!(node.spec().cores, 32);
+        assert_eq!(node.ram_gb(), 256);
+        // the class-built node is electrically identical to SimNode::sr650()
+        let reference = SimNode::sr650();
+        assert_eq!(node.telemetry().system_power_w, reference.telemetry().system_power_w);
+    }
+
+    #[test]
+    fn dense64_is_a_genuinely_different_machine() {
+        let a = NodeClass::sr650();
+        let b = NodeClass::dense64();
+        assert_ne!(a.spec.name, b.spec.name);
+        assert_ne!(a.dvfs_frequencies(), b.dvfs_frequencies());
+        assert_eq!(b.spec.cores, 64);
+        assert_eq!(b.spec.max_frequency(), 2_100_000);
+    }
+
+    #[test]
+    fn idle_and_max_watts_bracket_the_operating_range() {
+        for class in [NodeClass::sr650(), NodeClass::dense64()] {
+            let idle = class.idle_system_w();
+            let max = class.max_system_w();
+            assert!(idle > 0.0, "{}: idle {idle}", class.name);
+            assert!(max > idle + 50.0, "{}: idle {idle} max {max}", class.name);
+        }
+    }
+
+    #[test]
+    fn sr650_watt_envelope_matches_the_calibration() {
+        let class = NodeClass::sr650();
+        // idle: 44.8 W cpu + 88 W platform (fans off at ambient-ish temps)
+        assert!((class.idle_system_w() - 132.8).abs() < 2.0, "idle {}", class.idle_system_w());
+        // max = SMT-on variant of the paper's 216.6 W standard point, hot
+        assert!(class.max_system_w() > 216.0, "max {}", class.max_system_w());
+        // fan headroom: ~0.5 W/°C over the 45 °C knee at ~63 °C steady
+        assert!((class.max_fan_w() - 9.0).abs() < 1.5, "fan {}", class.max_fan_w());
+    }
+
+    #[test]
+    fn dense64_draws_more_at_max_but_stays_plausible() {
+        let class = NodeClass::dense64();
+        let max = class.max_system_w();
+        assert!(max > NodeClass::sr650().max_system_w(), "denser node peaks higher: {max}");
+        assert!(max < 400.0, "still a 1U-class machine: {max}");
+    }
+
+    #[test]
+    fn class_roundtrips_through_serde() {
+        let class = NodeClass::dense64();
+        let back: NodeClass = serde_json::from_str(&serde_json::to_string(&class).unwrap()).unwrap();
+        assert_eq!(class, back);
+    }
+}

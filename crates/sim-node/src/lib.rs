@@ -13,6 +13,8 @@
 //! crossovers fall. See `DESIGN.md` §2 and §4 at the repository root.
 //!
 //! ## Layout
+//! * [`class`] — named node classes ([`class::NodeClass`]) heterogeneous
+//!   clusters instantiate mixed nodes from;
 //! * [`clock`] — millisecond-resolution simulated time;
 //! * [`cpu`] — CPU specs ([`cpu::CpuSpec::epyc_7502p`]) and job
 //!   configurations ([`cpu::CpuConfig`]: cores × frequency × threads/core);
@@ -25,6 +27,7 @@
 //! * [`wattmeter`] — AC-side ground truth (Equation 1 validation);
 //! * [`sysinfo`] — `lscpu`, `/proc/cpuinfo`, `/proc/meminfo` views.
 
+pub mod class;
 pub mod clock;
 pub mod cpu;
 pub mod dvfs;
@@ -36,6 +39,7 @@ pub mod sysinfo;
 pub mod thermal;
 pub mod wattmeter;
 
+pub use class::NodeClass;
 pub use clock::{SimClock, SimDuration, SimTime};
 pub use cpu::{CpuConfig, CpuSpec, FreqKhz};
 pub use dvfs::Governor;

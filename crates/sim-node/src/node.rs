@@ -44,6 +44,9 @@ pub struct SimNode {
     clock: SimClock,
     load: CpuLoad,
     energy: EnergyTotals,
+    /// Name of the node class this node was instantiated from; empty for
+    /// nodes built directly from parts (the pre-class construction path).
+    class: String,
 }
 
 /// Maximum integration sub-step: power is treated as constant within it and
@@ -64,7 +67,20 @@ impl SimNode {
             clock: SimClock::new(),
             load,
             energy: EnergyTotals::default(),
+            class: String::new(),
         }
+    }
+
+    /// Stamps the node with the class it was instantiated from.
+    pub fn with_class(mut self, class: &str) -> Self {
+        self.class = class.to_string();
+        self
+    }
+
+    /// The node class name; empty when the node was built directly from
+    /// parts rather than from a [`crate::class::NodeClass`].
+    pub fn class_name(&self) -> &str {
+        &self.class
     }
 
     /// The paper's evaluation node: Lenovo ThinkSystem SR650, AMD EPYC

@@ -33,6 +33,12 @@
 //!   every batch is answered exactly once (config or typed error) and
 //!   never cross-wired, with rollout churn republishing registry
 //!   snapshots under the batched readers;
+//! * [`cluster`] — [`run_cluster_seed`] scales the world up to a
+//!   heterogeneous, power-capped cluster: per-node-class models served
+//!   from one fleet, co-scheduling, and per-tick audits that the
+//!   facility meter never crosses the cap, no job starves, per-class
+//!   prediction keys never cross-resolve, and the capped class-aware
+//!   schedule beats a cap-unaware baseline on GFLOPS/W;
 //! * [`world`] — [`run_seed`] wires a real [`eco_slurm_sim::Cluster`]
 //!   with the real plugin to a `SimNet` and pushes a randomized batch of
 //!   submissions through it, asserting end-to-end invariants: every
@@ -47,6 +53,7 @@
 //! ```
 
 pub mod batch;
+pub mod cluster;
 pub mod faults;
 pub mod fleet;
 pub mod invariants;
@@ -55,6 +62,7 @@ pub mod store;
 pub mod world;
 
 pub use batch::{run_batch_seed, BatchReport, BATCH_REPLICAS, MAX_BATCH_VIRTUAL_MS};
+pub use cluster::{cluster_worlds, run_cluster_seed, ClusterReport, ClusterWorld, CLUSTER_SUBMISSIONS};
 pub use faults::FaultPlan;
 pub use fleet::{run_fleet_seed, FleetReport, FLEET_REPLICAS};
 pub use invariants::Ledger;

@@ -174,7 +174,7 @@ impl JobSubmitPlugin for StatsTap {
     }
 }
 
-fn storage_root(plan: &str, seed: u64) -> PathBuf {
+pub(crate) fn storage_root(plan: &str, seed: u64) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("simtest-{plan}-{seed}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).expect("tempdir for staged settings");
@@ -184,7 +184,7 @@ fn storage_root(plan: &str, seed: u64) -> PathBuf {
 /// The submit-path client every world run uses: tight timeouts, one
 /// retry, a 15ms server-side deadline — the same budget the plugin
 /// would configure in production.
-fn sim_client(plan: &FaultPlan, transport: crate::net::SimTransport) -> PredictClient {
+pub(crate) fn sim_client(plan: &FaultPlan, transport: crate::net::SimTransport) -> PredictClient {
     PredictClient::builder()
         .transport(Box::new(transport))
         .connect_timeout(Duration::from_millis(5))

@@ -1,0 +1,110 @@
+//! The cluster sweep: every cluster world (class mixes × cap tightness ×
+//! legacy keys) × a handful of seeded job mixes, each run auditing cap
+//! conservation at every tick, starvation freedom, per-class key
+//! isolation and the GFLOPS/W win over a cap-unaware baseline. Failing
+//! seeds are reported by number so they can be replayed locally via
+//! `SIMTEST_CLUSTER_SEED=<seed> cargo test -p simtest cluster_replay -- --nocapture`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use simtest::{cluster_worlds, run_cluster_seed, CLUSTER_SUBMISSIONS};
+
+/// Seeded job mixes per world.
+const SEEDS_PER_WORLD: u64 = 3;
+
+#[test]
+fn cluster_sweep_across_all_worlds() {
+    let worlds = cluster_worlds();
+    let mut failures = Vec::new();
+    for (i, world) in worlds.iter().enumerate() {
+        for s in 0..SEEDS_PER_WORLD {
+            let seed = (i as u64) * SEEDS_PER_WORLD + s;
+            if let Err(panic) = catch_unwind(AssertUnwindSafe(|| run_cluster_seed(seed, world))) {
+                let detail = panic
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                eprintln!("cluster seed {seed} (world '{}') FAILED:\n{detail}\n", world.name);
+                failures.push((seed, world.name));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} cluster runs violated invariants: {failures:?} — replay with SIMTEST_CLUSTER_SEED=<seed> cargo test -p \
+         simtest cluster_replay -- --nocapture",
+        failures.len()
+    );
+}
+
+/// The headline demo the extension promises: a two-class cluster under a
+/// facility cap dispatches every job, never crosses the cap at any
+/// audited tick, co-schedules at least one complementary pair, and ends
+/// more energy-efficient than the cap-unaware baseline of the same mix.
+#[test]
+fn two_class_capped_cluster_beats_the_baseline() {
+    let worlds = cluster_worlds();
+    let balanced = &worlds[0];
+    assert_eq!(balanced.name, "balanced");
+    let report = run_cluster_seed(1, balanced);
+    assert_eq!(report.submissions, CLUSTER_SUBMISSIONS, "every submission accepted");
+    assert!(report.peak_power_w <= report.cap_w, "peak {} over cap {}", report.peak_power_w, report.cap_w);
+    assert!(report.peak_power_w > 0.0, "the audit actually sampled a live cluster");
+    assert!(
+        report.eco_gflops_per_w > report.baseline_gflops_per_w,
+        "eco {} <= baseline {}",
+        report.eco_gflops_per_w,
+        report.baseline_gflops_per_w
+    );
+}
+
+/// The cluster world replays bit-identically from its seed, like every
+/// other simtest world.
+#[test]
+fn cluster_world_is_deterministic() {
+    let worlds = cluster_worlds();
+    let a = run_cluster_seed(7, &worlds[0]);
+    let b = run_cluster_seed(7, &worlds[0]);
+    assert_eq!(a.log, b.log, "same seed, same cluster history");
+    assert_eq!(a.peak_power_w, b.peak_power_w);
+    assert_eq!(a.eco_gflops_per_w, b.eco_gflops_per_w);
+    assert_eq!(a.packed, b.packed);
+}
+
+/// The legacy world runs entirely on pre-class `(system, binary)` keys:
+/// an unclassed plugin against models staged under the bare system hash
+/// still rewrites every submission (the migration guarantee).
+#[test]
+fn classless_world_still_resolves_legacy_keys() {
+    let worlds = cluster_worlds();
+    let legacy = worlds.iter().find(|w| w.classless).expect("a classless world is in the sweep");
+    let report = run_cluster_seed(11, legacy);
+    assert_eq!(report.submissions, CLUSTER_SUBMISSIONS);
+    assert!(report.eco_gflops_per_w > report.baseline_gflops_per_w);
+}
+
+/// Replay hook: `SIMTEST_CLUSTER_SEED=<seed> cargo test -p simtest
+/// cluster_replay -- --nocapture` re-runs one seed in its sweep world
+/// and dumps the full event log.
+#[test]
+fn cluster_replay() {
+    let Ok(seed) = std::env::var("SIMTEST_CLUSTER_SEED") else { return };
+    let seed: u64 = seed.parse().expect("SIMTEST_CLUSTER_SEED must be a u64");
+    let worlds = cluster_worlds();
+    let world = &worlds[(seed / SEEDS_PER_WORLD) as usize % worlds.len()];
+    println!("replaying cluster seed {seed} in world '{}'", world.name);
+    let report = run_cluster_seed(seed, world);
+    for line in &report.log {
+        println!("{line}");
+    }
+    println!(
+        "seed {seed}: cap {:.1} W, peak {:.1} W, {} packed, {} power-blocked, eco {:.4} vs baseline {:.4} GFLOPS/W",
+        report.cap_w,
+        report.peak_power_w,
+        report.packed,
+        report.power_blocked,
+        report.eco_gflops_per_w,
+        report.baseline_gflops_per_w
+    );
+}

@@ -1,0 +1,165 @@
+//! Scheduler-tick microbenchmark + regression gate for the cluster-level
+//! energy scheduler: one simulated second of a heterogeneous, power-capped,
+//! co-scheduling cluster with a deep pending queue, measured as ticks/s.
+//!
+//! Every tick runs the full dispatch pass — priority sort, partition
+//! filtering, EASY backfill, pack probing and power-cap admission (a
+//! marginal-power estimate against every candidate node) over the whole
+//! pending queue — so this is the `slurmctld` hot loop the PR's
+//! facility-cap admission made heavier, pinned as a number.
+//!
+//! Self-measuring harness (not criterion), same contract as the chronusd
+//! benches:
+//!
+//! 1. **persist** a machine-readable result (`BENCH_pr8.json` at the
+//!    repo root by default, `BENCH_OUT` to override) so the repo carries
+//!    its scheduling-throughput trajectory in-tree;
+//! 2. **gate**: when `BENCH_BASELINE` points at a previous result file,
+//!    exit non-zero if ticks/s at any measured queue depth drops by more
+//!    than 10% — the CI bench gate.
+//!
+//! Run with `cargo bench -p eco-slurm-sim --bench sched_tick`.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use eco_hpcg::workload::{ScalingKind, SyntheticWorkload};
+use eco_sim_node::class::NodeClass;
+use eco_sim_node::clock::SimDuration;
+use eco_slurm_sim::{Cluster, CoSchedulePolicy, JobDescriptor};
+use serde::{Deserialize, Serialize};
+
+/// Pending-queue depths measured, each its own cell.
+const QUEUE_DEPTHS: [usize; 3] = [16, 64, 256];
+
+/// Simulated seconds (= scheduler passes) per cell.
+const TICKS_PER_CELL: u64 = 4_000;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Cell {
+    queue_depth: usize,
+    ticks_per_sec: u64,
+    ticks: u64,
+    wall_ms: u64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchResult {
+    bench: String,
+    nodes: usize,
+    cells: Vec<Cell>,
+}
+
+/// A two-class capped cluster whose running set never drains during the
+/// measurement: the resident jobs run for simulated weeks, so every tick
+/// pays the full pending-queue scheduling pass (the steady state of a
+/// saturated facility, not the ramp).
+fn loaded_cluster(queue_depth: usize) -> Cluster {
+    let classes = vec![(NodeClass::sr650(), 2), (NodeClass::dense64(), 2)];
+    let mut idle_w = 0.0;
+    let mut max_w = 0.0;
+    let mut headroom_w = 0.0;
+    for (class, count) in &classes {
+        idle_w += class.idle_system_w() * *count as f64;
+        max_w += class.max_system_w() * *count as f64;
+        headroom_w += class.max_fan_w() * *count as f64;
+    }
+    let mut cluster = Cluster::heterogeneous(&classes);
+    // effectively never-ending residents: the queue stays at full depth
+    cluster.register_binary(
+        "/bin/dgemm",
+        Arc::new(SyntheticWorkload::new("dgemm", ScalingKind::ComputeBound, 1e12, 1.0)),
+    );
+    cluster.register_binary(
+        "/bin/stream",
+        Arc::new(SyntheticWorkload::new("stream", ScalingKind::MemoryBound, 1e12, 1.0)),
+    );
+    // a cap tight enough that most of the queue stays power-blocked:
+    // every pass prices marginal power for every blocked job
+    cluster.set_power_cap(Some(idle_w + headroom_w + 0.5 * (max_w - idle_w)));
+    cluster.set_power_headroom(headroom_w);
+    cluster.set_co_schedule(CoSchedulePolicy::Pack);
+    for i in 0..queue_depth {
+        let class = &classes[i % classes.len()].0;
+        let mut d = JobDescriptor::new(
+            &format!("j{i}"),
+            ["alice", "bob", "carol"][i % 3],
+            if i % 3 == 0 { "/bin/stream" } else { "/bin/dgemm" },
+        );
+        d.partition = Some(class.name.clone());
+        d.num_tasks = class.spec.cores;
+        cluster.submit(d).expect("bench submission accepted");
+    }
+    cluster
+}
+
+fn out_path() -> std::path::PathBuf {
+    if let Ok(p) = std::env::var("BENCH_OUT") {
+        return p.into();
+    }
+    // repo root: crates/slurm/../..
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_pr8.json")
+}
+
+fn main() {
+    let mut cells = Vec::new();
+    for &depth in &QUEUE_DEPTHS {
+        let mut cluster = loaded_cluster(depth);
+        // settle dispatch + thermal ramp outside the measurement
+        cluster.advance(SimDuration::from_secs(60));
+        let t0 = Instant::now();
+        for _ in 0..TICKS_PER_CELL {
+            cluster.advance(SimDuration::from_secs(1));
+        }
+        let wall = t0.elapsed();
+        let ticks_per_sec = (TICKS_PER_CELL as f64 / wall.as_secs_f64()) as u64;
+        println!("queue {depth:>4}: {ticks_per_sec:>8} ticks/s ({TICKS_PER_CELL} simulated seconds in {wall:?})");
+        cells.push(Cell {
+            queue_depth: depth,
+            ticks_per_sec,
+            ticks: TICKS_PER_CELL,
+            wall_ms: wall.as_millis() as u64,
+        });
+    }
+
+    let result = BenchResult { bench: "sched_tick".to_string(), nodes: 4, cells };
+    let path = out_path();
+    std::fs::write(&path, serde_json::to_string_pretty(&result).expect("result serializes"))
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("persisted {}", path.display());
+
+    let mut failures = Vec::new();
+    // acceptance floor: even at the deepest queue, a simulated second of
+    // scheduling must cost under ~3 real milliseconds on any runner
+    if let Some(worst) = result.cells.iter().map(|c| c.ticks_per_sec).min() {
+        if worst < 400 {
+            failures.push(format!("scheduler tick rate {worst} ticks/s is under the 400 floor"));
+        }
+    }
+
+    if let Ok(baseline_path) = std::env::var("BENCH_BASELINE") {
+        let raw = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("reading BENCH_BASELINE {baseline_path}: {e}"));
+        let baseline: BenchResult =
+            serde_json::from_str(&raw).unwrap_or_else(|e| panic!("parsing BENCH_BASELINE {baseline_path}: {e}"));
+        for cell in &result.cells {
+            let Some(base) = baseline.cells.iter().find(|b| b.queue_depth == cell.queue_depth) else { continue };
+            println!(
+                "gate queue {}: {} vs baseline {} ticks/s",
+                cell.queue_depth, cell.ticks_per_sec, base.ticks_per_sec
+            );
+            if cell.ticks_per_sec * 10 < base.ticks_per_sec * 9 {
+                failures.push(format!(
+                    "queue {} tick rate regressed >10%: {} vs baseline {} ticks/s",
+                    cell.queue_depth, cell.ticks_per_sec, base.ticks_per_sec
+                ));
+            }
+        }
+    }
+
+    if !failures.is_empty() {
+        eprintln!("bench gate FAILED:\n  {}", failures.join("\n  "));
+        std::process::exit(1);
+    }
+    println!("bench gate passed");
+}

@@ -15,12 +15,13 @@ use crate::plugin::{JobSubmitPlugin, PluginHost};
 use crate::priority::{multifactor_priority, FairShare, PriorityWeights};
 use crate::script::parse_script;
 use eco_hpcg::workload::Workload;
+use eco_sim_node::class::NodeClass;
 use eco_sim_node::clock::{SimDuration, SimTime};
-use eco_sim_node::node::EnergyTotals;
+use eco_sim_node::cpu::CpuSpec;
 use eco_sim_node::power::CpuLoad;
 use eco_sim_node::{CpuConfig, SimNode};
 use eco_telemetry::{Telemetry, TraceContext};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 /// A job executing on one node.
@@ -34,8 +35,12 @@ struct RunningJob {
     end: SimTime,
     /// Kill instant if the job has a time limit.
     kill_at: Option<SimTime>,
-    /// Node energy meters at job start, for attribution.
-    start_energy: EnergyTotals,
+    /// System energy attributed to this job on this node so far (J).
+    /// Accumulated incrementally each integration step in proportion to
+    /// the job's core share, so co-scheduled jobs split the node's draw.
+    system_j: f64,
+    /// CPU-package energy attributed to this job on this node so far (J).
+    cpu_j: f64,
 }
 
 impl RunningJob {
@@ -48,12 +53,41 @@ impl RunningJob {
     }
 }
 
-/// One `slurmd`: a simulated node plus whatever job occupies it.
+/// One `slurmd`: a simulated node plus the jobs occupying it. Whole-node
+/// scheduling keeps at most one entry; the co-scheduling placement hook
+/// ([`CoSchedulePolicy::Pack`]) may stack a second, complementary job.
 struct NodeDaemon {
     node: SimNode,
-    running: Option<RunningJob>,
+    running: Vec<RunningJob>,
     /// Drained nodes accept no new jobs (admin maintenance state).
     drained: bool,
+}
+
+impl NodeDaemon {
+    fn vacate_at(&self) -> Option<SimTime> {
+        self.running.iter().map(|r| r.vacate_at()).max()
+    }
+
+    /// Cores already committed to running jobs.
+    fn busy_cores(&self) -> u32 {
+        self.running.iter().map(|r| r.config.cores).sum()
+    }
+}
+
+/// Placement policy for single-node jobs when the cluster schedules more
+/// than one per node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CoSchedulePolicy {
+    /// One job per node (classic exclusive allocation). The default.
+    #[default]
+    Spread,
+    /// Pack a memory-bound job next to a compute-bound one (or vice
+    /// versa) on an already-busy node when cores and the power budget
+    /// allow — the roofline-complementarity co-scheduling of Zheng et
+    /// al.: jobs on opposite sides of the arithmetic-intensity ridge
+    /// contend for different resources, so sharing a node amortises its
+    /// platform power instead of waking another node.
+    Pack,
 }
 
 /// The cluster simulation.
@@ -69,9 +103,22 @@ pub struct Cluster {
     dbd: AccountingDb,
     backfill_enabled: bool,
     power_cap_w: Option<f64>,
+    /// Watts held back from the cap at admission so the post-dispatch fan
+    /// ramp (power estimates are taken at current temperatures) cannot
+    /// push the instantaneous draw over the budget.
+    power_headroom_w: f64,
+    co_schedule: CoSchedulePolicy,
+    /// Oldest-job protection: once a blocked job has waited this long,
+    /// the work-conserving power cap stops admitting younger jobs ahead
+    /// of it, so draining nodes eventually fit it.
+    starvation_guard: Option<SimDuration>,
     partitions: PartitionTable,
     telemetry: Option<Arc<Telemetry>>,
 }
+
+/// Jobs whose arithmetic intensities fall on opposite sides of this
+/// FLOP/byte ridge are considered roofline-complementary for packing.
+const PACK_AI_RIDGE: f64 = 1.0;
 
 /// Resolution at which running jobs' utilization profiles are re-applied
 /// to the node power model.
@@ -90,7 +137,7 @@ impl Cluster {
         assert!(nodes.iter().all(|n| n.now() == t0), "node clocks must agree");
         let partitions = PartitionTable::with_default(nodes.len());
         Cluster {
-            daemons: nodes.into_iter().map(|node| NodeDaemon { node, running: None, drained: false }).collect(),
+            daemons: nodes.into_iter().map(|node| NodeDaemon { node, running: Vec::new(), drained: false }).collect(),
             plugins: PluginHost::new(),
             registry: HashMap::new(),
             jobs: BTreeMap::new(),
@@ -101,9 +148,43 @@ impl Cluster {
             dbd: AccountingDb::new(),
             backfill_enabled: true,
             power_cap_w: None,
+            power_headroom_w: 0.0,
+            co_schedule: CoSchedulePolicy::default(),
+            starvation_guard: None,
             partitions,
             telemetry: None,
         }
+    }
+
+    /// A heterogeneous cluster built from node classes: `counts` gives
+    /// how many nodes of each class to instantiate, in order. Each class
+    /// gets a partition named after it (carrying the class name for the
+    /// prediction key space); the first class is the default partition.
+    pub fn heterogeneous(classes: &[(NodeClass, usize)]) -> Self {
+        assert!(!classes.is_empty(), "a cluster needs at least one node class");
+        let mut nodes = Vec::new();
+        let mut ranges: Vec<(String, Vec<usize>)> = Vec::new();
+        for (class, count) in classes {
+            assert!(*count > 0, "class '{}' instantiates zero nodes", class.name);
+            let start = nodes.len();
+            for _ in 0..*count {
+                nodes.push(class.node());
+            }
+            ranges.push((class.name.clone(), (start..nodes.len()).collect()));
+        }
+        let mut cluster = Cluster::new(nodes);
+        // per-class partitions are the only routes onto a heterogeneous
+        // cluster; they replace the auto-created span-everything default
+        let mut table = PartitionTable::default();
+        for (i, (name, range)) in ranges.into_iter().enumerate() {
+            let mut partition = Partition::over(&name, range).with_class(&name);
+            if i == 0 {
+                partition = partition.as_default();
+            }
+            table.upsert(partition);
+        }
+        cluster.partitions = table;
+        cluster
     }
 
     /// Registers a job-submit plugin (the `JobSubmitPlugins=` line).
@@ -150,6 +231,30 @@ impl Cluster {
         self.power_cap_w = watts;
     }
 
+    /// Reserves `watts` of the power cap for post-dispatch drift:
+    /// admission estimates draw at *current* temperatures, and fans ramp
+    /// as dispatched jobs heat their packages. An operator who needs the
+    /// instantaneous draw to never cross the cap sets this to the fleet's
+    /// worst-case fan ramp (see [`NodeClass::max_fan_w`]); the default of
+    /// 0 keeps the historical steady-state-estimate behaviour.
+    pub fn set_power_headroom(&mut self, watts: f64) {
+        assert!(watts >= 0.0, "headroom cannot be negative");
+        self.power_headroom_w = watts;
+    }
+
+    /// Selects the co-scheduling placement policy for single-node jobs.
+    pub fn set_co_schedule(&mut self, policy: CoSchedulePolicy) {
+        self.co_schedule = policy;
+    }
+
+    /// Bounds how long the work-conserving power cap may pass over a
+    /// blocked job: once the oldest blocked job has waited `age`, no
+    /// younger job is admitted ahead of it until it dispatches. `None`
+    /// (the default) keeps the cap fully work-conserving.
+    pub fn set_starvation_guard(&mut self, age: Option<SimDuration>) {
+        self.starvation_guard = age;
+    }
+
     /// Adds (or replaces) a partition. Node indices must exist.
     pub fn add_partition(&mut self, partition: Partition) {
         assert!(
@@ -164,32 +269,62 @@ impl Cluster {
         &self.partitions
     }
 
+    /// The single electrical configuration standing in for every job on a
+    /// node: cores sum (clamped to the package), the fastest requested
+    /// frequency, the widest SMT setting. Exact for the common exclusive
+    /// allocation; a slight over-estimate for packed jobs at different
+    /// frequencies, which errs on the safe side of a power cap.
+    fn combined_config(spec: &CpuSpec, configs: &[CpuConfig]) -> CpuConfig {
+        let cores = configs.iter().map(|c| c.cores).sum::<u32>().min(spec.cores).max(1);
+        let frequency_khz = configs.iter().map(|c| c.frequency_khz).max().unwrap_or_else(|| spec.max_frequency());
+        let threads_per_core = configs.iter().map(|c| c.threads_per_core).max().unwrap_or(1);
+        CpuConfig { cores, frequency_khz, threads_per_core }
+    }
+
+    /// The load a node is committed to at full activity: the combined
+    /// configuration of its running jobs at utilization 1.0, or idle.
+    /// This is the planning view power-cap admission sums over.
+    fn planned_load(&self, idx: usize) -> CpuLoad {
+        let d = &self.daemons[idx];
+        if d.running.is_empty() {
+            return CpuLoad::idle(d.node.spec());
+        }
+        let configs: Vec<CpuConfig> = d.running.iter().map(|r| r.config).collect();
+        CpuLoad::busy(Self::combined_config(d.node.spec(), &configs))
+    }
+
     /// Estimated aggregate steady-state system power right now: busy nodes
-    /// at their job's configuration, idle nodes at idle draw.
+    /// at their jobs' combined configuration, idle nodes at idle draw.
     pub fn estimated_power_w(&self) -> f64 {
-        self.daemons
-            .iter()
-            .map(|d| {
-                let load = match &d.running {
-                    Some(r) => CpuLoad::busy(r.config),
-                    None => CpuLoad::idle(d.node.spec()),
-                };
+        (0..self.daemons.len())
+            .map(|i| {
+                let d = &self.daemons[i];
                 // steady-state fan feedback: use the node's current temp,
                 // a good proxy at scheduling granularity
-                d.node.power_model().system_power(&load, d.node.telemetry().cpu_temp_c)
+                d.node.power_model().system_power(&self.planned_load(i), d.node.telemetry().cpu_temp_c)
             })
             .sum()
     }
 
-    /// Estimated steady-state system power one node would draw running
-    /// `config`, above its idle draw (the marginal cost of starting a job
-    /// there).
+    /// Ground-truth instantaneous cluster draw (W): the sum of every
+    /// node's telemetry right now. This is what a facility meter reads
+    /// and what the simulation harness audits against the cap.
+    pub fn instantaneous_power_w(&self) -> f64 {
+        self.daemons.iter().map(|d| d.node.telemetry().system_power_w).sum()
+    }
+
+    /// Estimated steady-state system power one node would *additionally*
+    /// draw if `config` started there: the combined load with the new job
+    /// minus the load it is already committed to. On an empty node this
+    /// is the classic busy-minus-idle marginal cost.
     fn marginal_power_w(&self, node_idx: usize, config: &CpuConfig) -> f64 {
         let d = &self.daemons[node_idx];
         let temp = d.node.telemetry().cpu_temp_c;
-        let busy = d.node.power_model().system_power(&CpuLoad::busy(*config), temp);
-        let idle = d.node.power_model().system_power(&CpuLoad::idle(d.node.spec()), temp);
-        busy - idle
+        let mut configs: Vec<CpuConfig> = d.running.iter().map(|r| r.config).collect();
+        let before = self.planned_load(node_idx);
+        configs.push(*config);
+        let after = CpuLoad::busy(Self::combined_config(d.node.spec(), &configs));
+        d.node.power_model().system_power(&after, temp) - d.node.power_model().system_power(&before, temp)
     }
 
     /// Overrides the multifactor priority weights.
@@ -395,8 +530,7 @@ impl Cluster {
                 Ok(())
             }
             JobState::Running => {
-                let idx = self.job(id)?.node.expect("running job has a node");
-                self.complete_on_node(idx, JobState::Cancelled);
+                self.complete_job(id, JobState::Cancelled);
                 Ok(())
             }
             s => Err(SlurmError::InvalidState { job: id, reason: format!("cannot cancel in state {s:?}") }),
@@ -410,7 +544,7 @@ impl Cluster {
             let now = self.now();
             // next point any running job vacates its node
             let next_event =
-                self.daemons.iter().filter_map(|d| d.running.as_ref().map(|r| r.vacate_at())).min().unwrap_or(target);
+                self.daemons.iter().flat_map(|d| d.running.iter().map(|r| r.vacate_at())).min().unwrap_or(target);
             let step_end = target.min(next_event.max(now)).min(now + LOAD_UPDATE);
             let step = step_end - now;
 
@@ -449,7 +583,7 @@ impl Cluster {
 
     /// True when nothing is pending or running.
     pub fn is_idle(&self) -> bool {
-        self.pending.is_empty() && self.daemons.iter().all(|d| d.running.is_none())
+        self.pending.is_empty() && self.daemons.iter().all(|d| d.running.is_empty())
     }
 
     /// `squeue`-style listing of non-terminal jobs.
@@ -503,11 +637,12 @@ impl Cluster {
     pub fn sinfo(&self) -> String {
         let mut out = String::from("NODE   STATE  CORES  PARTITIONS       JOB\n");
         for (i, d) in self.daemons.iter().enumerate() {
-            let (state, job) = match (&d.running, d.drained) {
-                (Some(r), true) => ("drng", r.id.to_string()),
-                (Some(r), false) => ("alloc", r.id.to_string()),
-                (None, true) => ("drain", "-".to_string()),
-                (None, false) => ("idle", "-".to_string()),
+            let ids = d.running.iter().map(|r| r.id.to_string()).collect::<Vec<_>>().join("+");
+            let (state, job) = match (d.running.is_empty(), d.drained) {
+                (false, true) => ("drng", ids),
+                (false, false) => ("alloc", ids),
+                (true, true) => ("drain", "-".to_string()),
+                (true, false) => ("idle", "-".to_string()),
             };
             let parts: Vec<&str> =
                 self.partitions.all().iter().filter(|p| p.contains(i)).map(|p| p.name.as_str()).collect();
@@ -527,63 +662,91 @@ impl Cluster {
 
     fn step_nodes(&mut self, step: SimDuration) {
         for daemon in &mut self.daemons {
-            if let Some(running) = &daemon.running {
-                let elapsed = (daemon.node.now() - running.start).as_secs_f64();
-                let util = running.workload.utilization(&running.config, elapsed);
-                daemon.node.set_load(CpuLoad { config: running.config, utilization: util });
-            } else {
+            if daemon.running.is_empty() {
                 daemon.node.set_idle();
+                daemon.node.advance(step);
+                continue;
             }
+            // one electrical load stands in for every resident job:
+            // combined configuration, core-weighted mean utilization
+            let now = daemon.node.now();
+            let configs: Vec<CpuConfig> = daemon.running.iter().map(|r| r.config).collect();
+            let combined = Self::combined_config(daemon.node.spec(), &configs);
+            let weight_total: f64 = configs.iter().map(|c| c.cores as f64).sum();
+            let utilization = daemon
+                .running
+                .iter()
+                .map(|r| {
+                    let elapsed = (now - r.start).as_secs_f64();
+                    r.workload.utilization(&r.config, elapsed) * r.config.cores as f64
+                })
+                .sum::<f64>()
+                / weight_total;
+            daemon.node.set_load(CpuLoad { config: combined, utilization });
+
+            // advance, then attribute the node's energy delta to the
+            // resident jobs in proportion to their core shares
+            let before = daemon.node.energy();
             daemon.node.advance(step);
+            let after = daemon.node.energy();
+            let (d_sys, d_cpu) = (after.system_j - before.system_j, after.cpu_j - before.cpu_j);
+            for r in &mut daemon.running {
+                let share = r.config.cores as f64 / weight_total;
+                r.system_j += d_sys * share;
+                r.cpu_j += d_cpu * share;
+            }
         }
     }
 
     fn due_event_count(&self) -> usize {
         let now = self.now();
-        self.daemons.iter().filter(|d| d.running.as_ref().is_some_and(|r| r.vacate_at() <= now)).count()
+        self.daemons.iter().flat_map(|d| d.running.iter()).filter(|r| r.vacate_at() <= now).count()
     }
 
     fn fire_due_events(&mut self) {
         let now = self.now();
-        for idx in 0..self.daemons.len() {
-            let due = self.daemons[idx].running.as_ref().filter(|r| r.vacate_at() <= now).map(|r| {
-                (r.id, if r.kill_at.is_some_and(|k| k < r.end) { JobState::Timeout } else { JobState::Completed })
-            });
-            if let Some((id, state)) = due {
-                self.complete_job(id, state);
-            }
+        let due: Vec<(JobId, JobState)> = {
+            let mut seen = HashSet::new();
+            self.daemons
+                .iter()
+                .flat_map(|d| d.running.iter())
+                .filter(|r| r.vacate_at() <= now)
+                .filter(|r| seen.insert(r.id))
+                .map(|r| {
+                    (r.id, if r.kill_at.is_some_and(|k| k < r.end) { JobState::Timeout } else { JobState::Completed })
+                })
+                .collect()
+        };
+        for (id, state) in due {
+            self.complete_job(id, state);
         }
     }
 
-    /// Vacates every node a job occupies (1 for single-node jobs, N for
-    /// multi-node), aggregates the job's energy across them, and writes
-    /// one accounting record.
-    fn complete_on_node(&mut self, idx: usize, state: JobState) {
-        let id = self.daemons[idx].running.as_ref().expect("node has a running job").id;
-        self.complete_job(id, state);
-    }
-
+    /// Vacates every node slot a job occupies (1 for single-node jobs, N
+    /// for multi-node, a shared node for packed jobs), sums the energy
+    /// attributed to it, and writes one accounting record.
     fn complete_job(&mut self, id: JobId, state: JobState) {
         let mut system_energy_j = 0.0;
         let mut cpu_energy_j = 0.0;
         let mut config = None;
-        let mut start = None;
         let mut core_seconds = 0.0;
         let now = self.now();
-        for daemon in &mut self.daemons {
-            if daemon.running.as_ref().is_some_and(|r| r.id == id) {
-                let running = daemon.running.take().expect("checked above");
-                daemon.node.set_idle();
-                let end_energy = daemon.node.energy();
-                system_energy_j += end_energy.system_j - running.start_energy.system_j;
-                cpu_energy_j += end_energy.cpu_j - running.start_energy.cpu_j;
+        let mut touched = Vec::new();
+        for (idx, daemon) in self.daemons.iter_mut().enumerate() {
+            if let Some(pos) = daemon.running.iter().position(|r| r.id == id) {
+                let running = daemon.running.remove(pos);
+                system_energy_j += running.system_j;
+                cpu_energy_j += running.cpu_j;
                 core_seconds += (now - running.start).as_secs_f64() * running.config.cores as f64;
                 config = Some(running.config);
-                start = Some(running.start);
+                touched.push(idx);
             }
         }
+        for idx in touched {
+            let load = self.planned_load(idx);
+            self.daemons[idx].node.set_load(load);
+        }
         assert!(config.is_some(), "job {id} was not running anywhere");
-        let _ = start;
 
         let job = self.jobs.get_mut(&id).expect("running job is tracked");
         job.state = state;
@@ -635,7 +798,7 @@ impl Cluster {
         });
 
         let mut free: Vec<usize> = (0..self.daemons.len())
-            .filter(|&i| self.daemons[i].running.is_none() && !self.daemons[i].drained)
+            .filter(|&i| self.daemons[i].running.is_empty() && !self.daemons[i].drained)
             .collect();
         let mut shadow: Option<SimTime> = None; // head job's reserved start
 
@@ -650,6 +813,20 @@ impl Cluster {
                 Some(p) => free.iter().copied().filter(|&n| p.contains(n)).collect(),
                 None => Vec::new(),
             };
+            // co-scheduling hook: a single-node job may share an
+            // already-busy node with a roofline-complementary resident —
+            // it consumes no free node, so it can never delay the head
+            // job's reservation
+            if need == 1 && self.co_schedule == CoSchedulePolicy::Pack {
+                if let Some(host) = self.try_pack(id) {
+                    if let Some(t) = &self.telemetry {
+                        t.counter("slurm.sched_dispatched").bump();
+                        t.counter("slurm.sched_packed").bump();
+                    }
+                    self.pack_job(id, host);
+                    continue;
+                }
+            }
             let nodes_ok = need <= eligible.len() && self.can_backfill(id, need, free.len(), shadow);
             if nodes_ok && self.within_power_cap(id, &eligible[..need]) {
                 let assigned: Vec<usize> = eligible[..need].to_vec();
@@ -665,9 +842,18 @@ impl Cluster {
                 // power-blocked: skipped without a node reservation — a
                 // cheaper job may still start (work-conserving power cap;
                 // the starvation trade-off is the operator's, as in
-                // value-oriented power-constrained scheduling)
+                // value-oriented power-constrained scheduling) unless the
+                // job has aged past the starvation guard, in which case
+                // nothing younger may jump it and the queue drains to fit
+                // it
                 if let Some(t) = &self.telemetry {
                     t.counter("slurm.sched_power_blocked").bump();
+                }
+                if self.starvation_guard.is_some_and(|g| now - job.submit_time >= g) {
+                    if let Some(t) = &self.telemetry {
+                        t.counter("slurm.sched_starvation_stall").bump();
+                    }
+                    break;
                 }
             } else if shadow.is_none() {
                 // node-blocked head job: reserve its start time
@@ -678,20 +864,72 @@ impl Cluster {
                 if !self.backfill_enabled {
                     break; // strict FIFO: nothing may jump the head job
                 }
+            } else if self.starvation_guard.is_some_and(|g| now - job.submit_time >= g) {
+                // node-blocked non-head job past the guard: stop admitting
+                // younger jobs over it
+                if let Some(t) = &self.telemetry {
+                    t.counter("slurm.sched_starvation_stall").bump();
+                }
+                break;
             }
         }
         self.pending.retain(|id| self.jobs[id].state == JobState::Pending);
     }
 
+    /// The power budget admission compares against: the cap minus the
+    /// configured drift headroom.
+    fn power_budget_w(&self) -> Option<f64> {
+        self.power_cap_w.map(|cap| cap - self.power_headroom_w)
+    }
+
     /// Power-cap admission: starting the job on these nodes must not push
-    /// the cluster's estimated aggregate draw over the budget.
+    /// the cluster's estimated aggregate draw over the budget. Each
+    /// node's marginal cost is priced with the configuration resolved
+    /// against *that node's* spec, so mixed-class partitions are charged
+    /// correctly.
     fn within_power_cap(&self, id: JobId, nodes: &[usize]) -> bool {
-        let Some(cap) = self.power_cap_w else { return true };
+        let Some(budget) = self.power_budget_w() else { return true };
         let job = &self.jobs[&id];
-        let spec = self.daemons[nodes[0]].node.spec();
-        let config = job.descriptor.resolve_config(spec);
-        let marginal: f64 = nodes.iter().map(|&i| self.marginal_power_w(i, &config)).sum();
-        self.estimated_power_w() + marginal <= cap
+        let marginal: f64 = nodes
+            .iter()
+            .map(|&i| {
+                let config = job.descriptor.resolve_config(self.daemons[i].node.spec());
+                self.marginal_power_w(i, &config)
+            })
+            .sum();
+        self.estimated_power_w() + marginal <= budget
+    }
+
+    /// Finds a host node for packing `id` next to running jobs: the node
+    /// must be in the job's partition, not drained, already busy, have
+    /// enough uncommitted cores, hold only roofline-complementary
+    /// residents (opposite side of the arithmetic-intensity ridge), and
+    /// the packed marginal power must fit the budget. Returns the first
+    /// such node.
+    fn try_pack(&self, id: JobId) -> Option<usize> {
+        let job = &self.jobs[&id];
+        let workload = self.registry.get(&job.descriptor.binary_path)?;
+        let ai = workload.arithmetic_intensity();
+        let partition = self.partitions.resolve(job.descriptor.partition.as_deref())?;
+        (0..self.daemons.len()).find(|&idx| {
+            let d = &self.daemons[idx];
+            if d.drained || d.running.is_empty() || !partition.contains(idx) {
+                return false;
+            }
+            let config = job.descriptor.resolve_config(d.node.spec());
+            if d.busy_cores() + config.cores > d.node.spec().cores {
+                return false;
+            }
+            let complementary =
+                d.running.iter().all(|r| (r.workload.arithmetic_intensity() < PACK_AI_RIDGE) != (ai < PACK_AI_RIDGE));
+            if !complementary {
+                return false;
+            }
+            match self.power_budget_w() {
+                Some(budget) => self.estimated_power_w() + self.marginal_power_w(idx, &config) <= budget,
+                None => true,
+            }
+        })
     }
 
     /// EASY backfill admission: a job may start now if no head job is
@@ -730,7 +968,7 @@ impl Cluster {
             .iter()
             .enumerate()
             .filter(|(i, _)| partition.is_none_or(|p| p.contains(*i)))
-            .filter_map(|(_, d)| d.running.as_ref().map(|r| r.vacate_at()))
+            .filter_map(|(_, d)| d.vacate_at())
             .collect();
         ends.sort_unstable();
         let still_needed = need - eligible_now;
@@ -739,7 +977,10 @@ impl Cluster {
 
     fn expected_duration(&self, job: &Job) -> Option<SimDuration> {
         let workload = self.registry.get(&job.descriptor.binary_path)?;
-        let spec = self.daemons[0].node.spec();
+        // resolve against the job's own partition's hardware, not node 0 —
+        // on a heterogeneous cluster those differ
+        let partition = self.partitions.resolve(job.descriptor.partition.as_deref())?;
+        let spec = self.daemons[*partition.nodes.first()?].node.spec();
         let config = job.descriptor.resolve_config(spec);
         let natural = workload.duration(&config);
         Some(match job.descriptor.time_limit {
@@ -763,23 +1004,56 @@ impl Cluster {
         };
 
         for &idx in nodes {
-            let daemon = &mut self.daemons[idx];
-            daemon.running = Some(RunningJob {
+            self.daemons[idx].running.push(RunningJob {
                 id,
                 config,
                 workload: workload.clone(),
                 start: now,
                 end: now + duration,
                 kill_at,
-                start_energy: daemon.node.energy(),
+                system_j: 0.0,
+                cpu_j: 0.0,
             });
-            daemon.node.set_load(CpuLoad::busy(config));
+            let load = self.planned_load(idx);
+            self.daemons[idx].node.set_load(load);
         }
 
         let job = self.jobs.get_mut(&id).expect("job is tracked");
         job.state = JobState::Running;
         job.start_time = Some(now);
         job.node = Some(nodes[0]);
+    }
+
+    /// Stacks a single-node job onto an already-busy host node (the
+    /// [`CoSchedulePolicy::Pack`] placement). The host's electrical load
+    /// becomes the combined configuration of all residents.
+    fn pack_job(&mut self, id: JobId, host: usize) {
+        let now = self.now();
+        let (config, workload, duration, kill_at) = {
+            let job = &self.jobs[&id];
+            let workload = self.registry[&job.descriptor.binary_path].clone();
+            let config = job.descriptor.resolve_config(self.daemons[host].node.spec());
+            let duration = workload.duration(&config);
+            let kill_at = job.descriptor.time_limit.map(|l| now + l);
+            (config, workload, duration, kill_at)
+        };
+        self.daemons[host].running.push(RunningJob {
+            id,
+            config,
+            workload,
+            start: now,
+            end: now + duration,
+            kill_at,
+            system_j: 0.0,
+            cpu_j: 0.0,
+        });
+        let load = self.planned_load(host);
+        self.daemons[host].node.set_load(load);
+
+        let job = self.jobs.get_mut(&id).expect("job is tracked");
+        job.state = JobState::Running;
+        job.start_time = Some(now);
+        job.node = Some(host);
     }
 
     fn job_priority(&self, id: JobId, now: SimTime) -> f64 {
@@ -1122,13 +1396,7 @@ mod tests {
         use crate::partition::Partition;
         let mut c = Cluster::new(vec![SimNode::sr650(), SimNode::sr650()]);
         c.register_binary("/bin/app", quick_workload(800.0));
-        c.add_partition(Partition {
-            name: "debug".into(),
-            nodes: vec![1],
-            max_time: None,
-            priority_bonus: 0.0,
-            is_default: false,
-        });
+        c.add_partition(Partition::over("debug", vec![1]));
         let mut d = desc(32);
         d.partition = Some("debug".into());
         let a = c.submit(d.clone()).unwrap();
@@ -1162,6 +1430,7 @@ mod tests {
             max_time: Some(SimDuration::from_secs(5)),
             priority_bonus: 0.0,
             is_default: false,
+            node_class: None,
         });
         // 1-core job naturally takes 320 s; the partition kills it at 5 s
         let mut d = desc(1);
@@ -1182,6 +1451,7 @@ mod tests {
             max_time: None,
             priority_bonus: 1_000_000.0,
             is_default: false,
+            node_class: None,
         });
         // occupy the node, then queue a normal job before an urgent one
         let _running = c.submit(desc(32)).unwrap();
@@ -1198,13 +1468,7 @@ mod tests {
     #[should_panic(expected = "node the cluster does not have")]
     fn partition_with_bad_node_rejected() {
         let mut c = cluster();
-        c.add_partition(Partition {
-            name: "bad".into(),
-            nodes: vec![7],
-            max_time: None,
-            priority_bonus: 0.0,
-            is_default: false,
-        });
+        c.add_partition(Partition::over("bad", vec![7]));
     }
 
     #[test]
@@ -1336,5 +1600,183 @@ mod tests {
         assert_eq!(c.job(id).unwrap().descriptor.max_frequency_khz, Some(2_200_000));
         // the node actually runs at 2.2 GHz
         assert_eq!(c.node(0).load().config.frequency_khz, 2_200_000);
+    }
+
+    // ---- heterogeneous clusters, packing, headroom, starvation guard ----
+
+    fn two_class_cluster() -> Cluster {
+        let mut c = Cluster::heterogeneous(&[(NodeClass::sr650(), 2), (NodeClass::dense64(), 2)]);
+        c.register_binary("/bin/app", quick_workload(800.0));
+        c
+    }
+
+    #[test]
+    fn heterogeneous_cluster_builds_per_class_partitions() {
+        let c = two_class_cluster();
+        assert_eq!(c.node_count(), 4);
+        // classes map onto contiguous node ranges with matching partitions
+        assert_eq!(c.node(0).spec().cores, 32);
+        assert_eq!(c.node(2).spec().cores, 64);
+        let sr = c.partitions().resolve(Some("sr650")).unwrap();
+        assert_eq!(sr.nodes, vec![0, 1]);
+        assert!(sr.is_default, "first class is the default partition");
+        let dense = c.partitions().resolve(Some("dense64")).unwrap();
+        assert_eq!(dense.nodes, vec![2, 3]);
+        assert_eq!(dense.node_class.as_deref(), Some("dense64"));
+        assert_eq!(c.partitions().node_class_of("sr650"), Some("sr650"));
+    }
+
+    #[test]
+    fn heterogeneous_jobs_route_by_partition_class() {
+        let mut c = two_class_cluster();
+        let mut d = desc(64);
+        d.partition = Some("dense64".into());
+        let id = c.submit(d).unwrap();
+        let node = c.job(id).unwrap().node.unwrap();
+        assert!(node >= 2, "dense job lands on a dense node, got n{node}");
+        // the resolved configuration uses the dense class's 64 cores
+        let rec_cores = c.node(node).load().config.cores;
+        assert_eq!(rec_cores, 64);
+        // a classless submission defaults to the first class (sr650)
+        let a = c.submit(desc(32)).unwrap();
+        assert!(c.job(a).unwrap().node.unwrap() < 2);
+    }
+
+    #[test]
+    fn pack_stacks_complementary_jobs_on_one_node() {
+        let mut c = cluster(); // single node, 32 cores
+        c.set_co_schedule(CoSchedulePolicy::Pack);
+        c.register_binary(
+            "/bin/stream",
+            Arc::new(SyntheticWorkload::new("stream", ScalingKind::MemoryBound, 50.0, 1.0)),
+        );
+        // compute-bound job on 16 cores leaves half the package free
+        let a = c.submit(desc(16)).unwrap();
+        assert_eq!(c.job(a).unwrap().state, JobState::Running);
+        // memory-bound 8-core job packs next to it instead of queueing
+        let mut s = JobDescriptor::new("s", "bob", "/bin/stream");
+        s.num_tasks = 8;
+        let b = c.submit(s).unwrap();
+        assert_eq!(c.job(b).unwrap().state, JobState::Running, "complementary job packs");
+        assert_eq!(c.job(b).unwrap().node, Some(0));
+        assert!(c.sinfo().contains('+'), "shared node lists both ids: {}", c.sinfo());
+        assert!(c.run_until_idle(SimDuration::from_mins(30)));
+        // both jobs get energy attributed
+        for id in [a, b] {
+            assert!(c.accounting().get(id).unwrap().system_energy_j > 0.0);
+        }
+    }
+
+    #[test]
+    fn pack_refuses_same_side_of_the_ridge() {
+        let mut c = cluster();
+        c.set_co_schedule(CoSchedulePolicy::Pack);
+        // both compute-bound: second must queue even though cores are free
+        let a = c.submit(desc(16)).unwrap();
+        let b = c.submit(desc(8)).unwrap();
+        assert_eq!(c.job(a).unwrap().state, JobState::Running);
+        assert_eq!(c.job(b).unwrap().state, JobState::Pending, "same-side jobs never pack");
+    }
+
+    #[test]
+    fn pack_refuses_when_cores_do_not_fit() {
+        let mut c = cluster();
+        c.set_co_schedule(CoSchedulePolicy::Pack);
+        c.register_binary(
+            "/bin/stream",
+            Arc::new(SyntheticWorkload::new("stream", ScalingKind::MemoryBound, 50.0, 1.0)),
+        );
+        let _a = c.submit(desc(32)).unwrap(); // whole package
+        let mut s = JobDescriptor::new("s", "bob", "/bin/stream");
+        s.num_tasks = 8;
+        let b = c.submit(s).unwrap();
+        assert_eq!(c.job(b).unwrap().state, JobState::Pending, "no free cores to pack into");
+    }
+
+    #[test]
+    fn spread_policy_never_packs() {
+        let mut c = cluster();
+        c.register_binary(
+            "/bin/stream",
+            Arc::new(SyntheticWorkload::new("stream", ScalingKind::MemoryBound, 50.0, 1.0)),
+        );
+        let _a = c.submit(desc(16)).unwrap();
+        let mut s = JobDescriptor::new("s", "bob", "/bin/stream");
+        s.num_tasks = 8;
+        let b = c.submit(s).unwrap();
+        assert_eq!(c.job(b).unwrap().state, JobState::Pending, "default policy is exclusive allocation");
+    }
+
+    #[test]
+    fn power_headroom_tightens_admission() {
+        // same setup as power_cap_respects_config_differences, but the
+        // headroom eats the slack that admitted the 2.2 GHz job
+        let mut c = Cluster::new(vec![SimNode::sr650(), SimNode::sr650()]);
+        c.register_binary("/bin/app", quick_workload(800.0));
+        let _first = c.submit(desc(32)).unwrap();
+        let cap = c.estimated_power_w() + 60.0;
+        c.set_power_cap(Some(cap));
+        c.set_power_headroom(30.0);
+        let mut cool = desc(32);
+        cool.max_frequency_khz = Some(2_200_000);
+        let cool = c.submit(cool).unwrap();
+        assert_eq!(c.job(cool).unwrap().state, JobState::Pending, "headroom blocks what the bare cap admits");
+        c.set_power_headroom(0.0);
+        c.advance(SimDuration(1));
+        assert_eq!(c.job(cool).unwrap().state, JobState::Running, "zero headroom restores the old admission");
+    }
+
+    #[test]
+    fn starvation_guard_stops_younger_jobs_jumping_a_starved_one() {
+        let mut c = Cluster::new(vec![SimNode::sr650(), SimNode::sr650()]);
+        let telemetry = Arc::new(Telemetry::wall());
+        c.set_telemetry(Arc::clone(&telemetry));
+        c.register_binary("/bin/app", quick_workload(800.0));
+        c.register_binary("/bin/short", quick_workload(80.0));
+        // one busy node; cap admits nothing more
+        let _long = c.submit(desc(32)).unwrap();
+        c.set_power_cap(Some(c.estimated_power_w() + 10.0));
+        c.set_starvation_guard(Some(SimDuration::from_secs(2)));
+        let blocked = c.submit(desc(32)).unwrap();
+        assert_eq!(c.job(blocked).unwrap().state, JobState::Pending);
+        // age the blocked job past the guard, then submit a cheap job that
+        // a work-conserving cap would admit (1 core fits the +10 W? no —
+        // make the cap generous enough for 1 core but not 32)
+        c.set_power_cap(Some(c.estimated_power_w() + 25.0));
+        c.advance(SimDuration::from_secs(3));
+        let mut s = JobDescriptor::new("s", "bob", "/bin/short");
+        s.num_tasks = 1;
+        let young = c.submit(s).unwrap();
+        assert_eq!(c.job(young).unwrap().state, JobState::Pending, "guard keeps the younger job behind");
+        assert!(telemetry.counter("slurm.sched_starvation_stall").get() > 0);
+        // without the guard the young job would have been admitted
+        c.set_starvation_guard(None);
+        c.advance(SimDuration(1));
+        assert_eq!(c.job(young).unwrap().state, JobState::Running, "work-conserving again without the guard");
+    }
+
+    #[test]
+    fn packed_jobs_respect_the_power_budget() {
+        let mut c = cluster();
+        c.set_co_schedule(CoSchedulePolicy::Pack);
+        c.register_binary(
+            "/bin/stream",
+            Arc::new(SyntheticWorkload::new("stream", ScalingKind::MemoryBound, 50.0, 1.0)),
+        );
+        let _a = c.submit(desc(16)).unwrap();
+        // cap leaves no room for any marginal draw
+        c.set_power_cap(Some(c.estimated_power_w() + 0.5));
+        let mut s = JobDescriptor::new("s", "bob", "/bin/stream");
+        s.num_tasks = 8;
+        let b = c.submit(s).unwrap();
+        assert_eq!(c.job(b).unwrap().state, JobState::Pending, "packing still pays its power bill");
+    }
+
+    #[test]
+    fn instantaneous_power_matches_node_telemetry() {
+        let c = two_class_cluster();
+        let sum: f64 = (0..c.node_count()).map(|i| c.node(i).telemetry().system_power_w).sum();
+        assert!((c.instantaneous_power_w() - sum).abs() < 1e-9);
+        assert!(sum > 0.0, "idle nodes still draw platform power");
     }
 }

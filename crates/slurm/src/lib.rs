@@ -26,7 +26,7 @@ pub mod plugin;
 pub mod priority;
 pub mod script;
 
-pub use cluster::Cluster;
+pub use cluster::{Cluster, CoSchedulePolicy};
 pub use commands::{array_directive, parse_array_spec, parse_srun, ArraySpec};
 pub use dbd::AccountingDb;
 pub use error::SlurmError;

@@ -20,6 +20,13 @@ pub struct Partition {
     pub priority_bonus: f64,
     /// Whether jobs without `--partition` land here.
     pub is_default: bool,
+    /// The node class this partition's nodes belong to (heterogeneous
+    /// clusters partition by hardware type, as shared facilities do).
+    /// `None` means the partition predates node classes or spans the
+    /// cluster's single type — the *default class* in the prediction key
+    /// space.
+    #[serde(default)]
+    pub node_class: Option<String>,
 }
 
 impl Partition {
@@ -31,7 +38,33 @@ impl Partition {
             max_time: None,
             priority_bonus: 0.0,
             is_default: true,
+            node_class: None,
         }
+    }
+
+    /// A plain partition over explicit node indices: no time limit, no
+    /// bonus, not the default, no node class.
+    pub fn over(name: &str, nodes: Vec<usize>) -> Self {
+        Partition {
+            name: name.to_string(),
+            nodes,
+            max_time: None,
+            priority_bonus: 0.0,
+            is_default: false,
+            node_class: None,
+        }
+    }
+
+    /// Stamps the partition with its node class.
+    pub fn with_class(mut self, class: &str) -> Self {
+        self.node_class = Some(class.to_string());
+        self
+    }
+
+    /// Marks this partition as the default.
+    pub fn as_default(mut self) -> Self {
+        self.is_default = true;
+        self
     }
 
     /// The effective time limit for a job limit request: the stricter of
@@ -77,12 +110,37 @@ impl PartitionTable {
         }
     }
 
-    /// Resolves a job's partition request: a name, or the default.
+    /// Resolves a job's partition request.
+    ///
+    /// Precedence, pinned by tests:
+    /// * `Some(name)` resolves to the partition of exactly that name, or
+    ///   `None` — an unknown partition is a submission error, never a
+    ///   silent fall-through to the default. Names are unique (upsert
+    ///   replaces by name), so overlapping *node ranges* between
+    ///   partitions are legal and never ambiguous here: the job's request
+    ///   picks the partition, the partition picks the nodes.
+    /// * `None` resolves to the default partition; if no partition is
+    ///   flagged default (the original default was replaced by a
+    ///   non-default definition), the first partition in configuration
+    ///   order stands in, deterministically.
     pub fn resolve(&self, requested: Option<&str>) -> Option<&Partition> {
         match requested {
             Some(name) => self.partitions.iter().find(|p| p.name == name),
             None => self.partitions.iter().find(|p| p.is_default).or(self.partitions.first()),
         }
+    }
+
+    /// Every partition a node belongs to, in configuration order —
+    /// overlapping ranges are legal (a node can serve `batch` and
+    /// `debug` at once), and this is the membership view `sinfo` prints.
+    pub fn partitions_of(&self, node: usize) -> Vec<&Partition> {
+        self.partitions.iter().filter(|p| p.contains(node)).collect()
+    }
+
+    /// The node class of a named partition (`None` for the default class
+    /// or an unknown partition).
+    pub fn node_class_of(&self, name: &str) -> Option<&str> {
+        self.partitions.iter().find(|p| p.name == name).and_then(|p| p.node_class.as_deref())
     }
 
     /// All partitions.
@@ -113,6 +171,7 @@ mod tests {
             max_time: Some(SimDuration::from_mins(30)),
             priority_bonus: 500.0,
             is_default: false,
+            node_class: None,
         });
         assert_eq!(t.resolve(Some("debug")).unwrap().nodes, vec![1]);
         assert!(t.resolve(Some("gpu")).is_none());
@@ -129,6 +188,7 @@ mod tests {
             max_time: None,
             priority_bonus: 0.0,
             is_default: true,
+            node_class: None,
         });
         assert_eq!(t.all().len(), 1);
         assert_eq!(t.resolve(None).unwrap().nodes, vec![0]);
@@ -143,10 +203,64 @@ mod tests {
             max_time: None,
             priority_bonus: 0.0,
             is_default: true,
+            node_class: None,
         });
         assert_eq!(t.resolve(None).unwrap().name, "main");
         let defaults = t.all().iter().filter(|p| p.is_default).count();
         assert_eq!(defaults, 1);
+    }
+
+    #[test]
+    fn overlapping_node_ranges_are_legal_and_unambiguous() {
+        // nodes 0-1 serve both `batch` and `debug`; membership is a set,
+        // resolution is by the job's request, never by node range
+        let mut t = PartitionTable::with_default(3);
+        t.upsert(Partition::over("debug", vec![0, 1]));
+        assert_eq!(t.resolve(Some("debug")).unwrap().name, "debug");
+        assert_eq!(t.resolve(None).unwrap().name, "batch", "overlap does not steal the default");
+        let memberships = t.partitions_of(0);
+        assert_eq!(memberships.len(), 2, "node 0 serves both partitions");
+        assert_eq!(t.partitions_of(2).len(), 1, "node 2 serves only batch");
+    }
+
+    #[test]
+    fn unknown_partition_resolves_to_none_never_the_default() {
+        let t = PartitionTable::with_default(2);
+        assert!(t.resolve(Some("gpu")).is_none(), "unknown name must be an error, not the default");
+        assert!(t.resolve(Some("")).is_none(), "empty name is unknown too");
+        // case matters, exactly as in Slurm
+        assert!(t.resolve(Some("Batch")).is_none());
+    }
+
+    #[test]
+    fn no_default_falls_back_to_first_in_configuration_order() {
+        // replacing the default partition with a non-default definition
+        // leaves the table without a flagged default
+        let mut t = PartitionTable::with_default(2);
+        t.upsert(Partition::over("batch", vec![0]));
+        t.upsert(Partition::over("late", vec![1]));
+        assert!(t.all().iter().all(|p| !p.is_default));
+        assert_eq!(t.resolve(None).unwrap().name, "batch", "first configured partition stands in");
+    }
+
+    #[test]
+    fn node_class_resolution() {
+        let mut t = PartitionTable::with_default(4);
+        t.upsert(Partition::over("dense", vec![2, 3]).with_class("dense64"));
+        assert_eq!(t.node_class_of("dense"), Some("dense64"));
+        assert_eq!(t.node_class_of("batch"), None, "classless partition is the default class");
+        assert_eq!(t.node_class_of("nope"), None);
+        assert_eq!(t.resolve(Some("dense")).unwrap().node_class.as_deref(), Some("dense64"));
+    }
+
+    #[test]
+    fn partition_serde_accepts_pre_class_records() {
+        // a partition serialized before node classes existed deserializes
+        // with node_class = None (the default class)
+        let legacy = r#"{"name":"batch","nodes":[0,1],"max_time":null,"priority_bonus":0.0,"is_default":true}"#;
+        let p: Partition = serde_json::from_str(legacy).unwrap();
+        assert_eq!(p.node_class, None);
+        assert_eq!(p.name, "batch");
     }
 
     #[test]
@@ -157,6 +271,7 @@ mod tests {
             max_time: Some(SimDuration::from_mins(30)),
             priority_bonus: 0.0,
             is_default: false,
+            node_class: None,
         };
         assert_eq!(p.effective_time_limit(None), Some(SimDuration::from_mins(30)));
         assert_eq!(p.effective_time_limit(Some(SimDuration::from_mins(10))), Some(SimDuration::from_mins(10)));
@@ -176,6 +291,7 @@ mod tests {
             max_time: None,
             priority_bonus: 0.0,
             is_default: false,
+            node_class: None,
         });
     }
 }

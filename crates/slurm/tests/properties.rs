@@ -158,6 +158,79 @@ proptest! {
         prop_assert!(cluster.run_until_idle(SimDuration::from_secs(7200)));
     }
 
+    /// Facility-cap conservation on heterogeneous clusters: for any class
+    /// mix, cap tightness and job mix, the *instantaneous* (telemetry)
+    /// cluster draw never exceeds the cap at any simulation tick, as long
+    /// as admission holds back the classes' published fan-drift headroom —
+    /// and the starvation guard still drains every job to a terminal
+    /// state. Packing is enabled so the invariant also covers shared-node
+    /// marginal-power accounting.
+    #[test]
+    fn instantaneous_power_never_crosses_the_cap(
+        sr_count in 1usize..=2,
+        dense_count in 1usize..=2,
+        cap_fraction in 0.5f64..=0.9,
+        jobs in prop::collection::vec(
+            // (class pick, tasks, DVFS step, memory-bound?)
+            (0usize..2, 1u32..=64, 0usize..3, any::<bool>()), 1..10),
+    ) {
+        use eco_sim_node::class::NodeClass;
+        use eco_slurm_sim::CoSchedulePolicy;
+
+        let classes = vec![(NodeClass::sr650(), sr_count), (NodeClass::dense64(), dense_count)];
+        let mut idle_w = 0.0;
+        let mut max_w = 0.0;
+        let mut headroom_w = 0.0;
+        for (class, count) in &classes {
+            idle_w += class.idle_system_w() * *count as f64;
+            max_w += class.max_system_w() * *count as f64;
+            headroom_w += class.max_fan_w() * *count as f64;
+        }
+        let cap_w = idle_w + headroom_w + cap_fraction * (max_w - idle_w);
+
+        let mut cluster = Cluster::heterogeneous(&classes);
+        cluster.register_binary("/bin/dgemm",
+            Arc::new(SyntheticWorkload::new("dgemm", ScalingKind::ComputeBound, 400.0, 1.0)));
+        cluster.register_binary("/bin/stream",
+            Arc::new(SyntheticWorkload::new("stream", ScalingKind::MemoryBound, 60.0, 1.0)));
+        cluster.set_power_cap(Some(cap_w));
+        cluster.set_power_headroom(headroom_w);
+        cluster.set_co_schedule(CoSchedulePolicy::Pack);
+        cluster.set_starvation_guard(Some(SimDuration::from_secs(600)));
+
+        let mut ids = Vec::new();
+        for (i, &(class_idx, tasks, step, memory_bound)) in jobs.iter().enumerate() {
+            let (class, _) = &classes[class_idx];
+            let mut d = JobDescriptor::new(
+                &format!("j{i}"), "u", if memory_bound { "/bin/stream" } else { "/bin/dgemm" });
+            d.partition = Some(class.name.clone());
+            d.num_tasks = tasks.min(class.spec.cores);
+            d.max_frequency_khz = Some(class.spec.frequencies_khz[step % class.spec.frequencies_khz.len()]);
+            ids.push(cluster.submit(d).unwrap());
+            prop_assert!(cluster.instantaneous_power_w() <= cap_w,
+                "draw {} over cap {cap_w} right after submit #{i}", cluster.instantaneous_power_w());
+        }
+        for _ in 0..1800 {
+            if cluster.is_idle() {
+                break;
+            }
+            cluster.advance(SimDuration::from_secs(2));
+            prop_assert!(cluster.instantaneous_power_w() <= cap_w,
+                "draw {} over cap {cap_w} at t={}", cluster.instantaneous_power_w(), cluster.now());
+        }
+        prop_assert!(cluster.is_idle(), "capped heterogeneous cluster failed to drain");
+        // every dispatched job ran inside its own partition's node range
+        for (&id, &(class_idx, ..)) in ids.iter().zip(jobs.iter()) {
+            let job = cluster.job(id).unwrap();
+            prop_assert!(job.state.is_terminal(), "job {id} in {:?}", job.state);
+            if let Some(node) = job.node {
+                let partition = cluster.partitions().resolve(Some(&classes[class_idx].0.name)).unwrap();
+                prop_assert!(partition.contains(node),
+                    "job {id} of class '{}' ran on node {node} outside its partition", classes[class_idx].0.name);
+            }
+        }
+    }
+
     /// Cancelling a random subset still leaves the cluster consistent.
     #[test]
     fn cancel_subset_consistent(n in 2usize..8, cancel_mask in 0u32..256) {

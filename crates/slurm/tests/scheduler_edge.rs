@@ -59,6 +59,7 @@ fn partition_node_limit_saturates_independently_of_the_cluster() {
         max_time: None,
         priority_bonus: 0.0,
         is_default: false,
+        node_class: None,
     });
 
     // more nodes than the partition has: refused up front, not queued forever

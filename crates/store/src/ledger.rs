@@ -47,6 +47,11 @@ pub struct Provenance {
     pub trial_seconds: f64,
     /// The headline calibration number: best GFLOP/s-per-watt found.
     pub best_gflops_per_watt: f64,
+    /// The node class the campaign characterised (empty for a
+    /// single-class system — and for every record journaled before
+    /// classes existed, via the serde default).
+    #[serde(default)]
+    pub node_class: String,
 }
 
 /// One committed generation: the metadata half of a model, pointing at
@@ -119,5 +124,29 @@ mod tests {
         let rb = LedgerRecord::Rollback { to_generation: 2, reason: "regression".into() };
         let json = serde_json::to_string(&rb).unwrap();
         assert_eq!(serde_json::from_str::<LedgerRecord>(&json).unwrap(), rb);
+    }
+
+    /// A journal written before node classes existed has no
+    /// `node_class` in its provenance objects. It must keep parsing,
+    /// defaulting to the empty class — which is the identity under
+    /// `classed_system_hash`, so the record keeps resolving under the
+    /// bare system hash it was committed with.
+    #[test]
+    fn legacy_ledger_json_without_node_class_parses_as_default_class() {
+        let json = r#"{"Commit":{"generation":1,"parent":0,"model_id":4,
+            "model_type":"brute-force","system_hash":77,"binary_hash":88,
+            "config":{"cores":32,"frequency":2200000,"threads_per_core":1},
+            "blob_hash":"ab12",
+            "provenance":{"campaign":"pre-class","seed":3,"plan":"adaptive",
+                "trials_run":6,"trials_skipped":0,"trial_seconds":12.5,
+                "best_gflops_per_watt":0.41}}}"#;
+        let LedgerRecord::Commit(record) = serde_json::from_str::<LedgerRecord>(json).unwrap() else {
+            panic!("legacy commit parsed as a rollback");
+        };
+        assert_eq!(record.provenance.node_class, "");
+        assert_eq!(record.provenance.campaign, "pre-class");
+        // the empty class folds to the identity: the legacy record still
+        // answers lookups keyed by the bare system hash
+        assert_eq!(chronus::hash::classed_system_hash(record.system_hash, &record.provenance.node_class), 77);
     }
 }

@@ -13,17 +13,27 @@ fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
 }
 
 fn arb_provenance() -> impl Strategy<Value = Provenance> {
-    ("[a-z0-9-]{0,16}", 0u64..=u64::MAX, "[a-z-]{0,12}", 0u64..500, 0u64..500, 0.0f64..1e6, 0.0f64..10.0).prop_map(
-        |(campaign, seed, plan, trials_run, trials_skipped, trial_seconds, gpw)| Provenance {
-            campaign,
-            seed,
-            plan,
-            trials_run,
-            trials_skipped,
-            trial_seconds,
-            best_gflops_per_watt: gpw,
-        },
+    (
+        ("[a-z0-9-]{0,16}", "[a-z0-9-]{0,12}"),
+        0u64..=u64::MAX,
+        "[a-z-]{0,12}",
+        0u64..500,
+        0u64..500,
+        0.0f64..1e6,
+        0.0f64..10.0,
     )
+        .prop_map(|((campaign, node_class), seed, plan, trials_run, trials_skipped, trial_seconds, gpw)| {
+            Provenance {
+                campaign,
+                seed,
+                plan,
+                trials_run,
+                trials_skipped,
+                trial_seconds,
+                best_gflops_per_watt: gpw,
+                node_class,
+            }
+        })
 }
 
 fn arb_config() -> impl Strategy<Value = CpuConfig> {
