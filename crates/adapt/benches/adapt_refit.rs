@@ -1,0 +1,184 @@
+//! Adaptation-loop benchmark + regression gate: outcome-ingest
+//! throughput through the [`Monitor`] lock and incremental re-fit
+//! latency, at reservoir sizes 1k / 10k / 100k.
+//!
+//! Self-measuring like `predict_batch` (the PR 7 bench), for the same
+//! two reasons criterion doesn't cover:
+//!
+//! 1. **persist** a machine-readable result file (`BENCH_pr9.json` at
+//!    the repo root by default, `BENCH_OUT` to override) so the repo
+//!    carries its adaptation-throughput trajectory in-tree;
+//! 2. **gate**: when `BENCH_BASELINE` points at a previous result
+//!    file, exit non-zero if ingest throughput drops or the largest
+//!    re-fit slows down by more than 10% — the CI bench gate.
+//!
+//! Run with `cargo bench -p eco-adapt --bench adapt_refit`.
+
+use std::time::Instant;
+
+use chronus::domain::Benchmark;
+use chronus::ObservedOutcome;
+use eco_adapt::{refit_blob, DriftConfig, Monitor};
+use eco_sim_node::cpu::CpuConfig;
+use eco_store::ModelBlob;
+use serde::{Deserialize, Serialize};
+
+const SIZES: [usize; 3] = [1_000, 10_000, 100_000];
+
+/// Distinct keys ingest traffic spreads over (exercises the per-key
+/// reservoir map, not just one hot entry).
+const KEYS: usize = 16;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct Cell {
+    size: usize,
+    ingest_per_sec: u64,
+    refit_ms: u64,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct BenchResult {
+    bench: String,
+    cells: Vec<Cell>,
+    /// Ingest throughput at the largest size (the gated number).
+    ingest_per_sec: u64,
+    /// Re-fit latency at the largest size (the gated number).
+    refit_ms: u64,
+}
+
+fn grid() -> Vec<CpuConfig> {
+    let mut configs = Vec::new();
+    for cores in [8u32, 16, 32] {
+        for freq in [1_500_000u64, 2_200_000, 2_500_000] {
+            configs.push(CpuConfig::new(cores, freq, 1));
+        }
+    }
+    configs
+}
+
+fn outcome(i: usize, configs: &[CpuConfig]) -> ObservedOutcome {
+    let config = configs[i % configs.len()];
+    let scale = config.cores as f64 * config.ghz();
+    ObservedOutcome {
+        config,
+        gflops: 0.45 * scale + (i % 7) as f64 * 0.1,
+        watts: 90.0 + 1.8 * scale,
+        duration_s: 60.0,
+        node_class: String::new(),
+    }
+}
+
+fn base_blob(configs: &[CpuConfig]) -> ModelBlob {
+    let benchmarks: Vec<Benchmark> = configs
+        .iter()
+        .enumerate()
+        .map(|(i, &config)| {
+            let scale = config.cores as f64 * config.ghz();
+            let watts = 90.0 + 1.8 * scale;
+            Benchmark {
+                id: 1 + i as i64,
+                system_id: 1,
+                binary_hash: 20,
+                config,
+                gflops: 0.5 * scale,
+                runtime_s: 60.0,
+                avg_system_w: watts,
+                avg_cpu_w: watts * 0.6,
+                avg_cpu_temp_c: 55.0,
+                system_energy_j: watts * 60.0,
+                cpu_energy_j: watts * 36.0,
+                sample_count: 30,
+            }
+        })
+        .collect();
+    ModelBlob { model_type: "brute-force".into(), system_hash: 10, binary_hash: 20, config: configs[0], benchmarks }
+}
+
+fn out_path() -> std::path::PathBuf {
+    if let Ok(p) = std::env::var("BENCH_OUT") {
+        return p.into();
+    }
+    // repo root: crates/adapt/../..
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_pr9.json")
+}
+
+fn main() {
+    let configs = grid();
+    let base = base_blob(&configs);
+    let mut cells = Vec::new();
+
+    for &size in &SIZES {
+        // --- ingest throughput -----------------------------------
+        let monitor = Monitor::new(size, DriftConfig::default());
+        for k in 0..KEYS as u64 {
+            monitor.set_expectation((k, k), 0.2);
+        }
+        let rows: Vec<ObservedOutcome> = (0..size).map(|i| outcome(i, &configs)).collect();
+        let t0 = Instant::now();
+        for (i, row) in rows.iter().enumerate() {
+            let key = (i % KEYS) as u64;
+            std::hint::black_box(monitor.ingest((key, key), row));
+        }
+        let ingest_wall = t0.elapsed();
+        let ingest_per_sec = (size as f64 / ingest_wall.as_secs_f64()) as u64;
+
+        // --- re-fit latency over a same-size reservoir -----------
+        let t0 = Instant::now();
+        let refit = refit_blob(&base, &rows, &configs).expect("bench reservoir re-fits");
+        let refit_wall = t0.elapsed();
+        std::hint::black_box(&refit);
+        let refit_ms = refit_wall.as_millis() as u64;
+        println!(
+            "size {size:>6}: ingest {ingest_per_sec:>9} outcomes/s ({ingest_wall:?}), refit {refit_ms:>4} ms \
+             ({} fresh rows folded, {} kept)",
+            refit.fresh_rows, refit.kept_rows
+        );
+        cells.push(Cell { size, ingest_per_sec, refit_ms });
+    }
+
+    let largest = cells.last().expect("at least one size");
+    let (ingest_per_sec, refit_ms) = (largest.ingest_per_sec, largest.refit_ms);
+    let result = BenchResult { bench: "adapt_refit".to_string(), cells, ingest_per_sec, refit_ms };
+
+    let path = out_path();
+    std::fs::write(&path, serde_json::to_string_pretty(&result).expect("result serializes"))
+        .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+    println!("persisted {}", path.display());
+
+    // --- acceptance floors ---------------------------------------
+    let mut failures = Vec::new();
+    if ingest_per_sec < 20_000 {
+        failures.push(format!("ingest throughput {ingest_per_sec} outcomes/s is under the 20k/s floor"));
+    }
+    if refit_ms > 5_000 {
+        failures.push(format!("re-fit over a 100k-row reservoir took {refit_ms} ms, over the 5 s bar"));
+    }
+
+    // --- regression gate vs a committed baseline -----------------
+    if let Ok(baseline_path) = std::env::var("BENCH_BASELINE") {
+        let raw = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("reading BENCH_BASELINE {baseline_path}: {e}"));
+        let baseline: BenchResult =
+            serde_json::from_str(&raw).unwrap_or_else(|e| panic!("parsing BENCH_BASELINE {baseline_path}: {e}"));
+        println!(
+            "gate vs {baseline_path}: baseline ingest {} outcomes/s, refit {} ms",
+            baseline.ingest_per_sec, baseline.refit_ms
+        );
+        if ingest_per_sec * 10 < baseline.ingest_per_sec * 9 {
+            failures.push(format!(
+                "ingest throughput regressed >10%: {ingest_per_sec} vs baseline {} outcomes/s",
+                baseline.ingest_per_sec
+            ));
+        }
+        if refit_ms * 10 > baseline.refit_ms.max(1) * 11 && refit_ms > baseline.refit_ms + 10 {
+            failures
+                .push(format!("re-fit latency regressed >10%: {refit_ms} ms vs baseline {} ms", baseline.refit_ms));
+        }
+    }
+
+    if !failures.is_empty() {
+        eprintln!("bench gate FAILED:\n  {}", failures.join("\n  "));
+        std::process::exit(1);
+    }
+    println!("bench gate passed");
+}

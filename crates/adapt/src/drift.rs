@@ -1,0 +1,256 @@
+//! The drift detector: notices when production efficiency diverges
+//! from what the serving model promised.
+//!
+//! Per key, observed GFLOPS/W values fill a window; each full window
+//! collapses to one score — the absolute mean relative error against
+//! the key's expectation (the serving generation's calibrated best
+//! efficiency). Hysteresis keeps the detector quiet under noise: it
+//! trips only after several *consecutive* windows score over the trip
+//! threshold, and once tripped it clears only when a window scores
+//! under the (lower) clear threshold. Keys without an expectation
+//! self-calibrate: their first full window's mean becomes the
+//! expectation, so a daemon serving models committed before
+//! calibration numbers existed still detects *subsequent* drift.
+
+use std::collections::BTreeMap;
+
+use eco_ml::mean_relative_error;
+
+/// Tuning for the windowed-statistic-with-hysteresis detector.
+#[derive(Debug, Clone, Copy)]
+pub struct DriftConfig {
+    /// Observations per window; each full window scores once.
+    pub window: usize,
+    /// Score at or above which a window counts toward tripping.
+    pub trip_rel_err: f64,
+    /// Score at or below which a tripped key clears (must be below
+    /// `trip_rel_err` — the gap is the hysteresis band).
+    pub clear_rel_err: f64,
+    /// Consecutive over-threshold windows required to trip.
+    pub trip_windows: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> DriftConfig {
+        DriftConfig { window: 16, trip_rel_err: 0.15, clear_rel_err: 0.05, trip_windows: 2 }
+    }
+}
+
+/// A state transition the detector reports; steady states (still
+/// drifting, still fine) report nothing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DriftEvent {
+    /// Sustained divergence: the key's model has gone stale.
+    Trip {
+        /// The drifted key.
+        system_hash: u64,
+        /// The drifted key.
+        binary_hash: u64,
+        /// The tripping window's score (absolute mean relative error).
+        score: f64,
+    },
+    /// Divergence subsided below the clear threshold.
+    Clear {
+        /// The recovered key.
+        system_hash: u64,
+        /// The recovered key.
+        binary_hash: u64,
+        /// The clearing window's score.
+        score: f64,
+    },
+}
+
+#[derive(Debug, Default, Clone)]
+struct KeyState {
+    expected: Option<f64>,
+    window: Vec<f64>,
+    consecutive_over: usize,
+    tripped: bool,
+    last_score: f64,
+}
+
+/// Per-key drift state under one observation path.
+#[derive(Debug, Default, Clone)]
+pub struct DriftDetector {
+    cfg: DriftConfig,
+    keys: BTreeMap<(u64, u64), KeyState>,
+}
+
+impl DriftDetector {
+    /// A detector with explicit tuning.
+    pub fn new(cfg: DriftConfig) -> DriftDetector {
+        DriftDetector { cfg, keys: BTreeMap::new() }
+    }
+
+    /// Sets (or replaces) a key's expected GFLOPS/W — the serving
+    /// generation's calibration number. Resets the key's window and
+    /// trip state: a new expectation means a new model is serving, and
+    /// drift is judged against *it*.
+    pub fn set_expectation(&mut self, key: (u64, u64), gflops_per_watt: f64) {
+        let state = self.keys.entry(key).or_default();
+        if state.expected == Some(gflops_per_watt) {
+            return;
+        }
+        *state = KeyState { expected: Some(gflops_per_watt), ..KeyState::default() };
+    }
+
+    /// Whether a key already has an expectation (set or self-calibrated).
+    pub fn has_expectation(&self, key: (u64, u64)) -> bool {
+        self.keys.get(&key).is_some_and(|s| s.expected.is_some())
+    }
+
+    /// Feeds one observed efficiency value; returns a state transition
+    /// when this observation completed a window that caused one.
+    pub fn observe(&mut self, key: (u64, u64), gflops_per_watt: f64) -> Option<DriftEvent> {
+        let cfg = self.cfg;
+        let state = self.keys.entry(key).or_default();
+        state.window.push(gflops_per_watt);
+        if state.window.len() < cfg.window.max(1) {
+            return None;
+        }
+        let window = std::mem::take(&mut state.window);
+        let Some(expected) = state.expected else {
+            // self-calibration: the first full window defines normal
+            let mean = window.iter().sum::<f64>() / window.len() as f64;
+            if mean.is_finite() && mean > 0.0 {
+                state.expected = Some(mean);
+            }
+            return None;
+        };
+        let score = mean_relative_error(expected, &window).abs();
+        state.last_score = score;
+        if score >= cfg.trip_rel_err {
+            state.consecutive_over += 1;
+            if state.consecutive_over >= cfg.trip_windows.max(1) && !state.tripped {
+                state.tripped = true;
+                return Some(DriftEvent::Trip { system_hash: key.0, binary_hash: key.1, score });
+            }
+        } else {
+            state.consecutive_over = 0;
+            if state.tripped && score <= cfg.clear_rel_err {
+                state.tripped = false;
+                return Some(DriftEvent::Clear { system_hash: key.0, binary_hash: key.1, score });
+            }
+        }
+        None
+    }
+
+    /// Whether a key is currently tripped.
+    pub fn is_tripped(&self, key: (u64, u64)) -> bool {
+        self.keys.get(&key).is_some_and(|s| s.tripped)
+    }
+
+    /// Every currently tripped key.
+    pub fn tripped_keys(&self) -> Vec<(u64, u64)> {
+        self.keys.iter().filter(|(_, s)| s.tripped).map(|(&k, _)| k).collect()
+    }
+
+    /// The worst last-window score across keys, in milli-units (a
+    /// score of 0.15 reports as 150) — the shape the stats gauge and
+    /// wire snapshot carry.
+    pub fn worst_score_milli(&self) -> u64 {
+        self.keys.values().map(|s| (s.last_score * 1000.0).round() as u64).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: (u64, u64) = (10, 20);
+
+    fn cfg() -> DriftConfig {
+        DriftConfig { window: 4, trip_rel_err: 0.15, clear_rel_err: 0.05, trip_windows: 2 }
+    }
+
+    fn feed(d: &mut DriftDetector, value: f64, n: usize) -> Vec<DriftEvent> {
+        (0..n).filter_map(|_| d.observe(KEY, value)).collect()
+    }
+
+    #[test]
+    fn healthy_traffic_never_trips() {
+        let mut d = DriftDetector::new(cfg());
+        d.set_expectation(KEY, 0.20);
+        // ±4% noise around the expectation, many windows
+        for i in 0..64 {
+            let v = if i % 2 == 0 { 0.208 } else { 0.192 };
+            assert_eq!(d.observe(KEY, v), None);
+        }
+        assert!(!d.is_tripped(KEY));
+        assert!(d.worst_score_milli() <= 50);
+    }
+
+    #[test]
+    fn one_bad_window_is_not_enough_but_two_trip() {
+        let mut d = DriftDetector::new(cfg());
+        d.set_expectation(KEY, 0.20);
+        // first bad window: counts toward tripping, no event yet
+        assert!(feed(&mut d, 0.14, 4).is_empty(), "hysteresis holds after one window");
+        // second consecutive bad window: trip
+        let events = feed(&mut d, 0.14, 4);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], DriftEvent::Trip { system_hash: 10, binary_hash: 20, score } if score > 0.15));
+        assert!(d.is_tripped(KEY));
+        assert_eq!(d.tripped_keys(), vec![KEY]);
+        // still drifting: no duplicate trip events
+        assert!(feed(&mut d, 0.14, 8).is_empty());
+    }
+
+    #[test]
+    fn a_good_window_between_bad_ones_resets_the_count() {
+        let mut d = DriftDetector::new(cfg());
+        d.set_expectation(KEY, 0.20);
+        assert!(feed(&mut d, 0.14, 4).is_empty()); // over
+        assert!(feed(&mut d, 0.20, 4).is_empty()); // under: resets
+        assert!(feed(&mut d, 0.14, 4).is_empty(), "the count restarted");
+        assert!(!d.is_tripped(KEY));
+    }
+
+    #[test]
+    fn clear_requires_dropping_below_the_hysteresis_band() {
+        let mut d = DriftDetector::new(cfg());
+        d.set_expectation(KEY, 0.20);
+        feed(&mut d, 0.14, 8); // trip
+        assert!(d.is_tripped(KEY));
+        // a window inside the band (score ~0.10) neither trips nor clears
+        assert!(feed(&mut d, 0.18, 4).is_empty());
+        assert!(d.is_tripped(KEY), "score 0.10 is above clear_rel_err");
+        // back to the expectation: clears
+        let events = feed(&mut d, 0.20, 4);
+        assert!(matches!(events[..], [DriftEvent::Clear { .. }]));
+        assert!(!d.is_tripped(KEY));
+    }
+
+    #[test]
+    fn keys_without_expectation_self_calibrate_on_the_first_window() {
+        let mut d = DriftDetector::new(cfg());
+        assert!(!d.has_expectation(KEY));
+        assert!(feed(&mut d, 0.30, 4).is_empty(), "first window calibrates, never trips");
+        assert!(d.has_expectation(KEY));
+        // drift against the self-calibrated normal now trips
+        feed(&mut d, 0.20, 4);
+        let events = feed(&mut d, 0.20, 4);
+        assert!(matches!(events[..], [DriftEvent::Trip { .. }]));
+    }
+
+    #[test]
+    fn new_expectation_resets_trip_state() {
+        let mut d = DriftDetector::new(cfg());
+        d.set_expectation(KEY, 0.20);
+        feed(&mut d, 0.14, 8);
+        assert!(d.is_tripped(KEY));
+        // the refit rolled out: the candidate's calibration replaces the
+        // stale expectation, and judgment starts fresh against it
+        d.set_expectation(KEY, 0.14);
+        assert!(!d.is_tripped(KEY));
+        assert!(feed(&mut d, 0.14, 16).is_empty(), "on-expectation traffic stays quiet");
+    }
+
+    #[test]
+    fn worst_score_reports_in_milli_units() {
+        let mut d = DriftDetector::new(cfg());
+        d.set_expectation(KEY, 0.20);
+        feed(&mut d, 0.14, 4);
+        assert_eq!(d.worst_score_milli(), 300, "|0.14/0.20 - 1| = 0.30");
+    }
+}

@@ -1,0 +1,173 @@
+//! The daemon-side aggregate: reservoirs + drift detector behind one
+//! lock, with the counter totals the `stats` RPC stamps.
+//!
+//! [`Monitor`] is what a [`chronusd`](https://crates.io) service holds
+//! (one per daemon, shared by every worker): the `ReportOutcome`
+//! handler calls [`Monitor::ingest`] and bumps its own telemetry
+//! counters from the returned [`IngestReport`]; the adaptation driver
+//! calls [`Monitor::drain`] to hand a reservoir to the re-fit.
+
+use chronus::ObservedOutcome;
+use parking_lot::Mutex;
+
+use crate::drift::{DriftConfig, DriftDetector, DriftEvent};
+use crate::reservoir::{ReservoirSet, DEFAULT_RESERVOIR_CAP};
+
+/// What one [`Monitor::ingest`] did, for the caller's bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IngestReport {
+    /// Whether the outcome was folded into a reservoir (false =
+    /// rejected as malformed).
+    pub accepted: bool,
+    /// The drift transition this observation caused, if any.
+    pub event: Option<DriftEvent>,
+}
+
+/// A point-in-time copy of the monitor's adaptation gauges, shaped for
+/// stamping onto a wire [`chronus::StatsSnapshot`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MonitorSnapshot {
+    /// Outcomes folded into reservoirs.
+    pub ingested: u64,
+    /// Outcomes rejected as malformed.
+    pub rejected: u64,
+    /// Keys with a populated reservoir right now.
+    pub reservoirs: u64,
+    /// Worst last-window drift score across keys, in milli-units.
+    pub drift_score_milli: u64,
+}
+
+struct MonitorInner {
+    reservoirs: ReservoirSet,
+    drift: DriftDetector,
+    ingested: u64,
+    rejected: u64,
+}
+
+/// Thread-safe outcome accumulation + drift detection for one daemon.
+pub struct Monitor {
+    inner: Mutex<MonitorInner>,
+}
+
+impl Default for Monitor {
+    fn default() -> Self {
+        Monitor::new(DEFAULT_RESERVOIR_CAP, DriftConfig::default())
+    }
+}
+
+impl Monitor {
+    /// A monitor with explicit reservoir capacity and drift tuning.
+    pub fn new(reservoir_cap: usize, drift: DriftConfig) -> Monitor {
+        Monitor {
+            inner: Mutex::new(MonitorInner {
+                reservoirs: ReservoirSet::new(reservoir_cap),
+                drift: DriftDetector::new(drift),
+                ingested: 0,
+                rejected: 0,
+            }),
+        }
+    }
+
+    /// Sets a key's expected GFLOPS/W (the serving generation's
+    /// calibration number) for drift judgment.
+    pub fn set_expectation(&self, key: (u64, u64), gflops_per_watt: f64) {
+        self.inner.lock().drift.set_expectation(key, gflops_per_watt);
+    }
+
+    /// Whether a key already has a drift expectation.
+    pub fn has_expectation(&self, key: (u64, u64)) -> bool {
+        self.inner.lock().drift.has_expectation(key)
+    }
+
+    /// Validates and folds one outcome: a valid outcome lands in its
+    /// key's reservoir and feeds the drift detector; a malformed one is
+    /// only counted.
+    pub fn ingest(&self, key: (u64, u64), outcome: &ObservedOutcome) -> IngestReport {
+        let mut inner = self.inner.lock();
+        if !outcome.is_valid() {
+            inner.rejected += 1;
+            return IngestReport { accepted: false, event: None };
+        }
+        inner.ingested += 1;
+        let event = match outcome.gflops_per_watt() {
+            Some(gpw) => inner.drift.observe(key, gpw),
+            None => None,
+        };
+        inner.reservoirs.ingest(key, outcome.clone());
+        IngestReport { accepted: true, event }
+    }
+
+    /// Takes every outcome held for `key`, leaving its reservoir empty
+    /// (the hand-off to [`crate::refit::refit_blob`]).
+    pub fn drain(&self, key: (u64, u64)) -> Vec<ObservedOutcome> {
+        self.inner.lock().reservoirs.drain(key)
+    }
+
+    /// Whether a key's drift detector is currently tripped.
+    pub fn is_tripped(&self, key: (u64, u64)) -> bool {
+        self.inner.lock().drift.is_tripped(key)
+    }
+
+    /// Every currently tripped key.
+    pub fn tripped_keys(&self) -> Vec<(u64, u64)> {
+        self.inner.lock().drift.tripped_keys()
+    }
+
+    /// The adaptation gauges for a `stats` answer.
+    pub fn snapshot(&self) -> MonitorSnapshot {
+        let inner = self.inner.lock();
+        MonitorSnapshot {
+            ingested: inner.ingested,
+            rejected: inner.rejected,
+            reservoirs: inner.reservoirs.populated(),
+            drift_score_milli: inner.drift.worst_score_milli(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eco_sim_node::cpu::CpuConfig;
+
+    fn outcome(gflops: f64, watts: f64) -> ObservedOutcome {
+        ObservedOutcome {
+            config: CpuConfig::new(32, 2_200_000, 1),
+            gflops,
+            watts,
+            duration_s: 60.0,
+            node_class: String::new(),
+        }
+    }
+
+    #[test]
+    fn ingest_validates_counts_and_detects() {
+        let monitor = Monitor::new(64, DriftConfig { window: 4, trip_windows: 1, ..DriftConfig::default() });
+        monitor.set_expectation((1, 2), 0.20);
+        // malformed: counted, never folded
+        let report = monitor.ingest((1, 2), &outcome(f64::NAN, 200.0));
+        assert!(!report.accepted);
+        // a window of drifted outcomes (0.10 GPW vs the 0.20 expectation)
+        let mut events = Vec::new();
+        for _ in 0..4 {
+            events.extend(monitor.ingest((1, 2), &outcome(20.0, 200.0)).event);
+        }
+        assert!(matches!(events[..], [DriftEvent::Trip { system_hash: 1, binary_hash: 2, .. }]));
+        assert!(monitor.is_tripped((1, 2)));
+        assert_eq!(monitor.tripped_keys(), vec![(1, 2)]);
+        let snap = monitor.snapshot();
+        assert_eq!((snap.ingested, snap.rejected, snap.reservoirs), (4, 1, 1));
+        assert_eq!(snap.drift_score_milli, 500);
+    }
+
+    #[test]
+    fn drain_hands_reservoir_to_the_refit() {
+        let monitor = Monitor::default();
+        for _ in 0..3 {
+            monitor.ingest((1, 2), &outcome(30.0, 200.0));
+        }
+        assert_eq!(monitor.drain((1, 2)).len(), 3);
+        assert_eq!(monitor.snapshot().reservoirs, 0, "drained reservoir no longer populated");
+        assert_eq!(monitor.snapshot().ingested, 3, "lifetime count survives");
+    }
+}

@@ -1,0 +1,263 @@
+//! Incremental re-fit: folds a key's drained outcome reservoir into
+//! the serving generation's stored benchmark rows and fits a candidate
+//! model through the same routine the offline campaign uses
+//! ([`eco_campaign::fit_best_config`]).
+//!
+//! The fold policy is *supersession by configuration*: fresh outcome
+//! rows replace the stored rows at every configuration production
+//! actually observed, and stored rows survive only at configurations
+//! with no fresh evidence. Appending instead of replacing would let a
+//! large stale campaign outvote the drifted reality it mismeasures.
+
+use std::collections::BTreeMap;
+
+use chronus::domain::Benchmark;
+use chronus::{FitReport, ObservedOutcome};
+use eco_sim_node::cpu::CpuConfig;
+use eco_store::{ModelBlob, ModelRecord, Provenance, ProvenanceSource};
+
+/// A candidate model built by an incremental re-fit, ready to commit
+/// to the store and push to a canary.
+#[derive(Debug, Clone)]
+pub struct RefitCandidate {
+    /// The candidate blob: merged training rows plus the winning
+    /// configuration, exactly what [`eco_store::ModelStore::commit`]
+    /// takes.
+    pub blob: ModelBlob,
+    /// The fit's calibration numbers.
+    pub report: FitReport,
+    /// Best observed GFLOPS/W across the merged training rows.
+    pub best_gflops_per_watt: f64,
+    /// Outcome rows folded in (before per-config aggregation).
+    pub fresh_rows: usize,
+    /// Stored benchmark rows that survived the fold.
+    pub kept_rows: usize,
+}
+
+impl RefitCandidate {
+    /// The provenance an adaptation commit carries: `source =
+    /// adaptation`, lineage pointing at the generation whose training
+    /// rows were folded into, and the re-fit's own calibration number.
+    pub fn provenance(&self, live: &ModelRecord) -> Provenance {
+        Provenance {
+            campaign: format!("adapt:{}", live.provenance.campaign),
+            seed: live.provenance.seed,
+            plan: "incremental-refit".to_string(),
+            trials_run: self.fresh_rows as u64,
+            trials_skipped: self.kept_rows as u64,
+            trial_seconds: 0.0,
+            best_gflops_per_watt: self.best_gflops_per_watt,
+            node_class: live.provenance.node_class.clone(),
+            source: ProvenanceSource::Adaptation,
+            refit_of: live.generation,
+        }
+    }
+}
+
+/// Aggregates outcome rows into benchmark rows, one per distinct
+/// configuration observed: measurements average, `sample_count` counts
+/// the outcomes behind each row, and ids continue from `first_id`.
+/// Rows that cannot contribute (invalid by
+/// [`ObservedOutcome::is_valid`]) are skipped.
+pub fn outcomes_to_benchmarks(
+    system_id: i64,
+    binary_hash: u64,
+    outcomes: &[ObservedOutcome],
+    first_id: i64,
+) -> Vec<Benchmark> {
+    let mut by_config: BTreeMap<(u32, u64, u32), Vec<&ObservedOutcome>> = BTreeMap::new();
+    for o in outcomes.iter().filter(|o| o.is_valid()) {
+        by_config.entry((o.config.cores, o.config.frequency_khz, o.config.threads_per_core)).or_default().push(o);
+    }
+    by_config
+        .into_values()
+        .enumerate()
+        .map(|(i, group)| {
+            let n = group.len() as f64;
+            let gflops = group.iter().map(|o| o.gflops).sum::<f64>() / n;
+            let watts = group.iter().map(|o| o.watts).sum::<f64>() / n;
+            let duration = group.iter().map(|o| o.duration_s).sum::<f64>() / n;
+            Benchmark {
+                id: first_id + i as i64,
+                system_id,
+                binary_hash,
+                config: group[0].config,
+                gflops,
+                runtime_s: duration,
+                avg_system_w: watts,
+                // the outcome feed measures at the system meter; the
+                // CPU split is not observed in production
+                avg_cpu_w: 0.0,
+                avg_cpu_temp_c: 0.0,
+                system_energy_j: watts * duration,
+                cpu_energy_j: 0.0,
+                sample_count: group.len(),
+            }
+        })
+        .collect()
+}
+
+/// Builds a re-fit candidate for one key: folds `fresh` outcome rows
+/// into `base` (the serving generation's blob), fits the base's model
+/// type over the merged rows, and answers the best configuration among
+/// `candidates`. Errors exactly where the offline pipeline errors —
+/// and additionally when `fresh` contains no valid row, because a
+/// re-fit that folds nothing in would just re-commit the stale model.
+pub fn refit_blob(
+    base: &ModelBlob,
+    fresh: &[ObservedOutcome],
+    candidates: &[CpuConfig],
+) -> chronus::Result<RefitCandidate> {
+    let system_id = base.benchmarks.first().map(|b| b.system_id).unwrap_or(0);
+    let next_id = base.benchmarks.iter().map(|b| b.id).max().unwrap_or(0) + 1;
+    let fresh_rows = outcomes_to_benchmarks(system_id, base.binary_hash, fresh, next_id);
+    if fresh_rows.is_empty() {
+        return Err(chronus::error::ChronusError::DegenerateData(
+            "re-fit needs at least one valid production outcome to fold in".into(),
+        ));
+    }
+    let observed: std::collections::BTreeSet<(u32, u64, u32)> =
+        fresh_rows.iter().map(|b| (b.config.cores, b.config.frequency_khz, b.config.threads_per_core)).collect();
+    let kept: Vec<Benchmark> = base
+        .benchmarks
+        .iter()
+        .filter(|b| !observed.contains(&(b.config.cores, b.config.frequency_khz, b.config.threads_per_core)))
+        .cloned()
+        .collect();
+    let fresh_count = fresh.iter().filter(|o| o.is_valid()).count();
+    let kept_rows = kept.len();
+    let mut merged = kept;
+    merged.extend(fresh_rows);
+    let fitted = eco_campaign::fit_best_config(&base.model_type, &merged, candidates)?;
+    Ok(RefitCandidate {
+        blob: ModelBlob {
+            model_type: base.model_type.clone(),
+            system_hash: base.system_hash,
+            binary_hash: base.binary_hash,
+            config: fitted.best,
+            benchmarks: merged,
+        },
+        report: fitted.report,
+        best_gflops_per_watt: fitted.best_gflops_per_watt,
+        fresh_rows: fresh_count,
+        kept_rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(config: CpuConfig, gflops: f64, watts: f64) -> ObservedOutcome {
+        ObservedOutcome { config, gflops, watts, duration_s: 60.0, node_class: String::new() }
+    }
+
+    fn bench(id: i64, config: CpuConfig, gflops: f64, watts: f64) -> Benchmark {
+        Benchmark {
+            id,
+            system_id: 1,
+            binary_hash: 20,
+            config,
+            gflops,
+            runtime_s: 60.0,
+            avg_system_w: watts,
+            avg_cpu_w: watts * 0.6,
+            avg_cpu_temp_c: 55.0,
+            system_energy_j: watts * 60.0,
+            cpu_energy_j: watts * 36.0,
+            sample_count: 30,
+        }
+    }
+
+    fn base_blob() -> ModelBlob {
+        let low = CpuConfig::new(32, 1_500_000, 1);
+        let high = CpuConfig::new(32, 2_500_000, 1);
+        // the campaign measured high frequency as most efficient
+        ModelBlob {
+            model_type: "brute-force".into(),
+            system_hash: 10,
+            binary_hash: 20,
+            config: high,
+            benchmarks: vec![bench(1, low, 24.0, 160.0), bench(2, high, 40.0, 220.0)],
+        }
+    }
+
+    #[test]
+    fn outcomes_aggregate_per_config() {
+        let c = CpuConfig::new(32, 2_200_000, 1);
+        let rows = outcomes_to_benchmarks(
+            1,
+            20,
+            &[
+                outcome(c, 30.0, 200.0),
+                outcome(c, 34.0, 210.0),
+                outcome(CpuConfig::new(16, 1_500_000, 1), 20.0, 120.0),
+                // invalid rows never contribute
+                outcome(c, f64::NAN, 200.0),
+            ],
+            5,
+        );
+        assert_eq!(rows.len(), 2);
+        let big = rows.iter().find(|b| b.config == c).unwrap();
+        assert_eq!(big.sample_count, 2);
+        assert!((big.gflops - 32.0).abs() < 1e-12);
+        assert!((big.avg_system_w - 205.0).abs() < 1e-12);
+        assert_eq!(rows.iter().map(|b| b.id).collect::<Vec<_>>(), vec![5, 6]);
+    }
+
+    #[test]
+    fn fresh_evidence_supersedes_stale_rows_and_moves_the_optimum() {
+        let base = base_blob();
+        let low = CpuConfig::new(32, 1_500_000, 1);
+        let high = CpuConfig::new(32, 2_500_000, 1);
+        // production says the high-frequency config thermally degraded:
+        // 28 GFLOPS at 230 W (0.12 GPW), while low still does 0.15
+        let fresh = vec![outcome(high, 28.0, 230.0), outcome(high, 28.4, 232.0)];
+        let refit = refit_blob(&base, &fresh, &[low, high]).unwrap();
+        assert_eq!(refit.blob.config, low, "the optimum moved to the unaffected config");
+        assert_eq!(refit.fresh_rows, 2);
+        assert_eq!(refit.kept_rows, 1, "the stale high-frequency row was superseded");
+        assert_eq!(refit.blob.benchmarks.len(), 2);
+        let high_row = refit.blob.benchmarks.iter().find(|b| b.config == high).unwrap();
+        assert!((high_row.gflops - 28.2).abs() < 1e-9, "the kept high row is the fresh aggregate");
+    }
+
+    #[test]
+    fn no_valid_fresh_rows_is_a_typed_error() {
+        let base = base_blob();
+        let high = CpuConfig::new(32, 2_500_000, 1);
+        assert!(refit_blob(&base, &[], &[high]).is_err());
+        assert!(refit_blob(&base, &[outcome(high, 30.0, -1.0)], &[high]).is_err());
+    }
+
+    #[test]
+    fn adaptation_provenance_records_lineage() {
+        let base = base_blob();
+        let low = CpuConfig::new(32, 1_500_000, 1);
+        let high = CpuConfig::new(32, 2_500_000, 1);
+        let refit = refit_blob(&base, &[outcome(high, 28.0, 230.0)], &[low, high]).unwrap();
+        let live = ModelRecord {
+            generation: 7,
+            parent: 6,
+            model_id: 3,
+            model_type: "brute-force".into(),
+            system_hash: 10,
+            binary_hash: 20,
+            config: high,
+            blob_hash: "abcd".into(),
+            provenance: Provenance {
+                campaign: "nightly".into(),
+                seed: 9,
+                node_class: "dense64".into(),
+                ..Provenance::default()
+            },
+        };
+        let prov = refit.provenance(&live);
+        assert_eq!(prov.source, ProvenanceSource::Adaptation);
+        assert_eq!(prov.refit_of, 7);
+        assert_eq!(prov.campaign, "adapt:nightly");
+        assert_eq!(prov.plan, "incremental-refit");
+        assert_eq!(prov.node_class, "dense64");
+        assert_eq!(prov.trials_run, 1, "fresh rows folded");
+    }
+}

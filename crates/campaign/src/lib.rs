@@ -26,6 +26,7 @@
 
 pub mod engine;
 pub mod error;
+pub mod fit;
 pub mod journal;
 pub mod plan;
 pub mod rollout;
@@ -33,6 +34,7 @@ pub mod spec;
 
 pub use engine::{ActiveJob, CampaignEngine, CampaignOutcome, RunOptions};
 pub use error::{CampaignError, Result};
+pub use fit::{fit_best_config, FittedModel};
 pub use journal::{FlakyJournal, Journal, RecordJournal, TrialEntry, TrialStatus};
 pub use plan::{
     BruteForcePlan, CampaignPlan, PlanSpec, SuccessiveHalvingPlan, TrialMeasurement, TrialResult, TrialSpec,

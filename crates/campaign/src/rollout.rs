@@ -12,7 +12,7 @@ use crate::error::{CampaignError, Result};
 use crate::spec::CampaignSpec;
 use chronus::remote::{CallOptions, PredictClient};
 use chronus::{Chronus, LoadedModel};
-use eco_store::{ModelBlob, ModelRecord, ModelStore, Provenance, StoreError};
+use eco_store::{ModelBlob, ModelRecord, ModelStore, Provenance, ProvenanceSource, StoreError};
 
 /// Acknowledgement of a committed rollout.
 #[derive(Debug, Clone, PartialEq)]
@@ -113,6 +113,8 @@ pub fn commit_to_store(
         trial_seconds: outcome.trial_seconds,
         best_gflops_per_watt,
         node_class: spec.node_class.clone(),
+        source: ProvenanceSource::Campaign,
+        refit_of: 0,
     };
     store.commit(&blob, staged.model_id, provenance)
 }

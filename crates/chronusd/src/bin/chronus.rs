@@ -62,7 +62,7 @@ use chronusd::campaign::{
     commit_to_store, rebuild_model, roll_into, roll_into_fleet, CampaignEngine, CampaignError, CampaignSpec, Journal,
     PlanSpec, RecordJournal, RunOptions, TrialStatus,
 };
-use chronusd::store::{LedgerRecord, ModelStore};
+use chronusd::store::{LedgerRecord, ModelStore, ProvenanceSource};
 use chronusd::{PredictServer, ServerConfig, StorageBackend};
 use eco_hpcg::perf_model::PerfModel;
 use eco_hpcg::workload::{HpcgWorkload, Workload, PAPER_STANDARD_RUNTIME_S};
@@ -482,7 +482,7 @@ fn cmd_models(argv: &[&str]) -> Result<String, String> {
             for record in store.ledger() {
                 match record {
                     LedgerRecord::Commit(m) => out.push_str(&format!(
-                        "{} gen {:>3}  parent {:>3}  model {:>4} ({})  key {:#x}/{:#x}  blob {}  campaign \"{}\" seed {}\n",
+                        "{} gen {:>3}  parent {:>3}  model {:>4} ({})  key {:#x}/{:#x}  blob {}  campaign \"{}\" seed {}{}\n",
                         if m.generation == serving { "*" } else { " " },
                         m.generation,
                         m.parent,
@@ -493,6 +493,11 @@ fn cmd_models(argv: &[&str]) -> Result<String, String> {
                         m.blob_hash,
                         m.provenance.campaign,
                         m.provenance.seed,
+                        if m.provenance.source == ProvenanceSource::Adaptation {
+                            format!("  [refit of gen {}]", m.provenance.refit_of)
+                        } else {
+                            String::new()
+                        },
                     )),
                     LedgerRecord::Rollback { to_generation, reason } => {
                         out.push_str(&format!("  rollback -> gen {to_generation}  (\"{reason}\")\n"))
@@ -509,13 +514,33 @@ fn cmd_models(argv: &[&str]) -> Result<String, String> {
                 Ok(blob) => format!("verified ({} benchmark row(s))", blob.benchmarks.len()),
                 Err(e) => format!("FAILED: {e}"),
             };
+            // adaptation refits carry their lineage: the live generation
+            // the re-fit superseded, walked back to the original campaign
+            let lineage = if m.provenance.source == ProvenanceSource::Adaptation {
+                let mut chain = format!("adaptation refit of gen {}", m.provenance.refit_of);
+                let mut at = m.provenance.refit_of;
+                while let Some(parent) = store.record(at) {
+                    if parent.provenance.source != ProvenanceSource::Adaptation {
+                        chain.push_str(&format!(
+                            " (originally campaign \"{}\", gen {})",
+                            parent.provenance.campaign, parent.generation
+                        ));
+                        break;
+                    }
+                    at = parent.provenance.refit_of;
+                }
+                format!("lineage:    {chain}\n")
+            } else {
+                String::new()
+            };
             Ok(format!(
                 "generation {} (parent {}){}\n\
                  model:      {} ({})\n\
                  key:        system {:#x} / binary {:#x}\n\
                  config:     {}\n\
                  blob:       {}  {}\n\
-                 campaign:   \"{}\" (plan {}, seed {})\n\
+                 source:     {}\n\
+                 {lineage}campaign:   \"{}\" (plan {}, seed {})\n\
                  trials:     {} run, {} resumed from journal, {:.0} trial-seconds\n\
                  calibration: best {:.4} GFLOP/s per watt\n",
                 m.generation,
@@ -528,6 +553,7 @@ fn cmd_models(argv: &[&str]) -> Result<String, String> {
                 m.config,
                 m.blob_hash,
                 blob_state,
+                m.provenance.source,
                 m.provenance.campaign,
                 m.provenance.plan,
                 m.provenance.seed,

@@ -51,6 +51,14 @@ pub mod campaign {
     pub use eco_campaign::*;
 }
 
+/// The online-adaptation loop (re-exported from `eco-adapt`): outcome
+/// reservoirs fed by the `ReportOutcome` verb, drift detection against
+/// the serving generation, incremental re-fit and the canary rollout
+/// controller.
+pub mod adapt {
+    pub use eco_adapt::*;
+}
+
 /// The durable model store (re-exported from `eco-store`): the
 /// content-addressed blob area and append-only provenance ledger behind
 /// `chronusd --store`, the campaign's pre-rollout commit, and the

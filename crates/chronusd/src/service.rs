@@ -13,8 +13,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use chronus::error::ChronusError;
-use chronus::remote::{KeyOutcome, ModelSync, Request, RequestFrame, Response, StatsSnapshot, MAX_BATCH_KEYS};
+use chronus::remote::{
+    KeyOutcome, ModelSync, ObservedOutcome, Request, RequestFrame, Response, StatsSnapshot, MAX_BATCH_KEYS,
+};
 use chronus::telemetry::{Telemetry, TraceContext};
+use eco_adapt::Monitor;
 use eco_store::ModelStore;
 use parking_lot::Mutex;
 
@@ -83,6 +86,12 @@ pub struct PredictService {
     shutdown: AtomicBool,
     replica: String,
     store: Option<StoreHandle>,
+    adapt: Monitor,
+    /// The canary phase label stamped on `Stats` answers. The canary
+    /// *controller* lives with whoever drives rollouts (the adaptation
+    /// driver, the simulation world); the daemon only reports the label
+    /// so `chronus stats` shows where the fleet is mid-judgment.
+    canary_state: Mutex<String>,
 }
 
 impl PredictService {
@@ -123,6 +132,8 @@ impl PredictService {
             shutdown: AtomicBool::new(false),
             replica: String::new(),
             store: None,
+            adapt: Monitor::default(),
+            canary_state: Mutex::new(String::from("idle")),
         }
     }
 
@@ -204,6 +215,35 @@ impl PredictService {
         &self.stats
     }
 
+    /// The outcome monitor: reservoirs, drift expectations and trip
+    /// state. The adaptation driver drains reservoirs from here.
+    pub fn adapt(&self) -> &Monitor {
+        &self.adapt
+    }
+
+    /// Records that an incremental re-fit was committed from this
+    /// daemon's outcome reservoirs (called by the adaptation driver —
+    /// the daemon itself never writes the store).
+    pub fn note_adapt_refit(&self) {
+        self.stats.adapt_refit();
+    }
+
+    /// Records a canary verdict: promoted fleet-wide, or rolled back
+    /// to the baseline generation.
+    pub fn note_canary_verdict(&self, promoted: bool) {
+        if promoted {
+            self.stats.canary_promotion();
+        } else {
+            self.stats.canary_rollback();
+        }
+    }
+
+    /// Updates the canary phase label stamped on `Stats` answers (the
+    /// driver's [`eco_adapt::CanaryController::state_label`]).
+    pub fn set_canary_state(&self, label: impl Into<String>) {
+        *self.canary_state.lock() = label.into();
+    }
+
     /// The telemetry the service emits through.
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.telemetry
@@ -244,6 +284,12 @@ impl PredictService {
             }
             snap.models_by_class = by_class.into_iter().collect();
         }
+        let adapt = self.adapt.snapshot();
+        snap.outcomes_ingested = adapt.ingested;
+        snap.outcomes_rejected = adapt.rejected;
+        snap.outcome_reservoirs = adapt.reservoirs;
+        snap.drift_score_milli = adapt.drift_score_milli;
+        snap.canary_state = self.canary_state.lock().clone();
         snap
     }
 
@@ -375,7 +421,7 @@ impl PredictService {
                 if let Some(handle) = &self.store {
                     let _ = handle.store.lock().refresh();
                 }
-                Response::Stats(self.snapshot(gauges))
+                Response::Stats(Box::new(self.snapshot(gauges)))
             }
             Request::SyncModels { have_generation } => {
                 let store = self.store.as_ref().map(|h| h.store.lock());
@@ -416,7 +462,46 @@ impl PredictService {
                 }
                 Response::Burned
             }
+            Request::ReportOutcome { system_hash, binary_hash, outcome } => {
+                self.report_outcome(system_hash, binary_hash, &outcome)
+            }
         }
+    }
+
+    /// The `ReportOutcome` verb: validates and folds one observed
+    /// (GFLOPS, watts, duration) into the key's reservoir, feeding the
+    /// drift detector. The detector's expectation is calibrated lazily
+    /// from the serving generation's fitted efficiency when a store
+    /// knows it; store-less daemons self-calibrate from the first full
+    /// window of observations instead.
+    fn report_outcome(&self, system_hash: u64, binary_hash: u64, outcome: &ObservedOutcome) -> Response {
+        let key = (system_hash, binary_hash);
+        if !self.adapt.has_expectation(key) {
+            if let Some(handle) = &self.store {
+                let expected = handle
+                    .store
+                    .lock()
+                    .serving()
+                    .into_iter()
+                    .rfind(|r| r.system_hash == system_hash && r.binary_hash == binary_hash)
+                    .map(|r| r.provenance.best_gflops_per_watt);
+                if let Some(expected) = expected {
+                    if expected.is_finite() && expected > 0.0 {
+                        self.adapt.set_expectation(key, expected);
+                    }
+                }
+            }
+        }
+        let report = self.adapt.ingest(key, outcome);
+        match report.event {
+            Some(eco_adapt::DriftEvent::Trip { score, .. }) => {
+                self.stats.drift_trip();
+                self.telemetry.gauge("daemon.adapt.drift_score_milli").set_max((score * 1000.0).round() as u64);
+            }
+            Some(eco_adapt::DriftEvent::Clear { .. }) => self.stats.drift_clear(),
+            None => {}
+        }
+        Response::OutcomeAck { accepted: report.accepted }
     }
 
     /// One key's prediction, shared verbatim between `Predict` and the
@@ -494,6 +579,7 @@ fn verb_of(request: &Request) -> &'static str {
         Request::Stats => "stats",
         Request::SyncModels { .. } => "sync_models",
         Request::Burn { .. } => "burn",
+        Request::ReportOutcome { .. } => "report_outcome",
     }
 }
 
@@ -852,6 +938,107 @@ mod tests {
         assert_eq!(snap.store_catchups, 1);
         assert_eq!(snap.model_generation, 1);
         assert!(snap.store_dir.is_empty(), "the pulling peer is memory-only");
+    }
+
+    #[test]
+    fn report_outcome_acks_and_feeds_the_monitor() {
+        let svc = service_with_one_model();
+        let outcome = ObservedOutcome {
+            config: CpuConfig::new(16, 2_200_000, 1),
+            gflops: 30.0,
+            watts: 200.0,
+            duration_s: 60.0,
+            node_class: String::new(),
+        };
+        let payload =
+            frame_bytes(&RequestFrame::new(Request::ReportOutcome { system_hash: 10, binary_hash: 20, outcome }));
+        assert!(matches!(
+            svc.handle_frame(&payload, QueueGauges::default()),
+            Response::OutcomeAck { accepted: true }
+        ));
+        let snap = svc.snapshot(QueueGauges::default());
+        assert_eq!(snap.outcomes_ingested, 1);
+        assert_eq!(snap.outcome_reservoirs, 1);
+        assert_eq!(snap.predictions, 0, "an outcome report is not a prediction");
+        assert_eq!(snap.canary_state, "idle");
+        assert_eq!(svc.adapt().drain((10, 20)).len(), 1, "the driver can drain what was reported");
+    }
+
+    #[test]
+    fn malformed_outcome_is_rejected_not_erred() {
+        let svc = service_with_one_model();
+        // zero watts is physically impossible for a running job: the
+        // measurement is invalid, though the frame parses fine
+        let outcome = ObservedOutcome {
+            config: CpuConfig::new(16, 2_200_000, 1),
+            gflops: 30.0,
+            watts: 0.0,
+            duration_s: 60.0,
+            node_class: String::new(),
+        };
+        let payload =
+            frame_bytes(&RequestFrame::new(Request::ReportOutcome { system_hash: 10, binary_hash: 20, outcome }));
+        assert!(matches!(
+            svc.handle_frame(&payload, QueueGauges::default()),
+            Response::OutcomeAck { accepted: false }
+        ));
+        let snap = svc.snapshot(QueueGauges::default());
+        assert_eq!((snap.outcomes_ingested, snap.outcomes_rejected), (0, 1));
+        assert_eq!(snap.errors, 0, "a bad measurement is the reporter's problem, not the daemon's");
+    }
+
+    #[test]
+    fn store_backed_daemon_calibrates_drift_from_serving_provenance() {
+        use eco_store::{MemBackend, ModelBlob, Provenance};
+
+        let mut store = ModelStore::open(Box::new(MemBackend::new())).unwrap();
+        let blob = ModelBlob {
+            model_type: "brute-force".into(),
+            system_hash: 10,
+            binary_hash: 20,
+            config: CpuConfig::new(16, 2_200_000, 1),
+            benchmarks: Vec::new(),
+        };
+        store.commit(&blob, 1, Provenance { best_gflops_per_watt: 0.20, ..Provenance::default() }).unwrap();
+        let svc = PredictService::new(2, 8, Arc::new(StaticBackend::new(vec![])))
+            .with_store(Arc::new(Mutex::new(store)), "/var/lib/chronus/store");
+
+        // sustained 50% shortfall vs the fitted 0.20 GFLOPS/W trips the
+        // detector within the default 16-observation window x 2 windows
+        let drifted = ObservedOutcome {
+            config: CpuConfig::new(16, 2_200_000, 1),
+            gflops: 20.0,
+            watts: 200.0,
+            duration_s: 60.0,
+            node_class: String::new(),
+        };
+        for _ in 0..32 {
+            let payload = frame_bytes(&RequestFrame::new(Request::ReportOutcome {
+                system_hash: 10,
+                binary_hash: 20,
+                outcome: drifted.clone(),
+            }));
+            svc.handle_frame(&payload, QueueGauges::default());
+        }
+        assert!(svc.adapt().has_expectation((10, 20)), "expectation came from the store, not self-calibration");
+        assert!(svc.adapt().is_tripped((10, 20)));
+        let snap = svc.snapshot(QueueGauges::default());
+        assert_eq!(snap.drift_trips, 1, "hysteresis trips exactly once");
+        assert_eq!(snap.drift_score_milli, 500);
+        assert_eq!(svc.telemetry().gauge("daemon.adapt.drift_score_milli").get(), 500);
+    }
+
+    #[test]
+    fn driver_notes_surface_in_the_snapshot() {
+        let svc = service_with_one_model();
+        svc.note_adapt_refit();
+        svc.note_canary_verdict(true);
+        svc.note_canary_verdict(false);
+        svc.set_canary_state("canary gen 5 vs 4 (0/8 canary, 0/8 control)");
+        let snap = svc.snapshot(QueueGauges::default());
+        assert_eq!(snap.adapt_refits, 1);
+        assert_eq!((snap.canary_promotions, snap.canary_rollbacks), (1, 1));
+        assert!(snap.canary_state.starts_with("canary gen 5 vs 4"));
     }
 
     #[test]

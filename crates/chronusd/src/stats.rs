@@ -25,6 +25,11 @@ pub struct ServerStats {
     store_catchups: Counter,
     batches: Counter,
     batched_keys: Counter,
+    drift_trips: Counter,
+    drift_clears: Counter,
+    adapt_refits: Counter,
+    canary_promotions: Counter,
+    canary_rollbacks: Counter,
     batch_keys_hist: Histogram,
     latency: Histogram,
 }
@@ -54,6 +59,11 @@ impl ServerStats {
             store_catchups: Counter::new(),
             batches: Counter::new(),
             batched_keys: Counter::new(),
+            drift_trips: Counter::new(),
+            drift_clears: Counter::new(),
+            adapt_refits: Counter::new(),
+            canary_promotions: Counter::new(),
+            canary_rollbacks: Counter::new(),
             batch_keys_hist: Histogram::new(),
             latency: Histogram::new(),
         }
@@ -76,6 +86,11 @@ impl ServerStats {
             store_catchups: telemetry.counter("daemon.store_catchups"),
             batches: telemetry.counter("daemon.batches"),
             batched_keys: telemetry.counter("daemon.batched_keys"),
+            drift_trips: telemetry.counter("daemon.drift_trips"),
+            drift_clears: telemetry.counter("daemon.drift_clears"),
+            adapt_refits: telemetry.counter("daemon.adapt_refits"),
+            canary_promotions: telemetry.counter("daemon.canary_promotions"),
+            canary_rollbacks: telemetry.counter("daemon.canary_rollbacks"),
             batch_keys_hist: telemetry.histogram("daemon.batch_keys"),
             latency: telemetry.histogram("daemon.service_us"),
         }
@@ -141,6 +156,32 @@ impl ServerStats {
         self.batch_keys_hist.record_us(keys);
     }
 
+    /// A drift detector tripped: sustained divergence between observed
+    /// efficiency and the serving model's expectation.
+    pub fn drift_trip(&self) {
+        self.drift_trips.bump();
+    }
+
+    /// A tripped drift detector recovered below the clear threshold.
+    pub fn drift_clear(&self) {
+        self.drift_clears.bump();
+    }
+
+    /// An incremental re-fit was committed from outcome reservoirs.
+    pub fn adapt_refit(&self) {
+        self.adapt_refits.bump();
+    }
+
+    /// A canary comparison promoted its candidate fleet-wide.
+    pub fn canary_promotion(&self) {
+        self.canary_promotions.bump();
+    }
+
+    /// A canary comparison rolled its candidate back to the baseline.
+    pub fn canary_rollback(&self) {
+        self.canary_rollbacks.bump();
+    }
+
     /// Records one request's handling latency.
     pub fn record_latency_us(&self, us: u64) {
         self.latency.record_us(us);
@@ -183,6 +224,19 @@ impl ServerStats {
             store_dir: String::new(),
             store_generation: 0,
             models_by_class: Vec::new(),
+            // adaptation gauges (ingested/rejected/reservoirs/score and
+            // the canary label) are stamped by the service from its
+            // Monitor; the transition counters live here
+            outcomes_ingested: 0,
+            outcomes_rejected: 0,
+            outcome_reservoirs: 0,
+            drift_score_milli: 0,
+            drift_trips: self.drift_trips.get(),
+            drift_clears: self.drift_clears.get(),
+            adapt_refits: self.adapt_refits.get(),
+            canary_promotions: self.canary_promotions.get(),
+            canary_rollbacks: self.canary_rollbacks.get(),
+            canary_state: String::new(),
             latency_p50_us: self.latency.percentile_us(0.50),
             latency_p99_us: self.latency.percentile_us(0.99),
             latency_max_us: self.latency.max_us(),
@@ -273,6 +327,28 @@ mod tests {
         assert_eq!(telemetry.counter("daemon.batches").get(), 2);
         assert_eq!(telemetry.counter("daemon.batched_keys").get(), 72);
         assert_eq!(telemetry.histogram("daemon.batch_keys").count(), 2);
+    }
+
+    #[test]
+    fn adaptation_counters_accumulate_and_share_the_namespace() {
+        let telemetry = Telemetry::wall();
+        let stats = ServerStats::over(&telemetry);
+        stats.drift_trip();
+        stats.drift_trip();
+        stats.drift_clear();
+        stats.adapt_refit();
+        stats.canary_promotion();
+        stats.canary_rollback();
+        let snap = stats.snapshot(0, 0, 0, 0, 0, 0);
+        assert_eq!(snap.drift_trips, 2);
+        assert_eq!(snap.drift_clears, 1);
+        assert_eq!(snap.adapt_refits, 1);
+        assert_eq!(snap.canary_promotions, 1);
+        assert_eq!(snap.canary_rollbacks, 1);
+        assert_eq!(snap.outcomes_ingested, 0, "monitor gauges are stamped by the service, not here");
+        assert!(snap.canary_state.is_empty());
+        assert_eq!(telemetry.counter("daemon.drift_trips").get(), 2);
+        assert_eq!(telemetry.counter("daemon.canary_rollbacks").get(), 1);
     }
 
     #[test]

@@ -146,3 +146,83 @@ fn models_cli_audits_and_rolls_back_a_store() {
 
     let _ = std::fs::remove_dir_all(&home);
 }
+
+/// Adaptation lineage on the audit surface: a re-fit committed by the
+/// adaptation loop names the generation it superseded, and `show`
+/// walks a refit-of-refit chain back to the original campaign.
+#[test]
+fn models_cli_shows_adaptation_lineage() {
+    use chronusd::store::{ModelBlob, ModelStore, Provenance, ProvenanceSource};
+    use eco_sim_node::cpu::CpuConfig;
+
+    let home = std::env::temp_dir().join(format!("eco-clibin-lineage-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&home);
+    std::fs::create_dir_all(&home).unwrap();
+    let dir = home.join("store");
+    let dir_s = dir.to_str().unwrap().to_string();
+
+    let blob = |config| ModelBlob {
+        model_type: "brute-force".into(),
+        system_hash: 10,
+        binary_hash: 20,
+        config,
+        benchmarks: Vec::new(),
+    };
+    {
+        let mut store = ModelStore::open_dir(&dir_s).unwrap();
+        store
+            .commit(
+                &blob(CpuConfig::new(32, 2_200_000, 1)),
+                1,
+                Provenance { campaign: "night-1".into(), ..Provenance::default() },
+            )
+            .unwrap();
+        store
+            .commit(
+                &blob(CpuConfig::new(32, 1_500_000, 1)),
+                2,
+                Provenance {
+                    campaign: "adapt:night-1".into(),
+                    plan: "incremental-refit".into(),
+                    source: ProvenanceSource::Adaptation,
+                    refit_of: 1,
+                    ..Provenance::default()
+                },
+            )
+            .unwrap();
+        store
+            .commit(
+                &blob(CpuConfig::new(32, 1_500_000, 1)),
+                3,
+                Provenance {
+                    campaign: "adapt:night-1".into(),
+                    plan: "incremental-refit".into(),
+                    source: ProvenanceSource::Adaptation,
+                    refit_of: 2,
+                    ..Provenance::default()
+                },
+            )
+            .unwrap();
+    }
+
+    // list: campaign rows stay unchanged, refits carry their lineage tag
+    let (ok, out) = chronus(&home, &["models", "list", "--store", &dir_s]);
+    assert!(ok, "{out}");
+    let night1 = out.lines().find(|l| l.contains("campaign \"night-1\"")).expect("gen 1 row");
+    assert!(!night1.contains("refit"), "{night1}");
+    assert!(out.contains("[refit of gen 1]"), "{out}");
+    assert!(out.contains("[refit of gen 2]"), "{out}");
+
+    // show: the source line plus the chain back to the campaign
+    let (ok, out) = chronus(&home, &["models", "show", "1", "--store", &dir_s]);
+    assert!(ok, "{out}");
+    assert!(out.contains("source:     campaign"), "{out}");
+    assert!(!out.contains("lineage:"), "{out}");
+
+    let (ok, out) = chronus(&home, &["models", "show", "3", "--store", &dir_s]);
+    assert!(ok, "{out}");
+    assert!(out.contains("source:     adaptation"), "{out}");
+    assert!(out.contains("lineage:    adaptation refit of gen 2 (originally campaign \"night-1\", gen 1)"), "{out}");
+
+    let _ = std::fs::remove_dir_all(&home);
+}

@@ -54,6 +54,7 @@ pub use optimizers::{BruteForceOptimizer, LinearRegressionOptimizer, ModelFactor
 #[allow(deprecated)]
 pub use remote::ClientConfig;
 pub use remote::{
-    CallOptions, ClientBuildError, ClientBuilder, FleetPreload, LocalPrediction, PredictClient, PredictionSource,
-    PreloadAck, RemoteError, RemotePrediction, ReplicaStatus, Request, RequestFrame, Response, StatsSnapshot,
+    CallOptions, ClientBuildError, ClientBuilder, FleetPreload, LocalPrediction, ObservedOutcome, PredictClient,
+    PredictionSource, PreloadAck, RemoteError, RemotePrediction, ReplicaStatus, Request, RequestFrame, Response,
+    StatsSnapshot,
 };

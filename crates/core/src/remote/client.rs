@@ -28,8 +28,8 @@ use eco_sim_node::cpu::CpuConfig;
 
 use super::ring::{predict_key, HashRing};
 use super::{
-    read_frame, write_frame, Connection, KeyOutcome, ModelSync, PreloadAck, RemoteError, Request, RequestFrame,
-    Response, ResponseFrame, StatsSnapshot, TcpTransport, Transport, MAX_BATCH_KEYS,
+    read_frame, write_frame, Connection, KeyOutcome, ModelSync, ObservedOutcome, PreloadAck, RemoteError, Request,
+    RequestFrame, Response, ResponseFrame, StatsSnapshot, TcpTransport, Transport, MAX_BATCH_KEYS,
 };
 use crate::telemetry::{Counter, Histogram, Telemetry, TraceContext};
 
@@ -421,6 +421,7 @@ fn verb_name(r: &Request) -> &'static str {
         Request::Stats => "stats",
         Request::SyncModels { .. } => "sync_models",
         Request::Burn { .. } => "burn",
+        Request::ReportOutcome { .. } => "report_outcome",
     }
 }
 
@@ -429,6 +430,9 @@ fn verb_name(r: &Request) -> &'static str {
 fn routing_key(body: &Request) -> u64 {
     match body {
         Request::Predict { system_hash, binary_hash } => predict_key(*system_hash, *binary_hash),
+        // outcomes follow their prediction key so each replica's drift
+        // detector sees the traffic it actually served
+        Request::ReportOutcome { system_hash, binary_hash, .. } => predict_key(*system_hash, *binary_hash),
         _ => 0,
     }
 }
@@ -456,6 +460,32 @@ fn exchange_on(replica: &mut Replica, frame: &RequestFrame) -> Result<Response, 
             RemoteError::Io(e)
         }
     })
+}
+
+/// Whether `resp` is a shape the daemon could legitimately send for
+/// `req`. `Busy`, `Error` and `DeadlineExceeded` answer any verb (that
+/// is how old daemons refuse verbs they predate); every other response
+/// pairs one-to-one with its request. A mismatched pair means the
+/// connection stream is desynced — a duplicated or reordered frame was
+/// consumed as this exchange's reply, leaving the real reply queued —
+/// and every later exchange on it would read one reply behind, so the
+/// caller must drop the connection rather than trust it again.
+fn response_matches(req: &Request, resp: &Response) -> bool {
+    matches!(
+        (req, resp),
+        (_, Response::Busy { .. })
+            | (_, Response::Error { .. })
+            | (_, Response::DeadlineExceeded)
+            | (Request::Ping, Response::Pong)
+            | (Request::Predict { .. }, Response::Config(_))
+            | (Request::Predict { .. }, Response::Miss { .. })
+            | (Request::PredictMany { .. }, Response::ManyConfigs { .. })
+            | (Request::Preload { .. }, Response::Preloaded { .. })
+            | (Request::Stats, Response::Stats(_))
+            | (Request::SyncModels { .. }, Response::Models { .. })
+            | (Request::Burn { .. }, Response::Burned)
+            | (Request::ReportOutcome { .. }, Response::OutcomeAck { .. })
+    )
 }
 
 /// What came back on a pipelined connection: an envelope (corr-aware
@@ -934,11 +964,34 @@ impl PredictClient {
         }
     }
 
+    /// Reports one production observation for a served prediction
+    /// (routed to the replica that owns the key, like `Predict`).
+    /// Returns whether the daemon accepted the outcome; an old daemon
+    /// that cannot parse the frame answers a malformed-request
+    /// `Error`, which maps to `Ok(false)` — outcome reporting
+    /// degrades, it never fails the caller.
+    pub fn report_outcome(
+        &mut self,
+        system_hash: u64,
+        binary_hash: u64,
+        outcome: &ObservedOutcome,
+    ) -> Result<bool, RemoteError> {
+        let body = Request::ReportOutcome { system_hash, binary_hash, outcome: outcome.clone() };
+        match self.request(body, &CallOptions::default())? {
+            Response::OutcomeAck { accepted } => Ok(accepted),
+            // old daemon: unknown variant fails its decode, it answers
+            // a malformed-request Error — treat as "unsupported"
+            Response::Error { .. } => Ok(false),
+            Response::DeadlineExceeded => Err(RemoteError::DeadlineExceeded),
+            other => Err(RemoteError::Protocol(format!("expected OutcomeAck, got {other:?}"))),
+        }
+    }
+
     /// Fetches one replica's counters (the ring's choice in fleet
     /// mode); see [`PredictClient::stats_all`] for the whole fleet.
     pub fn stats(&mut self) -> Result<StatsSnapshot, RemoteError> {
         match self.request(Request::Stats, &CallOptions::default())? {
-            Response::Stats(s) => Ok(s),
+            Response::Stats(s) => Ok(*s),
             other => Err(RemoteError::Protocol(format!("expected Stats, got {other:?}"))),
         }
     }
@@ -953,7 +1006,7 @@ impl PredictClient {
             .map(|idx| {
                 let desc = self.replicas[idx].desc.clone();
                 let res = self.drive(Request::Stats, &CallOptions::default(), &[idx]).and_then(|resp| match resp {
-                    Response::Stats(s) => Ok(s),
+                    Response::Stats(s) => Ok(*s),
                     other => Err(RemoteError::Protocol(format!("expected Stats, got {other:?}"))),
                 });
                 (desc, res)
@@ -1014,7 +1067,18 @@ impl PredictClient {
                 s
             });
             let frame = base.clone().traced(span.as_ref().map(|s| s.context()).or(parent));
-            match exchange_on(&mut self.replicas[idx], &frame) {
+            // A reply whose shape cannot answer this verb means the
+            // stream is desynced (the real reply is still queued behind
+            // whatever we just read); funnel it into the error arm so
+            // the connection is dropped and the retry redials clean.
+            let exchanged = exchange_on(&mut self.replicas[idx], &frame).and_then(|resp| {
+                if response_matches(&base.body, &resp) {
+                    Ok(resp)
+                } else {
+                    Err(RemoteError::Protocol(format!("desynced reply to {verb}: got {resp:?}")))
+                }
+            });
+            match exchanged {
                 Ok(Response::Busy { retry_after_ms }) => {
                     // The daemon closes the connection after a Busy bounce.
                     self.replicas[idx].conn = None;

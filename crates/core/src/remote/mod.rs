@@ -101,6 +101,60 @@ pub enum Request {
     SyncModels { have_generation: u64 },
     /// Test/diagnostics verb: hold a worker for `ms` milliseconds.
     Burn { ms: u64 },
+    /// The adaptation loop's outcome feed: the plugin reports what a
+    /// served prediction actually did in production. Answered with
+    /// [`Response::OutcomeAck`]. Additive like `PredictMany`: an old
+    /// daemon answers with a malformed-request `Error`, which the
+    /// client maps to "outcome reporting unsupported" — never a
+    /// failure on the submit path.
+    ReportOutcome { system_hash: u64, binary_hash: u64, outcome: ObservedOutcome },
+}
+
+/// One production observation of a served prediction: what the job
+/// actually achieved under the configuration the plugin applied. The
+/// daemon folds these into per-key reservoirs that feed the drift
+/// detector and the incremental re-fit (see `chronusd::adapt`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObservedOutcome {
+    /// The configuration the job actually ran under (the served
+    /// prediction, or whatever the operator overrode it to).
+    pub config: CpuConfig,
+    /// Achieved compute throughput.
+    pub gflops: f64,
+    /// Average system power draw over the job.
+    pub watts: f64,
+    /// Wall-clock duration of the job in seconds.
+    pub duration_s: f64,
+    /// The node class the job ran on (empty = the unnamed default
+    /// class, and from plugins predating node classes).
+    #[serde(default)]
+    pub node_class: String,
+}
+
+impl ObservedOutcome {
+    /// Observed energy efficiency, the drift detector's statistic.
+    /// `None` when the observation is degenerate (non-positive or
+    /// non-finite power).
+    pub fn gflops_per_watt(&self) -> Option<f64> {
+        if self.watts > 0.0 && self.watts.is_finite() && self.gflops.is_finite() {
+            Some(self.gflops / self.watts)
+        } else {
+            None
+        }
+    }
+
+    /// Whether the observation is well-formed enough to ingest:
+    /// finite, non-negative measurements with positive power and
+    /// duration. Malformed outcomes are acked `accepted: false` and
+    /// counted, never folded into a reservoir.
+    pub fn is_valid(&self) -> bool {
+        self.gflops.is_finite()
+            && self.gflops >= 0.0
+            && self.watts.is_finite()
+            && self.watts > 0.0
+            && self.duration_s.is_finite()
+            && self.duration_s > 0.0
+    }
 }
 
 /// One committed model as shipped by the anti-entropy
@@ -200,8 +254,10 @@ pub enum Response {
         #[serde(default)]
         generation: u64,
     },
-    /// Answer to [`Request::Stats`].
-    Stats(StatsSnapshot),
+    /// Answer to [`Request::Stats`]. Boxed: the snapshot is by far the
+    /// largest payload, and the box keeps every other `Response` small
+    /// on the submit path (serde is transparent to the box).
+    Stats(Box<StatsSnapshot>),
     /// Answer to [`Request::PredictMany`]: one [`KeyOutcome`] per
     /// requested key, in request order, always exactly as many as the
     /// request carried keys — a key is never silently dropped.
@@ -219,6 +275,11 @@ pub enum Response {
     Error { message: String },
     /// Answer to [`Request::Burn`].
     Burned,
+    /// Answer to [`Request::ReportOutcome`]. `accepted` is false when
+    /// the outcome was malformed (non-finite or non-positive
+    /// measurements) or the daemon has no adaptation monitor; either
+    /// way the submit path is unaffected.
+    OutcomeAck { accepted: bool },
 }
 
 /// The per-key result inside [`Response::ManyConfigs`]. A batch never
@@ -333,6 +394,38 @@ pub struct StatsSnapshot {
     /// configured (and from daemons predating node classes).
     #[serde(default)]
     pub models_by_class: Vec<(String, u64)>,
+    /// `ReportOutcome` observations folded into adaptation reservoirs.
+    #[serde(default)]
+    pub outcomes_ingested: u64,
+    /// `ReportOutcome` observations rejected as malformed.
+    #[serde(default)]
+    pub outcomes_rejected: u64,
+    /// Distinct `(system, binary)` reservoirs currently populated.
+    #[serde(default)]
+    pub outcome_reservoirs: u64,
+    /// Worst current drift score across keys, in milli-units of
+    /// absolute mean relative error (0 = no drift or too few samples).
+    #[serde(default)]
+    pub drift_score_milli: u64,
+    /// Drift detector trips (sustained efficiency divergence).
+    #[serde(default)]
+    pub drift_trips: u64,
+    /// Drift detector clears (divergence subsided below hysteresis).
+    #[serde(default)]
+    pub drift_clears: u64,
+    /// Adaptation re-fits committed to the store.
+    #[serde(default)]
+    pub adapt_refits: u64,
+    /// Canary verdicts that promoted the candidate fleet-wide.
+    #[serde(default)]
+    pub canary_promotions: u64,
+    /// Canary verdicts that rolled the candidate back.
+    #[serde(default)]
+    pub canary_rollbacks: u64,
+    /// The canary controller's current state (empty = no controller,
+    /// and from daemons predating adaptation).
+    #[serde(default)]
+    pub canary_state: String,
     /// Median request handling latency (µs, bucket upper bound).
     pub latency_p50_us: u64,
     /// 99th-percentile request handling latency (µs, bucket upper bound).
@@ -558,6 +651,17 @@ pub trait PredictionSource: Send + Sync {
         keys.iter().map(|&(s, b)| self.predict(s, b)).collect()
     }
 
+    /// Reports what a served prediction actually did in production
+    /// (the adaptation loop's outcome feed). Returns `Ok(true)` when
+    /// the daemon accepted the observation, `Ok(false)` when outcome
+    /// reporting is unsupported (local sources, old daemons) — the
+    /// plugin treats both as success because outcome loss must never
+    /// perturb the submit path.
+    fn report_outcome(&self, system_hash: u64, binary_hash: u64, outcome: &ObservedOutcome) -> Result<bool> {
+        let _ = (system_hash, binary_hash, outcome);
+        Ok(false)
+    }
+
     /// Human-readable description for logs.
     fn describe(&self) -> String;
 }
@@ -699,6 +803,11 @@ impl PredictionSource for RemotePrediction {
             .collect()
     }
 
+    fn report_outcome(&self, system_hash: u64, binary_hash: u64, outcome: &ObservedOutcome) -> Result<bool> {
+        let mut client = self.client.lock();
+        client.report_outcome(system_hash, binary_hash, outcome).map_err(ChronusError::from)
+    }
+
     fn describe(&self) -> String {
         format!("chronusd at {}", self.client.lock().endpoints().join(","))
     }
@@ -758,7 +867,7 @@ mod tests {
     fn store_stats_fields_are_additive_on_the_wire() {
         // A pre-store daemon's Stats answer parses with the new fields
         // defaulted — the client never requires them.
-        let old = serde_json::to_string(&Response::Stats(StatsSnapshot::default())).unwrap();
+        let old = serde_json::to_string(&Response::Stats(Box::default())).unwrap();
         let stripped = old
             .replace(",\"preloads\":0", "")
             .replace(",\"store_catchups\":0", "")
@@ -767,7 +876,7 @@ mod tests {
             .replace(",\"models_by_class\":[]", "");
         assert_ne!(old, stripped, "the strip must actually remove the new fields");
         let back: Response = serde_json::from_str(&stripped).unwrap();
-        assert_eq!(back, Response::Stats(StatsSnapshot::default()));
+        assert_eq!(back, Response::Stats(Box::default()));
 
         // And the anti-entropy exchange round-trips.
         let sync = Response::Models {
@@ -842,11 +951,11 @@ mod tests {
 
     #[test]
     fn batch_stats_fields_are_additive_on_the_wire() {
-        let old = serde_json::to_string(&Response::Stats(StatsSnapshot::default())).unwrap();
+        let old = serde_json::to_string(&Response::Stats(Box::default())).unwrap();
         let stripped = old.replace(",\"batches\":0", "").replace(",\"batched_keys\":0", "");
         assert_ne!(old, stripped, "the strip must actually remove the new fields");
         let back: Response = serde_json::from_str(&stripped).unwrap();
-        assert_eq!(back, Response::Stats(StatsSnapshot::default()));
+        assert_eq!(back, Response::Stats(Box::default()));
     }
 
     #[test]

@@ -5,8 +5,8 @@
 
 use bytes::BytesMut;
 use chronus::remote::{
-    read_frame, take_frame, write_frame, KeyOutcome, ModelSync, Request, RequestFrame, Response, ResponseFrame,
-    StatsSnapshot, MAX_BATCH_KEYS,
+    read_frame, take_frame, write_frame, KeyOutcome, ModelSync, ObservedOutcome, Request, RequestFrame, Response,
+    ResponseFrame, StatsSnapshot, MAX_BATCH_KEYS,
 };
 use chronus::telemetry::{SpanId, TraceContext, TraceId};
 use eco_sim_node::cpu::CpuConfig;
@@ -23,6 +23,35 @@ struct LegacyRequestFrame {
     body: Request,
 }
 
+/// The request verbs exactly as peers built before the outcome feed
+/// knew them: no `ReportOutcome` variant. Stands in for an old daemon
+/// in the additive-negotiation properties below — its decode of an
+/// outcome frame must fail *cleanly* (that failure is what makes it
+/// answer a malformed-request `Error`, which the new client maps to
+/// `Ok(false)` / "outcome reporting unsupported").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum LegacyRequest {
+    Ping,
+    Predict { system_hash: u64, binary_hash: u64 },
+    PredictMany { keys: Vec<(u64, u64)> },
+    Preload { model_id: i64 },
+    Stats,
+    SyncModels { have_generation: u64 },
+    Burn { ms: u64 },
+}
+
+/// The response shapes an old client understands: no `OutcomeAck`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum LegacyResponse {
+    Pong,
+    Config(CpuConfig),
+    Busy { retry_after_ms: u64 },
+    Miss { system_hash: u64, binary_hash: u64 },
+    DeadlineExceeded,
+    Error { message: String },
+    Burned,
+}
+
 fn arb_config() -> impl Strategy<Value = CpuConfig> {
     (1u32..=64, prop::sample::select(vec![1_500_000u64, 2_200_000, 2_500_000]), 1u32..=2)
         .prop_map(|(c, f, t)| CpuConfig::new(c, f, t))
@@ -32,18 +61,42 @@ fn arb_keys() -> impl Strategy<Value = Vec<(u64, u64)>> {
     prop::collection::vec(((0u64..=u64::MAX), (0u64..=u64::MAX)), 0..9)
 }
 
+/// Finite, in-range production observations. Finite `f64`s round-trip
+/// exactly through the JSON wire (shortest-representation printing);
+/// NaN/infinity are excluded because the wire maps them to `null`,
+/// which the ingest side rejects as malformed rather than decodes.
+fn arb_observed() -> impl Strategy<Value = ObservedOutcome> {
+    (arb_config(), 0.0f64..1e9, 0.0f64..1e6, 0.0f64..1e7, "[a-z0-9-]{0,12}").prop_map(
+        |(config, gflops, watts, duration_s, node_class)| ObservedOutcome {
+            config,
+            gflops,
+            watts,
+            duration_s,
+            node_class,
+        },
+    )
+}
+
 fn arb_request() -> impl Strategy<Value = Request> {
-    (0u32..7, (0u64..=u64::MAX), (0u64..=u64::MAX), (-1_000i64..=1_000_000), 0u64..=20_000, arb_keys()).prop_map(
-        |(kind, a, b, id, ms, keys)| match kind {
+    (
+        0u32..8,
+        (0u64..=u64::MAX),
+        (0u64..=u64::MAX),
+        (-1_000i64..=1_000_000),
+        0u64..=20_000,
+        arb_keys(),
+        arb_observed(),
+    )
+        .prop_map(|(kind, a, b, id, ms, keys, outcome)| match kind {
             0 => Request::Ping,
             1 => Request::Predict { system_hash: a, binary_hash: b },
             2 => Request::Preload { model_id: id },
             3 => Request::Stats,
             4 => Request::SyncModels { have_generation: a },
             5 => Request::PredictMany { keys },
+            6 => Request::ReportOutcome { system_hash: a, binary_hash: b, outcome },
             _ => Request::Burn { ms },
-        },
-    )
+        })
 }
 
 fn arb_trace() -> impl Strategy<Value = TraceContext> {
@@ -58,15 +111,17 @@ fn arb_frame() -> impl Strategy<Value = RequestFrame> {
 
 fn arb_snapshot() -> impl Strategy<Value = StatsSnapshot> {
     (
-        prop::collection::vec(0u64..=u64::MAX, 23),
+        prop::collection::vec(0u64..=u64::MAX, 32),
         "[a-z0-9-]{0,12}",
         "[a-z0-9/._-]{0,24}",
         prop::collection::vec(("[a-z0-9-]{0,10}", 0u64..=u64::MAX), 0..4),
+        "[a-z0-9 /()-]{0,24}",
     )
-        .prop_map(|(v, replica, store_dir, models_by_class)| StatsSnapshot {
+        .prop_map(|(v, replica, store_dir, models_by_class, canary_state)| StatsSnapshot {
             replica,
             store_dir,
             models_by_class,
+            canary_state,
             requests_total: v[0],
             predictions: v[1],
             cache_hits: v[2],
@@ -90,6 +145,15 @@ fn arb_snapshot() -> impl Strategy<Value = StatsSnapshot> {
             store_generation: v[20],
             batches: v[21],
             batched_keys: v[22],
+            outcomes_ingested: v[23],
+            outcomes_rejected: v[24],
+            outcome_reservoirs: v[25],
+            drift_score_milli: v[26],
+            drift_trips: v[27],
+            drift_clears: v[28],
+            adapt_refits: v[29],
+            canary_promotions: v[30],
+            canary_rollbacks: v[31],
         })
 }
 
@@ -103,7 +167,7 @@ fn arb_outcome() -> impl Strategy<Value = KeyOutcome> {
 
 fn arb_response() -> impl Strategy<Value = Response> {
     (
-        0u32..11,
+        0u32..12,
         arb_config(),
         arb_snapshot(),
         (0u64..=u64::MAX),
@@ -112,6 +176,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
         (".{0,80}", prop::collection::vec(arb_outcome(), 0..9)),
     )
         .prop_map(|(kind, config, stats, a, b, id, (text, results))| match kind {
+            11 => Response::OutcomeAck { accepted: a % 2 == 0 },
             0 => Response::Pong,
             1 => Response::Config(config),
             2 => Response::Preloaded {
@@ -121,7 +186,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 binary_hash: b,
                 generation: id.unsigned_abs(),
             },
-            3 => Response::Stats(stats),
+            3 => Response::Stats(Box::new(stats)),
             4 => Response::Busy { retry_after_ms: a % 10_000 },
             5 => Response::Miss { system_hash: a, binary_hash: b },
             6 => Response::DeadlineExceeded,
@@ -348,6 +413,80 @@ proptest! {
     #[test]
     fn junk_bytes_never_panic_envelope_decode(junk in prop::collection::vec(0u8..=255, 0..256)) {
         let _ = read_frame::<ResponseFrame>(&mut junk.as_slice());
+    }
+
+    /// Version negotiation for the outcome feed, downgrade direction:
+    /// an old daemon (no `ReportOutcome` variant) fails to decode the
+    /// new verb with a clean `Err` — never a panic, never a phantom
+    /// verb. (That decode failure is what makes it answer a
+    /// malformed-request `Error`, which `report_outcome` maps to
+    /// `Ok(false)`; see the client.)
+    #[test]
+    fn old_daemons_reject_outcome_frames_cleanly(
+        a in 0u64..=u64::MAX,
+        b in 0u64..=u64::MAX,
+        outcome in arb_observed(),
+    ) {
+        let frame = RequestFrame::new(Request::ReportOutcome { system_hash: a, binary_hash: b, outcome });
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &frame).unwrap();
+        prop_assert!(read_frame::<LegacyRequest>(&mut wire.as_slice()).is_err());
+        // every pre-outcome verb still decodes on the old daemon
+        let old = RequestFrame::new(Request::Predict { system_hash: a, binary_hash: b });
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &old).unwrap();
+        prop_assert!(read_frame::<LegacyRequestFrame>(&mut wire.as_slice()).is_ok());
+    }
+
+    /// Upgrade direction: an old client never sees `OutcomeAck` (it
+    /// never sends the verb), but if one ever crosses the wire it must
+    /// fail the old decode cleanly rather than masquerade as another
+    /// response.
+    #[test]
+    fn old_clients_reject_outcome_acks_cleanly(flag in 0u32..2) {
+        let accepted = flag == 1;
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &Response::OutcomeAck { accepted }).unwrap();
+        prop_assert!(read_frame::<LegacyResponse>(&mut wire.as_slice()).is_err());
+        // and the new peer round-trips it exactly
+        let decoded: Response = read_frame(&mut wire.as_slice()).unwrap();
+        prop_assert_eq!(decoded, Response::OutcomeAck { accepted });
+    }
+
+    /// Stats negotiation: a snapshot from an old daemon (none of the
+    /// adaptation counters on the wire) decodes on a new client with
+    /// every adaptation field at its zero default, all other counters
+    /// intact.
+    #[test]
+    fn legacy_snapshots_default_the_adaptation_counters(snapshot in arb_snapshot()) {
+        const ADAPT_FIELDS: &[&str] = &[
+            "outcomes_ingested", "outcomes_rejected", "outcome_reservoirs", "drift_score_milli",
+            "drift_trips", "drift_clears", "adapt_refits", "canary_promotions", "canary_rollbacks",
+            "canary_state",
+        ];
+        let serde_json::Value::Object(fields) = serde_json::to_value(&snapshot).unwrap() else {
+            panic!("a snapshot serializes to an object");
+        };
+        let stripped: serde_json::Map = fields
+            .iter()
+            .filter(|(k, _)| !ADAPT_FIELDS.contains(&k.as_str()))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        prop_assert_eq!(
+            fields.len() - stripped.len(),
+            ADAPT_FIELDS.len(),
+            "new snapshots always carry every adaptation counter"
+        );
+        let decoded: StatsSnapshot = serde_json::from_value(serde_json::Value::Object(stripped)).unwrap();
+        prop_assert_eq!(decoded.outcomes_ingested, 0);
+        prop_assert_eq!(decoded.drift_trips, 0);
+        prop_assert_eq!(decoded.adapt_refits, 0);
+        prop_assert_eq!(decoded.canary_promotions, 0);
+        prop_assert_eq!(decoded.canary_rollbacks, 0);
+        prop_assert_eq!(decoded.canary_state, String::new());
+        prop_assert_eq!(decoded.requests_total, snapshot.requests_total);
+        prop_assert_eq!(decoded.model_generation, snapshot.model_generation);
+        prop_assert_eq!(decoded.latency_max_us, snapshot.latency_max_us);
     }
 
     /// Junk in the `corr` slot never panics either peer, and a legacy

@@ -23,7 +23,7 @@ pub mod market;
 use chronus::domain::PluginState;
 use chronus::hash::{binary_hash, classed_system_hash, system_hash};
 use chronus::interfaces::LocalStorage;
-use chronus::remote::{LocalPrediction, PredictionSource};
+use chronus::remote::{LocalPrediction, ObservedOutcome, PredictionSource};
 use chronus::telemetry::{Counter, Telemetry, TraceContext};
 pub use deadline::DeadlineSelector;
 use eco_sim_node::cpu::CpuSpec;
@@ -202,6 +202,36 @@ impl JobSubmitEco {
             return 0;
         }
         self.source.predict_many(&keys).iter().filter(|r| r.is_ok()).count()
+    }
+
+    /// Reports a completed job's observed (GFLOPS, watts, duration)
+    /// back to the prediction source — the outcome feed that closes the
+    /// adaptation loop. The key is the same `(classed system, binary)`
+    /// the prediction was served under, so the daemon's drift detector
+    /// judges the exact model that configured the job. Returns whether
+    /// the source accepted the outcome; failures are soft and only
+    /// counted (`plugin.outcomes.*`) — an old daemon that does not
+    /// speak `ReportOutcome` counts as `unsupported`, and a dead one as
+    /// `failed`, neither of which may disturb the scheduler.
+    pub fn report_outcome(&self, binary_path: &str, partition: Option<&str>, outcome: &ObservedOutcome) -> bool {
+        let bin_hash = self.binary_hash_for(binary_path);
+        let class = partition.and_then(|p| self.classes.get(p)).map(String::as_str).unwrap_or(&self.default_class);
+        let classed_system = classed_system_hash(self.system_hash, class);
+        self.tel.telemetry.counter("plugin.outcomes.reported").bump();
+        match self.source.report_outcome(classed_system, bin_hash, outcome) {
+            Ok(true) => {
+                self.tel.telemetry.counter("plugin.outcomes.accepted").bump();
+                true
+            }
+            Ok(false) => {
+                self.tel.telemetry.counter("plugin.outcomes.unsupported").bump();
+                false
+            }
+            Err(_) => {
+                self.tel.telemetry.counter("plugin.outcomes.failed").bump();
+                false
+            }
+        }
     }
 
     /// In strict mode prediction failures reject the job instead of
@@ -792,6 +822,97 @@ mod tests {
         let classed = classed_system_hash(p.system_hash(), "dense64");
         assert!(calls[0].iter().any(|&(s, _)| s == p.system_hash()));
         assert!(calls[0].iter().any(|&(s, _)| s == classed));
+    }
+
+    /// Records reported outcomes, accepting them — stands in for an
+    /// adaptation-aware daemon.
+    struct OutcomeRecorder {
+        reports: std::sync::Mutex<Vec<(u64, u64, ObservedOutcome)>>,
+    }
+    impl PredictionSource for OutcomeRecorder {
+        fn predict(&self, _s: u64, _b: u64) -> chronus::Result<CpuConfig> {
+            Ok(CpuConfig::new(16, 2_200_000, 1))
+        }
+        fn report_outcome(&self, s: u64, b: u64, outcome: &ObservedOutcome) -> chronus::Result<bool> {
+            self.reports.lock().unwrap().push((s, b, outcome.clone()));
+            Ok(true)
+        }
+        fn describe(&self) -> String {
+            "outcome recorder".into()
+        }
+    }
+
+    fn observed() -> ObservedOutcome {
+        ObservedOutcome {
+            config: CpuConfig::new(16, 2_200_000, 1),
+            gflops: 30.0,
+            watts: 200.0,
+            duration_s: 60.0,
+            node_class: String::new(),
+        }
+    }
+
+    #[test]
+    fn outcomes_report_under_the_prediction_key() {
+        let root = tmpdir("outcomekey");
+        let (storage, contents) = stage(&root, PluginState::Active);
+        let mut p = plugin(storage, contents);
+        p.map_partition_class("dense", "dense64");
+        let source = Arc::new(OutcomeRecorder { reports: std::sync::Mutex::new(Vec::new()) });
+        p.set_source(Arc::clone(&source) as Arc<dyn PredictionSource>);
+        let telemetry = Arc::new(Telemetry::wall());
+        p.set_telemetry(Arc::clone(&telemetry));
+
+        assert!(p.report_outcome("/opt/hpcg/bin/xhpcg", None, &observed()));
+        assert!(p.report_outcome("/opt/hpcg/bin/xhpcg", Some("dense"), &observed()));
+        let reports = source.reports.lock().unwrap();
+        assert_eq!(reports[0].0, p.system_hash(), "partition-less outcome uses the legacy key");
+        assert_eq!(reports[1].0, classed_system_hash(p.system_hash(), "dense64"));
+        assert_eq!(reports[0].1, binary_hash(contents), "registered binary hashes by contents");
+        assert_eq!(telemetry.counter("plugin.outcomes.reported").get(), 2);
+        assert_eq!(telemetry.counter("plugin.outcomes.accepted").get(), 2);
+    }
+
+    #[test]
+    fn old_sources_without_the_verb_count_as_unsupported_not_failed() {
+        let root = tmpdir("outcomeold");
+        let (storage, contents) = stage(&root, PluginState::Active);
+        let mut p = plugin(storage, contents);
+        // FixedSource does not override report_outcome: the trait
+        // default answers Ok(false), the additive-negotiation path
+        p.set_source(Arc::new(FixedSource(CpuConfig::new(8, 1_500_000, 2))));
+        let telemetry = Arc::new(Telemetry::wall());
+        p.set_telemetry(Arc::clone(&telemetry));
+        assert!(!p.report_outcome("/opt/hpcg/bin/xhpcg", None, &observed()));
+        assert_eq!(telemetry.counter("plugin.outcomes.unsupported").get(), 1);
+        assert_eq!(telemetry.counter("plugin.outcomes.failed").get(), 0);
+        assert_eq!(p.stats().errors, 0, "an unsupported outcome verb is not a submission error");
+    }
+
+    /// A source whose outcome path fails outright (dead daemon).
+    struct DeadOutcomeSource;
+    impl PredictionSource for DeadOutcomeSource {
+        fn predict(&self, _s: u64, _b: u64) -> chronus::Result<CpuConfig> {
+            Ok(CpuConfig::new(16, 2_200_000, 1))
+        }
+        fn report_outcome(&self, _s: u64, _b: u64, _o: &ObservedOutcome) -> chronus::Result<bool> {
+            Err(chronus::ChronusError::Model("connect refused".into()))
+        }
+        fn describe(&self) -> String {
+            "dead outcome path".into()
+        }
+    }
+
+    #[test]
+    fn dead_outcome_path_is_soft_and_counted() {
+        let root = tmpdir("outcomedead");
+        let (storage, contents) = stage(&root, PluginState::Active);
+        let mut p = plugin(storage, contents);
+        p.set_source(Arc::new(DeadOutcomeSource));
+        let telemetry = Arc::new(Telemetry::wall());
+        p.set_telemetry(Arc::clone(&telemetry));
+        assert!(!p.report_outcome("/opt/hpcg/bin/xhpcg", None, &observed()));
+        assert_eq!(telemetry.counter("plugin.outcomes.failed").get(), 1);
     }
 
     #[test]

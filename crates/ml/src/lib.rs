@@ -30,6 +30,6 @@ pub use forest::{ForestParams, RandomForest};
 pub use importance::{permutation_importance, FeatureImportance};
 pub use linalg::{LinalgError, Matrix};
 pub use linreg::{Degree, LinearRegression, RegressionError};
-pub use metrics::{mae, mse, pearson, r2, rmse, spearman};
+pub use metrics::{mae, mean_relative_error, mse, pearson, r2, relative_error, rmse, spearman};
 pub use tree::{RegressionTree, TreeParams};
 pub use validation::{cross_val_r2, fold_assignments};

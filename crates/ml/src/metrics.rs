@@ -42,6 +42,28 @@ pub fn r2(pred: &[f64], truth: &[f64]) -> f64 {
     1.0 - ss_res / ss_tot
 }
 
+/// Signed relative error of an observation against an expectation,
+/// guarded against a degenerate expectation: `(observed - expected) /
+/// |expected|`, or `0.0` when the expectation is zero or non-finite.
+/// Negative means the observation fell short of the expectation — the
+/// direction the drift detector cares about.
+pub fn relative_error(expected: f64, observed: f64) -> f64 {
+    if !expected.is_finite() || !observed.is_finite() || expected == 0.0 {
+        return 0.0;
+    }
+    (observed - expected) / expected.abs()
+}
+
+/// Mean signed relative error of a window of observations against one
+/// expectation — the drift detector's windowed statistic.
+///
+/// # Panics
+/// Panics if the window is empty.
+pub fn mean_relative_error(expected: f64, window: &[f64]) -> f64 {
+    assert!(!window.is_empty(), "metrics need at least one sample");
+    window.iter().map(|&o| relative_error(expected, o)).sum::<f64>() / window.len() as f64
+}
+
 /// Spearman rank correlation coefficient between two samples.
 ///
 /// Ties receive the average of the ranks they span (fractional ranking),
@@ -131,6 +153,22 @@ mod tests {
     fn r2_constant_truth() {
         assert_eq!(r2(&[5.0, 5.0], &[5.0, 5.0]), 1.0);
         assert_eq!(r2(&[4.0, 5.0], &[5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn relative_error_is_signed_and_guarded() {
+        assert!((relative_error(10.0, 8.0) + 0.2).abs() < 1e-12, "shortfall is negative");
+        assert!((relative_error(10.0, 12.0) - 0.2).abs() < 1e-12, "excess is positive");
+        assert_eq!(relative_error(0.0, 5.0), 0.0, "zero expectation guards");
+        assert_eq!(relative_error(f64::NAN, 5.0), 0.0);
+        assert_eq!(relative_error(10.0, f64::INFINITY), 0.0);
+    }
+
+    #[test]
+    fn mean_relative_error_averages_the_window() {
+        let window = [8.0, 12.0, 6.0];
+        // (-0.2 + 0.2 - 0.4) / 3
+        assert!((mean_relative_error(10.0, &window) + 0.4 / 3.0).abs() < 1e-12);
     }
 
     #[test]

@@ -47,5 +47,5 @@ pub use gpu::{GpuClocks, GpuPowerModel, GpuSpec, GpuWorkloadProfile};
 pub use ipmi::{Bmc, IpmiReading, PowerSampler};
 pub use node::{EnergyTotals, SimNode, Telemetry};
 pub use power::{CpuLoad, PowerModel, PowerModelParams};
-pub use thermal::{ThermalModel, ThermalParams};
+pub use thermal::{ThermalAging, ThermalModel, ThermalParams};
 pub use wattmeter::{Wattmeter, WattmeterReading};

@@ -36,6 +36,45 @@ impl ThermalParams {
     }
 }
 
+/// Thermal aging: gradual compute derating as a node accumulates busy
+/// hours (dust load, paste pump-out, fan wear — the slow drift that
+/// makes a months-old campaign model stop matching reality). The model
+/// is linear-to-a-floor in accumulated busy time: a node that has run
+/// `h` busy hours sustains `max(1 - rate_per_hour * h, floor)` of its
+/// nominal GFLOPS at unchanged power draw — efficiency sags, which is
+/// exactly the signal the adaptation loop's drift detector watches.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThermalAging {
+    /// Fractional throughput lost per accumulated busy hour.
+    pub rate_per_hour: f64,
+    /// The fraction of nominal throughput aging never derates below.
+    pub floor: f64,
+}
+
+impl ThermalAging {
+    /// The retained throughput fraction after `busy_hours` of load,
+    /// in `[floor, 1.0]` — aging at full severity (the top of the V/f
+    /// curve; see [`ThermalAging::derate_at`]).
+    pub fn derate_after(&self, busy_hours: f64) -> f64 {
+        let lost = self.rate_per_hour.max(0.0) * busy_hours.max(0.0);
+        (1.0 - lost).clamp(self.floor.clamp(0.0, 1.0), 1.0)
+    }
+
+    /// Frequency-aware derating: aging bites hardest at the top of the
+    /// V/f curve, because a degraded cooling path throttles exactly the
+    /// high-power states (P ≈ C·V²·f with V ∝ f, so dissipation — and
+    /// the throttling it triggers — grows like the cube of frequency).
+    /// The lost fraction scales by `(f / f_top)³`; a job pinned to a
+    /// low DVFS step on an aged node still runs near nominal. This is
+    /// what moves the energy-optimal configuration *down* the curve as
+    /// a node ages — the shift the adaptation loop exists to catch.
+    pub fn derate_at(&self, busy_hours: f64, frequency_khz: u64, top_khz: u64) -> f64 {
+        let frac = if top_khz == 0 { 1.0 } else { (frequency_khz as f64 / top_khz as f64).clamp(0.0, 1.0) };
+        let lost = self.rate_per_hour.max(0.0) * busy_hours.max(0.0) * frac.powi(3);
+        (1.0 - lost).clamp(self.floor.clamp(0.0, 1.0), 1.0)
+    }
+}
+
 /// Mutable thermal state of the package.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ThermalModel {
@@ -155,5 +194,28 @@ mod tests {
         let mut m = model();
         m.settle(97.4);
         assert!((m.temperature() - 53.8).abs() < 0.3);
+    }
+
+    #[test]
+    fn aging_derates_linearly_to_the_floor() {
+        let aging = ThermalAging { rate_per_hour: 0.01, floor: 0.7 };
+        assert_eq!(aging.derate_after(0.0), 1.0, "a fresh node runs at nominal");
+        assert!((aging.derate_after(10.0) - 0.90).abs() < 1e-12);
+        assert_eq!(aging.derate_after(100.0), 0.7, "the floor stops the slide");
+        assert_eq!(aging.derate_after(10_000.0), 0.7);
+        assert_eq!(aging.derate_after(-5.0), 1.0, "negative busy time never speeds a node up");
+    }
+
+    #[test]
+    fn aging_penalizes_the_top_of_the_vf_curve_hardest() {
+        let aging = ThermalAging { rate_per_hour: 0.05, floor: 0.4 };
+        let top = aging.derate_at(10.0, 2_500_000, 2_500_000);
+        let mid = aging.derate_at(10.0, 2_200_000, 2_500_000);
+        let low = aging.derate_at(10.0, 1_500_000, 2_500_000);
+        assert!((top - 0.5).abs() < 1e-12, "full severity at the top step: {top}");
+        assert!(top < mid && mid < low, "severity must fall down the curve: {top} {mid} {low}");
+        assert!(low > 0.88, "a low DVFS step stays near nominal: {low}");
+        assert_eq!(aging.derate_at(10.0, 2_500_000, 2_500_000), aging.derate_after(10.0));
+        assert_eq!(aging.derate_at(10.0, 2_200_000, 0), aging.derate_after(10.0), "no top known = full severity");
     }
 }

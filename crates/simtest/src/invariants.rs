@@ -32,6 +32,7 @@ pub fn verb_of(request: &Request) -> &'static str {
         Request::Stats => "Stats",
         Request::SyncModels { .. } => "SyncModels",
         Request::Burn { .. } => "Burn",
+        Request::ReportOutcome { .. } => "ReportOutcome",
     }
 }
 
@@ -49,6 +50,7 @@ pub fn kind_of(response: &Response) -> &'static str {
         Response::DeadlineExceeded => "DeadlineExceeded",
         Response::Error { .. } => "Error",
         Response::Burned => "Burned",
+        Response::OutcomeAck { .. } => "OutcomeAck",
     }
 }
 
@@ -78,6 +80,13 @@ pub struct Ledger {
     /// How many deliveries were `Preload` (each allocates at most one
     /// rollout generation, committed or rolled back).
     pub preloads: u64,
+    /// `OutcomeAck` answers observed (each moves exactly one of the
+    /// daemon's ingested/rejected outcome counters).
+    pub outcome_acks: u64,
+    /// Upper bound on deadline-masked outcome reports: 1 per
+    /// `DeadlineExceeded` verdict on a `ReportOutcome` frame (the
+    /// monitor already counted the outcome, the answer was hidden).
+    pub outcome_slack: u64,
 }
 
 impl Ledger {
@@ -242,6 +251,45 @@ impl Ledger {
             }
         }
 
+        // Outcome reports: a ReportOutcome may only be answered
+        // OutcomeAck (the new daemon), a whole-frame Error (an old
+        // daemon that cannot parse the verb), or DeadlineExceeded; an
+        // ack moves exactly one of ingested/rejected, matching its
+        // accepted flag; and nothing else may touch those counters.
+        let is_outcome = matches!(frame.body, Request::ReportOutcome { .. });
+        if is_outcome {
+            if !matches!(response, Response::OutcomeAck { .. } | Response::Error { .. } | Response::DeadlineExceeded)
+            {
+                return fail("a ReportOutcome may only be answered OutcomeAck, Error, or DeadlineExceeded");
+            }
+        } else if matches!(response, Response::OutcomeAck { .. }) {
+            return fail("OutcomeAck answered a frame that was not a ReportOutcome");
+        }
+        let d_ingested = after.outcomes_ingested - before.outcomes_ingested;
+        let d_rejected = after.outcomes_rejected - before.outcomes_rejected;
+        match response {
+            Response::OutcomeAck { accepted } => {
+                self.outcome_acks += 1;
+                if d_ingested != u64::from(*accepted) {
+                    return fail("outcomes_ingested moved out of step with the ack's accepted flag");
+                }
+                if d_rejected != u64::from(!*accepted) {
+                    return fail("outcomes_rejected moved out of step with the ack's accepted flag");
+                }
+            }
+            Response::DeadlineExceeded if is_outcome => {
+                self.outcome_slack += 1;
+                if d_ingested + d_rejected > 1 {
+                    return fail("a deadline-masked outcome report can move the outcome counters at most once");
+                }
+            }
+            _ => {
+                if d_ingested + d_rejected != 0 {
+                    return fail("outcome counters moved on a non-ReportOutcome exchange");
+                }
+            }
+        }
+
         // Stale-generation refusals: only a prediction key can hit a
         // stale registry entry (at most one per key in the frame), and
         // each stale refusal falls through to the backend, so it is
@@ -337,6 +385,23 @@ impl Ledger {
             return Err(format!(
                 "stale_generation_hits {} > cache_misses {} (a stale refusal is also a miss)",
                 snapshot.stale_generation_hits, snapshot.cache_misses
+            ));
+        }
+        // Outcome conservation: every counted outcome was either acked
+        // or masked by a deadline verdict on its ReportOutcome frame.
+        let outcomes_counted = snapshot.outcomes_ingested + snapshot.outcomes_rejected;
+        if outcomes_counted < self.outcome_acks || outcomes_counted > self.outcome_acks + self.outcome_slack {
+            return Err(format!(
+                "outcomes counted {outcomes_counted} outside [{}, {}] (acks .. + deadline-masked slack)",
+                self.outcome_acks,
+                self.outcome_acks + self.outcome_slack
+            ));
+        }
+        // Drift hysteresis: a detector can only clear after tripping.
+        if snapshot.drift_clears > snapshot.drift_trips {
+            return Err(format!(
+                "drift_clears {} > drift_trips {} (a detector can only clear after a trip)",
+                snapshot.drift_clears, snapshot.drift_trips
             ));
         }
         Ok(())
@@ -543,6 +608,101 @@ mod tests {
         let err =
             ledger.record_exchange(&frame, &Response::DeadlineExceeded, &snap(0, 0, 0, 0), &after, 10).unwrap_err();
         assert!(err.contains("deadline verdict can mask"), "{err}");
+    }
+
+    fn outcome_frame() -> RequestFrame {
+        RequestFrame::new(Request::ReportOutcome {
+            system_hash: 1,
+            binary_hash: 2,
+            outcome: chronus::remote::ObservedOutcome {
+                config: eco_sim_node::cpu::CpuConfig::new(4, 2_000_000, 1),
+                gflops: 30.0,
+                watts: 200.0,
+                duration_s: 60.0,
+                node_class: String::new(),
+            },
+        })
+    }
+
+    #[test]
+    fn outcome_ack_must_match_the_counter_it_moved() {
+        let mut ledger = Ledger::default();
+        let mut after = snap(1, 0, 0, 0);
+        after.outcomes_ingested = 1;
+        ledger
+            .record_exchange(&outcome_frame(), &Response::OutcomeAck { accepted: true }, &snap(0, 0, 0, 0), &after, 0)
+            .unwrap();
+        assert_eq!(ledger.outcome_acks, 1);
+        ledger.check(&after).unwrap();
+
+        // an accepted ack that moved the *rejected* counter is a lie
+        let mut ledger = Ledger::default();
+        let mut bad = snap(1, 0, 0, 0);
+        bad.outcomes_rejected = 1;
+        let err = ledger
+            .record_exchange(&outcome_frame(), &Response::OutcomeAck { accepted: true }, &snap(0, 0, 0, 0), &bad, 0)
+            .unwrap_err();
+        assert!(err.contains("accepted flag"), "{err}");
+    }
+
+    #[test]
+    fn outcome_counters_must_not_move_on_other_frames() {
+        let mut ledger = Ledger::default();
+        let frame = RequestFrame::new(Request::Ping);
+        let mut after = snap(1, 0, 0, 0);
+        after.outcomes_ingested = 1; // an outcome snuck in during a ping
+        let err = ledger.record_exchange(&frame, &Response::Pong, &snap(0, 0, 0, 0), &after, 0).unwrap_err();
+        assert!(err.contains("non-ReportOutcome"), "{err}");
+    }
+
+    #[test]
+    fn outcome_ack_may_not_answer_other_verbs() {
+        let mut ledger = Ledger::default();
+        let frame = RequestFrame::new(Request::Ping);
+        let err = ledger
+            .record_exchange(
+                &frame,
+                &Response::OutcomeAck { accepted: true },
+                &snap(0, 0, 0, 0),
+                &snap(1, 0, 0, 0),
+                0,
+            )
+            .unwrap_err();
+        assert!(err.contains("was not a ReportOutcome"), "{err}");
+    }
+
+    #[test]
+    fn old_daemon_error_on_outcome_moves_nothing() {
+        // additive negotiation: an old daemon answers Error and its
+        // (nonexistent) outcome counters stay zero — the ledger accepts
+        // exactly that shape
+        let mut ledger = Ledger::default();
+        let mut after = snap(1, 0, 0, 0);
+        after.errors = 1;
+        ledger
+            .record_exchange(
+                &outcome_frame(),
+                &Response::Error { message: "malformed request".into() },
+                &snap(0, 0, 0, 0),
+                &after,
+                0,
+            )
+            .unwrap();
+        ledger.check(&after).unwrap();
+    }
+
+    #[test]
+    fn conservation_catches_phantom_outcomes_and_phantom_clears() {
+        let ledger = Ledger::default();
+        let mut snapshot = snap(0, 0, 0, 0);
+        snapshot.outcomes_ingested = 2; // counted but never acked or masked
+        let err = ledger.check(&snapshot).unwrap_err();
+        assert!(err.contains("outcomes counted"), "{err}");
+
+        let mut snapshot = snap(0, 0, 0, 0);
+        snapshot.drift_clears = 1; // cleared without ever tripping
+        let err = ledger.check(&snapshot).unwrap_err();
+        assert!(err.contains("drift_clears"), "{err}");
     }
 
     #[test]

@@ -52,20 +52,26 @@
 //! SIMTEST_SEED=1234 cargo test -p simtest replay -- --nocapture
 //! ```
 
+pub mod adapt;
 pub mod batch;
 pub mod cluster;
 pub mod faults;
 pub mod fleet;
 pub mod invariants;
 pub mod net;
+pub mod replay;
 pub mod store;
 pub mod world;
 
+pub use adapt::{
+    adapt_plan_for_seed, adapt_plans, run_adapt_seed, AdaptReport, ADAPT_DRIFT_JOBS, ADAPT_HEALTHY_JOBS,
+};
 pub use batch::{run_batch_seed, BatchReport, BATCH_REPLICAS, MAX_BATCH_VIRTUAL_MS};
 pub use cluster::{cluster_worlds, run_cluster_seed, ClusterReport, ClusterWorld, CLUSTER_SUBMISSIONS};
 pub use faults::FaultPlan;
 pub use fleet::{run_fleet_seed, FleetReport, FLEET_REPLICAS};
 pub use invariants::Ledger;
 pub use net::SimNet;
+pub use replay::{replay_seed, REPLAY_VARS};
 pub use store::{run_store_seed, CrashingBackend, StoreReport, STORE_ROUNDS};
 pub use world::{run_seed, SeedReport, MAX_SUBMIT_VIRTUAL_MS, SUBMISSIONS_PER_SEED};

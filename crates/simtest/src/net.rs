@@ -30,6 +30,7 @@ use chronus::remote::{take_frame, write_frame, Connection, RequestFrame, Respons
 use chronus::telemetry::{Recorder, Telemetry};
 use chronusd::backend::{ModelBackend, PreparedModel};
 use chronusd::service::{PredictService, QueueGauges, ServiceClock};
+use chronusd::store::ModelStore;
 use eco_sim_node::clock::{SharedSimClock, SimDuration, SimTime};
 use parking_lot::Mutex;
 use rand::{Rng, SeedableRng, StdRng};
@@ -130,6 +131,12 @@ struct NetCore {
     clock: Arc<SharedSimClock>,
     replicas: Vec<ReplicaCore>,
     backend: Arc<SimBackend>,
+    /// The durable model store every replica reads (None = the classic
+    /// store-less fleet). A replica attaches it at (re)start and
+    /// catches up to the serving generation — which is exactly how an
+    /// adaptation rollout or rollback reaches a daemon that died and
+    /// came back mid-canary.
+    store: Option<Arc<Mutex<ModelStore>>>,
     /// The run-wide trace recorder. Daemon incarnations get fresh
     /// counter namespaces but share this ring, so the trace timeline
     /// survives crashes exactly like an external collector would.
@@ -188,7 +195,8 @@ impl NetCore {
                 self.replicas[replica].service.registry().len()
             ));
         }
-        self.replicas[replica].service = fresh_service(&self.clock, &self.backend, &self.recorder, &label);
+        self.replicas[replica].service =
+            fresh_service(&self.clock, &self.backend, &self.recorder, &label, self.store.as_ref());
         self.replicas[replica].ledger.reset();
         self.replicas[replica].incarnation += 1;
     }
@@ -206,20 +214,29 @@ fn fresh_service(
     backend: &Arc<SimBackend>,
     recorder: &Arc<Recorder>,
     label: &str,
+    store: Option<&Arc<Mutex<ModelStore>>>,
 ) -> Arc<PredictService> {
     // A fresh telemetry per incarnation resets the counters (a real
     // restart loses them too) but shares the run-wide recorder, so span
     // ids stay unique and traces span crash boundaries.
     let telemetry = Telemetry::with_parts(Arc::new(SimServiceClock(Arc::clone(clock))), Arc::clone(recorder));
-    Arc::new(
-        PredictService::with_telemetry(
-            CACHE_SHARDS,
-            CACHE_CAP,
-            Arc::clone(backend) as Arc<dyn ModelBackend>,
-            Arc::new(telemetry),
-        )
-        .with_replica(label),
+    let mut service = PredictService::with_telemetry(
+        CACHE_SHARDS,
+        CACHE_CAP,
+        Arc::clone(backend) as Arc<dyn ModelBackend>,
+        Arc::new(telemetry),
     )
+    .with_replica(label);
+    if let Some(store) = store {
+        service = service.with_store(Arc::clone(store), "/sim/store");
+    }
+    let service = Arc::new(service);
+    if store.is_some() {
+        // a store-backed daemon self-serves its models at boot, exactly
+        // like the real process does before accepting traffic
+        let _ = service.catch_up_from_store();
+    }
+    service
 }
 
 struct NetState {
@@ -248,6 +265,32 @@ impl SimNet {
     /// shared — so a multi-replica run replays from its seed exactly
     /// like a single-daemon one.
     pub fn fleet(seed: u64, plan: FaultPlan, labels: &[&str], models: Vec<PreparedModel>) -> SimNet {
+        SimNet::build(seed, plan, labels, models, None)
+    }
+
+    /// A fleet whose replicas all read one durable model store: each
+    /// daemon attaches it and catches up to the serving generation at
+    /// (re)start, so store commits, rollouts and rollbacks reach the
+    /// fleet through [`SimNet::catch_up`] — the adaptation worlds'
+    /// substrate. Pass an empty `models` vec to make the store the only
+    /// model source.
+    pub fn fleet_with_store(
+        seed: u64,
+        plan: FaultPlan,
+        labels: &[&str],
+        models: Vec<PreparedModel>,
+        store: Arc<Mutex<ModelStore>>,
+    ) -> SimNet {
+        SimNet::build(seed, plan, labels, models, Some(store))
+    }
+
+    fn build(
+        seed: u64,
+        plan: FaultPlan,
+        labels: &[&str],
+        models: Vec<PreparedModel>,
+        store: Option<Arc<Mutex<ModelStore>>>,
+    ) -> SimNet {
         assert!(!labels.is_empty(), "a fleet needs at least one replica");
         let clock = Arc::new(SharedSimClock::new());
         let backend = Arc::new(SimBackend {
@@ -261,7 +304,7 @@ impl SimNet {
             .iter()
             .map(|label| ReplicaCore {
                 label: (*label).to_string(),
-                service: fresh_service(&clock, &backend, &recorder, label),
+                service: fresh_service(&clock, &backend, &recorder, label, store.as_ref()),
                 ledger: Ledger::default(),
                 partitioned_until: None,
                 crashed_until: None,
@@ -278,6 +321,7 @@ impl SimNet {
             clock: Arc::clone(&clock),
             replicas,
             backend,
+            store,
             recorder,
             log: Vec::new(),
             violations: Vec::new(),
@@ -308,6 +352,27 @@ impl SimNet {
     /// How many replicas this network simulates.
     pub fn replicas(&self) -> usize {
         self.state.mu.lock().replicas.len()
+    }
+
+    /// The live service incarnation of replica `i` — the adaptation
+    /// driver's daemon-side handle (drain reservoirs, stamp canary
+    /// state, bump transition counters). A crash replaces the service;
+    /// re-fetch after any fault window rather than caching across one.
+    pub fn service(&self, i: usize) -> Arc<PredictService> {
+        Arc::clone(&self.state.mu.lock().replicas[i].service)
+    }
+
+    /// Tells replica `i`'s live service to catch up from the shared
+    /// store — the rollout push: after a store commit this installs the
+    /// new serving generation on exactly the replicas the driver names
+    /// (canary first, the rest on promotion), and after a rollback it
+    /// restores the rollback target the same way. Returns how many
+    /// records installed.
+    pub fn catch_up(&self, i: usize) -> usize {
+        let mut core = self.state.mu.lock();
+        let installed = core.replicas[i].service.catch_up_from_store().installed;
+        core.rnote(i, format!("caught up from the store ({installed} records)"));
+        installed
     }
 
     /// Kills replica `i` for `down_ms` of virtual time: its incarnation

@@ -1,0 +1,67 @@
+//! Seed-replay plumbing shared by every sweep.
+//!
+//! Each simtest world pairs a sweep test with a replay hook: when the
+//! sweep reports a failing seed, one environment variable re-runs
+//! exactly that seed with its event log dumped. The variables all
+//! behave identically — set to a decimal `u64`, they select the seed;
+//! unset, the replay test is a no-op — and they are consolidated here
+//! so a new world cannot invent a subtly different convention.
+//!
+//! | variable               | world                | replay command                                                       |
+//! |------------------------|----------------------|----------------------------------------------------------------------|
+//! | `SIMTEST_SEED`         | submission pipeline  | `SIMTEST_SEED=<n> cargo test -p simtest replay -- --nocapture`        |
+//! | `SIMTEST_FLEET_SEED`   | replicated daemons   | `SIMTEST_FLEET_SEED=<n> cargo test -p simtest fleet_replay -- --nocapture` |
+//! | `SIMTEST_STORE_SEED`   | durable model store  | `SIMTEST_STORE_SEED=<n> cargo test -p simtest store_replay -- --nocapture` |
+//! | `SIMTEST_BATCH_SEED`   | batched prediction   | `SIMTEST_BATCH_SEED=<n> cargo test -p simtest batch_replay -- --nocapture` |
+//! | `SIMTEST_CLUSTER_SEED` | power-capped cluster | `SIMTEST_CLUSTER_SEED=<n> cargo test -p simtest cluster_replay -- --nocapture` |
+//! | `SIMTEST_ADAPT_SEED`   | online adaptation    | `SIMTEST_ADAPT_SEED=<n> cargo test -p simtest adapt_replay -- --nocapture` |
+//!
+//! (The same table lives in `DESIGN.md` §14; update both.)
+
+/// Every replay variable, with the world it replays — the single
+/// source of truth the docs table above mirrors.
+pub const REPLAY_VARS: &[(&str, &str)] = &[
+    ("SIMTEST_SEED", "submission pipeline"),
+    ("SIMTEST_FLEET_SEED", "replicated daemon fleet"),
+    ("SIMTEST_STORE_SEED", "durable model store"),
+    ("SIMTEST_BATCH_SEED", "batched prediction"),
+    ("SIMTEST_CLUSTER_SEED", "power-capped cluster"),
+    ("SIMTEST_ADAPT_SEED", "online adaptation"),
+];
+
+/// Reads a replay seed from the environment: `None` when `var` is
+/// unset (the replay test should silently pass), the parsed seed when
+/// set. A set-but-unparsable value panics loudly — a typo'd seed that
+/// silently replayed seed 0 would "reproduce" the wrong run.
+pub fn replay_seed(var: &str) -> Option<u64> {
+    assert!(
+        REPLAY_VARS.iter().any(|(known, _)| *known == var),
+        "unknown replay variable {var}; add it to REPLAY_VARS"
+    );
+    let raw = std::env::var(var).ok()?;
+    Some(raw.parse().unwrap_or_else(|_| panic!("{var} must be a decimal u64 seed, got {raw:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unset_variable_means_no_replay() {
+        assert_eq!(replay_seed("SIMTEST_ADAPT_SEED"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "add it to REPLAY_VARS")]
+    fn unknown_variables_are_rejected() {
+        replay_seed("SIMTEST_TYPO_SEED");
+    }
+
+    #[test]
+    fn every_replay_var_is_distinct() {
+        let mut names: Vec<&str> = REPLAY_VARS.iter().map(|(v, _)| *v).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), REPLAY_VARS.len());
+    }
+}

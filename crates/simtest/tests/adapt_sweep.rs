@@ -1,0 +1,114 @@
+//! The adaptation seed sweep: the full drift → re-fit → canary loop on
+//! an aging node, under every non-crash fault plan. Failing seeds are
+//! reported by number so they can be replayed locally via
+//! `SIMTEST_ADAPT_SEED=<seed> cargo test -p simtest adapt_replay -- --nocapture`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use simtest::{adapt_plan_for_seed, adapt_plans, replay_seed, run_adapt_seed};
+
+const SEEDS: u64 = 12;
+
+#[test]
+fn adapt_sweep_across_seeds() {
+    let mut failures = Vec::new();
+    for seed in 0..SEEDS {
+        let plan = adapt_plan_for_seed(seed);
+        if let Err(panic) = catch_unwind(AssertUnwindSafe(|| run_adapt_seed(seed, &plan))) {
+            let detail = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            eprintln!("adapt seed {seed} (plan '{}') FAILED:\n{detail}\n", plan.name);
+            failures.push(seed);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} adaptation runs violated invariants: {failures:?} — replay with SIMTEST_ADAPT_SEED=<seed> cargo test -p \
+         simtest adapt_replay -- --nocapture",
+        failures.len()
+    );
+}
+
+/// One fault-free run, inspected end to end: the loop must genuinely
+/// close — drift detected, poison rolled back, the clean re-fit
+/// promoted, efficiency recovered — not merely avoid violations.
+#[test]
+fn adapt_scenario_closes_the_loop() {
+    let report = run_adapt_seed(100, &simtest::FaultPlan::none());
+    assert_eq!(report.wrong_generation_serves, 0);
+    assert!(
+        report.aged_config.frequency_khz < report.fresh_config.frequency_khz,
+        "the promoted model must sit lower on the V/f curve than the calibrated one: {:?} vs {:?}",
+        report.aged_config,
+        report.fresh_config
+    );
+    assert!(
+        report.rollback_means.0 < report.rollback_means.1,
+        "the poisoned canary arm must underperform control: {:?}",
+        report.rollback_means
+    );
+    assert!(
+        report.promote_means.0 > report.promote_means.1,
+        "the clean canary arm must beat the stale control arm outright: {:?}",
+        report.promote_means
+    );
+    assert!(
+        report.adapted_gflops_per_w > report.stale_gflops_per_w * 1.05,
+        "steady state must recover: adapted {:.4} vs stale {:.4} GFLOPS/W",
+        report.adapted_gflops_per_w,
+        report.stale_gflops_per_w
+    );
+    assert!(report.outcomes_reported > 0, "the outcome feed never fired");
+    assert!(!report.log.is_empty());
+}
+
+/// The sweep's plan menu must stay crash-free (canary membership is
+/// pinned; see the module docs) while the seed→plan mapping still
+/// covers every listed plan.
+#[test]
+fn adapt_plans_cover_the_menu_without_crashes() {
+    let plans = adapt_plans();
+    let names: Vec<&str> = plans.iter().map(|p| p.name).collect();
+    for banned in ["crashes", "partitions", "disconnects", "blackout", "chaos"] {
+        assert!(!names.contains(&banned), "plan '{banned}' breaks pinned canary membership");
+    }
+    let covered: std::collections::BTreeSet<&str> = (0..SEEDS).map(|s| adapt_plan_for_seed(s).name).collect();
+    assert_eq!(covered.len(), names.len(), "the sweep's seed range misses plans: {covered:?}");
+}
+
+/// Same seed, byte-identical event log — the replay command is exact.
+#[test]
+fn adapt_world_is_deterministic() {
+    let plan = adapt_plan_for_seed(7);
+    let a = run_adapt_seed(7, &plan);
+    let b = run_adapt_seed(7, &plan);
+    assert_eq!(a.log, b.log, "same seed, same adaptation history");
+    assert_eq!(a.outcomes_reported, b.outcomes_reported);
+}
+
+/// Replay hook: `SIMTEST_ADAPT_SEED=<seed> cargo test -p simtest
+/// adapt_replay -- --nocapture` re-runs one seed and dumps its log.
+#[test]
+fn adapt_replay() {
+    let Some(seed) = replay_seed("SIMTEST_ADAPT_SEED") else { return };
+    let plan = adapt_plan_for_seed(seed);
+    println!("replaying adapt seed {seed} (plan '{}')", plan.name);
+    let report = run_adapt_seed(seed, &plan);
+    for line in &report.log {
+        println!("{line}");
+    }
+    println!(
+        "seed {seed}: fresh {:?} -> aged {:?}, rollback means {:?}, promote means {:?}, adapted {:.4} vs stale {:.4} \
+         GFLOPS/W, {} outcomes reported",
+        report.fresh_config,
+        report.aged_config,
+        report.rollback_means,
+        report.promote_means,
+        report.adapted_gflops_per_w,
+        report.stale_gflops_per_w,
+        report.outcomes_reported
+    );
+}

@@ -61,8 +61,7 @@ fn batch_world_is_deterministic() {
 /// and dumps the full event log.
 #[test]
 fn batch_replay() {
-    let Ok(seed) = std::env::var("SIMTEST_BATCH_SEED") else { return };
-    let seed: u64 = seed.parse().expect("SIMTEST_BATCH_SEED must be a u64");
+    let Some(seed) = simtest::replay_seed("SIMTEST_BATCH_SEED") else { return };
     let plan = FaultPlan::for_seed(seed);
     println!("replaying batch seed {seed} under plan '{}'", plan.name);
     let report = run_batch_seed(seed, &plan);

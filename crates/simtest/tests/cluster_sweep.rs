@@ -89,8 +89,7 @@ fn classless_world_still_resolves_legacy_keys() {
 /// and dumps the full event log.
 #[test]
 fn cluster_replay() {
-    let Ok(seed) = std::env::var("SIMTEST_CLUSTER_SEED") else { return };
-    let seed: u64 = seed.parse().expect("SIMTEST_CLUSTER_SEED must be a u64");
+    let Some(seed) = simtest::replay_seed("SIMTEST_CLUSTER_SEED") else { return };
     let worlds = cluster_worlds();
     let world = &worlds[(seed / SEEDS_PER_WORLD) as usize % worlds.len()];
     println!("replaying cluster seed {seed} in world '{}'", world.name);

@@ -23,8 +23,7 @@ fn different_seeds_explore_different_interleavings() {
 /// its event log. A no-op when the variable is unset.
 #[test]
 fn replay_seed_from_env() {
-    let Ok(raw) = std::env::var("SIMTEST_SEED") else { return };
-    let seed: u64 = raw.parse().expect("SIMTEST_SEED must be an unsigned integer");
+    let Some(seed) = simtest::replay_seed("SIMTEST_SEED") else { return };
     let plan = FaultPlan::for_seed(seed);
     let report = run_seed(seed, &plan);
     println!("seed {seed}, plan '{}', {} events:", report.plan, report.log.len());

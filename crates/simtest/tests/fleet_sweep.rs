@@ -65,8 +65,7 @@ fn fleet_world_is_deterministic() {
 /// and dumps the full event log.
 #[test]
 fn fleet_replay() {
-    let Ok(seed) = std::env::var("SIMTEST_FLEET_SEED") else { return };
-    let seed: u64 = seed.parse().expect("SIMTEST_FLEET_SEED must be a u64");
+    let Some(seed) = simtest::replay_seed("SIMTEST_FLEET_SEED") else { return };
     let plans = FaultPlan::all();
     let plan = &plans[(seed / SEEDS_PER_PLAN) as usize % plans.len()];
     println!("replaying fleet seed {seed} under plan '{}'", plan.name);

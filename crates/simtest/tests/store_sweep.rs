@@ -71,8 +71,7 @@ fn store_world_is_deterministic() {
 /// store_replay -- --nocapture` re-runs one seed and dumps its log.
 #[test]
 fn store_replay() {
-    let Ok(seed) = std::env::var("SIMTEST_STORE_SEED") else { return };
-    let seed: u64 = seed.parse().expect("SIMTEST_STORE_SEED must be a u64");
+    let Some(seed) = simtest::replay_seed("SIMTEST_STORE_SEED") else { return };
     println!("replaying store seed {seed}");
     let report = run_store_seed(seed);
     for line in &report.log {

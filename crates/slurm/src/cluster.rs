@@ -19,6 +19,7 @@ use eco_sim_node::class::NodeClass;
 use eco_sim_node::clock::{SimDuration, SimTime};
 use eco_sim_node::cpu::CpuSpec;
 use eco_sim_node::power::CpuLoad;
+use eco_sim_node::thermal::ThermalAging;
 use eco_sim_node::{CpuConfig, SimNode};
 use eco_telemetry::{Telemetry, TraceContext};
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -61,6 +62,9 @@ struct NodeDaemon {
     running: Vec<RunningJob>,
     /// Drained nodes accept no new jobs (admin maintenance state).
     drained: bool,
+    /// Accumulated busy seconds — the load history thermal aging
+    /// derates against.
+    busy_s: f64,
 }
 
 impl NodeDaemon {
@@ -114,6 +118,11 @@ pub struct Cluster {
     starvation_guard: Option<SimDuration>,
     partitions: PartitionTable,
     telemetry: Option<Arc<Telemetry>>,
+    /// When set, nodes slow down as they accumulate busy hours (same
+    /// power draw, fewer GFLOPS) — the drift the adaptation loop's
+    /// outcome feed is built to notice. `None` preserves the historical
+    /// ageless behaviour exactly.
+    aging: Option<ThermalAging>,
 }
 
 /// Jobs whose arithmetic intensities fall on opposite sides of this
@@ -137,7 +146,10 @@ impl Cluster {
         assert!(nodes.iter().all(|n| n.now() == t0), "node clocks must agree");
         let partitions = PartitionTable::with_default(nodes.len());
         Cluster {
-            daemons: nodes.into_iter().map(|node| NodeDaemon { node, running: Vec::new(), drained: false }).collect(),
+            daemons: nodes
+                .into_iter()
+                .map(|node| NodeDaemon { node, running: Vec::new(), drained: false, busy_s: 0.0 })
+                .collect(),
             plugins: PluginHost::new(),
             registry: HashMap::new(),
             jobs: BTreeMap::new(),
@@ -153,6 +165,7 @@ impl Cluster {
             starvation_guard: None,
             partitions,
             telemetry: None,
+            aging: None,
         }
     }
 
@@ -245,6 +258,38 @@ impl Cluster {
     /// Selects the co-scheduling placement policy for single-node jobs.
     pub fn set_co_schedule(&mut self, policy: CoSchedulePolicy) {
         self.co_schedule = policy;
+    }
+
+    /// Installs (or removes) thermal aging: with it set, every node's
+    /// sustained GFLOPS derate as its busy hours accumulate while its
+    /// power draw does not, so jobs take longer at the same wattage.
+    /// This is the deterministic drift injector the adaptation harness
+    /// runs against; `None` (the default) changes nothing.
+    pub fn set_thermal_aging(&mut self, aging: Option<ThermalAging>) {
+        self.aging = aging;
+    }
+
+    /// The throughput fraction node `idx` currently sustains at
+    /// `frequency_khz` under the installed aging model (1.0 when aging
+    /// is off or the node is new). Aging is frequency-aware: a degraded
+    /// cooling path throttles the high-power DVFS states hardest, so a
+    /// job pinned low on the V/f curve still runs near nominal — see
+    /// [`ThermalAging::derate_at`].
+    pub fn thermal_derate(&self, idx: usize, frequency_khz: u64) -> f64 {
+        self.aging.map_or(1.0, |a| {
+            let top = self.daemons[idx].node.spec().frequencies_khz.iter().copied().max().unwrap_or(0);
+            a.derate_at(self.daemons[idx].busy_s / 3600.0, frequency_khz, top)
+        })
+    }
+
+    /// Pre-ages every node by `busy_hours` of accumulated load, as if
+    /// the cluster had been in production that long before the run
+    /// began (the adaptation harness's fast-forward; real aging also
+    /// accrues naturally as jobs execute).
+    pub fn age_nodes(&mut self, busy_hours: f64) {
+        for daemon in &mut self.daemons {
+            daemon.busy_s += busy_hours.max(0.0) * 3600.0;
+        }
     }
 
     /// Bounds how long the work-conserving power cap may pass over a
@@ -982,7 +1027,8 @@ impl Cluster {
         let partition = self.partitions.resolve(job.descriptor.partition.as_deref())?;
         let spec = self.daemons[*partition.nodes.first()?].node.spec();
         let config = job.descriptor.resolve_config(spec);
-        let natural = workload.duration(&config);
+        let derate = self.thermal_derate(*partition.nodes.first()?, config.frequency_khz);
+        let natural = SimDuration::from_secs_f64(workload.duration(&config).as_secs_f64() / derate);
         Some(match job.descriptor.time_limit {
             Some(limit) if limit < natural => limit,
             _ => natural,
@@ -996,14 +1042,17 @@ impl Cluster {
             let workload = self.registry[&job.descriptor.binary_path].clone();
             let spec = self.daemons[nodes[0]].node.spec();
             let config = job.descriptor.resolve_config(spec);
-            // multi-node jobs split the work evenly across their nodes
+            // multi-node jobs split the work evenly across their nodes;
+            // the most aged allocated node gates the whole job
             let per_node_gflop = workload.total_gflop() / nodes.len() as f64;
-            let duration = SimDuration::from_secs_f64(per_node_gflop / workload.gflops(&config));
+            let derate = nodes.iter().map(|&i| self.thermal_derate(i, config.frequency_khz)).fold(1.0f64, f64::min);
+            let duration = SimDuration::from_secs_f64(per_node_gflop / (workload.gflops(&config) * derate));
             let kill_at = job.descriptor.time_limit.map(|l| now + l);
             (config, workload, duration, kill_at)
         };
 
         for &idx in nodes {
+            self.daemons[idx].busy_s += duration.as_secs_f64();
             self.daemons[idx].running.push(RunningJob {
                 id,
                 config,
@@ -1033,10 +1082,12 @@ impl Cluster {
             let job = &self.jobs[&id];
             let workload = self.registry[&job.descriptor.binary_path].clone();
             let config = job.descriptor.resolve_config(self.daemons[host].node.spec());
-            let duration = workload.duration(&config);
+            let derate = self.thermal_derate(host, config.frequency_khz);
+            let duration = SimDuration::from_secs_f64(workload.duration(&config).as_secs_f64() / derate);
             let kill_at = job.descriptor.time_limit.map(|l| now + l);
             (config, workload, duration, kill_at)
         };
+        self.daemons[host].busy_s += duration.as_secs_f64();
         self.daemons[host].running.push(RunningJob {
             id,
             config,
@@ -1116,6 +1167,45 @@ mod tests {
         assert!(rec.system_energy_j > 0.0);
         assert!(rec.cpu_energy_j > 0.0);
         assert!(rec.cpu_energy_j < rec.system_energy_j);
+    }
+
+    #[test]
+    fn thermal_aging_slows_jobs_at_unchanged_power() {
+        // without aging: 800 GFLOP at 80 GFLOP/s = 10 s per job, forever
+        let mut fresh = cluster();
+        let a = fresh.submit(desc(32)).unwrap();
+        fresh.advance(SimDuration::from_secs(11));
+        let fresh_runtime = {
+            let rec = fresh.accounting().get(a).unwrap();
+            (rec.end_time.unwrap() - rec.start_time.unwrap()).as_secs_f64()
+        };
+        assert!((fresh_runtime - 10.0).abs() < 0.1);
+
+        // an aggressive aging curve so the drift shows within one test:
+        // 10% throughput lost per busy hour, floored at 50%
+        let mut aged = cluster();
+        aged.set_thermal_aging(Some(ThermalAging { rate_per_hour: 0.1, floor: 0.5 }));
+        assert_eq!(aged.thermal_derate(0, 2_500_000), 1.0, "a fresh node starts at nominal");
+        // burn ~2 busy hours of history through repeated jobs
+        let mut last_runtime = 0.0;
+        for _ in 0..700 {
+            let id = aged.submit(desc(32)).unwrap();
+            aged.advance(SimDuration::from_secs(25));
+            let rec = aged.accounting().get(id).unwrap();
+            last_runtime = (rec.end_time.unwrap() - rec.start_time.unwrap()).as_secs_f64();
+        }
+        let top_derate = aged.thermal_derate(0, 2_500_000);
+        assert!(top_derate < 0.85, "hours of load derated the node: {top_derate}");
+        assert!(
+            aged.thermal_derate(0, 1_500_000) > top_derate,
+            "aging is frequency-aware: a low DVFS pin suffers less than the top step"
+        );
+        assert!(last_runtime > fresh_runtime * 1.15, "same job now runs slower: {last_runtime}s vs {fresh_runtime}s");
+        // power draw did not shrink with the throughput: efficiency fell,
+        // which is the observable the adaptation loop detects
+        let rec = aged.accounting().records().last().unwrap().clone();
+        let watts = rec.system_energy_j / last_runtime;
+        assert!(watts > 100.0, "an aged node still burns full power: {watts} W");
     }
 
     #[test]

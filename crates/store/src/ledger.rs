@@ -28,6 +28,31 @@ pub struct ModelBlob {
     pub benchmarks: Vec<Benchmark>,
 }
 
+/// How a generation was built: a full offline benchmark campaign, or
+/// the adaptation loop's incremental re-fit folding production
+/// outcomes into the parent generation's training rows. Serialized
+/// lowercase; absent in journals written before adaptation existed,
+/// which default to `Campaign` — exactly what every pre-adaptation
+/// generation was.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[serde(rename_all = "lowercase")]
+pub enum ProvenanceSource {
+    /// Fit offline by a benchmark campaign (the PR 4 pipeline).
+    #[default]
+    Campaign,
+    /// Re-fit online by the adaptation loop from production outcomes.
+    Adaptation,
+}
+
+impl std::fmt::Display for ProvenanceSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProvenanceSource::Campaign => write!(f, "campaign"),
+            ProvenanceSource::Adaptation => write!(f, "adaptation"),
+        }
+    }
+}
+
 /// Where a committed model came from: the campaign that built it and
 /// its calibration numbers, kept in the metadata record so an operator
 /// can audit a generation without loading its blob.
@@ -52,6 +77,15 @@ pub struct Provenance {
     /// classes existed, via the serde default).
     #[serde(default)]
     pub node_class: String,
+    /// How this generation was built (defaults to `campaign` for
+    /// records journaled before adaptation existed).
+    #[serde(default)]
+    pub source: ProvenanceSource,
+    /// For adaptation re-fits: the generation that was serving when
+    /// the re-fit folded outcomes into its training rows (0 for
+    /// campaign fits — lineage there is the record's `parent`).
+    #[serde(default)]
+    pub refit_of: u64,
 }
 
 /// One committed generation: the metadata half of a model, pointing at
@@ -145,6 +179,9 @@ mod tests {
         };
         assert_eq!(record.provenance.node_class, "");
         assert_eq!(record.provenance.campaign, "pre-class");
+        // pre-adaptation journals default to campaign-built lineage
+        assert_eq!(record.provenance.source, ProvenanceSource::Campaign);
+        assert_eq!(record.provenance.refit_of, 0);
         // the empty class folds to the identity: the legacy record still
         // answers lookups keyed by the bare system hash
         assert_eq!(chronus::hash::classed_system_hash(record.system_hash, &record.provenance.node_class), 77);

@@ -40,5 +40,5 @@ pub mod ledger;
 mod store;
 
 pub use backend::{DiskBackend, MemBackend, StoreBackend};
-pub use ledger::{LedgerRecord, ModelBlob, ModelRecord, Provenance};
+pub use ledger::{LedgerRecord, ModelBlob, ModelRecord, Provenance, ProvenanceSource};
 pub use store::{blob_hash, ModelStore, StoreError, VerifyIssue, BLOB_DIR, JOURNAL_FILE};

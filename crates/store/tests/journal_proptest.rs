@@ -5,7 +5,7 @@
 
 use eco_sim_node::cpu::CpuConfig;
 use eco_store::codec::{crc32, encode_record, recover, MAX_RECORD_LEN, RECORD_HEADER_LEN};
-use eco_store::{LedgerRecord, ModelRecord, Provenance};
+use eco_store::{LedgerRecord, ModelRecord, Provenance, ProvenanceSource};
 use proptest::prelude::*;
 
 fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
@@ -20,20 +20,32 @@ fn arb_provenance() -> impl Strategy<Value = Provenance> {
         0u64..500,
         0u64..500,
         0.0f64..1e6,
-        0.0f64..10.0,
+        (0.0f64..10.0, 0u32..3, 0u64..1_000),
     )
-        .prop_map(|((campaign, node_class), seed, plan, trials_run, trials_skipped, trial_seconds, gpw)| {
-            Provenance {
-                campaign,
+        .prop_map(
+            |(
+                (campaign, node_class),
                 seed,
                 plan,
                 trials_run,
                 trials_skipped,
                 trial_seconds,
-                best_gflops_per_watt: gpw,
-                node_class,
-            }
-        })
+                (gpw, src, refit_of),
+            )| {
+                Provenance {
+                    campaign,
+                    seed,
+                    plan,
+                    trials_run,
+                    trials_skipped,
+                    trial_seconds,
+                    best_gflops_per_watt: gpw,
+                    node_class,
+                    source: if src == 0 { ProvenanceSource::Adaptation } else { ProvenanceSource::Campaign },
+                    refit_of,
+                }
+            },
+        )
 }
 
 fn arb_config() -> impl Strategy<Value = CpuConfig> {

@@ -144,6 +144,38 @@ impl Counter {
 }
 
 // ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+/// A named atomic gauge: a last-write-wins level (queue depth, drift
+/// score, reservoir occupancy) as opposed to a [`Counter`]'s monotone
+/// accumulation. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A free-standing gauge (not registered anywhere).
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrites the level.
+    pub fn set(&self, value: u64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Raises the level to `value` if it is below it.
+    pub fn set_max(&self, value: u64) {
+        self.0.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Histogram
 // ---------------------------------------------------------------------------
 
@@ -454,6 +486,7 @@ pub struct Telemetry {
     clock: Arc<dyn TelemetryClock>,
     recorder: Arc<Recorder>,
     counters: RwLock<BTreeMap<String, Counter>>,
+    gauges: RwLock<BTreeMap<String, Gauge>>,
     histograms: RwLock<BTreeMap<String, Histogram>>,
 }
 
@@ -482,6 +515,7 @@ impl Telemetry {
             clock,
             recorder,
             counters: RwLock::new(BTreeMap::new()),
+            gauges: RwLock::new(BTreeMap::new()),
             histograms: RwLock::new(BTreeMap::new()),
         }
     }
@@ -508,6 +542,14 @@ impl Telemetry {
             return c.clone();
         }
         self.counters.write().entry(name.to_string()).or_default().clone()
+    }
+
+    /// The named gauge, created on first use (level zero).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if let Some(g) = self.gauges.read().get(name) {
+            return g.clone();
+        }
+        self.gauges.write().entry(name.to_string()).or_default().clone()
     }
 
     /// The named histogram, created on first use.
@@ -566,6 +608,11 @@ impl Telemetry {
         self.counters.read().iter().map(|(k, v)| (k.clone(), v.get())).collect()
     }
 
+    /// Every gauge's current level, by name.
+    pub fn gauges_snapshot(&self) -> BTreeMap<String, u64> {
+        self.gauges.read().iter().map(|(k, v)| (k.clone(), v.get())).collect()
+    }
+
     /// Every histogram's summary, by name.
     pub fn histograms_snapshot(&self) -> BTreeMap<String, HistogramSnapshot> {
         self.histograms.read().iter().map(|(k, v)| (k.clone(), v.snapshot())).collect()
@@ -588,12 +635,14 @@ impl Telemetry {
         #[derive(Serialize)]
         struct Export {
             counters: Vec<CounterRow>,
+            gauges: Vec<CounterRow>,
             histograms: Vec<HistogramRow>,
             events_dropped: u64,
             events: Vec<TraceEvent>,
         }
         let export = Export {
             counters: self.counters_snapshot().into_iter().map(|(name, value)| CounterRow { name, value }).collect(),
+            gauges: self.gauges_snapshot().into_iter().map(|(name, value)| CounterRow { name, value }).collect(),
             histograms: self
                 .histograms_snapshot()
                 .into_iter()
@@ -684,6 +733,21 @@ mod tests {
         b.add(2);
         assert_eq!(tel.counter("plugin.applied").get(), 3);
         assert_eq!(tel.counters_snapshot().get("plugin.applied"), Some(&3));
+    }
+
+    #[test]
+    fn gauges_are_levels_not_accumulators() {
+        let (_c, tel) = test_telemetry();
+        let g = tel.gauge("daemon.adapt.drift_score_milli");
+        g.set(250);
+        g.set(120); // last write wins — no accumulation
+        assert_eq!(tel.gauge("daemon.adapt.drift_score_milli").get(), 120);
+        g.set_max(80); // below the level: no effect
+        assert_eq!(g.get(), 120);
+        g.set_max(500);
+        assert_eq!(g.get(), 500);
+        assert_eq!(tel.gauges_snapshot().get("daemon.adapt.drift_score_milli"), Some(&500));
+        assert!(tel.export_json().contains("daemon.adapt.drift_score_milli"));
     }
 
     #[test]

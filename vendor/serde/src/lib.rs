@@ -426,6 +426,25 @@ pub trait Deserialize<'de>: Sized {
     }
 }
 
+/// Transparent like real serde: a boxed value serializes exactly as
+/// the value itself (boxing a large enum variant is invisible on the
+/// wire).
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        T::deserialize_value(v).map(Box::new)
+    }
+
+    fn absent() -> Option<Self> {
+        T::absent().map(Box::new)
+    }
+}
+
 impl<T: Serialize + ?Sized> Serialize for &T {
     fn serialize_value(&self) -> Value {
         (**self).serialize_value()
