@@ -1,21 +1,26 @@
 //! Batched-protocol benchmark + regression gate: `PredictMany` batches
-//! at pipeline depths 1/4/16 against a warm daemon over loopback TCP,
-//! compared with the single-request baseline.
+//! at pipeline depths 1/4/16 against a warm daemon — over loopback TCP
+//! and, where the platform supports it, over the shared-memory ring
+//! (`shm://`, binary batch fast path) — compared with the
+//! single-request baseline.
 //!
 //! This is a self-measuring harness (not criterion) because it has two
 //! jobs criterion doesn't do here:
 //!
-//! 1. **persist** a machine-readable result file (`BENCH_pr7.json` at
+//! 1. **persist** a machine-readable result file (`BENCH_pr10.json` at
 //!    the repo root by default, `BENCH_OUT` to override) so the repo
 //!    carries its throughput trajectory in-tree;
 //! 2. **gate**: when `BENCH_BASELINE` points at a previous result file,
 //!    exit non-zero if warm keys/s drops or the single-request p99
-//!    rises by more than 10% — the CI bench gate.
+//!    rises by more than 10% — the CI bench gate. Pre-shm baselines
+//!    (e.g. `BENCH_pr7.json`) parse fine: the shm fields default.
 //!
-//! It also enforces the PR's acceptance floor directly: batched warm
-//! throughput must reach at least 3x the single-request baseline, and
+//! It also enforces the PR acceptance floors directly: batched warm
+//! TCP throughput must reach at least 3x the single-request baseline,
 //! the single-request daemon-side p50/p99 must stay in the same class
-//! as before batching existed (p99 < 100 µs on an idle runner).
+//! as before batching existed (p99 < 100 µs on an idle runner), and
+//! the local transport must carry at least 1M keys/s warm at batch
+//! 512 — the tentpole's headline number.
 //!
 //! Run with `cargo bench -p chronusd --bench predict_batch`.
 
@@ -33,6 +38,10 @@ const WARM_KEYS: usize = 64;
 
 /// Minimum keys measured per (batch, depth) cell.
 const KEYS_PER_CELL: u64 = 40_000;
+
+/// Minimum keys per shm cell — larger than the TCP cells so the
+/// 1M keys/s gate measures a window well past timer granularity.
+const SHM_KEYS_PER_CELL: u64 = 200_000;
 
 /// Minimum single requests for the baseline.
 const SINGLE_REQUESTS: u64 = 30_000;
@@ -62,10 +71,37 @@ struct BenchResult {
     best_depth: u32,
     /// best_keys_per_sec / single_req_per_sec, in hundredths.
     speedup_x100: u64,
+    /// The same grid over the shared-memory ring (binary fast path).
+    /// Empty on platforms without the shm transport; every shm field
+    /// defaults so pre-shm baseline files still parse for the gate.
+    #[serde(default)]
+    shm_cells: Vec<Cell>,
+    #[serde(default)]
+    shm_best_keys_per_sec: u64,
+    #[serde(default)]
+    shm_best_batch: usize,
+    #[serde(default)]
+    shm_best_depth: u32,
+    /// Warm keys/s over the ring at batch 512 (best depth) — the
+    /// tentpole's gated number.
+    #[serde(default)]
+    shm_batch512_keys_per_sec: u64,
 }
 
 fn keys() -> Vec<(u64, u64)> {
     (0..WARM_KEYS as u64).map(|i| (0x5eed_cafe ^ i, 0xb1a5_ed15 + i)).collect()
+}
+
+/// Ring file for the shm cells, on platforms where the transport
+/// exists; `None` elsewhere (the shm section is skipped, the TCP gates
+/// still run).
+fn ring_path() -> Option<String> {
+    if cfg!(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))) {
+        let path = std::env::temp_dir().join(format!("chronus-bench-{}.shm", std::process::id()));
+        Some(path.to_string_lossy().into_owned())
+    } else {
+        None
+    }
 }
 
 fn start_server() -> PredictServer {
@@ -85,6 +121,7 @@ fn start_server() -> PredictServer {
         workers: 8,
         queue_cap: 128,
         cache_cap: 4096,
+        shm_path: ring_path(),
         ..ServerConfig::default()
     };
     PredictServer::start(cfg, Arc::new(StaticBackend::new(models))).expect("bind ephemeral port")
@@ -95,7 +132,39 @@ fn out_path() -> std::path::PathBuf {
         return p.into();
     }
     // repo root: crates/chronusd/../..
-    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_pr7.json")
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_pr10.json")
+}
+
+/// Measures the warm (batch × depth) grid against `endpoint`. One
+/// fresh client per cell — for `shm://` that also exercises session
+/// seat turnover twelve times in a row.
+fn run_grid(endpoint: &str, label: &str, keys_per_cell: u64, warm: &[(u64, u64)], opts: &CallOptions) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for &batch in &BATCH_SIZES {
+        for &depth in &DEPTHS {
+            let mut client = PredictClient::builder().endpoint(endpoint).pipeline_depth(depth).build().unwrap();
+            let ask: Vec<(u64, u64)> = (0..batch).map(|i| warm[i % WARM_KEYS]).collect();
+            // one unmeasured call to settle corr negotiation + connection
+            for r in client.predict_many(&ask, opts) {
+                r.expect("warm batched predict");
+            }
+            let calls = keys_per_cell.div_ceil(batch as u64);
+            let t0 = Instant::now();
+            for _ in 0..calls {
+                for r in client.predict_many(&ask, opts) {
+                    std::hint::black_box(r.expect("warm batched predict"));
+                }
+            }
+            let wall = t0.elapsed();
+            let keys_done = calls * batch as u64;
+            let keys_per_sec = (keys_done as f64 / wall.as_secs_f64()) as u64;
+            println!(
+                "{label} batch {batch:>3} x depth {depth:>2}: {keys_per_sec:>8} keys/s ({keys_done} keys in {wall:?})"
+            );
+            cells.push(Cell { batch, depth, keys_per_sec, keys: keys_done, wall_ms: wall.as_millis() as u64 });
+        }
+    }
+    cells
 }
 
 fn main() {
@@ -127,34 +196,24 @@ fn main() {
          {single_p50_us} µs p99 {single_p99_us} µs"
     );
 
-    // --- batched cells -------------------------------------------
-    let mut cells = Vec::new();
-    for &batch in &BATCH_SIZES {
-        for &depth in &DEPTHS {
-            let mut client = PredictClient::builder().endpoint(&addr).pipeline_depth(depth).build().unwrap();
-            let ask: Vec<(u64, u64)> = (0..batch).map(|i| warm[i % WARM_KEYS]).collect();
-            // one unmeasured call to settle corr negotiation + connection
-            for r in client.predict_many(&ask, &opts) {
-                r.expect("warm batched predict");
-            }
-            let calls = KEYS_PER_CELL.div_ceil(batch as u64);
-            let t0 = Instant::now();
-            for _ in 0..calls {
-                for r in client.predict_many(&ask, &opts) {
-                    std::hint::black_box(r.expect("warm batched predict"));
-                }
-            }
-            let wall = t0.elapsed();
-            let keys_done = calls * batch as u64;
-            let keys_per_sec = (keys_done as f64 / wall.as_secs_f64()) as u64;
-            println!("batch {batch:>3} x depth {depth:>2}: {keys_per_sec:>8} keys/s ({keys_done} keys in {wall:?})");
-            cells.push(Cell { batch, depth, keys_per_sec, keys: keys_done, wall_ms: wall.as_millis() as u64 });
+    // --- batched cells, TCP then shm -----------------------------
+    let cells = run_grid(&addr, "tcp", KEYS_PER_CELL, &warm, &opts);
+    let shm_cells = match server.shm_path() {
+        Some(ring) => run_grid(&format!("shm://{ring}"), "shm", SHM_KEYS_PER_CELL, &warm, &opts),
+        None => {
+            println!("shm: transport unavailable on this platform, skipping the local-transport grid");
+            Vec::new()
         }
-    }
+    };
 
     let best = cells.iter().max_by_key(|c| c.keys_per_sec).expect("at least one cell");
     let (best_keys_per_sec, best_batch, best_depth) = (best.keys_per_sec, best.batch, best.depth);
     let speedup_x100 = best_keys_per_sec * 100 / single_req_per_sec.max(1);
+    let shm_best = shm_cells.iter().max_by_key(|c| c.keys_per_sec);
+    let (shm_best_keys_per_sec, shm_best_batch, shm_best_depth) =
+        shm_best.map(|c| (c.keys_per_sec, c.batch, c.depth)).unwrap_or((0, 0, 0));
+    let shm_batch512_keys_per_sec =
+        shm_cells.iter().filter(|c| c.batch == 512).map(|c| c.keys_per_sec).max().unwrap_or(0);
     let result = BenchResult {
         bench: "predict_batch".to_string(),
         single_req_per_sec,
@@ -165,6 +224,11 @@ fn main() {
         best_batch,
         best_depth,
         speedup_x100,
+        shm_cells,
+        shm_best_keys_per_sec,
+        shm_best_batch,
+        shm_best_depth,
+        shm_batch512_keys_per_sec,
     };
     println!(
         "best: batch {best_batch} x depth {best_depth} = {best_keys_per_sec} keys/s ({}.{:02}x the single \
@@ -172,6 +236,12 @@ fn main() {
         speedup_x100 / 100,
         speedup_x100 % 100
     );
+    if shm_best_keys_per_sec > 0 {
+        println!(
+            "shm best: batch {shm_best_batch} x depth {shm_best_depth} = {shm_best_keys_per_sec} keys/s; batch 512 \
+             = {shm_batch512_keys_per_sec} keys/s"
+        );
+    }
 
     let path = out_path();
     std::fs::write(&path, serde_json::to_string_pretty(&result).expect("result serializes"))
@@ -188,6 +258,13 @@ fn main() {
     }
     if single_p99_us >= 100_000 {
         failures.push(format!("single-request daemon p99 {single_p99_us} µs blows the 100 ms bar"));
+    }
+    if result.shm_cells.is_empty() {
+        // platform without the transport — the 1M floor cannot apply
+    } else if shm_batch512_keys_per_sec < 1_000_000 {
+        failures.push(format!(
+            "local transport carried {shm_batch512_keys_per_sec} keys/s warm at batch 512, under the 1M keys/s floor"
+        ));
     }
 
     // --- regression gate vs a committed baseline -----------------
@@ -216,6 +293,14 @@ fn main() {
             failures.push(format!(
                 "single-request p99 regressed >10%: {single_p99_us} µs vs baseline {} µs",
                 baseline.single_p99_us
+            ));
+        }
+        // Pre-shm baselines carry zeros here (serde defaults); the shm
+        // regression check only arms once a baseline has shm numbers.
+        if baseline.shm_best_keys_per_sec > 0 && shm_best_keys_per_sec * 10 < baseline.shm_best_keys_per_sec * 9 {
+            failures.push(format!(
+                "shm batched throughput regressed >10%: {shm_best_keys_per_sec} vs baseline {} keys/s",
+                baseline.shm_best_keys_per_sec
             ));
         }
     }

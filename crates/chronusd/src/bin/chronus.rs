@@ -16,7 +16,7 @@
 //! Daemon-era commands extend the workflow:
 //!
 //! ```text
-//! chronus serve --addr 127.0.0.1:4517 --workers 4 --cache-cap 64 [--fleet 3] [--store DIR] [--sync-from ADDR]
+//! chronus serve --addr 127.0.0.1:4517 --workers 4 --cache-cap 64 [--fleet 3] [--store DIR] [--sync-from ADDR] [--shm PATH]
 //! chronus slurm-config --remote 127.0.0.1:4517[,127.0.0.1:4518,...] <SYSTEM_HASH> <BINARY_HASH>
 //! chronus stats --remote 127.0.0.1:4517[,...] [--all-replicas]
 //! chronus trace job.sh [--user alice] [--remote 127.0.0.1:4517]
@@ -26,6 +26,10 @@
 //! Everywhere an address is accepted, a comma-separated list names a
 //! replicated fleet: the client routes each prediction key over a
 //! consistent-hash ring and fails over when a replica goes dark.
+//! Endpoints take URI schemes — `tcp://host:port` (also bare
+//! `host:port`) and `shm://path` for a same-host daemon's
+//! shared-memory ring, which the client prefers when one is healthy:
+//! `--remote shm:///run/chronusd.shm,127.0.0.1:4517`.
 //!
 //! The campaign engine automates the whole loop — adaptive sweep,
 //! journaled trials, model rebuild, hot rollout into a running daemon:
@@ -103,7 +107,10 @@ fn client_for(addrs: &str) -> PredictClient {
 /// attaches the durable model store: every replica catches up from it
 /// at boot (blob-verified, zero Preload traffic) before accepting
 /// connections. `--sync-from ADDR` additionally pulls committed models
-/// a fresh replica is missing from a running ring peer.
+/// a fresh replica is missing from a running ring peer. `--shm PATH`
+/// additionally serves a shared-memory ring at PATH for same-host
+/// clients (dial `shm://PATH`); with `--fleet N`, replica `i` serves
+/// `PATH.r<i>`.
 fn cmd_serve(home: &str, argv: &[&str]) -> ! {
     let base = ServerConfig {
         addr: flag_value(argv, "--addr").unwrap_or("127.0.0.1:4517").to_string(),
@@ -111,6 +118,7 @@ fn cmd_serve(home: &str, argv: &[&str]) -> ! {
         cache_cap: flag_value(argv, "--cache-cap").and_then(|v| v.parse().ok()).unwrap_or(64),
         store_dir: flag_value(argv, "--store").map(str::to_string),
         sync_from: flag_value(argv, "--sync-from").map(str::to_string),
+        shm_path: flag_value(argv, "--shm").map(str::to_string),
         ..ServerConfig::default()
     };
     let fleet: usize = flag_value(argv, "--fleet").and_then(|v| v.parse().ok()).unwrap_or(1).max(1);
@@ -129,6 +137,9 @@ fn cmd_serve(home: &str, argv: &[&str]) -> ! {
             // otherwise replicas take consecutive ports from the base
             addr: if port == 0 { format!("{host}:0") } else { format!("{host}:{}", port + i as u16) },
             replica_id: if fleet > 1 { format!("r{i}") } else { String::new() },
+            // one ring file per replica: the seat protocol is strictly
+            // one daemon per ring
+            shm_path: base.shm_path.as_ref().map(|p| if fleet > 1 { format!("{p}.r{i}") } else { p.clone() }),
             ..base.clone()
         };
         let backend = Arc::new(StorageBackend::new(Box::new(EtcStorage::new(home))));
@@ -154,6 +165,12 @@ fn cmd_serve(home: &str, argv: &[&str]) -> ! {
                         None => println!("  peer sync: {} model(s) pulled", boot.synced),
                     }
                 }
+                if let Some(ring) = s.shm_path() {
+                    println!("  local transport: shm://{ring}");
+                    // same-host clients list the ring first: the client
+                    // prefers local replicas and keeps TCP as fallback
+                    endpoints.push(format!("shm://{ring}"));
+                }
                 endpoints.push(s.addr().to_string());
                 servers.push(s);
             }
@@ -163,7 +180,7 @@ fn cmd_serve(home: &str, argv: &[&str]) -> ! {
             }
         }
     }
-    if fleet > 1 {
+    if fleet > 1 || endpoints.len() > 1 {
         println!("fleet endpoints: {}", endpoints.join(","));
     }
     loop {
@@ -261,7 +278,8 @@ fn cmd_trace(
     eco.register_binary(binary_path, binary_contents);
     eco.set_telemetry(Arc::clone(&telemetry));
     if let Some(addr) = flag_value(argv, "--remote") {
-        let source = Arc::new(RemotePrediction::from_client(client_for(addr)));
+        let source =
+            Arc::new(RemotePrediction::from_endpoints(addr).map_err(|e| format!("bad endpoint list '{addr}': {e}"))?);
         source.set_telemetry(Arc::clone(&telemetry));
         eco.set_source(source);
     }

@@ -17,7 +17,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::BytesMut;
-use chronus::remote::{take_frame, write_frame, Response, ResponseFrame, StatsSnapshot};
+use chronus::remote::{take_frame, write_frame, Response, ResponseFrame, SessionEnd, ShmListener, StatsSnapshot};
 use chronus::telemetry::Histogram;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 
@@ -59,6 +59,11 @@ pub struct ServerConfig {
     /// behind. A dead peer is non-fatal: the daemon still starts and
     /// reports the error in [`PredictServer::boot_recovery`].
     pub sync_from: Option<String>,
+    /// When set, the daemon also listens on a shared-memory ring at
+    /// this filesystem path (dialed as `shm://<path>`) for same-host
+    /// clients. One client session at a time; batch requests on it
+    /// take the binary fast path.
+    pub shm_path: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -73,6 +78,7 @@ impl Default for ServerConfig {
             replica_id: String::new(),
             store_dir: None,
             sync_from: None,
+            shm_path: None,
         }
     }
 }
@@ -112,10 +118,12 @@ pub struct BootRecovery {
 /// joins every thread.
 pub struct PredictServer {
     addr: SocketAddr,
+    shm_path: Option<String>,
     ctx: Arc<Ctx>,
     boot: BootRecovery,
     tx: Option<Sender<(Instant, TcpStream)>>,
     accept: Option<JoinHandle<()>>,
+    shm: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -168,12 +176,40 @@ impl PredictServer {
                 .spawn(move || accept_loop(listener, tx, ctx, retry_after_ms))?
         };
 
-        Ok(PredictServer { addr, ctx, boot, tx: Some(tx), accept: Some(accept), workers })
+        let shm = match &cfg.shm_path {
+            Some(path) => {
+                let ring = ShmListener::create(path)?;
+                let ctx = Arc::clone(&ctx);
+                Some(
+                    std::thread::Builder::new()
+                        .name("chronusd-shm".to_string())
+                        .spawn(move || shm_loop(ring, ctx))?,
+                )
+            }
+            None => None,
+        };
+
+        Ok(PredictServer {
+            addr,
+            shm_path: cfg.shm_path.clone(),
+            ctx,
+            boot,
+            tx: Some(tx),
+            accept: Some(accept),
+            shm,
+            workers,
+        })
     }
 
     /// The bound address (useful with an ephemeral port).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The shared-memory ring path, when the daemon is serving one
+    /// (dial it as `shm://<path>`).
+    pub fn shm_path(&self) -> Option<&str> {
+        self.shm_path.as_deref()
     }
 
     /// What boot-time recovery installed (store catch-up, peer sync).
@@ -203,6 +239,9 @@ impl PredictServer {
         // With the accept loop gone, dropping our sender disconnects
         // the channel and the workers drain out.
         self.tx = None;
+        if let Some(handle) = self.shm.take() {
+            let _ = handle.join();
+        }
         for handle in self.workers.drain(..) {
             let _ = handle.join();
         }
@@ -309,6 +348,32 @@ fn serve_connection(mut stream: TcpStream, ctx: &Ctx, rx: &Receiver<(Instant, Tc
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
             Err(_) => return,
+        }
+    }
+}
+
+/// The shared-memory listener thread: serves one same-host client
+/// session at a time until shutdown. Frames on the ring carry no
+/// length prefix (the slot header owns framing), so replies are bare
+/// payload bytes: the binary fast path for batch requests, JSON for
+/// everything else — with the same corr-echo negotiation as TCP.
+fn shm_loop(ring: ShmListener, ctx: Arc<Ctx>) {
+    let mut should_stop = || ctx.service.is_shutting_down();
+    let mut handle = |payload: &[u8]| -> Vec<u8> {
+        if let Some(reply) = ctx.service.handle_fast_frame(payload, ctx.gauges(0)) {
+            return reply;
+        }
+        let (corr, body) = ctx.service.handle_frame_enveloped(payload, ctx.gauges(0));
+        let encoded = match corr {
+            Some(corr) => serde_json::to_vec(&ResponseFrame { corr, body }),
+            None => serde_json::to_vec(&body),
+        };
+        encoded.expect("response serialization is infallible")
+    };
+    loop {
+        match ring.serve_session(&mut should_stop, &mut handle) {
+            Ok(SessionEnd::Stopped) | Err(_) => return,
+            Ok(SessionEnd::ClientGone) => {}
         }
     }
 }

@@ -14,7 +14,7 @@ use std::time::{Duration, Instant};
 
 use chronus::error::ChronusError;
 use chronus::remote::{
-    KeyOutcome, ModelSync, ObservedOutcome, Request, RequestFrame, Response, StatsSnapshot, MAX_BATCH_KEYS,
+    fastpath, KeyOutcome, ModelSync, ObservedOutcome, Request, RequestFrame, Response, StatsSnapshot, MAX_BATCH_KEYS,
 };
 use chronus::telemetry::{Telemetry, TraceContext};
 use eco_adapt::Monitor;
@@ -361,6 +361,44 @@ impl PredictService {
         drop(span);
         self.stats.record_latency_us(self.clock.now_micros().saturating_sub(started));
         (corr, response)
+    }
+
+    /// The binary `PredictMany` fast path (see
+    /// [`chronus::remote::fastpath`]): spoken only by frame-level
+    /// transports that negotiate it, today the shared-memory ring.
+    /// Returns `None` when `payload` is JSON — the caller then goes
+    /// through [`PredictService::handle_frame_enveloped`] — and the
+    /// fully encoded binary reply otherwise. Counters, deadline
+    /// accounting and latency buckets match the JSON path exactly;
+    /// only serialization differs, which is the point.
+    pub fn handle_fast_frame(&self, payload: &[u8], gauges: QueueGauges) -> Option<Vec<u8>> {
+        if !fastpath::is_binary(payload) {
+            return None;
+        }
+        let started = self.clock.now_micros();
+        self.stats.request();
+        let reply = match fastpath::decode_request(payload) {
+            Ok(batch) => {
+                let response = self.handle_request(Request::PredictMany { keys: batch.keys }, gauges, None);
+                let elapsed_us = self.clock.now_micros().saturating_sub(started);
+                let response = match batch.deadline_ms {
+                    Some(budget) if elapsed_us > budget * 1000 => {
+                        self.stats.deadline_exceeded();
+                        Response::DeadlineExceeded
+                    }
+                    _ => response,
+                };
+                fastpath::encode_reply(batch.corr, &response)
+            }
+            Err(e) => {
+                self.stats.error();
+                // corr 0: an undecodable frame has no id to echo, and
+                // the client treats the error as frame-fatal anyway
+                fastpath::encode_reply(0, &Response::Error { message: format!("malformed request: {e}") })
+            }
+        };
+        self.stats.record_latency_us(self.clock.now_micros().saturating_sub(started));
+        Some(reply)
     }
 
     fn handle_request(&self, request: Request, gauges: QueueGauges, ctx: Option<TraceContext>) -> Response {

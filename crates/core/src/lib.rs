@@ -51,10 +51,8 @@ pub use interfaces::{
 };
 pub use logging::{ChronusLog, LogEntry};
 pub use optimizers::{BruteForceOptimizer, LinearRegressionOptimizer, ModelFactory, RandomTreeOptimizer};
-#[allow(deprecated)]
-pub use remote::ClientConfig;
 pub use remote::{
-    CallOptions, ClientBuildError, ClientBuilder, FleetPreload, LocalPrediction, ObservedOutcome, PredictClient,
-    PredictionSource, PreloadAck, RemoteError, RemotePrediction, ReplicaStatus, Request, RequestFrame, Response,
-    StatsSnapshot,
+    CallOptions, ClientBuildError, ClientBuilder, Endpoint, EndpointParseError, FleetPreload, LocalPrediction,
+    ObservedOutcome, PredictClient, PredictionSource, PreloadAck, RemoteError, RemotePrediction, ReplicaStatus,
+    Request, RequestFrame, Response, ShmListener, ShmTransport, StatsSnapshot,
 };

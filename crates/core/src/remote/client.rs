@@ -26,10 +26,11 @@ use std::time::{Duration, Instant};
 
 use eco_sim_node::cpu::CpuConfig;
 
+use super::endpoint::{Endpoint, EndpointParseError};
 use super::ring::{predict_key, HashRing};
 use super::{
-    read_frame, write_frame, Connection, KeyOutcome, ModelSync, ObservedOutcome, PreloadAck, RemoteError, Request,
-    RequestFrame, Response, ResponseFrame, StatsSnapshot, TcpTransport, Transport, MAX_BATCH_KEYS,
+    fastpath, send_msg, Connection, KeyOutcome, ModelSync, ObservedOutcome, PreloadAck, RemoteError, Request,
+    RequestFrame, Response, ResponseFrame, StatsSnapshot, Transport, MAX_BATCH_KEYS,
 };
 use crate::telemetry::{Counter, Histogram, Telemetry, TraceContext};
 
@@ -58,38 +59,6 @@ impl CallOptions {
     }
 }
 
-/// Client knobs. The defaults keep a full worst-case exchange (connect,
-/// retries, backoff) comfortably inside the plugin's 100 ms budget.
-#[deprecated(note = "set each knob on the builder directly: PredictClient::builder().endpoint(addr)\
-    .connect_timeout(d).read_timeout(d).max_retries(n).backoff(d).deadline_ms(ms).build() — every \
-    ClientConfig field has a same-named ClientBuilder method")]
-#[derive(Debug, Clone)]
-pub struct ClientConfig {
-    /// TCP connect timeout.
-    pub connect_timeout: Duration,
-    /// Per-response read timeout.
-    pub read_timeout: Duration,
-    /// Additional attempts after the first (0 = fail fast).
-    pub max_retries: u32,
-    /// Base backoff between attempts; grows linearly per attempt.
-    pub backoff: Duration,
-    /// Deadline budget stamped on every request frame, if any.
-    pub deadline_ms: Option<u64>,
-}
-
-#[allow(deprecated)]
-impl Default for ClientConfig {
-    fn default() -> Self {
-        ClientConfig {
-            connect_timeout: Duration::from_millis(200),
-            read_timeout: Duration::from_millis(500),
-            max_retries: 2,
-            backoff: Duration::from_millis(10),
-            deadline_ms: None,
-        }
-    }
-}
-
 /// Why [`ClientBuilder::build`] refused a configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClientBuildError {
@@ -105,6 +74,9 @@ pub enum ClientBuildError {
     ZeroDownAfter,
     /// `pipeline_depth` outside `1..=64`.
     PipelineDepthOutOfRange(u32),
+    /// An endpoint string that does not parse (named in the payload);
+    /// see [`Endpoint`] for the accepted shapes.
+    BadEndpoint(EndpointParseError),
 }
 
 impl std::fmt::Display for ClientBuildError {
@@ -116,14 +88,17 @@ impl std::fmt::Display for ClientBuildError {
             ClientBuildError::VnodesOutOfRange(n) => write!(f, "vnodes {n} outside 1..=1024"),
             ClientBuildError::ZeroDownAfter => write!(f, "down_after must be at least 1"),
             ClientBuildError::PipelineDepthOutOfRange(n) => write!(f, "pipeline_depth {n} outside 1..=64"),
+            ClientBuildError::BadEndpoint(e) => write!(f, "bad endpoint: {e}"),
         }
     }
 }
 
 impl std::error::Error for ClientBuildError {}
 
-enum Endpoint {
-    Addr(String),
+enum Target {
+    /// An endpoint string, parsed by [`Endpoint::parse`] at build time.
+    Spec(String),
+    /// A caller-supplied transport (in-memory, fault-injecting, ...).
     Transport(Box<dyn Transport>),
 }
 
@@ -139,7 +114,7 @@ enum Endpoint {
 ///     .expect("valid config");
 /// ```
 pub struct ClientBuilder {
-    endpoints: Vec<Endpoint>,
+    endpoints: Vec<Target>,
     connect_timeout: Duration,
     read_timeout: Duration,
     max_retries: u32,
@@ -169,21 +144,25 @@ impl Default for ClientBuilder {
 }
 
 impl ClientBuilder {
-    /// Adds one TCP endpoint (`host:port`). Repeatable; two or more
-    /// endpoints make a fleet-mode client.
+    /// Adds one endpoint: `tcp://host:port`, `shm://path`, or bare
+    /// `host:port` (which stays TCP, so pre-scheme configs survive).
+    /// Repeatable; two or more endpoints make a fleet-mode client.
+    /// Parsing happens — and bad strings are reported — at
+    /// [`ClientBuilder::build`] time.
     pub fn endpoint(mut self, addr: impl Into<String>) -> Self {
-        self.endpoints.push(Endpoint::Addr(addr.into()));
+        self.endpoints.push(Target::Spec(addr.into()));
         self
     }
 
-    /// Adds several TCP endpoints at once.
+    /// Adds several endpoints at once (same shapes as
+    /// [`ClientBuilder::endpoint`]).
     pub fn endpoints<I, S>(mut self, addrs: I) -> Self
     where
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
         for a in addrs {
-            self.endpoints.push(Endpoint::Addr(a.into()));
+            self.endpoints.push(Target::Spec(a.into()));
         }
         self
     }
@@ -192,7 +171,7 @@ impl ClientBuilder {
     /// (in-memory, fault-injecting, ...). Repeatable, and mixable with
     /// [`ClientBuilder::endpoint`].
     pub fn transport(mut self, transport: Box<dyn Transport>) -> Self {
-        self.endpoints.push(Endpoint::Transport(transport));
+        self.endpoints.push(Target::Transport(transport));
         self
     }
 
@@ -280,29 +259,27 @@ impl ClientBuilder {
         if self.pipeline_depth == 0 || self.pipeline_depth > 64 {
             return Err(ClientBuildError::PipelineDepthOutOfRange(self.pipeline_depth));
         }
-        let replicas: Vec<Replica> = self
-            .endpoints
-            .into_iter()
-            .map(|e| {
-                let transport: Box<dyn Transport> = match e {
-                    Endpoint::Addr(addr) => {
-                        Box::new(TcpTransport::new(addr, self.connect_timeout, self.read_timeout))
-                    }
-                    Endpoint::Transport(t) => t,
-                };
-                Replica {
-                    desc: transport.describe(),
-                    transport,
-                    conn: None,
-                    in_ring: true,
-                    consecutive_failures: 0,
-                    probe_in: 0,
-                    generation: 0,
-                    corr_echo: None,
-                    batch_unsupported: false,
-                }
-            })
-            .collect();
+        let mut replicas: Vec<Replica> = Vec::with_capacity(self.endpoints.len());
+        for e in self.endpoints {
+            let transport: Box<dyn Transport> = match e {
+                Target::Spec(spec) => Endpoint::parse(&spec)
+                    .map_err(ClientBuildError::BadEndpoint)?
+                    .transport(self.connect_timeout, self.read_timeout),
+                Target::Transport(t) => t,
+            };
+            replicas.push(Replica {
+                desc: transport.describe(),
+                local: transport.is_local(),
+                transport,
+                conn: None,
+                in_ring: true,
+                consecutive_failures: 0,
+                probe_in: 0,
+                generation: 0,
+                corr_echo: None,
+                batch_unsupported: false,
+            });
+        }
         let mut ring = HashRing::new(self.vnodes);
         ring.rebuild(0..replicas.len() as u32);
         Ok(PredictClient {
@@ -335,6 +312,9 @@ struct Knobs {
 
 struct Replica {
     desc: String,
+    /// Cached [`Transport::is_local`]: local replicas are preferred
+    /// over ring routing while they are on the ring.
+    local: bool,
     transport: Box<dyn Transport>,
     conn: Option<Box<dyn Connection>>,
     in_ring: bool,
@@ -451,15 +431,16 @@ fn ensure_conn(replica: &mut Replica) -> Result<(), RemoteError> {
 /// first if necessary. Leaves connection cleanup to the caller.
 fn exchange_on(replica: &mut Replica, frame: &RequestFrame) -> Result<Response, RemoteError> {
     ensure_conn(replica)?;
-    let conn = replica.conn.as_mut().expect("connection was just established");
-    write_frame(conn, frame).map_err(RemoteError::Io)?;
-    read_frame(conn).map_err(|e| {
+    let conn: &mut dyn Connection = &mut **replica.conn.as_mut().expect("connection was just established");
+    send_msg(conn, frame).map_err(RemoteError::Io)?;
+    let payload = conn.recv_frame().map_err(|e| {
         if e.kind() == std::io::ErrorKind::InvalidData {
             RemoteError::Protocol(e.to_string())
         } else {
             RemoteError::Io(e)
         }
-    })
+    })?;
+    serde_json::from_slice(&payload).map_err(|e| RemoteError::Protocol(e.to_string()))
 }
 
 /// Whether `resp` is a shape the daemon could legitimately send for
@@ -496,18 +477,17 @@ enum WireReply {
     Enveloped(u64, Response),
 }
 
-/// Reads one reply frame and classifies it. The two shapes cannot be
-/// confused: the envelope is an object with `corr` and `body` fields,
-/// a bare [`Response`] never is (see [`ResponseFrame`]).
+/// Reads one reply frame and classifies it. The shapes cannot be
+/// confused: a fast-path reply opens with the binary magic byte (which
+/// JSON never produces), the envelope is an object with `corr` and
+/// `body` fields, and a bare [`Response`] is neither (see
+/// [`ResponseFrame`]).
 fn read_reply(conn: &mut dyn Connection) -> Result<WireReply, RemoteError> {
-    let mut header = [0u8; 4];
-    std::io::Read::read_exact(conn, &mut header).map_err(RemoteError::Io)?;
-    let len = u32::from_be_bytes(header) as usize;
-    if len > super::MAX_FRAME_LEN {
-        return Err(RemoteError::Protocol(format!("peer announced a {len} byte frame")));
+    let payload = conn.recv_frame().map_err(RemoteError::Io)?;
+    if fastpath::is_binary(&payload) {
+        let (corr, body) = fastpath::decode_reply(&payload).map_err(|e| RemoteError::Protocol(e.to_string()))?;
+        return Ok(WireReply::Enveloped(corr, body));
     }
-    let mut payload = vec![0u8; len];
-    std::io::Read::read_exact(conn, &mut payload).map_err(RemoteError::Io)?;
     if let Ok(envelope) = serde_json::from_slice::<ResponseFrame>(&payload) {
         return Ok(WireReply::Enveloped(envelope.corr, envelope.body));
     }
@@ -531,49 +511,6 @@ impl PredictClient {
     /// Starts building a client; see [`ClientBuilder`].
     pub fn builder() -> ClientBuilder {
         ClientBuilder::default()
-    }
-
-    /// A client with default knobs. Does not connect yet — the first
-    /// RPC does.
-    #[deprecated(note = "use PredictClient::builder().endpoint(addr).build()")]
-    pub fn new(addr: impl Into<String>) -> PredictClient {
-        PredictClient::builder().endpoint(addr).build().expect("default client configuration is valid")
-    }
-
-    /// A TCP client with explicit knobs.
-    #[deprecated(note = "use PredictClient::builder().endpoint(addr).connect_timeout(cfg.connect_timeout)\
-        .read_timeout(cfg.read_timeout).max_retries(cfg.max_retries).backoff(cfg.backoff)\
-        .deadline_ms(ms).build()")]
-    #[allow(deprecated)]
-    pub fn with_config(addr: impl Into<String>, cfg: ClientConfig) -> PredictClient {
-        let mut b = PredictClient::builder()
-            .endpoint(addr)
-            .connect_timeout(cfg.connect_timeout)
-            .read_timeout(cfg.read_timeout)
-            .max_retries(cfg.max_retries)
-            .backoff(cfg.backoff);
-        if let Some(ms) = cfg.deadline_ms {
-            b = b.deadline_ms(ms);
-        }
-        b.build().expect("ClientConfig knobs are accepted by the builder")
-    }
-
-    /// A client over an arbitrary transport.
-    #[deprecated(note = "use PredictClient::builder().transport(t).connect_timeout(cfg.connect_timeout)\
-        .read_timeout(cfg.read_timeout).max_retries(cfg.max_retries).backoff(cfg.backoff)\
-        .deadline_ms(ms).build()")]
-    #[allow(deprecated)]
-    pub fn with_transport(transport: Box<dyn Transport>, cfg: ClientConfig) -> PredictClient {
-        let mut b = PredictClient::builder()
-            .transport(transport)
-            .connect_timeout(cfg.connect_timeout)
-            .read_timeout(cfg.read_timeout)
-            .max_retries(cfg.max_retries)
-            .backoff(cfg.backoff);
-        if let Some(ms) = cfg.deadline_ms {
-            b = b.deadline_ms(ms);
-        }
-        b.build().expect("ClientConfig knobs are accepted by the builder")
     }
 
     /// The first replica's endpoint (the only one in single-daemon
@@ -642,11 +579,6 @@ impl PredictClient {
         self.drive(body, opts, &candidates)
     }
 
-    #[deprecated(note = "use request(body, &CallOptions::traced(parent))")]
-    pub fn request_traced(&mut self, body: Request, parent: Option<TraceContext>) -> Result<Response, RemoteError> {
-        self.request(body, &CallOptions::traced(parent))
-    }
-
     /// Round-trip liveness probe; returns the observed latency.
     pub fn ping(&mut self) -> Result<Duration, RemoteError> {
         let start = Instant::now();
@@ -673,16 +605,6 @@ impl PredictClient {
         }
     }
 
-    #[deprecated(note = "use predict(system_hash, binary_hash, &CallOptions::traced(parent))")]
-    pub fn predict_traced(
-        &mut self,
-        system_hash: u64,
-        binary_hash: u64,
-        parent: Option<TraceContext>,
-    ) -> Result<CpuConfig, RemoteError> {
-        self.predict(system_hash, binary_hash, &CallOptions::traced(parent))
-    }
-
     /// The batched query: one result per key, in key order, always
     /// `keys.len()` of them. Keys are grouped by their ring owner
     /// (fleet mode fans one batch out across replicas and re-merges),
@@ -707,10 +629,15 @@ impl PredictClient {
             return vec![self.predict(s, b, opts)];
         }
         self.probe_if_due(opts.trace);
-        // ring-aware splitter: each key goes to its first-choice replica
+        // ring-aware splitter: each key goes to its first-choice
+        // replica — except that a healthy local (shm) replica owns the
+        // whole batch: every key is cheapest there, and splitting a
+        // batch between a daemon's shm and tcp endpoints would route
+        // half the keys the slow way to the same process
         let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.replicas.len()];
-        if self.replicas.len() == 1 {
-            groups[0] = (0..keys.len()).collect();
+        let local = self.replicas.iter().position(|r| r.local && r.in_ring);
+        if let Some(owner) = local.or((self.replicas.len() == 1).then_some(0)) {
+            groups[owner] = (0..keys.len()).collect();
         } else {
             if let Some(t) = &self.tel {
                 t.ring_lookups.bump();
@@ -782,15 +709,29 @@ impl PredictClient {
             };
             while in_flight.len() < allowed && !chunks.is_empty() {
                 let chunk = chunks.pop_front().expect("checked non-empty");
-                let body = Request::PredictMany { keys: chunk.iter().map(|&i| keys[i]).collect() };
-                let mut frame = RequestFrame { deadline_ms, trace: opts.trace, corr: None, body };
+                let chunk_keys: Vec<(u64, u64)> = chunk.iter().map(|&i| keys[i]).collect();
                 let corr = next_corr;
-                if self.replicas[idx].corr_echo != Some(false) {
-                    frame.corr = Some(corr);
+                let corr_wanted = self.replicas[idx].corr_echo != Some(false);
+                if corr_wanted {
                     next_corr += 1;
                 }
-                let conn = self.replicas[idx].conn.as_mut().expect("dialed above");
-                if write_frame(conn, &frame).is_err() {
+                let conn: &mut dyn Connection = &mut **self.replicas[idx].conn.as_mut().expect("dialed above");
+                // The binary fast path needs a correlation id, so it
+                // waits for the connection's corr verdict like
+                // pipelining does; until then the frame goes as JSON.
+                let sent = if corr_wanted && conn.fast_batch() {
+                    let wire = fastpath::encode_request(corr, deadline_ms, &chunk_keys);
+                    conn.send_frame(&wire)
+                } else {
+                    let frame = RequestFrame {
+                        deadline_ms,
+                        trace: opts.trace,
+                        corr: corr_wanted.then_some(corr),
+                        body: Request::PredictMany { keys: chunk_keys },
+                    };
+                    send_msg(conn, &frame)
+                };
+                if sent.is_err() {
                     self.replicas[idx].conn = None;
                     self.note_failure(idx);
                     return;
@@ -802,7 +743,7 @@ impl PredictClient {
                 }
             }
             let reply = {
-                let conn = self.replicas[idx].conn.as_mut().expect("dialed above");
+                let conn: &mut dyn Connection = &mut **self.replicas[idx].conn.as_mut().expect("dialed above");
                 read_reply(conn)
             };
             let (slot, response) = match reply {
@@ -923,11 +864,6 @@ impl PredictClient {
         }
     }
 
-    #[deprecated(note = "use preload(model_id, &CallOptions::default())")]
-    pub fn preload_versioned(&mut self, model_id: i64) -> Result<PreloadAck, RemoteError> {
-        self.preload(model_id, &CallOptions::default())
-    }
-
     /// Stages a model on every replica, reporting each replica's
     /// outcome — the campaign layer's quorum decisions build on this.
     pub fn preload_detailed(&mut self, model_id: i64, opts: &CallOptions) -> FleetPreload {
@@ -1016,9 +952,11 @@ impl PredictClient {
 
     // -- fleet internals ---------------------------------------------------
 
-    /// The replica try-order for a key: ring members clockwise from the
-    /// key, then out-of-ring replicas as a last resort. Single-replica
-    /// clients skip the ring entirely (the warm-path fast path).
+    /// The replica try-order for a key: healthy local (shm) replicas
+    /// first — the fallback ladder shm → tcp → caller's local model —
+    /// then ring members clockwise from the key, then out-of-ring
+    /// replicas as a last resort. Single-replica clients skip the ring
+    /// entirely (the warm-path fast path).
     fn candidates(&mut self, key: u64) -> Vec<usize> {
         if self.replicas.len() == 1 {
             return vec![0];
@@ -1027,6 +965,9 @@ impl PredictClient {
             t.ring_lookups.bump();
         }
         let mut out: Vec<usize> = self.ring.ordered(key).into_iter().map(|m| m as usize).collect();
+        // stable: local in-ring members jump the queue, everyone else
+        // keeps ring order
+        out.sort_by_key(|&i| !self.replicas[i].local);
         for (i, r) in self.replicas.iter().enumerate() {
             if !r.in_ring {
                 out.push(i);
@@ -1296,6 +1237,36 @@ mod tests {
             PredictClient::builder().endpoint("a:1").down_after(0).build().unwrap_err(),
             ClientBuildError::ZeroDownAfter
         );
+        assert!(matches!(
+            PredictClient::builder().endpoint("gopher://a:1").build().unwrap_err(),
+            ClientBuildError::BadEndpoint(EndpointParseError::UnknownScheme(_))
+        ));
+        assert!(matches!(
+            PredictClient::builder().endpoint("noport").build().unwrap_err(),
+            ClientBuildError::BadEndpoint(EndpointParseError::BadAddr(_))
+        ));
+    }
+
+    #[test]
+    fn scheme_endpoints_build_and_describe() {
+        let client = PredictClient::builder().endpoint("tcp://h1:4117").endpoint("shm:///run/c.shm").build().unwrap();
+        assert_eq!(client.endpoints(), vec!["h1:4117", "shm:///run/c.shm"]);
+        assert_eq!(client.replicas_total(), 2);
+    }
+
+    #[test]
+    fn local_replicas_lead_every_candidate_list() {
+        let mut client = PredictClient::builder()
+            .endpoint("h1:4117")
+            .endpoint("shm:///run/c.shm")
+            .endpoint("h2:4117")
+            .build()
+            .unwrap();
+        for key in [0u64, 1, 99, u64::MAX] {
+            let order = client.candidates(key);
+            assert_eq!(order[0], 1, "shm replica must lead for key {key}");
+            assert_eq!(order.len(), 3);
+        }
     }
 
     #[test]

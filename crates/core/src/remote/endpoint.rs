@@ -1,0 +1,158 @@
+//! Scheme-addressed daemon endpoints.
+//!
+//! Everywhere the code used to take a bare `host:port` string — the
+//! client builder, `chronus serve`, `slurm-config --remote`, fleet
+//! comma-lists — it now takes an [`Endpoint`]: `tcp://host:port` for
+//! the network path, `shm://path` for the shared-memory local fast
+//! path. A bare `host:port` keeps parsing as TCP so every existing
+//! config line and flag value survives unchanged.
+
+use std::time::Duration;
+
+use super::shm::ShmTransport;
+use super::{TcpTransport, Transport};
+
+/// One way to reach a chronusd daemon, parsed from a scheme-addressed
+/// string. [`Endpoint`] round-trips through [`std::fmt::Display`] and
+/// [`std::str::FromStr`]: `parse(display(e)) == e` for every valid
+/// endpoint (property-tested in `endpoint_proptest`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// The network path: a `host:port` address.
+    Tcp(String),
+    /// The shared-memory local fast path: a filesystem path to the
+    /// daemon's ring file (see [`super::shm`]).
+    Shm(String),
+}
+
+/// Why an endpoint string failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EndpointParseError {
+    /// The string was empty (or only a scheme).
+    Empty,
+    /// A `scheme://` prefix the protocol does not know.
+    UnknownScheme(String),
+    /// A TCP endpoint without a `host:port` shape.
+    BadAddr(String),
+}
+
+impl std::fmt::Display for EndpointParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EndpointParseError::Empty => write!(f, "empty endpoint"),
+            EndpointParseError::UnknownScheme(s) => {
+                write!(f, "unknown endpoint scheme {s:?} (expected tcp:// or shm://)")
+            }
+            EndpointParseError::BadAddr(a) => {
+                write!(f, "tcp endpoint {a:?} is not host:port")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EndpointParseError {}
+
+impl Endpoint {
+    /// Parses `tcp://host:port`, `shm://path`, or bare `host:port`
+    /// (which stays TCP for compatibility with pre-scheme configs).
+    pub fn parse(s: &str) -> Result<Endpoint, EndpointParseError> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err(EndpointParseError::Empty);
+        }
+        if let Some(path) = s.strip_prefix("shm://") {
+            if path.is_empty() {
+                return Err(EndpointParseError::Empty);
+            }
+            return Ok(Endpoint::Shm(path.to_string()));
+        }
+        let addr = if let Some(rest) = s.strip_prefix("tcp://") {
+            rest
+        } else if let Some((scheme, _)) = s.split_once("://") {
+            return Err(EndpointParseError::UnknownScheme(scheme.to_string()));
+        } else {
+            s
+        };
+        // host:port — the port must be the last colon-separated piece
+        // and a valid u16, the host non-empty.
+        match addr.rsplit_once(':') {
+            Some((host, port)) if !host.is_empty() && port.parse::<u16>().is_ok() => {
+                Ok(Endpoint::Tcp(addr.to_string()))
+            }
+            _ => Err(EndpointParseError::BadAddr(addr.to_string())),
+        }
+    }
+
+    /// Whether this endpoint reaches a co-located daemon over a local
+    /// fast path (see [`Transport::is_local`]).
+    pub fn is_local(&self) -> bool {
+        matches!(self, Endpoint::Shm(_))
+    }
+
+    /// Builds the transport that dials this endpoint. The I/O timeout
+    /// bounds both stream reads/writes (TCP) and ring waits (shm).
+    pub fn transport(&self, connect_timeout: Duration, io_timeout: Duration) -> Box<dyn Transport> {
+        match self {
+            Endpoint::Tcp(addr) => Box::new(TcpTransport::new(addr.clone(), connect_timeout, io_timeout)),
+            Endpoint::Shm(path) => Box::new(ShmTransport::new(path.clone(), connect_timeout, io_timeout)),
+        }
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Endpoint::Tcp(addr) => write!(f, "tcp://{addr}"),
+            Endpoint::Shm(path) => write!(f, "shm://{path}"),
+        }
+    }
+}
+
+impl std::str::FromStr for Endpoint {
+    type Err = EndpointParseError;
+
+    fn from_str(s: &str) -> Result<Endpoint, EndpointParseError> {
+        Endpoint::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_host_port_stays_tcp() {
+        assert_eq!(Endpoint::parse("head:4117"), Ok(Endpoint::Tcp("head:4117".into())));
+        assert_eq!(Endpoint::parse("10.0.0.1:1"), Ok(Endpoint::Tcp("10.0.0.1:1".into())));
+    }
+
+    #[test]
+    fn schemes_parse_and_display_round_trip() {
+        for raw in ["tcp://head:4117", "shm:///run/chronus.shm"] {
+            let ep: Endpoint = raw.parse().unwrap();
+            assert_eq!(ep.to_string(), raw);
+            assert_eq!(raw.parse::<Endpoint>().unwrap(), ep);
+        }
+    }
+
+    #[test]
+    fn bad_endpoints_are_rejected() {
+        assert_eq!(Endpoint::parse(""), Err(EndpointParseError::Empty));
+        assert_eq!(Endpoint::parse("shm://"), Err(EndpointParseError::Empty));
+        assert_eq!(Endpoint::parse("udp://x:1"), Err(EndpointParseError::UnknownScheme("udp".into())));
+        assert_eq!(Endpoint::parse("justahost"), Err(EndpointParseError::BadAddr("justahost".into())));
+        assert_eq!(Endpoint::parse("tcp://host:notaport"), Err(EndpointParseError::BadAddr("host:notaport".into())));
+        assert_eq!(Endpoint::parse(":4117"), Err(EndpointParseError::BadAddr(":4117".into())));
+    }
+
+    #[test]
+    fn ipv6_with_port_parses() {
+        assert_eq!(Endpoint::parse("[::1]:4117"), Ok(Endpoint::Tcp("[::1]:4117".into())));
+    }
+
+    #[test]
+    fn only_shm_is_local() {
+        assert!(Endpoint::Shm("/tmp/x".into()).is_local());
+        assert!(!Endpoint::Tcp("a:1".into()).is_local());
+    }
+}

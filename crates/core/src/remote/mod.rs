@@ -42,7 +42,10 @@
 //! [`client`](self::PredictClient) docs for the full protocol.
 
 mod client;
+mod endpoint;
+pub mod fastpath;
 pub mod ring;
+pub mod shm;
 
 use std::io::{Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -58,10 +61,10 @@ use crate::error::{ChronusError, Result};
 use crate::interfaces::LocalStorage;
 use crate::telemetry::{Telemetry, TraceContext};
 
-#[allow(deprecated)]
-pub use client::ClientConfig;
 pub use client::{CallOptions, ClientBuildError, ClientBuilder, FleetPreload, PredictClient, ReplicaStatus};
+pub use endpoint::{Endpoint, EndpointParseError};
 pub use ring::{predict_key, HashRing};
+pub use shm::{SessionEnd, ShmListener, ShmTransport};
 
 /// Upper bound on a single frame's JSON payload (1 MiB).
 pub const MAX_FRAME_LEN: usize = 1 << 20;
@@ -496,18 +499,77 @@ pub fn take_frame(buf: &mut BytesMut) -> std::io::Result<Option<Vec<u8>>> {
 // Transport
 // ---------------------------------------------------------------------------
 
-/// A bidirectional byte stream the client can frame messages over.
+/// A bidirectional *frame* pipe the client exchanges messages over.
 ///
-/// Blanket-implemented for anything `Read + Write + Send`, so
-/// `TcpStream` and in-memory simulated channels qualify alike.
-pub trait Connection: Read + Write + Send {}
+/// The unit of transfer is a whole payload (`Vec<u8>`), not a byte
+/// stream: transports that already move discrete messages — the
+/// shared-memory ring in [`shm`], simulated channels — implement the
+/// two methods directly and never see length prefixes, while anything
+/// `Read + Write + Send` (e.g. `TcpStream`) gets them via the blanket
+/// impl below, which speaks the classic 4-byte big-endian
+/// length-prefixed framing on the stream.
+pub trait Connection: Send {
+    /// Sends one complete frame. Payloads above [`MAX_FRAME_LEN`] are
+    /// rejected with `InvalidData` without transmitting anything.
+    fn send_frame(&mut self, payload: &[u8]) -> std::io::Result<()>;
 
-impl<T: Read + Write + Send> Connection for T {}
+    /// Receives the next complete frame.
+    fn recv_frame(&mut self) -> std::io::Result<Vec<u8>>;
+
+    /// Whether this connection understands the binary `PredictMany`
+    /// fast path (see [`fastpath`]). Byte-stream transports answer
+    /// `false` and stay on JSON; the shared-memory ring answers `true`.
+    fn fast_batch(&self) -> bool {
+        false
+    }
+}
+
+/// Byte streams frame themselves: 4-byte big-endian length prefix,
+/// then the payload. This preserves the exact wire format `TcpStream`
+/// and the simtest channels spoke before the frame-level redesign.
+impl<T: Read + Write + Send> Connection for T {
+    fn send_frame(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        if payload.len() > MAX_FRAME_LEN {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("frame of {} bytes exceeds the {MAX_FRAME_LEN} byte limit", payload.len()),
+            ));
+        }
+        let mut buf = BytesMut::with_capacity(4 + payload.len());
+        buf.put_u32(payload.len() as u32);
+        buf.put_slice(payload);
+        self.write_all(&buf)?;
+        self.flush()
+    }
+
+    fn recv_frame(&mut self) -> std::io::Result<Vec<u8>> {
+        let mut header = [0u8; 4];
+        self.read_exact(&mut header)?;
+        let len = u32::from_be_bytes(header) as usize;
+        if len > MAX_FRAME_LEN {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("peer announced a {len} byte frame (limit {MAX_FRAME_LEN})"),
+            ));
+        }
+        let mut payload = vec![0u8; len];
+        self.read_exact(&mut payload)?;
+        Ok(payload)
+    }
+}
+
+/// Serializes `msg` as JSON and sends it as one frame.
+pub fn send_msg<T: Serialize>(conn: &mut dyn Connection, msg: &T) -> std::io::Result<()> {
+    let payload =
+        serde_json::to_vec(msg).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+    conn.send_frame(&payload)
+}
 
 /// How the client reaches the daemon: dials connections and serves
 /// every wait the client wants to perform. Production code uses
-/// [`TcpTransport`]; deterministic tests substitute a channel whose
-/// `sleep` advances simulated time instead of blocking the thread.
+/// [`TcpTransport`] or [`ShmTransport`]; deterministic tests substitute
+/// a channel whose `sleep` advances simulated time instead of blocking
+/// the thread.
 pub trait Transport: Send {
     /// Opens a fresh connection to the daemon.
     fn connect(&mut self) -> std::io::Result<Box<dyn Connection>>;
@@ -519,6 +581,15 @@ pub trait Transport: Send {
     /// thread; virtual-time transports advance their clock instead.
     fn sleep(&mut self, d: Duration) {
         std::thread::sleep(d);
+    }
+
+    /// Whether this transport reaches a co-located daemon over a local
+    /// fast path (shared memory). The client prefers local replicas
+    /// over ring routing while they are healthy — the whole point of a
+    /// local transport is that *every* key is cheapest there — and
+    /// falls back to the ring (TCP) when the local peer dies.
+    fn is_local(&self) -> bool {
+        false
     }
 }
 
@@ -718,6 +789,18 @@ impl RemotePrediction {
     pub fn new(addr: impl Into<String>) -> RemotePrediction {
         let client = PredictClient::builder().endpoint(addr).build().expect("default client configuration is valid");
         RemotePrediction::from_client(client)
+    }
+
+    /// A remote source from a comma-separated endpoint list — the shape
+    /// plugin configuration carries (`shm:///run/chronusd.shm,head:4517`).
+    /// Each entry is an [`Endpoint`]; when a `shm://` ring of a same-host
+    /// daemon is listed, the client prefers it and keeps the TCP entries
+    /// as failover, so the submit path rides shared memory while the
+    /// daemon is up and degrades to the network when it is not.
+    pub fn from_endpoints(addrs: &str) -> std::result::Result<RemotePrediction, client::ClientBuildError> {
+        let client =
+            PredictClient::builder().endpoints(addrs.split(',').map(str::trim).filter(|a| !a.is_empty())).build()?;
+        Ok(RemotePrediction::from_client(client))
     }
 
     /// A remote source wrapping an already-built client — the path for

@@ -1,0 +1,165 @@
+//! The thin raw-syscall layer under the shared-memory transport.
+//!
+//! The vendored dependency tree deliberately carries no `libc` or
+//! `memmap`, so the four kernel services the ring needs — `mmap`,
+//! `munmap`, `futex`, and `kill(pid, 0)` for peer liveness — are
+//! invoked directly via `asm!` on Linux x86_64/aarch64. Every other
+//! platform gets honest stubs: mapping fails with
+//! [`std::io::ErrorKind::Unsupported`] (so `ShmTransport::connect`
+//! errors cleanly and the client falls back to TCP), and the futex
+//! helpers degrade to short sleeps so shared code stays portable.
+
+use std::sync::atomic::AtomicU32;
+use std::time::Duration;
+
+#[cfg(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64")))]
+mod imp {
+    use super::*;
+
+    #[cfg(target_arch = "x86_64")]
+    mod nr {
+        pub const MMAP: usize = 9;
+        pub const MUNMAP: usize = 11;
+        pub const KILL: usize = 62;
+        pub const FUTEX: usize = 202;
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    mod nr {
+        pub const MMAP: usize = 222;
+        pub const MUNMAP: usize = 215;
+        pub const KILL: usize = 129;
+        pub const FUTEX: usize = 98;
+    }
+
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    unsafe fn syscall6(n: usize, a: usize, b: usize, c: usize, d: usize, e: usize, f: usize) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "syscall",
+            inlateout("rax") n as isize => ret,
+            in("rdi") a,
+            in("rsi") b,
+            in("rdx") c,
+            in("r10") d,
+            in("r8") e,
+            in("r9") f,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    #[cfg(target_arch = "aarch64")]
+    unsafe fn syscall6(n: usize, a: usize, b: usize, c: usize, d: usize, e: usize, f: usize) -> isize {
+        let ret: isize;
+        std::arch::asm!(
+            "svc 0",
+            inlateout("x0") a as isize => ret,
+            in("x1") b,
+            in("x2") c,
+            in("x3") d,
+            in("x4") e,
+            in("x5") f,
+            in("x8") n,
+            options(nostack),
+        );
+        ret
+    }
+
+    fn check(ret: isize) -> std::io::Result<usize> {
+        if (-4095..0).contains(&ret) {
+            Err(std::io::Error::from_raw_os_error(-ret as i32))
+        } else {
+            Ok(ret as usize)
+        }
+    }
+
+    const PROT_READ: usize = 1;
+    const PROT_WRITE: usize = 2;
+    const MAP_SHARED: usize = 1;
+    const FUTEX_WAIT: usize = 0;
+    const FUTEX_WAKE: usize = 1;
+    const ESRCH: i32 = 3;
+
+    pub fn map_shared(fd: i32, len: usize) -> std::io::Result<*mut u8> {
+        let ret = unsafe { syscall6(nr::MMAP, 0, len, PROT_READ | PROT_WRITE, MAP_SHARED, fd as usize, 0) };
+        check(ret).map(|addr| addr as *mut u8)
+    }
+
+    /// # Safety
+    /// `ptr..ptr+len` must be a live mapping returned by [`map_shared`]
+    /// with no outstanding references into it.
+    pub unsafe fn unmap(ptr: *mut u8, len: usize) {
+        let _ = syscall6(nr::MUNMAP, ptr as usize, len, 0, 0, 0, 0);
+    }
+
+    /// Sleeps until `word` no longer holds `expected`, a wake arrives,
+    /// or `timeout` elapses — the classic futex wait. Spurious returns
+    /// are fine; every caller loops around a state re-check.
+    pub fn futex_wait(word: &AtomicU32, expected: u32, timeout: Duration) {
+        let ts = Timespec { tv_sec: timeout.as_secs() as i64, tv_nsec: timeout.subsec_nanos() as i64 };
+        // Not FUTEX_PRIVATE: the word is shared between processes.
+        let _ = unsafe {
+            syscall6(
+                nr::FUTEX,
+                word.as_ptr() as usize,
+                FUTEX_WAIT,
+                expected as usize,
+                &ts as *const Timespec as usize,
+                0,
+                0,
+            )
+        };
+    }
+
+    /// Wakes up to `n` waiters parked on `word`.
+    pub fn futex_wake(word: &AtomicU32, n: u32) {
+        let _ = unsafe { syscall6(nr::FUTEX, word.as_ptr() as usize, FUTEX_WAKE, n as usize, 0, 0, 0) };
+    }
+
+    /// Whether `pid` names a live process (`kill(pid, 0)`): alive on
+    /// success *or* `EPERM` (exists but unsignalable); dead on `ESRCH`.
+    pub fn process_alive(pid: u32) -> bool {
+        if pid == 0 {
+            return false;
+        }
+        let ret = unsafe { syscall6(nr::KILL, pid as usize, 0, 0, 0, 0, 0) };
+        ret != -(ESRCH as isize)
+    }
+}
+
+#[cfg(not(all(target_os = "linux", any(target_arch = "x86_64", target_arch = "aarch64"))))]
+mod imp {
+    use super::*;
+
+    pub fn map_shared(_fd: i32, _len: usize) -> std::io::Result<*mut u8> {
+        Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "shared-memory transport requires linux x86_64/aarch64",
+        ))
+    }
+
+    /// # Safety
+    /// Never called: [`map_shared`] never hands out a mapping here.
+    pub unsafe fn unmap(_ptr: *mut u8, _len: usize) {}
+
+    pub fn futex_wait(_word: &AtomicU32, _expected: u32, timeout: Duration) {
+        std::thread::sleep(timeout.min(Duration::from_millis(1)));
+    }
+
+    pub fn futex_wake(_word: &AtomicU32, _n: u32) {}
+
+    pub fn process_alive(_pid: u32) -> bool {
+        true
+    }
+}
+
+pub use imp::{futex_wait, futex_wake, map_shared, process_alive, unmap};

@@ -1,0 +1,132 @@
+//! Property-based tests for the scheme-addressed [`Endpoint`] type:
+//! every valid endpoint survives `parse ∘ display` identically, bare
+//! `host:port` strings stay TCP forever (the compatibility promise
+//! configs rely on), and arbitrary junk is rejected with a clean error
+//! — never a panic, never a silently mis-parsed endpoint.
+
+use chronus::remote::{Endpoint, EndpointParseError};
+use proptest::prelude::*;
+
+/// Hostnames as they appear in real config lines: DNS names and IPv4
+/// literals. Commas and whitespace never appear because the fleet
+/// layer splits endpoint *lists* on commas before parsing each piece.
+fn arb_host() -> impl Strategy<Value = String> {
+    (0u32..3, 0u64..=0xFFFF_FFFF, (0u8..=255, 0u8..=255, 0u8..=255, 0u8..=255)).prop_map(|(kind, n, (a, b, c, d))| {
+        match kind {
+            0 => format!("node-{n:x}"),
+            1 => format!("head-{n:x}.cluster.local"),
+            _ => format!("{a}.{b}.{c}.{d}"),
+        }
+    })
+}
+
+/// Ring-file paths as `chronus serve --shm` produces them: absolute or
+/// relative filesystem paths without whitespace (parse trims the ends,
+/// so padded paths cannot round-trip and are not promised to).
+fn arb_shm_path() -> impl Strategy<Value = String> {
+    (0u32..4, 0u64..=u64::MAX).prop_map(|(kind, n)| match kind {
+        0 => format!("/run/chronusd-{n:x}.shm"),
+        1 => format!("/dev/shm/chronus/{n:x}"),
+        2 => format!("rings/replica-{n}.shm"),
+        _ => format!("/tmp/chronus.shm.r{}", n % 16),
+    })
+}
+
+fn arb_endpoint() -> impl Strategy<Value = Endpoint> {
+    (any::<bool>(), arb_host(), 1u16..=u16::MAX, arb_shm_path()).prop_map(|(tcp, host, port, path)| {
+        if tcp {
+            Endpoint::Tcp(format!("{host}:{port}"))
+        } else {
+            Endpoint::Shm(path)
+        }
+    })
+}
+
+/// A lowercase ASCII word of 2–8 letters (the shim proptest has no
+/// regex strategies, so schemes are spelled out from char indices).
+fn arb_scheme() -> impl Strategy<Value = String> {
+    prop::collection::vec(0u8..26, 2..9).prop_map(|v| v.into_iter().map(|i| (b'a' + i) as char).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The headline contract: `parse(display(e)) == e` for every
+    /// endpoint either constructor can produce.
+    #[test]
+    fn parse_display_round_trips(ep in arb_endpoint()) {
+        let shown = ep.to_string();
+        let reparsed = Endpoint::parse(&shown);
+        prop_assert_eq!(reparsed.clone(), Ok(ep), "display form {} must re-parse", shown);
+        // and display is stable across one more lap
+        prop_assert_eq!(reparsed.unwrap().to_string(), shown);
+    }
+
+    /// Compatibility: a bare `host:port` (no scheme) parses as the TCP
+    /// endpoint carrying exactly that address, and its display form is
+    /// the same address under an explicit `tcp://`.
+    #[test]
+    fn bare_host_port_stays_tcp(host in arb_host(), port in 1u16..=u16::MAX) {
+        let bare = format!("{host}:{port}");
+        let ep = Endpoint::parse(&bare).unwrap();
+        prop_assert_eq!(&ep, &Endpoint::Tcp(bare.clone()));
+        prop_assert!(!ep.is_local());
+        prop_assert_eq!(ep.to_string(), format!("tcp://{bare}"));
+        // explicit scheme and bare form agree
+        prop_assert_eq!(Endpoint::parse(&format!("tcp://{bare}")).unwrap(), ep);
+    }
+
+    /// Only the shared-memory scheme is local — the property the
+    /// client's locality-preference routing keys off.
+    #[test]
+    fn locality_follows_the_scheme(ep in arb_endpoint()) {
+        prop_assert_eq!(ep.is_local(), matches!(ep, Endpoint::Shm(_)));
+    }
+
+    /// Surrounding whitespace never changes what an endpoint means —
+    /// config files and comma-lists arrive padded.
+    #[test]
+    fn whitespace_padding_is_ignored(ep in arb_endpoint(), left in 0usize..4, right in 0usize..4) {
+        let padded = format!("{}{ep}{}", " ".repeat(left), " ".repeat(right));
+        prop_assert_eq!(Endpoint::parse(&padded), Ok(ep));
+    }
+
+    /// Arbitrary printable junk never panics the parser; every outcome
+    /// is `Ok` or a typed [`EndpointParseError`].
+    #[test]
+    fn junk_never_panics(junk in ".{0,40}") {
+        let _ = Endpoint::parse(&junk);
+    }
+
+    /// The adversarial shapes a config typo actually produces — bare
+    /// schemes, double colons, empty pieces — all fail cleanly too.
+    #[test]
+    fn typo_shapes_fail_cleanly(
+        typo in prop::sample::select(vec![
+            "", " ", "shm://", "tcp://", "://", "://x:1", "a::1x", ":4117",
+            "shm:/run/x.shm", "host:", "host:0x50", "host:-1",
+        ]),
+    ) {
+        prop_assert!(Endpoint::parse(typo).is_err(), "{:?} must be rejected", typo);
+    }
+
+    /// Unknown schemes are rejected by name — not silently treated as
+    /// a TCP host — so a typo'd `smh://` or a future `quic://` fails
+    /// loudly at config time.
+    #[test]
+    fn unknown_schemes_fail_by_name(scheme in arb_scheme(), rest in ".{0,20}") {
+        prop_assume!(scheme != "tcp" && scheme != "shm");
+        let parsed = Endpoint::parse(&format!("{scheme}://{rest}"));
+        prop_assert_eq!(parsed, Err(EndpointParseError::UnknownScheme(scheme)));
+    }
+
+    /// A TCP endpoint without a valid `host:port` shape — missing
+    /// port, out-of-range port, empty host — is a `BadAddr`, never a
+    /// mis-parsed success.
+    #[test]
+    fn tcp_without_a_valid_port_is_rejected(host in arb_host()) {
+        prop_assert_eq!(Endpoint::parse(&host), Err(EndpointParseError::BadAddr(host.clone())));
+        let huge = format!("{host}:{}", u16::MAX as u64 + 1);
+        prop_assert_eq!(Endpoint::parse(&huge), Err(EndpointParseError::BadAddr(huge)));
+    }
+}

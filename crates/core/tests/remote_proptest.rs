@@ -1,17 +1,75 @@
 //! Property-based tests for the `chronus::remote` wire codec: arbitrary
 //! frames survive encode → decode identically, arbitrary junk never
-//! panics the framing layer, and streaming reassembly is insensitive to
-//! how the bytes are chunked.
+//! panics the framing layer, streaming reassembly is insensitive to
+//! how the bytes are chunked, and the frame-level [`Connection`]
+//! abstraction is transparent — a byte-stream transport under the
+//! blanket impl and a message transport implementing the trait
+//! directly produce identical exchanges.
+
+use std::collections::VecDeque;
+use std::io::{Read, Write};
 
 use bytes::BytesMut;
 use chronus::remote::{
-    read_frame, take_frame, write_frame, KeyOutcome, ModelSync, ObservedOutcome, Request, RequestFrame, Response,
-    ResponseFrame, StatsSnapshot, MAX_BATCH_KEYS,
+    read_frame, send_msg, take_frame, write_frame, Connection, KeyOutcome, ModelSync, ObservedOutcome, Request,
+    RequestFrame, Response, ResponseFrame, StatsSnapshot, MAX_BATCH_KEYS, MAX_FRAME_LEN,
 };
 use chronus::telemetry::{SpanId, TraceContext, TraceId};
 use eco_sim_node::cpu::CpuConfig;
 use proptest::prelude::*;
 use serde::{Deserialize, Serialize};
+
+/// A loopback byte stream: writes append to an internal buffer, reads
+/// drain it. Being `Read + Write + Send`, it gets [`Connection`] from
+/// the blanket impl — this is "a TCP socket" for the equivalence
+/// properties, byte-exact down to the length prefixes.
+#[derive(Default)]
+struct ByteLoop {
+    buf: VecDeque<u8>,
+}
+
+impl Read for ByteLoop {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.buf.len().min(out.len());
+        for slot in out.iter_mut().take(n) {
+            *slot = self.buf.pop_front().expect("n is bounded by len");
+        }
+        Ok(n)
+    }
+}
+
+impl Write for ByteLoop {
+    fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+        self.buf.extend(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// A loopback *message* pipe implementing [`Connection`] directly, the
+/// way the shared-memory ring and the simulated channels do: whole
+/// payloads in, whole payloads out, no length prefixes anywhere.
+#[derive(Default)]
+struct FrameLoop {
+    frames: VecDeque<Vec<u8>>,
+}
+
+impl Connection for FrameLoop {
+    fn send_frame(&mut self, payload: &[u8]) -> std::io::Result<()> {
+        if payload.len() > MAX_FRAME_LEN {
+            return Err(std::io::Error::new(std::io::ErrorKind::InvalidData, "oversized frame"));
+        }
+        self.frames.push_back(payload.to_vec());
+        Ok(())
+    }
+
+    fn recv_frame(&mut self) -> std::io::Result<Vec<u8>> {
+        self.frames.pop_front().ok_or_else(|| std::io::Error::new(std::io::ErrorKind::WouldBlock, "no frame queued"))
+    }
+}
 
 /// The wire struct exactly as peers built before the trace header knew
 /// it: no `trace` field at all. Stands in for an old client/daemon in
@@ -510,5 +568,92 @@ proptest! {
         // the legacy peer skips the field and always gets the frame
         let legacy: LegacyRequestFrame = read_frame(&mut wire.as_slice()).unwrap();
         prop_assert_eq!(legacy.body, Request::Ping);
+    }
+
+    /// Transport transparency: any burst of payloads pushed through a
+    /// byte-stream connection (blanket impl, length-prefixed) and a
+    /// frame-level connection (direct impl, no prefixes) comes out
+    /// identical on both — same payloads, same order. This is the
+    /// property that lets `TcpTransport` and `ShmTransport` sit behind
+    /// one `Connection` trait without the client caring which framed.
+    #[test]
+    fn byte_stream_and_frame_level_connections_exchange_identically(
+        payloads in prop::collection::vec(prop::collection::vec(0u8..=255, 0..512), 0..8),
+    ) {
+        let mut bytes = ByteLoop::default();
+        let mut frames = FrameLoop::default();
+        for payload in &payloads {
+            bytes.send_frame(payload).unwrap();
+            frames.send_frame(payload).unwrap();
+        }
+        for payload in &payloads {
+            prop_assert_eq!(&bytes.recv_frame().unwrap(), payload);
+            prop_assert_eq!(&frames.recv_frame().unwrap(), payload);
+        }
+        prop_assert!(bytes.buf.is_empty(), "no bytes may linger after the last frame");
+        prop_assert!(frames.frames.is_empty());
+    }
+
+    /// The blanket impl speaks exactly the classic wire format: bytes
+    /// produced by `send_frame` on a stream are bit-identical to
+    /// `write_frame`'s, and `read_frame`/`take_frame` decode them. An
+    /// old peer on plain sockets cannot tell the redesign happened.
+    #[test]
+    fn blanket_impl_preserves_the_classic_wire_format(frame in arb_frame()) {
+        let mut classic = Vec::new();
+        write_frame(&mut classic, &frame).unwrap();
+
+        let mut stream = ByteLoop::default();
+        send_msg(&mut stream, &frame).unwrap();
+        let streamed: Vec<u8> = stream.buf.iter().copied().collect();
+        prop_assert_eq!(&streamed, &classic, "send_frame and write_frame must emit identical bytes");
+
+        // and the stream side decodes what write_frame produced
+        let mut replay = ByteLoop::default();
+        replay.buf.extend(classic.iter().copied());
+        let decoded: RequestFrame = serde_json::from_slice(&replay.recv_frame().unwrap()).unwrap();
+        prop_assert_eq!(decoded, frame);
+    }
+
+    /// Full exchanges — serialize, send, receive, deserialize — agree
+    /// across the two connection kinds for every message shape, both
+    /// directions of the protocol.
+    #[test]
+    fn exchanges_agree_across_connection_kinds(frame in arb_frame(), reply in arb_response()) {
+        let mut bytes = ByteLoop::default();
+        let mut frames = FrameLoop::default();
+        for conn in [&mut bytes as &mut dyn Connection, &mut frames as &mut dyn Connection] {
+            send_msg(conn, &frame).unwrap();
+            send_msg(conn, &reply).unwrap();
+            let got_frame: RequestFrame = serde_json::from_slice(&conn.recv_frame().unwrap()).unwrap();
+            let got_reply: Response = serde_json::from_slice(&conn.recv_frame().unwrap()).unwrap();
+            prop_assert_eq!(&got_frame, &frame);
+            prop_assert_eq!(&got_reply, &reply);
+        }
+    }
+
+    /// Both connection kinds refuse an oversized frame with a clean
+    /// error *before* transmitting anything — a too-large payload can
+    /// never poison the stream for the frames behind it.
+    #[test]
+    fn oversized_frames_are_refused_without_transmitting(extra in 1usize..=16) {
+        let payload = vec![0u8; MAX_FRAME_LEN + extra];
+        let mut bytes = ByteLoop::default();
+        prop_assert!(bytes.send_frame(&payload).is_err());
+        prop_assert!(bytes.buf.is_empty(), "the refused frame must leave no bytes behind");
+        let mut frames = FrameLoop::default();
+        prop_assert!(frames.send_frame(&payload).is_err());
+        prop_assert!(frames.frames.is_empty());
+    }
+
+    /// Only byte streams negotiate down to JSON batches: the blanket
+    /// impl never claims the binary fast path (old daemons on sockets
+    /// would not understand it), while a direct impl may opt in.
+    #[test]
+    fn byte_streams_never_claim_the_fast_path(junk in prop::collection::vec(0u8..=255, 0..16)) {
+        let mut bytes = ByteLoop::default();
+        bytes.buf.extend(junk);
+        prop_assert!(!Connection::fast_batch(&bytes));
+        prop_assert!(!FrameLoop::default().fast_batch(), "opting in is explicit, never inherited");
     }
 }

@@ -126,8 +126,11 @@ impl JobSubmitEco {
 
     /// Swaps the prediction source, e.g. for a
     /// [`chronus::remote::RemotePrediction`] talking to a chronusd
-    /// daemon. Activation gating and deadline selection still read the
-    /// local settings file; only the best-config query is redirected.
+    /// daemon — built with `RemotePrediction::from_endpoints` when the
+    /// configuration carries an endpoint list, so a same-host daemon's
+    /// `shm://` ring is preferred and TCP entries stay as failover.
+    /// Activation gating and deadline selection still read the local
+    /// settings file; only the best-config query is redirected.
     pub fn set_source(&mut self, source: Arc<dyn PredictionSource>) {
         self.source = source;
     }

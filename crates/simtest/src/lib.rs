@@ -33,6 +33,12 @@
 //!   every batch is answered exactly once (config or typed error) and
 //!   never cross-wired, with rollout churn republishing registry
 //!   snapshots under the batched readers;
+//! * [`shm`] — [`run_shm_seed`] gives one client both the simulated
+//!   shared-memory ring (frame-level, local, binary batch fast path)
+//!   and a TCP endpoint to the same daemon, then attacks the fallback
+//!   ladder: torn slots, lost doorbells, the ring torn down while TCP
+//!   serves, and full daemon crashes — asserting locality preference,
+//!   exactly-once answers and zero keys lost to fallback;
 //! * [`cluster`] — [`run_cluster_seed`] scales the world up to a
 //!   heterogeneous, power-capped cluster: per-node-class models served
 //!   from one fleet, co-scheduling, and per-tick audits that the
@@ -60,6 +66,7 @@ pub mod fleet;
 pub mod invariants;
 pub mod net;
 pub mod replay;
+pub mod shm;
 pub mod store;
 pub mod world;
 
@@ -73,5 +80,6 @@ pub use fleet::{run_fleet_seed, FleetReport, FLEET_REPLICAS};
 pub use invariants::Ledger;
 pub use net::SimNet;
 pub use replay::{replay_seed, REPLAY_VARS};
+pub use shm::{run_shm_seed, ShmReport};
 pub use store::{run_store_seed, CrashingBackend, StoreReport, STORE_ROUNDS};
 pub use world::{run_seed, SeedReport, MAX_SUBMIT_VIRTUAL_MS, SUBMISSIONS_PER_SEED};

@@ -26,7 +26,9 @@ use std::time::Duration;
 
 use bytes::BytesMut;
 use chronus::error::ChronusError;
-use chronus::remote::{take_frame, write_frame, Connection, RequestFrame, Response, ResponseFrame, Transport};
+use chronus::remote::{
+    fastpath, take_frame, write_frame, Connection, Request, RequestFrame, Response, ResponseFrame, Transport,
+};
 use chronus::telemetry::{Recorder, Telemetry};
 use chronusd::backend::{ModelBackend, PreparedModel};
 use chronusd::service::{PredictService, QueueGauges, ServiceClock};
@@ -120,6 +122,11 @@ struct ReplicaCore {
     ledger: Ledger,
     partitioned_until: Option<SimTime>,
     crashed_until: Option<SimTime>,
+    /// The replica's shared-memory ring is torn down (file unlinked /
+    /// listener thread gone) while TCP keeps serving — the fault that
+    /// exists only for [`SimShmTransport`]; network partitions never
+    /// touch the local ring.
+    shm_down_until: Option<SimTime>,
     incarnation: u64,
 }
 
@@ -177,6 +184,10 @@ impl NetCore {
         if self.replicas[replica].partitioned_until.is_some_and(|until| now >= until) {
             self.replicas[replica].partitioned_until = None;
             self.rnote(replica, "partition healed".to_string());
+        }
+        if self.replicas[replica].shm_down_until.is_some_and(|until| now >= until) {
+            self.replicas[replica].shm_down_until = None;
+            self.rnote(replica, "shm ring restored".to_string());
         }
     }
 
@@ -308,6 +319,7 @@ impl SimNet {
                 ledger: Ledger::default(),
                 partitioned_until: None,
                 crashed_until: None,
+                shm_down_until: None,
                 incarnation: 0,
             })
             .collect();
@@ -347,6 +359,27 @@ impl SimNet {
     pub fn transport_for(&self, i: usize) -> SimTransport {
         assert!(i < self.state.mu.lock().replicas.len(), "replica {i} does not exist");
         SimTransport { net: Arc::clone(&self.state), replica: i }
+    }
+
+    /// A fresh client-side endpoint to replica `i`'s *shared-memory
+    /// ring*: frame-level (no byte stream to tear mid-prefix), local
+    /// (`is_local`, so the client prefers it over TCP entries to the
+    /// same fleet) and on the binary batch fast path. Cuts become torn
+    /// slots, drops become lost doorbells, and partitions are ignored —
+    /// the ring never crosses the network.
+    pub fn shm_transport_for(&self, i: usize) -> SimShmTransport {
+        assert!(i < self.state.mu.lock().replicas.len(), "replica {i} does not exist");
+        SimShmTransport { net: Arc::clone(&self.state), replica: i }
+    }
+
+    /// Tears down replica `i`'s shared-memory ring for `ms` of virtual
+    /// time while its TCP side keeps serving — the shm-only failure
+    /// (listener thread dead, ring file unlinked) the fallback ladder
+    /// exists for. Live shm sessions die; TCP dials are untouched.
+    pub fn drop_shm(&self, i: usize, ms: u64) {
+        let mut core = self.state.mu.lock();
+        core.replicas[i].shm_down_until = Some(core.clock.now() + SimDuration::from_millis(ms.max(1)));
+        core.rnote(i, format!("shm ring torn down by the world ({ms}ms)"));
     }
 
     /// How many replicas this network simulates.
@@ -395,7 +428,8 @@ impl SimNet {
         core.rnote(i, format!("partitioned off by the world ({ms}ms)"));
     }
 
-    /// Ends every in-force partition and restart wait immediately.
+    /// Ends every in-force partition, restart wait and shm teardown
+    /// immediately.
     pub fn heal_all(&self) {
         let mut core = self.state.mu.lock();
         for i in 0..core.replicas.len() {
@@ -404,6 +438,9 @@ impl SimNet {
             }
             if core.replicas[i].partitioned_until.take().is_some() {
                 core.rnote(i, "partition healed early".to_string());
+            }
+            if core.replicas[i].shm_down_until.take().is_some() {
+                core.rnote(i, "shm ring restored early".to_string());
             }
         }
     }
@@ -693,6 +730,228 @@ impl Write for SimConnection {
             self.inbox.extend(wire);
         }
         Ok(())
+    }
+}
+
+/// The client side of a simulated shared-memory ring: frame-level (the
+/// slot header owns framing, so there is no byte stream to cut
+/// mid-length-prefix), local (`is_local`, so a client holding both this
+/// and a [`SimTransport`] routes everything here while it is healthy)
+/// and on the binary batch fast path, exactly like the real
+/// `ShmTransport`. The fault plan translates to ring physics:
+///
+/// * `req_cut` / `resp_cut` → a **torn slot**: the exchange dies with
+///   `ConnectionReset` and no frame is ever yielded from the tear
+///   (slot-header validation rejects partial writes; the byte level is
+///   covered by the codec proptests);
+/// * `req_drop` / `resp_drop` → a **lost doorbell**: the frame sits
+///   unseen and the client's next read burns its timeout;
+/// * `connect_refuse` → the single seat is already claimed;
+/// * `partition` → **ignored**: the ring never crosses the network;
+/// * `reorder` / `duplicate` / `busy` → impossible by construction
+///   (SPSC FIFO slots, exactly-once turns, no accept queue);
+/// * `crash` → the daemon dies mid-turn, shm and TCP listeners alike.
+pub struct SimShmTransport {
+    net: Arc<NetState>,
+    replica: usize,
+}
+
+impl Transport for SimShmTransport {
+    fn connect(&mut self) -> io::Result<Box<dyn Connection>> {
+        let r = self.replica;
+        let mut core = self.net.mu.lock();
+        core.tick(r);
+        core.clock.advance(SimDuration::from_millis(DIAL_MS));
+        if core.replicas[r].crashed_until.is_some() || core.replicas[r].shm_down_until.is_some() {
+            // no ring file: the dial fails fast (the ladder's cue to
+            // fall back to TCP), never a lingering timeout
+            core.rnote(r, "shm dial failed fast: ring file missing".to_string());
+            return Err(io::Error::new(io::ErrorKind::NotFound, "shm ring file missing"));
+        }
+        let p_refuse = core.plan.connect_refuse;
+        if core.roll(p_refuse) {
+            core.rnote(r, "shm dial bounced: seat busy".to_string());
+            return Err(io::Error::new(io::ErrorKind::WouldBlock, "shm session seat is busy"));
+        }
+        let id = core.next_conn;
+        core.next_conn += 1;
+        let incarnation = core.replicas[r].incarnation;
+        core.rnote(r, format!("shm conn {id} attached"));
+        Ok(Box::new(SimShmConnection {
+            net: Arc::clone(&self.net),
+            replica: r,
+            id,
+            incarnation,
+            inbox: VecDeque::new(),
+        }))
+    }
+
+    fn describe(&self) -> String {
+        format!("simshm://{}", self.net.mu.lock().replicas[self.replica].label)
+    }
+
+    fn is_local(&self) -> bool {
+        true
+    }
+
+    fn sleep(&mut self, d: Duration) {
+        let ms = (d.as_millis() as u64).max(1);
+        let mut core = self.net.mu.lock();
+        core.clock.advance(SimDuration::from_millis(ms));
+        core.note(format!("client backed off {ms}ms"));
+    }
+}
+
+/// One simulated ring session: whole frames in, whole frames out.
+struct SimShmConnection {
+    net: Arc<NetState>,
+    replica: usize,
+    id: u64,
+    incarnation: u64,
+    /// Complete reply frames awaiting `recv_frame` (FIFO — the ring
+    /// cannot reorder).
+    inbox: VecDeque<Vec<u8>>,
+}
+
+impl SimShmConnection {
+    /// Runs one request frame through the fault gauntlet and — if it
+    /// survives — the daemon, queueing the reply frame. Binary batch
+    /// frames go through the daemon's fast-frame path and are audited
+    /// in the ledger as the `PredictMany` they decode to.
+    fn deliver(&mut self, payload: &[u8]) -> io::Result<()> {
+        let r = self.replica;
+        let state = Arc::clone(&self.net);
+        let mut core = state.mu.lock();
+        core.tick(r);
+        let plan = core.plan.clone();
+
+        if core.replicas[r].crashed_until.is_some()
+            || core.replicas[r].shm_down_until.is_some()
+            || core.replicas[r].incarnation != self.incarnation
+        {
+            core.rnote(r, format!("shm conn {}: session reset (daemon gone)", self.id));
+            return Err(io::Error::new(io::ErrorKind::ConnectionReset, "shm daemon died"));
+        }
+        if core.roll(plan.crash) {
+            core.crash_now(r);
+            return Err(io::Error::new(io::ErrorKind::ConnectionReset, "shm daemon died"));
+        }
+        if core.roll(plan.req_cut) {
+            // a torn request slot: validation rejects it and the
+            // session dies — the daemon never sees a frame
+            core.rnote(r, format!("shm conn {}: torn request slot", self.id));
+            return Err(io::Error::new(io::ErrorKind::ConnectionReset, "torn shm slot"));
+        }
+        if core.roll(plan.req_drop) {
+            core.rnote(r, format!("shm conn {}: doorbell lost (request unseen)", self.id));
+            return Ok(());
+        }
+        if core.roll(plan.req_delay) {
+            let d = core.rng.gen_range(1..=plan.max_delay_ms.max(1));
+            core.clock.advance(SimDuration::from_millis(d));
+            core.rnote(r, format!("shm conn {}: writer stalled {d}ms", self.id));
+        }
+
+        let backend_slow = core.roll(plan.backend_slow);
+        let backend_poisoned = core.roll(plan.backend_poison);
+        core.backend.latency_ms.store(if backend_slow { plan.backend_latency_ms } else { 0 }, Ordering::SeqCst);
+        core.backend.poisoned.store(backend_poisoned, Ordering::SeqCst);
+
+        let before = core.replicas[r].service.snapshot(sim_gauges());
+        let t0 = core.clock.now();
+        let (audit_frame, corr, response, wire) = if fastpath::is_binary(payload) {
+            let batch = fastpath::decode_request(payload).expect("the harness client writes well-formed frames");
+            let frame = RequestFrame {
+                deadline_ms: batch.deadline_ms,
+                trace: None,
+                corr: Some(batch.corr),
+                body: Request::PredictMany { keys: batch.keys },
+            };
+            let wire = core.replicas[r]
+                .service
+                .handle_fast_frame(payload, sim_gauges())
+                .expect("binary frames take the fast path");
+            let (corr, response) =
+                fastpath::decode_reply(&wire).expect("the daemon writes well-formed binary replies");
+            (frame, Some(corr), response, wire)
+        } else {
+            let frame: RequestFrame =
+                serde_json::from_slice(payload).expect("the harness client only writes well-formed frames");
+            let (corr, response) = core.replicas[r].service.handle_frame_enveloped(payload, sim_gauges());
+            let wire = match corr {
+                Some(corr) => serde_json::to_vec(&ResponseFrame { corr, body: response.clone() }),
+                None => serde_json::to_vec(&response),
+            }
+            .expect("responses always serialize");
+            (frame, corr, response, wire)
+        };
+        let t1 = core.clock.now();
+        let after = core.replicas[r].service.snapshot(sim_gauges());
+        let elapsed_ms = (t1 - t0).as_millis();
+        if let Err(e) = core.replicas[r].ledger.record_exchange(&audit_frame, &response, &before, &after, elapsed_ms)
+        {
+            let incarnation = core.replicas[r].incarnation;
+            let label = core.replicas[r].label.clone();
+            core.violations.push(format!("{label} incarnation {incarnation}: {e}"));
+        }
+        let fast = if fastpath::is_binary(payload) { ", fastpath" } else { "" };
+        core.rnote(
+            r,
+            format!(
+                "shm conn {}: {} -> {} ({elapsed_ms}ms in service{fast})",
+                self.id,
+                verb_of(&audit_frame.body),
+                kind_of(&response),
+            ),
+        );
+        let _ = corr;
+
+        if core.roll(plan.resp_drop) {
+            core.rnote(r, format!("shm conn {}: doorbell lost (reply unseen)", self.id));
+            return Ok(());
+        }
+        if core.roll(plan.resp_delay) {
+            let d = core.rng.gen_range(1..=plan.max_delay_ms.max(1));
+            core.clock.advance(SimDuration::from_millis(d));
+            core.rnote(r, format!("shm conn {}: reader stalled {d}ms", self.id));
+        }
+        if core.roll(plan.resp_cut) {
+            // a torn reply slot: the client validates, rejects, and the
+            // session dies — never a partial or garbage frame
+            core.rnote(r, format!("shm conn {}: torn reply slot", self.id));
+            self.inbox.clear();
+            self.inbox.push_back(Vec::new()); // sentinel: next recv reports the tear
+            return Ok(());
+        }
+        self.inbox.push_back(wire);
+        Ok(())
+    }
+}
+
+impl Connection for SimShmConnection {
+    fn send_frame(&mut self, payload: &[u8]) -> io::Result<()> {
+        self.deliver(payload)
+    }
+
+    fn recv_frame(&mut self) -> io::Result<Vec<u8>> {
+        if let Some(frame) = self.inbox.pop_front() {
+            if frame.is_empty() {
+                return Err(io::Error::new(io::ErrorKind::ConnectionReset, "torn shm slot"));
+            }
+            return Ok(frame);
+        }
+        // nothing queued: burn the virtual read timeout like the real
+        // spin-then-park wait would
+        let mut core = self.net.mu.lock();
+        let ms = core.plan.read_timeout_ms.max(1);
+        core.clock.advance(SimDuration::from_millis(ms));
+        let id = self.id;
+        core.rnote(self.replica, format!("shm conn {id}: wait timed out after {ms}ms"));
+        Err(io::ErrorKind::TimedOut.into())
+    }
+
+    fn fast_batch(&self) -> bool {
+        true
     }
 }
 

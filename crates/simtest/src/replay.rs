@@ -15,6 +15,7 @@
 //! | `SIMTEST_BATCH_SEED`   | batched prediction   | `SIMTEST_BATCH_SEED=<n> cargo test -p simtest batch_replay -- --nocapture` |
 //! | `SIMTEST_CLUSTER_SEED` | power-capped cluster | `SIMTEST_CLUSTER_SEED=<n> cargo test -p simtest cluster_replay -- --nocapture` |
 //! | `SIMTEST_ADAPT_SEED`   | online adaptation    | `SIMTEST_ADAPT_SEED=<n> cargo test -p simtest adapt_replay -- --nocapture` |
+//! | `SIMTEST_SHM_SEED`     | shared-memory local transport | `SIMTEST_SHM_SEED=<n> cargo test -p simtest shm_replay -- --nocapture` |
 //!
 //! (The same table lives in `DESIGN.md` §14; update both.)
 
@@ -27,6 +28,7 @@ pub const REPLAY_VARS: &[(&str, &str)] = &[
     ("SIMTEST_BATCH_SEED", "batched prediction"),
     ("SIMTEST_CLUSTER_SEED", "power-capped cluster"),
     ("SIMTEST_ADAPT_SEED", "online adaptation"),
+    ("SIMTEST_SHM_SEED", "shared-memory local transport"),
 ];
 
 /// Reads a replay seed from the environment: `None` when `var` is

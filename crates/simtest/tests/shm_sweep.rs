@@ -1,0 +1,85 @@
+//! The shm seed sweep: 120 seeds cycling through every fault plan,
+//! each driving batched traffic through one client holding both the
+//! simulated shared-memory ring and a TCP endpoint to the same daemon
+//! — locality preference, torn slots, ring teardown with TCP fallback,
+//! and full daemon crashes. Failing seeds are reported by number so
+//! they can be replayed locally via
+//! `SIMTEST_SHM_SEED=<seed> cargo test -p simtest shm_replay -- --nocapture`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use simtest::{run_shm_seed, FaultPlan};
+
+const SEEDS: u64 = 120;
+
+#[test]
+fn shm_sweep_across_all_fault_plans() {
+    let mut failures = Vec::new();
+    for seed in 0..SEEDS {
+        let plan = FaultPlan::for_seed(seed);
+        if let Err(panic) = catch_unwind(AssertUnwindSafe(|| run_shm_seed(seed, &plan))) {
+            let detail = panic
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            eprintln!("shm seed {seed} (plan '{}') FAILED:\n{detail}\n", plan.name);
+            failures.push(seed);
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} of {SEEDS} shm seeds violated invariants: {failures:?} — replay with SIMTEST_SHM_SEED=<seed> cargo \
+         test -p simtest shm_replay -- --nocapture",
+        failures.len()
+    );
+}
+
+/// On a clean network the ring carries everything while it is up, TCP
+/// picks up the moment it is torn down, and not one key is lost to the
+/// fallback — the tentpole's zero-loss claim, asserted per phase
+/// inside the world and summarized here.
+#[test]
+fn clean_runs_prefer_the_ring_and_lose_nothing_to_fallback() {
+    for seed in [0, 13, 39] {
+        let report = run_shm_seed(seed, &FaultPlan::none());
+        assert_eq!(report.keys_failed, 0, "seed {seed} lost keys on a perfect network");
+        assert_eq!(report.keys_ok, report.keys_asked, "seed {seed}: every asked key answered exactly once");
+        assert!(report.shm_exchanges > 0, "seed {seed}: the ring carried no traffic");
+        assert!(report.tcp_exchanges > 0, "seed {seed}: the teardown phase never exercised TCP fallback");
+        assert!(report.batch_calls >= 30, "seed {seed}: choreography ran all phases");
+    }
+}
+
+/// The shm world replays bit-identically from its seed like every
+/// other world.
+#[test]
+fn shm_world_is_deterministic() {
+    let a = run_shm_seed(42, &FaultPlan::chaos());
+    let b = run_shm_seed(42, &FaultPlan::chaos());
+    assert_eq!(a.log, b.log, "same seed, same shm history");
+    assert_eq!(a.keys_asked, b.keys_asked);
+}
+
+/// Replay hook: `SIMTEST_SHM_SEED=<seed> cargo test -p simtest
+/// shm_replay -- --nocapture` re-runs one seed under its sweep plan and
+/// dumps the full event log.
+#[test]
+fn shm_replay() {
+    let Some(seed) = simtest::replay_seed("SIMTEST_SHM_SEED") else { return };
+    let plan = FaultPlan::for_seed(seed);
+    println!("replaying shm seed {seed} under plan '{}'", plan.name);
+    let report = run_shm_seed(seed, &plan);
+    for line in &report.log {
+        println!("{line}");
+    }
+    println!(
+        "seed {seed}: {} batched calls, {} keys asked, {} ok, {} failed; {} exchanges over the ring, {} over TCP",
+        report.batch_calls,
+        report.keys_asked,
+        report.keys_ok,
+        report.keys_failed,
+        report.shm_exchanges,
+        report.tcp_exchanges
+    );
+}
